@@ -1,0 +1,41 @@
+//! Ablation (ours, DESIGN.md §2.3): the paper's path-enumeration presence
+//! engine vs the exact transition DP inside the Nested-Loop search, over
+//! growing Δt.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popflow_bench::{query, synthetic_lab};
+use popflow_core::{nested_loop, FlowConfig, PresenceEngine};
+
+fn bench(c: &mut Criterion) {
+    let mut lab = synthetic_lab();
+    let mut group = c.benchmark_group("ablation_dp");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for dt in [5i64, 15, 30] {
+        let q = query(&lab, 10, 0.08, dt, 100);
+        for (engine, name) in [
+            (PresenceEngine::Hybrid, "enumeration(hybrid)"),
+            (PresenceEngine::TransitionDp, "transition-dp"),
+        ] {
+            let cfg = FlowConfig {
+                engine,
+                ..FlowConfig::default()
+            };
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("{dt}min")),
+                &dt,
+                |b, _| {
+                    b.iter(|| {
+                        let (space, iupt) = lab.space_and_iupt();
+                        nested_loop(space, iupt, &q, &cfg).unwrap().ranking.len()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 10 (paper §5.2.3): NL and BF running time vs Δt (k = 3,
+//! |Q| = 8 locations). Cost grows sharply with the window. The paper
+//! sweeps {30, 60, 90} minutes; the bench sweeps {15, 30, 60} to keep
+//! `cargo bench` wall-clock bounded — the growth shape is identical and
+//! the `experiments fig10` binary covers the paper's exact grid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popflow_bench::{query_n, real_lab, run_once, Method};
+
+fn bench(c: &mut Criterion) {
+    let mut lab = real_lab();
+    let mut group = c.benchmark_group("fig10_dt");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for dt in [15i64, 30, 60] {
+        let q = query_n(&lab, 3, 8, dt, 10);
+        for method in [Method::Nl, Method::Bf] {
+            group.bench_with_input(BenchmarkId::new(method.name(), dt), &dt, |b, _| {
+                b.iter(|| run_once(&mut lab, method, &q))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 14 (paper §5.3.1): running time vs the maximum positioning
+//! period T ∈ {1, 3, 5, 7} s and vs the positioning error μ ∈ {3, 5, 7} m
+//! on the synthetic building. Smaller T (more reports) and smaller μ
+//! (more valid paths) cost more for NL/BF.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popflow_bench::{query, run_once, synthetic_lab, Method};
+
+fn bench(c: &mut Criterion) {
+    let mut lab = synthetic_lab();
+    let mut group = c.benchmark_group("fig14");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for t in [1.0f64, 3.0, 7.0] {
+        lab.reposition(t, 5.0);
+        let q = query(&lab, 10, 0.08, 15, 14);
+        for method in [Method::Nl, Method::Bf, Method::Sc] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("T/{}", method.name()), format!("{t}s")),
+                &t,
+                |b, _| b.iter(|| run_once(&mut lab, method, &q)),
+            );
+        }
+    }
+    for mu in [3.0f64, 5.0, 7.0] {
+        lab.reposition(3.0, mu);
+        let q = query(&lab, 10, 0.08, 15, 15);
+        for method in [Method::Nl, Method::Bf, Method::Sc] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("mu/{}", method.name()), format!("{mu}m")),
+                &mu,
+                |b, _| b.iter(|| run_once(&mut lab, method, &q)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

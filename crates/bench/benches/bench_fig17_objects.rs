@@ -1,0 +1,32 @@
+//! Figure 17 (paper §5.3.2): running time vs |O| (scaled from the paper's
+//! 2.5K–10K). All methods grow roughly linearly in the object count; BF
+//! stays below NL.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use indoor_sim::Scenario;
+use popflow_bench::{query, run_once, Method, BENCH_SCALE};
+use popflow_eval::Lab;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig17_objects");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for base in [2500usize, 5000, 10000] {
+        let mut scenario = Scenario::synthetic_scaled(BENCH_SCALE);
+        scenario.mobility.num_objects = ((base as f64 * BENCH_SCALE) as usize).max(10);
+        let mut lab = Lab::new(scenario);
+        let q = query(&lab, 10, 0.08, 15, 17);
+        for method in [Method::Nl, Method::Bf, Method::Sc] {
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), base),
+                &base,
+                |b, _| b.iter(|| run_once(&mut lab, method, &q)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 8 (paper §5.2.3): NL and BF running time vs k ∈ 1..=8 with
+//! |Q| = 8 locations. BF should win at small k (early termination) and
+//! converge toward NL as k approaches |Q|.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popflow_bench::{query_n, real_lab, run_once, Method};
+
+fn bench(c: &mut Criterion) {
+    let mut lab = real_lab();
+    let mut group = c.benchmark_group("fig8_k");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for k in [1usize, 2, 3, 5, 8] {
+        let q = query_n(&lab, k, 8, 30, 8);
+        for method in [Method::Nl, Method::Bf] {
+            group.bench_with_input(BenchmarkId::new(method.name(), k), &k, |b, _| {
+                b.iter(|| run_once(&mut lab, method, &q))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 9 (paper §5.2.3): NL and BF running time vs |Q| ∈
+//! {20, 40, 60, 80, 100}% with k = 3. Both grow with |Q|; the BF–NL gap
+//! should widen.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popflow_bench::{query, real_lab, run_once, Method};
+
+fn bench(c: &mut Criterion) {
+    let mut lab = real_lab();
+    let mut group = c.benchmark_group("fig9_q");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for pct in [20u32, 60, 100] {
+        let q = query(&lab, 3, pct as f64 / 100.0, 30, 9);
+        for method in [Method::Nl, Method::Bf] {
+            group.bench_with_input(BenchmarkId::new(method.name(), pct), &pct, |b, _| {
+                b.iter(|| run_once(&mut lab, method, &q))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Table 4 (paper §5.2.1): all methods in the default real-data setting
+//! (k = 3, |Q| = 60 %, Δt = 30 min). The paper's ordering to reproduce:
+//! SC < SC-ρ < BF < NL < Naive ≪ the -ORG variants and MC.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use popflow_bench::{query, real_lab, run_once, Method};
+
+fn bench(c: &mut Criterion) {
+    let mut lab = real_lab();
+    let q = query(&lab, 3, 0.6, 30, 4);
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for method in [
+        Method::Sc,
+        Method::ScRho(0.25),
+        Method::Mc(20),
+        Method::Bf,
+        Method::Nl,
+        Method::BfOrg,
+    ] {
+        group.bench_function(method.name(), |b| {
+            b.iter(|| run_once(&mut lab, method, &q))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

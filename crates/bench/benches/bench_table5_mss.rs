@@ -1,0 +1,29 @@
+//! Table 5 (paper §5.2.2): running time vs the maximum sample-set size
+//! mss ∈ {1, 2, 3, 4}. BF's cost should grow with mss faster than the
+//! counting baselines'.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popflow_bench::{query, real_lab, run_once, Method};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_mss");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for mss in [1usize, 2, 3, 4] {
+        let mut lab = real_lab();
+        lab.cap_mss(mss);
+        let q = query(&lab, 3, 0.6, 30, 5);
+        for method in [Method::Bf, Method::Sc, Method::ScRho(0.25)] {
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), mss),
+                &mss,
+                |b, _| b.iter(|| run_once(&mut lab, method, &q)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Table 7 (paper §5.3.3): the RFID comparators SCC and UR against BF.
+//! The benchmark times them; the effectiveness comparison (Kendall τ) is
+//! produced by `experiments table7`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use popflow_bench::{query, run_once, synthetic_lab, Method};
+
+fn bench(c: &mut Criterion) {
+    let mut lab = synthetic_lab();
+    lab.ensure_rfid();
+    let q = query(&lab, 10, 0.08, 15, 7);
+    let mut group = c.benchmark_group("table7");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for method in [Method::Scc, Method::Ur, Method::Bf] {
+        group.bench_function(method.name(), |b| {
+            b.iter(|| run_once(&mut lab, method, &q))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Shared workload builders for the Criterion benchmarks.
+//!
+//! Every benchmark regenerates one table or figure of the paper's
+//! evaluation (see DESIGN.md §4 for the index). Workloads are scaled-down
+//! but shape-preserving: the quantities each experiment varies (k, |Q|,
+//! Δt, mss, T, μ, |O|) are swept exactly as in the paper, while the
+//! simulated population/duration is reduced so `cargo bench` completes in
+//! minutes. Absolute times therefore differ from the paper's testbed;
+//! orderings and trends are the reproduction target (EXPERIMENTS.md
+//! records both).
+
+use popflow_core::TkPlQuery;
+use popflow_eval::Lab;
+
+pub use popflow_eval::{run_method, Method, MethodInput};
+
+/// Benchmark scale for the synthetic scenario.
+pub const BENCH_SCALE: f64 = 0.01;
+
+/// A real-analog lab (35 objects, 150 min) — generate once per bench
+/// target.
+pub fn real_lab() -> Lab {
+    Lab::real_analog()
+}
+
+/// A scaled synthetic lab.
+pub fn synthetic_lab() -> Lab {
+    Lab::synthetic(BENCH_SCALE)
+}
+
+/// A deterministic query over `fraction` of the lab's S-locations and a
+/// `dt_min`-minute window.
+pub fn query(lab: &Lab, k: usize, fraction: f64, dt_min: i64, seed: u64) -> TkPlQuery {
+    TkPlQuery::new(
+        k,
+        lab.query_fraction(fraction, seed),
+        lab.random_window(dt_min, seed ^ 0xbe9c4),
+    )
+}
+
+/// A query over an explicit number of S-locations.
+pub fn query_n(lab: &Lab, k: usize, n_locations: usize, dt_min: i64, seed: u64) -> TkPlQuery {
+    let total = lab.all_slocs().len();
+    let fraction = (n_locations as f64 / total as f64).min(1.0);
+    query(lab, k, fraction, dt_min, seed)
+}
+
+/// Runs a method once against the lab (Criterion times the enclosing
+/// closure); returns the top flow so the work cannot be optimized away.
+pub fn run_once(lab: &mut Lab, method: Method, q: &TkPlQuery) -> f64 {
+    let scored = lab.evaluate(method, q);
+    scored
+        .run
+        .outcome
+        .ranking
+        .first()
+        .map(|r| r.flow)
+        .unwrap_or(0.0)
+}

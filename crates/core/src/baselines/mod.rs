@@ -1,0 +1,12 @@
+//! Baselines and comparator methods from the paper's evaluation (§5).
+
+mod monte_carlo;
+mod scc;
+mod simple_counting;
+mod ur;
+
+pub use indoor_iupt::{ReaderId, RfidDeployment, RfidReader, RfidRecord, RfidTrackingData};
+pub use monte_carlo::{monte_carlo, MonteCarloConfig};
+pub use scc::semi_constrained_counting;
+pub use simple_counting::{simple_counting, simple_counting_rho};
+pub use ur::{uncertainty_region, UrConfig};

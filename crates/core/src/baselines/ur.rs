@@ -1,0 +1,211 @@
+//! The uncertainty-region comparator UR (Lu, Guo, Yang & Jensen, EDBT
+//! 2016), reproduced for the paper's Table 7.
+//!
+//! UR captures an object's possible whereabouts between RFID detections as
+//! elliptical uncertainty regions: between consecutive detections at
+//! readers `r_i` (leaving at `te_i`) and `r_j` (arriving at `ts_j`), the
+//! object lies inside the ellipse whose foci are the two reader positions
+//! and whose major axis is `Vmax · (ts_j − te_i)`; while detected it lies
+//! inside the reader's detection circle. The flow of an S-location sums,
+//! per object, the largest fractional overlap of the object's regions with
+//! the location ("computes the flow for an indoor location by summing up
+//! its intersection with each object's uncertainty region").
+//!
+//! The paper notes UR "tend[s] to add flows to S-locations close to the
+//! ground truth S-location" because door-anchored ellipses are large —
+//! the behaviour Table 7 quantifies.
+
+use std::collections::HashMap;
+
+use indoor_geom::Ellipse;
+use indoor_iupt::ObjectId;
+use indoor_model::{IndoorSpace, SLocId};
+
+use indoor_iupt::RfidTrackingData;
+use crate::query::{rank_topk, QueryOutcome, SearchStats, TkPlQuery};
+
+/// UR configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct UrConfig {
+    /// Maximum object speed in m/s (1 m/s in the paper's simulation).
+    pub vmax: f64,
+    /// Lattice resolution for ellipse–rectangle overlap estimation.
+    pub overlap_grid: usize,
+}
+
+impl Default for UrConfig {
+    fn default() -> Self {
+        UrConfig {
+            vmax: 1.0,
+            overlap_grid: 24,
+        }
+    }
+}
+
+/// Evaluates a TkPLQ with the UR comparator over RFID tracking data.
+pub fn uncertainty_region(
+    space: &IndoorSpace,
+    data: &RfidTrackingData,
+    query: &TkPlQuery,
+    cfg: &UrConfig,
+) -> QueryOutcome {
+    // presence[oid][qi]: max overlap fraction seen so far.
+    let mut presence: HashMap<ObjectId, Vec<f64>> = HashMap::new();
+    let slocs = query.query_set.slocs();
+
+    let sequences = data.sequences_in(query.interval);
+    let objects_total = sequences.len();
+
+    for (oid, records) in &sequences {
+        let acc = presence
+            .entry(*oid)
+            .or_insert_with(|| vec![0.0; slocs.len()]);
+
+        // Detection-time regions: circles at reader positions.
+        for rec in records {
+            let reader = data.deployment.reader(rec.reader);
+            let circle = Ellipse::circle(reader.pos, data.deployment.detection_range);
+            accumulate(space, &circle, reader.floor, slocs, cfg, acc);
+        }
+
+        // Gap regions between consecutive detections.
+        for w in records.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let ra = data.deployment.reader(a.reader);
+            let rb = data.deployment.reader(b.reader);
+            if ra.floor != rb.floor {
+                // Cross-floor gaps have no planar ellipse; skip (the
+                // object is in a staircase, which is not a query target in
+                // the paper's Table 7 setup).
+                continue;
+            }
+            let gap_secs = (b.ts.diff_millis(a.te).max(0)) as f64 / 1000.0;
+            let major = cfg.vmax * gap_secs;
+            let ellipse = Ellipse::new(ra.pos, rb.pos, major);
+            accumulate(space, &ellipse, ra.floor, slocs, cfg, acc);
+        }
+    }
+
+    let mut scores: Vec<(SLocId, f64)> = slocs.iter().map(|&s| (s, 0.0)).collect();
+    for acc in presence.values() {
+        for (qi, &v) in acc.iter().enumerate() {
+            scores[qi].1 += v;
+        }
+    }
+
+    QueryOutcome {
+        ranking: rank_topk(scores, query.k),
+        stats: SearchStats {
+            objects_total,
+            objects_computed: objects_total,
+            dp_fallback_objects: 0,
+        },
+    }
+}
+
+fn accumulate(
+    space: &IndoorSpace,
+    region: &Ellipse,
+    floor: indoor_model::FloorId,
+    slocs: &[SLocId],
+    cfg: &UrConfig,
+    acc: &mut [f64],
+) {
+    let bounds = region.bounds();
+    for (qi, &sloc) in slocs.iter().enumerate() {
+        let s = space.sloc(sloc);
+        if s.floor != floor || !s.rect.intersects(&bounds) {
+            continue;
+        }
+        let f = region.overlap_fraction(&s.rect, cfg.overlap_grid);
+        if f > acc[qi] {
+            acc[qi] = f;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indoor_iupt::{ReaderId, RfidDeployment, RfidReader, RfidRecord};
+    use crate::query_set::QuerySet;
+    use indoor_iupt::{TimeInterval, Timestamp};
+    use indoor_model::fixtures::paper_figure1;
+    use indoor_model::{DoorId, FloorId};
+
+    /// Readers at the figure-1 doors of r4–r6 (p2's door) and r5–r6 (p5's
+    /// door).
+    fn setup() -> (indoor_model::IndoorSpace, RfidTrackingData, [SLocId; 6]) {
+        let fig = paper_figure1();
+        let deployment = RfidDeployment {
+            readers: vec![
+                RfidReader {
+                    id: ReaderId(0),
+                    pos: indoor_geom::Point::new(6.0, 6.0),
+                    floor: FloorId(0),
+                    door: DoorId(2),
+                    adjacent_slocs: vec![fig.r[3], fig.r[5]],
+                },
+                RfidReader {
+                    id: ReaderId(1),
+                    pos: indoor_geom::Point::new(9.0, 4.0),
+                    floor: FloorId(0),
+                    door: DoorId(5),
+                    adjacent_slocs: vec![fig.r[4], fig.r[5]],
+                },
+            ],
+            detection_range: 1.5,
+        };
+        let rec = |oid: u32, reader: u32, ts: i64, te: i64| RfidRecord {
+            oid: ObjectId(oid),
+            reader: ReaderId(reader),
+            ts: Timestamp::from_secs(ts),
+            te: Timestamp::from_secs(te),
+        };
+        let data = RfidTrackingData::new(
+            deployment,
+            vec![rec(1, 0, 0, 3), rec(1, 1, 10, 12), rec(2, 0, 5, 8)],
+        );
+        (fig.space, data, fig.r)
+    }
+
+    #[test]
+    fn gap_ellipse_adds_presence_to_traversed_hallway() {
+        let (space, data, r) = setup();
+        let query = TkPlQuery::new(
+            6,
+            QuerySet::new(r.to_vec()),
+            TimeInterval::new(Timestamp::from_secs(0), Timestamp::from_secs(60)),
+        );
+        let out = uncertainty_region(&space, &data, &query, &UrConfig::default());
+        let flow_of = |s: SLocId| {
+            out.ranking
+                .iter()
+                .find(|x| x.sloc == s)
+                .map(|x| x.flow)
+                .unwrap_or(0.0)
+        };
+        // o1 moves between the two hallway-side doors: the ellipse overlaps
+        // the hallway r6 substantially.
+        assert!(flow_of(r[5]) > 0.3, "r6 flow {}", flow_of(r[5]));
+        // r1 and r2 (upper-right rooms) are far from both readers.
+        assert!(flow_of(r[0]) < 0.2);
+        // Presence per object per location is at most 1; two objects total.
+        for x in &out.ranking {
+            assert!(x.flow <= 2.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_window_zero_flow() {
+        let (space, data, r) = setup();
+        let query = TkPlQuery::new(
+            1,
+            QuerySet::new(r.to_vec()),
+            TimeInterval::new(Timestamp::from_secs(500), Timestamp::from_secs(600)),
+        );
+        let out = uncertainty_region(&space, &data, &query, &UrConfig::default());
+        assert_eq!(out.ranking[0].flow, 0.0);
+        assert_eq!(out.stats.objects_total, 0);
+    }
+}

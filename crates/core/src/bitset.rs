@@ -1,0 +1,109 @@
+/// A small dynamic bitset used to track, per possible path, which query
+/// S-locations the path touches (the `Hφ : {path} → 2^Q` hash table of
+/// Algorithm 3, keyed by index into the object's relevant query list).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SmallBitset {
+    words: Vec<u64>,
+}
+
+impl SmallBitset {
+    /// An empty bitset able to hold `bits` bits.
+    pub fn with_capacity(bits: usize) -> Self {
+        SmallBitset {
+            words: vec![0; bits.div_ceil(64)],
+        }
+    }
+
+    /// Sets bit `i` (growing if needed).
+    pub fn set(&mut self, i: usize) {
+        let w = i / 64;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1u64 << (i % 64);
+    }
+
+    /// Whether bit `i` is set.
+    pub fn get(&self, i: usize) -> bool {
+        let w = i / 64;
+        w < self.words.len() && (self.words[w] >> (i % 64)) & 1 == 1
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &SmallBitset) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= *b;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over set bit indexes in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let tz = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(wi * 64 + tz)
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut b = SmallBitset::with_capacity(10);
+        assert!(b.is_empty());
+        b.set(3);
+        b.set(64);
+        b.set(130);
+        assert!(b.get(3) && b.get(64) && b.get(130));
+        assert!(!b.get(4) && !b.get(129));
+        assert_eq!(b.count(), 3);
+    }
+
+    #[test]
+    fn union_grows() {
+        let mut a = SmallBitset::with_capacity(4);
+        a.set(1);
+        let mut b = SmallBitset::with_capacity(4);
+        b.set(100);
+        a.union_with(&b);
+        assert!(a.get(1) && a.get(100));
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let mut b = SmallBitset::default();
+        for i in [5usize, 63, 64, 200] {
+            b.set(i);
+        }
+        let got: Vec<usize> = b.iter().collect();
+        assert_eq!(got, vec![5, 63, 64, 200]);
+    }
+
+    #[test]
+    fn get_out_of_range_is_false() {
+        let b = SmallBitset::with_capacity(1);
+        assert!(!b.get(500));
+    }
+}

@@ -1,0 +1,229 @@
+//! Transition-DP presence engine — our exact optimization over the paper's
+//! path enumeration (see DESIGN.md §2.3).
+//!
+//! Eq. 2 factorizes over consecutive pairs:
+//! `pr_{φ⊃q} = 1 − Π_j (1 − a_j)` with `a_j` depending only on
+//! `(loc_j, loc_{j+1})`. Hence
+//!
+//! ```text
+//! Σ_φ pr(φ)·pr_{φ⊃q} = Σ_φ pr(φ) − Σ_φ pr(φ)·Π_j (1 − a_j)
+//! ```
+//!
+//! and both sums are computable by a forward dynamic program over
+//! (step, last P-location): `S` accumulates the valid-path mass, `M` the
+//! miss-weighted mass. Complexity is `O(n · m²)` per object/query (`m` =
+//! samples per set, ≤ mss) instead of `O(Π |πl(Xi)|)`, with identical
+//! results — property-tested against the enumeration engine.
+
+use indoor_iupt::SampleSet;
+use indoor_model::{IndoorSpace, SLocId};
+
+use crate::config::Normalization;
+use crate::paths::full_product_mass;
+use crate::presence::pair_pass_probability;
+
+/// Object presence `Φ(q, o)` (Eq. 1) via the transition DP.
+pub fn presence_dp(
+    space: &IndoorSpace,
+    sets: &[SampleSet],
+    q: SLocId,
+    normalization: Normalization,
+) -> f64 {
+    let Some(first) = sets.first() else {
+        return 0.0;
+    };
+    let matrix = space.matrix();
+
+    // Per-step state, indexed like the step's sample list.
+    let mut locs: Vec<indoor_model::PLocId> = first.plocs().collect();
+    let mut s_mass: Vec<f64> = first.samples().iter().map(|e| e.prob).collect();
+    let mut m_mass = s_mass.clone();
+
+    for set in &sets[1..] {
+        let next_samples = set.samples();
+        let mut next_locs = Vec::with_capacity(next_samples.len());
+        let mut next_s = vec![0.0; next_samples.len()];
+        let mut next_m = vec![0.0; next_samples.len()];
+        for (j, e) in next_samples.iter().enumerate() {
+            next_locs.push(e.loc);
+            let mut s_in = 0.0;
+            let mut m_in = 0.0;
+            for (i, &prev) in locs.iter().enumerate() {
+                if s_mass[i] == 0.0 && m_mass[i] == 0.0 {
+                    continue;
+                }
+                if !matrix.connected(prev, e.loc) {
+                    continue;
+                }
+                s_in += s_mass[i];
+                let a = pair_pass_probability(space, prev, e.loc, q);
+                m_in += m_mass[i] * (1.0 - a);
+            }
+            next_s[j] = s_in * e.prob;
+            next_m[j] = m_in * e.prob;
+        }
+        locs = next_locs;
+        s_mass = next_s;
+        m_mass = next_m;
+        if s_mass.iter().all(|&v| v == 0.0) {
+            // No valid continuation: presence is 0 under both
+            // normalizations (no valid paths exist).
+            return 0.0;
+        }
+    }
+
+    let valid_mass: f64 = s_mass.iter().sum();
+    let miss_mass: f64 = m_mass.iter().sum();
+    let weighted = (valid_mass - miss_mass).max(0.0);
+    let denom = match normalization {
+        Normalization::FullProduct => full_product_mass(sets),
+        Normalization::ValidPaths => valid_mass,
+    };
+    if denom <= 0.0 {
+        0.0
+    } else {
+        weighted / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{FlowConfig, PresenceEngine};
+    use crate::presence::object_presence;
+    use indoor_iupt::fixtures::{paper_table2, O1, O2, O3};
+    use indoor_iupt::{ObjectId, Sample, TimeInterval, Timestamp};
+    use indoor_model::fixtures::paper_figure1;
+    use indoor_model::PLocId;
+    use proptest::prelude::*;
+
+    fn sets_of(oid: ObjectId) -> Vec<SampleSet> {
+        let mut iupt = paper_table2();
+        let iv = TimeInterval::new(Timestamp::from_secs(1), Timestamp::from_secs(8));
+        iupt.sequence_of(oid, iv)
+            .records
+            .iter()
+            .map(|r| r.samples.clone())
+            .collect()
+    }
+
+    #[test]
+    fn matches_worked_examples() {
+        let fig = paper_figure1();
+        let cases = [
+            (O3, fig.r[5], 0.12),
+            (O3, fig.r[0], 0.0),
+            (O1, fig.r[0], 0.5),
+            (O1, fig.r[5], 1.0),
+            (O2, fig.r[5], 0.85),
+            (O2, fig.r[0], 0.0),
+        ];
+        for (oid, q, want) in cases {
+            let phi = presence_dp(&fig.space, &sets_of(oid), q, Normalization::FullProduct);
+            assert!((phi - want).abs() < 1e-9, "{oid}, {q}: {phi} vs {want}");
+        }
+    }
+
+    #[test]
+    fn empty_sequence_is_zero() {
+        let fig = paper_figure1();
+        assert_eq!(
+            presence_dp(&fig.space, &[], fig.r[0], Normalization::FullProduct),
+            0.0
+        );
+    }
+
+    #[test]
+    fn agrees_with_enumeration_on_paper_objects() {
+        let fig = paper_figure1();
+        for oid in [O1, O2, O3] {
+            let sets = sets_of(oid);
+            for q in fig.r {
+                for norm in [Normalization::FullProduct, Normalization::ValidPaths] {
+                    let enum_cfg = FlowConfig {
+                        use_reduction: false,
+                        normalization: norm,
+                        engine: PresenceEngine::PathEnumeration,
+                        ..FlowConfig::default()
+                    };
+                    let dp = presence_dp(&fig.space, &sets, q, norm);
+                    let en = object_presence(&fig.space, &sets, q, &enum_cfg).unwrap();
+                    assert!(
+                        (dp - en).abs() < 1e-9,
+                        "{oid} {q} {norm:?}: dp {dp} vs enum {en}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Random sample-set sequences over the Figure 1 P-locations: DP and
+    /// enumeration must agree everywhere.
+    #[test]
+    fn property_dp_equals_enumeration() {
+        let fig = paper_figure1();
+        let space = &fig.space;
+        let strategy = proptest::collection::vec(
+            proptest::collection::vec((0u32..9, 1u32..10), 1..4),
+            1..6,
+        );
+        let mut runner = proptest::test_runner::TestRunner::new(ProptestConfig {
+            cases: 60,
+            ..ProptestConfig::default()
+        });
+        runner
+            .run(&strategy, |raw| {
+                let mut sets = Vec::new();
+                for raw_set in raw {
+                    // Deduplicate locations, normalize weights.
+                    let mut weights: Vec<(PLocId, f64)> = Vec::new();
+                    for (loc, w) in raw_set {
+                        let loc = PLocId(loc);
+                        match weights.iter_mut().find(|(l, _)| *l == loc) {
+                            Some((_, acc)) => *acc += w as f64,
+                            None => weights.push((loc, w as f64)),
+                        }
+                    }
+                    sets.push(SampleSet::normalized(weights).unwrap());
+                }
+                for q in fig.r {
+                    for norm in [Normalization::FullProduct, Normalization::ValidPaths] {
+                        let dp = presence_dp(space, &sets, q, norm);
+                        let cfg = FlowConfig {
+                            use_reduction: false,
+                            normalization: norm,
+                            ..FlowConfig::default()
+                        };
+                        let en = object_presence(space, &sets, q, &cfg).unwrap();
+                        prop_assert!(
+                            (dp - en).abs() < 1e-9,
+                            "dp {} vs enum {} for {:?} {:?}",
+                            dp,
+                            en,
+                            q,
+                            norm
+                        );
+                    }
+                }
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    /// The DP stays numerically stable on long sequences where per-path
+    /// products would underflow.
+    #[test]
+    fn long_sequence_stability() {
+        let fig = paper_figure1();
+        // 500 alternating reports between p6 and p8's hallway class and p5.
+        let a = SampleSet::new(vec![
+            Sample::new(fig.p[5], 0.5),
+            Sample::new(fig.p[4], 0.5),
+        ])
+        .unwrap();
+        let sets: Vec<SampleSet> = (0..500).map(|_| a.clone()).collect();
+        let phi = presence_dp(&fig.space, &sets, fig.r[5], Normalization::FullProduct);
+        assert!(phi > 0.99, "Φ = {phi}");
+        assert!(phi <= 1.0 + 1e-9);
+    }
+}

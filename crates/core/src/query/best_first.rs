@@ -1,0 +1,639 @@
+//! The Best-First TkPLQ algorithm (§4.2, paper Algorithm 4): joins an
+//! R-tree `RQ` over the query S-locations with an in-memory
+//! COUNT-aggregate R-tree `RC` over the objects' possible-semantic-location
+//! MBRs, driven by a max-heap on flow upper bounds, so unpromising query
+//! locations and the objects only relevant to them are never evaluated.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use indoor_geom::Rect;
+use indoor_iupt::{Iupt, ObjectId, SampleSet};
+use indoor_model::{FloorId, IndoorSpace, SLocId};
+use indoor_rtree::{AggEntry, AggNode, AggTree};
+
+use crate::config::{FlowConfig, FlowError, PresenceEngine};
+use crate::dp::presence_dp;
+use crate::paths::{build_paths, full_product_mass, PathSet};
+use crate::presence::{path_pass_probability, presence_from_paths};
+use crate::query::{rank_topk, QueryOutcome, RankedLocation, SearchStats, TkPlQuery};
+use crate::reduction::scan_sequence;
+
+/// Per-object cached state shared across all exact flow computations
+/// ("the intermediate results of each called object should be shared",
+/// Algorithm 4 line 28 discussion).
+struct ObjectData {
+    sets: Vec<SampleSet>,
+    psls: Vec<SLocId>,
+    /// Valid possible paths, built lazily on the first exact computation
+    /// involving this object (enumeration engines only).
+    paths: Option<PathSet>,
+    /// Set when the hybrid engine's enumeration exceeded its budget for
+    /// this object — subsequent computations go straight to the DP.
+    enum_failed: bool,
+    full_mass: f64,
+}
+
+/// A reference into the `RC` aggregate tree: an internal/leaf node or a
+/// single leaf entry.
+#[derive(Clone, Copy)]
+enum RcRef<'a> {
+    Node(&'a AggNode<ObjectId>),
+    Entry(&'a AggEntry<ObjectId>),
+}
+
+impl<'a> RcRef<'a> {
+    fn mbr(&self) -> Rect {
+        match self {
+            RcRef::Node(n) => n.mbr,
+            RcRef::Entry(e) => e.mbr,
+        }
+    }
+
+    /// COUNT upper bound contributed by this reference (1 for a leaf
+    /// entry — Algorithm 4 line 38 adds 1 per intersecting entry).
+    fn count(&self) -> usize {
+        match self {
+            RcRef::Node(n) => n.count,
+            RcRef::Entry(_) => 1,
+        }
+    }
+
+    fn is_entry(&self) -> bool {
+        matches!(self, RcRef::Entry(_))
+    }
+}
+
+/// A reference into the `RQ` query tree.
+#[derive(Clone, Copy)]
+enum RqRef<'a> {
+    Node(&'a AggNode<SLocId>),
+    Entry(&'a AggEntry<SLocId>),
+}
+
+impl<'a> RqRef<'a> {
+    fn mbr(&self) -> Rect {
+        match self {
+            RqRef::Node(n) => n.mbr,
+            RqRef::Entry(e) => e.mbr,
+        }
+    }
+}
+
+/// Heap entry: a query-tree reference with its join list and flow bound
+/// (or exact flow once computed).
+struct HeapEntry<'a> {
+    /// Upper bound on the flow of any S-location under `rq` — or the exact
+    /// flow when `list` is `None`.
+    bound: f64,
+    /// Exact entries outrank bound entries of equal value (their true flow
+    /// is already known to dominate those bounds).
+    exact: bool,
+    /// Insertion sequence for deterministic tie-breaking.
+    seq: u64,
+    /// S-location id for exact leaf entries (`u32::MAX` otherwise):
+    /// among equal exact flows the smaller id pops first, matching the
+    /// rank ordering the other algorithms produce.
+    tie_id: u32,
+    rq: RqRef<'a>,
+    list: Option<Vec<RcRef<'a>>>,
+}
+
+impl PartialEq for HeapEntry<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp_key(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry<'_> {}
+
+impl HeapEntry<'_> {
+    fn cmp_key(&self, other: &Self) -> Ordering {
+        self.bound
+            .total_cmp(&other.bound)
+            .then(self.exact.cmp(&other.exact))
+            .then(other.tie_id.cmp(&self.tie_id))
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl Ord for HeapEntry<'_> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_key(other)
+    }
+}
+
+impl PartialOrd for HeapEntry<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Evaluates a TkPLQ with the best-first join.
+pub fn best_first(
+    space: &IndoorSpace,
+    iupt: &mut Iupt,
+    query: &TkPlQuery,
+    cfg: &FlowConfig,
+) -> Result<QueryOutcome, FlowError> {
+    // ---- Phase 1: data preparation (Algorithm 4 lines 1–10).
+    let sequences = iupt.sequences_in(query.interval);
+    let objects_total = sequences.len();
+
+    let mut objects: HashMap<ObjectId, ObjectData> = HashMap::new();
+    let mut rc_items: Vec<(Rect, ObjectId)> = Vec::new();
+    for seq in sequences {
+        let scanned = scan_sequence(
+            space,
+            seq.records.iter().map(|r| &r.samples),
+            cfg.use_reduction,
+        );
+        // Objects whose PSLs miss Q can never intersect a query MBR that
+        // matters; skipping them here realizes line 8's null check. (For
+        // the -ORG variant the PSLs are still scanned — the merge is what
+        // is disabled.)
+        if !query.query_set.intersects_sorted(&scanned.psls) {
+            continue;
+        }
+        // Finer-grained MBRs: one per PSL S-location ("we use a series of
+        // smaller, finer-grained MBRs to represent each psls").
+        for &psl in &scanned.psls {
+            rc_items.push((embedded_sloc_rect(space, psl), seq.oid));
+        }
+        let sets = if cfg.use_reduction {
+            scanned.sets
+        } else {
+            seq.records.iter().map(|r| r.samples.clone()).collect()
+        };
+        let full_mass = full_product_mass(&sets);
+        objects.insert(
+            seq.oid,
+            ObjectData {
+                sets,
+                psls: scanned.psls,
+                paths: None,
+                enum_failed: false,
+                full_mass,
+            },
+        );
+    }
+
+    let rc = AggTree::build(rc_items);
+    let rq = AggTree::build(
+        query
+            .query_set
+            .slocs()
+            .iter()
+            .map(|&s| (embedded_sloc_rect(space, s), s))
+            .collect(),
+    );
+
+    let mut computed: std::collections::HashSet<ObjectId> = std::collections::HashSet::new();
+    let mut dp_fallbacks: std::collections::HashSet<ObjectId> = std::collections::HashSet::new();
+    let mut result: Vec<RankedLocation> = Vec::new();
+
+    // ---- Phase 2: initial join of the two roots (lines 11–18).
+    let mut heap: BinaryHeap<HeapEntry<'_>> = BinaryHeap::new();
+    let mut seq_counter: u64 = 0;
+
+    if let (Some(rq_root), Some(rc_root)) = (rq.root(), rc.root()) {
+        let rc_root_refs = children_of(rc_root);
+        for rq_ref in children_of_rq(rq_root) {
+            let mut list = Vec::new();
+            let mut bound = 0usize;
+            for rc_ref in &rc_root_refs {
+                if rq_ref.mbr().intersects(&rc_ref.mbr()) {
+                    bound += rc_ref.count();
+                    list.push(*rc_ref);
+                }
+            }
+            if !list.is_empty() {
+                heap.push(HeapEntry {
+                    bound: bound as f64,
+                    exact: false,
+                    seq: next_seq(&mut seq_counter),
+                    tie_id: u32::MAX,
+                    rq: rq_ref,
+                    list: Some(list),
+                });
+            }
+        }
+    }
+
+    // ---- Phase 3: best-first join loop (lines 19–43).
+    'outer: while let Some(entry) = heap.pop() {
+        match entry.rq {
+            RqRef::Entry(eq) => {
+                match entry.list {
+                    None => {
+                        // Exact flow already computed and it dominates all
+                        // remaining bounds: final (lines 23–25).
+                        result.push(RankedLocation {
+                            sloc: eq.data,
+                            flow: entry.bound,
+                        });
+                        if result.len() == query.k {
+                            break 'outer;
+                        }
+                    }
+                    Some(list) if list.first().is_some_and(RcRef::is_entry) => {
+                        // Leaf entries: load the distinct objects and
+                        // compute the concrete flow (lines 27–29).
+                        let mut oids: Vec<ObjectId> =
+                            list.iter()
+                                .map(|r| match r {
+                                    RcRef::Entry(e) => e.data,
+                                    RcRef::Node(_) => unreachable!("mixed join list"),
+                                })
+                                .collect();
+                        oids.sort_unstable();
+                        oids.dedup();
+                        let flow = exact_flow(
+                            space,
+                            &mut objects,
+                            &oids,
+                            eq.data,
+                            cfg,
+                            &mut computed,
+                            &mut dp_fallbacks,
+                        )?;
+                        heap.push(HeapEntry {
+                            bound: flow,
+                            exact: true,
+                            seq: next_seq(&mut seq_counter),
+                            tie_id: eq.data.0,
+                            rq: entry.rq,
+                            list: None,
+                        });
+                    }
+                    Some(list) => {
+                        // Internal RC nodes: expand the RC side (line 31).
+                        expand_list(entry.rq, &list, &mut heap, &mut seq_counter);
+                    }
+                }
+            }
+            RqRef::Node(node) => {
+                let list = entry.list.expect("internal entries always carry a list");
+                if list.first().is_some_and(RcRef::is_entry) {
+                    // RC side already at leaf entries: descend the query
+                    // side (lines 33–40).
+                    for rq_child in children_of_rq(node) {
+                        let mut sub = Vec::new();
+                        let mut bound = 0usize;
+                        for rc_ref in &list {
+                            if rq_child.mbr().intersects(&rc_ref.mbr()) {
+                                bound += rc_ref.count();
+                                sub.push(*rc_ref);
+                            }
+                        }
+                        if !sub.is_empty() {
+                            heap.push(HeapEntry {
+                                bound: bound as f64,
+                                exact: false,
+                                seq: next_seq(&mut seq_counter),
+                                tie_id: u32::MAX,
+                                rq: rq_child,
+                                list: Some(sub),
+                            });
+                        }
+                    }
+                } else {
+                    // Descend the RC side for each query sub-entry
+                    // (lines 42–43).
+                    for rq_child in children_of_rq(node) {
+                        expand_list(rq_child, &list, &mut heap, &mut seq_counter);
+                    }
+                }
+            }
+        }
+    }
+
+    // Query locations never reached by any object have zero flow; pad so a
+    // top-k always returns k locations.
+    if result.len() < query.k {
+        let have: std::collections::HashSet<SLocId> =
+            result.iter().map(|r| r.sloc).collect();
+        let mut zeros: Vec<(SLocId, f64)> = query
+            .query_set
+            .slocs()
+            .iter()
+            .filter(|s| !have.contains(s))
+            .map(|&s| (s, 0.0))
+            .collect();
+        // Stable fill in id order.
+        zeros.sort_by_key(|&(s, _)| s);
+        for (s, f) in zeros {
+            if result.len() == query.k {
+                break;
+            }
+            result.push(RankedLocation { sloc: s, flow: f });
+        }
+    }
+
+    Ok(QueryOutcome {
+        ranking: rank_topk(
+            result.into_iter().map(|r| (r.sloc, r.flow)).collect(),
+            query.k,
+        ),
+        stats: SearchStats {
+            objects_total,
+            objects_computed: computed.len(),
+            dp_fallback_objects: dp_fallbacks.len(),
+        },
+    })
+}
+
+fn next_seq(counter: &mut u64) -> u64 {
+    *counter += 1;
+    *counter
+}
+
+/// The `ExpandList` function (lines 44–51): joins `rq` with the children
+/// of every RC node in `list`, upper-bounding with child counts.
+fn expand_list<'a>(
+    rq: RqRef<'a>,
+    list: &[RcRef<'a>],
+    heap: &mut BinaryHeap<HeapEntry<'a>>,
+    seq_counter: &mut u64,
+) {
+    let mut sub: Vec<RcRef<'a>> = Vec::new();
+    let mut bound = 0usize;
+    for rc_ref in list {
+        let RcRef::Node(node) = rc_ref else {
+            // Mixed lists cannot arise from a balanced STR build.
+            debug_assert!(false, "expand_list on leaf entry");
+            continue;
+        };
+        for child in children_of(node) {
+            if rq.mbr().intersects(&child.mbr()) {
+                bound += child.count();
+                sub.push(child);
+            }
+        }
+    }
+    if !sub.is_empty() {
+        heap.push(HeapEntry {
+            bound: bound as f64,
+            exact: false,
+            seq: next_seq(seq_counter),
+            tie_id: u32::MAX,
+            rq,
+            list: Some(sub),
+        });
+    }
+}
+
+/// Children of an RC node as join-list references.
+fn children_of(node: &AggNode<ObjectId>) -> Vec<RcRef<'_>> {
+    if node.is_leaf() {
+        node.entries().iter().map(RcRef::Entry).collect()
+    } else {
+        node.child_nodes().iter().map(RcRef::Node).collect()
+    }
+}
+
+/// Children of an RQ node as query references.
+fn children_of_rq(node: &AggNode<SLocId>) -> Vec<RqRef<'_>> {
+    if node.is_leaf() {
+        node.entries().iter().map(RqRef::Entry).collect()
+    } else {
+        node.child_nodes().iter().map(RqRef::Node).collect()
+    }
+}
+
+/// Computes the exact flow of `q` over the candidate objects, sharing each
+/// object's reduced sequence and (for the enumeration engine) its path set
+/// across query locations.
+#[allow(clippy::too_many_arguments)]
+fn exact_flow(
+    space: &IndoorSpace,
+    objects: &mut HashMap<ObjectId, ObjectData>,
+    oids: &[ObjectId],
+    q: SLocId,
+    cfg: &FlowConfig,
+    computed: &mut std::collections::HashSet<ObjectId>,
+    dp_fallbacks: &mut std::collections::HashSet<ObjectId>,
+) -> Result<f64, FlowError> {
+    let mut flow = 0.0;
+    for oid in oids {
+        let data = objects
+            .get_mut(oid)
+            .expect("RC entries reference retained objects");
+        // MBR intersection can be a false positive; the PSL list is exact,
+        // and q ∉ psls implies zero presence (no transition cell covers q).
+        if data.psls.binary_search(&q).is_err() {
+            continue;
+        }
+        computed.insert(*oid);
+        let phi = match cfg.engine {
+            PresenceEngine::PathEnumeration => {
+                if data.paths.is_none() {
+                    data.paths =
+                        Some(build_paths(space.matrix(), &data.sets, cfg.path_budget)?);
+                }
+                presence_from_paths(
+                    space,
+                    data.paths.as_ref().unwrap(),
+                    q,
+                    cfg.normalization,
+                    data.full_mass,
+                )
+            }
+            PresenceEngine::TransitionDp => {
+                presence_dp(space, &data.sets, q, cfg.normalization)
+            }
+            PresenceEngine::Hybrid => {
+                if data.paths.is_none() && !data.enum_failed {
+                    match build_paths(space.matrix(), &data.sets, cfg.path_budget) {
+                        Ok(paths) => data.paths = Some(paths),
+                        Err(FlowError::PathBudgetExceeded { .. }) => {
+                            data.enum_failed = true;
+                        }
+                    }
+                }
+                if let Some(paths) = &data.paths {
+                    presence_from_paths(space, paths, q, cfg.normalization, data.full_mass)
+                } else {
+                    dp_fallbacks.insert(*oid);
+                    presence_dp(space, &data.sets, q, cfg.normalization)
+                }
+            }
+        };
+        flow += phi;
+    }
+    Ok(flow)
+}
+
+/// An S-location's MBR embedded in a per-floor plane: floors are disjoint
+/// in reality but share plan coordinates, so each floor is translated along
+/// x by its own offset before indexing (the paper keeps floors apart by
+/// dedicating a child of the R-tree root to each floor; a coordinate
+/// embedding achieves the same separation without a custom root layout).
+fn embedded_sloc_rect(space: &IndoorSpace, sloc: SLocId) -> Rect {
+    let s = space.sloc(sloc);
+    embed_rect(space, s.floor, s.rect)
+}
+
+fn embed_rect(space: &IndoorSpace, floor: FloorId, rect: Rect) -> Rect {
+    // Offset by floor index times a stride larger than any floor's extent.
+    let stride = floor_stride(space);
+    let dx = f64::from(floor.0) * stride;
+    Rect::from_coords(
+        rect.min.x + dx,
+        rect.min.y,
+        rect.max.x + dx,
+        rect.max.y,
+    )
+}
+
+fn floor_stride(space: &IndoorSpace) -> f64 {
+    // Upper bound on plan extent across floors, plus slack.
+    let mut max_extent: f64 = 1.0;
+    for f in space.building().floors() {
+        if let Some(b) = space.building().floor_bounds(f) {
+            max_extent = max_extent.max(b.max.x.abs().max(b.width()));
+        }
+    }
+    max_extent * 2.0 + 100.0
+}
+
+/// The pass-probability helper re-exported for parity tests.
+#[allow(dead_code)]
+fn debug_pass(space: &IndoorSpace, locs: &[indoor_model::PLocId], q: SLocId) -> f64 {
+    path_pass_probability(space, locs, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{naive, nested_loop};
+    use crate::query_set::QuerySet;
+    use indoor_iupt::fixtures::paper_table2;
+    use indoor_iupt::{TimeInterval, Timestamp};
+    use indoor_model::fixtures::paper_figure1;
+
+    fn interval() -> TimeInterval {
+        TimeInterval::new(Timestamp::from_secs(1), Timestamp::from_secs(8))
+    }
+
+    #[test]
+    fn example4_top1_is_r6() {
+        let fig = paper_figure1();
+        let mut iupt = paper_table2();
+        let query = TkPlQuery::new(1, QuerySet::new(vec![fig.r[0], fig.r[5]]), interval());
+        let cfg = FlowConfig {
+            use_reduction: false,
+            ..FlowConfig::default()
+        }
+        .with_full_product_normalization();
+        let out = best_first(&fig.space, &mut iupt, &query, &cfg).unwrap();
+        assert_eq!(out.ranking[0].sloc, fig.r[5]);
+        assert!((out.ranking[0].flow - 1.97).abs() < 1e-9);
+    }
+
+    /// BF returns the same top-k as Naive and NL ("Naive, NL, BF return
+    /// the same top-k results for the same query", §5.1) across configs
+    /// and k values. Flow ties at the k-th position make multiple
+    /// k-subsets valid per Problem 1, so the comparison is tie-aware: the
+    /// per-rank flows must match, and every returned location's flow must
+    /// equal its exact (naive, full-ranking) flow.
+    #[test]
+    fn agrees_with_naive_and_nested_loop() {
+        let fig = paper_figure1();
+        for k in 1..=6 {
+            for use_reduction in [true, false] {
+                let cfg = FlowConfig {
+                    use_reduction,
+                    ..FlowConfig::default()
+                };
+                let query = TkPlQuery::new(k, QuerySet::new(fig.r.to_vec()), interval());
+                let full_query =
+                    TkPlQuery::new(6, QuerySet::new(fig.r.to_vec()), interval());
+                let mut i1 = paper_table2();
+                let bf = best_first(&fig.space, &mut i1, &query, &cfg).unwrap();
+                let mut i2 = paper_table2();
+                let nv = naive(&fig.space, &mut i2, &query, &cfg).unwrap();
+                let mut i3 = paper_table2();
+                let nl = nested_loop(&fig.space, &mut i3, &query, &cfg).unwrap();
+                let mut i4 = paper_table2();
+                let exact = naive(&fig.space, &mut i4, &full_query, &cfg).unwrap();
+
+                assert_eq!(nl.topk_slocs(), nv.topk_slocs(), "k={k} red={use_reduction}");
+                assert_eq!(bf.ranking.len(), k);
+                for (rank, (a, b)) in bf.ranking.iter().zip(nv.ranking.iter()).enumerate() {
+                    assert!(
+                        (a.flow - b.flow).abs() < 1e-9,
+                        "k={k} red={use_reduction} rank {rank}: {} vs {}",
+                        a.flow,
+                        b.flow
+                    );
+                }
+                for r in &bf.ranking {
+                    let want = exact
+                        .ranking
+                        .iter()
+                        .find(|e| e.sloc == r.sloc)
+                        .expect("full ranking covers Q")
+                        .flow;
+                    assert!(
+                        (r.flow - want).abs() < 1e-9,
+                        "k={k} red={use_reduction} {}: {} vs exact {want}",
+                        r.sloc,
+                        r.flow
+                    );
+                }
+            }
+        }
+    }
+
+    /// Small k terminates early and computes no more objects than NL.
+    #[test]
+    fn early_termination_prunes_objects() {
+        let fig = paper_figure1();
+        let query = TkPlQuery::new(1, QuerySet::new(fig.r.to_vec()), interval());
+        let cfg = FlowConfig::default();
+        let mut i1 = paper_table2();
+        let bf = best_first(&fig.space, &mut i1, &query, &cfg).unwrap();
+        let mut i2 = paper_table2();
+        let nl = nested_loop(&fig.space, &mut i2, &query, &cfg).unwrap();
+        assert!(bf.stats.objects_computed <= nl.stats.objects_computed);
+        assert_eq!(bf.ranking[0].sloc, nl.ranking[0].sloc);
+    }
+
+    /// Zero-flow padding: query locations untouched by any object still
+    /// fill the top-k when k exceeds the touched count.
+    #[test]
+    fn pads_with_zero_flow_locations() {
+        let fig = paper_figure1();
+        let mut iupt = paper_table2();
+        // r3 is visited only by o3's samples (p3 touches c3) — but r2 has
+        // flow too; use a k as large as Q.
+        let query = TkPlQuery::new(6, QuerySet::new(fig.r.to_vec()), interval());
+        let out = best_first(&fig.space, &mut iupt, &query, &FlowConfig::default()).unwrap();
+        assert_eq!(out.ranking.len(), 6);
+        let slocs = out.topk_slocs();
+        for r in fig.r {
+            assert!(slocs.contains(&r));
+        }
+    }
+
+    /// DP engine agreement.
+    #[test]
+    fn dp_engine_agrees() {
+        let fig = paper_figure1();
+        let query = TkPlQuery::new(3, QuerySet::new(fig.r.to_vec()), interval());
+        let mut i1 = paper_table2();
+        let en = best_first(&fig.space, &mut i1, &query, &FlowConfig::default()).unwrap();
+        let mut i2 = paper_table2();
+        let dp = best_first(
+            &fig.space,
+            &mut i2,
+            &query,
+            &FlowConfig::default().with_dp_engine(),
+        )
+        .unwrap();
+        assert_eq!(en.topk_slocs(), dp.topk_slocs());
+        for (a, b) in en.ranking.iter().zip(dp.ranking.iter()) {
+            assert!((a.flow - b.flow).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! The Nested-Loop TkPLQ algorithm (§4.1, paper Algorithm 3): one pass
+//! over the objects, sharing each object's reduced sequence and possible
+//! paths across all query locations instead of re-computing them per
+//! location as the naive algorithm does.
+
+use std::collections::HashMap;
+
+use indoor_iupt::{Iupt, SampleSet};
+use indoor_model::{IndoorSpace, SLocId};
+
+use crate::config::{FlowConfig, FlowError, Normalization, PresenceEngine};
+use crate::dp::presence_dp;
+use crate::paths::{build_paths_tracking, full_product_mass, TrackedPathSet};
+use crate::query::{rank_topk, QueryOutcome, SearchStats, TkPlQuery};
+use crate::reduction::scan_sequence;
+
+/// Evaluates a TkPLQ in the nested-loop join paradigm.
+pub fn nested_loop(
+    space: &IndoorSpace,
+    iupt: &mut Iupt,
+    query: &TkPlQuery,
+    cfg: &FlowConfig,
+) -> Result<QueryOutcome, FlowError> {
+    // Global scores `HQ : Q → score` (Algorithm 3 line 5).
+    let mut global: HashMap<SLocId, f64> = query
+        .query_set
+        .slocs()
+        .iter()
+        .map(|&s| (s, 0.0))
+        .collect();
+
+    let sequences = iupt.sequences_in(query.interval);
+    let objects_total = sequences.len();
+    let mut objects_computed = 0;
+    let mut dp_fallback_objects = 0;
+
+    for seq in sequences {
+        let scanned = scan_sequence(
+            space,
+            seq.records.iter().map(|r| &r.samples),
+            cfg.use_reduction,
+        );
+        // PSL pruning (line 8) applies only with data reduction on; the
+        // paper's NL-ORG variant reports a pruning ratio of 0.
+        if cfg.use_reduction && !query.query_set.intersects_sorted(&scanned.psls) {
+            continue;
+        }
+        objects_computed += 1;
+
+        let relevant = query.query_set.intersection_sorted(&scanned.psls);
+        if relevant.is_empty() {
+            // Only reachable for -ORG runs: the object cannot contribute,
+            // but it was still processed (its cost is the point of -ORG).
+            continue;
+        }
+
+        let fell_back =
+            accumulate_object(space, &scanned.sets, &relevant, query, cfg, &mut global)?;
+        dp_fallback_objects += usize::from(fell_back);
+    }
+
+    let scores: Vec<(SLocId, f64)> = global.into_iter().collect();
+    Ok(QueryOutcome {
+        ranking: rank_topk(scores, query.k),
+        stats: SearchStats {
+            objects_total,
+            objects_computed,
+            dp_fallback_objects,
+        },
+    })
+}
+
+/// Adds one object's local scores to the global table (Algorithm 3 lines
+/// 9–27): builds the object's valid paths once, recording per path the
+/// query locations it can pass, then aggregates per-location local scores.
+/// Returns whether the hybrid engine fell back to the DP for this object.
+fn accumulate_object(
+    space: &IndoorSpace,
+    sets: &[SampleSet],
+    relevant: &[SLocId],
+    query: &TkPlQuery,
+    cfg: &FlowConfig,
+    global: &mut HashMap<SLocId, f64>,
+) -> Result<bool, FlowError> {
+    match cfg.engine {
+        PresenceEngine::PathEnumeration => {
+            let tracked =
+                build_paths_tracking(space, &query.query_set, relevant, sets, cfg.path_budget)?;
+            accumulate_from_tracked(space, sets, relevant, cfg, &tracked, global);
+            Ok(false)
+        }
+        PresenceEngine::TransitionDp => {
+            accumulate_dp(space, sets, relevant, cfg, global);
+            Ok(false)
+        }
+        PresenceEngine::Hybrid => {
+            match build_paths_tracking(space, &query.query_set, relevant, sets, cfg.path_budget)
+            {
+                Ok(tracked) => {
+                    accumulate_from_tracked(space, sets, relevant, cfg, &tracked, global);
+                    Ok(false)
+                }
+                Err(FlowError::PathBudgetExceeded { .. }) => {
+                    accumulate_dp(space, sets, relevant, cfg, global);
+                    Ok(true)
+                }
+            }
+        }
+    }
+}
+
+fn accumulate_from_tracked(
+    space: &IndoorSpace,
+    sets: &[SampleSet],
+    relevant: &[SLocId],
+    cfg: &FlowConfig,
+    tracked: &TrackedPathSet,
+    global: &mut HashMap<SLocId, f64>,
+) {
+    // Local scores `Hls : Q → score` (line 20), dense over the object's
+    // relevant list.
+    let mut local = vec![0.0; relevant.len()];
+    let mut prsum = 0.0;
+    for tp in &tracked.tracked {
+        prsum += tp.path.prob;
+        for bit in tp.touched.iter() {
+            let q = relevant[bit];
+            let pass = tracked.set.pass_probability(space, tp.path, q);
+            if pass > 0.0 {
+                local[bit] += pass * tp.path.prob;
+            }
+        }
+    }
+    let denom = match cfg.normalization {
+        Normalization::FullProduct => full_product_mass(sets),
+        Normalization::ValidPaths => prsum,
+    };
+    if denom > 0.0 {
+        for (bit, &q) in relevant.iter().enumerate() {
+            if local[bit] > 0.0 {
+                *global.get_mut(&q).expect("relevant ⊆ Q") += local[bit] / denom;
+            }
+        }
+    }
+}
+
+fn accumulate_dp(
+    space: &IndoorSpace,
+    sets: &[SampleSet],
+    relevant: &[SLocId],
+    cfg: &FlowConfig,
+    global: &mut HashMap<SLocId, f64>,
+) {
+    for &q in relevant {
+        let phi = presence_dp(space, sets, q, cfg.normalization);
+        if phi > 0.0 {
+            *global.get_mut(&q).expect("relevant ⊆ Q") += phi;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::naive;
+    use crate::query_set::QuerySet;
+    use indoor_iupt::fixtures::paper_table2;
+    use indoor_iupt::{TimeInterval, Timestamp};
+    use indoor_model::fixtures::paper_figure1;
+
+    fn interval() -> TimeInterval {
+        TimeInterval::new(Timestamp::from_secs(1), Timestamp::from_secs(8))
+    }
+
+    #[test]
+    fn example4_top1_is_r6() {
+        let fig = paper_figure1();
+        let mut iupt = paper_table2();
+        let query = TkPlQuery::new(1, QuerySet::new(vec![fig.r[0], fig.r[5]]), interval());
+        let cfg = FlowConfig {
+            use_reduction: false,
+            ..FlowConfig::default()
+        }
+        .with_full_product_normalization();
+        let out = nested_loop(&fig.space, &mut iupt, &query, &cfg).unwrap();
+        assert_eq!(out.ranking[0].sloc, fig.r[5]);
+        assert!((out.ranking[0].flow - 1.97).abs() < 1e-9);
+    }
+
+    /// Nested-loop must return exactly the naive ranking and flows, with
+    /// every engine/normalization/reduction combination.
+    #[test]
+    fn agrees_with_naive_in_all_configs() {
+        let fig = paper_figure1();
+        let query = TkPlQuery::new(6, QuerySet::new(fig.r.to_vec()), interval());
+        for use_reduction in [true, false] {
+            for engine in [PresenceEngine::PathEnumeration, PresenceEngine::TransitionDp] {
+                for normalization in [Normalization::FullProduct, Normalization::ValidPaths] {
+                    let cfg = FlowConfig {
+                        use_reduction,
+                        engine,
+                        normalization,
+                        ..FlowConfig::default()
+                    };
+                    let mut iupt = paper_table2();
+                    let nl = nested_loop(&fig.space, &mut iupt, &query, &cfg).unwrap();
+                    let mut iupt = paper_table2();
+                    let nv = naive(&fig.space, &mut iupt, &query, &cfg).unwrap();
+                    assert_eq!(nl.topk_slocs(), nv.topk_slocs(), "cfg {cfg:?}");
+                    for (a, b) in nl.ranking.iter().zip(nv.ranking.iter()) {
+                        assert!(
+                            (a.flow - b.flow).abs() < 1e-9,
+                            "cfg {cfg:?}: {} vs {}",
+                            a.flow,
+                            b.flow
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// With reduction on, nested-loop prunes o3 for a query set not
+    /// touching its PSLs.
+    #[test]
+    fn psl_pruning_reflected_in_stats() {
+        let fig = paper_figure1();
+        let mut iupt = paper_table2();
+        // Q = {r1, r2, r5}: prunes o3 (PSLs {r3, r4, r6}).
+        let query = TkPlQuery::new(
+            3,
+            QuerySet::new(vec![fig.r[0], fig.r[1], fig.r[4]]),
+            interval(),
+        );
+        let out = nested_loop(&fig.space, &mut iupt, &query, &FlowConfig::default()).unwrap();
+        assert_eq!(out.stats.objects_total, 3);
+        assert_eq!(out.stats.objects_computed, 2);
+        assert!((out.stats.pruning_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    /// The -ORG variant processes every object.
+    #[test]
+    fn org_variant_processes_all_objects() {
+        let fig = paper_figure1();
+        let mut iupt = paper_table2();
+        let query = TkPlQuery::new(
+            3,
+            QuerySet::new(vec![fig.r[0], fig.r[1], fig.r[4]]),
+            interval(),
+        );
+        let cfg = FlowConfig::default().without_reduction();
+        let out = nested_loop(&fig.space, &mut iupt, &query, &cfg).unwrap();
+        assert_eq!(out.stats.objects_computed, 3);
+        assert_eq!(out.stats.pruning_ratio(), 0.0);
+    }
+}

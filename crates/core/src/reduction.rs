@@ -1,0 +1,287 @@
+//! The data reduction method of §3.2 (paper Algorithm 1 `ReduceData`):
+//! intra-merge, inter-merge, and possible-semantic-location (PSL)
+//! extraction with query-based pruning.
+
+use indoor_iupt::{Sample, SampleSet};
+use indoor_model::{IndoorSpace, SLocId};
+
+use crate::query_set::QuerySet;
+
+/// An object's positioning sequence after data reduction.
+#[derive(Debug, Clone)]
+pub struct ReducedSequence {
+    /// The (possibly merged) sample sets, in time order.
+    pub sets: Vec<SampleSet>,
+    /// The object's possible semantic locations: every S-location whose
+    /// parent cell is touched by any reported P-location. Sorted by id.
+    pub psls: Vec<SLocId>,
+}
+
+impl ReducedSequence {
+    /// Upper bound on the possible paths of the reduced sequence.
+    pub fn max_paths(&self) -> u128 {
+        self.sets
+            .iter()
+            .fold(1u128, |acc, s| acc.saturating_mul(s.len() as u128))
+    }
+}
+
+/// Scans a sequence, optionally merging, and extracts PSLs.
+///
+/// With `merge = true` this is the paper's `ReduceData` pipeline:
+/// 1. **intra-merge** each sample set — samples at equivalent P-locations
+///    (identical `cells(p)`, i.e. the same `GISL` edge) are folded into one
+///    sample at the smallest-id representative, probabilities summed;
+/// 2. **inter-merge** maximal runs of consecutive sets with identical
+///    P-location support into one set with per-location *mean*
+///    probabilities;
+/// 3. collect PSLs from the cells of every reported P-location
+///    (`psls' = ⋃ C2S(MIL[loc, *])`).
+///
+/// With `merge = false` only step 3 runs (used by the Best-First `-ORG`
+/// variant, which still needs PSL MBRs for its aggregate R-tree but
+/// processes the original sequence).
+pub fn scan_sequence<'a, I>(space: &IndoorSpace, sets: I, merge: bool) -> ReducedSequence
+where
+    I: IntoIterator<Item = &'a SampleSet>,
+{
+    let matrix = space.matrix();
+    let mut out: Vec<SampleSet> = Vec::new();
+    let mut run: Vec<SampleSet> = Vec::new();
+    let mut psls: Vec<SLocId> = Vec::new();
+
+    for set in sets {
+        // PSLs come from the raw support (equivalent after intra-merge,
+        // since equivalent P-locations share their cell sets).
+        for loc in set.plocs() {
+            for cell in matrix.cells_of(loc).iter() {
+                psls.extend_from_slice(space.slocs_in_cell(cell));
+            }
+        }
+
+        if !merge {
+            out.push(set.clone());
+            continue;
+        }
+
+        let merged = intra_merge(space, set);
+        match run.last() {
+            Some(tail) if tail.same_plocs(&merged) => run.push(merged),
+            Some(_) => {
+                out.push(inter_merge(&run));
+                run.clear();
+                run.push(merged);
+            }
+            None => run.push(merged),
+        }
+    }
+    if !run.is_empty() {
+        out.push(inter_merge(&run));
+    }
+
+    psls.sort_unstable();
+    psls.dedup();
+    ReducedSequence { sets: out, psls }
+}
+
+/// [`scan_sequence`] plus the Algorithm 1 line 13 pruning: returns `None`
+/// when the object's PSLs do not intersect the query set, so the object can
+/// be excluded from flow computing entirely.
+pub fn reduce_for_query<'a, I>(
+    space: &IndoorSpace,
+    sets: I,
+    query: &QuerySet,
+    merge: bool,
+) -> Option<ReducedSequence>
+where
+    I: IntoIterator<Item = &'a SampleSet>,
+{
+    let reduced = scan_sequence(space, sets, merge);
+    if query.intersects_sorted(&reduced.psls) {
+        Some(reduced)
+    } else {
+        None
+    }
+}
+
+/// The `IntraMerge` procedure: folds samples of equivalent P-locations
+/// (paper Algorithm 1 lines 14–21). The representative keeps the smallest
+/// subscript (footnote 5) and the merged probability is the sum.
+pub fn intra_merge(space: &IndoorSpace, set: &SampleSet) -> SampleSet {
+    let matrix = space.matrix();
+    let samples = set.samples();
+
+    // Fast path: no two samples share an equivalence class.
+    let mut needs_merge = false;
+    for (i, a) in samples.iter().enumerate() {
+        for b in &samples[i + 1..] {
+            if matrix.equivalent(a.loc, b.loc) {
+                needs_merge = true;
+                break;
+            }
+        }
+        if needs_merge {
+            break;
+        }
+    }
+    if !needs_merge {
+        return set.clone();
+    }
+
+    let mut merged: Vec<Sample> = Vec::with_capacity(samples.len());
+    for s in samples {
+        let rep = matrix.representative(s.loc);
+        match merged.iter_mut().find(|m| m.loc == rep) {
+            Some(m) => m.prob += s.prob,
+            None => merged.push(Sample::new(rep, s.prob)),
+        }
+    }
+    SampleSet::new(merged).expect("intra-merge preserves sample-set invariants")
+}
+
+/// The `InterMerge` procedure (paper Algorithm 1 lines 22–30): collapses a
+/// run of sample sets with identical P-location support into one set whose
+/// probabilities are the per-location means.
+pub fn inter_merge(run: &[SampleSet]) -> SampleSet {
+    assert!(!run.is_empty(), "inter-merge requires a non-empty run");
+    if run.len() == 1 {
+        return run[0].clone();
+    }
+    let n = run.len() as f64;
+    let front = &run[0];
+    debug_assert!(run.iter().all(|s| s.same_plocs(front)));
+    let samples: Vec<Sample> = front
+        .plocs()
+        .map(|loc| {
+            let mean = run.iter().map(|s| s.prob_of(loc)).sum::<f64>() / n;
+            Sample::new(loc, mean)
+        })
+        .collect();
+    SampleSet::new(samples).expect("inter-merge preserves sample-set invariants")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indoor_iupt::fixtures::{paper_table2, O2, O3};
+    use indoor_iupt::{TimeInterval, Timestamp};
+    use indoor_model::fixtures::paper_figure1;
+    use indoor_model::PLocId;
+
+    fn o2_sets() -> (indoor_model::IndoorSpace, Vec<SampleSet>) {
+        let fig = paper_figure1();
+        let mut iupt = paper_table2();
+        let iv = TimeInterval::new(Timestamp::from_secs(1), Timestamp::from_secs(8));
+        let sets: Vec<SampleSet> = iupt
+            .sequence_of(O2, iv)
+            .records
+            .iter()
+            .map(|r| r.samples.clone())
+            .collect();
+        (fig.space, sets)
+    }
+
+    /// Reproduces the paper's Figure 4 trace on object o2.
+    #[test]
+    fn figure4_intra_then_inter_merge() {
+        let (space, sets) = o2_sets();
+        assert_eq!(sets.len(), 4);
+
+        // Intra-merge X3 = {(p5,.3),(p6,.6),(p8,.1)} → {(p5,.3),(p6,.7)}.
+        let x3 = intra_merge(&space, &sets[2]);
+        assert_eq!(x3.len(), 2);
+        assert!((x3.prob_of(PLocId(4)) - 0.3).abs() < 1e-12); // p5
+        assert!((x3.prob_of(PLocId(5)) - 0.7).abs() < 1e-12); // p6 (+p8)
+
+        // Full scan: 4 sets → 3 sets; |P| bound 36 → 8 (the paper counts
+        // generated paths as 32 → 8; the Cartesian bound is 2·2·2 = 8).
+        let reduced = scan_sequence(&space, sets.iter(), true);
+        assert_eq!(reduced.sets.len(), 3);
+        assert_eq!(reduced.max_paths(), 8);
+
+        // The merged X̄3 has mean probabilities (p5: .25, p6: .75).
+        let merged = &reduced.sets[2];
+        assert!((merged.prob_of(PLocId(4)) - 0.25).abs() < 1e-12);
+        assert!((merged.prob_of(PLocId(5)) - 0.75).abs() < 1e-12);
+        assert!((merged.prob_sum() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn psls_of_o3_match_paper() {
+        // §3.2: o3's PSLs are r3, r4 and r6.
+        let fig = paper_figure1();
+        let mut iupt = paper_table2();
+        let iv = TimeInterval::new(Timestamp::from_secs(1), Timestamp::from_secs(8));
+        let sets: Vec<SampleSet> = iupt
+            .sequence_of(O3, iv)
+            .records
+            .iter()
+            .map(|r| r.samples.clone())
+            .collect();
+        let reduced = scan_sequence(&fig.space, sets.iter(), true);
+        let expected = {
+            let mut v = vec![fig.r[2], fig.r[3], fig.r[5]];
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(reduced.psls, expected);
+    }
+
+    #[test]
+    fn query_pruning_rules_out_irrelevant_object() {
+        // §3.2: "if a query location set is {r1, r2, r5} or one of its
+        // subsets, o3's sequence can be ruled out".
+        let fig = paper_figure1();
+        let mut iupt = paper_table2();
+        let iv = TimeInterval::new(Timestamp::from_secs(1), Timestamp::from_secs(8));
+        let sets: Vec<SampleSet> = iupt
+            .sequence_of(O3, iv)
+            .records
+            .iter()
+            .map(|r| r.samples.clone())
+            .collect();
+        let q_irrelevant = QuerySet::new(vec![fig.r[0], fig.r[1], fig.r[4]]);
+        assert!(reduce_for_query(&fig.space, sets.iter(), &q_irrelevant, true).is_none());
+        let q_relevant = QuerySet::new(vec![fig.r[5]]);
+        assert!(reduce_for_query(&fig.space, sets.iter(), &q_relevant, true).is_some());
+    }
+
+    #[test]
+    fn no_merge_keeps_sets_but_computes_psls() {
+        let (space, sets) = o2_sets();
+        let scanned = scan_sequence(&space, sets.iter(), false);
+        assert_eq!(scanned.sets.len(), 4);
+        assert_eq!(scanned.sets[2], sets[2]);
+        assert!(!scanned.psls.is_empty());
+    }
+
+    #[test]
+    fn inter_merge_single_set_is_identity() {
+        let (_, sets) = o2_sets();
+        assert_eq!(inter_merge(&sets[0..1]), sets[0]);
+    }
+
+    #[test]
+    fn intra_merge_without_equivalents_is_identity() {
+        let (space, sets) = o2_sets();
+        // X1 = {(p1,.5),(p2,.5)}: p1 and p2 are not equivalent.
+        assert_eq!(intra_merge(&space, &sets[0]), sets[0]);
+    }
+
+    #[test]
+    fn reduction_preserves_probability_mass() {
+        let (space, sets) = o2_sets();
+        let reduced = scan_sequence(&space, sets.iter(), true);
+        for s in &reduced.sets {
+            assert!((s.prob_sum() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn psls_identical_with_and_without_merge() {
+        let (space, sets) = o2_sets();
+        let with = scan_sequence(&space, sets.iter(), true);
+        let without = scan_sequence(&space, sets.iter(), false);
+        assert_eq!(with.psls, without.psls);
+    }
+}

@@ -1,0 +1,125 @@
+//! Experiment driver: regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments [EXP-ID ...] [--scale S] [--repeats N] [--seed S] [--tsv PATH]
+//! ```
+//!
+//! Experiment ids: table4 table5 fig7 fig8 fig9 fig10 fig11 fig12 fig13
+//! fig14 fig15 fig16 fig17 fig18 fig19 fig20 fig21 table7 ablation-dp
+//! ablation-norm, or `all` / `real` / `synthetic`.
+
+use std::time::Instant;
+
+use popflow_eval::experiments::{ablation, real, synthetic, ExpOpts};
+use popflow_eval::report::{render_table, render_tsv, Row};
+
+const REAL_EXPS: &[&str] = &[
+    "table4", "table5", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+];
+const SYNTH_EXPS: &[&str] = &[
+    "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "table7",
+];
+const ABLATIONS: &[&str] = &["ablation-dp", "ablation-norm"];
+
+fn run_exp(id: &str, opts: &ExpOpts) -> Option<Vec<Row>> {
+    let rows = match id {
+        "table4" => real::table4(opts),
+        "table5" => real::table5(opts),
+        "fig7" => real::fig7(opts),
+        "fig8" => real::fig8(opts),
+        "fig9" => real::fig9(opts),
+        "fig10" => real::fig10(opts),
+        "fig11" => real::fig11(opts),
+        "fig12" => real::fig12(opts),
+        "fig13" => real::fig13(opts),
+        "fig14" => synthetic::fig14(opts),
+        "fig15" => synthetic::fig15(opts),
+        "fig16" => synthetic::fig16(opts),
+        "fig17" => synthetic::fig17(opts),
+        "fig18" => synthetic::fig18(opts),
+        "fig19" => synthetic::fig19(opts),
+        "fig20" => synthetic::fig20(opts),
+        "fig21" => synthetic::fig21(opts),
+        "table7" => synthetic::table7(opts),
+        "ablation-dp" => ablation::ablation_dp(opts),
+        "ablation-norm" => ablation::ablation_norm(opts),
+        _ => return None,
+    };
+    Some(rows)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut opts = ExpOpts::default();
+    let mut ids: Vec<String> = Vec::new();
+    let mut tsv_path: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                opts.scale = args[i].parse().expect("--scale takes a float");
+            }
+            "--repeats" => {
+                i += 1;
+                opts.repeats = args[i].parse().expect("--repeats takes an integer");
+            }
+            "--seed" => {
+                i += 1;
+                opts.seed = args[i].parse().expect("--seed takes an integer");
+            }
+            "--mc-rounds" => {
+                i += 1;
+                let r: usize = args[i].parse().expect("--mc-rounds takes an integer");
+                opts.mc_rounds_real = r;
+                opts.mc_rounds_synthetic = r;
+            }
+            "--tsv" => {
+                i += 1;
+                tsv_path = Some(args[i].clone());
+            }
+            "all" => {
+                ids.extend(REAL_EXPS.iter().map(|s| s.to_string()));
+                ids.extend(SYNTH_EXPS.iter().map(|s| s.to_string()));
+                ids.extend(ABLATIONS.iter().map(|s| s.to_string()));
+            }
+            "real" => ids.extend(REAL_EXPS.iter().map(|s| s.to_string())),
+            "synthetic" => ids.extend(SYNTH_EXPS.iter().map(|s| s.to_string())),
+            "ablations" => ids.extend(ABLATIONS.iter().map(|s| s.to_string())),
+            other => ids.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if ids.is_empty() {
+        eprintln!(
+            "usage: experiments [EXP-ID|all|real|synthetic|ablations ...] \
+             [--scale S] [--repeats N] [--seed S] [--mc-rounds N] [--tsv PATH]"
+        );
+        eprintln!("experiment ids: {REAL_EXPS:?} {SYNTH_EXPS:?} {ABLATIONS:?}");
+        std::process::exit(2);
+    }
+
+    println!(
+        "# popflow experiments — scale {}, repeats {}, seed {}",
+        opts.scale, opts.repeats, opts.seed
+    );
+    let mut all_rows: Vec<Row> = Vec::new();
+    for id in &ids {
+        let start = Instant::now();
+        match run_exp(id, &opts) {
+            Some(rows) => {
+                println!("\n== {id} ({:.1}s) ==", start.elapsed().as_secs_f64());
+                println!("{}", render_table(&rows));
+                all_rows.extend(rows);
+            }
+            None => eprintln!("unknown experiment id: {id}"),
+        }
+    }
+    if let Some(path) = tsv_path {
+        std::fs::write(&path, render_tsv(&all_rows)).expect("failed to write TSV");
+        println!("\nwrote {} rows to {path}", all_rows.len());
+    }
+}

@@ -1,0 +1,263 @@
+//! Experiments on the real-data analog (§5.2): Table 4, Table 5, and
+//! Figures 7–13. Default parameters follow the paper's Table 3:
+//! k = 3, |Q| = 60 %, mss = 4, Δt = 30 min (defaults in bold there).
+
+use popflow_core::TkPlQuery;
+
+use crate::experiments::{run_point, seed_for, ExpOpts};
+use crate::lab::Lab;
+use crate::method::Method;
+use crate::report::Row;
+
+const DEFAULT_K: usize = 3;
+const DEFAULT_Q_FRACTION: f64 = 0.6;
+const DEFAULT_DT_MIN: i64 = 30;
+
+fn default_queries(lab: &Lab, opts: &ExpOpts, exp_tag: u64, point: u64) -> Vec<TkPlQuery> {
+    queries(lab, opts, exp_tag, point, DEFAULT_K, DEFAULT_Q_FRACTION, DEFAULT_DT_MIN)
+}
+
+fn queries(
+    lab: &Lab,
+    opts: &ExpOpts,
+    exp_tag: u64,
+    point: u64,
+    k: usize,
+    q_fraction: f64,
+    dt_min: i64,
+) -> Vec<TkPlQuery> {
+    (0..opts.repeats)
+        .map(|r| {
+            let seed = seed_for(opts, exp_tag, point, r as u64);
+            TkPlQuery::new(
+                k,
+                lab.query_fraction(q_fraction, seed),
+                lab.random_window(dt_min, seed ^ 0x5151),
+            )
+        })
+        .collect()
+}
+
+/// Table 4: all methods in the default setting — running time, pruning
+/// ratio, Kendall τ, recall.
+pub fn table4(opts: &ExpOpts) -> Vec<Row> {
+    let mut lab = Lab::real_analog();
+    let qs = default_queries(&lab, opts, 4, 0);
+    run_point(
+        &mut lab,
+        "table4",
+        "default",
+        &[
+            Method::Sc,
+            Method::ScRho(0.25),
+            Method::Mc(opts.mc_rounds_real),
+            Method::Bf,
+            Method::Nl,
+            Method::Naive,
+            Method::BfOrg,
+            Method::NlOrg,
+            Method::NaiveOrg,
+        ],
+        &qs,
+    )
+}
+
+/// Table 5: running time vs mss ∈ {1, 2, 3, 4} for BF, SC, SC-ρ, MC.
+pub fn table5(opts: &ExpOpts) -> Vec<Row> {
+    mss_sweep(opts, "table5")
+}
+
+/// Figure 7: effectiveness (τ, recall) vs mss — same runs as Table 5, the
+/// harness reports both metric families on every row.
+pub fn fig7(opts: &ExpOpts) -> Vec<Row> {
+    mss_sweep(opts, "fig7")
+}
+
+fn mss_sweep(opts: &ExpOpts, exp: &str) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (pi, mss) in [1usize, 2, 3, 4].into_iter().enumerate() {
+        let mut lab = Lab::real_analog();
+        lab.cap_mss(mss);
+        let qs = default_queries(&lab, opts, 5, pi as u64);
+        rows.extend(run_point(
+            &mut lab,
+            exp,
+            &format!("mss={mss}"),
+            &[
+                Method::Bf,
+                Method::Sc,
+                Method::ScRho(0.25),
+                Method::Mc(opts.mc_rounds_real),
+            ],
+            &qs,
+        ));
+    }
+    rows
+}
+
+/// Figure 8: efficiency (time, pruning ratio) vs k ∈ 1..=8 for NL and BF,
+/// with |Q| fixed to 8 locations and Δt = 30 min.
+pub fn fig8(opts: &ExpOpts) -> Vec<Row> {
+    let mut lab = Lab::real_analog();
+    let total = lab.all_slocs().len();
+    let q_fraction = (8.0 / total as f64).min(1.0);
+    let mut rows = Vec::new();
+    for k in 1..=8usize {
+        let qs = queries(&lab, opts, 8, k as u64, k, q_fraction, DEFAULT_DT_MIN);
+        rows.extend(run_point(
+            &mut lab,
+            "fig8",
+            &format!("k={k}"),
+            &[Method::Nl, Method::Bf],
+            &qs,
+        ));
+    }
+    rows
+}
+
+/// Figure 9: efficiency vs |Q| ∈ {20, 40, 60, 80, 100}% with k = 3.
+pub fn fig9(opts: &ExpOpts) -> Vec<Row> {
+    let mut lab = Lab::real_analog();
+    let mut rows = Vec::new();
+    for (pi, pct) in [20u32, 40, 60, 80, 100].into_iter().enumerate() {
+        let qs = queries(
+            &lab,
+            opts,
+            9,
+            pi as u64,
+            DEFAULT_K,
+            pct as f64 / 100.0,
+            DEFAULT_DT_MIN,
+        );
+        rows.extend(run_point(
+            &mut lab,
+            "fig9",
+            &format!("|Q|={pct}%"),
+            &[Method::Nl, Method::Bf],
+            &qs,
+        ));
+    }
+    rows
+}
+
+/// Figure 10: efficiency vs Δt ∈ {30, 60, 90} minutes with k = 3,
+/// |Q| = 8 locations.
+pub fn fig10(opts: &ExpOpts) -> Vec<Row> {
+    let mut lab = Lab::real_analog();
+    let total = lab.all_slocs().len();
+    let q_fraction = (8.0 / total as f64).min(1.0);
+    let mut rows = Vec::new();
+    for (pi, dt) in [30i64, 60, 90].into_iter().enumerate() {
+        let qs = queries(&lab, opts, 10, pi as u64, DEFAULT_K, q_fraction, dt);
+        rows.extend(run_point(
+            &mut lab,
+            "fig10",
+            &format!("dt={dt}min"),
+            &[Method::Nl, Method::Bf],
+            &qs,
+        ));
+    }
+    rows
+}
+
+/// Figure 11: effectiveness vs k for BF, SC, SC-ρ, MC.
+pub fn fig11(opts: &ExpOpts) -> Vec<Row> {
+    let mut lab = Lab::real_analog();
+    let mut rows = Vec::new();
+    for k in 1..=8usize {
+        let qs = queries(&lab, opts, 11, k as u64, k, DEFAULT_Q_FRACTION, DEFAULT_DT_MIN);
+        rows.extend(run_point(
+            &mut lab,
+            "fig11",
+            &format!("k={k}"),
+            &effectiveness_methods(opts),
+            &qs,
+        ));
+    }
+    rows
+}
+
+/// Figure 12: effectiveness vs |Q|.
+pub fn fig12(opts: &ExpOpts) -> Vec<Row> {
+    let mut lab = Lab::real_analog();
+    let mut rows = Vec::new();
+    for (pi, pct) in [20u32, 40, 60, 80, 100].into_iter().enumerate() {
+        let qs = queries(
+            &lab,
+            opts,
+            12,
+            pi as u64,
+            DEFAULT_K,
+            pct as f64 / 100.0,
+            DEFAULT_DT_MIN,
+        );
+        rows.extend(run_point(
+            &mut lab,
+            "fig12",
+            &format!("|Q|={pct}%"),
+            &effectiveness_methods(opts),
+            &qs,
+        ));
+    }
+    rows
+}
+
+/// Figure 13: effectiveness vs Δt.
+pub fn fig13(opts: &ExpOpts) -> Vec<Row> {
+    let mut lab = Lab::real_analog();
+    let mut rows = Vec::new();
+    for (pi, dt) in [30i64, 60, 90].into_iter().enumerate() {
+        let qs = queries(&lab, opts, 13, pi as u64, DEFAULT_K, DEFAULT_Q_FRACTION, dt);
+        rows.extend(run_point(
+            &mut lab,
+            "fig13",
+            &format!("dt={dt}min"),
+            &effectiveness_methods(opts),
+            &qs,
+        ));
+    }
+    rows
+}
+
+fn effectiveness_methods(opts: &ExpOpts) -> Vec<Method> {
+    vec![
+        Method::Bf,
+        Method::Sc,
+        Method::ScRho(0.25),
+        Method::Mc(opts.mc_rounds_real),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_opts() -> ExpOpts {
+        ExpOpts {
+            repeats: 1,
+            mc_rounds_real: 10,
+            ..ExpOpts::default()
+        }
+    }
+
+    #[test]
+    fn table4_produces_all_method_rows() {
+        let rows = table4(&fast_opts());
+        assert_eq!(rows.len(), 9);
+        let names: Vec<&str> = rows.iter().map(|r| r.method.as_str()).collect();
+        assert!(names.contains(&"BF"));
+        assert!(names.contains(&"Naive-ORG"));
+        for r in &rows {
+            assert!(r.time_secs.unwrap() >= 0.0);
+            assert!((-1.0..=1.0).contains(&r.tau.unwrap()));
+        }
+    }
+
+    #[test]
+    fn fig8_sweeps_k() {
+        let rows = fig8(&fast_opts());
+        assert_eq!(rows.len(), 8 * 2);
+        assert!(rows.iter().any(|r| r.x == "k=1"));
+        assert!(rows.iter().any(|r| r.x == "k=8"));
+    }
+}

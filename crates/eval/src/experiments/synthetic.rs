@@ -1,0 +1,277 @@
+//! Experiments on the synthetic building (§5.3): Figures 14–21 and
+//! Table 7. Default parameters follow the paper's Table 6: k = 10,
+//! |Q| = 8 %, |O| = 5K, T = 3 s, μ = 5 m, Δt = 30 min — all scaled by
+//! `ExpOpts::scale` in object count / duration.
+
+use indoor_sim::Scenario;
+use popflow_core::TkPlQuery;
+
+use crate::experiments::{run_point, seed_for, ExpOpts};
+use crate::lab::Lab;
+use crate::method::Method;
+use crate::report::Row;
+
+const DEFAULT_K: usize = 10;
+const DEFAULT_Q_FRACTION: f64 = 0.08;
+const DEFAULT_DT_MIN: i64 = 30;
+
+fn queries(
+    lab: &Lab,
+    opts: &ExpOpts,
+    exp_tag: u64,
+    point: u64,
+    k: usize,
+    q_fraction: f64,
+    dt_min: i64,
+) -> Vec<TkPlQuery> {
+    (0..opts.repeats)
+        .map(|r| {
+            let seed = seed_for(opts, exp_tag, point, r as u64);
+            TkPlQuery::new(
+                k,
+                lab.query_fraction(q_fraction, seed),
+                lab.random_window(dt_min, seed ^ 0xbeef),
+            )
+        })
+        .collect()
+}
+
+fn exact_and_counting_methods(opts: &ExpOpts) -> Vec<Method> {
+    vec![
+        Method::Nl,
+        Method::Bf,
+        Method::Sc,
+        Method::ScRho(0.2),
+        Method::Mc(opts.mc_rounds_synthetic),
+    ]
+}
+
+fn effectiveness_methods(opts: &ExpOpts) -> Vec<Method> {
+    vec![
+        Method::Bf,
+        Method::Sc,
+        Method::ScRho(0.2),
+        Method::Mc(opts.mc_rounds_synthetic),
+    ]
+}
+
+/// Figure 14: running time vs the maximum positioning period
+/// T ∈ {1, 3, 5, 7} s and vs the positioning error μ ∈ {3, 5, 7} m.
+pub fn fig14(opts: &ExpOpts) -> Vec<Row> {
+    let mut lab = Lab::synthetic(opts.scale);
+    let mut rows = Vec::new();
+    for (pi, t) in [1.0f64, 3.0, 5.0, 7.0].into_iter().enumerate() {
+        lab.reposition(t, 5.0);
+        let qs = queries(&lab, opts, 14, pi as u64, DEFAULT_K, DEFAULT_Q_FRACTION, DEFAULT_DT_MIN);
+        rows.extend(run_point(
+            &mut lab,
+            "fig14",
+            &format!("T={t}s"),
+            &exact_and_counting_methods(opts),
+            &qs,
+        ));
+    }
+    for (pi, mu) in [3.0f64, 5.0, 7.0].into_iter().enumerate() {
+        lab.reposition(3.0, mu);
+        let qs = queries(
+            &lab,
+            opts,
+            14,
+            (pi + 10) as u64,
+            DEFAULT_K,
+            DEFAULT_Q_FRACTION,
+            DEFAULT_DT_MIN,
+        );
+        rows.extend(run_point(
+            &mut lab,
+            "fig14",
+            &format!("mu={mu}m"),
+            &exact_and_counting_methods(opts),
+            &qs,
+        ));
+    }
+    rows
+}
+
+/// Figure 15: effectiveness vs T.
+pub fn fig15(opts: &ExpOpts) -> Vec<Row> {
+    let mut lab = Lab::synthetic(opts.scale);
+    let mut rows = Vec::new();
+    for (pi, t) in [1.0f64, 3.0, 5.0, 7.0].into_iter().enumerate() {
+        lab.reposition(t, 5.0);
+        let qs = queries(&lab, opts, 15, pi as u64, DEFAULT_K, DEFAULT_Q_FRACTION, DEFAULT_DT_MIN);
+        rows.extend(run_point(
+            &mut lab,
+            "fig15",
+            &format!("T={t}s"),
+            &effectiveness_methods(opts),
+            &qs,
+        ));
+    }
+    rows
+}
+
+/// Figure 16: effectiveness vs μ.
+pub fn fig16(opts: &ExpOpts) -> Vec<Row> {
+    let mut lab = Lab::synthetic(opts.scale);
+    let mut rows = Vec::new();
+    for (pi, mu) in [3.0f64, 5.0, 7.0].into_iter().enumerate() {
+        lab.reposition(3.0, mu);
+        let qs = queries(&lab, opts, 16, pi as u64, DEFAULT_K, DEFAULT_Q_FRACTION, DEFAULT_DT_MIN);
+        rows.extend(run_point(
+            &mut lab,
+            "fig16",
+            &format!("mu={mu}m"),
+            &effectiveness_methods(opts),
+            &qs,
+        ));
+    }
+    rows
+}
+
+/// Figure 17: running time vs |O| ∈ {2.5K, 5K, 7.5K, 10K} (scaled).
+pub fn fig17(opts: &ExpOpts) -> Vec<Row> {
+    object_sweep(opts, "fig17", &|opts| exact_and_counting_methods(opts))
+}
+
+/// Figure 20: effectiveness vs |O| (same sweep, effectiveness focus).
+pub fn fig20(opts: &ExpOpts) -> Vec<Row> {
+    object_sweep(opts, "fig20", &|opts| effectiveness_methods(opts))
+}
+
+fn object_sweep(
+    opts: &ExpOpts,
+    exp: &str,
+    methods: &dyn Fn(&ExpOpts) -> Vec<Method>,
+) -> Vec<Row> {
+    let mut rows = Vec::new();
+    for (pi, base) in [2500usize, 5000, 7500, 10000].into_iter().enumerate() {
+        let mut scenario = Scenario::synthetic_scaled(opts.scale);
+        scenario.mobility.num_objects = ((base as f64 * opts.scale) as usize).max(10);
+        let mut lab = Lab::new(scenario);
+        let qs = queries(&lab, opts, 17, pi as u64, DEFAULT_K, DEFAULT_Q_FRACTION, DEFAULT_DT_MIN);
+        let label = format!("|O|={base}x{}", opts.scale);
+        rows.extend(run_point(&mut lab, exp, &label, &methods(opts), &qs));
+    }
+    rows
+}
+
+/// Figure 18: effectiveness vs k ∈ {5, 10, 15, 20}.
+pub fn fig18(opts: &ExpOpts) -> Vec<Row> {
+    let mut lab = Lab::synthetic(opts.scale);
+    let mut rows = Vec::new();
+    for (pi, k) in [5usize, 10, 15, 20].into_iter().enumerate() {
+        let qs = queries(&lab, opts, 18, pi as u64, k, DEFAULT_Q_FRACTION, DEFAULT_DT_MIN);
+        rows.extend(run_point(
+            &mut lab,
+            "fig18",
+            &format!("k={k}"),
+            &effectiveness_methods(opts),
+            &qs,
+        ));
+    }
+    rows
+}
+
+/// Figure 19: effectiveness vs |Q| ∈ {4, 8, 12}%.
+pub fn fig19(opts: &ExpOpts) -> Vec<Row> {
+    let mut lab = Lab::synthetic(opts.scale);
+    let mut rows = Vec::new();
+    for (pi, pct) in [4u32, 8, 12].into_iter().enumerate() {
+        let qs = queries(
+            &lab,
+            opts,
+            19,
+            pi as u64,
+            DEFAULT_K,
+            pct as f64 / 100.0,
+            DEFAULT_DT_MIN,
+        );
+        rows.extend(run_point(
+            &mut lab,
+            "fig19",
+            &format!("|Q|={pct}%"),
+            &effectiveness_methods(opts),
+            &qs,
+        ));
+    }
+    rows
+}
+
+/// Figure 21: effectiveness vs Δt ∈ {15, 30, 60, 120} minutes.
+pub fn fig21(opts: &ExpOpts) -> Vec<Row> {
+    let mut lab = Lab::synthetic(opts.scale);
+    let mut rows = Vec::new();
+    for (pi, dt) in [15i64, 30, 60, 120].into_iter().enumerate() {
+        let qs = queries(&lab, opts, 21, pi as u64, DEFAULT_K, DEFAULT_Q_FRACTION, dt);
+        rows.extend(run_point(
+            &mut lab,
+            "fig21",
+            &format!("dt={dt}min"),
+            &effectiveness_methods(opts),
+            &qs,
+        ));
+    }
+    rows
+}
+
+/// Table 7: Kendall τ of SCC, UR, and BF over k ∈ {5, 10, 15, 20} ×
+/// |Q| ∈ {4, 8, 12}% on RFID tracking data derived from the same
+/// trajectories.
+pub fn table7(opts: &ExpOpts) -> Vec<Row> {
+    let mut lab = Lab::synthetic(opts.scale);
+    lab.ensure_rfid();
+    let mut rows = Vec::new();
+    for (qi, pct) in [4u32, 8, 12].into_iter().enumerate() {
+        for (ki, k) in [5usize, 10, 15, 20].into_iter().enumerate() {
+            let qs = queries(
+                &lab,
+                opts,
+                7,
+                (qi * 4 + ki) as u64,
+                k,
+                pct as f64 / 100.0,
+                DEFAULT_DT_MIN,
+            );
+            rows.extend(run_point(
+                &mut lab,
+                "table7",
+                &format!("|Q|={pct}%,k={k}"),
+                &[Method::Scc, Method::Ur, Method::Bf],
+                &qs,
+            ));
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn micro_opts() -> ExpOpts {
+        ExpOpts {
+            scale: 0.004, // 20 objects, 10 minutes
+            repeats: 1,
+            mc_rounds_synthetic: 5,
+            ..ExpOpts::default()
+        }
+    }
+
+    #[test]
+    fn fig19_runs_at_micro_scale() {
+        let rows = fig19(&micro_opts());
+        assert_eq!(rows.len(), 3 * 4);
+        for r in &rows {
+            assert!((-1.0..=1.0).contains(&r.tau.unwrap()));
+        }
+    }
+
+    #[test]
+    fn table7_runs_at_micro_scale() {
+        let rows = table7(&micro_opts());
+        assert_eq!(rows.len(), 3 * 4 * 3);
+        assert!(rows.iter().any(|r| r.method == "SCC"));
+        assert!(rows.iter().any(|r| r.method == "UR"));
+    }
+}

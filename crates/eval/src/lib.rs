@@ -1,0 +1,25 @@
+//! `popflow-eval` — evaluation harness for the TKDE'19 reproduction:
+//! effectiveness metrics (§5.1), a uniform timed runner over every method,
+//! and experiment functions regenerating each table and figure of the
+//! paper's evaluation (DESIGN.md §4 maps experiment ids to paper
+//! artifacts).
+//!
+//! Run the whole suite or one experiment with the bundled binary:
+//!
+//! ```text
+//! cargo run -p popflow-eval --release --bin experiments -- all --scale 0.05
+//! cargo run -p popflow-eval --release --bin experiments -- fig8 table7
+//! ```
+
+pub mod experiments;
+pub mod lab;
+pub mod method;
+pub mod metrics;
+pub mod report;
+pub mod svg;
+
+pub use experiments::ExpOpts;
+pub use lab::{Lab, ScoredRun};
+pub use method::{run_method, Method, MethodInput, MethodRun};
+pub use metrics::{kendall_tau, recall};
+pub use report::{render_table, render_tsv, Row};

@@ -1,0 +1,171 @@
+//! Effectiveness metrics (§5.1): recall and the Kendall coefficient with
+//! the paper's ranking-extension rule for result/ground-truth sets that do
+//! not coincide.
+
+use std::collections::HashMap;
+
+use indoor_model::SLocId;
+
+/// Recall: the fraction of the ground-truth top-k that appears in the
+/// returned top-k.
+pub fn recall(result: &[SLocId], truth: &[SLocId]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    // Count distinct hits so malformed inputs with duplicates cannot
+    // inflate the score past 1.
+    let mut seen: Vec<SLocId> = Vec::with_capacity(result.len());
+    let mut hits = 0usize;
+    for s in result {
+        if truth.contains(s) && !seen.contains(s) {
+            seen.push(*s);
+            hits += 1;
+        }
+    }
+    hits as f64 / truth.len() as f64
+}
+
+/// The Kendall coefficient τ between the result ranking and the
+/// ground-truth ranking, with the paper's extension rule: both rankings
+/// are extended to their union, and "the elements we add into either
+/// ranking have the same ordering value" — i.e. all additions tie at rank
+/// `len + 1`. A pair is concordant when its relative order (including
+/// ties) agrees in both rankings and discordant otherwise;
+/// `τ = (cp − dp) / (0.5·K·(K−1))` over the `K` union elements.
+///
+/// Identical rankings give 1; one ranking reversing the other gives −1.
+pub fn kendall_tau(result: &[SLocId], truth: &[SLocId]) -> f64 {
+    let union: Vec<SLocId> = {
+        let mut u = result.to_vec();
+        for s in truth {
+            if !u.contains(s) {
+                u.push(*s);
+            }
+        }
+        u
+    };
+    let k = union.len();
+    if k < 2 {
+        return 1.0;
+    }
+
+    let rank_map = |ranking: &[SLocId]| -> HashMap<SLocId, usize> {
+        let mut m: HashMap<SLocId, usize> = ranking
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (s, i + 1))
+            .collect();
+        let tie_rank = ranking.len() + 1;
+        for &s in &union {
+            m.entry(s).or_insert(tie_rank);
+        }
+        m
+    };
+    let rr = rank_map(result);
+    let rg = rank_map(truth);
+
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..k {
+        for j in (i + 1)..k {
+            let (a, b) = (union[i], union[j]);
+            let sr = rr[&a].cmp(&rr[&b]);
+            let sg = rg[&a].cmp(&rg[&b]);
+            if sr == sg {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    (concordant - discordant) as f64 / (0.5 * (k * (k - 1)) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn s(ids: &[u32]) -> Vec<SLocId> {
+        ids.iter().map(|&i| SLocId(i)).collect()
+    }
+
+    #[test]
+    fn identical_rankings_are_one() {
+        assert_eq!(kendall_tau(&s(&[1, 2, 3]), &s(&[1, 2, 3])), 1.0);
+        assert_eq!(recall(&s(&[1, 2, 3]), &s(&[1, 2, 3])), 1.0);
+    }
+
+    #[test]
+    fn reversed_ranking_is_minus_one() {
+        assert_eq!(kendall_tau(&s(&[3, 2, 1]), &s(&[1, 2, 3])), -1.0);
+    }
+
+    #[test]
+    fn paper_extension_example() {
+        // §5.1: ϕr = ⟨A,B,C⟩, ϕg = ⟨B,D,E⟩ (A=1, B=2, C=3, D=4, E=5).
+        // Extended: ϕr = ⟨A,B,C,D,E⟩ (D,E tied 4th), ϕg = ⟨B,D,E,A,C⟩
+        // (A,C tied 4th). 3 concordant, 7 discordant → τ = −0.4.
+        let tau = kendall_tau(&s(&[1, 2, 3]), &s(&[2, 4, 5]));
+        assert!((tau - (-0.4)).abs() < 1e-12, "τ = {tau}");
+    }
+
+    #[test]
+    fn partial_overlap_recall() {
+        assert_eq!(recall(&s(&[1, 2, 3]), &s(&[2, 4, 5])), 1.0 / 3.0);
+        assert_eq!(recall(&s(&[]), &s(&[1])), 0.0);
+        assert_eq!(recall(&s(&[1]), &s(&[])), 1.0);
+    }
+
+    #[test]
+    fn single_element_tau_is_one() {
+        assert_eq!(kendall_tau(&s(&[1]), &s(&[1])), 1.0);
+    }
+
+    #[test]
+    fn swap_costs_one_pair() {
+        // ⟨1,3,2⟩ vs ⟨1,2,3⟩: one discordant pair of three → τ = 1/3.
+        let tau = kendall_tau(&s(&[1, 3, 2]), &s(&[1, 2, 3]));
+        assert!((tau - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn tau_is_bounded(
+            a in proptest::collection::vec(0u32..12, 1..8),
+            b in proptest::collection::vec(0u32..12, 1..8),
+        ) {
+            let mut av = a.clone();
+            av.dedup();
+            let mut aa: Vec<u32> = Vec::new();
+            for x in av { if !aa.contains(&x) { aa.push(x); } }
+            let mut bb: Vec<u32> = Vec::new();
+            for x in b { if !bb.contains(&x) { bb.push(x); } }
+            if bb.is_empty() { bb.push(0); }
+            let tau = kendall_tau(&s(&aa), &s(&bb));
+            prop_assert!((-1.0..=1.0).contains(&tau));
+        }
+
+        #[test]
+        fn tau_is_symmetric(
+            a in proptest::collection::vec(0u32..10, 1..6),
+            b in proptest::collection::vec(0u32..10, 1..6),
+        ) {
+            // τ(x, y) == τ(y, x) because concordance is symmetric.
+            let mut x: Vec<u32> = Vec::new();
+            for v in a { if !x.contains(&v) { x.push(v); } }
+            let mut y: Vec<u32> = Vec::new();
+            for v in b { if !y.contains(&v) { y.push(v); } }
+            prop_assert!((kendall_tau(&s(&x), &s(&y)) - kendall_tau(&s(&y), &s(&x))).abs() < 1e-12);
+        }
+
+        #[test]
+        fn recall_bounded(
+            a in proptest::collection::vec(0u32..10, 0..6),
+            b in proptest::collection::vec(0u32..10, 1..6),
+        ) {
+            let r = recall(&s(&a), &s(&b));
+            prop_assert!((0.0..=1.0).contains(&r));
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! SVG rendering of floor plans and flow heatmaps — an inspection aid for
+//! the examples and for debugging generated buildings (the paper presents
+//! its floor plans as figures; this module produces the equivalent for any
+//! generated world).
+
+use indoor_model::{FloorId, IndoorSpace, PLocKind, PartitionKind, SLocId};
+
+/// Rendering options.
+#[derive(Debug, Clone)]
+pub struct SvgOptions {
+    /// Pixels per meter.
+    pub scale: f64,
+    /// Draw P-locations as dots.
+    pub draw_plocs: bool,
+    /// Label partitions with their names.
+    pub draw_labels: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions {
+            scale: 10.0,
+            draw_plocs: true,
+            draw_labels: true,
+        }
+    }
+}
+
+/// Renders one floor. `flows`, when given, maps S-location ids to values
+/// (e.g. indoor flows or ground-truth counts); partitions are shaded by
+/// their S-location's value relative to the maximum.
+pub fn render_floor(
+    space: &IndoorSpace,
+    floor: FloorId,
+    flows: Option<&[f64]>,
+    opts: &SvgOptions,
+) -> String {
+    let building = space.building();
+    let Some(bounds) = building.floor_bounds(floor) else {
+        return String::from("<svg xmlns=\"http://www.w3.org/2000/svg\"/>");
+    };
+    let bounds = bounds.inset(2.0);
+    let s = opts.scale;
+    let w = bounds.width() * s;
+    let h = bounds.height() * s;
+    let tx = |x: f64| (x - bounds.min.x) * s;
+    // SVG y grows downward; plan y grows upward.
+    let ty = |y: f64| (bounds.max.y - y) * s;
+
+    let max_flow = flows
+        .map(|f| f.iter().copied().fold(0.0f64, f64::max))
+        .unwrap_or(0.0);
+
+    let mut out = String::with_capacity(16 * 1024);
+    out.push_str(&format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w:.0}\" height=\"{h:.0}\" \
+         viewBox=\"0 0 {w:.1} {h:.1}\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n"
+    ));
+
+    // Partitions, shaded by flow.
+    for part in building.partitions().iter().filter(|p| p.floor == floor) {
+        let fill = match flows {
+            Some(f) if max_flow > 0.0 => {
+                let value = flow_of_partition(space, part.id, f);
+                heat_color(value / max_flow)
+            }
+            _ => match part.kind {
+                PartitionKind::Room => "#f2f2f2".to_string(),
+                PartitionKind::Hallway => "#e8eef7".to_string(),
+                PartitionKind::Staircase => "#efe3f5".to_string(),
+            },
+        };
+        out.push_str(&format!(
+            "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" \
+             fill=\"{}\" stroke=\"#333\" stroke-width=\"1\"/>\n",
+            tx(part.rect.min.x),
+            ty(part.rect.max.y),
+            part.rect.width() * s,
+            part.rect.height() * s,
+            fill
+        ));
+        if opts.draw_labels {
+            let c = part.rect.center();
+            out.push_str(&format!(
+                "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"{:.0}\" text-anchor=\"middle\" \
+                 fill=\"#222\">{}</text>\n",
+                tx(c.x),
+                ty(c.y),
+                (s * 0.9).max(8.0),
+                xml_escape(&part.name)
+            ));
+        }
+    }
+
+    // Doors as gaps (short thick lines across the wall).
+    for door in building.doors() {
+        let pa = building.partition(door.a);
+        let pb = building.partition(door.b);
+        if pa.floor != floor && pb.floor != floor {
+            continue;
+        }
+        out.push_str(&format!(
+            "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"{:.1}\" fill=\"#a0522d\"/>\n",
+            tx(door.pos.x),
+            ty(door.pos.y),
+            s * 0.35
+        ));
+    }
+
+    // P-locations.
+    if opts.draw_plocs {
+        for p in space.plocs().iter().filter(|p| p.floor == floor) {
+            let (r, color) = match p.kind {
+                PLocKind::Partitioning { .. } => (s * 0.25, "#1f4fd6"),
+                PLocKind::Presence { .. } => (s * 0.18, "#2e8b57"),
+            };
+            out.push_str(&format!(
+                "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"{:.1}\" fill=\"{}\" \
+                 fill-opacity=\"0.8\"/>\n",
+                tx(p.pos.x),
+                ty(p.pos.y),
+                r,
+                color
+            ));
+        }
+    }
+
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Value of a partition under a per-S-location value vector: the maximum
+/// over the S-locations containing it (0 when none is valued).
+fn flow_of_partition(space: &IndoorSpace, part: indoor_model::PartitionId, flows: &[f64]) -> f64 {
+    space
+        .slocs_of_partition(part)
+        .iter()
+        .map(|s: &SLocId| flows.get(s.index()).copied().unwrap_or(0.0))
+        .fold(0.0, f64::max)
+}
+
+/// White → yellow → red heat ramp over `t ∈ [0, 1]`.
+fn heat_color(t: f64) -> String {
+    let t = t.clamp(0.0, 1.0);
+    // Piecewise: white (255,255,255) → yellow (255,224,80) → red (214,45,32).
+    let (r, g, b) = if t < 0.5 {
+        let u = t / 0.5;
+        (255.0, 255.0 - 31.0 * u, 255.0 - 175.0 * u)
+    } else {
+        let u = (t - 0.5) / 0.5;
+        (255.0 - 41.0 * u, 224.0 - 179.0 * u, 80.0 - 48.0 * u)
+    };
+    format!("rgb({},{},{})", r as u8, g as u8, b as u8)
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indoor_model::fixtures::paper_figure1;
+
+    #[test]
+    fn renders_figure1_floor() {
+        let fig = paper_figure1();
+        let svg = render_floor(&fig.space, FloorId(0), None, &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        // 6 partitions + background = at least 7 rects.
+        assert!(svg.matches("<rect").count() >= 7);
+        // Doors and P-locations appear.
+        assert!(svg.matches("<circle").count() >= 9);
+        assert!(svg.contains(">r6<"));
+    }
+
+    #[test]
+    fn heatmap_shades_by_flow() {
+        let fig = paper_figure1();
+        let mut flows = vec![0.0; fig.space.slocs().len()];
+        flows[fig.r[5].index()] = 2.0; // r6 hot
+        let svg = render_floor(
+            &fig.space,
+            FloorId(0),
+            Some(&flows),
+            &SvgOptions::default(),
+        );
+        // The hottest partition is pure red-ish; cold ones near white.
+        assert!(svg.contains("rgb(214,45,32)"));
+        assert!(svg.contains("rgb(255,255,255)"));
+    }
+
+    #[test]
+    fn missing_floor_renders_empty_svg() {
+        let fig = paper_figure1();
+        let svg = render_floor(&fig.space, FloorId(9), None, &SvgOptions::default());
+        assert!(svg.contains("<svg"));
+        assert!(!svg.contains("<rect x="));
+    }
+
+    #[test]
+    fn heat_ramp_endpoints() {
+        assert_eq!(heat_color(0.0), "rgb(255,255,255)");
+        assert_eq!(heat_color(1.0), "rgb(214,45,32)");
+        assert_eq!(heat_color(-1.0), "rgb(255,255,255)");
+        assert_eq!(heat_color(2.0), "rgb(214,45,32)");
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        assert_eq!(xml_escape("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+    }
+}

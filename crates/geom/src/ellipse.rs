@@ -1,0 +1,220 @@
+use crate::{Point, Rect};
+
+/// An ellipse defined by its two foci and the major-axis length `2a`.
+///
+/// This is the uncertainty-region shape of the UR comparator (Lu et al.,
+/// EDBT 2016) reproduced for the paper's Table 7: between two consecutive
+/// RFID detections at readers `f1` and `f2` separated by `Δt` seconds, the
+/// object must lie inside the ellipse whose foci are the reader positions
+/// and whose major axis is `Vmax · Δt`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ellipse {
+    pub f1: Point,
+    pub f2: Point,
+    /// Full major-axis length (`2a`), i.e. the maximum total distance
+    /// `d(p, f1) + d(p, f2)` of points inside the ellipse.
+    pub major: f64,
+}
+
+impl Ellipse {
+    /// Creates an ellipse; `major` is clamped up to the focal distance so
+    /// the ellipse is never empty (a degenerate ellipse collapses to the
+    /// focal segment).
+    pub fn new(f1: Point, f2: Point, major: f64) -> Self {
+        let focal = f1.distance(f2);
+        Ellipse {
+            f1,
+            f2,
+            major: major.max(focal),
+        }
+    }
+
+    /// A circle of radius `r` centered at `c` (both foci coincide).
+    pub fn circle(c: Point, r: f64) -> Self {
+        Ellipse {
+            f1: c,
+            f2: c,
+            major: 2.0 * r,
+        }
+    }
+
+    /// Semi-major axis `a`.
+    #[inline]
+    pub fn semi_major(&self) -> f64 {
+        self.major / 2.0
+    }
+
+    /// Semi-minor axis `b = sqrt(a² − c²)` where `2c` is the focal distance.
+    pub fn semi_minor(&self) -> f64 {
+        let a = self.semi_major();
+        let c = self.f1.distance(self.f2) / 2.0;
+        (a * a - c * c).max(0.0).sqrt()
+    }
+
+    /// Ellipse area `πab`.
+    pub fn area(&self) -> f64 {
+        std::f64::consts::PI * self.semi_major() * self.semi_minor()
+    }
+
+    /// Whether `p` lies inside or on the ellipse
+    /// (`d(p,f1) + d(p,f2) <= 2a`).
+    #[inline]
+    pub fn contains(&self, p: Point) -> bool {
+        self.f1.distance(p) + self.f2.distance(p) <= self.major + 1e-12
+    }
+
+    /// Axis-aligned bounding rectangle.
+    ///
+    /// Computed for the rotated ellipse via the closed form: for center
+    /// `(cx, cy)`, axes `a, b`, and rotation `θ`, the half-extents are
+    /// `sqrt(a²cos²θ + b²sin²θ)` and `sqrt(a²sin²θ + b²cos²θ)`.
+    pub fn bounds(&self) -> Rect {
+        let center = self.f1.midpoint(self.f2);
+        let a = self.semi_major();
+        let b = self.semi_minor();
+        let theta = (self.f2.y - self.f1.y).atan2(self.f2.x - self.f1.x);
+        let (sin, cos) = theta.sin_cos();
+        let hx = ((a * cos).powi(2) + (b * sin).powi(2)).sqrt();
+        let hy = ((a * sin).powi(2) + (b * cos).powi(2)).sqrt();
+        Rect::from_coords(center.x - hx, center.y - hy, center.x + hx, center.y + hy)
+    }
+
+    /// Fraction of the ellipse's area that falls inside `rect`, estimated on
+    /// a `grid × grid` lattice of the ellipse's bounding box.
+    ///
+    /// The UR comparator only needs coarse overlap fractions to apportion
+    /// flow among S-locations, so a deterministic lattice estimate (no RNG,
+    /// reproducible) is sufficient; error is O(1/grid).
+    pub fn overlap_fraction(&self, rect: &Rect, grid: usize) -> f64 {
+        debug_assert!(grid >= 2);
+        let bb = self.bounds();
+        if !bb.intersects(rect) {
+            return 0.0;
+        }
+        let mut inside_ellipse = 0usize;
+        let mut inside_both = 0usize;
+        let nx = grid.max(2);
+        for i in 0..nx {
+            // Cell-center sampling avoids the degenerate all-boundary case.
+            let tx = (i as f64 + 0.5) / nx as f64;
+            let x = bb.min.x + tx * bb.width();
+            for j in 0..nx {
+                let ty = (j as f64 + 0.5) / nx as f64;
+                let y = bb.min.y + ty * bb.height();
+                let p = Point::new(x, y);
+                if self.contains(p) {
+                    inside_ellipse += 1;
+                    if rect.contains_point(p) {
+                        inside_both += 1;
+                    }
+                }
+            }
+        }
+        if inside_ellipse == 0 {
+            // Fully degenerate ellipse (focal segment); fall back to
+            // endpoint containment.
+            let hits = [self.f1, self.f2]
+                .iter()
+                .filter(|p| rect.contains_point(**p))
+                .count();
+            return hits as f64 / 2.0;
+        }
+        inside_both as f64 / inside_ellipse as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn circle_basics() {
+        let c = Ellipse::circle(Point::new(0.0, 0.0), 2.0);
+        assert_eq!(c.semi_major(), 2.0);
+        assert_eq!(c.semi_minor(), 2.0);
+        assert!((c.area() - std::f64::consts::PI * 4.0).abs() < 1e-12);
+        assert!(c.contains(Point::new(1.9, 0.0)));
+        assert!(!c.contains(Point::new(2.1, 0.0)));
+    }
+
+    #[test]
+    fn major_clamped_to_focal_distance() {
+        let e = Ellipse::new(Point::new(0.0, 0.0), Point::new(4.0, 0.0), 1.0);
+        assert_eq!(e.major, 4.0);
+        assert_eq!(e.semi_minor(), 0.0);
+        assert_eq!(e.area(), 0.0);
+    }
+
+    #[test]
+    fn axis_aligned_bounds() {
+        let e = Ellipse::new(Point::new(-3.0, 0.0), Point::new(3.0, 0.0), 10.0);
+        let b = e.bounds();
+        assert!((b.width() - 10.0).abs() < 1e-9); // 2a = 10
+        assert!((b.height() - 8.0).abs() < 1e-9); // 2b = 2·sqrt(25−9) = 8
+    }
+
+    #[test]
+    fn rotated_bounds_contain_foci() {
+        let e = Ellipse::new(Point::new(0.0, 0.0), Point::new(3.0, 4.0), 8.0);
+        let b = e.bounds();
+        assert!(b.contains_point(e.f1));
+        assert!(b.contains_point(e.f2));
+    }
+
+    #[test]
+    fn overlap_fraction_full_and_none() {
+        let e = Ellipse::circle(Point::new(5.0, 5.0), 1.0);
+        let covering = Rect::from_coords(0.0, 0.0, 10.0, 10.0);
+        let disjoint = Rect::from_coords(20.0, 20.0, 30.0, 30.0);
+        assert!((e.overlap_fraction(&covering, 40) - 1.0).abs() < 1e-9);
+        assert_eq!(e.overlap_fraction(&disjoint, 40), 0.0);
+    }
+
+    #[test]
+    fn overlap_fraction_half_plane() {
+        let e = Ellipse::circle(Point::new(0.0, 0.0), 2.0);
+        let right_half = Rect::from_coords(0.0, -10.0, 10.0, 10.0);
+        let f = e.overlap_fraction(&right_half, 80);
+        assert!((f - 0.5).abs() < 0.05, "got {f}");
+    }
+
+    #[test]
+    fn degenerate_ellipse_overlap_follows_focal_segment() {
+        // A fully collapsed ellipse is the segment between the foci; the
+        // lattice estimate should approximate the covered segment fraction.
+        let e = Ellipse::new(Point::new(0.0, 0.0), Point::new(4.0, 0.0), 0.0);
+        let around_first_quarter = Rect::from_coords(-1.0, -1.0, 1.0, 1.0);
+        let f = e.overlap_fraction(&around_first_quarter, 40);
+        assert!((f - 0.25).abs() < 0.05, "got {f}");
+    }
+
+    proptest! {
+        #[test]
+        fn contains_implies_in_bounds(
+            fx in -10.0..10.0f64, fy in -10.0..10.0f64,
+            gx in -10.0..10.0f64, gy in -10.0..10.0f64,
+            extra in 0.1..10.0f64,
+            px in -40.0..40.0f64, py in -40.0..40.0f64,
+        ) {
+            let f1 = Point::new(fx, fy);
+            let f2 = Point::new(gx, gy);
+            let e = Ellipse::new(f1, f2, f1.distance(f2) + extra);
+            let p = Point::new(px, py);
+            if e.contains(p) {
+                prop_assert!(e.bounds().inset(1e-6).contains_rect(&Rect::point(p)) || e.bounds().contains_point(p));
+            }
+        }
+
+        #[test]
+        fn overlap_fraction_in_unit_interval(
+            cx in -10.0..10.0f64, cy in -10.0..10.0f64, r in 0.1..5.0f64,
+            rx in -10.0..10.0f64, ry in -10.0..10.0f64, w in 0.0..10.0f64, h in 0.0..10.0f64,
+        ) {
+            let e = Ellipse::circle(Point::new(cx, cy), r);
+            let rect = Rect::from_coords(rx, ry, rx + w, ry + h);
+            let f = e.overlap_fraction(&rect, 20);
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+    }
+}

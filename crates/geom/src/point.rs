@@ -1,0 +1,117 @@
+use crate::lerp;
+
+/// A point in the floor-plan plane, in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    pub x: f64,
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point at `(x, y)`.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(&self, other: Point) -> f64 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other`; cheaper than [`Point::distance`]
+    /// when only comparisons are needed (e.g. nearest-neighbor scans in the
+    /// positioning simulator).
+    #[inline]
+    pub fn distance_sq(&self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Point on the segment from `self` to `other` at fraction `t` in `[0, 1]`.
+    #[inline]
+    pub fn lerp(&self, other: Point, t: f64) -> Point {
+        Point::new(lerp(self.x, other.x, t), lerp(self.y, other.y, t))
+    }
+
+    /// Midpoint between `self` and `other`.
+    #[inline]
+    pub fn midpoint(&self, other: Point) -> Point {
+        self.lerp(other, 0.5)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:.2}, {:.2})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(b), 5.0);
+        assert_eq!(a.distance_sq(b), 25.0);
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let a = Point::new(1.0, 1.0);
+        let b = Point::new(3.0, 5.0);
+        assert_eq!(a.midpoint(b), Point::new(2.0, 3.0));
+    }
+
+    #[test]
+    fn from_tuple() {
+        let p: Point = (1.5, -2.0).into();
+        assert_eq!(p, Point::new(1.5, -2.0));
+    }
+
+    fn coord() -> impl Strategy<Value = f64> {
+        -1e4..1e4
+    }
+
+    proptest! {
+        #[test]
+        fn distance_symmetric(ax in coord(), ay in coord(), bx in coord(), by in coord()) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            prop_assert!((a.distance(b) - b.distance(a)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn distance_triangle_inequality(
+            ax in coord(), ay in coord(),
+            bx in coord(), by in coord(),
+            cx in coord(), cy in coord(),
+        ) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let c = Point::new(cx, cy);
+            prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-6);
+        }
+
+        #[test]
+        fn lerp_stays_on_segment(ax in coord(), ay in coord(), bx in coord(), by in coord(), t in 0.0..1.0f64) {
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let p = a.lerp(b, t);
+            let total = a.distance(b);
+            prop_assert!(a.distance(p) + p.distance(b) <= total + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,267 @@
+use crate::Point;
+
+/// An axis-aligned rectangle (also used as a minimum bounding rectangle).
+///
+/// Invariant: `min.x <= max.x && min.y <= max.y`. Degenerate rectangles
+/// (zero width and/or height) are allowed — a point MBR is a valid `Rect`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    pub min: Point,
+    pub max: Point,
+}
+
+impl Rect {
+    /// Creates a rectangle from two corner points, normalizing the corner
+    /// order so the invariant holds.
+    pub fn new(a: Point, b: Point) -> Self {
+        Rect {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// Creates a rectangle from `(min_x, min_y, max_x, max_y)`.
+    pub fn from_coords(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        Rect::new(Point::new(min_x, min_y), Point::new(max_x, max_y))
+    }
+
+    /// The degenerate rectangle covering a single point.
+    pub fn point(p: Point) -> Self {
+        Rect { min: p, max: p }
+    }
+
+    /// Width along the x axis.
+    #[inline]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height along the y axis.
+    #[inline]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area; zero for degenerate rectangles.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Half-perimeter, the classic R-tree "margin" tie-breaker.
+    #[inline]
+    pub fn margin(&self) -> f64 {
+        self.width() + self.height()
+    }
+
+    /// Geometric center.
+    #[inline]
+    pub fn center(&self) -> Point {
+        self.min.midpoint(self.max)
+    }
+
+    /// Whether `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains_point(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Whether `p` lies strictly inside (boundary excluded).
+    #[inline]
+    pub fn contains_point_strict(&self, p: Point) -> bool {
+        p.x > self.min.x && p.x < self.max.x && p.y > self.min.y && p.y < self.max.y
+    }
+
+    /// Whether `other` is fully contained (boundary-inclusive).
+    #[inline]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        self.min.x <= other.min.x
+            && self.min.y <= other.min.y
+            && self.max.x >= other.max.x
+            && self.max.y >= other.max.y
+    }
+
+    /// Whether the two rectangles overlap (boundary contact counts).
+    #[inline]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+    }
+
+    /// Intersection rectangle, or `None` when disjoint.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        Some(Rect {
+            min: Point::new(self.min.x.max(other.min.x), self.min.y.max(other.min.y)),
+            max: Point::new(self.max.x.min(other.max.x), self.max.y.min(other.max.y)),
+        })
+    }
+
+    /// Smallest rectangle covering both operands.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min: Point::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Point::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+
+    /// Grows the rectangle in place to cover `other`.
+    pub fn expand(&mut self, other: &Rect) {
+        *self = self.union(other);
+    }
+
+    /// How much [`Rect::area`] would grow if this rectangle were expanded to
+    /// cover `other`; the R-tree insertion heuristic minimizes this.
+    pub fn enlargement(&self, other: &Rect) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// Smallest rectangle covering every rectangle produced by `iter`;
+    /// `None` for an empty iterator.
+    pub fn union_all<I: IntoIterator<Item = Rect>>(iter: I) -> Option<Rect> {
+        let mut it = iter.into_iter();
+        let first = it.next()?;
+        Some(it.fold(first, |acc, r| acc.union(&r)))
+    }
+
+    /// Shrinks (negative `d`) or grows (positive `d`) every side by `d`,
+    /// clamping so the result stays a valid rectangle.
+    pub fn inset(&self, d: f64) -> Rect {
+        let cx = self.center();
+        let hw = (self.width() / 2.0 + d).max(0.0);
+        let hh = (self.height() / 2.0 + d).max(0.0);
+        Rect::from_coords(cx.x - hw, cx.y - hh, cx.x + hw, cx.y + hh)
+    }
+
+    /// Minimum distance from `p` to the rectangle (0 when inside).
+    pub fn distance_to_point(&self, p: Point) -> f64 {
+        let dx = (self.min.x - p.x).max(0.0).max(p.x - self.max.x);
+        let dy = (self.min.y - p.y).max(0.0).max(p.y - self.max.y);
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+impl std::fmt::Display for Rect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "[{:.2},{:.2} – {:.2},{:.2}]",
+            self.min.x, self.min.y, self.max.x, self.max.y
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn r(a: f64, b: f64, c: f64, d: f64) -> Rect {
+        Rect::from_coords(a, b, c, d)
+    }
+
+    #[test]
+    fn normalizes_corners() {
+        let rect = Rect::new(Point::new(3.0, 4.0), Point::new(1.0, 2.0));
+        assert_eq!(rect, r(1.0, 2.0, 3.0, 4.0));
+    }
+
+    #[test]
+    fn area_and_margin() {
+        let rect = r(0.0, 0.0, 4.0, 3.0);
+        assert_eq!(rect.area(), 12.0);
+        assert_eq!(rect.margin(), 7.0);
+        assert_eq!(rect.center(), Point::new(2.0, 1.5));
+    }
+
+    #[test]
+    fn containment_boundaries() {
+        let rect = r(0.0, 0.0, 2.0, 2.0);
+        assert!(rect.contains_point(Point::new(0.0, 0.0)));
+        assert!(rect.contains_point(Point::new(2.0, 2.0)));
+        assert!(!rect.contains_point_strict(Point::new(0.0, 0.0)));
+        assert!(rect.contains_point_strict(Point::new(1.0, 1.0)));
+        assert!(!rect.contains_point(Point::new(2.0 + 1e-6, 1.0)));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        let b = r(1.0, 1.0, 3.0, 3.0);
+        let c = r(5.0, 5.0, 6.0, 6.0);
+        assert_eq!(a.intersection(&b), Some(r(1.0, 1.0, 2.0, 2.0)));
+        assert_eq!(a.intersection(&c), None);
+        // Boundary contact intersects with zero-area intersection.
+        let d = r(2.0, 0.0, 4.0, 2.0);
+        let touch = a.intersection(&d).unwrap();
+        assert_eq!(touch.area(), 0.0);
+    }
+
+    #[test]
+    fn union_all_of_empty_is_none() {
+        assert_eq!(Rect::union_all(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn distance_to_point_inside_is_zero() {
+        let rect = r(0.0, 0.0, 2.0, 2.0);
+        assert_eq!(rect.distance_to_point(Point::new(1.0, 1.0)), 0.0);
+        assert_eq!(rect.distance_to_point(Point::new(5.0, 1.0)), 3.0);
+        assert!((rect.distance_to_point(Point::new(5.0, 6.0)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inset_shrinks_and_clamps() {
+        let rect = r(0.0, 0.0, 10.0, 4.0);
+        assert_eq!(rect.inset(-1.0), r(1.0, 1.0, 9.0, 3.0));
+        let collapsed = rect.inset(-10.0);
+        assert_eq!(collapsed.width(), 0.0);
+        assert_eq!(collapsed.height(), 0.0);
+    }
+
+    fn arb_rect() -> impl Strategy<Value = Rect> {
+        (-100.0..100.0f64, -100.0..100.0f64, 0.0..50.0f64, 0.0..50.0f64)
+            .prop_map(|(x, y, w, h)| Rect::from_coords(x, y, x + w, y + h))
+    }
+
+    proptest! {
+        #[test]
+        fn union_contains_both(a in arb_rect(), b in arb_rect()) {
+            let u = a.union(&b);
+            prop_assert!(u.contains_rect(&a));
+            prop_assert!(u.contains_rect(&b));
+        }
+
+        #[test]
+        fn union_is_commutative(a in arb_rect(), b in arb_rect()) {
+            prop_assert_eq!(a.union(&b), b.union(&a));
+        }
+
+        #[test]
+        fn intersection_contained_in_both(a in arb_rect(), b in arb_rect()) {
+            if let Some(i) = a.intersection(&b) {
+                prop_assert!(a.contains_rect(&i));
+                prop_assert!(b.contains_rect(&i));
+                prop_assert!(a.intersects(&b));
+            } else {
+                prop_assert!(!a.intersects(&b));
+            }
+        }
+
+        #[test]
+        fn enlargement_nonnegative(a in arb_rect(), b in arb_rect()) {
+            prop_assert!(a.enlargement(&b) >= -1e-9);
+        }
+
+        #[test]
+        fn contains_rect_implies_intersects(a in arb_rect(), b in arb_rect()) {
+            if a.contains_rect(&b) {
+                prop_assert!(a.intersects(&b));
+            }
+        }
+    }
+}

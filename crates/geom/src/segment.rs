@@ -1,0 +1,88 @@
+use crate::{Point, Rect};
+
+/// A directed line segment, used for door-to-door movement legs in the
+/// mobility simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment {
+    pub start: Point,
+    pub end: Point,
+}
+
+impl Segment {
+    /// Creates the segment from `start` to `end`.
+    pub const fn new(start: Point, end: Point) -> Self {
+        Segment { start, end }
+    }
+
+    /// Segment length in meters.
+    #[inline]
+    pub fn length(&self) -> f64 {
+        self.start.distance(self.end)
+    }
+
+    /// Point at fraction `t` in `[0, 1]` along the segment.
+    #[inline]
+    pub fn at(&self, t: f64) -> Point {
+        self.start.lerp(self.end, t)
+    }
+
+    /// Point reached after walking `dist` meters from `start` toward `end`,
+    /// clamped to the segment.
+    pub fn walk(&self, dist: f64) -> Point {
+        let len = self.length();
+        if len <= f64::EPSILON {
+            return self.start;
+        }
+        self.at((dist / len).clamp(0.0, 1.0))
+    }
+
+    /// Bounding rectangle of the segment.
+    pub fn bounds(&self) -> Rect {
+        Rect::new(self.start, self.end)
+    }
+
+    /// Whether both endpoints lie within `rect` (boundary-inclusive). Since
+    /// partitions are convex (rectangles), this implies the whole segment
+    /// stays inside the partition — the property the mobility simulator
+    /// relies on when moving straight between two doors of one partition.
+    pub fn within(&self, rect: &Rect) -> bool {
+        rect.contains_point(self.start) && rect.contains_point(self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walk_clamps_to_segment() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        assert_eq!(s.walk(4.0), Point::new(4.0, 0.0));
+        assert_eq!(s.walk(40.0), Point::new(10.0, 0.0));
+        assert_eq!(s.walk(-5.0), Point::new(0.0, 0.0));
+    }
+
+    #[test]
+    fn degenerate_segment_walk_is_start() {
+        let s = Segment::new(Point::new(1.0, 1.0), Point::new(1.0, 1.0));
+        assert_eq!(s.length(), 0.0);
+        assert_eq!(s.walk(3.0), Point::new(1.0, 1.0));
+    }
+
+    #[test]
+    fn within_convex_rect() {
+        let room = Rect::from_coords(0.0, 0.0, 5.0, 5.0);
+        let s = Segment::new(Point::new(0.0, 2.0), Point::new(5.0, 3.0));
+        assert!(s.within(&room));
+        let out = Segment::new(Point::new(0.0, 2.0), Point::new(6.0, 3.0));
+        assert!(!out.within(&room));
+    }
+
+    #[test]
+    fn bounds_cover_endpoints() {
+        let s = Segment::new(Point::new(3.0, 1.0), Point::new(0.0, 4.0));
+        let b = s.bounds();
+        assert!(b.contains_point(s.start));
+        assert!(b.contains_point(s.end));
+    }
+}

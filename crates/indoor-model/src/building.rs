@@ -1,0 +1,464 @@
+use std::collections::HashMap;
+
+use indoor_geom::{Point, Rect};
+
+use crate::door::Door;
+use crate::ids::{DoorId, FloorId, PartitionId};
+use crate::partition::{Partition, PartitionKind};
+
+/// Errors detected while assembling a [`Building`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildingError {
+    /// A door references a partition id that does not exist.
+    DanglingDoor { door: DoorId, partition: PartitionId },
+    /// A door connects a partition to itself.
+    SelfDoor { door: DoorId },
+    /// A same-floor door's position is not on/in both partitions it connects.
+    DoorOffBoundary { door: DoorId },
+    /// A cross-floor door connects partitions more than one floor apart.
+    BadVerticalDoor { door: DoorId },
+    /// Two partitions on the same floor overlap with positive area.
+    OverlappingPartitions { a: PartitionId, b: PartitionId },
+}
+
+impl std::fmt::Display for BuildingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildingError::DanglingDoor { door, partition } => {
+                write!(f, "{door} references missing partition {partition}")
+            }
+            BuildingError::SelfDoor { door } => write!(f, "{door} connects a partition to itself"),
+            BuildingError::DoorOffBoundary { door } => {
+                write!(f, "{door} position is outside one of its partitions")
+            }
+            BuildingError::BadVerticalDoor { door } => {
+                write!(f, "{door} connects floors more than one level apart")
+            }
+            BuildingError::OverlappingPartitions { a, b } => {
+                write!(f, "partitions {a} and {b} overlap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildingError {}
+
+/// An indoor building: partitions plus the doors connecting them.
+///
+/// This is the wall-and-door topology substrate of §2.1 — everything else
+/// (P/S-locations, cells, `GISL`, `MIL`) is layered on top by
+/// [`crate::IndoorSpace`].
+#[derive(Debug, Clone)]
+pub struct Building {
+    partitions: Vec<Partition>,
+    doors: Vec<Door>,
+    /// Door ids incident to each partition (indexed by partition id).
+    doors_of: Vec<Vec<DoorId>>,
+    /// Per-floor spatial grid for point→partition lookup.
+    grids: HashMap<FloorId, FloorGrid>,
+}
+
+impl Building {
+    /// Validates and assembles a building from partitions and doors.
+    ///
+    /// Partition ids must be dense (`partitions[i].id == i`), which the
+    /// [`BuildingBuilder`] guarantees.
+    pub fn new(partitions: Vec<Partition>, doors: Vec<Door>) -> Result<Self, BuildingError> {
+        for (i, p) in partitions.iter().enumerate() {
+            assert_eq!(p.id.index(), i, "partition ids must be dense");
+        }
+        for (i, d) in doors.iter().enumerate() {
+            assert_eq!(d.id.index(), i, "door ids must be dense");
+        }
+
+        let mut doors_of = vec![Vec::new(); partitions.len()];
+        for d in &doors {
+            for side in [d.a, d.b] {
+                let p = partitions
+                    .get(side.index())
+                    .ok_or(BuildingError::DanglingDoor {
+                        door: d.id,
+                        partition: side,
+                    })?;
+                debug_assert_eq!(p.id, side);
+            }
+            if d.a == d.b {
+                return Err(BuildingError::SelfDoor { door: d.id });
+            }
+            let (pa, pb) = (&partitions[d.a.index()], &partitions[d.b.index()]);
+            let floor_diff = (pa.floor.0 - pb.floor.0).abs();
+            if floor_diff > 1 {
+                return Err(BuildingError::BadVerticalDoor { door: d.id });
+            }
+            // Same-floor doors must sit on the shared boundary; vertical
+            // doors must be inside both stair footprints.
+            if !pa.rect.contains_point(d.pos) || !pb.rect.contains_point(d.pos) {
+                return Err(BuildingError::DoorOffBoundary { door: d.id });
+            }
+            doors_of[d.a.index()].push(d.id);
+            doors_of[d.b.index()].push(d.id);
+        }
+
+        // Same-floor partitions may share boundaries but not interiors.
+        let mut by_floor: HashMap<FloorId, Vec<&Partition>> = HashMap::new();
+        for p in &partitions {
+            by_floor.entry(p.floor).or_default().push(p);
+        }
+        for floor_parts in by_floor.values() {
+            for (i, a) in floor_parts.iter().enumerate() {
+                for b in &floor_parts[i + 1..] {
+                    if let Some(overlap) = a.rect.intersection(&b.rect) {
+                        if overlap.area() > 1e-9 {
+                            return Err(BuildingError::OverlappingPartitions { a: a.id, b: b.id });
+                        }
+                    }
+                }
+            }
+        }
+
+        let grids = by_floor
+            .into_iter()
+            .map(|(floor, parts)| (floor, FloorGrid::build(&parts)))
+            .collect();
+
+        Ok(Building {
+            partitions,
+            doors,
+            doors_of,
+            grids,
+        })
+    }
+
+    /// All partitions, indexed by id.
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// All doors, indexed by id.
+    pub fn doors(&self) -> &[Door] {
+        &self.doors
+    }
+
+    /// Looks up a partition by id.
+    pub fn partition(&self, id: PartitionId) -> &Partition {
+        &self.partitions[id.index()]
+    }
+
+    /// Looks up a door by id.
+    pub fn door(&self, id: DoorId) -> &Door {
+        &self.doors[id.index()]
+    }
+
+    /// Doors incident to a partition.
+    pub fn doors_of(&self, id: PartitionId) -> &[DoorId] {
+        &self.doors_of[id.index()]
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Number of doors.
+    pub fn door_count(&self) -> usize {
+        self.doors.len()
+    }
+
+    /// Sorted list of floors present in the building.
+    pub fn floors(&self) -> Vec<FloorId> {
+        let mut fs: Vec<FloorId> = self.grids.keys().copied().collect();
+        fs.sort();
+        fs
+    }
+
+    /// All partitions containing `point` on `floor` (more than one only for
+    /// boundary points such as door positions).
+    pub fn partitions_at(&self, floor: FloorId, point: Point) -> Vec<PartitionId> {
+        let Some(grid) = self.grids.get(&floor) else {
+            return Vec::new();
+        };
+        grid.candidates(point)
+            .iter()
+            .copied()
+            .filter(|id| self.partitions[id.index()].rect.contains_point(point))
+            .collect()
+    }
+
+    /// The first partition containing `point` on `floor`, preferring ones
+    /// that contain it strictly (so interior points are never attributed to
+    /// a neighbor across a shared wall).
+    pub fn partition_at(&self, floor: FloorId, point: Point) -> Option<PartitionId> {
+        let candidates = self.partitions_at(floor, point);
+        candidates
+            .iter()
+            .copied()
+            .find(|id| self.partitions[id.index()].rect.contains_point_strict(point))
+            .or_else(|| candidates.first().copied())
+    }
+
+    /// Bounding rectangle of one floor (None if the floor has no partitions).
+    pub fn floor_bounds(&self, floor: FloorId) -> Option<Rect> {
+        Rect::union_all(
+            self.partitions
+                .iter()
+                .filter(|p| p.floor == floor)
+                .map(|p| p.rect),
+        )
+    }
+
+    /// Iterator over partitions of the given kind.
+    pub fn partitions_of_kind(
+        &self,
+        kind: PartitionKind,
+    ) -> impl Iterator<Item = &Partition> + '_ {
+        self.partitions.iter().filter(move |p| p.kind == kind)
+    }
+}
+
+/// A uniform grid accelerating point→partition lookups on one floor.
+///
+/// Ground-truth extraction queries the containing partition for every
+/// trajectory sample (hundreds of thousands of lookups), so a linear scan
+/// over partitions would dominate the simulator's runtime.
+#[derive(Debug, Clone)]
+struct FloorGrid {
+    origin: Point,
+    cell: f64,
+    cols: usize,
+    rows: usize,
+    buckets: Vec<Vec<PartitionId>>,
+}
+
+impl FloorGrid {
+    fn build(parts: &[&Partition]) -> Self {
+        let bounds =
+            Rect::union_all(parts.iter().map(|p| p.rect)).expect("floor with no partitions");
+        // Aim for ~4 partitions per bucket on average.
+        let target_buckets = (parts.len() as f64 / 4.0).max(1.0);
+        let cell = (bounds.area().max(1.0) / target_buckets).sqrt().max(1.0);
+        let cols = (bounds.width() / cell).ceil().max(1.0) as usize;
+        let rows = (bounds.height() / cell).ceil().max(1.0) as usize;
+        let mut grid = FloorGrid {
+            origin: bounds.min,
+            cell,
+            cols,
+            rows,
+            buckets: vec![Vec::new(); cols * rows],
+        };
+        for p in parts {
+            let (c0, r0) = grid.bucket_of(p.rect.min);
+            let (c1, r1) = grid.bucket_of(p.rect.max);
+            for r in r0..=r1 {
+                for c in c0..=c1 {
+                    grid.buckets[r * cols + c].push(p.id);
+                }
+            }
+        }
+        grid
+    }
+
+    fn bucket_of(&self, p: Point) -> (usize, usize) {
+        let c = ((p.x - self.origin.x) / self.cell).floor();
+        let r = ((p.y - self.origin.y) / self.cell).floor();
+        let c = (c.max(0.0) as usize).min(self.cols - 1);
+        let r = (r.max(0.0) as usize).min(self.rows - 1);
+        (c, r)
+    }
+
+    fn candidates(&self, p: Point) -> &[PartitionId] {
+        let (c, r) = self.bucket_of(p);
+        &self.buckets[r * self.cols + c]
+    }
+}
+
+/// Incremental builder for [`Building`] assigning dense ids.
+#[derive(Debug, Default)]
+pub struct BuildingBuilder {
+    partitions: Vec<Partition>,
+    doors: Vec<Door>,
+}
+
+impl BuildingBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a partition and returns its id.
+    pub fn partition(
+        &mut self,
+        name: impl Into<String>,
+        floor: FloorId,
+        rect: Rect,
+        kind: PartitionKind,
+    ) -> PartitionId {
+        let id = PartitionId::from_index(self.partitions.len());
+        self.partitions.push(Partition {
+            id,
+            floor,
+            rect,
+            kind,
+            name: name.into(),
+        });
+        id
+    }
+
+    /// Adds a door between `a` and `b` at `pos` and returns its id.
+    pub fn door(&mut self, a: PartitionId, b: PartitionId, pos: Point) -> DoorId {
+        let id = DoorId::from_index(self.doors.len());
+        self.doors.push(Door { id, a, b, pos });
+        id
+    }
+
+    /// Number of partitions added so far.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Validates and produces the building.
+    pub fn build(self) -> Result<Building, BuildingError> {
+        Building::new(self.partitions, self.doors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_rooms() -> BuildingBuilder {
+        let mut b = BuildingBuilder::new();
+        let r0 = b.partition(
+            "r0",
+            FloorId(0),
+            Rect::from_coords(0.0, 0.0, 5.0, 5.0),
+            PartitionKind::Room,
+        );
+        let r1 = b.partition(
+            "r1",
+            FloorId(0),
+            Rect::from_coords(5.0, 0.0, 10.0, 5.0),
+            PartitionKind::Room,
+        );
+        b.door(r0, r1, Point::new(5.0, 2.5));
+        b
+    }
+
+    #[test]
+    fn builds_valid_two_room_building() {
+        let building = two_rooms().build().unwrap();
+        assert_eq!(building.partition_count(), 2);
+        assert_eq!(building.door_count(), 1);
+        assert_eq!(building.doors_of(PartitionId(0)), &[DoorId(0)]);
+        assert_eq!(building.doors_of(PartitionId(1)), &[DoorId(0)]);
+    }
+
+    #[test]
+    fn rejects_door_off_boundary() {
+        let mut b = two_rooms();
+        b.door(PartitionId(0), PartitionId(1), Point::new(20.0, 20.0));
+        assert_eq!(
+            b.build().unwrap_err(),
+            BuildingError::DoorOffBoundary { door: DoorId(1) }
+        );
+    }
+
+    #[test]
+    fn rejects_self_door() {
+        let mut b = two_rooms();
+        b.door(PartitionId(0), PartitionId(0), Point::new(2.0, 2.0));
+        assert!(matches!(b.build(), Err(BuildingError::SelfDoor { .. })));
+    }
+
+    #[test]
+    fn rejects_overlapping_partitions() {
+        let mut b = BuildingBuilder::new();
+        b.partition(
+            "a",
+            FloorId(0),
+            Rect::from_coords(0.0, 0.0, 5.0, 5.0),
+            PartitionKind::Room,
+        );
+        b.partition(
+            "b",
+            FloorId(0),
+            Rect::from_coords(4.0, 0.0, 9.0, 5.0),
+            PartitionKind::Room,
+        );
+        assert!(matches!(
+            b.build(),
+            Err(BuildingError::OverlappingPartitions { .. })
+        ));
+    }
+
+    #[test]
+    fn same_rects_on_different_floors_allowed() {
+        let mut b = BuildingBuilder::new();
+        let a = b.partition(
+            "a",
+            FloorId(0),
+            Rect::from_coords(0.0, 0.0, 5.0, 5.0),
+            PartitionKind::Staircase,
+        );
+        let c = b.partition(
+            "b",
+            FloorId(1),
+            Rect::from_coords(0.0, 0.0, 5.0, 5.0),
+            PartitionKind::Staircase,
+        );
+        b.door(a, c, Point::new(2.0, 2.0));
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn rejects_vertical_door_spanning_two_levels() {
+        let mut b = BuildingBuilder::new();
+        let a = b.partition(
+            "a",
+            FloorId(0),
+            Rect::from_coords(0.0, 0.0, 5.0, 5.0),
+            PartitionKind::Staircase,
+        );
+        let c = b.partition(
+            "b",
+            FloorId(2),
+            Rect::from_coords(0.0, 0.0, 5.0, 5.0),
+            PartitionKind::Staircase,
+        );
+        b.door(a, c, Point::new(2.0, 2.0));
+        assert!(matches!(
+            b.build(),
+            Err(BuildingError::BadVerticalDoor { .. })
+        ));
+    }
+
+    #[test]
+    fn point_lookup_prefers_strict_interior() {
+        let building = two_rooms().build().unwrap();
+        // Interior points resolve uniquely.
+        assert_eq!(
+            building.partition_at(FloorId(0), Point::new(1.0, 1.0)),
+            Some(PartitionId(0))
+        );
+        assert_eq!(
+            building.partition_at(FloorId(0), Point::new(6.0, 1.0)),
+            Some(PartitionId(1))
+        );
+        // The door point is on both partitions.
+        let both = building.partitions_at(FloorId(0), Point::new(5.0, 2.5));
+        assert_eq!(both.len(), 2);
+        // Unknown floor.
+        assert_eq!(building.partition_at(FloorId(3), Point::new(1.0, 1.0)), None);
+        // Outside everything.
+        assert!(building
+            .partitions_at(FloorId(0), Point::new(50.0, 50.0))
+            .is_empty());
+    }
+
+    #[test]
+    fn floor_bounds_cover_partitions() {
+        let building = two_rooms().build().unwrap();
+        let b = building.floor_bounds(FloorId(0)).unwrap();
+        assert_eq!(b, Rect::from_coords(0.0, 0.0, 10.0, 5.0));
+        assert!(building.floor_bounds(FloorId(9)).is_none());
+    }
+}

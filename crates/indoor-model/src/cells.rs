@@ -1,0 +1,393 @@
+use indoor_geom::Rect;
+
+use crate::building::Building;
+use crate::ids::{CellId, PartitionId};
+use crate::locations::{PLocKind, PLocation};
+
+/// An indoor cell: a maximal group of partitions an object cannot leave
+/// without passing a partitioning P-location (§2.1, footnote 1: "a cell
+/// ... is an indoor partition or a combination of adjacent indoor
+/// partitions").
+#[derive(Debug, Clone)]
+pub struct Cell {
+    pub id: CellId,
+    /// Member partitions (non-empty).
+    pub partitions: Vec<PartitionId>,
+    /// MBR over member partition rectangles. For multi-floor cells this is
+    /// the union of per-floor footprints in plan coordinates.
+    pub rect: Rect,
+}
+
+/// The set of cells a P-location touches: two for a partitioning
+/// P-location sitting between two cells, one for a presence P-location (or
+/// a door P-location whose two sides ended up in the same cell).
+///
+/// This tiny fixed-capacity set is the backing representation of the
+/// indoor location matrix: `MIL[pi, pj] = cells(pi) ∩ cells(pj)` (see
+/// `location_matrix`), so intersections over `CellDuo`s are the hottest
+/// topology operation in flow computing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CellDuo {
+    first: CellId,
+    second: Option<CellId>,
+}
+
+impl CellDuo {
+    /// A single-cell set.
+    pub fn one(c: CellId) -> Self {
+        CellDuo {
+            first: c,
+            second: None,
+        }
+    }
+
+    /// A two-cell set; the pair is stored sorted so `CellDuo` equality is
+    /// set equality (making it usable as an equivalence-class key).
+    pub fn two(a: CellId, b: CellId) -> Self {
+        if a == b {
+            return CellDuo::one(a);
+        }
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        CellDuo {
+            first: lo,
+            second: Some(hi),
+        }
+    }
+
+    /// Number of cells (1 or 2).
+    pub fn len(&self) -> usize {
+        1 + usize::from(self.second.is_some())
+    }
+
+    /// Always false — a `CellDuo` holds at least one cell.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether `c` is a member.
+    #[inline]
+    pub fn contains(&self, c: CellId) -> bool {
+        self.first == c || self.second == Some(c)
+    }
+
+    /// Iterates over the member cells.
+    pub fn iter(&self) -> impl Iterator<Item = CellId> + '_ {
+        std::iter::once(self.first).chain(self.second)
+    }
+
+    /// Set intersection with another duo; at most 2 cells.
+    #[inline]
+    pub fn intersect(&self, other: &CellDuo) -> CellVec {
+        let mut out = CellVec::empty();
+        for c in self.iter() {
+            if other.contains(c) {
+                out.push(c);
+            }
+        }
+        out
+    }
+}
+
+/// A set of at most two cells — the value type of indoor location matrix
+/// entries (`MIL[pi, pj]`), possibly empty when the two P-locations share
+/// no cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellVec {
+    cells: [CellId; 2],
+    len: u8,
+}
+
+impl CellVec {
+    /// The empty set (the `∅` entries of Fig. 3).
+    pub fn empty() -> Self {
+        CellVec {
+            cells: [CellId(0); 2],
+            len: 0,
+        }
+    }
+
+    /// Builds from a duo (1 or 2 cells).
+    pub fn from_duo(duo: CellDuo) -> Self {
+        let mut v = CellVec::empty();
+        for c in duo.iter() {
+            v.push(c);
+        }
+        v
+    }
+
+    fn push(&mut self, c: CellId) {
+        self.cells[self.len as usize] = c;
+        self.len += 1;
+    }
+
+    /// Number of cells (0..=2).
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Member cells as a slice.
+    pub fn as_slice(&self) -> &[CellId] {
+        &self.cells[..self.len as usize]
+    }
+
+    /// Whether `c` is a member.
+    pub fn contains(&self, c: CellId) -> bool {
+        self.as_slice().contains(&c)
+    }
+
+    /// Iterates over the member cells.
+    pub fn iter(&self) -> impl Iterator<Item = CellId> + '_ {
+        self.as_slice().iter().copied()
+    }
+}
+
+/// Union-find over partition indexes used for cell derivation.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[rb] = ra;
+        }
+    }
+}
+
+/// Result of cell derivation.
+pub struct DerivedCells {
+    pub cells: Vec<Cell>,
+    /// Cell of each partition (indexed by partition id).
+    pub cell_of_partition: Vec<CellId>,
+}
+
+/// Derives the cells of a building given its P-locations: partitions
+/// connected by any door carrying **no** partitioning P-location merge
+/// into one cell.
+///
+/// This realizes the paper's definition operationally: with every
+/// unguarded door contracted, the only way left to change cells is through
+/// a door that has a partitioning P-location.
+pub fn derive_cells(building: &Building, plocs: &[PLocation]) -> DerivedCells {
+    let n = building.partition_count();
+    let mut guarded = vec![false; building.door_count()];
+    for p in plocs {
+        if let PLocKind::Partitioning { door } = p.kind {
+            guarded[door.index()] = true;
+        }
+    }
+
+    let mut uf = UnionFind::new(n);
+    for door in building.doors() {
+        if !guarded[door.id.index()] {
+            uf.union(door.a.index(), door.b.index());
+        }
+    }
+
+    // Assign dense cell ids in order of first appearance (by partition id),
+    // so cell numbering is deterministic.
+    let mut cell_of_root: std::collections::HashMap<usize, CellId> =
+        std::collections::HashMap::new();
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut cell_of_partition = vec![CellId(0); n];
+    #[allow(clippy::needless_range_loop)]
+    for i in 0..n {
+        let root = uf.find(i);
+        let cell_id = *cell_of_root.entry(root).or_insert_with(|| {
+            let id = CellId::from_index(cells.len());
+            cells.push(Cell {
+                id,
+                partitions: Vec::new(),
+                rect: building.partition(PartitionId::from_index(i)).rect,
+            });
+            id
+        });
+        let cell = &mut cells[cell_id.index()];
+        cell.partitions.push(PartitionId::from_index(i));
+        let prect = building.partition(PartitionId::from_index(i)).rect;
+        cell.rect.expand(&prect);
+        cell_of_partition[i] = cell_id;
+    }
+
+    DerivedCells {
+        cells,
+        cell_of_partition,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::building::BuildingBuilder;
+    use crate::ids::{FloorId, PLocId};
+    use crate::partition::PartitionKind;
+    use indoor_geom::Point;
+
+    #[test]
+    fn cell_duo_set_semantics() {
+        let a = CellDuo::two(CellId(2), CellId(1));
+        let b = CellDuo::two(CellId(1), CellId(2));
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        assert!(a.contains(CellId(1)));
+        assert!(a.contains(CellId(2)));
+        assert!(!a.contains(CellId(3)));
+        let collapsed = CellDuo::two(CellId(5), CellId(5));
+        assert_eq!(collapsed.len(), 1);
+    }
+
+    #[test]
+    fn cell_duo_intersections() {
+        let ab = CellDuo::two(CellId(0), CellId(1));
+        let bc = CellDuo::two(CellId(1), CellId(2));
+        let c = CellDuo::one(CellId(2));
+        let d = CellDuo::one(CellId(3));
+        assert_eq!(ab.intersect(&bc).as_slice(), &[CellId(1)]);
+        assert_eq!(ab.intersect(&ab).len(), 2);
+        assert_eq!(bc.intersect(&c).as_slice(), &[CellId(2)]);
+        assert!(ab.intersect(&c).is_empty());
+        assert!(ab.intersect(&d).is_empty());
+    }
+
+    /// Three rooms in a row; the left door is unguarded, the right door has
+    /// a partitioning P-location → cells {{a,b}, {c}}.
+    #[test]
+    fn derives_merged_and_single_cells() {
+        let mut b = BuildingBuilder::new();
+        let pa = b.partition(
+            "a",
+            FloorId(0),
+            Rect::from_coords(0.0, 0.0, 5.0, 5.0),
+            PartitionKind::Room,
+        );
+        let pb = b.partition(
+            "b",
+            FloorId(0),
+            Rect::from_coords(5.0, 0.0, 10.0, 5.0),
+            PartitionKind::Room,
+        );
+        let pc = b.partition(
+            "c",
+            FloorId(0),
+            Rect::from_coords(10.0, 0.0, 15.0, 5.0),
+            PartitionKind::Room,
+        );
+        let _d_ab = b.door(pa, pb, Point::new(5.0, 2.5));
+        let d_bc = b.door(pb, pc, Point::new(10.0, 2.5));
+        let building = b.build().unwrap();
+
+        let plocs = vec![PLocation {
+            id: PLocId(0),
+            pos: Point::new(10.0, 2.5),
+            floor: FloorId(0),
+            kind: PLocKind::Partitioning { door: d_bc },
+        }];
+        let derived = derive_cells(&building, &plocs);
+        assert_eq!(derived.cells.len(), 2);
+        let cell_a = derived.cell_of_partition[pa.index()];
+        let cell_b = derived.cell_of_partition[pb.index()];
+        let cell_c = derived.cell_of_partition[pc.index()];
+        assert_eq!(cell_a, cell_b);
+        assert_ne!(cell_a, cell_c);
+        let merged = &derived.cells[cell_a.index()];
+        assert_eq!(merged.partitions.len(), 2);
+        assert_eq!(merged.rect, Rect::from_coords(0.0, 0.0, 10.0, 5.0));
+    }
+
+    #[test]
+    fn all_guarded_doors_keep_partitions_separate() {
+        let mut b = BuildingBuilder::new();
+        let pa = b.partition(
+            "a",
+            FloorId(0),
+            Rect::from_coords(0.0, 0.0, 5.0, 5.0),
+            PartitionKind::Room,
+        );
+        let pb = b.partition(
+            "b",
+            FloorId(0),
+            Rect::from_coords(5.0, 0.0, 10.0, 5.0),
+            PartitionKind::Room,
+        );
+        let d = b.door(pa, pb, Point::new(5.0, 2.5));
+        let building = b.build().unwrap();
+        let plocs = vec![PLocation {
+            id: PLocId(0),
+            pos: Point::new(5.0, 2.5),
+            floor: FloorId(0),
+            kind: PLocKind::Partitioning { door: d },
+        }];
+        let derived = derive_cells(&building, &plocs);
+        assert_eq!(derived.cells.len(), 2);
+    }
+
+    #[test]
+    fn no_plocs_merges_connected_partitions() {
+        let mut b = BuildingBuilder::new();
+        let pa = b.partition(
+            "a",
+            FloorId(0),
+            Rect::from_coords(0.0, 0.0, 5.0, 5.0),
+            PartitionKind::Room,
+        );
+        let pb = b.partition(
+            "b",
+            FloorId(0),
+            Rect::from_coords(5.0, 0.0, 10.0, 5.0),
+            PartitionKind::Room,
+        );
+        b.door(pa, pb, Point::new(5.0, 2.5));
+        // An isolated third room with no doors stays its own cell.
+        b.partition(
+            "iso",
+            FloorId(0),
+            Rect::from_coords(20.0, 0.0, 25.0, 5.0),
+            PartitionKind::Room,
+        );
+        let building = b.build().unwrap();
+        let derived = derive_cells(&building, &[]);
+        assert_eq!(derived.cells.len(), 2);
+    }
+
+    #[test]
+    fn cell_ids_are_deterministic_and_dense() {
+        let mut b = BuildingBuilder::new();
+        for i in 0..4 {
+            b.partition(
+                format!("r{i}"),
+                FloorId(0),
+                Rect::from_coords(5.0 * i as f64, 0.0, 5.0 * (i + 1) as f64, 5.0),
+                PartitionKind::Room,
+            );
+        }
+        let building = b.build().unwrap();
+        let derived = derive_cells(&building, &[]);
+        for (i, c) in derived.cells.iter().enumerate() {
+            assert_eq!(c.id.index(), i);
+        }
+        // No doors: each partition is its own cell, in id order.
+        assert_eq!(derived.cells.len(), 4);
+        assert_eq!(derived.cell_of_partition[0], CellId(0));
+        assert_eq!(derived.cell_of_partition[3], CellId(3));
+    }
+}

@@ -1,0 +1,73 @@
+use indoor_geom::Point;
+
+use crate::ids::{DoorId, PartitionId};
+
+/// A door: an opening connecting exactly two partitions.
+///
+/// Doors are modeled as points (the paper places partitioning P-locations
+/// and RFID readers "at doors"). A door between partitions on different
+/// floors represents a staircase flight; its `pos` is the stairwell
+/// location in plan coordinates, shared by both floors.
+///
+/// Doors are undirected — the paper notes that `GISL` "can be defined as a
+/// directed graph in order to support door directionality" but uses the
+/// undirected form, and so do we.
+#[derive(Debug, Clone)]
+pub struct Door {
+    pub id: DoorId,
+    /// One side of the door.
+    pub a: PartitionId,
+    /// The other side.
+    pub b: PartitionId,
+    /// Plan position of the opening.
+    pub pos: Point,
+}
+
+impl Door {
+    /// The partition on the other side of the door from `from`, or `None`
+    /// if `from` is not one of the two sides.
+    pub fn other_side(&self, from: PartitionId) -> Option<PartitionId> {
+        if from == self.a {
+            Some(self.b)
+        } else if from == self.b {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the door connects the given partition.
+    pub fn touches(&self, p: PartitionId) -> bool {
+        self.a == p || self.b == p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn door() -> Door {
+        Door {
+            id: DoorId(0),
+            a: PartitionId(1),
+            b: PartitionId(2),
+            pos: Point::new(1.0, 2.0),
+        }
+    }
+
+    #[test]
+    fn other_side_resolves_both_directions() {
+        let d = door();
+        assert_eq!(d.other_side(PartitionId(1)), Some(PartitionId(2)));
+        assert_eq!(d.other_side(PartitionId(2)), Some(PartitionId(1)));
+        assert_eq!(d.other_side(PartitionId(3)), None);
+    }
+
+    #[test]
+    fn touches_both_sides_only() {
+        let d = door();
+        assert!(d.touches(PartitionId(1)));
+        assert!(d.touches(PartitionId(2)));
+        assert!(!d.touches(PartitionId(0)));
+    }
+}

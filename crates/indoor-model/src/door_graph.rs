@@ -1,0 +1,501 @@
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use indoor_geom::{Point, Segment};
+
+use crate::building::Building;
+use crate::ids::{DoorId, FloorId, PartitionId};
+
+/// One movement leg of a [`Route`].
+#[derive(Debug, Clone)]
+pub enum Leg {
+    /// A straight walk inside one (convex) partition.
+    Walk {
+        partition: PartitionId,
+        floor: FloorId,
+        seg: Segment,
+    },
+    /// A staircase flight through a vertical door: plan position stays at
+    /// `pos` while the floor changes; traversal costs `cost` meters of
+    /// equivalent walking.
+    Stairs {
+        door: DoorId,
+        from_floor: FloorId,
+        to_floor: FloorId,
+        pos: Point,
+        cost: f64,
+    },
+}
+
+impl Leg {
+    /// Walking-distance cost of the leg in meters.
+    pub fn cost(&self) -> f64 {
+        match self {
+            Leg::Walk { seg, .. } => seg.length(),
+            Leg::Stairs { cost, .. } => *cost,
+        }
+    }
+}
+
+/// A shortest indoor route: a sequence of legs whose concatenation leads
+/// from the source point to the destination point through doors.
+#[derive(Debug, Clone)]
+pub struct Route {
+    pub legs: Vec<Leg>,
+    /// Total walking-distance cost in meters.
+    pub length: f64,
+}
+
+/// Shortest-path oracle over the building's door connectivity.
+///
+/// The mobility simulator follows the paper's setup: "an object moves
+/// towards its destination along the shortest indoor path" (§5.3). Nodes
+/// are door *sides* — `(door, side)` pairs — connected (a) across each
+/// partition between all door sides it hosts (cost = Euclidean plan
+/// distance; partitions are convex so the straight segment stays inside)
+/// and (b) through each door from side to side (cost 0 for same-floor
+/// doors, `stair_cost` for vertical ones).
+#[derive(Debug, Clone)]
+pub struct DoorGraph {
+    /// adjacency[node] = (neighbor node, cost). node = door_index * 2 + side.
+    adjacency: Vec<Vec<(u32, f64)>>,
+    /// Door sides hosted by each partition.
+    sides_of_partition: Vec<Vec<u32>>,
+    stair_cost: f64,
+}
+
+/// Default equivalent walking cost of one staircase flight, in meters.
+pub const DEFAULT_STAIR_COST: f64 = 6.0;
+
+impl DoorGraph {
+    /// Builds the oracle for `building`.
+    pub fn build(building: &Building, stair_cost: f64) -> Self {
+        let n_nodes = building.door_count() * 2;
+        let mut adjacency: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n_nodes];
+        let mut sides_of_partition: Vec<Vec<u32>> = vec![Vec::new(); building.partition_count()];
+
+        for door in building.doors() {
+            let node_a = (door.id.index() * 2) as u32; // side living in door.a
+            let node_b = node_a + 1; // side living in door.b
+            sides_of_partition[door.a.index()].push(node_a);
+            sides_of_partition[door.b.index()].push(node_b);
+            let pa = building.partition(door.a);
+            let pb = building.partition(door.b);
+            let crossing = if pa.floor == pb.floor { 0.0 } else { stair_cost };
+            adjacency[node_a as usize].push((node_b, crossing));
+            adjacency[node_b as usize].push((node_a, crossing));
+        }
+
+        // Intra-partition complete graphs between hosted door sides.
+        for sides in &sides_of_partition {
+            for (i, &a) in sides.iter().enumerate() {
+                for &b in &sides[i + 1..] {
+                    let pa = door_pos(building, a);
+                    let pb = door_pos(building, b);
+                    let d = pa.distance(pb);
+                    adjacency[a as usize].push((b, d));
+                    adjacency[b as usize].push((a, d));
+                }
+            }
+        }
+
+        DoorGraph {
+            adjacency,
+            sides_of_partition,
+            stair_cost,
+        }
+    }
+
+    /// Shortest route from a point in `from.0` to a point in `to.0`.
+    ///
+    /// Returns `None` when the destination partition is unreachable. When
+    /// source and destination share a partition the direct straight walk is
+    /// also considered (it may beat any door detour).
+    pub fn shortest_route(
+        &self,
+        building: &Building,
+        from: (PartitionId, Point),
+        to: (PartitionId, Point),
+    ) -> Option<Route> {
+        let (from_part, from_pt) = from;
+        let (to_part, to_pt) = to;
+
+        if from_part == to_part {
+            // Convex partition: the straight segment is optimal.
+            let p = building.partition(from_part);
+            return Some(Route {
+                legs: vec![Leg::Walk {
+                    partition: from_part,
+                    floor: p.floor,
+                    seg: Segment::new(from_pt, to_pt),
+                }],
+                length: from_pt.distance(to_pt),
+            });
+        }
+
+        // Dijkstra from the virtual source over door-side nodes.
+        let n = self.adjacency.len();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev: Vec<Option<u32>> = vec![None; n];
+        let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
+
+        for &s in &self.sides_of_partition[from_part.index()] {
+            let d = from_pt.distance(door_pos(building, s));
+            if d < dist[s as usize] {
+                dist[s as usize] = d;
+                heap.push(HeapItem { cost: d, node: s });
+            }
+        }
+
+        let target_sides = &self.sides_of_partition[to_part.index()];
+        let mut best_target: Option<(f64, u32)> = None;
+
+        while let Some(HeapItem { cost, node }) = heap.pop() {
+            if cost > dist[node as usize] {
+                continue;
+            }
+            // Early exit: all remaining heap costs exceed the settled best
+            // complete route.
+            if let Some((best, _)) = best_target {
+                if cost >= best {
+                    break;
+                }
+            }
+            if target_sides.contains(&node) {
+                let total = cost + door_pos(building, node).distance(to_pt);
+                if best_target.map_or(true, |(b, _)| total < b) {
+                    best_target = Some((total, node));
+                }
+            }
+            for &(next, w) in &self.adjacency[node as usize] {
+                let nd = cost + w;
+                if nd < dist[next as usize] {
+                    dist[next as usize] = nd;
+                    prev[next as usize] = Some(node);
+                    heap.push(HeapItem {
+                        cost: nd,
+                        node: next,
+                    });
+                }
+            }
+        }
+
+        let (total, final_side) = best_target?;
+
+        // Reconstruct the node chain.
+        let mut chain = vec![final_side];
+        let mut cur = final_side;
+        while let Some(p) = prev[cur as usize] {
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+
+        Some(self.assemble_route(building, from, to, &chain, total))
+    }
+
+    fn assemble_route(
+        &self,
+        building: &Building,
+        from: (PartitionId, Point),
+        to: (PartitionId, Point),
+        chain: &[u32],
+        total: f64,
+    ) -> Route {
+        let mut legs: Vec<Leg> = Vec::with_capacity(chain.len() + 2);
+        let first = chain[0];
+        let first_part = side_partition(building, first);
+        legs.push(Leg::Walk {
+            partition: first_part,
+            floor: building.partition(first_part).floor,
+            seg: Segment::new(from.1, door_pos(building, first)),
+        });
+
+        for w in chain.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            if a / 2 == b / 2 {
+                // Same door, other side: a crossing.
+                let door = building.door(DoorId::from_index((a / 2) as usize));
+                let fa = building.partition(side_partition(building, a)).floor;
+                let fb = building.partition(side_partition(building, b)).floor;
+                if fa != fb {
+                    legs.push(Leg::Stairs {
+                        door: door.id,
+                        from_floor: fa,
+                        to_floor: fb,
+                        pos: door.pos,
+                        cost: self.stair_cost,
+                    });
+                }
+            } else {
+                // Walk within the shared partition.
+                let part = side_partition(building, b);
+                debug_assert_eq!(part, side_partition(building, a));
+                legs.push(Leg::Walk {
+                    partition: part,
+                    floor: building.partition(part).floor,
+                    seg: Segment::new(door_pos(building, a), door_pos(building, b)),
+                });
+            }
+        }
+
+        let last = *chain.last().unwrap();
+        let last_part = side_partition(building, last);
+        debug_assert_eq!(last_part, to.0);
+        legs.push(Leg::Walk {
+            partition: to.0,
+            floor: building.partition(to.0).floor,
+            seg: Segment::new(door_pos(building, last), to.1),
+        });
+
+        Route {
+            legs,
+            length: total,
+        }
+    }
+}
+
+#[inline]
+fn door_pos(building: &Building, side: u32) -> Point {
+    building.door(DoorId::from_index((side / 2) as usize)).pos
+}
+
+#[inline]
+fn side_partition(building: &Building, side: u32) -> PartitionId {
+    let door = building.door(DoorId::from_index((side / 2) as usize));
+    if side % 2 == 0 {
+        door.a
+    } else {
+        door.b
+    }
+}
+
+/// Max-heap item ordered by minimal cost (reverse ordering).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapItem {
+    cost: f64,
+    node: u32,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .cost
+            .total_cmp(&self.cost)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::building::BuildingBuilder;
+    use crate::partition::PartitionKind;
+    use indoor_geom::Rect;
+
+    /// room_a — hall — room_b, plus a staircase to floor 1.
+    fn building() -> (Building, [PartitionId; 5]) {
+        let mut b = BuildingBuilder::new();
+        let room_a = b.partition(
+            "a",
+            FloorId(0),
+            Rect::from_coords(0.0, 5.0, 5.0, 10.0),
+            PartitionKind::Room,
+        );
+        let room_b = b.partition(
+            "b",
+            FloorId(0),
+            Rect::from_coords(5.0, 5.0, 10.0, 10.0),
+            PartitionKind::Room,
+        );
+        let hall = b.partition(
+            "hall",
+            FloorId(0),
+            Rect::from_coords(0.0, 0.0, 10.0, 5.0),
+            PartitionKind::Hallway,
+        );
+        let stair0 = b.partition(
+            "stair0",
+            FloorId(0),
+            Rect::from_coords(10.0, 0.0, 12.0, 5.0),
+            PartitionKind::Staircase,
+        );
+        let up = b.partition(
+            "up",
+            FloorId(1),
+            Rect::from_coords(10.0, 0.0, 12.0, 5.0),
+            PartitionKind::Staircase,
+        );
+        b.door(room_a, hall, Point::new(2.5, 5.0));
+        b.door(room_b, hall, Point::new(7.5, 5.0));
+        b.door(hall, stair0, Point::new(10.0, 2.5));
+        b.door(stair0, up, Point::new(11.0, 2.5));
+        let built = b.build().unwrap();
+        (built, [room_a, room_b, hall, stair0, up])
+    }
+
+    #[test]
+    fn same_partition_is_straight_walk() {
+        let (b, parts) = building();
+        let g = DoorGraph::build(&b, DEFAULT_STAIR_COST);
+        let r = g
+            .shortest_route(
+                &b,
+                (parts[2], Point::new(1.0, 1.0)),
+                (parts[2], Point::new(9.0, 4.0)),
+            )
+            .unwrap();
+        assert_eq!(r.legs.len(), 1);
+        assert!((r.length - Point::new(1.0, 1.0).distance(Point::new(9.0, 4.0))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn route_between_rooms_passes_hall() {
+        let (b, parts) = building();
+        let g = DoorGraph::build(&b, DEFAULT_STAIR_COST);
+        let from = Point::new(1.0, 7.0);
+        let to = Point::new(9.0, 7.0);
+        let r = g.shortest_route(&b, (parts[0], from), (parts[1], to)).unwrap();
+        // a → door(2.5,5) → hall walk → door(7.5,5) → b
+        assert_eq!(r.legs.len(), 3);
+        let expected = from.distance(Point::new(2.5, 5.0))
+            + Point::new(2.5, 5.0).distance(Point::new(7.5, 5.0))
+            + Point::new(7.5, 5.0).distance(to);
+        assert!((r.length - expected).abs() < 1e-9, "{} vs {expected}", r.length);
+        // Legs are contiguous.
+        for w in r.legs.windows(2) {
+            if let (Leg::Walk { seg: s1, .. }, Leg::Walk { seg: s2, .. }) = (&w[0], &w[1]) {
+                assert_eq!(s1.end, s2.start);
+            }
+        }
+    }
+
+    #[test]
+    fn leg_costs_sum_to_route_length() {
+        let (b, parts) = building();
+        let g = DoorGraph::build(&b, DEFAULT_STAIR_COST);
+        let r = g
+            .shortest_route(
+                &b,
+                (parts[0], Point::new(1.0, 7.0)),
+                (parts[1], Point::new(9.0, 7.0)),
+            )
+            .unwrap();
+        let sum: f64 = r.legs.iter().map(|l| l.cost()).sum();
+        assert!((sum - r.length).abs() < 1e-9);
+    }
+
+    #[test]
+    fn route_upstairs_contains_stairs_leg() {
+        let (b, parts) = building();
+        let g = DoorGraph::build(&b, DEFAULT_STAIR_COST);
+        let r = g
+            .shortest_route(
+                &b,
+                (parts[0], Point::new(1.0, 7.0)),
+                (parts[4], Point::new(11.0, 1.0)),
+            )
+            .unwrap();
+        let stairs: Vec<&Leg> = r
+            .legs
+            .iter()
+            .filter(|l| matches!(l, Leg::Stairs { .. }))
+            .collect();
+        assert_eq!(stairs.len(), 1);
+        if let Leg::Stairs {
+            from_floor,
+            to_floor,
+            cost,
+            ..
+        } = stairs[0]
+        {
+            assert_eq!(*from_floor, FloorId(0));
+            assert_eq!(*to_floor, FloorId(1));
+            assert_eq!(*cost, DEFAULT_STAIR_COST);
+        }
+        // Route length includes the stair penalty.
+        assert!(r.length > DEFAULT_STAIR_COST);
+    }
+
+    #[test]
+    fn unreachable_partition_returns_none() {
+        let mut bb = BuildingBuilder::new();
+        let a = bb.partition(
+            "a",
+            FloorId(0),
+            Rect::from_coords(0.0, 0.0, 5.0, 5.0),
+            PartitionKind::Room,
+        );
+        let island = bb.partition(
+            "island",
+            FloorId(0),
+            Rect::from_coords(20.0, 0.0, 25.0, 5.0),
+            PartitionKind::Room,
+        );
+        let b = bb.build().unwrap();
+        let g = DoorGraph::build(&b, DEFAULT_STAIR_COST);
+        assert!(g
+            .shortest_route(&b, (a, Point::new(1.0, 1.0)), (island, Point::new(21.0, 1.0)))
+            .is_none());
+    }
+
+    #[test]
+    fn shortest_route_is_optimal_among_alternatives() {
+        // Square of four rooms around a center hall with two alternate ways;
+        // verify Dijkstra picks the cheaper one.
+        let mut bb = BuildingBuilder::new();
+        let left = bb.partition(
+            "left",
+            FloorId(0),
+            Rect::from_coords(0.0, 0.0, 4.0, 12.0),
+            PartitionKind::Room,
+        );
+        let top = bb.partition(
+            "top",
+            FloorId(0),
+            Rect::from_coords(4.0, 8.0, 12.0, 12.0),
+            PartitionKind::Room,
+        );
+        let bottom = bb.partition(
+            "bottom",
+            FloorId(0),
+            Rect::from_coords(4.0, 0.0, 12.0, 4.0),
+            PartitionKind::Room,
+        );
+        let right = bb.partition(
+            "right",
+            FloorId(0),
+            Rect::from_coords(12.0, 0.0, 16.0, 12.0),
+            PartitionKind::Room,
+        );
+        // Top path doors.
+        bb.door(left, top, Point::new(4.0, 10.0));
+        bb.door(top, right, Point::new(12.0, 10.0));
+        // Bottom path doors.
+        bb.door(left, bottom, Point::new(4.0, 2.0));
+        bb.door(bottom, right, Point::new(12.0, 2.0));
+        let b = bb.build().unwrap();
+        let g = DoorGraph::build(&b, DEFAULT_STAIR_COST);
+        // Starting near the bottom-left, ending near the bottom-right: the
+        // bottom path must win.
+        let r = g
+            .shortest_route(
+                &b,
+                (left, Point::new(1.0, 1.0)),
+                (right, Point::new(15.0, 1.0)),
+            )
+            .unwrap();
+        let via_bottom = Point::new(1.0, 1.0).distance(Point::new(4.0, 2.0))
+            + Point::new(4.0, 2.0).distance(Point::new(12.0, 2.0))
+            + Point::new(12.0, 2.0).distance(Point::new(15.0, 1.0));
+        assert!((r.length - via_bottom).abs() < 1e-9);
+    }
+}

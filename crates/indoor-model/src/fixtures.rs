@@ -1,0 +1,249 @@
+//! Reusable fixtures encoding the paper's running example (Figure 1).
+//!
+//! The geometry below is reconstructed so that the derived topology matches
+//! the paper exactly: cells `c1 = {r1, r2}` and `c3..c6` (one per remaining
+//! partition), P-locations `p1..p9` with the `cells(p)` sets of Figure 3,
+//! and the equivalences `p4 ≡ p9`, `p6 ≡ p8`.
+
+use indoor_geom::{Point, Rect};
+
+use crate::building::BuildingBuilder;
+use crate::ids::{CellId, DoorId, PLocId, PartitionId, SLocId};
+use crate::partition::PartitionKind;
+use crate::space::{IndoorSpace, SpaceBuilder};
+use crate::FloorId;
+
+/// The paper's Figure 1 floor plan with named handles.
+///
+/// Index convention: `r[k]` is the paper's `r{k+1}` and `p[k]` the paper's
+/// `p{k+1}` (the paper numbers from 1).
+pub struct Figure1 {
+    pub space: IndoorSpace,
+    /// S-locations `r1..r6`.
+    pub r: [SLocId; 6],
+    /// P-locations `p1..p9`.
+    pub p: [PLocId; 9],
+    /// Partitions `r1..r6`.
+    pub partitions: [PartitionId; 6],
+    /// The unguarded door between `r1` and `r2` that forms cell `c1`.
+    pub inner_door: DoorId,
+}
+
+impl Figure1 {
+    /// The cell the paper calls `c1` (containing `r1` and `r2`).
+    pub fn c1(&self) -> CellId {
+        self.space.parent_cells(self.r[0])[0]
+    }
+
+    /// The cell containing the paper's `r{k}` for `k` in `3..=6`.
+    pub fn cell_of_r(&self, k: usize) -> CellId {
+        assert!((1..=6).contains(&k));
+        self.space.parent_cells(self.r[k - 1])[0]
+    }
+}
+
+/// Builds the Figure 1 fixture.
+///
+/// Layout (floor 0, meters):
+///
+/// ```text
+///   y=12 ┌──────┬──────┬──────┐
+///        │  r3  │  r2 *│* r1  │      * = doors p9 / inner door
+///   y=8  ├──p3──┼─p9───┼─p4───┤
+///        │  r4  │ r6 (hallway)│
+///   y=4  ├─p1───┼─p5───┴──────┤
+///        │      r5     │
+///   y=0  └─────────────┘
+///        x=0    x=6    x=12   x=18
+/// ```
+pub fn paper_figure1() -> Figure1 {
+    let f0 = FloorId(0);
+    let mut b = BuildingBuilder::new();
+    let r1 = b.partition(
+        "r1",
+        f0,
+        Rect::from_coords(12.0, 8.0, 18.0, 12.0),
+        PartitionKind::Room,
+    );
+    let r2 = b.partition(
+        "r2",
+        f0,
+        Rect::from_coords(6.0, 8.0, 12.0, 12.0),
+        PartitionKind::Room,
+    );
+    let r3 = b.partition(
+        "r3",
+        f0,
+        Rect::from_coords(0.0, 8.0, 6.0, 12.0),
+        PartitionKind::Room,
+    );
+    let r4 = b.partition(
+        "r4",
+        f0,
+        Rect::from_coords(0.0, 4.0, 6.0, 8.0),
+        PartitionKind::Room,
+    );
+    let r5 = b.partition(
+        "r5",
+        f0,
+        Rect::from_coords(0.0, 0.0, 12.0, 4.0),
+        PartitionKind::Room,
+    );
+    let r6 = b.partition(
+        "r6",
+        f0,
+        Rect::from_coords(6.0, 4.0, 18.0, 8.0),
+        PartitionKind::Hallway,
+    );
+
+    // Doors. Positions sit on the shared walls.
+    let d_r1_r2 = b.door(r1, r2, Point::new(12.0, 10.0)); // unguarded → c1
+    let d_r4_r5 = b.door(r4, r5, Point::new(3.0, 4.0)); // p1
+    let d_r4_r6 = b.door(r4, r6, Point::new(6.0, 6.0)); // p2
+    let d_r3_r4 = b.door(r3, r4, Point::new(3.0, 8.0)); // p3
+    let d_r1_r6 = b.door(r1, r6, Point::new(15.0, 8.0)); // p4
+    let d_r5_r6 = b.door(r5, r6, Point::new(9.0, 4.0)); // p5
+    let d_r2_r6 = b.door(r2, r6, Point::new(9.0, 8.0)); // p9
+
+    let mut sb = SpaceBuilder::new(b.build().expect("figure-1 building is valid"));
+
+    // P-locations in paper order p1..p9 (ids 0..8).
+    let p1 = sb.partitioning_ploc(d_r4_r5);
+    let p2 = sb.partitioning_ploc(d_r4_r6);
+    let p3 = sb.partitioning_ploc(d_r3_r4);
+    let p4 = sb.partitioning_ploc(d_r1_r6);
+    let p5 = sb.partitioning_ploc(d_r5_r6);
+    let p6 = sb.presence_ploc(r6, Point::new(8.0, 6.0));
+    let p7 = sb.presence_ploc(r1, Point::new(13.0, 10.0));
+    let p8 = sb.presence_ploc(r6, Point::new(14.0, 6.0));
+    let p9 = sb.partitioning_ploc(d_r2_r6);
+
+    // Every partition is an S-location ("each partition may be a region of
+    // interest and can be regarded as an S-location", Example 1).
+    let s1 = sb.sloc("r1", vec![r1]);
+    let s2 = sb.sloc("r2", vec![r2]);
+    let s3 = sb.sloc("r3", vec![r3]);
+    let s4 = sb.sloc("r4", vec![r4]);
+    let s5 = sb.sloc("r5", vec![r5]);
+    let s6 = sb.sloc("r6", vec![r6]);
+
+    let space = sb.build().expect("figure-1 space is valid");
+    Figure1 {
+        space,
+        r: [s1, s2, s3, s4, s5, s6],
+        p: [p1, p2, p3, p4, p5, p6, p7, p8, p9],
+        partitions: [r1, r2, r3, r4, r5, r6],
+        inner_door: d_r1_r2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cells::CellDuo;
+
+    #[test]
+    fn cells_match_paper() {
+        let fig = paper_figure1();
+        let s = &fig.space;
+        // Five cells: {r1,r2}, {r3}, {r4}, {r5}, {r6}.
+        assert_eq!(s.cells().len(), 5);
+        let c1 = fig.c1();
+        assert_eq!(s.cell(c1).partitions.len(), 2);
+        assert_eq!(fig.cell_of_r(1), fig.cell_of_r(2));
+        for k in 3..=6 {
+            assert_eq!(s.cell(fig.cell_of_r(k)).partitions.len(), 1);
+        }
+    }
+
+    #[test]
+    fn cells_of_plocs_match_figure3_diagonal() {
+        let fig = paper_figure1();
+        let m = fig.space.matrix();
+        let c = |k: usize| fig.cell_of_r(k);
+        let duo = |p: PLocId| m.cells_of(p);
+        assert_eq!(duo(fig.p[0]), CellDuo::two(c(4), c(5))); // p1: {c4,c5}
+        assert_eq!(duo(fig.p[1]), CellDuo::two(c(4), c(6))); // p2: {c4,c6}
+        assert_eq!(duo(fig.p[2]), CellDuo::two(c(3), c(4))); // p3: {c3,c4}
+        assert_eq!(duo(fig.p[3]), CellDuo::two(fig.c1(), c(6))); // p4: {c1,c6}
+        assert_eq!(duo(fig.p[4]), CellDuo::two(c(5), c(6))); // p5: {c5,c6}
+        assert_eq!(duo(fig.p[5]), CellDuo::one(c(6))); // p6: c6
+        assert_eq!(duo(fig.p[6]), CellDuo::one(fig.c1())); // p7: c1
+        assert_eq!(duo(fig.p[7]), CellDuo::one(c(6))); // p8: c6
+        assert_eq!(duo(fig.p[8]), CellDuo::two(fig.c1(), c(6))); // p9: {c1,c6}
+    }
+
+    #[test]
+    fn figure3_off_diagonal_entries() {
+        let fig = paper_figure1();
+        let m = fig.space.matrix();
+        let p = &fig.p;
+        // MIL[p4, p9] = {c1, c6}.
+        let e = m.cells_between(p[3], p[8]);
+        assert_eq!(e.len(), 2);
+        assert!(e.contains(fig.c1()) && e.contains(fig.cell_of_r(6)));
+        // MIL[p3, p4] = ∅.
+        assert!(m.cells_between(p[2], p[3]).is_empty());
+        // MIL[p8, p8] = c6.
+        assert_eq!(
+            m.cells_between(p[7], p[7]).as_slice(),
+            &[fig.cell_of_r(6)]
+        );
+        // MIL[p4, p7] = c1.
+        assert_eq!(m.cells_between(p[3], p[6]).as_slice(), &[fig.c1()]);
+    }
+
+    #[test]
+    fn equivalences_match_paper() {
+        let fig = paper_figure1();
+        let m = fig.space.matrix();
+        assert!(m.equivalent(fig.p[3], fig.p[8])); // p4 ≡ p9
+        assert!(m.equivalent(fig.p[5], fig.p[7])); // p6 ≡ p8
+        assert!(!m.equivalent(fig.p[0], fig.p[1]));
+        assert_eq!(m.representative(fig.p[8]), fig.p[3]);
+        assert_eq!(m.representative(fig.p[7]), fig.p[5]);
+    }
+
+    #[test]
+    fn c2s_mapping_matches_figure2() {
+        let fig = paper_figure1();
+        let s = &fig.space;
+        // C2S(c1) = {r1, r2}.
+        let mut in_c1: Vec<SLocId> = s.slocs_in_cell(fig.c1()).to_vec();
+        in_c1.sort();
+        assert_eq!(in_c1, vec![fig.r[0], fig.r[1]]);
+        // Cell(r6) = c6.
+        assert_eq!(s.parent_cells(fig.r[5]), &[fig.cell_of_r(6)]);
+    }
+
+    #[test]
+    fn gisl_structure_matches_figure2() {
+        let fig = paper_figure1();
+        let g = fig.space.gisl();
+        assert_eq!(g.cell_count(), 5);
+        assert!(g.is_connected());
+        // Edge ⟨c1,c6⟩ labeled {p4, p9}; loop ⟨c6,c6⟩ labeled {p6, p8}.
+        let edge = g
+            .edge(CellDuo::two(fig.c1(), fig.cell_of_r(6)))
+            .expect("c1–c6 edge exists");
+        assert_eq!(edge.plocs, vec![fig.p[3], fig.p[8]]);
+        let loop_edge = g
+            .edge(CellDuo::one(fig.cell_of_r(6)))
+            .expect("c6 loop edge exists");
+        assert_eq!(loop_edge.plocs, vec![fig.p[5], fig.p[7]]);
+    }
+
+    #[test]
+    fn space_stats() {
+        let fig = paper_figure1();
+        let st = fig.space.stats();
+        assert_eq!(st.partitions, 6);
+        assert_eq!(st.doors, 7);
+        assert_eq!(st.plocs, 9);
+        assert_eq!(st.partitioning_plocs, 6);
+        assert_eq!(st.slocs, 6);
+        assert_eq!(st.cells, 5);
+        // Classes: {p1},{p2},{p3},{p4,p9},{p5},{p6,p8},{p7} → 7.
+        assert_eq!(st.equiv_classes, 7);
+    }
+}

@@ -1,0 +1,106 @@
+//! Strongly-typed identifiers for indoor entities.
+//!
+//! Every entity class gets its own `u32` newtype so that, e.g., a
+//! [`PLocId`] can never be used where a [`CellId`] is expected. Ids are
+//! dense indexes into the owning container (assigned consecutively by the
+//! builders), which lets derived structures use plain `Vec`s instead of
+//! hash maps.
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The id as a dense container index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds the id from a dense container index.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                $name(u32::try_from(i).expect("id overflow"))
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifier of an indoor partition (room, hallway segment, staircase).
+    PartitionId,
+    "part"
+);
+define_id!(
+    /// Identifier of a door (an opening between two partitions).
+    DoorId,
+    "door"
+);
+define_id!(
+    /// Identifier of a P-location — a discrete positioning reference point
+    /// reported by the indoor positioning system (§2.1).
+    PLocId,
+    "p"
+);
+define_id!(
+    /// Identifier of an S-location — a user-defined semantic region
+    /// location queried by TkPLQ (§2.1).
+    SLocId,
+    "s"
+);
+define_id!(
+    /// Identifier of an indoor cell — a maximal group of partitions that an
+    /// object cannot leave without passing a partitioning P-location (§2.1).
+    CellId,
+    "c"
+);
+define_id!(
+    /// Identifier of an equivalence class of P-locations (P-locations with
+    /// identical rows/columns in the indoor location matrix, §3.1.2).
+    EquivClassId,
+    "e"
+);
+
+/// A floor number (ground floor = 0; negative values for basements).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct FloorId(pub i16);
+
+impl std::fmt::Display for FloorId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "F{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(PLocId(4).to_string(), "p4");
+        assert_eq!(SLocId(0).to_string(), "s0");
+        assert_eq!(CellId(1).to_string(), "c1");
+        assert_eq!(FloorId(2).to_string(), "F2");
+        assert_eq!(FloorId(-1).to_string(), "F-1");
+    }
+
+    #[test]
+    fn index_round_trip() {
+        let p = PLocId::from_index(42);
+        assert_eq!(p, PLocId(42));
+        assert_eq!(p.index(), 42);
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(PLocId(1) < PLocId(2));
+    }
+}

@@ -1,0 +1,313 @@
+use std::collections::HashMap;
+
+use crate::building::Building;
+use crate::cells::{CellDuo, DerivedCells};
+use crate::ids::{CellId, PLocId};
+use crate::locations::{PLocKind, PLocation};
+
+/// An edge of the indoor space location graph: a cell pair (or a single
+/// cell for loop edges) labeled with the P-locations that realize it.
+#[derive(Debug, Clone)]
+pub struct IslEdge {
+    /// The connected cells; `len() == 1` encodes a loop edge `⟨ci, ci⟩`.
+    pub cells: CellDuo,
+    /// `ℓe`: the labeling P-locations — partitioning P-locations between
+    /// the two cells for a proper edge, presence P-locations fully covered
+    /// by the cell for a loop edge. Sorted by id.
+    pub plocs: Vec<PLocId>,
+}
+
+impl IslEdge {
+    /// Whether this is a loop edge `⟨ci, ci⟩`.
+    pub fn is_loop(&self) -> bool {
+        self.cells.len() == 1
+    }
+}
+
+/// The indoor space location graph `GISL = (C, E, ℓe)` of §3.1.1: vertices
+/// are cells, edges capture topological connectivity, and the labeling
+/// function maps each edge to the P-locations realizing it.
+///
+/// The paper derives the equivalent-P-location merge (§3.1.2) from this
+/// graph: all P-locations labeling one edge are interchangeable when
+/// searching the indoor location matrix. [`crate::LocationMatrix`] exposes
+/// those classes.
+#[derive(Debug, Clone)]
+pub struct IslGraph {
+    edges: Vec<IslEdge>,
+    edge_of_duo: HashMap<CellDuo, usize>,
+    /// Edge indexes incident to each cell (loop edges included once).
+    incident: Vec<Vec<usize>>,
+    cell_count: usize,
+}
+
+impl IslGraph {
+    /// Builds the graph from the building topology, derived cells, and the
+    /// P-location set.
+    pub fn build(building: &Building, cells: &DerivedCells, plocs: &[PLocation]) -> Self {
+        let mut edge_of_duo: HashMap<CellDuo, usize> = HashMap::new();
+        let mut edges: Vec<IslEdge> = Vec::new();
+
+        let mut add_label = |duo: CellDuo, ploc: PLocId| {
+            let idx = *edge_of_duo.entry(duo).or_insert_with(|| {
+                edges.push(IslEdge {
+                    cells: duo,
+                    plocs: Vec::new(),
+                });
+                edges.len() - 1
+            });
+            edges[idx].plocs.push(ploc);
+        };
+
+        for p in plocs {
+            match p.kind {
+                PLocKind::Partitioning { door } => {
+                    let d = building.door(door);
+                    let ca = cells.cell_of_partition[d.a.index()];
+                    let cb = cells.cell_of_partition[d.b.index()];
+                    add_label(CellDuo::two(ca, cb), p.id);
+                }
+                PLocKind::Presence { partition } => {
+                    let c = cells.cell_of_partition[partition.index()];
+                    add_label(CellDuo::one(c), p.id);
+                }
+            }
+        }
+
+        for e in &mut edges {
+            e.plocs.sort_unstable();
+        }
+
+        let cell_count = cells.cells.len();
+        let mut incident = vec![Vec::new(); cell_count];
+        for (idx, e) in edges.iter().enumerate() {
+            for c in e.cells.iter() {
+                incident[c.index()].push(idx);
+            }
+        }
+
+        IslGraph {
+            edges,
+            edge_of_duo,
+            incident,
+            cell_count,
+        }
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[IslEdge] {
+        &self.edges
+    }
+
+    /// The edge for a cell pair / loop, if labeled by any P-location.
+    pub fn edge(&self, duo: CellDuo) -> Option<&IslEdge> {
+        self.edge_of_duo.get(&duo).map(|&i| &self.edges[i])
+    }
+
+    /// Edges incident to `cell` (loop edge included).
+    pub fn incident_edges(&self, cell: CellId) -> impl Iterator<Item = &IslEdge> + '_ {
+        self.incident[cell.index()].iter().map(|&i| &self.edges[i])
+    }
+
+    /// Neighboring cells reachable from `cell` through one labeled edge.
+    pub fn neighbors(&self, cell: CellId) -> impl Iterator<Item = CellId> + '_ {
+        self.incident_edges(cell)
+            .filter(|e| !e.is_loop())
+            .flat_map(move |e| e.cells.iter().filter(move |&c| c != cell))
+    }
+
+    /// Number of vertices (cells).
+    pub fn cell_count(&self) -> usize {
+        self.cell_count
+    }
+
+    /// Number of edges, loop edges included (the paper's `M = |E|`, the
+    /// dimension of the merged location matrix).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether every cell can reach every other cell through proper edges.
+    /// Useful as a sanity check on generated buildings: a disconnected
+    /// graph means some rooms are unreachable for positioning transitions.
+    pub fn is_connected(&self) -> bool {
+        if self.cell_count == 0 {
+            return true;
+        }
+        let mut seen = vec![false; self.cell_count];
+        let mut stack = vec![CellId(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(c) = stack.pop() {
+            for n in self.neighbors(c) {
+                if !seen[n.index()] {
+                    seen[n.index()] = true;
+                    count += 1;
+                    stack.push(n);
+                }
+            }
+        }
+        count == self.cell_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::building::BuildingBuilder;
+    use crate::cells::derive_cells;
+    use crate::ids::{FloorId, PartitionId};
+    use crate::partition::PartitionKind;
+    use indoor_geom::{Point, Rect};
+
+    /// Two rooms + hallway; both room doors guarded, one presence P-location
+    /// in the hallway.
+    fn setup() -> (IslGraph, Vec<CellId>) {
+        let mut b = BuildingBuilder::new();
+        let room_a = b.partition(
+            "a",
+            FloorId(0),
+            Rect::from_coords(0.0, 5.0, 5.0, 10.0),
+            PartitionKind::Room,
+        );
+        let room_b = b.partition(
+            "b",
+            FloorId(0),
+            Rect::from_coords(5.0, 5.0, 10.0, 10.0),
+            PartitionKind::Room,
+        );
+        let hall = b.partition(
+            "hall",
+            FloorId(0),
+            Rect::from_coords(0.0, 0.0, 10.0, 5.0),
+            PartitionKind::Hallway,
+        );
+        let da = b.door(room_a, hall, Point::new(2.5, 5.0));
+        let db = b.door(room_b, hall, Point::new(7.5, 5.0));
+        let building = b.build().unwrap();
+        let plocs = vec![
+            PLocation {
+                id: PLocId(0),
+                pos: Point::new(2.5, 5.0),
+                floor: FloorId(0),
+                kind: PLocKind::Partitioning { door: da },
+            },
+            PLocation {
+                id: PLocId(1),
+                pos: Point::new(7.5, 5.0),
+                floor: FloorId(0),
+                kind: PLocKind::Partitioning { door: db },
+            },
+            PLocation {
+                id: PLocId(2),
+                pos: Point::new(5.0, 2.5),
+                floor: FloorId(0),
+                kind: PLocKind::Presence { partition: hall },
+            },
+        ];
+        let derived = derive_cells(&building, &plocs);
+        let cell_ids = [room_a, room_b, hall]
+            .iter()
+            .map(|p| derived.cell_of_partition[p.index()])
+            .collect();
+        (IslGraph::build(&building, &derived, &plocs), cell_ids)
+    }
+
+    #[test]
+    fn builds_proper_and_loop_edges() {
+        let (g, cells) = setup();
+        assert_eq!(g.cell_count(), 3);
+        assert_eq!(g.edge_count(), 3); // a–hall, b–hall, hall loop
+        let loop_edge = g.edge(CellDuo::one(cells[2])).unwrap();
+        assert!(loop_edge.is_loop());
+        assert_eq!(loop_edge.plocs, vec![PLocId(2)]);
+        let a_hall = g.edge(CellDuo::two(cells[0], cells[2])).unwrap();
+        assert_eq!(a_hall.plocs, vec![PLocId(0)]);
+        assert!(g.edge(CellDuo::two(cells[0], cells[1])).is_none());
+    }
+
+    #[test]
+    fn neighbors_follow_proper_edges_only() {
+        let (g, cells) = setup();
+        let mut hall_neighbors: Vec<CellId> = g.neighbors(cells[2]).collect();
+        hall_neighbors.sort();
+        assert_eq!(hall_neighbors, vec![cells[0], cells[1]]);
+        let a_neighbors: Vec<CellId> = g.neighbors(cells[0]).collect();
+        assert_eq!(a_neighbors, vec![cells[2]]);
+    }
+
+    #[test]
+    fn connectivity_detected() {
+        let (g, _) = setup();
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn disconnected_graph_detected() {
+        // Two rooms with a guarded door but no P-location: no edges at all.
+        let mut b = BuildingBuilder::new();
+        let a = b.partition(
+            "a",
+            FloorId(0),
+            Rect::from_coords(0.0, 0.0, 5.0, 5.0),
+            PartitionKind::Room,
+        );
+        let c = b.partition(
+            "c",
+            FloorId(0),
+            Rect::from_coords(10.0, 0.0, 15.0, 5.0),
+            PartitionKind::Room,
+        );
+        let _ = (a, c);
+        let building = b.build().unwrap();
+        let derived = derive_cells(&building, &[]);
+        let g = IslGraph::build(&building, &derived, &[]);
+        assert_eq!(g.cell_count(), 2);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn multiple_doors_same_cell_pair_share_edge() {
+        let mut b = BuildingBuilder::new();
+        let a = b.partition(
+            "a",
+            FloorId(0),
+            Rect::from_coords(0.0, 0.0, 5.0, 5.0),
+            PartitionKind::Room,
+        );
+        let c = b.partition(
+            "c",
+            FloorId(0),
+            Rect::from_coords(5.0, 0.0, 10.0, 5.0),
+            PartitionKind::Room,
+        );
+        let d1 = b.door(a, c, Point::new(5.0, 1.0));
+        let d2 = b.door(a, c, Point::new(5.0, 4.0));
+        let building = b.build().unwrap();
+        let plocs = vec![
+            PLocation {
+                id: PLocId(0),
+                pos: Point::new(5.0, 1.0),
+                floor: FloorId(0),
+                kind: PLocKind::Partitioning { door: d1 },
+            },
+            PLocation {
+                id: PLocId(1),
+                pos: Point::new(5.0, 4.0),
+                floor: FloorId(0),
+                kind: PLocKind::Partitioning { door: d2 },
+            },
+        ];
+        let derived = derive_cells(&building, &plocs);
+        let g = IslGraph::build(&building, &derived, &plocs);
+        assert_eq!(g.edge_count(), 1);
+        let duo = CellDuo::two(
+            derived.cell_of_partition[a.index()],
+            derived.cell_of_partition[c.index()],
+        );
+        // Both P-locations label the same edge → equivalent (p4 ≡ p9 in the
+        // paper's Figure 1).
+        assert_eq!(g.edge(duo).unwrap().plocs, vec![PLocId(0), PLocId(1)]);
+        let _ = PartitionId(0);
+    }
+}

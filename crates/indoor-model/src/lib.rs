@@ -1,0 +1,47 @@
+//! Indoor space model for the `popflow` workspace — the topology substrate
+//! of Li et al., "Finding Most Popular Indoor Semantic Locations Using
+//! Uncertain Mobility Data" (TKDE 2019), §2.1 and §3.1.
+//!
+//! The model is layered:
+//!
+//! 1. [`Building`] — partitions (rooms / hallway segments / staircases)
+//!    connected by doors; pure walls-and-doors topology.
+//! 2. [`PLocation`] / [`SLocation`] — the two location vocabularies:
+//!    discrete positioning reference points (further split into
+//!    *partitioning* and *presence* P-locations) and user-defined semantic
+//!    regions.
+//! 3. Derived structures, computed once per space:
+//!    * [`Cell`]s — maximal partition groups separated only by partitioning
+//!      P-locations (union-find over unguarded doors);
+//!    * [`IslGraph`] — the indoor space location graph `GISL = (C, E, ℓe)`;
+//!    * [`LocationMatrix`] — the indoor location matrix `MIL` with
+//!      equivalent-P-location classes;
+//!    * the `C2S` and `Cell(·)` mappings between cells and S-locations.
+//! 4. [`DoorGraph`] — shortest indoor routes through doors, used by the
+//!    mobility simulator ("objects move along the shortest indoor path").
+//!
+//! [`fixtures::paper_figure1`] reconstructs the paper's running example and
+//! is reused by tests across the workspace.
+
+mod building;
+mod cells;
+mod door;
+mod door_graph;
+pub mod fixtures;
+mod ids;
+mod isl_graph;
+mod location_matrix;
+mod locations;
+mod partition;
+mod space;
+
+pub use building::{Building, BuildingBuilder, BuildingError};
+pub use cells::{Cell, CellDuo, CellVec};
+pub use door::Door;
+pub use door_graph::{DoorGraph, Leg, Route, DEFAULT_STAIR_COST};
+pub use ids::{CellId, DoorId, EquivClassId, FloorId, PLocId, PartitionId, SLocId};
+pub use isl_graph::{IslEdge, IslGraph};
+pub use location_matrix::{EquivClass, LocationMatrix};
+pub use locations::{PLocKind, PLocation, SLocation};
+pub use partition::{Partition, PartitionKind};
+pub use space::{IndoorSpace, SpaceBuilder, SpaceError, SpaceStats};

@@ -1,0 +1,278 @@
+use std::collections::HashMap;
+
+use crate::cells::{CellDuo, CellVec};
+use crate::ids::{EquivClassId, PLocId};
+
+/// An equivalence class of P-locations: all P-locations touching the same
+/// cell set (`cells(p)`), i.e. labeling the same `GISL` edge. Within a
+/// class, P-locations have identical rows/columns in the indoor location
+/// matrix (`pi ≡ pj`, §3.1.2), so the data reduction's intra-merge folds
+/// their sample probabilities together.
+#[derive(Debug, Clone)]
+pub struct EquivClass {
+    pub id: EquivClassId,
+    /// The common `cells(p)` of every member.
+    pub cells: CellDuo,
+    /// Members, sorted by id.
+    pub members: Vec<PLocId>,
+}
+
+impl EquivClass {
+    /// The representative kept after merging — the member with the smallest
+    /// id, matching the paper's footnote 5 ("we keep the P-location with a
+    /// smaller subscript after a merge").
+    pub fn representative(&self) -> PLocId {
+        self.members[0]
+    }
+}
+
+/// The indoor location matrix `MIL` of §3.1.2.
+///
+/// Conceptually an `N × N` upper-triangular matrix over P-locations where
+/// `MIL[pi, pj]` holds the cells through which `pj` is directly reachable
+/// from `pi`. We store it as the per-P-location cell sets `cells(p)` (at
+/// most two cells each) and compute entries as
+/// `MIL[pi, pj] = cells(pi) ∩ cells(pj)` — an O(1) lookup with O(N) memory
+/// that we verified reproduces the paper's Figure 3 matrix. This is
+/// equivalent to the paper's merged `M × M` matrix (`M = |GISL.E|`): the
+/// merge key is exactly the cell set.
+#[derive(Debug, Clone)]
+pub struct LocationMatrix {
+    /// `cells(p)` per P-location, indexed by id.
+    cells_of: Vec<CellDuo>,
+    /// Equivalence class of each P-location, indexed by id.
+    class_of: Vec<EquivClassId>,
+    classes: Vec<EquivClass>,
+}
+
+impl LocationMatrix {
+    /// Builds the matrix from per-P-location cell sets (indexed by id).
+    pub fn build(cells_of: Vec<CellDuo>) -> Self {
+        let mut class_ids: HashMap<CellDuo, EquivClassId> = HashMap::new();
+        let mut classes: Vec<EquivClass> = Vec::new();
+        let mut class_of = Vec::with_capacity(cells_of.len());
+        for (i, duo) in cells_of.iter().enumerate() {
+            let id = *class_ids.entry(*duo).or_insert_with(|| {
+                let id = EquivClassId::from_index(classes.len());
+                classes.push(EquivClass {
+                    id,
+                    cells: *duo,
+                    members: Vec::new(),
+                });
+                id
+            });
+            classes[id.index()].members.push(PLocId::from_index(i));
+            class_of.push(id);
+        }
+        // Members are pushed in increasing id order, so they are sorted and
+        // `members[0]` is the smallest-id representative.
+        LocationMatrix {
+            cells_of,
+            class_of,
+            classes,
+        }
+    }
+
+    /// Number of P-locations (`N`, the dimension of the unmerged matrix).
+    pub fn ploc_count(&self) -> usize {
+        self.cells_of.len()
+    }
+
+    /// Number of equivalence classes (`M`, the dimension of the merged
+    /// matrix; `M ≤ N`).
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// The cell set `cells(p)` — also the diagonal entry `MIL[p, p]`: the
+    /// adjacent cells of a partitioning P-location, or the containing cell
+    /// of a presence P-location.
+    #[inline]
+    pub fn cells_of(&self, p: PLocId) -> CellDuo {
+        self.cells_of[p.index()]
+    }
+
+    /// The matrix entry `MIL[pi, pj]`: cells through which one can reach
+    /// `pj` from `pi` without involving any other cell. Empty when the two
+    /// P-locations share no cell (the `∅` entries of Figure 3).
+    #[inline]
+    pub fn cells_between(&self, pi: PLocId, pj: PLocId) -> CellVec {
+        if pi == pj {
+            return CellVec::from_duo(self.cells_of(pi));
+        }
+        self.cells_of(pi).intersect(&self.cells_of(pj))
+    }
+
+    /// Whether `MIL[pi, pj]` is non-empty — the path-validity test of
+    /// Algorithm 2 line 14.
+    #[inline]
+    pub fn connected(&self, pi: PLocId, pj: PLocId) -> bool {
+        pi == pj || !self.cells_of(pi).intersect(&self.cells_of(pj)).is_empty()
+    }
+
+    /// Whether `pi ≡ pj` (identical cell sets).
+    #[inline]
+    pub fn equivalent(&self, pi: PLocId, pj: PLocId) -> bool {
+        self.class_of[pi.index()] == self.class_of[pj.index()]
+    }
+
+    /// The equivalence class id of `p`.
+    #[inline]
+    pub fn class_of(&self, p: PLocId) -> EquivClassId {
+        self.class_of[p.index()]
+    }
+
+    /// All equivalence classes.
+    pub fn classes(&self) -> &[EquivClass] {
+        &self.classes
+    }
+
+    /// A class by id.
+    pub fn class(&self, id: EquivClassId) -> &EquivClass {
+        &self.classes[id.index()]
+    }
+
+    /// The smallest-id P-location equivalent to `p` (the merge
+    /// representative).
+    #[inline]
+    pub fn representative(&self, p: PLocId) -> PLocId {
+        self.class(self.class_of(p)).representative()
+    }
+
+    /// Estimated heap memory of the structure in bytes (the paper reports
+    /// the memory consumption of its data structures, §5.2).
+    pub fn memory_bytes(&self) -> usize {
+        self.cells_of.len() * std::mem::size_of::<CellDuo>()
+            + self.class_of.len() * std::mem::size_of::<EquivClassId>()
+            + self
+                .classes
+                .iter()
+                .map(|c| {
+                    std::mem::size_of::<EquivClass>()
+                        + c.members.len() * std::mem::size_of::<PLocId>()
+                })
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::CellId;
+
+    /// Mirrors the paper's Figure 1/3 topology:
+    /// cells c1..c6 (paper numbering; our ids 0-based with c2 missing since
+    /// the paper has no c2) and P-locations p1..p9 (ids 0..8).
+    fn figure3_matrix() -> LocationMatrix {
+        let c1 = CellId(0);
+        let c3 = CellId(1);
+        let c4 = CellId(2);
+        let c5 = CellId(3);
+        let c6 = CellId(4);
+        LocationMatrix::build(vec![
+            CellDuo::two(c4, c5),  // p1
+            CellDuo::two(c4, c6),  // p2
+            CellDuo::two(c3, c4),  // p3
+            CellDuo::two(c1, c6),  // p4
+            CellDuo::two(c5, c6),  // p5
+            CellDuo::one(c6),      // p6
+            CellDuo::one(c1),      // p7
+            CellDuo::one(c6),      // p8
+            CellDuo::two(c1, c6),  // p9
+        ])
+    }
+
+    fn p(i: u32) -> PLocId {
+        // Paper numbering p1..p9 → ids 0..8.
+        PLocId(i - 1)
+    }
+
+    #[test]
+    fn reproduces_figure3_entries() {
+        let m = figure3_matrix();
+        let c1 = CellId(0);
+        let c4 = CellId(2);
+        let c5 = CellId(3);
+        let c6 = CellId(4);
+
+        // Row p1: {c4,c5}, c4, c4, ∅, c5, ∅, ∅, ∅, ∅
+        assert_eq!(m.cells_between(p(1), p(1)).as_slice(), &[c4, c5]);
+        assert_eq!(m.cells_between(p(1), p(2)).as_slice(), &[c4]);
+        assert_eq!(m.cells_between(p(1), p(3)).as_slice(), &[c4]);
+        assert!(m.cells_between(p(1), p(4)).is_empty());
+        assert_eq!(m.cells_between(p(1), p(5)).as_slice(), &[c5]);
+        assert!(m.cells_between(p(1), p(6)).is_empty());
+        assert!(m.cells_between(p(1), p(7)).is_empty());
+        assert!(m.cells_between(p(1), p(8)).is_empty());
+        assert!(m.cells_between(p(1), p(9)).is_empty());
+
+        // Selected entries from other rows.
+        assert_eq!(m.cells_between(p(4), p(9)).as_slice(), &[c1, c6]);
+        assert_eq!(m.cells_between(p(4), p(7)).as_slice(), &[c1]);
+        assert_eq!(m.cells_between(p(4), p(5)).as_slice(), &[c6]);
+        assert_eq!(m.cells_between(p(8), p(8)).as_slice(), &[c6]);
+        assert!(m.cells_between(p(3), p(4)).is_empty());
+        assert_eq!(m.cells_between(p(2), p(3)).as_slice(), &[c4]);
+        assert_eq!(m.cells_between(p(2), p(4)).as_slice(), &[c6]);
+        assert!(m.cells_between(p(3), p(5)).is_empty());
+        assert_eq!(m.cells_between(p(5), p(6)).as_slice(), &[c6]);
+        assert!(m.cells_between(p(5), p(7)).is_empty());
+    }
+
+    #[test]
+    fn symmetry() {
+        let m = figure3_matrix();
+        for i in 1..=9u32 {
+            for j in 1..=9u32 {
+                assert_eq!(
+                    m.cells_between(p(i), p(j)).as_slice(),
+                    m.cells_between(p(j), p(i)).as_slice(),
+                    "MIL[p{i},p{j}] should equal MIL[p{j},p{i}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equivalence_classes_match_paper() {
+        let m = figure3_matrix();
+        // p4 ≡ p9 (both {c1,c6}) and p6 ≡ p8 (both {c6}).
+        assert!(m.equivalent(p(4), p(9)));
+        assert!(m.equivalent(p(6), p(8)));
+        assert!(!m.equivalent(p(4), p(6)));
+        assert!(!m.equivalent(p(1), p(2)));
+        // Representatives keep the smaller subscript.
+        assert_eq!(m.representative(p(9)), p(4));
+        assert_eq!(m.representative(p(8)), p(6));
+        assert_eq!(m.representative(p(1)), p(1));
+        // 9 P-locations, 2 merges → 7 classes (M < N).
+        assert_eq!(m.ploc_count(), 9);
+        assert_eq!(m.class_count(), 7);
+    }
+
+    #[test]
+    fn connected_is_diagonal_reflexive() {
+        let m = figure3_matrix();
+        for i in 1..=9u32 {
+            assert!(m.connected(p(i), p(i)));
+        }
+        assert!(!m.connected(p(3), p(4)));
+        assert!(!m.connected(p(2), p(7))); // {c4,c6} ∩ {c1} = ∅
+        assert!(m.connected(p(2), p(6))); // {c4,c6} ∩ {c6} = {c6}
+    }
+
+    #[test]
+    fn class_members_sorted() {
+        let m = figure3_matrix();
+        for class in m.classes() {
+            assert!(class.members.windows(2).all(|w| w[0] < w[1]));
+            assert_eq!(class.representative(), class.members[0]);
+        }
+    }
+
+    #[test]
+    fn memory_estimate_positive() {
+        let m = figure3_matrix();
+        assert!(m.memory_bytes() > 0);
+    }
+}

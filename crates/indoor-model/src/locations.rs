@@ -1,0 +1,71 @@
+use indoor_geom::{Point, Rect};
+
+use crate::ids::{DoorId, FloorId, PLocId, PartitionId, SLocId};
+
+/// The topological role of a P-location (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PLocKind {
+    /// Sits at a door and (together with the other partitioning
+    /// P-locations) partitions the space into cells: an object cannot move
+    /// between the two adjacent cells without being positioned here.
+    Partitioning { door: DoorId },
+    /// Merely implies the presence of a positioned object inside one
+    /// partition; does not split the space.
+    Presence { partition: PartitionId },
+}
+
+/// A P-location: one of the discrete point locations an indoor positioning
+/// system can report (e.g. a Wi-Fi fingerprinting reference point).
+#[derive(Debug, Clone)]
+pub struct PLocation {
+    pub id: PLocId,
+    pub pos: Point,
+    pub floor: FloorId,
+    pub kind: PLocKind,
+}
+
+impl PLocation {
+    /// Whether this is a partitioning P-location.
+    pub fn is_partitioning(&self) -> bool {
+        matches!(self.kind, PLocKind::Partitioning { .. })
+    }
+}
+
+/// An S-location: a user-defined semantic region location (§2.1), the unit
+/// the top-k popular location query ranks. Usually one partition (the
+/// paper converts every partition of its synthetic building into an
+/// S-location) but may span several, e.g. a shop occupying two rooms.
+#[derive(Debug, Clone)]
+pub struct SLocation {
+    pub id: SLocId,
+    pub name: String,
+    pub partitions: Vec<PartitionId>,
+    /// MBR over the member partitions (on `floor`).
+    pub rect: Rect,
+    pub floor: FloorId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        let part = PLocation {
+            id: PLocId(0),
+            pos: Point::new(0.0, 0.0),
+            floor: FloorId(0),
+            kind: PLocKind::Partitioning { door: DoorId(3) },
+        };
+        let pres = PLocation {
+            id: PLocId(1),
+            pos: Point::new(0.0, 0.0),
+            floor: FloorId(0),
+            kind: PLocKind::Presence {
+                partition: PartitionId(2),
+            },
+        };
+        assert!(part.is_partitioning());
+        assert!(!pres.is_partitioning());
+    }
+}

@@ -1,0 +1,55 @@
+use indoor_geom::Rect;
+
+use crate::ids::{FloorId, PartitionId};
+
+/// What kind of space a partition is. The paper treats hallways and
+/// staircases as rooms topologically (§2.1); the kind is kept for the data
+/// generator (movement destinations are rooms, staircases connect floors)
+/// and for human-readable output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PartitionKind {
+    Room,
+    Hallway,
+    Staircase,
+}
+
+/// An indoor partition: an axis-aligned rectangular region on one floor,
+/// bounded by walls, connected to other partitions only through doors.
+///
+/// Irregular real-world partitions are assumed to have been decomposed into
+/// rectangles (the paper does the same for its synthetic building: "the
+/// irregular partitions in these entities are decomposed into smaller but
+/// regular ones", §5.3).
+#[derive(Debug, Clone)]
+pub struct Partition {
+    pub id: PartitionId,
+    pub floor: FloorId,
+    pub rect: Rect,
+    pub kind: PartitionKind,
+    /// Human-readable name, e.g. `"r3"` or `"F2-room-17"`.
+    pub name: String,
+}
+
+impl Partition {
+    /// Area of the partition in m².
+    pub fn area(&self) -> f64 {
+        self.rect.area()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_delegates_to_rect() {
+        let p = Partition {
+            id: PartitionId(0),
+            floor: FloorId(0),
+            rect: Rect::from_coords(0.0, 0.0, 4.0, 5.0),
+            kind: PartitionKind::Room,
+            name: "r0".into(),
+        };
+        assert_eq!(p.area(), 20.0);
+    }
+}

@@ -1,0 +1,18 @@
+//! The Indoor Uncertain Positioning Table (IUPT) of §2.2: probabilistic
+//! positioning records `(oid, X, t)` where each sample set `X` lists
+//! `(loc, prob)` pairs summing to probability 1, plus the time-indexed
+//! store the query algorithms fetch from.
+//!
+//! The [`fixtures::paper_table2`] fixture reproduces the paper's Table 2
+//! example data and backs the worked-example tests in `popflow-core`.
+
+pub mod fixtures;
+mod rfid;
+mod sample;
+mod table;
+mod time;
+
+pub use rfid::{ReaderId, RfidDeployment, RfidReader, RfidRecord, RfidTrackingData};
+pub use sample::{Sample, SampleSet, SampleSetError};
+pub use table::{Iupt, IuptStats, ObjectId, ObjectSequence, Record};
+pub use time::{TimeInterval, Timestamp};

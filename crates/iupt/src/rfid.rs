@@ -1,0 +1,181 @@
+//! RFID tracking data model shared by the SCC and UR comparators
+//! (§5.3.3): readers deployed at doors with a fixed detection range
+//! produce records `(o, r_i, ts, te)` meaning object `o` stayed in reader
+//! `r_i`'s range from `ts` to `te`.
+//!
+//! The simulator (`indoor-sim`) generates this data from the same ground
+//! truth trajectories that underlie the IUPT, mirroring the paper's setup
+//! ("we build an RFID tracking model and generate the corresponding
+//! tracking records according to the same set of object trajectories").
+
+use indoor_geom::Point;
+use indoor_model::{DoorId, FloorId, SLocId};
+
+use crate::table::ObjectId;
+use crate::time::{TimeInterval, Timestamp};
+
+/// Identifier of an RFID reader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReaderId(pub u32);
+
+impl ReaderId {
+    /// Dense container index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ReaderId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "reader{}", self.0)
+    }
+}
+
+/// One deployed reader, placed at a door (the paper deploys "ordinary RFID
+/// readers with 3-meter detection range at doors").
+#[derive(Debug, Clone)]
+pub struct RfidReader {
+    pub id: ReaderId,
+    pub pos: Point,
+    pub floor: FloorId,
+    pub door: DoorId,
+    /// S-locations adjacent to the reader's door (both sides); SCC counts
+    /// a detected object toward these.
+    pub adjacent_slocs: Vec<SLocId>,
+}
+
+/// A reader deployment.
+#[derive(Debug, Clone)]
+pub struct RfidDeployment {
+    pub readers: Vec<RfidReader>,
+    /// Detection radius in meters (3 m in the paper).
+    pub detection_range: f64,
+}
+
+impl RfidDeployment {
+    /// Reader lookup by id.
+    pub fn reader(&self, id: ReaderId) -> &RfidReader {
+        &self.readers[id.index()]
+    }
+
+    /// Readers adjacent to an S-location.
+    pub fn readers_of_sloc(&self, sloc: SLocId) -> impl Iterator<Item = &RfidReader> + '_ {
+        self.readers
+            .iter()
+            .filter(move |r| r.adjacent_slocs.contains(&sloc))
+    }
+}
+
+/// One tracking record: `o` was continuously within `reader`'s range
+/// during `[ts, te]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RfidRecord {
+    pub oid: ObjectId,
+    pub reader: ReaderId,
+    pub ts: Timestamp,
+    pub te: Timestamp,
+}
+
+impl RfidRecord {
+    /// Whether the detection overlaps the query window.
+    pub fn overlaps(&self, interval: TimeInterval) -> bool {
+        self.ts <= interval.end && self.te >= interval.start
+    }
+}
+
+/// A complete RFID tracking data set.
+#[derive(Debug, Clone)]
+pub struct RfidTrackingData {
+    pub deployment: RfidDeployment,
+    /// Records sorted by `(oid, ts)`.
+    records: Vec<RfidRecord>,
+}
+
+impl RfidTrackingData {
+    /// Builds the data set, sorting records by `(oid, ts)`.
+    pub fn new(deployment: RfidDeployment, mut records: Vec<RfidRecord>) -> Self {
+        records.sort_by_key(|r| (r.oid, r.ts, r.te));
+        RfidTrackingData {
+            deployment,
+            records,
+        }
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[RfidRecord] {
+        &self.records
+    }
+
+    /// Per-object record runs overlapping the window, each in time order.
+    pub fn sequences_in(&self, interval: TimeInterval) -> Vec<(ObjectId, Vec<&RfidRecord>)> {
+        let mut out: Vec<(ObjectId, Vec<&RfidRecord>)> = Vec::new();
+        for r in &self.records {
+            if !r.overlaps(interval) {
+                continue;
+            }
+            match out.last_mut() {
+                Some((oid, v)) if *oid == r.oid => v.push(r),
+                _ => out.push((r.oid, vec![r])),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deployment() -> RfidDeployment {
+        RfidDeployment {
+            readers: vec![RfidReader {
+                id: ReaderId(0),
+                pos: Point::new(1.0, 1.0),
+                floor: FloorId(0),
+                door: DoorId(0),
+                adjacent_slocs: vec![SLocId(0), SLocId(1)],
+            }],
+            detection_range: 3.0,
+        }
+    }
+
+    fn rec(oid: u32, reader: u32, ts: i64, te: i64) -> RfidRecord {
+        RfidRecord {
+            oid: ObjectId(oid),
+            reader: ReaderId(reader),
+            ts: Timestamp::from_secs(ts),
+            te: Timestamp::from_secs(te),
+        }
+    }
+
+    #[test]
+    fn overlap_test() {
+        let iv = TimeInterval::new(Timestamp::from_secs(10), Timestamp::from_secs(20));
+        assert!(rec(0, 0, 5, 10).overlaps(iv)); // touches start
+        assert!(rec(0, 0, 20, 25).overlaps(iv)); // touches end
+        assert!(rec(0, 0, 12, 15).overlaps(iv));
+        assert!(!rec(0, 0, 0, 9).overlaps(iv));
+        assert!(!rec(0, 0, 21, 30).overlaps(iv));
+    }
+
+    #[test]
+    fn sequences_grouped_by_object_in_order() {
+        let data = RfidTrackingData::new(
+            deployment(),
+            vec![rec(2, 0, 5, 6), rec(1, 0, 3, 4), rec(1, 0, 1, 2)],
+        );
+        let iv = TimeInterval::new(Timestamp::from_secs(0), Timestamp::from_secs(100));
+        let seqs = data.sequences_in(iv);
+        assert_eq!(seqs.len(), 2);
+        assert_eq!(seqs[0].0, ObjectId(1));
+        assert_eq!(seqs[0].1.len(), 2);
+        assert!(seqs[0].1[0].ts <= seqs[0].1[1].ts);
+    }
+
+    #[test]
+    fn readers_of_sloc_filters() {
+        let d = deployment();
+        assert_eq!(d.readers_of_sloc(SLocId(0)).count(), 1);
+        assert_eq!(d.readers_of_sloc(SLocId(9)).count(), 0);
+    }
+}

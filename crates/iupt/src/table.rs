@@ -1,0 +1,300 @@
+use std::collections::HashMap;
+
+use indoor_rtree::TimeIndex;
+
+use crate::sample::SampleSet;
+use crate::time::{TimeInterval, Timestamp};
+
+/// Identifier of an indoor moving object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectId(pub u32);
+
+impl ObjectId {
+    /// Dense container index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+/// One positioning record `(oid, X, t)` (§2.2): at time `t`, object `oid`'s
+/// location is described by the sample set `X`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    pub oid: ObjectId,
+    pub t: Timestamp,
+    pub samples: SampleSet,
+}
+
+/// An object's positioning sequence within a query window: the records
+/// ordered by time — the `X = (X1, …, Xn)` of §2.3.
+#[derive(Debug, Clone)]
+pub struct ObjectSequence<'a> {
+    pub oid: ObjectId,
+    pub records: Vec<&'a Record>,
+}
+
+impl ObjectSequence<'_> {
+    /// Sequence length `n`.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Upper bound on the number of possible paths,
+    /// `Π 1..n |πl(Xi)|` (§3.2) — saturating, as it grows explosively.
+    pub fn max_paths(&self) -> u128 {
+        self.records
+            .iter()
+            .fold(1u128, |acc, r| acc.saturating_mul(r.samples.len() as u128))
+    }
+}
+
+/// The Indoor Uncertain Positioning Table (IUPT): the append-only log of
+/// positioning records, indexed on its time attribute by a 1D R-tree
+/// (§3.3).
+#[derive(Debug, Clone, Default)]
+pub struct Iupt {
+    records: Vec<Record>,
+    index: TimeIndex<u32>,
+}
+
+impl Iupt {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from records, sorting them by time (stable, so same-timestamp
+    /// records keep insertion order).
+    pub fn from_records(mut records: Vec<Record>) -> Self {
+        records.sort_by_key(|r| r.t);
+        let mut table = Iupt::new();
+        for r in records {
+            table.push(r);
+        }
+        table
+    }
+
+    /// Appends a record; records must arrive in non-decreasing time order.
+    pub fn push(&mut self, record: Record) {
+        let idx = self.records.len() as u32;
+        self.index.push(record.t.millis(), idx);
+        self.records.push(record);
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records in time order.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Earliest and latest record timestamps.
+    pub fn time_bounds(&self) -> Option<TimeInterval> {
+        match (self.records.first(), self.records.last()) {
+            (Some(a), Some(b)) => Some(TimeInterval::new(a.t, b.t)),
+            _ => None,
+        }
+    }
+
+    /// Number of distinct objects in the table.
+    pub fn object_count(&self) -> usize {
+        let mut ids: Vec<ObjectId> = self.records.iter().map(|r| r.oid).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Records within `[ts, te]` via the time index (Algorithm 2 line 1).
+    pub fn range_query(&mut self, interval: TimeInterval) -> Vec<&Record> {
+        let hits = self
+            .index
+            .range_query(interval.start.millis(), interval.end.millis());
+        hits.iter().map(|&(_, i)| &self.records[i as usize]).collect()
+    }
+
+    /// The per-object hash table `HO : {oid} → {X}` of Algorithms 2–4:
+    /// records in `[ts, te]` grouped by object, each group ordered by time.
+    /// Groups are returned sorted by object id for deterministic iteration.
+    pub fn sequences_in(&mut self, interval: TimeInterval) -> Vec<ObjectSequence<'_>> {
+        let hits = self
+            .index
+            .range_query(interval.start.millis(), interval.end.millis());
+        let mut by_object: HashMap<ObjectId, Vec<&Record>> = HashMap::new();
+        for &(_, i) in hits {
+            let r = &self.records[i as usize];
+            by_object.entry(r.oid).or_default().push(r);
+        }
+        let mut seqs: Vec<ObjectSequence<'_>> = by_object
+            .into_iter()
+            .map(|(oid, records)| ObjectSequence { oid, records })
+            .collect();
+        seqs.sort_by_key(|s| s.oid);
+        seqs
+    }
+
+    /// One object's sequence within the window.
+    pub fn sequence_of(&mut self, oid: ObjectId, interval: TimeInterval) -> ObjectSequence<'_> {
+        let hits = self
+            .index
+            .range_query(interval.start.millis(), interval.end.millis());
+        let records = hits
+            .iter()
+            .map(|&(_, i)| &self.records[i as usize])
+            .filter(|r| r.oid == oid)
+            .collect();
+        ObjectSequence { oid, records }
+    }
+
+    /// Summary statistics for reporting.
+    pub fn stats(&self) -> IuptStats {
+        let samples: usize = self.records.iter().map(|r| r.samples.len()).sum();
+        IuptStats {
+            records: self.records.len(),
+            objects: self.object_count(),
+            total_samples: samples,
+            max_sample_set_size: self
+                .records
+                .iter()
+                .map(|r| r.samples.len())
+                .max()
+                .unwrap_or(0),
+        }
+    }
+}
+
+/// Summary statistics of an [`Iupt`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IuptStats {
+    pub records: usize,
+    pub objects: usize,
+    pub total_samples: usize,
+    pub max_sample_set_size: usize,
+}
+
+impl std::fmt::Display for IuptStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} records from {} objects ({} samples, mss {})",
+            self.records, self.objects, self.total_samples, self.max_sample_set_size
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::Sample;
+    use indoor_model::PLocId;
+
+    fn rec(oid: u32, t_secs: i64, locs: &[(u32, f64)]) -> Record {
+        Record {
+            oid: ObjectId(oid),
+            t: Timestamp::from_secs(t_secs),
+            samples: SampleSet::new(
+                locs.iter()
+                    .map(|&(l, pr)| Sample::new(PLocId(l), pr))
+                    .collect(),
+            )
+            .unwrap(),
+        }
+    }
+
+    fn table() -> Iupt {
+        Iupt::from_records(vec![
+            rec(1, 1, &[(4, 1.0)]),
+            rec(2, 1, &[(1, 0.5), (2, 0.5)]),
+            rec(3, 2, &[(2, 0.6), (3, 0.4)]),
+            rec(1, 3, &[(9, 1.0)]),
+            rec(2, 3, &[(2, 0.7), (4, 0.3)]),
+            rec(1, 4, &[(8, 1.0)]),
+            rec(2, 5, &[(5, 0.3), (6, 0.6), (8, 0.1)]),
+            rec(3, 5, &[(2, 0.4), (3, 0.6)]),
+            rec(2, 6, &[(5, 0.2), (6, 0.3), (8, 0.5)]),
+            rec(3, 8, &[(3, 1.0)]),
+        ])
+    }
+
+    #[test]
+    fn counts_and_bounds() {
+        let t = table();
+        assert_eq!(t.len(), 10);
+        assert_eq!(t.object_count(), 3);
+        let b = t.time_bounds().unwrap();
+        assert_eq!(b.start, Timestamp::from_secs(1));
+        assert_eq!(b.end, Timestamp::from_secs(8));
+        let st = t.stats();
+        assert_eq!(st.max_sample_set_size, 3);
+        assert_eq!(st.total_samples, 18);
+    }
+
+    #[test]
+    fn range_query_filters_by_time() {
+        let mut t = table();
+        let iv = TimeInterval::new(Timestamp::from_secs(3), Timestamp::from_secs(5));
+        let hits = t.range_query(iv);
+        assert_eq!(hits.len(), 5);
+        assert!(hits.iter().all(|r| iv.contains(r.t)));
+    }
+
+    #[test]
+    fn sequences_grouped_and_ordered() {
+        let mut t = table();
+        let iv = TimeInterval::new(Timestamp::from_secs(1), Timestamp::from_secs(8));
+        let seqs = t.sequences_in(iv);
+        assert_eq!(seqs.len(), 3);
+        assert_eq!(seqs[0].oid, ObjectId(1));
+        assert_eq!(seqs[0].len(), 3);
+        assert_eq!(seqs[1].len(), 4);
+        assert_eq!(seqs[2].len(), 3);
+        for s in &seqs {
+            assert!(s.records.windows(2).all(|w| w[0].t <= w[1].t));
+        }
+    }
+
+    #[test]
+    fn sequence_of_single_object() {
+        let mut t = table();
+        let iv = TimeInterval::new(Timestamp::from_secs(1), Timestamp::from_secs(8));
+        let s = t.sequence_of(ObjectId(3), iv);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.max_paths(), 2 * 2);
+        let none = t.sequence_of(ObjectId(99), iv);
+        assert!(none.is_empty());
+        assert_eq!(none.max_paths(), 1);
+    }
+
+    #[test]
+    fn from_records_sorts_by_time() {
+        let t = Iupt::from_records(vec![rec(1, 5, &[(0, 1.0)]), rec(1, 2, &[(1, 1.0)])]);
+        assert_eq!(t.records()[0].t, Timestamp::from_secs(2));
+    }
+
+    #[test]
+    fn empty_table_behaviour() {
+        let mut t = Iupt::new();
+        assert!(t.is_empty());
+        assert!(t.time_bounds().is_none());
+        let iv = TimeInterval::new(Timestamp(0), Timestamp(1000));
+        assert!(t.sequences_in(iv).is_empty());
+    }
+}

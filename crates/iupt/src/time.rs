@@ -1,0 +1,133 @@
+/// A point in time, in milliseconds since an arbitrary epoch (simulation
+/// start for generated data).
+///
+/// The paper's timestamps (`t1 … t8` in Table 2) are opaque sampling
+/// instants; milliseconds give enough resolution for positioning periods
+/// down to fractions of a second while keeping arithmetic exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Timestamp(pub i64);
+
+impl Timestamp {
+    /// From whole seconds.
+    pub const fn from_secs(s: i64) -> Self {
+        Timestamp(s * 1000)
+    }
+
+    /// From whole minutes.
+    pub const fn from_mins(m: i64) -> Self {
+        Timestamp(m * 60_000)
+    }
+
+    /// Raw milliseconds.
+    pub const fn millis(self) -> i64 {
+        self.0
+    }
+
+    /// Seconds, truncating.
+    pub const fn as_secs(self) -> i64 {
+        self.0 / 1000
+    }
+
+    /// `self + ms`.
+    pub const fn plus_millis(self, ms: i64) -> Self {
+        Timestamp(self.0 + ms)
+    }
+
+    /// `self + s` seconds.
+    pub const fn plus_secs(self, s: i64) -> Self {
+        Timestamp(self.0 + s * 1000)
+    }
+
+    /// Difference `self − other` in milliseconds.
+    pub const fn diff_millis(self, other: Timestamp) -> i64 {
+        self.0 - other.0
+    }
+}
+
+impl std::fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ms = self.0 % 1000;
+        let total_s = self.0 / 1000;
+        let s = total_s % 60;
+        let m = (total_s / 60) % 60;
+        let h = total_s / 3600;
+        if ms == 0 {
+            write!(f, "{h:02}:{m:02}:{s:02}")
+        } else {
+            write!(f, "{h:02}:{m:02}:{s:02}.{ms:03}")
+        }
+    }
+}
+
+/// A closed time interval `[start, end]` — the query window `[ts, te]` of
+/// the Top-k Popular Location Query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimeInterval {
+    pub start: Timestamp,
+    pub end: Timestamp,
+}
+
+impl TimeInterval {
+    /// Creates the interval; `start` must not exceed `end`.
+    pub fn new(start: Timestamp, end: Timestamp) -> Self {
+        assert!(start <= end, "interval start must not exceed end");
+        TimeInterval { start, end }
+    }
+
+    /// Whether `t` falls inside (boundaries included; the paper assumes
+    /// `ts` and `te` are aligned with sampling times).
+    #[inline]
+    pub fn contains(&self, t: Timestamp) -> bool {
+        t >= self.start && t <= self.end
+    }
+
+    /// Interval length in milliseconds.
+    pub fn duration_millis(&self) -> i64 {
+        self.end.diff_millis(self.start)
+    }
+}
+
+impl std::fmt::Display for TimeInterval {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {}]", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Timestamp::from_secs(3).millis(), 3000);
+        assert_eq!(Timestamp::from_mins(2).as_secs(), 120);
+        assert_eq!(Timestamp(500).plus_secs(1).millis(), 1500);
+        assert_eq!(
+            Timestamp::from_secs(10).diff_millis(Timestamp::from_secs(7)),
+            3000
+        );
+    }
+
+    #[test]
+    fn interval_contains_boundaries() {
+        let iv = TimeInterval::new(Timestamp::from_secs(1), Timestamp::from_secs(8));
+        assert!(iv.contains(Timestamp::from_secs(1)));
+        assert!(iv.contains(Timestamp::from_secs(8)));
+        assert!(!iv.contains(Timestamp::from_secs(9)));
+        assert_eq!(iv.duration_millis(), 7000);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval start")]
+    fn inverted_interval_panics() {
+        TimeInterval::new(Timestamp::from_secs(2), Timestamp::from_secs(1));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Timestamp::from_secs(3671).to_string(), "01:01:11");
+        assert_eq!(Timestamp(1500).to_string(), "00:00:01.500");
+        let iv = TimeInterval::new(Timestamp(0), Timestamp::from_secs(60));
+        assert_eq!(iv.to_string(), "[00:00:00, 00:01:00]");
+    }
+}

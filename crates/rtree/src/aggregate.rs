@@ -1,0 +1,344 @@
+use indoor_geom::Rect;
+
+/// A leaf entry of the aggregate tree: one MBR plus its payload.
+#[derive(Debug, Clone)]
+pub struct AggEntry<T> {
+    pub mbr: Rect,
+    pub data: T,
+}
+
+/// Children of an aggregate node: either leaf entries or child nodes.
+#[derive(Debug, Clone)]
+pub enum AggChildren<T> {
+    Leaf(Vec<AggEntry<T>>),
+    Nodes(Vec<AggNode<T>>),
+}
+
+/// A node of the COUNT-aggregate R-tree. `count` is the number of leaf
+/// entries in the subtree — the quantity Algorithm 4 (Best-First) uses to
+/// upper-bound flow values, exploiting that an object's presence in any
+/// S-location never exceeds 1 (§2.3).
+#[derive(Debug, Clone)]
+pub struct AggNode<T> {
+    pub mbr: Rect,
+    pub count: usize,
+    pub children: AggChildren<T>,
+}
+
+impl<T> AggNode<T> {
+    /// Whether this node's children are leaf entries.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self.children, AggChildren::Leaf(_))
+    }
+
+    /// Leaf entries of this node (empty slice for internal nodes).
+    pub fn entries(&self) -> &[AggEntry<T>] {
+        match &self.children {
+            AggChildren::Leaf(e) => e,
+            AggChildren::Nodes(_) => &[],
+        }
+    }
+
+    /// Child nodes of this node (empty slice for leaf nodes).
+    pub fn child_nodes(&self) -> &[AggNode<T>] {
+        match &self.children {
+            AggChildren::Nodes(n) => n,
+            AggChildren::Leaf(_) => &[],
+        }
+    }
+}
+
+/// A COUNT-aggregate R-tree (Tao & Papadias, TKDE 2004), built statically
+/// with STR packing. The Best-First TkPLQ algorithm builds one of these per
+/// query over the moving objects' possible-semantic-location MBRs (`RC`)
+/// and joins it against the query S-location tree.
+///
+/// The tree intentionally exposes its node structure ([`AggTree::root`],
+/// [`AggNode::child_nodes`], [`AggNode::entries`]): Algorithm 4 descends
+/// both trees level by level and needs direct access to node MBRs and
+/// counts rather than a closed query API.
+#[derive(Debug, Clone)]
+pub struct AggTree<T> {
+    root: Option<AggNode<T>>,
+    size: usize,
+    fanout: usize,
+}
+
+const DEFAULT_FANOUT: usize = 8;
+
+impl<T> AggTree<T> {
+    /// Builds the tree from `(mbr, data)` pairs with the default fanout.
+    pub fn build(items: Vec<(Rect, T)>) -> Self {
+        Self::build_with_fanout(items, DEFAULT_FANOUT)
+    }
+
+    /// Builds the tree with an explicit maximum fanout (>= 2).
+    pub fn build_with_fanout(items: Vec<(Rect, T)>, fanout: usize) -> Self {
+        assert!(fanout >= 2, "aggregate R-tree fanout must be at least 2");
+        let size = items.len();
+        if size == 0 {
+            return AggTree {
+                root: None,
+                size,
+                fanout,
+            };
+        }
+        let mut entries: Vec<AggEntry<T>> = items
+            .into_iter()
+            .map(|(mbr, data)| AggEntry { mbr, data })
+            .collect();
+        let leaves = pack_leaves(&mut entries, fanout);
+        let root = pack_upward(leaves, fanout);
+        AggTree {
+            root: Some(root),
+            size,
+            fanout,
+        }
+    }
+
+    /// The root node, `None` when the tree is empty.
+    pub fn root(&self) -> Option<&AggNode<T>> {
+        self.root.as_ref()
+    }
+
+    /// Number of leaf entries.
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// Whether the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// Node fanout the tree was built with.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// COUNT aggregate over a rectangle: number of leaf entries whose MBR
+    /// intersects `query`. Internal node counts let fully-covered subtrees
+    /// be answered without descending — the classic aggregate R-tree
+    /// optimization.
+    pub fn count_intersecting(&self, query: &Rect) -> usize {
+        fn rec<T>(node: &AggNode<T>, query: &Rect) -> usize {
+            if !node.mbr.intersects(query) {
+                return 0;
+            }
+            if query.contains_rect(&node.mbr) {
+                return node.count;
+            }
+            match &node.children {
+                AggChildren::Leaf(entries) => {
+                    entries.iter().filter(|e| e.mbr.intersects(query)).count()
+                }
+                AggChildren::Nodes(nodes) => nodes.iter().map(|n| rec(n, query)).sum(),
+            }
+        }
+        self.root.as_ref().map_or(0, |r| rec(r, query))
+    }
+
+    /// Collects references to all entries whose MBR intersects `query`.
+    pub fn query(&self, query: &Rect) -> Vec<&AggEntry<T>> {
+        fn rec<'a, T>(node: &'a AggNode<T>, query: &Rect, out: &mut Vec<&'a AggEntry<T>>) {
+            if !node.mbr.intersects(query) {
+                return;
+            }
+            match &node.children {
+                AggChildren::Leaf(entries) => {
+                    out.extend(entries.iter().filter(|e| e.mbr.intersects(query)));
+                }
+                AggChildren::Nodes(nodes) => {
+                    for n in nodes {
+                        rec(n, query, out);
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            rec(root, query, &mut out);
+        }
+        out
+    }
+
+    /// Height of the tree (0 when empty).
+    pub fn height(&self) -> usize {
+        let mut h = 0;
+        let mut node = self.root.as_ref();
+        while let Some(n) = node {
+            h += 1;
+            node = n.child_nodes().first();
+        }
+        h
+    }
+}
+
+fn pack_leaves<T>(entries: &mut Vec<AggEntry<T>>, fanout: usize) -> Vec<AggNode<T>> {
+    let n = entries.len();
+    let leaf_count = n.div_ceil(fanout);
+    let slab_count = (leaf_count as f64).sqrt().ceil() as usize;
+    let slab_size = n.div_ceil(slab_count);
+
+    entries.sort_by(|a, b| a.mbr.center().x.total_cmp(&b.mbr.center().x));
+    let mut leaves = Vec::with_capacity(leaf_count);
+    let mut rest = std::mem::take(entries);
+    while !rest.is_empty() {
+        let take = slab_size.min(rest.len());
+        let mut slab: Vec<AggEntry<T>> = rest.drain(..take).collect();
+        slab.sort_by(|a, b| a.mbr.center().y.total_cmp(&b.mbr.center().y));
+        while !slab.is_empty() {
+            let take = fanout.min(slab.len());
+            let leaf_entries: Vec<AggEntry<T>> = slab.drain(..take).collect();
+            let mbr = Rect::union_all(leaf_entries.iter().map(|e| e.mbr)).unwrap();
+            leaves.push(AggNode {
+                mbr,
+                count: leaf_entries.len(),
+                children: AggChildren::Leaf(leaf_entries),
+            });
+        }
+    }
+    leaves
+}
+
+fn pack_upward<T>(mut level: Vec<AggNode<T>>, fanout: usize) -> AggNode<T> {
+    while level.len() > 1 {
+        level.sort_by(|a, b| a.mbr.center().x.total_cmp(&b.mbr.center().x));
+        let n = level.len();
+        let parent_count = n.div_ceil(fanout);
+        let slab_count = (parent_count as f64).sqrt().ceil() as usize;
+        let slab_size = n.div_ceil(slab_count);
+        let mut next = Vec::with_capacity(parent_count);
+        let mut rest = std::mem::take(&mut level);
+        while !rest.is_empty() {
+            let take = slab_size.min(rest.len());
+            let mut slab: Vec<AggNode<T>> = rest.drain(..take).collect();
+            slab.sort_by(|a, b| a.mbr.center().y.total_cmp(&b.mbr.center().y));
+            while !slab.is_empty() {
+                let take = fanout.min(slab.len());
+                let children: Vec<AggNode<T>> = slab.drain(..take).collect();
+                let mbr = Rect::union_all(children.iter().map(|c| c.mbr)).unwrap();
+                let count = children.iter().map(|c| c.count).sum();
+                next.push(AggNode {
+                    mbr,
+                    count,
+                    children: AggChildren::Nodes(children),
+                });
+            }
+        }
+        level = next;
+    }
+    level.pop().expect("pack_upward requires at least one node")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indoor_geom::Point;
+    use proptest::prelude::*;
+
+    fn grid_items(nx: usize, ny: usize) -> Vec<(Rect, usize)> {
+        let mut v = Vec::new();
+        for i in 0..nx {
+            for j in 0..ny {
+                v.push((Rect::point(Point::new(i as f64, j as f64)), i * ny + j));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn empty_tree_counts_zero() {
+        let t: AggTree<u32> = AggTree::build(vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.count_intersecting(&Rect::from_coords(0.0, 0.0, 9.0, 9.0)), 0);
+        assert!(t.root().is_none());
+    }
+
+    #[test]
+    fn root_count_equals_size() {
+        let t = AggTree::build(grid_items(13, 7));
+        assert_eq!(t.len(), 91);
+        assert_eq!(t.root().unwrap().count, 91);
+    }
+
+    #[test]
+    fn node_counts_are_consistent() {
+        let t = AggTree::build_with_fanout(grid_items(20, 20), 4);
+        fn check<T>(node: &AggNode<T>) -> usize {
+            let computed = match &node.children {
+                AggChildren::Leaf(e) => e.len(),
+                AggChildren::Nodes(ns) => ns.iter().map(check).sum(),
+            };
+            assert_eq!(node.count, computed);
+            computed
+        }
+        assert_eq!(check(t.root().unwrap()), 400);
+    }
+
+    #[test]
+    fn mbrs_contain_children() {
+        let t = AggTree::build_with_fanout(grid_items(15, 15), 4);
+        fn check<T>(node: &AggNode<T>) {
+            match &node.children {
+                AggChildren::Leaf(entries) => {
+                    for e in entries {
+                        assert!(node.mbr.contains_rect(&e.mbr));
+                    }
+                }
+                AggChildren::Nodes(ns) => {
+                    for n in ns {
+                        assert!(node.mbr.contains_rect(&n.mbr));
+                        check(n);
+                    }
+                }
+            }
+        }
+        check(t.root().unwrap());
+    }
+
+    #[test]
+    fn count_matches_query_len() {
+        let t = AggTree::build(grid_items(10, 10));
+        let q = Rect::from_coords(2.5, 2.5, 7.5, 7.5);
+        assert_eq!(t.count_intersecting(&q), t.query(&q).len());
+        assert_eq!(t.count_intersecting(&q), 25);
+    }
+
+    #[test]
+    fn covered_subtree_shortcut_counts_correctly() {
+        let t = AggTree::build_with_fanout(grid_items(30, 30), 4);
+        let everything = Rect::from_coords(-1.0, -1.0, 31.0, 31.0);
+        assert_eq!(t.count_intersecting(&everything), 900);
+    }
+
+    #[test]
+    fn height_reported() {
+        let t = AggTree::build_with_fanout(grid_items(16, 16), 4);
+        // 256 entries, fanout 4 → 64 leaves → 16 → 4 → 1: height 4.
+        assert_eq!(t.height(), 4);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn count_equals_scan(
+            points in proptest::collection::vec((0.0..40.0f64, 0.0..40.0f64), 1..100),
+            qx in 0.0..40.0f64, qy in 0.0..40.0f64, qw in 0.0..20.0f64, qh in 0.0..20.0f64,
+        ) {
+            let items: Vec<(Rect, usize)> = points
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| (Rect::point(Point::new(x, y)), i))
+                .collect();
+            let t = AggTree::build_with_fanout(items, 4);
+            let q = Rect::from_coords(qx, qy, qx + qw, qy + qh);
+            let want = points
+                .iter()
+                .filter(|&&(x, y)| q.contains_point(Point::new(x, y)))
+                .count();
+            prop_assert_eq!(t.count_intersecting(&q), want);
+        }
+    }
+}

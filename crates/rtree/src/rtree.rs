@@ -1,0 +1,631 @@
+use indoor_geom::Rect;
+
+/// Default maximum node fanout; chosen small because the trees indexed here
+/// (hundreds of S-locations, thousands of object MBRs) are modest and a
+/// small fanout keeps the Best-First heap granular.
+const DEFAULT_MAX_ENTRIES: usize = 8;
+
+/// A data entry: an MBR plus a payload.
+#[derive(Debug, Clone)]
+pub struct Entry<T> {
+    pub mbr: Rect,
+    pub data: T,
+}
+
+#[derive(Debug, Clone)]
+enum Node<T> {
+    Leaf { mbr: Rect, entries: Vec<Entry<T>> },
+    Internal { mbr: Rect, children: Vec<Node<T>> },
+}
+
+impl<T> Node<T> {
+    fn mbr(&self) -> Rect {
+        match self {
+            Node::Leaf { mbr, .. } | Node::Internal { mbr, .. } => *mbr,
+        }
+    }
+
+    fn recompute_mbr(&mut self) {
+        match self {
+            Node::Leaf { mbr, entries } => {
+                *mbr = Rect::union_all(entries.iter().map(|e| e.mbr))
+                    .unwrap_or(Rect::from_coords(0.0, 0.0, 0.0, 0.0));
+            }
+            Node::Internal { mbr, children } => {
+                *mbr = Rect::union_all(children.iter().map(|c| c.mbr()))
+                    .unwrap_or(Rect::from_coords(0.0, 0.0, 0.0, 0.0));
+            }
+        }
+    }
+}
+
+/// An R-tree over rectangles with payloads of type `T`.
+///
+/// Supports STR (Sort-Tile-Recursive) bulk loading for static data sets and
+/// Guttman-style insertion with quadratic splits for incremental updates.
+#[derive(Debug, Clone)]
+pub struct RTree<T> {
+    root: Option<Node<T>>,
+    size: usize,
+    max_entries: usize,
+}
+
+impl<T> Default for RTree<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> RTree<T> {
+    /// Creates an empty tree with the default fanout.
+    pub fn new() -> Self {
+        Self::with_fanout(DEFAULT_MAX_ENTRIES)
+    }
+
+    /// Creates an empty tree with maximum node fanout `max_entries` (>= 2).
+    pub fn with_fanout(max_entries: usize) -> Self {
+        assert!(max_entries >= 2, "R-tree fanout must be at least 2");
+        RTree {
+            root: None,
+            size: 0,
+            max_entries,
+        }
+    }
+
+    /// Bulk-loads the tree from `entries` using the STR packing algorithm.
+    /// Replaces any existing content.
+    pub fn bulk_load(entries: Vec<Entry<T>>) -> Self {
+        Self::bulk_load_with_fanout(entries, DEFAULT_MAX_ENTRIES)
+    }
+
+    /// [`RTree::bulk_load`] with an explicit fanout.
+    pub fn bulk_load_with_fanout(mut entries: Vec<Entry<T>>, max_entries: usize) -> Self {
+        assert!(max_entries >= 2, "R-tree fanout must be at least 2");
+        let size = entries.len();
+        if size == 0 {
+            return Self::with_fanout(max_entries);
+        }
+        let leaves = str_pack_leaves(&mut entries, max_entries);
+        let root = build_upward(leaves, max_entries);
+        RTree {
+            root: Some(root),
+            size,
+            max_entries,
+        }
+    }
+
+    /// Number of data entries.
+    pub fn len(&self) -> usize {
+        self.size
+    }
+
+    /// Whether the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// Height of the tree (0 for an empty tree, 1 for a single leaf root).
+    pub fn height(&self) -> usize {
+        let mut h = 0;
+        let mut node = self.root.as_ref();
+        while let Some(n) = node {
+            h += 1;
+            node = match n {
+                Node::Internal { children, .. } => children.first(),
+                Node::Leaf { .. } => None,
+            };
+        }
+        h
+    }
+
+    /// MBR of the whole tree, `None` when empty.
+    pub fn bounds(&self) -> Option<Rect> {
+        self.root.as_ref().map(|n| n.mbr())
+    }
+
+    /// Inserts an entry, splitting nodes as needed.
+    pub fn insert(&mut self, mbr: Rect, data: T) {
+        self.size += 1;
+        let max = self.max_entries;
+        match self.root.take() {
+            None => {
+                self.root = Some(Node::Leaf {
+                    mbr,
+                    entries: vec![Entry { mbr, data }],
+                });
+            }
+            Some(mut root) => {
+                if let Some(sibling) = insert_rec(&mut root, Entry { mbr, data }, max) {
+                    // Root split: grow the tree by one level.
+                    let new_mbr = root.mbr().union(&sibling.mbr());
+                    self.root = Some(Node::Internal {
+                        mbr: new_mbr,
+                        children: vec![root, sibling],
+                    });
+                } else {
+                    self.root = Some(root);
+                }
+            }
+        }
+    }
+
+    /// Collects references to all entries whose MBR intersects `query`.
+    pub fn query(&self, query: &Rect) -> Vec<&Entry<T>> {
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            query_rec(root, query, &mut out);
+        }
+        out
+    }
+
+    /// Visits every entry whose MBR intersects `query`.
+    pub fn for_each_intersecting<'a, F: FnMut(&'a Entry<T>)>(&'a self, query: &Rect, mut f: F) {
+        if let Some(root) = &self.root {
+            for_each_rec(root, query, &mut f);
+        }
+    }
+
+    /// Iterates over all entries (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &Entry<T>> {
+        let mut stack: Vec<&Node<T>> = self.root.iter().collect();
+        std::iter::from_fn(move || loop {
+            let node = stack.pop()?;
+            match node {
+                Node::Leaf { entries, .. } => {
+                    // Yield the whole leaf slice; `flatten` below unpacks it.
+                    return Some(entries);
+                }
+                Node::Internal { children, .. } => {
+                    stack.extend(children.iter());
+                }
+            }
+        })
+        .flatten()
+    }
+}
+
+fn insert_rec<T>(node: &mut Node<T>, entry: Entry<T>, max: usize) -> Option<Node<T>> {
+    match node {
+        Node::Leaf { mbr, entries } => {
+            entries.push(entry);
+            if entries.len() <= max {
+                mbr.expand(&entries.last().unwrap().mbr);
+                None
+            } else {
+                let (a, b) = quadratic_split_entries(std::mem::take(entries), max);
+                let (mbr_b, entries_b) = b;
+                let (mbr_a, entries_a) = a;
+                *entries = entries_a;
+                *mbr = mbr_a;
+                Some(Node::Leaf {
+                    mbr: mbr_b,
+                    entries: entries_b,
+                })
+            }
+        }
+        Node::Internal { mbr, children } => {
+            let idx = choose_subtree(children, &entry.mbr);
+            let split = insert_rec(&mut children[idx], entry, max);
+            if let Some(sibling) = split {
+                children.push(sibling);
+            }
+            if children.len() <= max {
+                node_recompute(node);
+                None
+            } else {
+                let (a, b) = quadratic_split_nodes(std::mem::take(children), max);
+                let (mbr_b, children_b) = b;
+                let (mbr_a, children_a) = a;
+                *children = children_a;
+                *mbr = mbr_a;
+                Some(Node::Internal {
+                    mbr: mbr_b,
+                    children: children_b,
+                })
+            }
+        }
+    }
+}
+
+fn node_recompute<T>(node: &mut Node<T>) {
+    node.recompute_mbr();
+}
+
+/// Guttman's ChooseLeaf criterion: least enlargement, ties by smaller area.
+fn choose_subtree<T>(children: &[Node<T>], mbr: &Rect) -> usize {
+    let mut best = 0;
+    let mut best_enlargement = f64::INFINITY;
+    let mut best_area = f64::INFINITY;
+    for (i, child) in children.iter().enumerate() {
+        let cmbr = child.mbr();
+        let enlargement = cmbr.enlargement(mbr);
+        let area = cmbr.area();
+        if enlargement < best_enlargement
+            || (enlargement == best_enlargement && area < best_area)
+        {
+            best = i;
+            best_enlargement = enlargement;
+            best_area = area;
+        }
+    }
+    best
+}
+
+/// A split result: each group's MBR plus its members.
+type SplitGroups<I> = ((Rect, Vec<I>), (Rect, Vec<I>));
+
+/// Quadratic split on leaf entries. Returns the two groups with their MBRs.
+fn quadratic_split_entries<T>(items: Vec<Entry<T>>, max: usize) -> SplitGroups<Entry<T>> {
+    let rects: Vec<Rect> = items.iter().map(|e| e.mbr).collect();
+    let (ga, gb) = quadratic_partition(&rects, max);
+    distribute(items, ga, gb)
+}
+
+/// Quadratic split on child nodes.
+fn quadratic_split_nodes<T>(items: Vec<Node<T>>, max: usize) -> SplitGroups<Node<T>> {
+    let rects: Vec<Rect> = items.iter().map(|n| n.mbr()).collect();
+    let (ga, gb) = quadratic_partition(&rects, max);
+    let ((ra, va), (rb, vb)) = distribute(items, ga, gb);
+    ((ra, va), (rb, vb))
+}
+
+fn distribute<I>(items: Vec<I>, group_a: Vec<usize>, group_b: Vec<usize>) -> SplitGroups<I>
+where
+    I: HasMbr,
+{
+    let mut slots: Vec<Option<I>> = items.into_iter().map(Some).collect();
+    let take = |slots: &mut Vec<Option<I>>, idxs: &[usize]| -> (Rect, Vec<I>) {
+        let group: Vec<I> = idxs.iter().map(|&i| slots[i].take().unwrap()).collect();
+        let mbr = Rect::union_all(group.iter().map(|g| g.mbr_of())).unwrap();
+        (mbr, group)
+    };
+    let a = take(&mut slots, &group_a);
+    let b = take(&mut slots, &group_b);
+    (a, b)
+}
+
+/// Minimal trait so [`distribute`] works for both entries and nodes.
+trait HasMbr {
+    fn mbr_of(&self) -> Rect;
+}
+
+impl<T> HasMbr for Entry<T> {
+    fn mbr_of(&self) -> Rect {
+        self.mbr
+    }
+}
+
+impl<T> HasMbr for Node<T> {
+    fn mbr_of(&self) -> Rect {
+        self.mbr()
+    }
+}
+
+/// Guttman's quadratic partition over a set of rectangles: pick the pair
+/// wasting the most area as seeds, then assign the rest by preference,
+/// honoring the minimum fill `max / 2`.
+fn quadratic_partition(rects: &[Rect], max: usize) -> (Vec<usize>, Vec<usize>) {
+    let n = rects.len();
+    debug_assert!(n > max);
+    let min_fill = max.div_ceil(2);
+
+    // Seed selection: maximize dead space d = area(union) − a1 − a2.
+    let (mut seed_a, mut seed_b, mut worst) = (0usize, 1usize, f64::NEG_INFINITY);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = rects[i].union(&rects[j]).area() - rects[i].area() - rects[j].area();
+            if d > worst {
+                worst = d;
+                seed_a = i;
+                seed_b = j;
+            }
+        }
+    }
+
+    let mut group_a = vec![seed_a];
+    let mut group_b = vec![seed_b];
+    let mut mbr_a = rects[seed_a];
+    let mut mbr_b = rects[seed_b];
+    let mut remaining: Vec<usize> = (0..n).filter(|&i| i != seed_a && i != seed_b).collect();
+
+    while !remaining.is_empty() {
+        // Force-assign to honor minimum fill.
+        if group_a.len() + remaining.len() == min_fill {
+            for i in remaining.drain(..) {
+                mbr_a.expand(&rects[i]);
+                group_a.push(i);
+            }
+            break;
+        }
+        if group_b.len() + remaining.len() == min_fill {
+            for i in remaining.drain(..) {
+                mbr_b.expand(&rects[i]);
+                group_b.push(i);
+            }
+            break;
+        }
+        // PickNext: entry with the greatest preference difference.
+        let (pos, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(pos, &i)| {
+                let da = mbr_a.enlargement(&rects[i]);
+                let db = mbr_b.enlargement(&rects[i]);
+                (pos, (da - db).abs())
+            })
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        let i = remaining.swap_remove(pos);
+        let da = mbr_a.enlargement(&rects[i]);
+        let db = mbr_b.enlargement(&rects[i]);
+        let to_a = match da.total_cmp(&db) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => mbr_a.area() <= mbr_b.area(),
+        };
+        if to_a {
+            mbr_a.expand(&rects[i]);
+            group_a.push(i);
+        } else {
+            mbr_b.expand(&rects[i]);
+            group_b.push(i);
+        }
+    }
+    (group_a, group_b)
+}
+
+/// STR leaf packing: sort by x-center into vertical slabs, then by y-center
+/// within each slab, and chunk into leaves of `max` entries.
+fn str_pack_leaves<T>(entries: &mut Vec<Entry<T>>, max: usize) -> Vec<Node<T>> {
+    let n = entries.len();
+    let leaf_count = n.div_ceil(max);
+    let slab_count = (leaf_count as f64).sqrt().ceil() as usize;
+    let slab_size = n.div_ceil(slab_count);
+
+    entries.sort_by(|a, b| a.mbr.center().x.total_cmp(&b.mbr.center().x));
+    let mut leaves = Vec::with_capacity(leaf_count);
+    let mut rest = std::mem::take(entries);
+    while !rest.is_empty() {
+        let take = slab_size.min(rest.len());
+        let mut slab: Vec<Entry<T>> = rest.drain(..take).collect();
+        slab.sort_by(|a, b| a.mbr.center().y.total_cmp(&b.mbr.center().y));
+        while !slab.is_empty() {
+            let take = max.min(slab.len());
+            let leaf_entries: Vec<Entry<T>> = slab.drain(..take).collect();
+            let mbr = Rect::union_all(leaf_entries.iter().map(|e| e.mbr)).unwrap();
+            leaves.push(Node::Leaf {
+                mbr,
+                entries: leaf_entries,
+            });
+        }
+    }
+    leaves
+}
+
+/// Packs one level of nodes into parents until a single root remains.
+fn build_upward<T>(mut level: Vec<Node<T>>, max: usize) -> Node<T> {
+    while level.len() > 1 {
+        level.sort_by(|a, b| a.mbr().center().x.total_cmp(&b.mbr().center().x));
+        let n = level.len();
+        let parent_count = n.div_ceil(max);
+        let slab_count = (parent_count as f64).sqrt().ceil() as usize;
+        let slab_size = n.div_ceil(slab_count);
+        let mut next = Vec::with_capacity(parent_count);
+        let mut rest = std::mem::take(&mut level);
+        while !rest.is_empty() {
+            let take = slab_size.min(rest.len());
+            let mut slab: Vec<Node<T>> = rest.drain(..take).collect();
+            slab.sort_by(|a, b| a.mbr().center().y.total_cmp(&b.mbr().center().y));
+            while !slab.is_empty() {
+                let take = max.min(slab.len());
+                let children: Vec<Node<T>> = slab.drain(..take).collect();
+                let mbr = Rect::union_all(children.iter().map(|c| c.mbr())).unwrap();
+                next.push(Node::Internal { mbr, children });
+            }
+        }
+        level = next;
+    }
+    level.pop().expect("build_upward requires at least one node")
+}
+
+fn query_rec<'a, T>(node: &'a Node<T>, query: &Rect, out: &mut Vec<&'a Entry<T>>) {
+    match node {
+        Node::Leaf { mbr, entries } => {
+            if mbr.intersects(query) {
+                out.extend(entries.iter().filter(|e| e.mbr.intersects(query)));
+            }
+        }
+        Node::Internal { mbr, children } => {
+            if mbr.intersects(query) {
+                for child in children {
+                    query_rec(child, query, out);
+                }
+            }
+        }
+    }
+}
+
+fn for_each_rec<'a, T, F: FnMut(&'a Entry<T>)>(node: &'a Node<T>, query: &Rect, f: &mut F) {
+    match node {
+        Node::Leaf { mbr, entries } => {
+            if mbr.intersects(query) {
+                for e in entries.iter().filter(|e| e.mbr.intersects(query)) {
+                    f(e);
+                }
+            }
+        }
+        Node::Internal { mbr, children } => {
+            if mbr.intersects(query) {
+                for child in children {
+                    for_each_rec(child, query, f);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indoor_geom::Point;
+    use proptest::prelude::*;
+    use rand::SeedableRng as _;
+
+    fn pt_entry(x: f64, y: f64, id: usize) -> Entry<usize> {
+        Entry {
+            mbr: Rect::point(Point::new(x, y)),
+            data: id,
+        }
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t: RTree<u32> = RTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+        assert!(t.bounds().is_none());
+        assert!(t.query(&Rect::from_coords(0.0, 0.0, 1.0, 1.0)).is_empty());
+    }
+
+    #[test]
+    fn insert_and_query_small() {
+        let mut t = RTree::new();
+        for i in 0..20 {
+            t.insert(Rect::point(Point::new(i as f64, i as f64)), i);
+        }
+        assert_eq!(t.len(), 20);
+        let hits = t.query(&Rect::from_coords(4.5, 4.5, 9.5, 9.5));
+        let mut ids: Vec<usize> = hits.iter().map(|e| e.data).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![5, 6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn bulk_load_matches_linear_scan() {
+        let entries: Vec<Entry<usize>> = (0..200)
+            .map(|i| pt_entry((i % 23) as f64, (i % 17) as f64, i))
+            .collect();
+        let reference = entries.clone();
+        let t = RTree::bulk_load(entries);
+        assert_eq!(t.len(), 200);
+        let q = Rect::from_coords(3.0, 2.0, 9.0, 8.0);
+        let mut got: Vec<usize> = t.query(&q).iter().map(|e| e.data).collect();
+        got.sort_unstable();
+        let mut want: Vec<usize> = reference
+            .iter()
+            .filter(|e| e.mbr.intersects(&q))
+            .map(|e| e.data)
+            .collect();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let entries: Vec<Entry<usize>> = (0..1000)
+            .map(|i| pt_entry((i / 32) as f64, (i % 32) as f64, i))
+            .collect();
+        let t = RTree::bulk_load_with_fanout(entries, 8);
+        // 1000 entries, fanout 8 → 125 leaves → height 4 (8^3=512 < 1000 ≤ 8^4).
+        assert!(t.height() >= 3 && t.height() <= 5, "height {}", t.height());
+    }
+
+    #[test]
+    fn iter_visits_all() {
+        let entries: Vec<Entry<usize>> = (0..57).map(|i| pt_entry(i as f64, 0.0, i)).collect();
+        let t = RTree::bulk_load(entries);
+        let mut seen: Vec<usize> = t.iter().map(|e| e.data).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..57).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn incremental_inserts_with_random_rects_match_scan() {
+        use rand::Rng as _;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut t = RTree::with_fanout(4);
+        let mut reference = Vec::new();
+        for i in 0..300 {
+            let x = rng.gen_range(0.0..100.0f64);
+            let y = rng.gen_range(0.0..100.0f64);
+            let w = rng.gen_range(0.0..10.0f64);
+            let h = rng.gen_range(0.0..10.0f64);
+            let r = Rect::from_coords(x, y, x + w, y + h);
+            t.insert(r, i);
+            reference.push(Entry { mbr: r, data: i });
+        }
+        for _ in 0..20 {
+            let x = rng.gen_range(0.0..100.0f64);
+            let y = rng.gen_range(0.0..100.0f64);
+            let q = Rect::from_coords(x, y, x + 15.0, y + 15.0);
+            let mut got: Vec<usize> = t.query(&q).iter().map(|e| e.data).collect();
+            got.sort_unstable();
+            let mut want: Vec<usize> = reference
+                .iter()
+                .filter(|e| e.mbr.intersects(&q))
+                .map(|e| e.data)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn for_each_matches_query() {
+        let entries: Vec<Entry<usize>> = (0..100)
+            .map(|i| pt_entry((i % 10) as f64, (i / 10) as f64, i))
+            .collect();
+        let t = RTree::bulk_load(entries);
+        let q = Rect::from_coords(2.0, 2.0, 5.0, 5.0);
+        let mut via_callback = Vec::new();
+        t.for_each_intersecting(&q, |e| via_callback.push(e.data));
+        via_callback.sort_unstable();
+        let mut via_query: Vec<usize> = t.query(&q).iter().map(|e| e.data).collect();
+        via_query.sort_unstable();
+        assert_eq!(via_callback, via_query);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn query_equals_linear_scan(
+            points in proptest::collection::vec((0.0..50.0f64, 0.0..50.0f64), 1..120),
+            qx in 0.0..50.0f64, qy in 0.0..50.0f64, qw in 0.0..25.0f64, qh in 0.0..25.0f64,
+        ) {
+            let entries: Vec<Entry<usize>> = points
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| pt_entry(x, y, i))
+                .collect();
+            let reference = entries.clone();
+            let t = RTree::bulk_load_with_fanout(entries, 4);
+            let q = Rect::from_coords(qx, qy, qx + qw, qy + qh);
+            let mut got: Vec<usize> = t.query(&q).iter().map(|e| e.data).collect();
+            got.sort_unstable();
+            let mut want: Vec<usize> = reference
+                .iter()
+                .filter(|e| e.mbr.intersects(&q))
+                .map(|e| e.data)
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+
+        #[test]
+        fn bounds_cover_all_entries(
+            points in proptest::collection::vec((0.0..50.0f64, 0.0..50.0f64), 1..60),
+        ) {
+            let entries: Vec<Entry<usize>> = points
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| pt_entry(x, y, i))
+                .collect();
+            let t = RTree::bulk_load(entries);
+            let b = t.bounds().unwrap();
+            for &(x, y) in &points {
+                prop_assert!(b.contains_point(Point::new(x, y)));
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Ground-truth flows and rankings extracted from the exact trajectories —
+//! the reference the paper's effectiveness metrics (recall, Kendall τ)
+//! compare against. A ground-truth "flow" of an S-location is the number
+//! of distinct objects that were physically inside it at any moment of the
+//! query window (each object counted once, consistent with Definition 1's
+//! dwell-time independence).
+
+use indoor_iupt::TimeInterval;
+use indoor_model::{IndoorSpace, SLocId};
+
+use crate::trajectory::Trajectory;
+
+/// Ground-truth flow per S-location (dense, indexed by S-location id).
+pub fn ground_truth_flows(
+    space: &IndoorSpace,
+    trajectories: &[Trajectory],
+    interval: TimeInterval,
+) -> Vec<f64> {
+    let mut flows = vec![0.0; space.slocs().len()];
+    let mut visited: Vec<bool> = vec![false; space.slocs().len()];
+    for traj in trajectories {
+        visited.iter_mut().for_each(|v| *v = false);
+        for part in traj.partitions_visited(interval) {
+            for &sloc in space.slocs_of_partition(part) {
+                if !visited[sloc.index()] {
+                    visited[sloc.index()] = true;
+                    flows[sloc.index()] += 1.0;
+                }
+            }
+        }
+    }
+    flows
+}
+
+/// The ground-truth top-k ranking among the members of `candidates`
+/// (descending flow, ties by ascending id — the same rule the query
+/// algorithms use).
+pub fn ground_truth_topk(
+    space: &IndoorSpace,
+    trajectories: &[Trajectory],
+    interval: TimeInterval,
+    candidates: &[SLocId],
+    k: usize,
+) -> Vec<(SLocId, f64)> {
+    let flows = ground_truth_flows(space, trajectories, interval);
+    let mut ranked: Vec<(SLocId, f64)> = candidates
+        .iter()
+        .map(|&s| (s, flows[s.index()]))
+        .collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked.truncate(k);
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::building_gen::{generate_building, BuildingGenConfig};
+    use crate::mobility::{simulate_mobility, MobilityConfig};
+    use indoor_iupt::Timestamp;
+
+    fn world() -> (IndoorSpace, Vec<Trajectory>) {
+        let space = generate_building(&BuildingGenConfig::tiny());
+        let trajs = simulate_mobility(&space, &MobilityConfig::tiny());
+        (space, trajs)
+    }
+
+    fn full_window() -> TimeInterval {
+        TimeInterval::new(Timestamp::from_secs(0), Timestamp::from_secs(600))
+    }
+
+    #[test]
+    fn flows_bounded_by_object_count() {
+        let (space, trajs) = world();
+        let flows = ground_truth_flows(&space, &trajs, full_window());
+        assert_eq!(flows.len(), space.slocs().len());
+        for &f in &flows {
+            assert!(f >= 0.0 && f <= trajs.len() as f64);
+        }
+        // Somebody was somewhere.
+        assert!(flows.iter().sum::<f64>() > 0.0);
+    }
+
+    #[test]
+    fn empty_interval_before_birth_counts_nothing() {
+        let (space, trajs) = world();
+        let iv = TimeInterval::new(Timestamp::from_secs(10_000), Timestamp::from_secs(10_001));
+        let flows = ground_truth_flows(&space, &trajs, iv);
+        assert!(flows.iter().all(|&f| f == 0.0));
+    }
+
+    #[test]
+    fn topk_is_sorted_and_truncated() {
+        let (space, trajs) = world();
+        let candidates: Vec<SLocId> = space.slocs().iter().map(|s| s.id).collect();
+        let top = ground_truth_topk(&space, &trajs, full_window(), &candidates, 5);
+        assert_eq!(top.len(), 5);
+        for w in top.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn monotone_in_interval_length() {
+        let (space, trajs) = world();
+        let short = ground_truth_flows(
+            &space,
+            &trajs,
+            TimeInterval::new(Timestamp::from_secs(0), Timestamp::from_secs(100)),
+        );
+        let long = ground_truth_flows(&space, &trajs, full_window());
+        for (s, l) in short.iter().zip(long.iter()) {
+            assert!(l >= s, "flows must grow with the window");
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! `indoor-sim` — the data-generation substrate of the reproduction,
+//! replacing the paper's Vita toolkit and testbed (§5): parametric
+//! buildings, random-waypoint mobility along shortest indoor paths,
+//! WkNN-style probabilistic positioning, RFID tracking for the SCC/UR
+//! comparators, and ground-truth extraction.
+//!
+//! Everything is deterministic under a fixed seed, so experiments and
+//! benchmarks are reproducible end to end.
+
+pub mod building_gen;
+pub mod ground_truth;
+pub mod mobility;
+pub mod positioning;
+pub mod rfid_sim;
+pub mod scenario;
+pub mod trajectory;
+
+pub use building_gen::{generate_building, BuildingGenConfig};
+pub use ground_truth::{ground_truth_flows, ground_truth_topk};
+pub use mobility::{simulate_mobility, MobilityConfig};
+pub use positioning::{generate_iupt, PositioningConfig, SampleSizePolicy};
+pub use rfid_sim::{deploy_readers, generate_rfid_data, RfidConfig};
+pub use scenario::{Scenario, World};
+pub use trajectory::{MotionEvent, Trajectory};

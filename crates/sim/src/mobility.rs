@@ -1,0 +1,371 @@
+//! Random-waypoint mobility over the door graph (§5.3): each object
+//! repeatedly picks a random destination room, walks there along the
+//! shortest indoor path at `Vmax`, dwells for a random period, and
+//! repeats, for the duration of its lifespan.
+
+use indoor_geom::Point;
+use indoor_iupt::{ObjectId, Timestamp};
+use indoor_model::{DoorGraph, IndoorSpace, Leg, PartitionId, PartitionKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::trajectory::{MotionEvent, Trajectory};
+
+/// Mobility simulation parameters.
+#[derive(Debug, Clone)]
+pub struct MobilityConfig {
+    /// Number of moving objects (the paper varies 2.5K–10K).
+    pub num_objects: usize,
+    /// Simulated wall-clock duration in seconds (the paper simulates two
+    /// hours).
+    pub duration_secs: i64,
+    /// Maximum (and, per the random-waypoint model, cruising) speed in
+    /// m/s. The paper uses `Vmax = 1`.
+    pub vmax: f64,
+    /// Dwell time range at each destination, in seconds (paper: 5–30
+    /// minutes).
+    pub dwell_secs: (i64, i64),
+    /// Object lifespan range in seconds (paper: 30 minutes – 2 hours).
+    pub lifespan_secs: (i64, i64),
+    /// Zipf exponent skewing destination choice toward popular rooms
+    /// (0 = uniform). Human visit patterns are heavily skewed — some
+    /// exhibits/shops/offices attract far more traffic — and without skew
+    /// most locations tie in popularity and any top-k is arbitrary.
+    pub destination_skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl MobilityConfig {
+    /// The paper's synthetic-mobility defaults with 5K objects.
+    pub fn paper_synthetic() -> Self {
+        MobilityConfig {
+            num_objects: 5000,
+            duration_secs: 2 * 3600,
+            vmax: 1.0,
+            dwell_secs: (5 * 60, 30 * 60),
+            lifespan_secs: (30 * 60, 2 * 3600),
+            destination_skew: 0.9,
+            seed: 0xab1e,
+        }
+    }
+
+    /// The real-data analog: 35 users over 150 minutes, office-style
+    /// movement with shorter dwells so rush-hour traffic appears.
+    pub fn real_floor_analog() -> Self {
+        MobilityConfig {
+            num_objects: 35,
+            duration_secs: 150 * 60,
+            vmax: 1.0,
+            dwell_secs: (5 * 60, 20 * 60),
+            lifespan_secs: (60 * 60, 150 * 60),
+            destination_skew: 0.9,
+            seed: 0xab1e,
+        }
+    }
+
+    /// A small config for tests.
+    pub fn tiny() -> Self {
+        MobilityConfig {
+            num_objects: 8,
+            duration_secs: 600,
+            vmax: 1.0,
+            dwell_secs: (20, 60),
+            lifespan_secs: (300, 600),
+            destination_skew: 0.9,
+            seed: 7,
+        }
+    }
+}
+
+/// Simulates all objects and returns their trajectories (sorted by object
+/// id; object ids are `1..=num_objects`).
+pub fn simulate_mobility(space: &IndoorSpace, cfg: &MobilityConfig) -> Vec<Trajectory> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let graph = space.door_graph();
+    let rooms: Vec<PartitionId> = space
+        .building()
+        .partitions_of_kind(PartitionKind::Room)
+        .map(|p| p.id)
+        .collect();
+    assert!(!rooms.is_empty(), "mobility needs at least one room");
+    let rooms = WeightedRooms::new(rooms, cfg.destination_skew, &mut rng);
+
+    (0..cfg.num_objects)
+        .map(|i| {
+            let oid = ObjectId(i as u32 + 1);
+            simulate_object(space, &graph, &rooms, cfg, oid, &mut rng)
+        })
+        .collect()
+}
+
+/// Rooms with a Zipf-like popularity distribution. Popularity ranks are
+/// shuffled once (seeded) so the popular rooms are scattered through the
+/// building rather than clustered at low partition ids.
+struct WeightedRooms {
+    rooms: Vec<PartitionId>,
+    /// Cumulative weights, normalized to 1.
+    cdf: Vec<f64>,
+}
+
+impl WeightedRooms {
+    fn new(mut rooms: Vec<PartitionId>, skew: f64, rng: &mut StdRng) -> Self {
+        // Shuffle so popularity rank is independent of layout position.
+        for i in (1..rooms.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            rooms.swap(i, j);
+        }
+        let weights: Vec<f64> = (0..rooms.len())
+            .map(|i| 1.0 / ((i + 1) as f64).powf(skew))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cdf = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        WeightedRooms { rooms, cdf }
+    }
+
+    fn draw(&self, rng: &mut StdRng) -> PartitionId {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let idx = self.cdf.partition_point(|&c| c < u).min(self.rooms.len() - 1);
+        self.rooms[idx]
+    }
+}
+
+fn simulate_object(
+    space: &IndoorSpace,
+    graph: &DoorGraph,
+    rooms: &WeightedRooms,
+    cfg: &MobilityConfig,
+    oid: ObjectId,
+    rng: &mut StdRng,
+) -> Trajectory {
+    let lifespan = rng.gen_range(cfg.lifespan_secs.0..=cfg.lifespan_secs.1);
+    let lifespan = lifespan.min(cfg.duration_secs);
+    let latest_birth = (cfg.duration_secs - lifespan).max(0);
+    let born = Timestamp::from_secs(if latest_birth == 0 {
+        0
+    } else {
+        rng.gen_range(0..=latest_birth)
+    });
+    let died = born.plus_secs(lifespan);
+
+    let mut events: Vec<MotionEvent> = Vec::new();
+    let mut now = born;
+    let (mut here_part, mut here_pos) = random_point_in(space, rooms, rng);
+
+    while now < died {
+        // Dwell phase.
+        let dwell = rng.gen_range(cfg.dwell_secs.0..=cfg.dwell_secs.1);
+        let dwell_until = now.plus_secs(dwell).min(died);
+        let floor = space.building().partition(here_part).floor;
+        events.push(MotionEvent::Dwell {
+            partition: here_part,
+            floor,
+            pos: here_pos,
+            from: now,
+            until: dwell_until,
+        });
+        now = dwell_until;
+        if now >= died {
+            break;
+        }
+
+        // Move phase: pick a destination and follow the shortest route.
+        let (dest_part, dest_pos) = random_point_in(space, rooms, rng);
+        let Some(route) = graph.shortest_route(
+            space.building(),
+            (here_part, here_pos),
+            (dest_part, dest_pos),
+        ) else {
+            // Unreachable destination (disconnected building): stay put.
+            continue;
+        };
+        for leg in route.legs {
+            if now >= died {
+                break;
+            }
+            let cost = leg.cost();
+            let duration_ms = ((cost / cfg.vmax) * 1000.0).ceil().max(1.0) as i64;
+            let natural_until = now.plus_millis(duration_ms);
+            let until = natural_until.min(died);
+            // Fraction of the leg actually covered before the lifespan
+            // ends; a truncated walk must shorten its segment so the
+            // recorded speed stays at vmax.
+            let frac = until.diff_millis(now) as f64 / duration_ms as f64;
+            match leg {
+                Leg::Walk {
+                    partition,
+                    floor,
+                    seg,
+                } => {
+                    let covered = if frac < 1.0 {
+                        indoor_geom::Segment::new(seg.start, seg.at(frac))
+                    } else {
+                        seg
+                    };
+                    events.push(MotionEvent::Walk {
+                        partition,
+                        floor,
+                        seg: covered,
+                        from: now,
+                        until,
+                    });
+                    here_part = partition;
+                    here_pos = covered.end;
+                }
+                Leg::Stairs {
+                    door,
+                    from_floor,
+                    to_floor,
+                    pos,
+                    ..
+                } => {
+                    let d = space.building().door(door);
+                    events.push(MotionEvent::Stairs {
+                        partition_from: d.a,
+                        partition_to: d.b,
+                        from_floor,
+                        to_floor,
+                        pos,
+                        from: now,
+                        until,
+                    });
+                }
+            }
+            now = until;
+        }
+        // On normal completion the final walk leg already placed the
+        // object at `dest_pos`; a lifespan-truncated route leaves it at
+        // the last covered position.
+        debug_assert!(now < died || !events.is_empty());
+    }
+
+    Trajectory {
+        oid,
+        events,
+        born,
+        died,
+    }
+}
+
+/// A popularity-weighted random room and an interior point within it.
+fn random_point_in(
+    space: &IndoorSpace,
+    rooms: &WeightedRooms,
+    rng: &mut StdRng,
+) -> (PartitionId, Point) {
+    let part = rooms.draw(rng);
+    let rect = space.building().partition(part).rect.inset(-0.5);
+    let x = rng.gen_range(rect.min.x..=rect.max.x);
+    let y = rng.gen_range(rect.min.y..=rect.max.y);
+    (part, Point::new(x, y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::building_gen::{generate_building, BuildingGenConfig};
+    use indoor_iupt::TimeInterval;
+
+    fn world() -> (IndoorSpace, Vec<Trajectory>) {
+        let space = generate_building(&BuildingGenConfig::tiny());
+        let trajs = simulate_mobility(&space, &MobilityConfig::tiny());
+        (space, trajs)
+    }
+
+    #[test]
+    fn trajectories_cover_lifespans_contiguously() {
+        let (_, trajs) = world();
+        assert_eq!(trajs.len(), 8);
+        for t in &trajs {
+            assert!(!t.events.is_empty());
+            assert_eq!(t.events.first().unwrap().from(), t.born);
+            assert_eq!(t.events.last().unwrap().until(), t.died);
+            for w in t.events.windows(2) {
+                assert_eq!(
+                    w[0].until(),
+                    w[1].from(),
+                    "events must be contiguous for {}",
+                    t.oid
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn positions_stay_inside_partitions() {
+        let (space, trajs) = world();
+        for t in &trajs {
+            let step = (t.died.diff_millis(t.born) / 20).max(1);
+            let mut tt = t.born;
+            while tt <= t.died {
+                let (floor, pos) = t.position_at(tt).expect("inside lifespan");
+                let parts = space.building().partitions_at(floor, pos);
+                assert!(
+                    !parts.is_empty(),
+                    "{} at {tt} is outside every partition ({floor}, {pos})",
+                    t.oid
+                );
+                tt = tt.plus_millis(step);
+            }
+        }
+    }
+
+    #[test]
+    fn walk_speed_never_exceeds_vmax() {
+        let (_, trajs) = world();
+        let vmax = MobilityConfig::tiny().vmax;
+        for t in &trajs {
+            for e in &t.events {
+                if let MotionEvent::Walk { seg, from, until, .. } = e {
+                    let secs = until.diff_millis(*from) as f64 / 1000.0;
+                    if secs > 0.0 {
+                        let v = seg.length() / secs;
+                        assert!(v <= vmax * 1.05, "speed {v} exceeds vmax");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let space = generate_building(&BuildingGenConfig::tiny());
+        let a = simulate_mobility(&space, &MobilityConfig::tiny());
+        let b = simulate_mobility(&space, &MobilityConfig::tiny());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.born, y.born);
+            assert_eq!(x.died, y.died);
+            assert_eq!(x.events.len(), y.events.len());
+        }
+    }
+
+    #[test]
+    fn objects_visit_multiple_partitions() {
+        let (_, trajs) = world();
+        let interval = TimeInterval::new(Timestamp::from_secs(0), Timestamp::from_secs(600));
+        let multi = trajs
+            .iter()
+            .filter(|t| t.partitions_visited(interval).len() > 1)
+            .count();
+        assert!(multi >= trajs.len() / 2, "only {multi} objects moved");
+    }
+
+    #[test]
+    fn lifespans_respect_config_bounds() {
+        let (_, trajs) = world();
+        let cfg = MobilityConfig::tiny();
+        for t in &trajs {
+            let l = t.lifespan_secs();
+            assert!(l >= cfg.lifespan_secs.0.min(cfg.duration_secs));
+            assert!(l <= cfg.lifespan_secs.1);
+        }
+    }
+}

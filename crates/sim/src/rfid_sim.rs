@@ -1,0 +1,216 @@
+//! RFID tracking simulation for the SCC / UR comparators (§5.3.3): readers
+//! with a fixed detection range are deployed at doors under the
+//! non-overlap constraint ("reader detection ranges do not overlap … we
+//! maximize the number of readers"), and tracking records
+//! `(o, r_i, ts, te)` are derived from the same ground-truth trajectories
+//! that underlie the IUPT.
+
+use std::collections::HashMap;
+
+use indoor_iupt::{ObjectId, RfidDeployment, RfidReader, RfidRecord, RfidTrackingData, ReaderId, Timestamp};
+use indoor_model::{FloorId, IndoorSpace};
+
+use crate::trajectory::Trajectory;
+
+/// RFID simulation parameters.
+#[derive(Debug, Clone)]
+pub struct RfidConfig {
+    /// Reader detection radius in meters (3 m in the paper).
+    pub detection_range: f64,
+    /// Sampling resolution for detection intervals, in milliseconds.
+    pub step_millis: i64,
+}
+
+impl Default for RfidConfig {
+    fn default() -> Self {
+        RfidConfig {
+            detection_range: 3.0,
+            step_millis: 1000,
+        }
+    }
+}
+
+/// Greedily deploys readers at doors, skipping any door whose reader would
+/// overlap an already-placed reader's range on the same floor. Doors are
+/// visited in id order, so the deployment is deterministic and maximal
+/// with respect to that order.
+pub fn deploy_readers(space: &IndoorSpace, cfg: &RfidConfig) -> RfidDeployment {
+    let mut readers: Vec<RfidReader> = Vec::new();
+    let min_dist = 2.0 * cfg.detection_range;
+    for door in space.building().doors() {
+        let pa = space.building().partition(door.a);
+        let pb = space.building().partition(door.b);
+        if pa.floor != pb.floor {
+            // Staircase flights have no door plane to mount a reader on.
+            continue;
+        }
+        let floor = pa.floor;
+        let too_close = readers
+            .iter()
+            .any(|r| r.floor == floor && r.pos.distance(door.pos) < min_dist);
+        if too_close {
+            continue;
+        }
+        let mut adjacent: Vec<indoor_model::SLocId> = space
+            .slocs_of_partition(door.a)
+            .iter()
+            .chain(space.slocs_of_partition(door.b))
+            .copied()
+            .collect();
+        adjacent.sort_unstable();
+        adjacent.dedup();
+        readers.push(RfidReader {
+            id: ReaderId(readers.len() as u32),
+            pos: door.pos,
+            floor,
+            door: door.id,
+            adjacent_slocs: adjacent,
+        });
+    }
+    RfidDeployment {
+        readers,
+        detection_range: cfg.detection_range,
+    }
+}
+
+/// Generates tracking records by stepping each trajectory at the
+/// configured resolution and tracking enter/leave events of reader ranges.
+pub fn generate_rfid_data(
+    space: &IndoorSpace,
+    trajectories: &[Trajectory],
+    cfg: &RfidConfig,
+) -> RfidTrackingData {
+    let deployment = deploy_readers(space, cfg);
+
+    // Per-floor reader lists (small; linear scan per step is fine because
+    // non-overlapping ranges keep the count low).
+    let mut by_floor: HashMap<FloorId, Vec<&RfidReader>> = HashMap::new();
+    for r in &deployment.readers {
+        by_floor.entry(r.floor).or_default().push(r);
+    }
+
+    let mut records: Vec<RfidRecord> = Vec::new();
+    for traj in trajectories {
+        let mut active: Option<(ReaderId, Timestamp)> = None;
+        let mut t = traj.born;
+        let mut last_t = traj.born;
+        while t <= traj.died {
+            let here = traj.position_at(t).and_then(|(floor, pos)| {
+                by_floor.get(&floor).and_then(|rs| {
+                    rs.iter()
+                        .find(|r| r.pos.distance(pos) <= cfg.detection_range)
+                        .map(|r| r.id)
+                })
+            });
+            match (active, here) {
+                (Some((rid, since)), Some(now_rid)) if rid != now_rid => {
+                    records.push(close_record(traj.oid, rid, since, last_t));
+                    active = Some((now_rid, t));
+                }
+                (Some((rid, since)), None) => {
+                    records.push(close_record(traj.oid, rid, since, last_t));
+                    active = None;
+                }
+                (None, Some(now_rid)) => {
+                    active = Some((now_rid, t));
+                }
+                _ => {}
+            }
+            last_t = t;
+            t = t.plus_millis(cfg.step_millis);
+        }
+        if let Some((rid, since)) = active {
+            records.push(close_record(traj.oid, rid, since, traj.died));
+        }
+    }
+
+    RfidTrackingData::new(deployment, records)
+}
+
+fn close_record(oid: ObjectId, reader: ReaderId, ts: Timestamp, te: Timestamp) -> RfidRecord {
+    RfidRecord {
+        oid,
+        reader,
+        ts,
+        te: te.max(ts),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::building_gen::{generate_building, BuildingGenConfig};
+    use crate::mobility::{simulate_mobility, MobilityConfig};
+
+    fn world() -> (IndoorSpace, Vec<Trajectory>) {
+        let space = generate_building(&BuildingGenConfig::tiny());
+        let trajs = simulate_mobility(&space, &MobilityConfig::tiny());
+        (space, trajs)
+    }
+
+    #[test]
+    fn deployment_respects_non_overlap() {
+        let (space, _) = world();
+        let cfg = RfidConfig::default();
+        let d = deploy_readers(&space, &cfg);
+        assert!(!d.readers.is_empty());
+        for (i, a) in d.readers.iter().enumerate() {
+            for b in &d.readers[i + 1..] {
+                if a.floor == b.floor {
+                    assert!(
+                        a.pos.distance(b.pos) >= 2.0 * cfg.detection_range - 1e-9,
+                        "readers {} and {} overlap",
+                        a.id,
+                        b.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_range_allows_more_readers() {
+        let (space, _) = world();
+        let many = deploy_readers(
+            &space,
+            &RfidConfig {
+                detection_range: 1.0,
+                ..RfidConfig::default()
+            },
+        );
+        let few = deploy_readers(
+            &space,
+            &RfidConfig {
+                detection_range: 4.0,
+                ..RfidConfig::default()
+            },
+        );
+        assert!(many.readers.len() >= few.readers.len());
+    }
+
+    #[test]
+    fn records_are_well_formed() {
+        let (space, trajs) = world();
+        let data = generate_rfid_data(&space, &trajs, &RfidConfig::default());
+        for r in data.records() {
+            assert!(r.ts <= r.te);
+        }
+        // Moving objects cross doors, so detections must occur.
+        assert!(!data.records().is_empty());
+    }
+
+    #[test]
+    fn detections_match_positions() {
+        let (space, trajs) = world();
+        let cfg = RfidConfig::default();
+        let data = generate_rfid_data(&space, &trajs, &cfg);
+        let by_oid: HashMap<ObjectId, &Trajectory> =
+            trajs.iter().map(|t| (t.oid, t)).collect();
+        for r in data.records().iter().take(50) {
+            let reader = data.deployment.reader(r.reader);
+            let (floor, pos) = by_oid[&r.oid].position_at(r.ts).unwrap();
+            assert_eq!(floor, reader.floor);
+            assert!(pos.distance(reader.pos) <= cfg.detection_range + 1e-9);
+        }
+    }
+}

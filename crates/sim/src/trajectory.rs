@@ -1,0 +1,287 @@
+//! Continuous ground-truth trajectories, stored as motion events rather
+//! than per-second samples so multi-hour simulations of thousands of
+//! objects stay compact while still answering position queries at any
+//! instant.
+
+use indoor_geom::{Point, Segment};
+use indoor_iupt::{ObjectId, TimeInterval, Timestamp};
+use indoor_model::{FloorId, PartitionId};
+
+/// One homogeneous piece of an object's motion.
+#[derive(Debug, Clone)]
+pub enum MotionEvent {
+    /// Standing still at `pos` in `partition`.
+    Dwell {
+        partition: PartitionId,
+        floor: FloorId,
+        pos: Point,
+        from: Timestamp,
+        until: Timestamp,
+    },
+    /// Walking the straight segment `seg` inside `partition` at constant
+    /// speed.
+    Walk {
+        partition: PartitionId,
+        floor: FloorId,
+        seg: Segment,
+        from: Timestamp,
+        until: Timestamp,
+    },
+    /// Climbing a staircase flight: plan position fixed at `pos`, floor
+    /// switches halfway through.
+    Stairs {
+        partition_from: PartitionId,
+        partition_to: PartitionId,
+        from_floor: FloorId,
+        to_floor: FloorId,
+        pos: Point,
+        from: Timestamp,
+        until: Timestamp,
+    },
+}
+
+impl MotionEvent {
+    /// Event start time.
+    pub fn from(&self) -> Timestamp {
+        match self {
+            MotionEvent::Dwell { from, .. }
+            | MotionEvent::Walk { from, .. }
+            | MotionEvent::Stairs { from, .. } => *from,
+        }
+    }
+
+    /// Event end time.
+    pub fn until(&self) -> Timestamp {
+        match self {
+            MotionEvent::Dwell { until, .. }
+            | MotionEvent::Walk { until, .. }
+            | MotionEvent::Stairs { until, .. } => *until,
+        }
+    }
+
+    /// Whether the event overlaps a closed interval.
+    pub fn overlaps(&self, interval: TimeInterval) -> bool {
+        self.from() <= interval.end && self.until() >= interval.start
+    }
+
+    /// The partition occupied at time `t` within the event.
+    pub fn partition_at(&self, t: Timestamp) -> PartitionId {
+        match self {
+            MotionEvent::Dwell { partition, .. } | MotionEvent::Walk { partition, .. } => {
+                *partition
+            }
+            MotionEvent::Stairs {
+                partition_from,
+                partition_to,
+                from,
+                until,
+                ..
+            } => {
+                let span = until.diff_millis(*from).max(1);
+                let half = from.plus_millis(span / 2);
+                if t < half {
+                    *partition_from
+                } else {
+                    *partition_to
+                }
+            }
+        }
+    }
+
+    /// Position (floor + plan point) at time `t` within the event.
+    pub fn position_at(&self, t: Timestamp) -> (FloorId, Point) {
+        debug_assert!(t >= self.from() && t <= self.until());
+        match self {
+            MotionEvent::Dwell { floor, pos, .. } => (*floor, *pos),
+            MotionEvent::Walk {
+                floor,
+                seg,
+                from,
+                until,
+                ..
+            } => {
+                let span = until.diff_millis(*from).max(1) as f64;
+                let frac = t.diff_millis(*from) as f64 / span;
+                (*floor, seg.at(frac.clamp(0.0, 1.0)))
+            }
+            MotionEvent::Stairs {
+                from_floor,
+                to_floor,
+                pos,
+                from,
+                until,
+                ..
+            } => {
+                let span = until.diff_millis(*from).max(1);
+                let half = from.plus_millis(span / 2);
+                if t < half {
+                    (*from_floor, *pos)
+                } else {
+                    (*to_floor, *pos)
+                }
+            }
+        }
+    }
+
+    /// The partition(s) the object occupies during this event.
+    pub fn partitions(&self) -> [Option<PartitionId>; 2] {
+        match self {
+            MotionEvent::Dwell { partition, .. } | MotionEvent::Walk { partition, .. } => {
+                [Some(*partition), None]
+            }
+            MotionEvent::Stairs {
+                partition_from,
+                partition_to,
+                ..
+            } => [Some(*partition_from), Some(*partition_to)],
+        }
+    }
+}
+
+/// An object's full ground-truth trajectory.
+#[derive(Debug, Clone)]
+pub struct Trajectory {
+    pub oid: ObjectId,
+    /// Contiguous events ordered by time, spanning `[born, died]`.
+    pub events: Vec<MotionEvent>,
+    pub born: Timestamp,
+    pub died: Timestamp,
+}
+
+impl Trajectory {
+    /// Position at time `t`, `None` outside the object's lifespan.
+    pub fn position_at(&self, t: Timestamp) -> Option<(FloorId, Point)> {
+        self.event_at(t).map(|e| e.position_at(t))
+    }
+
+    /// Position plus occupied partition at time `t`.
+    pub fn position_at_detailed(
+        &self,
+        t: Timestamp,
+    ) -> Option<(FloorId, Point, PartitionId)> {
+        self.event_at(t).map(|e| {
+            let (floor, pos) = e.position_at(t);
+            (floor, pos, e.partition_at(t))
+        })
+    }
+
+    fn event_at(&self, t: Timestamp) -> Option<&MotionEvent> {
+        if t < self.born || t > self.died || self.events.is_empty() {
+            return None;
+        }
+        // Binary search for the event containing t.
+        let idx = self
+            .events
+            .partition_point(|e| e.until() < t)
+            .min(self.events.len() - 1);
+        let e = &self.events[idx];
+        if t < e.from() || t > e.until() {
+            return None;
+        }
+        Some(e)
+    }
+
+    /// Events overlapping `interval`.
+    pub fn events_in(&self, interval: TimeInterval) -> impl Iterator<Item = &MotionEvent> {
+        self.events.iter().filter(move |e| e.overlaps(interval))
+    }
+
+    /// Distinct partitions the object occupies at any moment of
+    /// `interval`, sorted by id — the basis of ground-truth flows.
+    pub fn partitions_visited(&self, interval: TimeInterval) -> Vec<PartitionId> {
+        let mut out: Vec<PartitionId> = self
+            .events_in(interval)
+            .flat_map(|e| e.partitions().into_iter().flatten())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Total trajectory duration in seconds.
+    pub fn lifespan_secs(&self) -> i64 {
+        self.died.diff_millis(self.born) / 1000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: i64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn walk_traj() -> Trajectory {
+        Trajectory {
+            oid: ObjectId(1),
+            born: ts(0),
+            died: ts(30),
+            events: vec![
+                MotionEvent::Dwell {
+                    partition: PartitionId(0),
+                    floor: FloorId(0),
+                    pos: Point::new(1.0, 1.0),
+                    from: ts(0),
+                    until: ts(10),
+                },
+                MotionEvent::Walk {
+                    partition: PartitionId(0),
+                    floor: FloorId(0),
+                    seg: Segment::new(Point::new(1.0, 1.0), Point::new(11.0, 1.0)),
+                    from: ts(10),
+                    until: ts(20),
+                },
+                MotionEvent::Stairs {
+                    partition_from: PartitionId(1),
+                    partition_to: PartitionId(2),
+                    from_floor: FloorId(0),
+                    to_floor: FloorId(1),
+                    pos: Point::new(11.0, 1.0),
+                    from: ts(20),
+                    until: ts(30),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn position_interpolates_walks() {
+        let t = walk_traj();
+        assert_eq!(t.position_at(ts(5)), Some((FloorId(0), Point::new(1.0, 1.0))));
+        let (f, p) = t.position_at(ts(15)).unwrap();
+        assert_eq!(f, FloorId(0));
+        assert!((p.x - 6.0).abs() < 1e-9);
+        // Stairs: floor switches halfway.
+        assert_eq!(t.position_at(ts(22)).unwrap().0, FloorId(0));
+        assert_eq!(t.position_at(ts(28)).unwrap().0, FloorId(1));
+    }
+
+    #[test]
+    fn position_outside_lifespan_is_none() {
+        let t = walk_traj();
+        assert!(t.position_at(ts(-1)).is_none());
+        assert!(t.position_at(ts(31)).is_none());
+    }
+
+    #[test]
+    fn partitions_visited_respects_interval() {
+        let t = walk_traj();
+        let all = t.partitions_visited(TimeInterval::new(ts(0), ts(30)));
+        assert_eq!(all, vec![PartitionId(0), PartitionId(1), PartitionId(2)]);
+        let early = t.partitions_visited(TimeInterval::new(ts(0), ts(15)));
+        assert_eq!(early, vec![PartitionId(0)]);
+        let none = t.partitions_visited(TimeInterval::new(ts(100), ts(200)));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn boundary_instants_belong_to_both_events() {
+        let t = walk_traj();
+        // t = 10 is the dwell/walk boundary; any of the two positions is
+        // acceptable, but the call must succeed.
+        assert!(t.position_at(ts(10)).is_some());
+        assert!(t.position_at(ts(20)).is_some());
+        assert!(t.position_at(ts(30)).is_some());
+    }
+}

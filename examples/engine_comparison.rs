@@ -1,0 +1,76 @@
+//! Engine comparison — the reproduction's main extension (DESIGN.md
+//! §2.3): the paper evaluates Eq. 1 by enumerating valid possible paths;
+//! because the pass probability factorizes over consecutive P-location
+//! pairs, the same value is computable by an exact transition DP in
+//! `O(n · m²)` per object/query, with no path materialization at all.
+//!
+//! This example runs the Nested-Loop search with both engines on the same
+//! data, verifies the rankings and flows are identical, and reports the
+//! wall-clock difference as the query window grows.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p popflow-eval --example engine_comparison
+//! ```
+
+use std::time::Instant;
+
+use popflow_core::{nested_loop, FlowConfig, PresenceEngine, TkPlQuery};
+use popflow_eval::Lab;
+
+fn main() {
+    let mut lab = Lab::synthetic(0.02);
+    println!("world: {}", lab.world.space.stats());
+    println!("IUPT: {}\n", lab.world.iupt.stats());
+    println!(
+        "{:<8} {:>16} {:>16} {:>9}  agreement",
+        "window", "enumeration(s)", "transition-dp(s)", "speedup"
+    );
+
+    for dt in [5i64, 10, 20, 30] {
+        let query = TkPlQuery::new(
+            10,
+            lab.query_fraction(0.08, dt as u64),
+            lab.random_window(dt, 1000 + dt as u64),
+        );
+
+        let mut timed = |engine: PresenceEngine| {
+            let cfg = FlowConfig {
+                engine,
+                ..FlowConfig::default()
+            };
+            let (space, iupt) = lab.space_and_iupt();
+            let start = Instant::now();
+            let out = nested_loop(space, iupt, &query, &cfg).expect("NL evaluates");
+            (start.elapsed().as_secs_f64(), out)
+        };
+
+        // Hybrid = the paper's enumeration with per-object DP fallback for
+        // over-budget path sets.
+        let (t_enum, out_enum) = timed(PresenceEngine::Hybrid);
+        let (t_dp, out_dp) = timed(PresenceEngine::TransitionDp);
+
+        let identical = out_enum.topk_slocs() == out_dp.topk_slocs()
+            && out_enum
+                .ranking
+                .iter()
+                .zip(out_dp.ranking.iter())
+                .all(|(a, b)| (a.flow - b.flow).abs() < 1e-6);
+        println!(
+            "{:<8} {:>16.3} {:>16.3} {:>8.1}x  {}",
+            format!("{dt}min"),
+            t_enum,
+            t_dp,
+            t_enum / t_dp.max(1e-9),
+            if identical { "identical results" } else { "MISMATCH" }
+        );
+        assert!(identical, "the engines must agree exactly");
+    }
+
+    println!(
+        "\nThe DP engine computes the same flows without materializing a\n\
+         single path — the speedup grows with the query window because the\n\
+         number of valid paths grows multiplicatively while the DP stays\n\
+         linear in the sequence length."
+    );
+}

@@ -1,0 +1,75 @@
+//! Reproducibility: identical seeds produce identical worlds, data, and
+//! query answers across the full pipeline — the property every experiment
+//! in EXPERIMENTS.md relies on.
+
+use popflow_core::TkPlQuery;
+use popflow_eval::{Lab, Method};
+
+#[test]
+fn whole_pipeline_is_deterministic_under_seed() {
+    let run = || {
+        let mut lab = Lab::new(indoor_sim::Scenario::tiny().with_seed(33));
+        let query = TkPlQuery::new(
+            4,
+            lab.query_fraction(0.8, 9),
+            lab.world.full_interval(),
+        );
+        let scored = lab.evaluate(Method::Bf, &query);
+        (
+            lab.world.iupt.len(),
+            scored.run.outcome.topk_slocs(),
+            scored
+                .run
+                .outcome
+                .ranking
+                .iter()
+                .map(|r| r.flow)
+                .collect::<Vec<_>>(),
+            scored.tau,
+        )
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.0, b.0);
+    assert_eq!(a.1, b.1);
+    assert_eq!(a.2, b.2);
+    assert_eq!(a.3, b.3);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let world_a = indoor_sim::World::generate(indoor_sim::Scenario::tiny().with_seed(1));
+    let world_b = indoor_sim::World::generate(indoor_sim::Scenario::tiny().with_seed(2));
+    // Same building parameters, different stochastic content.
+    assert_eq!(
+        world_a.space.stats().partitions,
+        world_b.space.stats().partitions
+    );
+    assert_ne!(world_a.iupt.len(), 0);
+    let identical = world_a.iupt.len() == world_b.iupt.len()
+        && world_a
+            .iupt
+            .records()
+            .iter()
+            .zip(world_b.iupt.records())
+            .all(|(x, y)| x.t == y.t && x.samples == y.samples);
+    assert!(!identical);
+}
+
+#[test]
+fn monte_carlo_is_seeded() {
+    let mut lab = Lab::new(indoor_sim::Scenario::tiny());
+    let query = TkPlQuery::new(3, lab.query_fraction(1.0, 4), lab.world.full_interval());
+    let a = lab.evaluate(Method::Mc(40), &query);
+    let b = lab.evaluate(Method::Mc(40), &query);
+    assert_eq!(a.run.outcome.topk_slocs(), b.run.outcome.topk_slocs());
+    for (x, y) in a
+        .run
+        .outcome
+        .ranking
+        .iter()
+        .zip(b.run.outcome.ranking.iter())
+    {
+        assert_eq!(x.flow, y.flow);
+    }
+}

@@ -1,0 +1,192 @@
+//! Cross-crate property tests on randomly generated buildings and data:
+//! structural invariants that must hold for *any* world, not just the
+//! fixtures.
+
+use indoor_geom::Point;
+use indoor_model::{CellId, PartitionId};
+use indoor_sim::{
+    generate_building, simulate_mobility, BuildingGenConfig, MobilityConfig,
+};
+use popflow_core::{reduction, QuerySet};
+use proptest::prelude::*;
+
+fn arb_building_config() -> impl Strategy<Value = BuildingGenConfig> {
+    (
+        1u16..3,           // floors
+        2usize..4,         // room rows
+        2usize..5,         // rooms per row
+        0.0..1.0f64,       // interconnect fraction
+        0.3..1.0f64,       // corridor opening ploc fraction
+        1u64..500,         // seed
+    )
+        .prop_map(|(floors, rows, cols, inter, opening, seed)| BuildingGenConfig {
+            floors,
+            width: 12.0 + cols as f64 * 7.0,
+            corridor_width: 2.0,
+            room_rows: rows,
+            rooms_per_row: cols,
+            room_depth: 5.0,
+            corridor_segment_len: 11.0,
+            ploc_spacing: 3.0,
+            room_door_ploc_fraction: 1.0,
+            corridor_opening_ploc_fraction: opening,
+            room_interconnect_fraction: inter,
+            staircases: floors > 1,
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Cells partition the partition set: every partition belongs to
+    /// exactly one cell, and cell membership round-trips.
+    #[test]
+    fn cells_partition_the_building(cfg in arb_building_config()) {
+        let space = generate_building(&cfg);
+        let n = space.building().partition_count();
+        let mut seen = vec![false; n];
+        for cell in space.cells() {
+            prop_assert!(!cell.partitions.is_empty());
+            for &p in &cell.partitions {
+                prop_assert!(!seen[p.index()], "partition in two cells");
+                seen[p.index()] = true;
+                prop_assert_eq!(space.cell_of_partition(p), cell.id);
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s), "partition missing from cells");
+    }
+
+    /// Every P-location's cell set is consistent with the GISL edge that
+    /// carries it, and equivalence classes tile the P-location set.
+    #[test]
+    fn matrix_classes_are_consistent(cfg in arb_building_config()) {
+        let space = generate_building(&cfg);
+        let m = space.matrix();
+        let mut members = 0usize;
+        for class in m.classes() {
+            members += class.members.len();
+            for &p in &class.members {
+                prop_assert_eq!(m.cells_of(p), class.cells);
+                prop_assert_eq!(m.class_of(p), class.id);
+            }
+        }
+        prop_assert_eq!(members, m.ploc_count());
+        // MIL symmetry on a sample of pairs.
+        let count = m.ploc_count().min(12);
+        for i in 0..count {
+            for j in 0..count {
+                let pi = indoor_model::PLocId(i as u32);
+                let pj = indoor_model::PLocId(j as u32);
+                let forward = m.cells_between(pi, pj);
+                let backward = m.cells_between(pj, pi);
+                prop_assert_eq!(forward.as_slice(), backward.as_slice());
+            }
+        }
+    }
+
+    /// Shortest routes are at least the straight-line distance and their
+    /// legs are temporally contiguous walks within single partitions.
+    #[test]
+    fn shortest_routes_are_sane(cfg in arb_building_config(), seed in 0u64..100) {
+        let space = generate_building(&cfg);
+        let graph = space.door_graph();
+        let building = space.building();
+        let rooms: Vec<PartitionId> = building
+            .partitions_of_kind(indoor_model::PartitionKind::Room)
+            .map(|p| p.id)
+            .collect();
+        prop_assume!(rooms.len() >= 2);
+        let a = rooms[seed as usize % rooms.len()];
+        let b = rooms[(seed as usize + 1) % rooms.len()];
+        let pa = building.partition(a).rect.center();
+        let pb = building.partition(b).rect.center();
+        let Some(route) = graph.shortest_route(building, (a, pa), (b, pb)) else {
+            // Disconnected layouts are possible only without staircases on
+            // multi-floor configs — not generated here.
+            return Err(TestCaseError::fail("generated building disconnected"));
+        };
+        if building.partition(a).floor == building.partition(b).floor {
+            prop_assert!(route.length + 1e-9 >= pa.distance(pb));
+        }
+        let sum: f64 = route.legs.iter().map(|l| l.cost()).sum();
+        prop_assert!((sum - route.length).abs() < 1e-6);
+    }
+
+    /// Data reduction never increases the possible-path bound, preserves
+    /// per-set probability mass, and leaves PSLs unchanged.
+    #[test]
+    fn reduction_invariants_on_simulated_data(cfg in arb_building_config()) {
+        let space = generate_building(&cfg);
+        let mobility = MobilityConfig {
+            num_objects: 3,
+            duration_secs: 240,
+            vmax: 1.0,
+            dwell_secs: (15, 45),
+            lifespan_secs: (120, 240),
+            destination_skew: 0.5,
+            seed: cfg.seed,
+        };
+        let trajectories = simulate_mobility(&space, &mobility);
+        let iupt = indoor_sim::generate_iupt(
+            &space,
+            &trajectories,
+            &indoor_sim::PositioningConfig::paper_synthetic(),
+        );
+        let mut by_oid: std::collections::HashMap<_, Vec<_>> = Default::default();
+        for r in iupt.records() {
+            by_oid.entry(r.oid).or_default().push(r.samples.clone());
+        }
+        for sets in by_oid.values() {
+            let with = reduction::scan_sequence(&space, sets.iter(), true);
+            let without = reduction::scan_sequence(&space, sets.iter(), false);
+            prop_assert!(with.sets.len() <= without.sets.len());
+            prop_assert!(with.max_paths() <= without.max_paths());
+            prop_assert_eq!(&with.psls, &without.psls);
+            for s in &with.sets {
+                prop_assert!((s.prob_sum() - 1.0).abs() < 1e-6);
+            }
+            // Query pruning is consistent with PSL overlap.
+            if let Some(&first) = with.psls.first() {
+                let hit = QuerySet::new(vec![first]);
+                prop_assert!(
+                    reduction::reduce_for_query(&space, sets.iter(), &hit, true).is_some()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn point_partition_lookup_agrees_with_geometry() {
+    // Deterministic sweep: partition_at must agree with direct rect
+    // containment on a lattice of probe points.
+    let space = generate_building(&BuildingGenConfig::tiny());
+    let building = space.building();
+    let floor = building.floors()[0];
+    let bounds = building.floor_bounds(floor).unwrap();
+    let mut probes = 0;
+    for i in 0..30 {
+        for j in 0..30 {
+            let p = Point::new(
+                bounds.min.x + bounds.width() * (i as f64 + 0.5) / 30.0,
+                bounds.min.y + bounds.height() * (j as f64 + 0.5) / 30.0,
+            );
+            let via_index = building.partitions_at(floor, p);
+            let via_scan: Vec<PartitionId> = building
+                .partitions()
+                .iter()
+                .filter(|part| part.floor == floor && part.rect.contains_point(p))
+                .map(|part| part.id)
+                .collect();
+            let mut a = via_index.clone();
+            let mut b = via_scan.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "lookup mismatch at {p}");
+            probes += 1;
+        }
+    }
+    assert_eq!(probes, 900);
+    let _ = CellId(0);
+}
