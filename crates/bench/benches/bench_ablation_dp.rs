@@ -22,16 +22,12 @@ fn bench(c: &mut Criterion) {
                 engine,
                 ..FlowConfig::default()
             };
-            group.bench_with_input(
-                BenchmarkId::new(name, format!("{dt}min")),
-                &dt,
-                |b, _| {
-                    b.iter(|| {
-                        let (space, iupt) = lab.space_and_iupt();
-                        nested_loop(space, iupt, &q, &cfg).unwrap().ranking.len()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, format!("{dt}min")), &dt, |b, _| {
+                b.iter(|| {
+                    let (space, iupt) = lab.space_and_iupt();
+                    nested_loop(space, iupt, &q, &cfg).unwrap().ranking.len()
+                })
+            });
         }
     }
     group.finish();

@@ -18,11 +18,9 @@ fn bench(c: &mut Criterion) {
         let mut lab = Lab::new(scenario);
         let q = query(&lab, 10, 0.08, 15, 17);
         for method in [Method::Nl, Method::Bf, Method::Sc] {
-            group.bench_with_input(
-                BenchmarkId::new(method.name(), base),
-                &base,
-                |b, _| b.iter(|| run_once(&mut lab, method, &q)),
-            );
+            group.bench_with_input(BenchmarkId::new(method.name(), base), &base, |b, _| {
+                b.iter(|| run_once(&mut lab, method, &q))
+            });
         }
     }
     group.finish();

@@ -82,5 +82,10 @@ fn bench_reduction_and_paths(c: &mut Criterion) {
     let _ = TimeInterval::new(Timestamp(0), Timestamp(1));
 }
 
-criterion_group!(benches, bench_rtree, bench_time_index, bench_reduction_and_paths);
+criterion_group!(
+    benches,
+    bench_rtree,
+    bench_time_index,
+    bench_reduction_and_paths
+);
 criterion_main!(benches);

@@ -20,9 +20,7 @@ fn bench(c: &mut Criterion) {
         Method::Nl,
         Method::BfOrg,
     ] {
-        group.bench_function(method.name(), |b| {
-            b.iter(|| run_once(&mut lab, method, &q))
-        });
+        group.bench_function(method.name(), |b| b.iter(|| run_once(&mut lab, method, &q)));
     }
     group.finish();
 }

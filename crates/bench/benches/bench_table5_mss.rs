@@ -15,11 +15,9 @@ fn bench(c: &mut Criterion) {
         lab.cap_mss(mss);
         let q = query(&lab, 3, 0.6, 30, 5);
         for method in [Method::Bf, Method::Sc, Method::ScRho(0.25)] {
-            group.bench_with_input(
-                BenchmarkId::new(method.name(), mss),
-                &mss,
-                |b, _| b.iter(|| run_once(&mut lab, method, &q)),
-            );
+            group.bench_with_input(BenchmarkId::new(method.name(), mss), &mss, |b, _| {
+                b.iter(|| run_once(&mut lab, method, &q))
+            });
         }
     }
     group.finish();

@@ -14,9 +14,7 @@ fn bench(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(2));
     group.warm_up_time(std::time::Duration::from_millis(500));
     for method in [Method::Scc, Method::Ur, Method::Bf] {
-        group.bench_function(method.name(), |b| {
-            b.iter(|| run_once(&mut lab, method, &q))
-        });
+        group.bench_function(method.name(), |b| b.iter(|| run_once(&mut lab, method, &q)));
     }
     group.finish();
 }

@@ -14,21 +14,14 @@ use std::collections::HashSet;
 use indoor_iupt::ObjectId;
 use indoor_model::SLocId;
 
-use indoor_iupt::RfidTrackingData;
 use crate::query::{rank_topk, QueryOutcome, SearchStats, TkPlQuery};
+use indoor_iupt::RfidTrackingData;
 
 /// Evaluates a TkPLQ with SCC over RFID tracking data.
-pub fn semi_constrained_counting(
-    data: &RfidTrackingData,
-    query: &TkPlQuery,
-) -> QueryOutcome {
+pub fn semi_constrained_counting(data: &RfidTrackingData, query: &TkPlQuery) -> QueryOutcome {
     let mut counted: HashSet<(ObjectId, SLocId)> = HashSet::new();
-    let mut scores: Vec<(SLocId, f64)> = query
-        .query_set
-        .slocs()
-        .iter()
-        .map(|&s| (s, 0.0))
-        .collect();
+    let mut scores: Vec<(SLocId, f64)> =
+        query.query_set.slocs().iter().map(|&s| (s, 0.0)).collect();
 
     let sequences = data.sequences_in(query.interval);
     let objects_total = sequences.len();
@@ -59,9 +52,9 @@ pub fn semi_constrained_counting(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use indoor_iupt::{ReaderId, RfidDeployment, RfidReader, RfidRecord};
     use crate::query_set::QuerySet;
     use indoor_geom::Point;
+    use indoor_iupt::{ReaderId, RfidDeployment, RfidReader, RfidRecord};
     use indoor_iupt::{TimeInterval, Timestamp};
     use indoor_model::{DoorId, FloorId};
 
@@ -97,7 +90,7 @@ mod tests {
                 rec(1, 0, 0, 2),
                 rec(1, 1, 5, 6),
                 rec(2, 0, 1, 3),
-                rec(2, 0, 8, 9), // second visit: not double-counted
+                rec(2, 0, 8, 9),     // second visit: not double-counted
                 rec(3, 1, 100, 110), // outside window
             ],
         )

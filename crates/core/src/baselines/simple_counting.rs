@@ -15,11 +15,7 @@ use indoor_model::{IndoorSpace, SLocId};
 use crate::query::{rank_topk, QueryOutcome, SearchStats, TkPlQuery};
 
 /// The SC baseline: argmax sample per record.
-pub fn simple_counting(
-    space: &IndoorSpace,
-    iupt: &mut Iupt,
-    query: &TkPlQuery,
-) -> QueryOutcome {
+pub fn simple_counting(space: &IndoorSpace, iupt: &mut Iupt, query: &TkPlQuery) -> QueryOutcome {
     counting_impl(space, iupt, query, None)
 }
 
@@ -41,12 +37,8 @@ fn counting_impl(
 ) -> QueryOutcome {
     // (object, S-location) pairs already counted.
     let mut counted: HashSet<(ObjectId, SLocId)> = HashSet::new();
-    let mut scores: Vec<(SLocId, f64)> = query
-        .query_set
-        .slocs()
-        .iter()
-        .map(|&s| (s, 0.0))
-        .collect();
+    let mut scores: Vec<(SLocId, f64)> =
+        query.query_set.slocs().iter().map(|&s| (s, 0.0)).collect();
     let index_of = |s: SLocId| query.query_set.index_of(s);
 
     let sequences = iupt.sequences_in(query.interval);

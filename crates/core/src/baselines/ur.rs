@@ -21,8 +21,8 @@ use indoor_geom::Ellipse;
 use indoor_iupt::ObjectId;
 use indoor_model::{IndoorSpace, SLocId};
 
-use indoor_iupt::RfidTrackingData;
 use crate::query::{rank_topk, QueryOutcome, SearchStats, TkPlQuery};
+use indoor_iupt::RfidTrackingData;
 
 /// UR configuration.
 #[derive(Debug, Clone, Copy)]
@@ -127,8 +127,8 @@ fn accumulate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use indoor_iupt::{ReaderId, RfidDeployment, RfidReader, RfidRecord};
     use crate::query_set::QuerySet;
+    use indoor_iupt::{ReaderId, RfidDeployment, RfidReader, RfidRecord};
     use indoor_iupt::{TimeInterval, Timestamp};
     use indoor_model::fixtures::paper_figure1;
     use indoor_model::{DoorId, FloorId};

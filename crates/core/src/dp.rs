@@ -163,10 +163,8 @@ mod tests {
     fn property_dp_equals_enumeration() {
         let fig = paper_figure1();
         let space = &fig.space;
-        let strategy = proptest::collection::vec(
-            proptest::collection::vec((0u32..9, 1u32..10), 1..4),
-            1..6,
-        );
+        let strategy =
+            proptest::collection::vec(proptest::collection::vec((0u32..9, 1u32..10), 1..4), 1..6);
         let mut runner = proptest::test_runner::TestRunner::new(ProptestConfig {
             cases: 60,
             ..ProptestConfig::default()
@@ -216,11 +214,8 @@ mod tests {
     fn long_sequence_stability() {
         let fig = paper_figure1();
         // 500 alternating reports between p6 and p8's hallway class and p5.
-        let a = SampleSet::new(vec![
-            Sample::new(fig.p[5], 0.5),
-            Sample::new(fig.p[4], 0.5),
-        ])
-        .unwrap();
+        let a =
+            SampleSet::new(vec![Sample::new(fig.p[5], 0.5), Sample::new(fig.p[4], 0.5)]).unwrap();
         let sets: Vec<SampleSet> = (0..500).map(|_| a.clone()).collect();
         let phi = presence_dp(&fig.space, &sets, fig.r[5], Normalization::FullProduct);
         assert!(phi > 0.99, "Φ = {phi}");

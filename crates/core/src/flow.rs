@@ -152,7 +152,12 @@ mod tests {
                 &raw_cfg().with_dp_engine(),
             )
             .unwrap();
-            assert!((en.flow - dp.flow).abs() < 1e-9, "{q}: {} vs {}", en.flow, dp.flow);
+            assert!(
+                (en.flow - dp.flow).abs() < 1e-9,
+                "{q}: {} vs {}",
+                en.flow,
+                dp.flow
+            );
         }
     }
 

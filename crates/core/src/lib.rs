@@ -54,8 +54,8 @@ pub use bitset::SmallBitset;
 pub use config::{FlowConfig, FlowError, Normalization, PresenceEngine};
 pub use flow::{flow, FlowComputation};
 pub use query::{
-    best_first, naive, nested_loop, sloc_area, top_k_dense, ContinuousTkPlq,
-    ContinuousUpdate, QueryOutcome, RankedLocation, SearchStats, TkPlQuery,
+    best_first, naive, nested_loop, sloc_area, top_k_dense, ContinuousTkPlq, ContinuousUpdate,
+    QueryOutcome, RankedLocation, SearchStats, TkPlQuery,
 };
 pub use query_set::QuerySet;
 pub use reduction::{reduce_for_query, scan_sequence, ReducedSequence};

@@ -365,7 +365,11 @@ mod tests {
     fn o2_valid_mass_is_085() {
         let (space, sets) = sets_of(O2);
         let ps = build_paths(space.matrix(), &sets, u64::MAX).unwrap();
-        assert!((ps.valid_mass() - 0.85).abs() < 1e-9, "mass {}", ps.valid_mass());
+        assert!(
+            (ps.valid_mass() - 0.85).abs() < 1e-9,
+            "mass {}",
+            ps.valid_mass()
+        );
         assert!((full_product_mass(&sets) - 1.0).abs() < 1e-9);
     }
 
@@ -379,7 +383,9 @@ mod tests {
     #[test]
     fn empty_sequence_builds_no_paths() {
         let (space, _) = sets_of(O1);
-        assert!(build_paths(space.matrix(), &[], u64::MAX).unwrap().is_empty());
+        assert!(build_paths(space.matrix(), &[], u64::MAX)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -412,8 +418,7 @@ mod tests {
         let query = QuerySet::new(fig.r.to_vec());
         let relevant: Vec<_> = query.slocs().to_vec();
         let plain = build_paths(space.matrix(), &sets, u64::MAX).unwrap();
-        let tracked =
-            build_paths_tracking(&space, &query, &relevant, &sets, u64::MAX).unwrap();
+        let tracked = build_paths_tracking(&space, &query, &relevant, &sets, u64::MAX).unwrap();
         assert_eq!(plain.len(), tracked.tracked.len());
         for (&a, b) in plain.paths().iter().zip(tracked.tracked.iter()) {
             assert_eq!(plain.locs(a), tracked.set.locs(b.path));

@@ -12,12 +12,7 @@ use crate::reduction::scan_sequence;
 /// `pr_{locj,locj+1 ⊃ q} = |{c ∈ C | c covers q}| / |C|` where
 /// `C = MIL[locj, locj+1]` (§2.3). Zero when the pair is disconnected.
 #[inline]
-pub fn pair_pass_probability(
-    space: &IndoorSpace,
-    a: PLocId,
-    b: PLocId,
-    q: SLocId,
-) -> f64 {
+pub fn pair_pass_probability(space: &IndoorSpace, a: PLocId, b: PLocId, q: SLocId) -> f64 {
     let cells = space.matrix().cells_between(a, b);
     if cells.is_empty() {
         return 0.0;
@@ -116,13 +111,7 @@ pub fn presence_prepared_tracked(
         PresenceEngine::PathEnumeration => {
             let paths = build_paths(space.matrix(), sets, cfg.path_budget)?;
             Ok((
-                presence_from_paths(
-                    space,
-                    &paths,
-                    q,
-                    cfg.normalization,
-                    full_product_mass(sets),
-                ),
+                presence_from_paths(space, &paths, q, cfg.normalization, full_product_mass(sets)),
                 false,
             ))
         }
@@ -132,13 +121,7 @@ pub fn presence_prepared_tracked(
         )),
         PresenceEngine::Hybrid => match build_paths(space.matrix(), sets, cfg.path_budget) {
             Ok(paths) => Ok((
-                presence_from_paths(
-                    space,
-                    &paths,
-                    q,
-                    cfg.normalization,
-                    full_product_mass(sets),
-                ),
+                presence_from_paths(space, &paths, q, cfg.normalization, full_product_mass(sets)),
                 false,
             )),
             Err(FlowError::PathBudgetExceeded { .. }) => Ok((
@@ -189,7 +172,10 @@ mod tests {
         assert_eq!(pair_pass_probability(&fig.space, p2, p3, r4), 1.0);
         assert_eq!(pair_pass_probability(&fig.space, p2, p3, r6), 0.0);
         // Disconnected pair.
-        assert_eq!(pair_pass_probability(&fig.space, fig.p[2], fig.p[3], r6), 0.0);
+        assert_eq!(
+            pair_pass_probability(&fig.space, fig.p[2], fig.p[3], r6),
+            0.0
+        );
     }
 
     /// Example 2: pr_{φ1 ⊃ r6} = 1 − (1 − 1/2)(1 − 0) = 0.5 for

@@ -238,13 +238,13 @@ pub fn best_first(
                     Some(list) if list.first().is_some_and(RcRef::is_entry) => {
                         // Leaf entries: load the distinct objects and
                         // compute the concrete flow (lines 27–29).
-                        let mut oids: Vec<ObjectId> =
-                            list.iter()
-                                .map(|r| match r {
-                                    RcRef::Entry(e) => e.data,
-                                    RcRef::Node(_) => unreachable!("mixed join list"),
-                                })
-                                .collect();
+                        let mut oids: Vec<ObjectId> = list
+                            .iter()
+                            .map(|r| match r {
+                                RcRef::Entry(e) => e.data,
+                                RcRef::Node(_) => unreachable!("mixed join list"),
+                            })
+                            .collect();
                         oids.sort_unstable();
                         oids.dedup();
                         let flow = exact_flow(
@@ -310,8 +310,7 @@ pub fn best_first(
     // Query locations never reached by any object have zero flow; pad so a
     // top-k always returns k locations.
     if result.len() < query.k {
-        let have: std::collections::HashSet<SLocId> =
-            result.iter().map(|r| r.sloc).collect();
+        let have: std::collections::HashSet<SLocId> = result.iter().map(|r| r.sloc).collect();
         let mut zeros: Vec<(SLocId, f64)> = query
             .query_set
             .slocs()
@@ -427,8 +426,7 @@ fn exact_flow(
         let phi = match cfg.engine {
             PresenceEngine::PathEnumeration => {
                 if data.paths.is_none() {
-                    data.paths =
-                        Some(build_paths(space.matrix(), &data.sets, cfg.path_budget)?);
+                    data.paths = Some(build_paths(space.matrix(), &data.sets, cfg.path_budget)?);
                 }
                 presence_from_paths(
                     space,
@@ -438,9 +436,7 @@ fn exact_flow(
                     data.full_mass,
                 )
             }
-            PresenceEngine::TransitionDp => {
-                presence_dp(space, &data.sets, q, cfg.normalization)
-            }
+            PresenceEngine::TransitionDp => presence_dp(space, &data.sets, q, cfg.normalization),
             PresenceEngine::Hybrid => {
                 if data.paths.is_none() && !data.enum_failed {
                     match build_paths(space.matrix(), &data.sets, cfg.path_budget) {
@@ -477,12 +473,7 @@ fn embed_rect(space: &IndoorSpace, floor: FloorId, rect: Rect) -> Rect {
     // Offset by floor index times a stride larger than any floor's extent.
     let stride = floor_stride(space);
     let dx = f64::from(floor.0) * stride;
-    Rect::from_coords(
-        rect.min.x + dx,
-        rect.min.y,
-        rect.max.x + dx,
-        rect.max.y,
-    )
+    Rect::from_coords(rect.min.x + dx, rect.min.y, rect.max.x + dx, rect.max.y)
 }
 
 fn floor_stride(space: &IndoorSpace) -> f64 {
@@ -546,8 +537,7 @@ mod tests {
                     ..FlowConfig::default()
                 };
                 let query = TkPlQuery::new(k, QuerySet::new(fig.r.to_vec()), interval());
-                let full_query =
-                    TkPlQuery::new(6, QuerySet::new(fig.r.to_vec()), interval());
+                let full_query = TkPlQuery::new(6, QuerySet::new(fig.r.to_vec()), interval());
                 let mut i1 = paper_table2();
                 let bf = best_first(&fig.space, &mut i1, &query, &cfg).unwrap();
                 let mut i2 = paper_table2();
@@ -557,7 +547,11 @@ mod tests {
                 let mut i4 = paper_table2();
                 let exact = naive(&fig.space, &mut i4, &full_query, &cfg).unwrap();
 
-                assert_eq!(nl.topk_slocs(), nv.topk_slocs(), "k={k} red={use_reduction}");
+                assert_eq!(
+                    nl.topk_slocs(),
+                    nv.topk_slocs(),
+                    "k={k} red={use_reduction}"
+                );
                 assert_eq!(bf.ranking.len(), k);
                 for (rank, (a, b)) in bf.ranking.iter().zip(nv.ranking.iter()).enumerate() {
                     assert!(

@@ -78,7 +78,10 @@ impl ContinuousTkPlq {
         now: Timestamp,
     ) -> Result<ContinuousUpdate, FlowError> {
         if let Some(last) = self.last_advance {
-            assert!(now >= last, "continuous queries cannot move backwards in time");
+            assert!(
+                now >= last,
+                "continuous queries cannot move backwards in time"
+            );
         }
         self.last_advance = Some(now);
         let window = TimeInterval::new(now.plus_millis(-self.window_millis), now);
@@ -89,10 +92,16 @@ impl ContinuousTkPlq {
         let (changed, entered, left) = match &self.previous {
             None => (true, fresh.clone(), Vec::new()),
             Some(prev) => {
-                let entered: Vec<SLocId> =
-                    fresh.iter().copied().filter(|s| !prev.contains(s)).collect();
-                let left: Vec<SLocId> =
-                    prev.iter().copied().filter(|s| !fresh.contains(s)).collect();
+                let entered: Vec<SLocId> = fresh
+                    .iter()
+                    .copied()
+                    .filter(|s| !prev.contains(s))
+                    .collect();
+                let left: Vec<SLocId> = prev
+                    .iter()
+                    .copied()
+                    .filter(|s| !fresh.contains(s))
+                    .collect();
                 let changed = *prev != fresh;
                 (changed, entered, left)
             }
@@ -142,8 +151,7 @@ mod tests {
     fn idempotent_re_advance_reports_no_change() {
         let fig = paper_figure1();
         let mut iupt = paper_table2();
-        let mut monitor =
-            ContinuousTkPlq::new(2, QuerySet::new(fig.r.to_vec()), 8_000, cfg());
+        let mut monitor = ContinuousTkPlq::new(2, QuerySet::new(fig.r.to_vec()), 8_000, cfg());
         let now = Timestamp::from_secs(8);
         monitor.advance(&fig.space, &mut iupt, now).unwrap();
         let second = monitor.advance(&fig.space, &mut iupt, now).unwrap();
@@ -158,8 +166,7 @@ mod tests {
         // A 3-second window sliding through the data: early windows see
         // r4/r6 traffic (o2, o3 around p1..p4), late windows see o3 parked
         // near r3/r4.
-        let mut monitor =
-            ContinuousTkPlq::new(1, QuerySet::new(fig.r.to_vec()), 3_000, cfg());
+        let mut monitor = ContinuousTkPlq::new(1, QuerySet::new(fig.r.to_vec()), 3_000, cfg());
         let mut tops = Vec::new();
         for t in [3i64, 5, 8] {
             let update = monitor
@@ -175,8 +182,7 @@ mod tests {
     #[test]
     fn matches_one_shot_query() {
         let fig = paper_figure1();
-        let mut monitor =
-            ContinuousTkPlq::new(3, QuerySet::new(fig.r.to_vec()), 5_000, cfg());
+        let mut monitor = ContinuousTkPlq::new(3, QuerySet::new(fig.r.to_vec()), 5_000, cfg());
         let now = Timestamp::from_secs(8);
         let mut i1 = paper_table2();
         let cont = monitor.advance(&fig.space, &mut i1, now).unwrap();
@@ -202,8 +208,7 @@ mod tests {
     fn rejects_time_regression() {
         let fig = paper_figure1();
         let mut iupt = paper_table2();
-        let mut monitor =
-            ContinuousTkPlq::new(1, QuerySet::new(fig.r.to_vec()), 1_000, cfg());
+        let mut monitor = ContinuousTkPlq::new(1, QuerySet::new(fig.r.to_vec()), 1_000, cfg());
         monitor
             .advance(&fig.space, &mut iupt, Timestamp::from_secs(5))
             .unwrap();

@@ -117,9 +117,8 @@ mod tests {
         // Flow favors the hallway; density divides its 2× area away, so
         // the ranking may flip whenever Θ(r4) > Θ(r6)/2 — verify the
         // density values are consistent with the flows either way.
-        let flow_of = |out: &QueryOutcome, s: SLocId| {
-            out.ranking.iter().find(|r| r.sloc == s).unwrap().flow
-        };
+        let flow_of =
+            |out: &QueryOutcome, s: SLocId| out.ranking.iter().find(|r| r.sloc == s).unwrap().flow;
         let check = |s: SLocId, area: f64| {
             let f = flow_of(&by_flow, s);
             let d = flow_of(&by_density, s);

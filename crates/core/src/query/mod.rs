@@ -126,10 +126,7 @@ mod tests {
 
     #[test]
     fn rank_topk_orders_and_breaks_ties() {
-        let ranked = rank_topk(
-            vec![(s(3), 1.0), (s(1), 2.0), (s(2), 1.0), (s(0), 0.5)],
-            3,
-        );
+        let ranked = rank_topk(vec![(s(3), 1.0), (s(1), 2.0), (s(2), 1.0), (s(0), 0.5)], 3);
         let ids: Vec<SLocId> = ranked.iter().map(|r| r.sloc).collect();
         assert_eq!(ids, vec![s(1), s(2), s(3)]);
     }

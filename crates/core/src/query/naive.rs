@@ -65,11 +65,7 @@ mod tests {
             ..FlowConfig::default()
         }
         .with_full_product_normalization();
-        let query = TkPlQuery::new(
-            1,
-            QuerySet::new(vec![fig.r[0], fig.r[5]]),
-            interval(),
-        );
+        let query = TkPlQuery::new(1, QuerySet::new(vec![fig.r[0], fig.r[5]]), interval());
         let out = naive(&fig.space, &mut iupt, &query, &cfg).unwrap();
         assert_eq!(out.ranking.len(), 1);
         assert_eq!(out.ranking[0].sloc, fig.r[5]);

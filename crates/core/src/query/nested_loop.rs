@@ -22,12 +22,8 @@ pub fn nested_loop(
     cfg: &FlowConfig,
 ) -> Result<QueryOutcome, FlowError> {
     // Global scores `HQ : Q → score` (Algorithm 3 line 5).
-    let mut global: HashMap<SLocId, f64> = query
-        .query_set
-        .slocs()
-        .iter()
-        .map(|&s| (s, 0.0))
-        .collect();
+    let mut global: HashMap<SLocId, f64> =
+        query.query_set.slocs().iter().map(|&s| (s, 0.0)).collect();
 
     let sequences = iupt.sequences_in(query.interval);
     let objects_total = sequences.len();
@@ -94,8 +90,7 @@ fn accumulate_object(
             Ok(false)
         }
         PresenceEngine::Hybrid => {
-            match build_paths_tracking(space, &query.query_set, relevant, sets, cfg.path_budget)
-            {
+            match build_paths_tracking(space, &query.query_set, relevant, sets, cfg.path_budget) {
                 Ok(tracked) => {
                     accumulate_from_tracked(space, sets, relevant, cfg, &tracked, global);
                     Ok(false)
@@ -194,7 +189,10 @@ mod tests {
         let fig = paper_figure1();
         let query = TkPlQuery::new(6, QuerySet::new(fig.r.to_vec()), interval());
         for use_reduction in [true, false] {
-            for engine in [PresenceEngine::PathEnumeration, PresenceEngine::TransitionDp] {
+            for engine in [
+                PresenceEngine::PathEnumeration,
+                PresenceEngine::TransitionDp,
+            ] {
                 for normalization in [Normalization::FullProduct, Normalization::ValidPaths] {
                     let cfg = FlowConfig {
                         use_reduction,

@@ -117,7 +117,10 @@ mod tests {
         let q = QuerySet::new(vec![s(1), s(4), s(7)]);
         assert!(q.intersects_sorted(&[s(0), s(4)]));
         assert!(!q.intersects_sorted(&[s(2), s(5)]));
-        assert_eq!(q.intersection_sorted(&[s(0), s(4), s(7), s(8)]), vec![s(4), s(7)]);
+        assert_eq!(
+            q.intersection_sorted(&[s(0), s(4), s(7), s(8)]),
+            vec![s(4), s(7)]
+        );
         assert!(q.intersection_sorted(&[]).is_empty());
     }
 

@@ -4,9 +4,7 @@
 
 use std::time::Instant;
 
-use popflow_core::{
-    nested_loop, FlowConfig, Normalization, PresenceEngine, TkPlQuery,
-};
+use popflow_core::{nested_loop, FlowConfig, Normalization, PresenceEngine, TkPlQuery};
 
 use crate::experiments::{seed_for, ExpOpts};
 use crate::lab::Lab;

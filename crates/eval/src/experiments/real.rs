@@ -14,7 +14,15 @@ const DEFAULT_Q_FRACTION: f64 = 0.6;
 const DEFAULT_DT_MIN: i64 = 30;
 
 fn default_queries(lab: &Lab, opts: &ExpOpts, exp_tag: u64, point: u64) -> Vec<TkPlQuery> {
-    queries(lab, opts, exp_tag, point, DEFAULT_K, DEFAULT_Q_FRACTION, DEFAULT_DT_MIN)
+    queries(
+        lab,
+        opts,
+        exp_tag,
+        point,
+        DEFAULT_K,
+        DEFAULT_Q_FRACTION,
+        DEFAULT_DT_MIN,
+    )
 }
 
 fn queries(
@@ -165,7 +173,15 @@ pub fn fig11(opts: &ExpOpts) -> Vec<Row> {
     let mut lab = Lab::real_analog();
     let mut rows = Vec::new();
     for k in 1..=8usize {
-        let qs = queries(&lab, opts, 11, k as u64, k, DEFAULT_Q_FRACTION, DEFAULT_DT_MIN);
+        let qs = queries(
+            &lab,
+            opts,
+            11,
+            k as u64,
+            k,
+            DEFAULT_Q_FRACTION,
+            DEFAULT_DT_MIN,
+        );
         rows.extend(run_point(
             &mut lab,
             "fig11",

@@ -62,7 +62,15 @@ pub fn fig14(opts: &ExpOpts) -> Vec<Row> {
     let mut rows = Vec::new();
     for (pi, t) in [1.0f64, 3.0, 5.0, 7.0].into_iter().enumerate() {
         lab.reposition(t, 5.0);
-        let qs = queries(&lab, opts, 14, pi as u64, DEFAULT_K, DEFAULT_Q_FRACTION, DEFAULT_DT_MIN);
+        let qs = queries(
+            &lab,
+            opts,
+            14,
+            pi as u64,
+            DEFAULT_K,
+            DEFAULT_Q_FRACTION,
+            DEFAULT_DT_MIN,
+        );
         rows.extend(run_point(
             &mut lab,
             "fig14",
@@ -99,7 +107,15 @@ pub fn fig15(opts: &ExpOpts) -> Vec<Row> {
     let mut rows = Vec::new();
     for (pi, t) in [1.0f64, 3.0, 5.0, 7.0].into_iter().enumerate() {
         lab.reposition(t, 5.0);
-        let qs = queries(&lab, opts, 15, pi as u64, DEFAULT_K, DEFAULT_Q_FRACTION, DEFAULT_DT_MIN);
+        let qs = queries(
+            &lab,
+            opts,
+            15,
+            pi as u64,
+            DEFAULT_K,
+            DEFAULT_Q_FRACTION,
+            DEFAULT_DT_MIN,
+        );
         rows.extend(run_point(
             &mut lab,
             "fig15",
@@ -117,7 +133,15 @@ pub fn fig16(opts: &ExpOpts) -> Vec<Row> {
     let mut rows = Vec::new();
     for (pi, mu) in [3.0f64, 5.0, 7.0].into_iter().enumerate() {
         lab.reposition(3.0, mu);
-        let qs = queries(&lab, opts, 16, pi as u64, DEFAULT_K, DEFAULT_Q_FRACTION, DEFAULT_DT_MIN);
+        let qs = queries(
+            &lab,
+            opts,
+            16,
+            pi as u64,
+            DEFAULT_K,
+            DEFAULT_Q_FRACTION,
+            DEFAULT_DT_MIN,
+        );
         rows.extend(run_point(
             &mut lab,
             "fig16",
@@ -139,17 +163,21 @@ pub fn fig20(opts: &ExpOpts) -> Vec<Row> {
     object_sweep(opts, "fig20", &|opts| effectiveness_methods(opts))
 }
 
-fn object_sweep(
-    opts: &ExpOpts,
-    exp: &str,
-    methods: &dyn Fn(&ExpOpts) -> Vec<Method>,
-) -> Vec<Row> {
+fn object_sweep(opts: &ExpOpts, exp: &str, methods: &dyn Fn(&ExpOpts) -> Vec<Method>) -> Vec<Row> {
     let mut rows = Vec::new();
     for (pi, base) in [2500usize, 5000, 7500, 10000].into_iter().enumerate() {
         let mut scenario = Scenario::synthetic_scaled(opts.scale);
         scenario.mobility.num_objects = ((base as f64 * opts.scale) as usize).max(10);
         let mut lab = Lab::new(scenario);
-        let qs = queries(&lab, opts, 17, pi as u64, DEFAULT_K, DEFAULT_Q_FRACTION, DEFAULT_DT_MIN);
+        let qs = queries(
+            &lab,
+            opts,
+            17,
+            pi as u64,
+            DEFAULT_K,
+            DEFAULT_Q_FRACTION,
+            DEFAULT_DT_MIN,
+        );
         let label = format!("|O|={base}x{}", opts.scale);
         rows.extend(run_point(&mut lab, exp, &label, &methods(opts), &qs));
     }
@@ -161,7 +189,15 @@ pub fn fig18(opts: &ExpOpts) -> Vec<Row> {
     let mut lab = Lab::synthetic(opts.scale);
     let mut rows = Vec::new();
     for (pi, k) in [5usize, 10, 15, 20].into_iter().enumerate() {
-        let qs = queries(&lab, opts, 18, pi as u64, k, DEFAULT_Q_FRACTION, DEFAULT_DT_MIN);
+        let qs = queries(
+            &lab,
+            opts,
+            18,
+            pi as u64,
+            k,
+            DEFAULT_Q_FRACTION,
+            DEFAULT_DT_MIN,
+        );
         rows.extend(run_point(
             &mut lab,
             "fig18",

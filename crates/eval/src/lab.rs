@@ -59,8 +59,7 @@ impl Lab {
     pub fn query_fraction(&self, fraction: f64, seed: u64) -> QuerySet {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut ids = self.all_slocs();
-        let take = ((ids.len() as f64 * fraction).round() as usize)
-            .clamp(1, ids.len());
+        let take = ((ids.len() as f64 * fraction).round() as usize).clamp(1, ids.len());
         for i in 0..take {
             let j = rng.gen_range(i..ids.len());
             ids.swap(i, j);
@@ -107,8 +106,7 @@ impl Lab {
         let mut cfg = self.world.scenario.positioning.clone();
         cfg.max_period_secs = max_period_secs;
         cfg.mu = mu;
-        self.iupt =
-            indoor_sim::generate_iupt(&self.world.space, &self.world.trajectories, &cfg);
+        self.iupt = indoor_sim::generate_iupt(&self.world.space, &self.world.trajectories, &cfg);
     }
 
     /// Mutable access to the queried IUPT (time-index range queries take
@@ -132,10 +130,7 @@ impl Lab {
     }
 
     /// Ground-truth top-k ids among the query set.
-    pub fn ground_truth_topk(
-        &self,
-        query: &TkPlQuery,
-    ) -> Vec<SLocId> {
+    pub fn ground_truth_topk(&self, query: &TkPlQuery) -> Vec<SLocId> {
         self.world
             .ground_truth_topk(query.interval, query.query_set.slocs(), query.k)
             .into_iter()

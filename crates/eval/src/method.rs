@@ -10,8 +10,7 @@ use popflow_core::baselines::{
     uncertainty_region, MonteCarloConfig, UrConfig,
 };
 use popflow_core::{
-    best_first, naive, nested_loop, FlowConfig, FlowError, PresenceEngine, QueryOutcome,
-    TkPlQuery,
+    best_first, naive, nested_loop, FlowConfig, FlowError, PresenceEngine, QueryOutcome, TkPlQuery,
 };
 
 /// Every method compared in §5.
@@ -88,14 +87,14 @@ pub struct MethodInput<'a> {
 /// path-enumeration budget are retried once with the DP engine (flagged in
 /// the result) so full-scale experiments degrade gracefully instead of
 /// aborting.
-pub fn run_method(
-    method: Method,
-    input: &mut MethodInput<'_>,
-    query: &TkPlQuery,
-) -> MethodRun {
+pub fn run_method(method: Method, input: &mut MethodInput<'_>, query: &TkPlQuery) -> MethodRun {
     let start = Instant::now();
     let (outcome, dp_fallback) = match method {
-        Method::Bf | Method::Nl | Method::Naive | Method::BfOrg | Method::NlOrg
+        Method::Bf
+        | Method::Nl
+        | Method::Naive
+        | Method::BfOrg
+        | Method::NlOrg
         | Method::NaiveOrg => {
             let cfg = flow_config(method);
             let outcome = run_exact(method, input, query, &cfg)

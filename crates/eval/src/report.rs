@@ -47,7 +47,9 @@ fn fmt_opt(v: Option<f64>, digits: usize) -> String {
 
 /// Renders rows as an aligned text table.
 pub fn render_table(rows: &[Row]) -> String {
-    let headers = ["exp", "x", "method", "time(s)", "pruning", "tau", "recall", "note"];
+    let headers = [
+        "exp", "x", "method", "time(s)", "pruning", "tau", "recall", "note",
+    ];
     let mut cells: Vec<[String; 8]> = Vec::with_capacity(rows.len());
     for r in rows {
         cells.push([

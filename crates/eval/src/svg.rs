@@ -154,7 +154,9 @@ fn heat_color(t: f64) -> String {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -180,12 +182,7 @@ mod tests {
         let fig = paper_figure1();
         let mut flows = vec![0.0; fig.space.slocs().len()];
         flows[fig.r[5].index()] = 2.0; // r6 hot
-        let svg = render_floor(
-            &fig.space,
-            FloorId(0),
-            Some(&flows),
-            &SvgOptions::default(),
-        );
+        let svg = render_floor(&fig.space, FloorId(0), Some(&flows), &SvgOptions::default());
         // The hottest partition is pure red-ish; cold ones near white.
         assert!(svg.contains("rgb(214,45,32)"));
         assert!(svg.contains("rgb(255,255,255)"));

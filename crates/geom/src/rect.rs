@@ -224,7 +224,12 @@ mod tests {
     }
 
     fn arb_rect() -> impl Strategy<Value = Rect> {
-        (-100.0..100.0f64, -100.0..100.0f64, 0.0..50.0f64, 0.0..50.0f64)
+        (
+            -100.0..100.0f64,
+            -100.0..100.0f64,
+            0.0..50.0f64,
+            0.0..50.0f64,
+        )
             .prop_map(|(x, y, w, h)| Rect::from_coords(x, y, x + w, y + h))
     }
 

@@ -10,7 +10,10 @@ use crate::partition::{Partition, PartitionKind};
 #[derive(Debug, Clone, PartialEq)]
 pub enum BuildingError {
     /// A door references a partition id that does not exist.
-    DanglingDoor { door: DoorId, partition: PartitionId },
+    DanglingDoor {
+        door: DoorId,
+        partition: PartitionId,
+    },
     /// A door connects a partition to itself.
     SelfDoor { door: DoorId },
     /// A same-floor door's position is not on/in both partitions it connects.
@@ -192,7 +195,11 @@ impl Building {
         candidates
             .iter()
             .copied()
-            .find(|id| self.partitions[id.index()].rect.contains_point_strict(point))
+            .find(|id| {
+                self.partitions[id.index()]
+                    .rect
+                    .contains_point_strict(point)
+            })
             .or_else(|| candidates.first().copied())
     }
 
@@ -207,10 +214,7 @@ impl Building {
     }
 
     /// Iterator over partitions of the given kind.
-    pub fn partitions_of_kind(
-        &self,
-        kind: PartitionKind,
-    ) -> impl Iterator<Item = &Partition> + '_ {
+    pub fn partitions_of_kind(&self, kind: PartitionKind) -> impl Iterator<Item = &Partition> + '_ {
         self.partitions.iter().filter(move |p| p.kind == kind)
     }
 }
@@ -447,7 +451,10 @@ mod tests {
         let both = building.partitions_at(FloorId(0), Point::new(5.0, 2.5));
         assert_eq!(both.len(), 2);
         // Unknown floor.
-        assert_eq!(building.partition_at(FloorId(3), Point::new(1.0, 1.0)), None);
+        assert_eq!(
+            building.partition_at(FloorId(3), Point::new(1.0, 1.0)),
+            None
+        );
         // Outside everything.
         assert!(building
             .partitions_at(FloorId(0), Point::new(50.0, 50.0))

@@ -81,7 +81,11 @@ impl DoorGraph {
             sides_of_partition[door.b.index()].push(node_b);
             let pa = building.partition(door.a);
             let pb = building.partition(door.b);
-            let crossing = if pa.floor == pb.floor { 0.0 } else { stair_cost };
+            let crossing = if pa.floor == pb.floor {
+                0.0
+            } else {
+                stair_cost
+            };
             adjacency[node_a as usize].push((node_b, crossing));
             adjacency[node_b as usize].push((node_a, crossing));
         }
@@ -163,7 +167,7 @@ impl DoorGraph {
             }
             if target_sides.contains(&node) {
                 let total = cost + door_pos(building, node).distance(to_pt);
-                if best_target.map_or(true, |(b, _)| total < b) {
+                if best_target.is_none_or(|(b, _)| total < b) {
                     best_target = Some((total, node));
                 }
             }
@@ -363,13 +367,19 @@ mod tests {
         let g = DoorGraph::build(&b, DEFAULT_STAIR_COST);
         let from = Point::new(1.0, 7.0);
         let to = Point::new(9.0, 7.0);
-        let r = g.shortest_route(&b, (parts[0], from), (parts[1], to)).unwrap();
+        let r = g
+            .shortest_route(&b, (parts[0], from), (parts[1], to))
+            .unwrap();
         // a → door(2.5,5) → hall walk → door(7.5,5) → b
         assert_eq!(r.legs.len(), 3);
         let expected = from.distance(Point::new(2.5, 5.0))
             + Point::new(2.5, 5.0).distance(Point::new(7.5, 5.0))
             + Point::new(7.5, 5.0).distance(to);
-        assert!((r.length - expected).abs() < 1e-9, "{} vs {expected}", r.length);
+        assert!(
+            (r.length - expected).abs() < 1e-9,
+            "{} vs {expected}",
+            r.length
+        );
         // Legs are contiguous.
         for w in r.legs.windows(2) {
             if let (Leg::Walk { seg: s1, .. }, Leg::Walk { seg: s2, .. }) = (&w[0], &w[1]) {
@@ -443,7 +453,11 @@ mod tests {
         let b = bb.build().unwrap();
         let g = DoorGraph::build(&b, DEFAULT_STAIR_COST);
         assert!(g
-            .shortest_route(&b, (a, Point::new(1.0, 1.0)), (island, Point::new(21.0, 1.0)))
+            .shortest_route(
+                &b,
+                (a, Point::new(1.0, 1.0)),
+                (island, Point::new(21.0, 1.0))
+            )
             .is_none());
     }
 

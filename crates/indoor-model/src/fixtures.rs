@@ -185,10 +185,7 @@ mod tests {
         // MIL[p3, p4] = ∅.
         assert!(m.cells_between(p[2], p[3]).is_empty());
         // MIL[p8, p8] = c6.
-        assert_eq!(
-            m.cells_between(p[7], p[7]).as_slice(),
-            &[fig.cell_of_r(6)]
-        );
+        assert_eq!(m.cells_between(p[7], p[7]).as_slice(), &[fig.cell_of_r(6)]);
         // MIL[p4, p7] = c1.
         assert_eq!(m.cells_between(p[3], p[6]).as_slice(), &[fig.c1()]);
     }

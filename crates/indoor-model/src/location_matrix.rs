@@ -170,15 +170,15 @@ mod tests {
         let c5 = CellId(3);
         let c6 = CellId(4);
         LocationMatrix::build(vec![
-            CellDuo::two(c4, c5),  // p1
-            CellDuo::two(c4, c6),  // p2
-            CellDuo::two(c3, c4),  // p3
-            CellDuo::two(c1, c6),  // p4
-            CellDuo::two(c5, c6),  // p5
-            CellDuo::one(c6),      // p6
-            CellDuo::one(c1),      // p7
-            CellDuo::one(c6),      // p8
-            CellDuo::two(c1, c6),  // p9
+            CellDuo::two(c4, c5), // p1
+            CellDuo::two(c4, c6), // p2
+            CellDuo::two(c3, c4), // p3
+            CellDuo::two(c1, c6), // p4
+            CellDuo::two(c5, c6), // p5
+            CellDuo::one(c6),     // p6
+            CellDuo::one(c1),     // p7
+            CellDuo::one(c6),     // p8
+            CellDuo::two(c1, c6), // p9
         ])
     }
 

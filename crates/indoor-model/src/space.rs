@@ -139,8 +139,7 @@ impl IndoorSpace {
 
         let mut parent_cells: Vec<Vec<CellId>> = Vec::with_capacity(slocs.len());
         let mut slocs_in_cell: Vec<Vec<SLocId>> = vec![Vec::new(); derived.cells.len()];
-        let mut slocs_of_partition: Vec<Vec<SLocId>> =
-            vec![Vec::new(); building.partition_count()];
+        let mut slocs_of_partition: Vec<Vec<SLocId>> = vec![Vec::new(); building.partition_count()];
         for s in &slocs {
             let mut cells: Vec<CellId> = s
                 .partitions
@@ -428,12 +427,8 @@ impl SpaceBuilder {
     /// Adds an S-location over the given partitions.
     pub fn sloc(&mut self, name: impl Into<String>, partitions: Vec<PartitionId>) -> SLocId {
         let id = SLocId::from_index(self.slocs.len());
-        let rect = Rect::union_all(
-            partitions
-                .iter()
-                .map(|&p| self.building.partition(p).rect),
-        )
-        .unwrap_or(Rect::from_coords(0.0, 0.0, 0.0, 0.0));
+        let rect = Rect::union_all(partitions.iter().map(|&p| self.building.partition(p).rect))
+            .unwrap_or(Rect::from_coords(0.0, 0.0, 0.0, 0.0));
         let floor = partitions
             .first()
             .map(|&p| self.building.partition(p).floor)
@@ -592,10 +587,7 @@ mod tests {
 
         let mut sb = SpaceBuilder::new(building.clone());
         sb.sloc("empty", vec![]);
-        assert!(matches!(
-            sb.build(),
-            Err(SpaceError::EmptySLocation { .. })
-        ));
+        assert!(matches!(sb.build(), Err(SpaceError::EmptySLocation { .. })));
 
         let mut sb = SpaceBuilder::new(building);
         sb.sloc("span", vec![a, up]);
@@ -625,6 +617,9 @@ mod tests {
         let shop = sb.sloc("shop", vec![a, c]);
         let space = sb.build().unwrap();
         assert_eq!(space.parent_cells(shop).len(), 1);
-        assert_eq!(space.sloc(shop).rect, Rect::from_coords(0.0, 0.0, 10.0, 5.0));
+        assert_eq!(
+            space.sloc(shop).rect,
+            Rect::from_coords(0.0, 0.0, 10.0, 5.0)
+        );
     }
 }

@@ -128,7 +128,9 @@ impl Iupt {
         let hits = self
             .index
             .range_query(interval.start.millis(), interval.end.millis());
-        hits.iter().map(|&(_, i)| &self.records[i as usize]).collect()
+        hits.iter()
+            .map(|&(_, i)| &self.records[i as usize])
+            .collect()
     }
 
     /// The per-object hash table `HO : {oid} → {X}` of Algorithms 2–4:

@@ -251,7 +251,10 @@ mod tests {
     fn empty_tree_counts_zero() {
         let t: AggTree<u32> = AggTree::build(vec![]);
         assert!(t.is_empty());
-        assert_eq!(t.count_intersecting(&Rect::from_coords(0.0, 0.0, 9.0, 9.0)), 0);
+        assert_eq!(
+            t.count_intersecting(&Rect::from_coords(0.0, 0.0, 9.0, 9.0)),
+            0
+        );
         assert!(t.root().is_none());
     }
 

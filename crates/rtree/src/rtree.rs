@@ -240,9 +240,7 @@ fn choose_subtree<T>(children: &[Node<T>], mbr: &Rect) -> usize {
         let cmbr = child.mbr();
         let enlargement = cmbr.enlargement(mbr);
         let area = cmbr.area();
-        if enlargement < best_enlargement
-            || (enlargement == best_enlargement && area < best_area)
-        {
+        if enlargement < best_enlargement || (enlargement == best_enlargement && area < best_area) {
             best = i;
             best_enlargement = enlargement;
             best_area = area;
@@ -425,7 +423,9 @@ fn build_upward<T>(mut level: Vec<Node<T>>, max: usize) -> Node<T> {
         }
         level = next;
     }
-    level.pop().expect("build_upward requires at least one node")
+    level
+        .pop()
+        .expect("build_upward requires at least one node")
 }
 
 fn query_rec<'a, T>(node: &'a Node<T>, query: &Rect, out: &mut Vec<&'a Entry<T>>) {

@@ -68,10 +68,7 @@ impl<T> TimeIndex<T> {
     /// upstream rather than a condition to tolerate silently.
     pub fn push(&mut self, t: i64, value: T) {
         if let Some(&(last, _)) = self.entries.last() {
-            assert!(
-                t >= last,
-                "TimeIndex append out of order: {t} after {last}"
-            );
+            assert!(t >= last, "TimeIndex append out of order: {t} after {last}");
         }
         self.entries.push((t, value));
         self.dirty = true;

@@ -43,10 +43,8 @@ pub fn ground_truth_topk(
     k: usize,
 ) -> Vec<(SLocId, f64)> {
     let flows = ground_truth_flows(space, trajectories, interval);
-    let mut ranked: Vec<(SLocId, f64)> = candidates
-        .iter()
-        .map(|&s| (s, flows[s.index()]))
-        .collect();
+    let mut ranked: Vec<(SLocId, f64)> =
+        candidates.iter().map(|&s| (s, flows[s.index()])).collect();
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     ranked.truncate(k);
     ranked

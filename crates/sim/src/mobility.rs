@@ -132,7 +132,10 @@ impl WeightedRooms {
 
     fn draw(&self, rng: &mut StdRng) -> PartitionId {
         let u: f64 = rng.gen_range(0.0..1.0);
-        let idx = self.cdf.partition_point(|&c| c < u).min(self.rooms.len() - 1);
+        let idx = self
+            .cdf
+            .partition_point(|&c| c < u)
+            .min(self.rooms.len() - 1);
         self.rooms[idx]
     }
 }
@@ -323,7 +326,10 @@ mod tests {
         let vmax = MobilityConfig::tiny().vmax;
         for t in &trajs {
             for e in &t.events {
-                if let MotionEvent::Walk { seg, from, until, .. } = e {
+                if let MotionEvent::Walk {
+                    seg, from, until, ..
+                } = e
+                {
                     let secs = until.diff_millis(*from) as f64 / 1000.0;
                     if secs > 0.0 {
                         let v = seg.length() / secs;

@@ -153,7 +153,13 @@ fn sample_report(
     scratch.clear();
     // Search a radius wide enough that attenuated candidates can still
     // qualify, then filter on effective distance.
-    index.within(space, floor, pos, cfg.mu * cfg.wall_factor.max(1.0), scratch);
+    index.within(
+        space,
+        floor,
+        pos,
+        cfg.mu * cfg.wall_factor.max(1.0),
+        scratch,
+    );
     for entry in scratch.iter_mut() {
         entry.1 *= attenuation(space, entry.0, partition, cfg.wall_factor);
     }
@@ -317,12 +323,7 @@ impl PLocIndex {
     }
 
     /// Nearest P-location on `floor` (linear fallback).
-    fn nearest(
-        &self,
-        space: &IndoorSpace,
-        floor: FloorId,
-        pos: Point,
-    ) -> Option<(PLocId, f64)> {
+    fn nearest(&self, space: &IndoorSpace, floor: FloorId, pos: Point) -> Option<(PLocId, f64)> {
         space
             .plocs()
             .iter()

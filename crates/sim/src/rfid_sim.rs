@@ -7,7 +7,9 @@
 
 use std::collections::HashMap;
 
-use indoor_iupt::{ObjectId, RfidDeployment, RfidReader, RfidRecord, RfidTrackingData, ReaderId, Timestamp};
+use indoor_iupt::{
+    ObjectId, ReaderId, RfidDeployment, RfidReader, RfidRecord, RfidTrackingData, Timestamp,
+};
 use indoor_model::{FloorId, IndoorSpace};
 
 use crate::trajectory::Trajectory;
@@ -204,8 +206,7 @@ mod tests {
         let (space, trajs) = world();
         let cfg = RfidConfig::default();
         let data = generate_rfid_data(&space, &trajs, &cfg);
-        let by_oid: HashMap<ObjectId, &Trajectory> =
-            trajs.iter().map(|t| (t.oid, t)).collect();
+        let by_oid: HashMap<ObjectId, &Trajectory> = trajs.iter().map(|t| (t.oid, t)).collect();
         for r in data.records().iter().take(50) {
             let reader = data.deployment.reader(r.reader);
             let (floor, pos) = by_oid[&r.oid].position_at(r.ts).unwrap();

@@ -155,10 +155,7 @@ impl Trajectory {
     }
 
     /// Position plus occupied partition at time `t`.
-    pub fn position_at_detailed(
-        &self,
-        t: Timestamp,
-    ) -> Option<(FloorId, Point, PartitionId)> {
+    pub fn position_at_detailed(&self, t: Timestamp) -> Option<(FloorId, Point, PartitionId)> {
         self.event_at(t).map(|e| {
             let (floor, pos) = e.position_at(t);
             (floor, pos, e.partition_at(t))
@@ -248,7 +245,10 @@ mod tests {
     #[test]
     fn position_interpolates_walks() {
         let t = walk_traj();
-        assert_eq!(t.position_at(ts(5)), Some((FloorId(0), Point::new(1.0, 1.0))));
+        assert_eq!(
+            t.position_at(ts(5)),
+            Some((FloorId(0), Point::new(1.0, 1.0)))
+        );
         let (f, p) = t.position_at(ts(15)).unwrap();
         assert_eq!(f, FloorId(0));
         assert!((p.x - 6.0).abs() < 1e-9);

@@ -73,7 +73,13 @@ fn main() {
         let red = reduction::scan_sequence(space, sets.iter(), true);
         raw_sets += sets.len();
         reduced_sets += red.sets.len();
-        raw_bound += (sets.iter().map(|s| s.len() as f64).map(f64::ln).sum::<f64>()).exp().log10();
+        raw_bound += (sets
+            .iter()
+            .map(|s| s.len() as f64)
+            .map(f64::ln)
+            .sum::<f64>())
+        .exp()
+        .log10();
         reduced_bound += (red.max_paths() as f64).log10();
     }
     println!(

@@ -62,7 +62,11 @@ fn main() {
             t_enum,
             t_dp,
             t_enum / t_dp.max(1e-9),
-            if identical { "identical results" } else { "MISMATCH" }
+            if identical {
+                "identical results"
+            } else {
+                "MISMATCH"
+            }
         );
         assert!(identical, "the engines must agree exactly");
     }

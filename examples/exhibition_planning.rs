@@ -15,9 +15,7 @@
 //! ```
 
 use indoor_model::PartitionKind;
-use indoor_sim::{
-    BuildingGenConfig, MobilityConfig, PositioningConfig, Scenario, World,
-};
+use indoor_sim::{BuildingGenConfig, MobilityConfig, PositioningConfig, Scenario, World};
 use popflow_core::{best_first, FlowConfig, PresenceEngine, QuerySet, TkPlQuery};
 use popflow_eval::{kendall_tau, recall};
 
@@ -56,7 +54,11 @@ fn main() {
     };
     let world = World::generate(scenario);
     println!("exhibition hall: {}", world.space.stats());
-    println!("visitors: {} — IUPT: {}", world.trajectories.len(), world.iupt.stats());
+    println!(
+        "visitors: {} — IUPT: {}",
+        world.trajectories.len(),
+        world.iupt.stats()
+    );
 
     // Query set: the exhibit rooms only (corridors are not exhibits).
     let exhibits: Vec<_> = world
@@ -73,8 +75,7 @@ fn main() {
         engine: PresenceEngine::Hybrid,
         ..FlowConfig::default()
     };
-    let outcome =
-        best_first(&world.space, &mut iupt, &query, &cfg).expect("query evaluates");
+    let outcome = best_first(&world.space, &mut iupt, &query, &cfg).expect("query evaluates");
 
     println!("\ntop-5 exhibits by estimated visitor flow:");
     for (rank, r) in outcome.ranking.iter().enumerate() {

@@ -14,9 +14,7 @@
 //! ```
 
 use indoor_model::PartitionKind;
-use indoor_sim::{
-    BuildingGenConfig, MobilityConfig, PositioningConfig, Scenario, World,
-};
+use indoor_sim::{BuildingGenConfig, MobilityConfig, PositioningConfig, Scenario, World};
 use popflow_core::{
     baselines::simple_counting, best_first, FlowConfig, PresenceEngine, QuerySet, TkPlQuery,
 };
@@ -60,7 +58,11 @@ fn main() {
     };
     let world = World::generate(scenario);
     println!("mall: {}", world.space.stats());
-    println!("shoppers: {} — IUPT: {}", world.trajectories.len(), world.iupt.stats());
+    println!(
+        "shoppers: {} — IUPT: {}",
+        world.trajectories.len(),
+        world.iupt.stats()
+    );
 
     let shops: Vec<_> = world
         .space
@@ -99,7 +101,10 @@ fn main() {
         .map(|(s, _)| s)
         .collect();
 
-    println!("\n{:<4} {:<14} {:<14} {:<14}", "rank", "BF", "SC", "ground truth");
+    println!(
+        "\n{:<4} {:<14} {:<14} {:<14}",
+        "rank", "BF", "SC", "ground truth"
+    );
     for i in 0..k {
         println!(
             "{:<4} {:<14} {:<14} {:<14}",
@@ -133,14 +138,10 @@ fn main() {
     let anchor: Vec<_> = shops.iter().copied().take(6).collect();
     let anchor_query = TkPlQuery::new(3, QuerySet::new(anchor), interval);
     let mut iupt = world.iupt.clone();
-    let bf_anchor =
-        best_first(&world.space, &mut iupt, &anchor_query, &cfg).expect("BF evaluates");
+    let bf_anchor = best_first(&world.space, &mut iupt, &anchor_query, &cfg).expect("BF evaluates");
     println!(
         "\nanchor-tenant query (|Q| = 6, k = 3): top unit {} — {:.1}% of shoppers pruned",
-        world
-            .space
-            .sloc(bf_anchor.ranking[0].sloc)
-            .name,
+        world.space.sloc(bf_anchor.ranking[0].sloc).name,
         bf_anchor.stats.pruning_ratio() * 100.0
     );
 }

@@ -9,11 +9,7 @@ use popflow_eval::{Lab, Method};
 fn whole_pipeline_is_deterministic_under_seed() {
     let run = || {
         let mut lab = Lab::new(indoor_sim::Scenario::tiny().with_seed(33));
-        let query = TkPlQuery::new(
-            4,
-            lab.query_fraction(0.8, 9),
-            lab.world.full_interval(),
-        );
+        let query = TkPlQuery::new(4, lab.query_fraction(0.8, 9), lab.world.full_interval());
         let scored = lab.evaluate(Method::Bf, &query);
         (
             lab.world.iupt.len(),

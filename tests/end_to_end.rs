@@ -11,11 +11,7 @@ fn tiny_lab() -> Lab {
 #[test]
 fn every_method_answers_on_a_generated_world() {
     let mut lab = tiny_lab();
-    let query = TkPlQuery::new(
-        3,
-        lab.query_fraction(1.0, 1),
-        lab.world.full_interval(),
-    );
+    let query = TkPlQuery::new(3, lab.query_fraction(1.0, 1), lab.world.full_interval());
     for method in [
         Method::Bf,
         Method::Nl,
@@ -49,25 +45,31 @@ fn every_method_answers_on_a_generated_world() {
 #[test]
 fn exact_algorithms_agree_on_generated_data() {
     let mut lab = tiny_lab();
-    let query = TkPlQuery::new(
-        5,
-        lab.query_fraction(1.0, 2),
-        lab.world.full_interval(),
-    );
+    let query = TkPlQuery::new(5, lab.query_fraction(1.0, 2), lab.world.full_interval());
     let bf = lab.evaluate(Method::Bf, &query);
     let nl = lab.evaluate(Method::Nl, &query);
     let nv = lab.evaluate(Method::Naive, &query);
     // Same flows at every rank (ties may permute ids; flows must match).
-    for (a, b) in nl.run.outcome.ranking.iter().zip(nv.run.outcome.ranking.iter()) {
+    for (a, b) in nl
+        .run
+        .outcome
+        .ranking
+        .iter()
+        .zip(nv.run.outcome.ranking.iter())
+    {
         assert!((a.flow - b.flow).abs() < 1e-9, "NL vs Naive");
     }
-    for (a, b) in bf.run.outcome.ranking.iter().zip(nl.run.outcome.ranking.iter()) {
+    for (a, b) in bf
+        .run
+        .outcome
+        .ranking
+        .iter()
+        .zip(nl.run.outcome.ranking.iter())
+    {
         assert!((a.flow - b.flow).abs() < 1e-9, "BF vs NL");
     }
     // And BF computes no more objects than NL.
-    assert!(
-        bf.run.outcome.stats.objects_computed <= nl.run.outcome.stats.objects_computed
-    );
+    assert!(bf.run.outcome.stats.objects_computed <= nl.run.outcome.stats.objects_computed);
 }
 
 #[test]
@@ -131,11 +133,7 @@ fn mss_capping_degrades_gracefully() {
 fn rfid_pipeline_is_consistent() {
     let mut lab = tiny_lab();
     lab.ensure_rfid();
-    let query = TkPlQuery::new(
-        3,
-        lab.query_fraction(1.0, 6),
-        lab.world.full_interval(),
-    );
+    let query = TkPlQuery::new(3, lab.query_fraction(1.0, 6), lab.world.full_interval());
     let scc = lab.evaluate(Method::Scc, &query);
     // SCC counts are integers bounded by the population.
     for r in &scc.run.outcome.ranking {

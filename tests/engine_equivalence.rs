@@ -3,9 +3,7 @@
 //! both normalizations and with reduction on or off — the cross-checks
 //! that make the DP a safe drop-in for the paper's enumeration.
 
-use popflow_core::{
-    nested_loop, FlowConfig, Normalization, PresenceEngine, TkPlQuery,
-};
+use popflow_core::{nested_loop, FlowConfig, Normalization, PresenceEngine, TkPlQuery};
 use popflow_eval::Lab;
 
 fn run(lab: &mut Lab, query: &TkPlQuery, cfg: &FlowConfig) -> Vec<(u32, f64)> {
@@ -27,11 +25,7 @@ fn engines_agree_on_generated_worlds() {
         // window; the hybrid/DP pair is additionally exercised on the full
         // window below.
         lab.cap_mss(2);
-        let query = TkPlQuery::new(
-            6,
-            lab.query_fraction(1.0, seed),
-            lab.random_window(1, seed),
-        );
+        let query = TkPlQuery::new(6, lab.query_fraction(1.0, seed), lab.random_window(1, seed));
         for use_reduction in [true, false] {
             for normalization in [Normalization::ValidPaths, Normalization::FullProduct] {
                 let base = FlowConfig {
@@ -85,11 +79,7 @@ fn engines_agree_on_generated_worlds() {
 #[test]
 fn hybrid_and_dp_agree_on_full_windows() {
     let mut lab = Lab::new(indoor_sim::Scenario::tiny().with_seed(5));
-    let query = TkPlQuery::new(
-        6,
-        lab.query_fraction(1.0, 6),
-        lab.world.full_interval(),
-    );
+    let query = TkPlQuery::new(6, lab.query_fraction(1.0, 6), lab.world.full_interval());
     let base = FlowConfig::default();
     let hybrid = run(
         &mut lab,
@@ -118,11 +108,7 @@ fn hybrid_fallback_is_exact() {
     // Force the hybrid engine into its DP fallback with a tiny budget and
     // verify the flows still match the pure DP.
     let mut lab = Lab::new(indoor_sim::Scenario::tiny().with_seed(21));
-    let query = TkPlQuery::new(
-        6,
-        lab.query_fraction(1.0, 3),
-        lab.world.full_interval(),
-    );
+    let query = TkPlQuery::new(6, lab.query_fraction(1.0, 3), lab.world.full_interval());
     let hybrid_starved = run(
         &mut lab,
         &query,

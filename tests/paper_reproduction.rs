@@ -60,7 +60,10 @@ fn example2_and_3_presences() {
     ];
     for (oid, q, want) in cases {
         let phi = object_presence(&fig.space, &sets_of(oid), q, &cfg).unwrap();
-        assert!((phi - want).abs() < 1e-9, "Φ({q}, {oid}) = {phi}, want {want}");
+        assert!(
+            (phi - want).abs() < 1e-9,
+            "Φ({q}, {oid}) = {phi}, want {want}"
+        );
     }
 }
 

@@ -4,36 +4,36 @@
 
 use indoor_geom::Point;
 use indoor_model::{CellId, PartitionId};
-use indoor_sim::{
-    generate_building, simulate_mobility, BuildingGenConfig, MobilityConfig,
-};
+use indoor_sim::{generate_building, simulate_mobility, BuildingGenConfig, MobilityConfig};
 use popflow_core::{reduction, QuerySet};
 use proptest::prelude::*;
 
 fn arb_building_config() -> impl Strategy<Value = BuildingGenConfig> {
     (
-        1u16..3,           // floors
-        2usize..4,         // room rows
-        2usize..5,         // rooms per row
-        0.0..1.0f64,       // interconnect fraction
-        0.3..1.0f64,       // corridor opening ploc fraction
-        1u64..500,         // seed
+        1u16..3,     // floors
+        2usize..4,   // room rows
+        2usize..5,   // rooms per row
+        0.0..1.0f64, // interconnect fraction
+        0.3..1.0f64, // corridor opening ploc fraction
+        1u64..500,   // seed
     )
-        .prop_map(|(floors, rows, cols, inter, opening, seed)| BuildingGenConfig {
-            floors,
-            width: 12.0 + cols as f64 * 7.0,
-            corridor_width: 2.0,
-            room_rows: rows,
-            rooms_per_row: cols,
-            room_depth: 5.0,
-            corridor_segment_len: 11.0,
-            ploc_spacing: 3.0,
-            room_door_ploc_fraction: 1.0,
-            corridor_opening_ploc_fraction: opening,
-            room_interconnect_fraction: inter,
-            staircases: floors > 1,
-            seed,
-        })
+        .prop_map(
+            |(floors, rows, cols, inter, opening, seed)| BuildingGenConfig {
+                floors,
+                width: 12.0 + cols as f64 * 7.0,
+                corridor_width: 2.0,
+                room_rows: rows,
+                rooms_per_row: cols,
+                room_depth: 5.0,
+                corridor_segment_len: 11.0,
+                ploc_spacing: 3.0,
+                room_door_ploc_fraction: 1.0,
+                corridor_opening_ploc_fraction: opening,
+                room_interconnect_fraction: inter,
+                staircases: floors > 1,
+                seed,
+            },
+        )
 }
 
 proptest! {

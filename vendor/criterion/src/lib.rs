@@ -1,0 +1,375 @@
+//! Minimal in-tree shim for the `criterion` crate (see
+//! `vendor/README.md`).
+//!
+//! Bench targets compile and run under `cargo bench` with
+//! `harness = false`, exactly as with the real crate. Measurement is
+//! deliberately simple — warm-up, then timed iterations within the
+//! group's measurement budget, reporting mean and min per iteration —
+//! with none of the real crate's statistical machinery. Orderings and
+//! trends (the reproduction target) survive; confidence intervals do
+//! not.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark: a function name plus an optional parameter
+/// rendered as `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted where a benchmark name is expected (`&str`,
+/// `String`, or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+/// Times a closure; handed to every benchmark function.
+#[derive(Debug)]
+pub struct Bencher {
+    settings: Settings,
+    mean_ns: f64,
+    min_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(settings: Settings) -> Self {
+        Bencher {
+            settings,
+            mean_ns: 0.0,
+            min_ns: 0.0,
+            iters: 0,
+        }
+    }
+
+    /// Runs `f` repeatedly: warm-up until the warm-up budget is spent,
+    /// then timed iterations until both `sample_size` iterations have
+    /// run and the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let s = self.settings;
+        let warm_deadline = Instant::now() + s.warm_up_time;
+        loop {
+            black_box(f());
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut iters: u64 = 0;
+        let measure_start = Instant::now();
+        // Both minimums must be met: at least `sample_size` iterations
+        // AND at least `measurement_time` of measuring, so fast
+        // benchmarks aggregate enough samples for stable means.
+        while iters < s.sample_size as u64 || measure_start.elapsed() < s.measurement_time {
+            let t0 = Instant::now();
+            black_box(f());
+            let dt = t0.elapsed();
+            total += dt;
+            min = min.min(dt);
+            iters += 1;
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+        self.min_ns = min.as_nanos() as f64;
+        self.iters = iters;
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Entry point handed to `criterion_group!` target functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Honors the positional filter argument `cargo bench -- <filter>`
+    /// passes through. Flags are ignored, including the values of
+    /// real-criterion flags that take one (`--sample-size 50` must not
+    /// turn `50` into a filter that silently skips every benchmark).
+    pub fn default_from_args() -> Self {
+        Criterion {
+            filter: filter_from_args(std::env::args().skip(1)),
+        }
+    }
+
+    fn enabled(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    fn run_one(&mut self, settings: Settings, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        if !self.enabled(id) {
+            return;
+        }
+        let mut b = Bencher::new(settings);
+        f(&mut b);
+        println!(
+            "{id:<50} time: [mean {} | min {}] ({} iters)",
+            human(b.mean_ns),
+            human(b.min_ns),
+            b.iters,
+        );
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into_benchmark_id();
+        self.run_one(Settings::default(), &id.id, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            settings: Settings::default(),
+        }
+    }
+}
+
+/// First positional (non-flag) argument, skipping the values of
+/// real-criterion flags that take one.
+fn filter_from_args(args: impl Iterator<Item = String>) -> Option<String> {
+    const VALUE_FLAGS: &[&str] = &[
+        "--sample-size",
+        "--measurement-time",
+        "--warm-up-time",
+        "--save-baseline",
+        "--baseline",
+        "--baseline-lenient",
+        "--load-baseline",
+        "--output-format",
+        "--color",
+        "--profile-time",
+        "--significance-level",
+        "--noise-threshold",
+        "--confidence-level",
+        "--nresamples",
+    ];
+    let mut args = args;
+    while let Some(arg) = args.next() {
+        if VALUE_FLAGS.contains(&arg.as_str()) {
+            args.next(); // consume the flag's value
+        } else if !arg.starts_with('-') {
+            return Some(arg);
+        }
+    }
+    None
+}
+
+/// A named group of benchmarks sharing measurement settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.settings.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        self.criterion.run_one(self.settings, &id, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.id);
+        self.criterion
+            .run_one(self.settings, &id, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group function, mirroring the real crate's simple
+/// form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        c.bench_function("shim/self_test", |b| {
+            b.iter(|| {
+                ran += 1;
+                ran
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_settings_apply() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.measurement_time(Duration::from_millis(50));
+        group.warm_up_time(Duration::from_millis(1));
+        let mut ran = 0u32;
+        group.bench_with_input(BenchmarkId::new("f", 3), &3u32, |b, &x| {
+            b.iter(|| {
+                ran += x;
+                ran
+            })
+        });
+        group.finish();
+        assert!(ran >= 3);
+    }
+
+    #[test]
+    fn filter_parsing_skips_flags_and_their_values() {
+        fn args(v: &[&str]) -> std::vec::IntoIter<String> {
+            v.iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .into_iter()
+        }
+        // `cargo bench` itself appends `--bench`.
+        assert_eq!(filter_from_args(args(&["--bench"])), None);
+        assert_eq!(
+            filter_from_args(args(&["--bench", "fig8"])).as_deref(),
+            Some("fig8")
+        );
+        // Values of real-criterion flags must not become filters.
+        assert_eq!(
+            filter_from_args(args(&["--sample-size", "50", "--bench"])),
+            None
+        );
+        assert_eq!(
+            filter_from_args(args(&["--save-baseline", "main", "substrate"])).as_deref(),
+            Some("substrate")
+        );
+        assert_eq!(filter_from_args(args(&["--color=always"])), None);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("only_this".to_string()),
+        };
+        let mut ran = false;
+        c.bench_function("something_else", |b| {
+            b.iter(|| {
+                ran = true;
+            })
+        });
+        assert!(!ran);
+    }
+}

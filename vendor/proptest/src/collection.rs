@@ -1,0 +1,82 @@
+//! Collection strategies: `vec(element, size_range)`.
+
+use std::ops::Range;
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Number-of-elements specification for collection strategies.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi_exclusive: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi_exclusive: r.end,
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_exclusive: n + 1,
+        }
+    }
+}
+
+/// Generates `Vec`s whose length is drawn from `size` and whose
+/// elements are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_lengths_and_elements_in_range() {
+        let strat = vec(0u32..12, 1..8);
+        let mut rng = TestRng::for_test("vec_lengths_and_elements_in_range");
+        for _ in 0..200 {
+            let v = strat.generate(&mut rng);
+            assert!((1..8).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 12));
+        }
+    }
+
+    #[test]
+    fn fixed_size_from_usize() {
+        let strat = vec(0u8..=255, 4usize);
+        let mut rng = TestRng::for_test("fixed_size_from_usize");
+        assert_eq!(strat.generate(&mut rng).len(), 4);
+    }
+}

@@ -1,0 +1,140 @@
+//! Minimal in-tree shim for the `proptest` crate (see
+//! `vendor/README.md`).
+//!
+//! Provides the subset the workspace's property suite uses: the
+//! [`proptest!`] runner macro with `#![proptest_config(..)]`, range and
+//! tuple strategies, [`Strategy::prop_map`], and the
+//! `prop_assert*`/`prop_assume!` macros. Failing inputs are reported by
+//! case number; there is no shrinking.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(12))]
+///     #[test]
+///     fn holds(x in 0u64..100, f in 0.0..1.0f64) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let __strategies = ($($strat,)+);
+                let mut __ran: u32 = 0;
+                let mut __rejects: u32 = 0;
+                while __ran < __cfg.cases {
+                    let ($($pat,)+) =
+                        $crate::strategy::Strategy::generate(&__strategies, &mut __rng);
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    match __outcome {
+                        Ok(()) => __ran += 1,
+                        Err($crate::test_runner::TestCaseError::Reject(__why)) => {
+                            __rejects += 1;
+                            assert!(
+                                __rejects <= __cfg.max_global_rejects,
+                                "proptest '{}': too many rejected cases ({}); last: {}",
+                                stringify!($name), __rejects, __why,
+                            );
+                        }
+                        Err($crate::test_runner::TestCaseError::Fail(__why)) => {
+                            panic!(
+                                "proptest '{}' failed at case {}: {}",
+                                stringify!($name), __ran, __why,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), lhs, rhs,
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*lhs == *rhs, $($fmt)+);
+    }};
+}
+
+/// Fails the current case if the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($lhs),
+            stringify!($rhs),
+            lhs,
+        );
+    }};
+}
+
+/// Rejects the current case (it is regenerated, not failed) unless
+/// `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}

@@ -1,0 +1,154 @@
+//! Runner-side types: configuration, the per-test RNG, and case
+//! outcomes.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Subset of the real `ProptestConfig`: `cases` and
+/// `max_global_rejects` are honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases each test must pass.
+    pub cases: u32,
+    /// Abort after this many `prop_assume!` rejections across the whole
+    /// run.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Deterministic per-test RNG. Seeded from the test name so distinct
+/// tests explore distinct inputs while every run of the same test is
+/// reproducible.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    pub fn for_test(name: &str) -> Self {
+        // FNV-1a over the test name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` and is regenerated.
+    Reject(String),
+    /// The case failed an assertion (or `TestCaseError::fail`).
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "failed: {r}"),
+        }
+    }
+}
+
+/// Result type of a single case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A test failure as reported by [`TestRunner::run`].
+#[derive(Debug, Clone)]
+pub struct TestError(pub String);
+
+impl std::fmt::Display for TestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Explicit-runner API: drives a strategy through `cases` executions of
+/// a closure, mirroring `proptest::test_runner::TestRunner`.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Seeded from the caller's source *file*, so explicit runners in
+    /// distinct files explore independent input streams while staying
+    /// deterministic run to run. Line/column are deliberately excluded:
+    /// unrelated edits shifting lines must not change which inputs a
+    /// property test explores. (Two runners in the same file share a
+    /// seed — acceptable for a shim; give them distinct strategies.)
+    #[track_caller]
+    pub fn new(config: ProptestConfig) -> Self {
+        let loc = std::panic::Location::caller();
+        TestRunner {
+            rng: TestRng::for_test(loc.file()),
+            config,
+        }
+    }
+
+    /// Runs `test` on `config.cases` generated inputs. Rejected cases
+    /// are regenerated (with a global cap); the first failure is
+    /// returned as `Err`.
+    pub fn run<S, F>(&mut self, strategy: &S, test: F) -> Result<(), TestError>
+    where
+        S: crate::strategy::Strategy,
+        F: Fn(S::Value) -> TestCaseResult,
+    {
+        let mut ran = 0u32;
+        let mut rejects = 0u32;
+        while ran < self.config.cases {
+            let value = strategy.generate(&mut self.rng);
+            match test(value) {
+                Ok(()) => ran += 1,
+                Err(TestCaseError::Reject(why)) => {
+                    rejects += 1;
+                    if rejects > self.config.max_global_rejects {
+                        return Err(TestError(format!(
+                            "too many rejected cases ({rejects}); last: {why}"
+                        )));
+                    }
+                }
+                Err(TestCaseError::Fail(why)) => {
+                    return Err(TestError(format!("failed at case {ran}: {why}")));
+                }
+            }
+        }
+        Ok(())
+    }
+}
