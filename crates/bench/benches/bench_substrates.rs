@@ -59,13 +59,13 @@ fn bench_reduction_and_paths(c: &mut Criterion) {
     c.bench_function("substrate/reduce_30min_window", |b| {
         b.iter(|| {
             sets.iter()
-                .map(|s| scan_sequence(space, s.iter(), true).sets.len())
+                .map(|s| scan_sequence(space, s.iter(), true).unwrap().sets.len())
                 .sum::<usize>()
         })
     });
     let reduced: Vec<_> = sets
         .iter()
-        .map(|s| scan_sequence(space, s.iter(), true).sets)
+        .map(|s| scan_sequence(space, s.iter(), true).unwrap().sets)
         .collect();
     c.bench_function("substrate/build_paths_30min_window", |b| {
         b.iter(|| {

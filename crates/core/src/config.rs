@@ -103,13 +103,30 @@ impl FlowConfig {
     }
 }
 
-/// Errors produced by flow computation.
+/// Errors produced by flow computation and the continuous engines.
+///
+/// Conditions that a long-running serving process can hit through one
+/// malformed input — a record whose probabilities degenerated to NaN, a
+/// report arriving out of time order — are errors, not panics, so a
+/// single bad record cannot take the whole engine down.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FlowError {
     /// Path enumeration exceeded [`FlowConfig::path_budget`] extension
     /// steps. Shorten the query interval, enable data reduction, or switch
     /// to [`PresenceEngine::TransitionDp`].
     PathBudgetExceeded { budget: u64 },
+    /// A sample set violated its invariants during processing (e.g. a
+    /// merge produced non-finite probabilities from a malformed record).
+    InvalidSampleSet { detail: String },
+    /// A continuous engine was asked to move backwards in time — either an
+    /// out-of-order record on ingest or an `advance` before the previous
+    /// one. Timestamps are raw milliseconds.
+    TimeRegression {
+        last_millis: i64,
+        offending_millis: i64,
+    },
+    /// A continuous engine can no longer serve (e.g. a shard worker died).
+    EngineUnavailable { detail: String },
 }
 
 impl std::fmt::Display for FlowError {
@@ -120,6 +137,20 @@ impl std::fmt::Display for FlowError {
                 "path enumeration exceeded the budget of {budget} extensions; \
                  enable data reduction or use the TransitionDp engine"
             ),
+            FlowError::InvalidSampleSet { detail } => {
+                write!(f, "invalid sample set: {detail}")
+            }
+            FlowError::TimeRegression {
+                last_millis,
+                offending_millis,
+            } => write!(
+                f,
+                "time regression: {offending_millis} ms arrived after {last_millis} ms; \
+                 continuous engines require non-decreasing time"
+            ),
+            FlowError::EngineUnavailable { detail } => {
+                write!(f, "continuous engine unavailable: {detail}")
+            }
         }
     }
 }

@@ -1,13 +1,19 @@
 //! Indoor flow computation for a single S-location (§3.3, paper
-//! Algorithm 2 `Flow`).
+//! Algorithm 2 `Flow`) and the reusable per-object contribution kernel
+//! shared by the batch Nested-Loop search and the incremental
+//! `popflow-serve` engine.
+
+use std::collections::HashMap;
 
 use indoor_iupt::{Iupt, ObjectId, SampleSet, TimeInterval};
 use indoor_model::{IndoorSpace, SLocId};
 
-use crate::config::{FlowConfig, FlowError};
+use crate::config::{FlowConfig, FlowError, Normalization, PresenceEngine};
+use crate::dp::presence_dp;
+use crate::paths::{build_paths_tracking, full_product_mass, TrackedPathSet};
 use crate::presence::presence_prepared_tracked;
 use crate::query_set::QuerySet;
-use crate::reduction::reduce_for_query;
+use crate::reduction::{reduce_for_query, scan_sequence};
 
 /// Result of a single-location flow computation.
 #[derive(Debug, Clone)]
@@ -32,6 +38,162 @@ impl FlowComputation {
     }
 }
 
+/// One object's flow contributions to the locations of a query set — the
+/// per-object unit of work of the Nested-Loop search (Algorithm 3 lines
+/// 9–27), factored out so that every evaluation strategy (batch
+/// [`crate::query::nested_loop`], the incremental `popflow-serve` engine)
+/// computes bit-identical per-object scores from the same records.
+#[derive(Debug, Clone, Default)]
+pub struct ObjectContribution {
+    /// Query locations this object's PSLs touch (`Q ∩ psls`, ascending).
+    pub relevant: Vec<SLocId>,
+    /// Presence `Φ(q, o)` for each entry of `relevant`.
+    pub scores: Vec<f64>,
+    /// Whether the hybrid engine fell back to the transition DP.
+    pub dp_fallback: bool,
+}
+
+impl ObjectContribution {
+    /// Adds the contribution into a global score table (Algorithm 3 line
+    /// 26). Zero scores are skipped exactly as the batch search skips
+    /// them, keeping accumulation bit-identical across strategies.
+    pub fn add_to(&self, global: &mut HashMap<SLocId, f64>) {
+        for (&q, &score) in self.relevant.iter().zip(&self.scores) {
+            if score > 0.0 {
+                if let Some(slot) = global.get_mut(&q) {
+                    *slot += score;
+                }
+            }
+        }
+    }
+
+    /// Whether every score is zero (the object cannot affect the ranking).
+    pub fn is_zero(&self) -> bool {
+        self.scores.iter().all(|&s| s == 0.0)
+    }
+}
+
+/// Computes one object's contributions to every location of `query_set`
+/// from its windowed positioning sequence: runs the §3.2 reduction
+/// (per `cfg`), applies PSL pruning, and evaluates presence with the
+/// configured engine.
+///
+/// Returns `Ok(None)` when the object is pruned by its PSLs (reduction
+/// enabled and `psls ∩ Q = ∅`) — the Algorithm 1 line 13 exclusion. With
+/// reduction disabled the object is processed regardless (the `-ORG`
+/// semantics) and may return an empty contribution.
+pub fn object_flow_contributions<'a, I>(
+    space: &IndoorSpace,
+    sets: I,
+    query_set: &QuerySet,
+    cfg: &FlowConfig,
+) -> Result<Option<ObjectContribution>, FlowError>
+where
+    I: IntoIterator<Item = &'a SampleSet>,
+{
+    let scanned = scan_sequence(space, sets, cfg.use_reduction)?;
+    // PSL pruning applies only with data reduction on; the paper's -ORG
+    // variants report a pruning ratio of 0.
+    if cfg.use_reduction && !query_set.intersects_sorted(&scanned.psls) {
+        return Ok(None);
+    }
+    let relevant = query_set.intersection_sorted(&scanned.psls);
+    if relevant.is_empty() {
+        // Only reachable for -ORG runs: the object cannot contribute, but
+        // it was still processed (its cost is the point of -ORG).
+        return Ok(Some(ObjectContribution::default()));
+    }
+    let (scores, dp_fallback) = contributions_for(space, &scanned.sets, &relevant, query_set, cfg)?;
+    Ok(Some(ObjectContribution {
+        relevant,
+        scores,
+        dp_fallback,
+    }))
+}
+
+/// Evaluates the per-location presences of one prepared (already reduced)
+/// sequence, dense over `relevant`, with the configured engine. Returns
+/// the scores and whether the hybrid engine fell back to the DP.
+fn contributions_for(
+    space: &IndoorSpace,
+    sets: &[SampleSet],
+    relevant: &[SLocId],
+    query_set: &QuerySet,
+    cfg: &FlowConfig,
+) -> Result<(Vec<f64>, bool), FlowError> {
+    match cfg.engine {
+        PresenceEngine::PathEnumeration => {
+            let tracked = build_paths_tracking(space, query_set, relevant, sets, cfg.path_budget)?;
+            Ok((
+                scores_from_tracked(space, sets, relevant, cfg, &tracked),
+                false,
+            ))
+        }
+        PresenceEngine::TransitionDp => Ok((scores_from_dp(space, sets, relevant, cfg), false)),
+        PresenceEngine::Hybrid => {
+            match build_paths_tracking(space, query_set, relevant, sets, cfg.path_budget) {
+                Ok(tracked) => Ok((
+                    scores_from_tracked(space, sets, relevant, cfg, &tracked),
+                    false,
+                )),
+                Err(FlowError::PathBudgetExceeded { .. }) => {
+                    Ok((scores_from_dp(space, sets, relevant, cfg), true))
+                }
+                Err(e) => Err(e),
+            }
+        }
+    }
+}
+
+/// Per-location scores from a tracked path set (Algorithm 3 lines 9–25):
+/// each valid path's pass probability is weighted by the path probability
+/// and normalized per `cfg`.
+fn scores_from_tracked(
+    space: &IndoorSpace,
+    sets: &[SampleSet],
+    relevant: &[SLocId],
+    cfg: &FlowConfig,
+    tracked: &TrackedPathSet,
+) -> Vec<f64> {
+    let mut local = vec![0.0; relevant.len()];
+    let mut prsum = 0.0;
+    for tp in &tracked.tracked {
+        prsum += tp.path.prob;
+        for bit in tp.touched.iter() {
+            let q = relevant[bit];
+            let pass = tracked.set.pass_probability(space, tp.path, q);
+            if pass > 0.0 {
+                local[bit] += pass * tp.path.prob;
+            }
+        }
+    }
+    let denom = match cfg.normalization {
+        Normalization::FullProduct => full_product_mass(sets),
+        Normalization::ValidPaths => prsum,
+    };
+    if denom > 0.0 {
+        for v in &mut local {
+            *v /= denom;
+        }
+    } else {
+        local.iter_mut().for_each(|v| *v = 0.0);
+    }
+    local
+}
+
+/// Per-location scores via the transition DP.
+fn scores_from_dp(
+    space: &IndoorSpace,
+    sets: &[SampleSet],
+    relevant: &[SLocId],
+    cfg: &FlowConfig,
+) -> Vec<f64> {
+    relevant
+        .iter()
+        .map(|&q| presence_dp(space, sets, q, cfg.normalization))
+        .collect()
+}
+
 /// Computes the indoor flow for S-location `q` over `[ts, te]`
 /// (Algorithm 2): fetch the window's records through the 1D R-tree, group
 /// them per object, reduce each sequence (pruning objects whose PSLs miss
@@ -53,7 +215,7 @@ pub fn flow(
     for seq in sequences {
         let sets_iter = seq.records.iter().map(|r| &r.samples);
         let effective: Vec<SampleSet> = if cfg.use_reduction {
-            match reduce_for_query(space, sets_iter, &q_set, true) {
+            match reduce_for_query(space, sets_iter, &q_set, true)? {
                 Some(reduced) => reduced.sets,
                 None => continue, // pruned by PSLs
             }

@@ -52,10 +52,11 @@ pub mod reduction;
 
 pub use bitset::SmallBitset;
 pub use config::{FlowConfig, FlowError, Normalization, PresenceEngine};
-pub use flow::{flow, FlowComputation};
+pub use flow::{flow, object_flow_contributions, FlowComputation, ObjectContribution};
 pub use query::{
-    best_first, naive, nested_loop, sloc_area, top_k_dense, ContinuousTkPlq, ContinuousUpdate,
-    QueryOutcome, RankedLocation, SearchStats, TkPlQuery,
+    best_first, diff_topk, naive, nested_loop, rank_topk, sloc_area, top_k_dense, ContinuousEngine,
+    ContinuousTkPlq, ContinuousUpdate, QueryOutcome, RankedLocation, RecomputeEngine, SearchStats,
+    TkPlQuery, WindowSpec,
 };
 pub use query_set::QuerySet;
 pub use reduction::{reduce_for_query, scan_sequence, ReducedSequence};

@@ -79,7 +79,7 @@ pub fn object_presence(
 ) -> Result<f64, FlowError> {
     let reduced_storage;
     let effective: &[SampleSet] = if cfg.use_reduction {
-        reduced_storage = scan_sequence(space, sets.iter(), true).sets;
+        reduced_storage = scan_sequence(space, sets.iter(), true)?.sets;
         &reduced_storage
     } else {
         sets
@@ -128,6 +128,7 @@ pub fn presence_prepared_tracked(
                 crate::dp::presence_dp(space, sets, q, cfg.normalization),
                 true,
             )),
+            Err(e) => Err(e),
         },
     }
 }

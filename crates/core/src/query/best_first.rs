@@ -146,7 +146,7 @@ pub fn best_first(
             space,
             seq.records.iter().map(|r| &r.samples),
             cfg.use_reduction,
-        );
+        )?;
         // Objects whose PSLs miss Q can never intersect a query MBR that
         // matters; skipping them here realizes line 8's null check. (For
         // the -ORG variant the PSLs are still scanned — the merge is what
@@ -441,9 +441,13 @@ fn exact_flow(
                 if data.paths.is_none() && !data.enum_failed {
                     match build_paths(space.matrix(), &data.sets, cfg.path_budget) {
                         Ok(paths) => data.paths = Some(paths),
+                        // Only a blown budget degrades to the exact DP —
+                        // the same contract as the nested-loop hybrid;
+                        // any other failure propagates.
                         Err(FlowError::PathBudgetExceeded { .. }) => {
                             data.enum_failed = true;
                         }
+                        Err(e) => return Err(e),
                     }
                 }
                 if let Some(paths) = &data.paths {

@@ -11,13 +11,146 @@
 //! only the records inside the new window through the time index, so the
 //! cost per advance is that of one windowed query, independent of the
 //! table's total history.
+//!
+//! The [`ContinuousEngine`] trait abstracts the standing-query shape —
+//! ingest a time-ordered record stream, advance a bucketed sliding window,
+//! report the top-k delta — so alternative evaluation strategies are
+//! interchangeable. Two implementations exist: [`RecomputeEngine`] here
+//! (re-runs the Nested-Loop search per slide — the baseline) and the
+//! sharded incremental engine in `popflow-serve`.
 
-use indoor_iupt::{Iupt, TimeInterval, Timestamp};
+use std::sync::Arc;
+
+use indoor_iupt::{Iupt, Record, TimeInterval, Timestamp};
 use indoor_model::{IndoorSpace, SLocId};
 
 use crate::config::{FlowConfig, FlowError};
 use crate::query::{nested_loop, QueryOutcome, TkPlQuery};
 use crate::query_set::QuerySet;
+
+/// Bucket/window geometry of a continuous query: the sliding window is
+/// `window_buckets` whole buckets of `bucket_millis` each, and slides in
+/// bucket-width steps. Both continuous engines share this arithmetic so
+/// their evaluation windows are identical millisecond for millisecond.
+///
+/// Bucket `b` covers the closed millisecond range
+/// `[b·width, (b+1)·width − 1]`; buckets tile the time axis without
+/// overlap, so a window of whole buckets is exactly the union of its
+/// buckets' record sets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpec {
+    /// Bucket width in milliseconds (> 0).
+    pub bucket_millis: i64,
+    /// Window length in buckets (≥ 1).
+    pub window_buckets: usize,
+}
+
+impl WindowSpec {
+    /// Creates the spec; `bucket_millis` and `window_buckets` must be
+    /// positive.
+    pub fn new(bucket_millis: i64, window_buckets: usize) -> Self {
+        assert!(bucket_millis > 0, "bucket width must be positive");
+        assert!(window_buckets >= 1, "window must cover at least one bucket");
+        WindowSpec {
+            bucket_millis,
+            window_buckets,
+        }
+    }
+
+    /// Index of the bucket containing `t` (floor division; correct for
+    /// negative timestamps too).
+    pub fn bucket_of(&self, t: Timestamp) -> i64 {
+        t.millis().div_euclid(self.bucket_millis)
+    }
+
+    /// The closed time interval covered by bucket `b`.
+    pub fn bucket_interval(&self, b: i64) -> TimeInterval {
+        TimeInterval::new(
+            Timestamp(b * self.bucket_millis),
+            Timestamp((b + 1) * self.bucket_millis - 1),
+        )
+    }
+
+    /// The last bucket fully elapsed at wall-clock `now` (bucket `b` is
+    /// complete once `now ≥ (b+1)·width − 1`). May be negative when `now`
+    /// precedes the first full bucket.
+    pub fn last_complete_bucket(&self, now: Timestamp) -> i64 {
+        (now.millis() + 1).div_euclid(self.bucket_millis) - 1
+    }
+
+    /// The evaluation window at `now`: the last `window_buckets` complete
+    /// buckets, as `(end_bucket, closed interval)`.
+    pub fn window_at(&self, now: Timestamp) -> (i64, TimeInterval) {
+        let end = self.last_complete_bucket(now);
+        let start = end - self.window_buckets as i64 + 1;
+        (
+            end,
+            TimeInterval::new(
+                Timestamp(start * self.bucket_millis),
+                Timestamp((end + 1) * self.bucket_millis - 1),
+            ),
+        )
+    }
+
+    /// Window length in milliseconds.
+    pub fn window_millis(&self) -> i64 {
+        self.bucket_millis * self.window_buckets as i64
+    }
+}
+
+/// A standing continuous top-k query: feed it a time-ordered positioning
+/// stream with [`ContinuousEngine::ingest`], slide the window with
+/// [`ContinuousEngine::advance`], read the latest ranking with
+/// [`ContinuousEngine::current`].
+///
+/// Both methods return [`FlowError`] instead of panicking on malformed
+/// input (out-of-order records, backwards advances): a serving process
+/// must survive a bad record.
+pub trait ContinuousEngine {
+    /// Engine name for reports and experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Feeds one positioning record. Records must arrive in
+    /// non-decreasing time order, and — once an advance has run — after
+    /// the sealed frontier (the end of the last complete bucket that
+    /// advance covered): evaluated windows are immutable history. A
+    /// regression or late record is rejected with
+    /// [`FlowError::TimeRegression`] and leaves the engine unchanged.
+    fn ingest(&mut self, record: Record) -> Result<(), FlowError>;
+
+    /// Advances the window to `now` (non-decreasing) and re-evaluates the
+    /// top-k over the last [`WindowSpec::window_buckets`] complete
+    /// buckets.
+    fn advance(&mut self, now: Timestamp) -> Result<ContinuousUpdate, FlowError>;
+
+    /// The most recent top-k, if any advance has run.
+    fn current(&self) -> Option<&[SLocId]>;
+}
+
+/// Diffs a fresh top-k against the previous one: `(changed, entered,
+/// left)`. Shared by every [`ContinuousEngine`] so deltas are reported
+/// uniformly.
+pub fn diff_topk(
+    previous: Option<&[SLocId]>,
+    fresh: &[SLocId],
+) -> (bool, Vec<SLocId>, Vec<SLocId>) {
+    match previous {
+        None => (true, fresh.to_vec(), Vec::new()),
+        Some(prev) => {
+            let entered: Vec<SLocId> = fresh
+                .iter()
+                .copied()
+                .filter(|s| !prev.contains(s))
+                .collect();
+            let left: Vec<SLocId> = prev
+                .iter()
+                .copied()
+                .filter(|s| !fresh.contains(s))
+                .collect();
+            (prev != fresh, entered, left)
+        }
+    }
+}
 
 /// A standing top-k query over a sliding time window.
 #[derive(Debug, Clone)]
@@ -69,8 +202,9 @@ impl ContinuousTkPlq {
 
     /// Advances the monitor to `now`, evaluating `[now − window, now]`.
     ///
-    /// `now` must not move backwards; re-advancing to the same instant is
-    /// allowed (idempotent).
+    /// `now` must not move backwards ([`FlowError::TimeRegression`]
+    /// otherwise); re-advancing to the same instant is allowed
+    /// (idempotent).
     pub fn advance(
         &mut self,
         space: &IndoorSpace,
@@ -78,34 +212,19 @@ impl ContinuousTkPlq {
         now: Timestamp,
     ) -> Result<ContinuousUpdate, FlowError> {
         if let Some(last) = self.last_advance {
-            assert!(
-                now >= last,
-                "continuous queries cannot move backwards in time"
-            );
+            if now < last {
+                return Err(FlowError::TimeRegression {
+                    last_millis: last.millis(),
+                    offending_millis: now.millis(),
+                });
+            }
         }
         self.last_advance = Some(now);
         let window = TimeInterval::new(now.plus_millis(-self.window_millis), now);
         let query = TkPlQuery::new(self.k, self.query_set.clone(), window);
         let outcome = nested_loop(space, iupt, &query, &self.cfg)?;
         let fresh = outcome.topk_slocs();
-
-        let (changed, entered, left) = match &self.previous {
-            None => (true, fresh.clone(), Vec::new()),
-            Some(prev) => {
-                let entered: Vec<SLocId> = fresh
-                    .iter()
-                    .copied()
-                    .filter(|s| !prev.contains(s))
-                    .collect();
-                let left: Vec<SLocId> = prev
-                    .iter()
-                    .copied()
-                    .filter(|s| !fresh.contains(s))
-                    .collect();
-                let changed = *prev != fresh;
-                (changed, entered, left)
-            }
-        };
+        let (changed, entered, left) = diff_topk(self.previous.as_deref(), &fresh);
         self.previous = Some(fresh);
         Ok(ContinuousUpdate {
             outcome,
@@ -114,6 +233,128 @@ impl ContinuousTkPlq {
             left,
             window,
         })
+    }
+}
+
+/// The recompute-per-slide baseline engine: owns its IUPT, and every
+/// [`ContinuousEngine::advance`] re-runs the full Nested-Loop search over
+/// the bucket-aligned window. This is the strategy [`ContinuousTkPlq`]
+/// has always used, packaged behind the streaming [`ContinuousEngine`]
+/// interface so it can be compared head-to-head against the incremental
+/// `popflow-serve` engine on identical windows.
+#[derive(Debug, Clone)]
+pub struct RecomputeEngine {
+    space: Arc<IndoorSpace>,
+    iupt: Iupt,
+    k: usize,
+    query_set: QuerySet,
+    spec: WindowSpec,
+    cfg: FlowConfig,
+    previous: Option<Vec<SLocId>>,
+    last_ingest: Option<Timestamp>,
+    last_advance: Option<Timestamp>,
+    /// End (exclusive, in ms) of the last bucket an advance evaluated —
+    /// the same late-record frontier the serve engine enforces, so both
+    /// [`ContinuousEngine`] implementations accept exactly the same
+    /// streams.
+    sealed_frontier_millis: Option<i64>,
+}
+
+impl RecomputeEngine {
+    /// Creates the baseline engine over an initially empty record store.
+    pub fn new(
+        space: Arc<IndoorSpace>,
+        k: usize,
+        query_set: QuerySet,
+        spec: WindowSpec,
+        cfg: FlowConfig,
+    ) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        RecomputeEngine {
+            space,
+            iupt: Iupt::new(),
+            k,
+            query_set,
+            spec,
+            cfg,
+            previous: None,
+            last_ingest: None,
+            last_advance: None,
+            sealed_frontier_millis: None,
+        }
+    }
+
+    /// Number of records ingested so far.
+    pub fn records_ingested(&self) -> usize {
+        self.iupt.len()
+    }
+
+    /// The window geometry.
+    pub fn spec(&self) -> WindowSpec {
+        self.spec
+    }
+}
+
+impl ContinuousEngine for RecomputeEngine {
+    fn name(&self) -> &'static str {
+        "recompute-nl"
+    }
+
+    fn ingest(&mut self, record: Record) -> Result<(), FlowError> {
+        if let Some(last) = self.last_ingest {
+            if record.t < last {
+                return Err(FlowError::TimeRegression {
+                    last_millis: last.millis(),
+                    offending_millis: record.t.millis(),
+                });
+            }
+        }
+        if let Some(frontier) = self.sealed_frontier_millis {
+            if record.t.millis() < frontier {
+                return Err(FlowError::TimeRegression {
+                    last_millis: frontier,
+                    offending_millis: record.t.millis(),
+                });
+            }
+        }
+        self.last_ingest = Some(record.t);
+        self.iupt.push(record);
+        Ok(())
+    }
+
+    fn advance(&mut self, now: Timestamp) -> Result<ContinuousUpdate, FlowError> {
+        if let Some(last) = self.last_advance {
+            if now < last {
+                return Err(FlowError::TimeRegression {
+                    last_millis: last.millis(),
+                    offending_millis: now.millis(),
+                });
+            }
+        }
+        self.last_advance = Some(now);
+        let (end_bucket, window) = self.spec.window_at(now);
+        let frontier = (end_bucket + 1) * self.spec.bucket_millis;
+        self.sealed_frontier_millis = Some(
+            self.sealed_frontier_millis
+                .unwrap_or(frontier)
+                .max(frontier),
+        );
+        let query = TkPlQuery::new(self.k, self.query_set.clone(), window);
+        let outcome = nested_loop(&self.space, &mut self.iupt, &query, &self.cfg)?;
+        let fresh = outcome.topk_slocs();
+        let (changed, entered, left) = diff_topk(self.previous.as_deref(), &fresh);
+        self.previous = Some(fresh);
+        Ok(ContinuousUpdate {
+            outcome,
+            changed,
+            entered,
+            left,
+            window,
+        })
+    }
+
+    fn current(&self) -> Option<&[SLocId]> {
+        self.previous.as_deref()
     }
 }
 
@@ -204,7 +445,6 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "backwards")]
     fn rejects_time_regression() {
         let fig = paper_figure1();
         let mut iupt = paper_table2();
@@ -212,6 +452,134 @@ mod tests {
         monitor
             .advance(&fig.space, &mut iupt, Timestamp::from_secs(5))
             .unwrap();
-        let _ = monitor.advance(&fig.space, &mut iupt, Timestamp::from_secs(4));
+        let err = monitor
+            .advance(&fig.space, &mut iupt, Timestamp::from_secs(4))
+            .unwrap_err();
+        assert!(matches!(err, FlowError::TimeRegression { .. }));
+        // The rejected slide must not corrupt the monitor: advancing
+        // forward still works.
+        monitor
+            .advance(&fig.space, &mut iupt, Timestamp::from_secs(6))
+            .unwrap();
+    }
+
+    #[test]
+    fn window_spec_geometry() {
+        let spec = WindowSpec::new(1_000, 3);
+        assert_eq!(spec.window_millis(), 3_000);
+        assert_eq!(spec.bucket_of(Timestamp(0)), 0);
+        assert_eq!(spec.bucket_of(Timestamp(999)), 0);
+        assert_eq!(spec.bucket_of(Timestamp(1_000)), 1);
+        assert_eq!(spec.bucket_of(Timestamp(-1)), -1);
+        let iv = spec.bucket_interval(2);
+        assert_eq!(iv.start, Timestamp(2_000));
+        assert_eq!(iv.end, Timestamp(2_999));
+
+        // Bucket 4 completes exactly at t = 4999.
+        assert_eq!(spec.last_complete_bucket(Timestamp(4_998)), 3);
+        assert_eq!(spec.last_complete_bucket(Timestamp(4_999)), 4);
+        let (end, window) = spec.window_at(Timestamp(4_999));
+        assert_eq!(end, 4);
+        assert_eq!(window.start, Timestamp(2_000));
+        assert_eq!(window.end, Timestamp(4_999));
+
+        // Buckets tile the axis: every ms belongs to exactly one bucket.
+        for t in -3_000i64..3_000 {
+            let b = spec.bucket_of(Timestamp(t));
+            assert!(spec.bucket_interval(b).contains(Timestamp(t)), "t = {t}");
+        }
+    }
+
+    #[test]
+    fn diff_topk_reports_deltas() {
+        let (a, b, c) = (SLocId(1), SLocId(2), SLocId(3));
+        let (changed, entered, left) = diff_topk(None, &[a, b]);
+        assert!(changed && left.is_empty());
+        assert_eq!(entered, vec![a, b]);
+
+        let (changed, entered, left) = diff_topk(Some(&[a, b]), &[b, c]);
+        assert!(changed);
+        assert_eq!(entered, vec![c]);
+        assert_eq!(left, vec![a]);
+
+        // Reorder counts as a change but no membership delta.
+        let (changed, entered, left) = diff_topk(Some(&[a, b]), &[b, a]);
+        assert!(changed && entered.is_empty() && left.is_empty());
+
+        let (changed, ..) = diff_topk(Some(&[a, b]), &[a, b]);
+        assert!(!changed);
+    }
+
+    #[test]
+    fn recompute_engine_matches_one_shot_query() {
+        let fig = paper_figure1();
+        let spec = WindowSpec::new(2_000, 4); // window [1000, 8999] at t=8999
+        let mut engine = RecomputeEngine::new(
+            std::sync::Arc::new(fig.space.clone()),
+            3,
+            QuerySet::new(fig.r.to_vec()),
+            spec,
+            cfg(),
+        );
+        assert_eq!(engine.name(), "recompute-nl");
+        for r in paper_table2().records() {
+            engine.ingest(r.clone()).unwrap();
+        }
+        assert_eq!(engine.records_ingested(), paper_table2().len());
+        let update = engine.advance(Timestamp(8_999)).unwrap();
+        // Window covers buckets 0..=3 → [0, 7999]; compare with one-shot.
+        assert_eq!(update.window.start, Timestamp(0));
+        assert_eq!(update.window.end, Timestamp(7_999));
+        let mut iupt = paper_table2();
+        let one_shot = nested_loop(
+            &fig.space,
+            &mut iupt,
+            &TkPlQuery::new(
+                3,
+                QuerySet::new(fig.r.to_vec()),
+                TimeInterval::new(Timestamp(0), Timestamp(7_999)),
+            ),
+            &cfg(),
+        )
+        .unwrap();
+        assert_eq!(update.outcome.topk_slocs(), one_shot.topk_slocs());
+        assert_eq!(engine.current().unwrap(), one_shot.topk_slocs());
+    }
+
+    #[test]
+    fn recompute_engine_rejects_out_of_order_ingest() {
+        let fig = paper_figure1();
+        let mut engine = RecomputeEngine::new(
+            std::sync::Arc::new(fig.space.clone()),
+            1,
+            QuerySet::new(fig.r.to_vec()),
+            WindowSpec::new(1_000, 2),
+            cfg(),
+        );
+        let records = paper_table2().records().to_vec();
+        engine.ingest(records[3].clone()).unwrap();
+        let err = engine.ingest(records[0].clone()).unwrap_err();
+        assert!(matches!(err, FlowError::TimeRegression { .. }));
+        // The store is unchanged by the rejected record and keeps serving.
+        assert_eq!(engine.records_ingested(), 1);
+        engine.ingest(records[4].clone()).unwrap();
+        engine.advance(Timestamp::from_secs(10)).unwrap();
+
+        // After the advance, buckets through t=10s are sealed history:
+        // a record inside them is late even though it is after the last
+        // ingest — the same frontier contract the serve engine enforces.
+        let late = Record {
+            t: Timestamp::from_secs(7),
+            ..records[4].clone()
+        };
+        let err = engine.ingest(late).unwrap_err();
+        assert!(matches!(err, FlowError::TimeRegression { .. }));
+        assert_eq!(engine.records_ingested(), 2);
+        engine
+            .ingest(Record {
+                t: Timestamp::from_secs(11),
+                ..records[4].clone()
+            })
+            .unwrap();
     }
 }

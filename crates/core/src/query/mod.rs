@@ -9,7 +9,9 @@ mod naive;
 mod nested_loop;
 
 pub use best_first::best_first;
-pub use continuous::{ContinuousTkPlq, ContinuousUpdate};
+pub use continuous::{
+    diff_topk, ContinuousEngine, ContinuousTkPlq, ContinuousUpdate, RecomputeEngine, WindowSpec,
+};
 pub use density::{sloc_area, top_k_dense};
 pub use naive::naive;
 pub use nested_loop::nested_loop;
@@ -88,8 +90,10 @@ impl QueryOutcome {
 
 /// Ranks `(sloc, flow)` scores and keeps the top `k`, breaking flow ties by
 /// ascending S-location id so every algorithm returns the same ranking on
-/// tied inputs.
-pub(crate) fn rank_topk(scores: Vec<(SLocId, f64)>, k: usize) -> Vec<RankedLocation> {
+/// tied inputs. Public so external evaluation strategies (notably the
+/// `popflow-serve` incremental engine) rank exactly like the built-in
+/// searches.
+pub fn rank_topk(scores: Vec<(SLocId, f64)>, k: usize) -> Vec<RankedLocation> {
     let mut ranked: Vec<RankedLocation> = scores
         .into_iter()
         .map(|(sloc, flow)| RankedLocation { sloc, flow })

@@ -5,16 +5,19 @@
 
 use std::collections::HashMap;
 
-use indoor_iupt::{Iupt, SampleSet};
+use indoor_iupt::Iupt;
 use indoor_model::{IndoorSpace, SLocId};
 
-use crate::config::{FlowConfig, FlowError, Normalization, PresenceEngine};
-use crate::dp::presence_dp;
-use crate::paths::{build_paths_tracking, full_product_mass, TrackedPathSet};
+use crate::config::{FlowConfig, FlowError};
+use crate::flow::object_flow_contributions;
 use crate::query::{rank_topk, QueryOutcome, SearchStats, TkPlQuery};
-use crate::reduction::scan_sequence;
 
 /// Evaluates a TkPLQ in the nested-loop join paradigm.
+///
+/// Each object's per-location scores come from
+/// [`object_flow_contributions`] — the same kernel the incremental
+/// `popflow-serve` engine caches per bucket, so batch and incremental
+/// evaluation agree bit for bit.
 pub fn nested_loop(
     space: &IndoorSpace,
     iupt: &mut Iupt,
@@ -31,28 +34,18 @@ pub fn nested_loop(
     let mut dp_fallback_objects = 0;
 
     for seq in sequences {
-        let scanned = scan_sequence(
+        let Some(contribution) = object_flow_contributions(
             space,
             seq.records.iter().map(|r| &r.samples),
-            cfg.use_reduction,
-        );
-        // PSL pruning (line 8) applies only with data reduction on; the
-        // paper's NL-ORG variant reports a pruning ratio of 0.
-        if cfg.use_reduction && !query.query_set.intersects_sorted(&scanned.psls) {
-            continue;
-        }
+            &query.query_set,
+            cfg,
+        )?
+        else {
+            continue; // PSL-pruned (Algorithm 3 line 8)
+        };
         objects_computed += 1;
-
-        let relevant = query.query_set.intersection_sorted(&scanned.psls);
-        if relevant.is_empty() {
-            // Only reachable for -ORG runs: the object cannot contribute,
-            // but it was still processed (its cost is the point of -ORG).
-            continue;
-        }
-
-        let fell_back =
-            accumulate_object(space, &scanned.sets, &relevant, query, cfg, &mut global)?;
-        dp_fallback_objects += usize::from(fell_back);
+        dp_fallback_objects += usize::from(contribution.dp_fallback);
+        contribution.add_to(&mut global);
     }
 
     let scores: Vec<(SLocId, f64)> = global.into_iter().collect();
@@ -66,97 +59,10 @@ pub fn nested_loop(
     })
 }
 
-/// Adds one object's local scores to the global table (Algorithm 3 lines
-/// 9–27): builds the object's valid paths once, recording per path the
-/// query locations it can pass, then aggregates per-location local scores.
-/// Returns whether the hybrid engine fell back to the DP for this object.
-fn accumulate_object(
-    space: &IndoorSpace,
-    sets: &[SampleSet],
-    relevant: &[SLocId],
-    query: &TkPlQuery,
-    cfg: &FlowConfig,
-    global: &mut HashMap<SLocId, f64>,
-) -> Result<bool, FlowError> {
-    match cfg.engine {
-        PresenceEngine::PathEnumeration => {
-            let tracked =
-                build_paths_tracking(space, &query.query_set, relevant, sets, cfg.path_budget)?;
-            accumulate_from_tracked(space, sets, relevant, cfg, &tracked, global);
-            Ok(false)
-        }
-        PresenceEngine::TransitionDp => {
-            accumulate_dp(space, sets, relevant, cfg, global);
-            Ok(false)
-        }
-        PresenceEngine::Hybrid => {
-            match build_paths_tracking(space, &query.query_set, relevant, sets, cfg.path_budget) {
-                Ok(tracked) => {
-                    accumulate_from_tracked(space, sets, relevant, cfg, &tracked, global);
-                    Ok(false)
-                }
-                Err(FlowError::PathBudgetExceeded { .. }) => {
-                    accumulate_dp(space, sets, relevant, cfg, global);
-                    Ok(true)
-                }
-            }
-        }
-    }
-}
-
-fn accumulate_from_tracked(
-    space: &IndoorSpace,
-    sets: &[SampleSet],
-    relevant: &[SLocId],
-    cfg: &FlowConfig,
-    tracked: &TrackedPathSet,
-    global: &mut HashMap<SLocId, f64>,
-) {
-    // Local scores `Hls : Q → score` (line 20), dense over the object's
-    // relevant list.
-    let mut local = vec![0.0; relevant.len()];
-    let mut prsum = 0.0;
-    for tp in &tracked.tracked {
-        prsum += tp.path.prob;
-        for bit in tp.touched.iter() {
-            let q = relevant[bit];
-            let pass = tracked.set.pass_probability(space, tp.path, q);
-            if pass > 0.0 {
-                local[bit] += pass * tp.path.prob;
-            }
-        }
-    }
-    let denom = match cfg.normalization {
-        Normalization::FullProduct => full_product_mass(sets),
-        Normalization::ValidPaths => prsum,
-    };
-    if denom > 0.0 {
-        for (bit, &q) in relevant.iter().enumerate() {
-            if local[bit] > 0.0 {
-                *global.get_mut(&q).expect("relevant ⊆ Q") += local[bit] / denom;
-            }
-        }
-    }
-}
-
-fn accumulate_dp(
-    space: &IndoorSpace,
-    sets: &[SampleSet],
-    relevant: &[SLocId],
-    cfg: &FlowConfig,
-    global: &mut HashMap<SLocId, f64>,
-) {
-    for &q in relevant {
-        let phi = presence_dp(space, sets, q, cfg.normalization);
-        if phi > 0.0 {
-            *global.get_mut(&q).expect("relevant ⊆ Q") += phi;
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::{Normalization, PresenceEngine};
     use crate::query::naive;
     use crate::query_set::QuerySet;
     use indoor_iupt::fixtures::paper_table2;

@@ -5,6 +5,7 @@
 use indoor_iupt::{Sample, SampleSet};
 use indoor_model::{IndoorSpace, SLocId};
 
+use crate::config::FlowError;
 use crate::query_set::QuerySet;
 
 /// An object's positioning sequence after data reduction.
@@ -41,7 +42,17 @@ impl ReducedSequence {
 /// With `merge = false` only step 3 runs (used by the Best-First `-ORG`
 /// variant, which still needs PSL MBRs for its aggregate R-tree but
 /// processes the original sequence).
-pub fn scan_sequence<'a, I>(space: &IndoorSpace, sets: I, merge: bool) -> ReducedSequence
+///
+/// # Errors
+/// [`FlowError::InvalidSampleSet`] when a merge step produces a set that
+/// violates the sample-set invariants — reachable only through malformed
+/// input (e.g. non-finite probabilities), and surfaced as an error so a
+/// serving layer can drop the offending sequence instead of crashing.
+pub fn scan_sequence<'a, I>(
+    space: &IndoorSpace,
+    sets: I,
+    merge: bool,
+) -> Result<ReducedSequence, FlowError>
 where
     I: IntoIterator<Item = &'a SampleSet>,
 {
@@ -64,11 +75,11 @@ where
             continue;
         }
 
-        let merged = intra_merge(space, set);
+        let merged = intra_merge(space, set)?;
         match run.last() {
             Some(tail) if tail.same_plocs(&merged) => run.push(merged),
             Some(_) => {
-                out.push(inter_merge(&run));
+                out.push(inter_merge(&run)?);
                 run.clear();
                 run.push(merged);
             }
@@ -76,12 +87,12 @@ where
         }
     }
     if !run.is_empty() {
-        out.push(inter_merge(&run));
+        out.push(inter_merge(&run)?);
     }
 
     psls.sort_unstable();
     psls.dedup();
-    ReducedSequence { sets: out, psls }
+    Ok(ReducedSequence { sets: out, psls })
 }
 
 /// [`scan_sequence`] plus the Algorithm 1 line 13 pruning: returns `None`
@@ -92,22 +103,22 @@ pub fn reduce_for_query<'a, I>(
     sets: I,
     query: &QuerySet,
     merge: bool,
-) -> Option<ReducedSequence>
+) -> Result<Option<ReducedSequence>, FlowError>
 where
     I: IntoIterator<Item = &'a SampleSet>,
 {
-    let reduced = scan_sequence(space, sets, merge);
+    let reduced = scan_sequence(space, sets, merge)?;
     if query.intersects_sorted(&reduced.psls) {
-        Some(reduced)
+        Ok(Some(reduced))
     } else {
-        None
+        Ok(None)
     }
 }
 
 /// The `IntraMerge` procedure: folds samples of equivalent P-locations
 /// (paper Algorithm 1 lines 14–21). The representative keeps the smallest
 /// subscript (footnote 5) and the merged probability is the sum.
-pub fn intra_merge(space: &IndoorSpace, set: &SampleSet) -> SampleSet {
+pub fn intra_merge(space: &IndoorSpace, set: &SampleSet) -> Result<SampleSet, FlowError> {
     let matrix = space.matrix();
     let samples = set.samples();
 
@@ -125,7 +136,7 @@ pub fn intra_merge(space: &IndoorSpace, set: &SampleSet) -> SampleSet {
         }
     }
     if !needs_merge {
-        return set.clone();
+        return Ok(set.clone());
     }
 
     let mut merged: Vec<Sample> = Vec::with_capacity(samples.len());
@@ -136,19 +147,24 @@ pub fn intra_merge(space: &IndoorSpace, set: &SampleSet) -> SampleSet {
             None => merged.push(Sample::new(rep, s.prob)),
         }
     }
-    SampleSet::new(merged).expect("intra-merge preserves sample-set invariants")
+    SampleSet::new(merged).map_err(|e| FlowError::InvalidSampleSet {
+        detail: format!("intra-merge: {e}"),
+    })
 }
 
 /// The `InterMerge` procedure (paper Algorithm 1 lines 22–30): collapses a
 /// run of sample sets with identical P-location support into one set whose
 /// probabilities are the per-location means.
-pub fn inter_merge(run: &[SampleSet]) -> SampleSet {
-    assert!(!run.is_empty(), "inter-merge requires a non-empty run");
+pub fn inter_merge(run: &[SampleSet]) -> Result<SampleSet, FlowError> {
+    let Some(front) = run.first() else {
+        return Err(FlowError::InvalidSampleSet {
+            detail: "inter-merge requires a non-empty run".into(),
+        });
+    };
     if run.len() == 1 {
-        return run[0].clone();
+        return Ok(front.clone());
     }
     let n = run.len() as f64;
-    let front = &run[0];
     debug_assert!(run.iter().all(|s| s.same_plocs(front)));
     let samples: Vec<Sample> = front
         .plocs()
@@ -157,7 +173,9 @@ pub fn inter_merge(run: &[SampleSet]) -> SampleSet {
             Sample::new(loc, mean)
         })
         .collect();
-    SampleSet::new(samples).expect("inter-merge preserves sample-set invariants")
+    SampleSet::new(samples).map_err(|e| FlowError::InvalidSampleSet {
+        detail: format!("inter-merge: {e}"),
+    })
 }
 
 #[cfg(test)]
@@ -188,14 +206,14 @@ mod tests {
         assert_eq!(sets.len(), 4);
 
         // Intra-merge X3 = {(p5,.3),(p6,.6),(p8,.1)} → {(p5,.3),(p6,.7)}.
-        let x3 = intra_merge(&space, &sets[2]);
+        let x3 = intra_merge(&space, &sets[2]).unwrap();
         assert_eq!(x3.len(), 2);
         assert!((x3.prob_of(PLocId(4)) - 0.3).abs() < 1e-12); // p5
         assert!((x3.prob_of(PLocId(5)) - 0.7).abs() < 1e-12); // p6 (+p8)
 
         // Full scan: 4 sets → 3 sets; |P| bound 36 → 8 (the paper counts
         // generated paths as 32 → 8; the Cartesian bound is 2·2·2 = 8).
-        let reduced = scan_sequence(&space, sets.iter(), true);
+        let reduced = scan_sequence(&space, sets.iter(), true).unwrap();
         assert_eq!(reduced.sets.len(), 3);
         assert_eq!(reduced.max_paths(), 8);
 
@@ -218,7 +236,7 @@ mod tests {
             .iter()
             .map(|r| r.samples.clone())
             .collect();
-        let reduced = scan_sequence(&fig.space, sets.iter(), true);
+        let reduced = scan_sequence(&fig.space, sets.iter(), true).unwrap();
         let expected = {
             let mut v = vec![fig.r[2], fig.r[3], fig.r[5]];
             v.sort_unstable();
@@ -241,15 +259,21 @@ mod tests {
             .map(|r| r.samples.clone())
             .collect();
         let q_irrelevant = QuerySet::new(vec![fig.r[0], fig.r[1], fig.r[4]]);
-        assert!(reduce_for_query(&fig.space, sets.iter(), &q_irrelevant, true).is_none());
+        assert!(
+            reduce_for_query(&fig.space, sets.iter(), &q_irrelevant, true)
+                .unwrap()
+                .is_none()
+        );
         let q_relevant = QuerySet::new(vec![fig.r[5]]);
-        assert!(reduce_for_query(&fig.space, sets.iter(), &q_relevant, true).is_some());
+        assert!(reduce_for_query(&fig.space, sets.iter(), &q_relevant, true)
+            .unwrap()
+            .is_some());
     }
 
     #[test]
     fn no_merge_keeps_sets_but_computes_psls() {
         let (space, sets) = o2_sets();
-        let scanned = scan_sequence(&space, sets.iter(), false);
+        let scanned = scan_sequence(&space, sets.iter(), false).unwrap();
         assert_eq!(scanned.sets.len(), 4);
         assert_eq!(scanned.sets[2], sets[2]);
         assert!(!scanned.psls.is_empty());
@@ -258,20 +282,20 @@ mod tests {
     #[test]
     fn inter_merge_single_set_is_identity() {
         let (_, sets) = o2_sets();
-        assert_eq!(inter_merge(&sets[0..1]), sets[0]);
+        assert_eq!(inter_merge(&sets[0..1]).unwrap(), sets[0]);
     }
 
     #[test]
     fn intra_merge_without_equivalents_is_identity() {
         let (space, sets) = o2_sets();
         // X1 = {(p1,.5),(p2,.5)}: p1 and p2 are not equivalent.
-        assert_eq!(intra_merge(&space, &sets[0]), sets[0]);
+        assert_eq!(intra_merge(&space, &sets[0]).unwrap(), sets[0]);
     }
 
     #[test]
     fn reduction_preserves_probability_mass() {
         let (space, sets) = o2_sets();
-        let reduced = scan_sequence(&space, sets.iter(), true);
+        let reduced = scan_sequence(&space, sets.iter(), true).unwrap();
         for s in &reduced.sets {
             assert!((s.prob_sum() - 1.0).abs() < 1e-9);
         }
@@ -280,8 +304,8 @@ mod tests {
     #[test]
     fn psls_identical_with_and_without_merge() {
         let (space, sets) = o2_sets();
-        let with = scan_sequence(&space, sets.iter(), true);
-        let without = scan_sequence(&space, sets.iter(), false);
+        let with = scan_sequence(&space, sets.iter(), true).unwrap();
+        let without = scan_sequence(&space, sets.iter(), false).unwrap();
         assert_eq!(with.psls, without.psls);
     }
 }

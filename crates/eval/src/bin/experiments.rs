@@ -8,11 +8,11 @@
 //!
 //! Experiment ids: table4 table5 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 //! fig14 fig15 fig16 fig17 fig18 fig19 fig20 fig21 table7 ablation-dp
-//! ablation-norm, or `all` / `real` / `synthetic`.
+//! ablation-norm streaming, or `all` / `real` / `synthetic`.
 
 use std::time::Instant;
 
-use popflow_eval::experiments::{ablation, real, synthetic, ExpOpts};
+use popflow_eval::experiments::{ablation, real, streaming, synthetic, ExpOpts};
 use popflow_eval::report::{render_table, render_tsv, Row};
 
 const REAL_EXPS: &[&str] = &[
@@ -22,6 +22,7 @@ const SYNTH_EXPS: &[&str] = &[
     "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "table7",
 ];
 const ABLATIONS: &[&str] = &["ablation-dp", "ablation-norm"];
+const STREAMING: &[&str] = &["streaming"];
 
 fn run_exp(id: &str, opts: &ExpOpts) -> Option<Vec<Row>> {
     let rows = match id {
@@ -45,6 +46,7 @@ fn run_exp(id: &str, opts: &ExpOpts) -> Option<Vec<Row>> {
         "table7" => synthetic::table7(opts),
         "ablation-dp" => ablation::ablation_dp(opts),
         "ablation-norm" => ablation::ablation_norm(opts),
+        "streaming" => streaming::streaming(opts),
         _ => return None,
     };
     Some(rows)
@@ -85,6 +87,7 @@ fn main() {
                 ids.extend(REAL_EXPS.iter().map(|s| s.to_string()));
                 ids.extend(SYNTH_EXPS.iter().map(|s| s.to_string()));
                 ids.extend(ABLATIONS.iter().map(|s| s.to_string()));
+                ids.extend(STREAMING.iter().map(|s| s.to_string()));
             }
             "real" => ids.extend(REAL_EXPS.iter().map(|s| s.to_string())),
             "synthetic" => ids.extend(SYNTH_EXPS.iter().map(|s| s.to_string())),
@@ -98,7 +101,7 @@ fn main() {
             "usage: experiments [EXP-ID|all|real|synthetic|ablations ...] \
              [--scale S] [--repeats N] [--seed S] [--mc-rounds N] [--tsv PATH]"
         );
-        eprintln!("experiment ids: {REAL_EXPS:?} {SYNTH_EXPS:?} {ABLATIONS:?}");
+        eprintln!("experiment ids: {REAL_EXPS:?} {SYNTH_EXPS:?} {ABLATIONS:?} {STREAMING:?}");
         std::process::exit(2);
     }
 

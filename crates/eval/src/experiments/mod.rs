@@ -5,6 +5,7 @@
 
 pub mod ablation;
 pub mod real;
+pub mod streaming;
 pub mod synthetic;
 
 use popflow_core::TkPlQuery;

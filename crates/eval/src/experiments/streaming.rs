@@ -1,0 +1,328 @@
+//! Streaming throughput experiment: the incremental `popflow-serve`
+//! engine vs. the recompute-per-slide baseline on an identical replayed
+//! record stream — ingest throughput, advance latency (mean/p50/p99),
+//! and a per-slide top-k equality audit.
+//!
+//! The workload is a visitor-turnover venue (see
+//! [`indoor_sim::StreamScenario`]): tagged visitors pass through a
+//! building all day, the standing query ranks the k most popular
+//! S-locations over a sliding window of whole buckets, and the window
+//! advances once per bucket.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use indoor_iupt::{Record, Timestamp};
+use indoor_model::SLocId;
+use indoor_sim::{StreamScenario, World};
+use popflow_core::{ContinuousEngine, FlowConfig, QuerySet, RecomputeEngine, WindowSpec};
+use popflow_serve::{ServeConfig, ServeEngine};
+
+use crate::report::Row;
+
+use super::ExpOpts;
+
+/// Full configuration of one streaming comparison.
+#[derive(Debug, Clone)]
+pub struct StreamingConfig {
+    /// The replayed workload.
+    pub scenario: StreamScenario,
+    /// Bucket width in seconds.
+    pub bucket_secs: i64,
+    /// Window length in buckets (the window/bucket ratio).
+    pub window_buckets: usize,
+    /// Top-k size.
+    pub k: usize,
+    /// Serve-engine shard count.
+    pub num_shards: usize,
+}
+
+impl StreamingConfig {
+    /// The default comparison shape: a half-day visitor stream, 36-minute
+    /// buckets, a 16-bucket window (ratio 16 ≥ 8), visits short relative
+    /// to a bucket so most objects' records sit inside one bucket.
+    /// `scale` multiplies the population (1.0 ≈ 3000 visitors).
+    pub fn scaled(scale: f64, seed: u64) -> Self {
+        StreamingConfig {
+            scenario: StreamScenario {
+                num_objects: ((3000.0 * scale) as usize).max(150),
+                duration_secs: 12 * 3600,
+                visit_secs: (60, 120),
+                seed,
+            },
+            bucket_secs: 2160,
+            window_buckets: 16,
+            k: 5,
+            num_shards: 4,
+        }
+    }
+}
+
+/// Measured behaviour of one engine over the replay.
+#[derive(Debug, Clone)]
+pub struct EngineMetrics {
+    /// Engine display name.
+    pub name: String,
+    /// Records ingested.
+    pub records: usize,
+    /// Total wall-clock spent in `ingest` calls, seconds.
+    pub ingest_secs: f64,
+    /// Per-advance wall-clock latencies, milliseconds, in slide order.
+    pub advance_ms: Vec<f64>,
+    /// Per-slide top-k lists (for the equality audit).
+    pub topks: Vec<Vec<SLocId>>,
+    /// Presence computations performed across all slides (the work the
+    /// bucketing scheme saves).
+    pub presence_computations: u64,
+}
+
+impl EngineMetrics {
+    /// Ingest throughput, records per second.
+    pub fn records_per_sec(&self) -> f64 {
+        if self.ingest_secs > 0.0 {
+            self.records as f64 / self.ingest_secs
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Mean advance latency in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        if self.advance_ms.is_empty() {
+            return 0.0;
+        }
+        self.advance_ms.iter().sum::<f64>() / self.advance_ms.len() as f64
+    }
+
+    /// The `q` ∈ [0, 1] latency quantile in milliseconds (nearest-rank).
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        if self.advance_ms.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.advance_ms.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Sustained query throughput: advances per second of advance time.
+    pub fn advances_per_sec(&self) -> f64 {
+        let total_secs = self.advance_ms.iter().sum::<f64>() / 1000.0;
+        if total_secs > 0.0 {
+            self.advance_ms.len() as f64 / total_secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// The outcome of one streaming comparison.
+#[derive(Debug, Clone)]
+pub struct StreamingReport {
+    /// The incremental sharded engine's measurements.
+    pub incremental: EngineMetrics,
+    /// The recompute-per-slide baseline's measurements.
+    pub baseline: EngineMetrics,
+    /// Window slides driven.
+    pub slides: usize,
+    /// Slides where the two engines' top-k lists differed (must be 0).
+    pub mismatched_slides: usize,
+    /// Baseline mean advance latency / incremental mean advance latency.
+    pub speedup: f64,
+    /// Baseline presence computations / incremental presence
+    /// computations — the machine-independent version of the speedup.
+    pub work_ratio: f64,
+}
+
+/// What [`drive_stream`] measured over one replay.
+#[derive(Debug, Clone)]
+pub struct DriveOutcome {
+    /// Total wall-clock spent in `ingest` calls, seconds.
+    pub ingest_secs: f64,
+    /// Per-advance wall-clock latencies, milliseconds, in slide order.
+    pub advance_ms: Vec<f64>,
+    /// Per-slide top-k lists.
+    pub topks: Vec<Vec<SLocId>>,
+    /// Sum of per-slide `objects_computed` statistics.
+    pub objects_computed: u64,
+}
+
+/// Drives one engine through the whole stream: per completed bucket,
+/// feed the records up to the bucket end, then advance. Shared by the
+/// experiment, the `serve_demo` example, and `bench_serve`.
+pub fn drive_stream(
+    engine: &mut dyn ContinuousEngine,
+    records: &[Record],
+    spec: WindowSpec,
+    duration_secs: i64,
+) -> DriveOutcome {
+    let last_bucket = spec.last_complete_bucket(Timestamp::from_secs(duration_secs));
+    let mut outcome = DriveOutcome {
+        ingest_secs: 0.0,
+        advance_ms: Vec::new(),
+        topks: Vec::new(),
+        objects_computed: 0,
+    };
+    let mut next = 0usize;
+    for b in 0..=last_bucket {
+        let now = spec.bucket_interval(b).end;
+        let t0 = Instant::now();
+        while next < records.len() && records[next].t <= now {
+            engine
+                .ingest(records[next].clone())
+                .expect("replayed records are time-ordered");
+            next += 1;
+        }
+        outcome.ingest_secs += t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let update = engine.advance(now).expect("advance on a valid stream");
+        outcome.advance_ms.push(t1.elapsed().as_secs_f64() * 1000.0);
+        outcome.objects_computed += update.outcome.stats.objects_computed as u64;
+        outcome.topks.push(update.outcome.topk_slocs());
+    }
+    outcome
+}
+
+/// Runs the full comparison: generate the stream once, replay it through
+/// both engines over identical bucket-aligned windows, audit every slide.
+pub fn run_streaming(cfg: &StreamingConfig) -> StreamingReport {
+    let (world, stream) = cfg.scenario.build();
+    run_streaming_on(cfg, &world, stream.records())
+}
+
+/// [`run_streaming`] over an already-generated world and record stream.
+pub fn run_streaming_on(
+    cfg: &StreamingConfig,
+    world: &World,
+    records: &[Record],
+) -> StreamingReport {
+    let space = Arc::new(world.space.clone());
+    let slocs: Vec<SLocId> = world.space.slocs().iter().map(|s| s.id).collect();
+    let spec = WindowSpec::new(cfg.bucket_secs * 1000, cfg.window_buckets);
+    let flow = FlowConfig::default().with_dp_engine();
+    let duration = cfg.scenario.duration_secs;
+
+    let mut serve = ServeEngine::new(
+        Arc::clone(&space),
+        ServeConfig::new(cfg.k, QuerySet::new(slocs.clone()), spec)
+            .with_shards(cfg.num_shards)
+            .with_flow(flow),
+    );
+    let driven = drive_stream(&mut serve, records, spec, duration);
+    let incremental = EngineMetrics {
+        name: serve.name().to_string(),
+        records: records.len(),
+        ingest_secs: driven.ingest_secs,
+        advance_ms: driven.advance_ms,
+        topks: driven.topks,
+        presence_computations: serve.stats().fresh_presence,
+    };
+    drop(serve);
+
+    let mut recompute =
+        RecomputeEngine::new(Arc::clone(&space), cfg.k, QuerySet::new(slocs), spec, flow);
+    let driven = drive_stream(&mut recompute, records, spec, duration);
+    let baseline = EngineMetrics {
+        name: recompute.name().to_string(),
+        records: records.len(),
+        ingest_secs: driven.ingest_secs,
+        advance_ms: driven.advance_ms,
+        topks: driven.topks,
+        presence_computations: driven.objects_computed,
+    };
+
+    let slides = baseline.topks.len();
+    let mismatched_slides = incremental
+        .topks
+        .iter()
+        .zip(&baseline.topks)
+        .filter(|(a, b)| a != b)
+        .count();
+    let speedup = if incremental.mean_ms() > 0.0 {
+        baseline.mean_ms() / incremental.mean_ms()
+    } else {
+        f64::INFINITY
+    };
+    let work_ratio = if incremental.presence_computations > 0 {
+        baseline.presence_computations as f64 / incremental.presence_computations as f64
+    } else {
+        f64::INFINITY
+    };
+    StreamingReport {
+        incremental,
+        baseline,
+        slides,
+        mismatched_slides,
+        speedup,
+        work_ratio,
+    }
+}
+
+fn metrics_row(exp: &str, x: &str, m: &EngineMetrics) -> Row {
+    let mut row = Row::new(exp, x, m.name.clone());
+    row.time_secs = Some(m.mean_ms() / 1000.0);
+    row.note = format!(
+        "p50={:.2}ms p99={:.2}ms qps={:.0} ingest={:.0}rec/s presence×{}",
+        m.quantile_ms(0.50),
+        m.quantile_ms(0.99),
+        m.advances_per_sec(),
+        m.records_per_sec(),
+        m.presence_computations,
+    );
+    row
+}
+
+/// The `streaming` experiment id: one comparison at the harness scale.
+pub fn streaming(opts: &ExpOpts) -> Vec<Row> {
+    let cfg = StreamingConfig::scaled(opts.scale, opts.seed);
+    let report = run_streaming(&cfg);
+    let x = format!(
+        "w/b={} objs={}",
+        cfg.window_buckets, cfg.scenario.num_objects
+    );
+    let mut rows = vec![
+        metrics_row("streaming", &x, &report.incremental),
+        metrics_row("streaming", &x, &report.baseline),
+    ];
+    let mut summary = Row::new("streaming", &x, "speedup");
+    summary.note = format!(
+        "advance×{:.1} work×{:.1} slides={} mismatches={}",
+        report.speedup, report.work_ratio, report.slides, report.mismatched_slides
+    );
+    rows.push(summary);
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature end-to-end comparison: both engines agree on every
+    /// slide and the incremental engine does strictly less presence work.
+    #[test]
+    fn small_streaming_report_is_consistent() {
+        let cfg = StreamingConfig {
+            scenario: StreamScenario {
+                num_objects: 40,
+                duration_secs: 1800,
+                visit_secs: (30, 80),
+                seed: 11,
+            },
+            bucket_secs: 150,
+            window_buckets: 8,
+            k: 3,
+            num_shards: 2,
+        };
+        let report = run_streaming(&cfg);
+        assert_eq!(report.slides, 12);
+        assert_eq!(report.mismatched_slides, 0, "engines diverged");
+        assert!(
+            report.incremental.presence_computations < report.baseline.presence_computations,
+            "incremental did no less work: {} vs {}",
+            report.incremental.presence_computations,
+            report.baseline.presence_computations,
+        );
+        assert_eq!(report.incremental.records, report.baseline.records);
+        assert!(report.incremental.records > 0);
+    }
+}

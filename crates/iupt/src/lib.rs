@@ -9,10 +9,12 @@
 pub mod fixtures;
 mod rfid;
 mod sample;
+mod sharded;
 mod table;
 mod time;
 
 pub use rfid::{ReaderId, RfidDeployment, RfidReader, RfidRecord, RfidTrackingData};
 pub use sample::{Sample, SampleSet, SampleSetError};
+pub use sharded::{shard_for, ShardedIupt};
 pub use table::{Iupt, IuptStats, ObjectId, ObjectSequence, Record};
 pub use time::{TimeInterval, Timestamp};

@@ -1,0 +1,247 @@
+//! Object-sharded IUPT construction: the positioning log partitioned into
+//! `N` shards by object id, each with its own time index.
+//!
+//! Sharding by *object* (rather than by time) keeps every object's whole
+//! sequence inside one shard, so per-object work — reduction, path
+//! construction, presence — never crosses a shard boundary. This is the
+//! partitioning the `popflow-serve` worker pool distributes across
+//! threads; [`ShardedIupt`] is the same layout usable single-threaded.
+
+use crate::table::{Iupt, IuptStats, ObjectId, ObjectSequence, Record};
+use crate::time::{TimeInterval, Timestamp};
+
+/// The shard an object's records land in. A Fibonacci-style multiplicative
+/// mix decorrelates shard choice from dense sequential object ids, so
+/// ids `1..=n` spread evenly for any shard count (a plain `id % n` would
+/// alias badly when ids are strided).
+#[inline]
+pub fn shard_for(oid: ObjectId, num_shards: usize) -> usize {
+    debug_assert!(num_shards >= 1);
+    let mixed = (oid.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    ((mixed >> 32) as usize) % num_shards
+}
+
+/// An IUPT partitioned into object shards, each an independent
+/// [`Iupt`] with its own time index.
+#[derive(Debug, Clone)]
+pub struct ShardedIupt {
+    shards: Vec<Iupt>,
+}
+
+impl ShardedIupt {
+    /// `num_shards` empty shards (≥ 1).
+    pub fn new(num_shards: usize) -> Self {
+        assert!(num_shards >= 1, "need at least one shard");
+        ShardedIupt {
+            shards: (0..num_shards).map(|_| Iupt::new()).collect(),
+        }
+    }
+
+    /// Builds from records, sorting them by time first so each shard's
+    /// append-only invariant holds.
+    pub fn from_records(mut records: Vec<Record>, num_shards: usize) -> Self {
+        records.sort_by_key(|r| r.t);
+        let mut table = ShardedIupt::new(num_shards);
+        for r in records {
+            table.push(r);
+        }
+        table
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `record.oid` routes to.
+    pub fn shard_of(&self, oid: ObjectId) -> usize {
+        shard_for(oid, self.shards.len())
+    }
+
+    /// Appends a record to its object's shard; records must arrive in
+    /// non-decreasing time order (each shard then sees a time-ordered
+    /// subsequence).
+    pub fn push(&mut self, record: Record) {
+        let s = self.shard_of(record.oid);
+        self.shards[s].push(record);
+    }
+
+    /// Total records across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(Iupt::len).sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(Iupt::is_empty)
+    }
+
+    /// The shards, in index order.
+    pub fn shards(&self) -> &[Iupt] {
+        &self.shards
+    }
+
+    /// Mutable access to one shard (time-index range queries take `&mut`).
+    pub fn shard_mut(&mut self, s: usize) -> &mut Iupt {
+        &mut self.shards[s]
+    }
+
+    /// Consumes the table into its shards — how the serving engine hands
+    /// each worker thread ownership of one partition.
+    pub fn into_shards(self) -> Vec<Iupt> {
+        self.shards
+    }
+
+    /// Freezes every shard's time index (see [`Iupt::freeze`]).
+    pub fn freeze(&mut self) {
+        for s in &mut self.shards {
+            s.freeze();
+        }
+    }
+
+    /// Earliest start / latest end over all shards' record timestamps.
+    pub fn time_bounds(&self) -> Option<TimeInterval> {
+        let mut lo: Option<Timestamp> = None;
+        let mut hi: Option<Timestamp> = None;
+        for s in &self.shards {
+            if let Some(b) = s.time_bounds() {
+                lo = Some(lo.map_or(b.start, |v: Timestamp| v.min(b.start)));
+                hi = Some(hi.map_or(b.end, |v: Timestamp| v.max(b.end)));
+            }
+        }
+        match (lo, hi) {
+            (Some(a), Some(b)) => Some(TimeInterval::new(a, b)),
+            _ => None,
+        }
+    }
+
+    /// The per-object sequences within `interval`, merged across shards
+    /// and sorted by object id — identical to [`Iupt::sequences_in`] on
+    /// the unsharded table.
+    pub fn sequences_in(&mut self, interval: TimeInterval) -> Vec<ObjectSequence<'_>> {
+        let mut all: Vec<ObjectSequence<'_>> = Vec::new();
+        for shard in &mut self.shards {
+            all.extend(shard.sequences_in(interval));
+        }
+        all.sort_by_key(|s| s.oid);
+        all
+    }
+
+    /// Aggregated statistics over all shards.
+    pub fn stats(&self) -> IuptStats {
+        let mut total = IuptStats {
+            records: 0,
+            objects: 0,
+            total_samples: 0,
+            max_sample_set_size: 0,
+        };
+        for s in &self.shards {
+            let st = s.stats();
+            total.records += st.records;
+            // Objects never span shards, so per-shard counts are disjoint.
+            total.objects += st.objects;
+            total.total_samples += st.total_samples;
+            total.max_sample_set_size = total.max_sample_set_size.max(st.max_sample_set_size);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::{Sample, SampleSet};
+    use indoor_model::PLocId;
+
+    fn rec(oid: u32, t_secs: i64, loc: u32) -> Record {
+        Record {
+            oid: ObjectId(oid),
+            t: Timestamp::from_secs(t_secs),
+            samples: SampleSet::new(vec![Sample::new(PLocId(loc), 1.0)]).unwrap(),
+        }
+    }
+
+    fn records() -> Vec<Record> {
+        (0..60)
+            .map(|i| rec(1 + (i % 7) as u32, i, (i % 5) as u32))
+            .collect()
+    }
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        for n in 1..=8 {
+            for oid in 0..100u32 {
+                let s = shard_for(ObjectId(oid), n);
+                assert!(s < n);
+                assert_eq!(s, shard_for(ObjectId(oid), n));
+            }
+        }
+    }
+
+    #[test]
+    fn dense_ids_spread_across_shards() {
+        let n = 4;
+        let mut counts = vec![0usize; n];
+        for oid in 1..=1000u32 {
+            counts[shard_for(ObjectId(oid), n)] += 1;
+        }
+        for (s, &c) in counts.iter().enumerate() {
+            assert!((150..=350).contains(&c), "shard {s} got {c} of 1000");
+        }
+    }
+
+    #[test]
+    fn matches_unsharded_sequences() {
+        let mut flat = Iupt::from_records(records());
+        let mut sharded = ShardedIupt::from_records(records(), 3);
+        assert_eq!(sharded.len(), flat.len());
+        assert_eq!(sharded.time_bounds(), flat.time_bounds());
+
+        let iv = TimeInterval::new(Timestamp::from_secs(10), Timestamp::from_secs(40));
+        let a = flat.sequences_in(iv);
+        let b = sharded.sequences_in(iv);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.oid, y.oid);
+            assert_eq!(x.records, y.records);
+        }
+    }
+
+    #[test]
+    fn objects_never_span_shards() {
+        let sharded = ShardedIupt::from_records(records(), 4);
+        for (s, shard) in sharded.shards().iter().enumerate() {
+            for r in shard.records() {
+                assert_eq!(sharded.shard_of(r.oid), s);
+            }
+        }
+        let st = sharded.stats();
+        assert_eq!(st.records, 60);
+        assert_eq!(st.objects, 7);
+    }
+
+    #[test]
+    fn streaming_push_then_freeze_queries() {
+        let mut t = ShardedIupt::new(2);
+        assert!(t.is_empty());
+        for r in records() {
+            t.push(r);
+        }
+        t.freeze();
+        let iv = TimeInterval::new(Timestamp::from_secs(0), Timestamp::from_secs(59));
+        assert_eq!(
+            t.sequences_in(iv).iter().map(|s| s.len()).sum::<usize>(),
+            60
+        );
+        let one = t.into_shards();
+        assert_eq!(one.len(), 2);
+    }
+
+    #[test]
+    fn single_shard_is_the_flat_table() {
+        let mut flat = Iupt::from_records(records());
+        let mut one = ShardedIupt::from_records(records(), 1);
+        let iv = TimeInterval::new(Timestamp::from_secs(0), Timestamp::from_secs(59));
+        assert_eq!(one.sequences_in(iv).len(), flat.sequences_in(iv).len());
+    }
+}

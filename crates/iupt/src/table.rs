@@ -92,6 +92,14 @@ impl Iupt {
         self.records.push(record);
     }
 
+    /// Explicitly rebuilds the time index after a batch of appends (see
+    /// [`TimeIndex::freeze`]), so subsequent range queries pay no lazy
+    /// rebuild — the pattern the streaming ingestion path uses between
+    /// record bursts.
+    pub fn freeze(&mut self) {
+        self.index.freeze();
+    }
+
     /// Number of records.
     pub fn len(&self) -> usize {
         self.records.len()

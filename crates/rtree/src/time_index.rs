@@ -115,13 +115,28 @@ impl<T> TimeIndex<T> {
         self.dirty = false;
     }
 
+    /// Whether appends have happened since the interval hierarchy was last
+    /// built (a [`TimeIndex::range_query`] would rebuild first).
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Explicitly (re)builds the interval hierarchy after a batch of
+    /// appends, so that subsequent queries can go through the immutable
+    /// [`TimeIndex::range_query_built`] path — e.g. from behind a shared
+    /// reference, or on a hot serving path that must not pay a lazy
+    /// rebuild at query time. Idempotent: a clean index is left untouched.
+    pub fn freeze(&mut self) {
+        if self.dirty {
+            self.rebuild();
+        }
+    }
+
     /// Range query: returns the contiguous slice of entries with
     /// `ts <= t <= te`. Rebuilds the interval hierarchy first if appends
     /// happened since the last query.
     pub fn range_query(&mut self, ts: i64, te: i64) -> &[(i64, T)] {
-        if self.dirty {
-            self.rebuild();
-        }
+        self.freeze();
         self.range_query_built(ts, te)
     }
 
@@ -225,6 +240,60 @@ mod tests {
         assert_eq!(idx.range_query(20, 29).len(), 10);
         idx.push(200, 200);
         assert_eq!(idx.range_query(195, 500).len(), 6);
+    }
+
+    /// The lazy `dirty`-flag rebuild was previously exercised only through
+    /// `range_query`; this pins the explicit freeze/bulk-load contract:
+    /// appends mark the index dirty, `freeze` clears it, and a frozen
+    /// index answers `range_query_built` (the shared-reference path)
+    /// identically to the lazy path — across repeated append/query/freeze
+    /// interleavings.
+    #[test]
+    fn freeze_interleaved_with_appends_and_queries() {
+        let mut idx = TimeIndex::with_fanout(4);
+        assert!(!idx.is_dirty(), "empty index starts clean");
+        idx.freeze(); // freeze of an empty index is a no-op
+        assert!(idx.range_query_built(0, 100).is_empty());
+
+        let mut appended = 0i64;
+        for round in 0..5 {
+            // Append a burst of entries; the index must go dirty.
+            for _ in 0..37 {
+                idx.push(appended * 10, appended);
+                appended += 1;
+            }
+            assert!(idx.is_dirty(), "appends must mark the index dirty");
+
+            // Freeze, then query through the immutable built path.
+            idx.freeze();
+            assert!(!idx.is_dirty());
+            let lo = round * 50;
+            let hi = lo + 120;
+            let built: Vec<i64> = idx
+                .range_query_built(lo, hi)
+                .iter()
+                .map(|&(_, v)| v)
+                .collect();
+            let want: Vec<i64> = (0..appended)
+                .filter(|&v| v * 10 >= lo && v * 10 <= hi)
+                .collect();
+            assert_eq!(built, want, "round {round}");
+
+            // The lazy path agrees and freezing again changes nothing.
+            let lazy: Vec<i64> = idx.range_query(lo, hi).iter().map(|&(_, v)| v).collect();
+            assert_eq!(lazy, want);
+            idx.freeze();
+            assert_eq!(idx.range_query_built(lo, hi).len(), want.len());
+        }
+        assert_eq!(idx.len(), 5 * 37);
+    }
+
+    /// `from_sorted` bulk-load yields an immediately frozen index.
+    #[test]
+    fn bulk_load_is_frozen() {
+        let idx = TimeIndex::from_sorted((0..1000i64).map(|t| (t, t)).collect());
+        assert!(!idx.is_dirty());
+        assert_eq!(idx.range_query_built(10, 19).len(), 10);
     }
 
     #[test]

@@ -1,0 +1,346 @@
+//! The serving engine: routes a time-ordered record stream to shard
+//! workers and assembles incremental window evaluations into the same
+//! top-k the batch Nested-Loop search would produce.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{self, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use indoor_iupt::{shard_for, Record, Timestamp};
+use indoor_model::{IndoorSpace, SLocId};
+use popflow_core::{
+    diff_topk, rank_topk, ContinuousEngine, ContinuousUpdate, FlowConfig, FlowError,
+    ObjectContribution, QueryOutcome, QuerySet, SearchStats, WindowSpec,
+};
+
+use crate::shard::{ShardMsg, ShardReport, ShardWorker};
+
+/// Configuration of a [`ServeEngine`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of shard workers (threads). Objects are hash-partitioned
+    /// across shards, so any count ≥ 1 yields identical results.
+    pub num_shards: usize,
+    /// Top-k size.
+    pub k: usize,
+    /// The standing query's S-location set.
+    pub query_set: QuerySet,
+    /// Bucket width and window length.
+    pub spec: WindowSpec,
+    /// Flow computation configuration (engine, normalization, reduction).
+    pub flow: FlowConfig,
+}
+
+impl ServeConfig {
+    /// A config with the given query shape and sensible defaults
+    /// (4 shards, DP presence engine — the right engine for a serving
+    /// path, where tail latency matters more than paper fidelity).
+    pub fn new(k: usize, query_set: QuerySet, spec: WindowSpec) -> Self {
+        ServeConfig {
+            num_shards: 4,
+            k,
+            query_set,
+            spec,
+            flow: FlowConfig::default().with_dp_engine(),
+        }
+    }
+
+    /// Overrides the shard count.
+    pub fn with_shards(mut self, num_shards: usize) -> Self {
+        self.num_shards = num_shards;
+        self
+    }
+
+    /// Overrides the flow configuration.
+    pub fn with_flow(mut self, flow: FlowConfig) -> Self {
+        self.flow = flow;
+        self
+    }
+}
+
+/// Cumulative serving counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Records accepted and routed to a shard.
+    pub records_ingested: u64,
+    /// Records rejected (late or out of order).
+    pub records_rejected: u64,
+    /// Window advances served.
+    pub advances: u64,
+    /// Objects served from sealed-bucket caches, summed over advances.
+    pub cache_hits: u64,
+    /// Objects recomputed exactly as bucket straddlers.
+    pub straddler_recomputes: u64,
+    /// Presence computations performed (sealing + straddlers) — the
+    /// quantity the bucketing scheme minimizes.
+    pub fresh_presence: u64,
+}
+
+/// The sharded incremental continuous top-k engine.
+///
+/// Ingestion partitions records by object across `num_shards` worker
+/// threads over `mpsc` channels; each worker owns its shard's IUPT
+/// partition and sealed-bucket contribution caches. An
+/// [`advance`](ContinuousEngine::advance) seals newly completed buckets,
+/// combines cached per-object contributions across shards (recomputing
+/// only bucket-straddling objects exactly), and ranks — producing, by
+/// construction, the same accumulation order and therefore bit-identical
+/// flows to running the batch Nested-Loop search over the same window.
+///
+/// ```
+/// use std::sync::Arc;
+/// use indoor_iupt::fixtures::paper_table2;
+/// use indoor_iupt::Timestamp;
+/// use indoor_model::fixtures::paper_figure1;
+/// use popflow_core::{ContinuousEngine, FlowConfig, QuerySet, WindowSpec};
+/// use popflow_serve::{ServeConfig, ServeEngine};
+///
+/// let fig = paper_figure1();
+/// let cfg = ServeConfig::new(
+///     2,
+///     QuerySet::new(fig.r.to_vec()),
+///     WindowSpec::new(4_000, 2), // two 4-second buckets
+/// )
+/// .with_flow(FlowConfig::default().with_full_product_normalization());
+/// let mut engine = ServeEngine::new(Arc::new(fig.space.clone()), cfg);
+/// for r in paper_table2().records() {
+///     engine.ingest(r.clone()).unwrap();
+/// }
+/// let update = engine.advance(Timestamp::from_secs(8)).unwrap();
+/// assert_eq!(update.outcome.ranking[0].sloc, fig.r[5]); // r6 (Example 4)
+/// ```
+#[derive(Debug)]
+pub struct ServeEngine {
+    config: ServeConfig,
+    senders: Vec<Sender<ShardMsg>>,
+    workers: Vec<JoinHandle<()>>,
+    stats: ServeStats,
+    previous: Option<Vec<SLocId>>,
+    last_ingest: Option<Timestamp>,
+    last_advance: Option<Timestamp>,
+    /// Records must land strictly after the sealed frontier: once a
+    /// bucket is sealed its cache is immutable, so a record falling into
+    /// it would silently be ignored by future windows. Such late records
+    /// are rejected at ingest instead.
+    sealed_frontier_millis: Option<i64>,
+}
+
+impl ServeEngine {
+    /// Spawns the shard worker pool. `space` is shared read-only with all
+    /// workers.
+    pub fn new(space: Arc<IndoorSpace>, config: ServeConfig) -> Self {
+        assert!(config.num_shards >= 1, "need at least one shard");
+        assert!(config.k >= 1, "k must be at least 1");
+        let mut senders = Vec::with_capacity(config.num_shards);
+        let mut workers = Vec::with_capacity(config.num_shards);
+        for shard in 0..config.num_shards {
+            let (tx, rx) = mpsc::channel();
+            let worker = ShardWorker::new(
+                Arc::clone(&space),
+                config.query_set.clone(),
+                config.flow,
+                config.spec,
+            );
+            let handle = std::thread::Builder::new()
+                .name(format!("popflow-shard-{shard}"))
+                .spawn(move || worker.run(rx))
+                .expect("spawning a shard worker thread");
+            senders.push(tx);
+            workers.push(handle);
+        }
+        ServeEngine {
+            config,
+            senders,
+            workers,
+            stats: ServeStats::default(),
+            previous: None,
+            last_ingest: None,
+            last_advance: None,
+            sealed_frontier_millis: None,
+        }
+    }
+
+    /// Cumulative serving counters.
+    pub fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Ingests a whole batch, stopping at the first rejected record.
+    pub fn ingest_all<I: IntoIterator<Item = Record>>(
+        &mut self,
+        records: I,
+    ) -> Result<(), FlowError> {
+        for r in records {
+            self.ingest(r)?;
+        }
+        Ok(())
+    }
+
+    fn check_ingest_time(&mut self, t: Timestamp) -> Result<(), FlowError> {
+        if let Some(last) = self.last_ingest {
+            if t < last {
+                self.stats.records_rejected += 1;
+                return Err(FlowError::TimeRegression {
+                    last_millis: last.millis(),
+                    offending_millis: t.millis(),
+                });
+            }
+        }
+        if let Some(frontier) = self.sealed_frontier_millis {
+            if t.millis() < frontier {
+                self.stats.records_rejected += 1;
+                return Err(FlowError::TimeRegression {
+                    last_millis: frontier,
+                    offending_millis: t.millis(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn shard_down(&self, shard: usize) -> FlowError {
+        FlowError::EngineUnavailable {
+            detail: format!("shard worker {shard} is no longer running"),
+        }
+    }
+
+    /// Merges shard reports into the global ranking, accumulating
+    /// per-object contributions in ascending object-id order — the exact
+    /// order (and therefore the exact floating-point sums) of the batch
+    /// Nested-Loop search.
+    fn merge_reports(&self, reports: Vec<ShardReport>) -> Result<QueryOutcome, FlowError> {
+        let mut contributions: Vec<(indoor_iupt::ObjectId, Arc<ObjectContribution>)> = Vec::new();
+        let mut objects_total = 0;
+        let mut dp_fallback_objects = 0;
+        for report in reports {
+            if let Some(e) = report.error {
+                return Err(e);
+            }
+            objects_total += report.objects_total;
+            contributions.extend(report.contributions);
+        }
+        contributions.sort_unstable_by_key(|(oid, _)| *oid);
+
+        let mut global: HashMap<SLocId, f64> = self
+            .config
+            .query_set
+            .slocs()
+            .iter()
+            .map(|&s| (s, 0.0))
+            .collect();
+        let objects_computed = contributions.len();
+        for (_, contribution) in &contributions {
+            dp_fallback_objects += usize::from(contribution.dp_fallback);
+            contribution.add_to(&mut global);
+        }
+        let scores: Vec<(SLocId, f64)> = global.into_iter().collect();
+        Ok(QueryOutcome {
+            ranking: rank_topk(scores, self.config.k),
+            stats: SearchStats {
+                objects_total,
+                objects_computed,
+                dp_fallback_objects,
+            },
+        })
+    }
+}
+
+impl ContinuousEngine for ServeEngine {
+    fn name(&self) -> &'static str {
+        "popflow-serve"
+    }
+
+    fn ingest(&mut self, record: Record) -> Result<(), FlowError> {
+        self.check_ingest_time(record.t)?;
+        self.last_ingest = Some(record.t);
+        let shard = shard_for(record.oid, self.senders.len());
+        self.senders[shard]
+            .send(ShardMsg::Ingest(record))
+            .map_err(|_| self.shard_down(shard))?;
+        self.stats.records_ingested += 1;
+        Ok(())
+    }
+
+    fn advance(&mut self, now: Timestamp) -> Result<ContinuousUpdate, FlowError> {
+        if let Some(last) = self.last_advance {
+            if now < last {
+                return Err(FlowError::TimeRegression {
+                    last_millis: last.millis(),
+                    offending_millis: now.millis(),
+                });
+            }
+        }
+        self.last_advance = Some(now);
+        let (end_bucket, window) = self.config.spec.window_at(now);
+        let window_start = end_bucket - self.config.spec.window_buckets as i64 + 1;
+
+        let (tx, rx) = mpsc::channel();
+        for (shard, sender) in self.senders.iter().enumerate() {
+            sender
+                .send(ShardMsg::Advance {
+                    window_start,
+                    window_end: end_bucket,
+                    reply: tx.clone(),
+                })
+                .map_err(|_| self.shard_down(shard))?;
+        }
+        drop(tx);
+
+        let mut reports = Vec::with_capacity(self.senders.len());
+        for _ in 0..self.senders.len() {
+            let report = rx.recv().map_err(|_| FlowError::EngineUnavailable {
+                detail: "a shard worker died mid-advance".into(),
+            })?;
+            self.stats.cache_hits += report.cache_hits as u64;
+            self.stats.straddler_recomputes += report.straddlers as u64;
+            self.stats.fresh_presence += report.fresh_presence as u64;
+            reports.push(report);
+        }
+        self.stats.advances += 1;
+        // Buckets through `end_bucket` are now sealed engine-wide — even
+        // if a shard reported an error below: some shards may have sealed
+        // their caches, and accepting a late record into a sealed bucket
+        // would silently corrupt every future window, which is worse than
+        // rejecting a record no evaluation ever covered.
+        let frontier = (end_bucket + 1) * self.config.spec.bucket_millis;
+        self.sealed_frontier_millis = Some(
+            self.sealed_frontier_millis
+                .unwrap_or(frontier)
+                .max(frontier),
+        );
+
+        let outcome = self.merge_reports(reports)?;
+        let fresh = outcome.topk_slocs();
+        let (changed, entered, left) = diff_topk(self.previous.as_deref(), &fresh);
+        self.previous = Some(fresh);
+        Ok(ContinuousUpdate {
+            outcome,
+            changed,
+            entered,
+            left,
+            window,
+        })
+    }
+
+    fn current(&self) -> Option<&[SLocId]> {
+        self.previous.as_deref()
+    }
+}
+
+impl Drop for ServeEngine {
+    fn drop(&mut self) {
+        for sender in &self.senders {
+            // A worker that already exited is fine.
+            let _ = sender.send(ShardMsg::Shutdown);
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}

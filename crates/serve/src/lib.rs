@@ -1,0 +1,194 @@
+//! `popflow-serve` — sharded streaming ingestion and incremental
+//! continuous top-k serving for indoor flow queries.
+//!
+//! The batch algorithms in `popflow-core` answer one Top-k Popular
+//! Location Query at a time; the paper's §7 names the *online and
+//! continuous* version as the open direction. This crate is that
+//! direction taken to a serving shape:
+//!
+//! ```text
+//!            records (time-ordered stream)
+//!                       │ hash(oid)
+//!        ┌──────────────┼──────────────┐
+//!        ▼              ▼              ▼
+//!   shard worker 0  shard worker 1 … shard worker N-1   (std::thread + mpsc)
+//!   ┌───────────┐   ┌───────────┐
+//!   │ IUPT part │   │ IUPT part │   per-object records, own TimeIndex
+//!   │ buckets:  │   │ buckets:  │   sealed buckets cache per-object
+//!   │ [b₀][b₁]… │   │ [b₀][b₁]… │   window contributions
+//!   └─────┬─────┘   └─────┬─────┘
+//!         └───────┬───────┘
+//!                 ▼  advance(now)
+//!        merge by object id → rank_topk → ContinuousUpdate
+//! ```
+//!
+//! * **Ingestion** partitions records by object across worker threads;
+//!   each worker owns one IUPT partition (its own 1D R-tree time index).
+//! * **The sliding window is bucketed** ([`popflow_core::WindowSpec`]):
+//!   a slide evicts expired buckets and seals newly completed ones
+//!   instead of recomputing history.
+//! * **Evaluation is incremental but exact**: per sealed bucket each
+//!   object's contribution is cached; only objects whose records straddle
+//!   bucket boundaries are recomputed over the full window, through the
+//!   same per-object kernel
+//!   ([`popflow_core::object_flow_contributions`]) the batch Nested-Loop
+//!   search uses, accumulated in the same object-id order — so every
+//!   advance reports *bit-identical* flows to a batch recomputation over
+//!   the same window.
+//!
+//! The recompute-per-slide baseline lives in `popflow-core`
+//! ([`popflow_core::RecomputeEngine`]); both implement
+//! [`popflow_core::ContinuousEngine`] and are compared head-to-head by
+//! the `streaming` experiment and `serve_demo` example in `popflow-eval`.
+
+mod engine;
+mod shard;
+
+pub use engine::{ServeConfig, ServeEngine, ServeStats};
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use indoor_iupt::fixtures::paper_table2;
+    use indoor_iupt::{Record, Timestamp};
+    use indoor_model::fixtures::paper_figure1;
+    use indoor_sim::{Scenario, World};
+    use popflow_core::{
+        ContinuousEngine, FlowConfig, FlowError, QuerySet, RecomputeEngine, WindowSpec,
+    };
+
+    use super::*;
+
+    fn paper_engine(spec: WindowSpec, shards: usize) -> (ServeEngine, Arc<IndoorSpaceAlias>) {
+        let fig = paper_figure1();
+        let space = Arc::new(fig.space.clone());
+        let cfg = ServeConfig::new(2, QuerySet::new(fig.r.to_vec()), spec)
+            .with_shards(shards)
+            .with_flow(FlowConfig::default().with_full_product_normalization());
+        (ServeEngine::new(Arc::clone(&space), cfg), space)
+    }
+
+    type IndoorSpaceAlias = indoor_model::IndoorSpace;
+
+    #[test]
+    fn paper_example_topk_served() {
+        let (mut engine, _space) = paper_engine(WindowSpec::new(2_000, 4), 3);
+        engine
+            .ingest_all(paper_table2().records().to_vec())
+            .unwrap();
+        // Window at t=8999: buckets 0..=3 = [0, 7999] — the full Table 2.
+        let update = engine.advance(Timestamp(8_999)).unwrap();
+        let fig = paper_figure1();
+        assert_eq!(update.outcome.ranking[0].sloc, fig.r[5]);
+        assert!((update.outcome.ranking[0].flow - 1.85).abs() < 1e-9);
+        assert!(update.changed);
+        assert_eq!(engine.current().unwrap(), update.outcome.topk_slocs());
+        let stats = engine.stats();
+        assert_eq!(stats.records_ingested, 10);
+        assert_eq!(stats.advances, 1);
+    }
+
+    #[test]
+    fn matches_recompute_engine_on_every_slide() {
+        let world = World::generate(Scenario::tiny().with_seed(5));
+        let space = Arc::new(world.space.clone());
+        let slocs: Vec<_> = world.space.slocs().iter().map(|s| s.id).collect();
+        let spec = WindowSpec::new(30_000, 4); // 30 s buckets, 2 min window
+        let flow = FlowConfig::default().with_dp_engine();
+
+        let serve_cfg = ServeConfig::new(3, QuerySet::new(slocs.clone()), spec)
+            .with_shards(3)
+            .with_flow(flow);
+        let mut serve = ServeEngine::new(Arc::clone(&space), serve_cfg);
+        let mut batch =
+            RecomputeEngine::new(Arc::clone(&space), 3, QuerySet::new(slocs), spec, flow);
+
+        let records: Vec<Record> = world.iupt.records().to_vec();
+        let mut next = 0usize;
+        for slide in 1..=12 {
+            let now = Timestamp::from_secs(slide * 45);
+            while next < records.len() && records[next].t <= now {
+                serve.ingest(records[next].clone()).unwrap();
+                batch.ingest(records[next].clone()).unwrap();
+                next += 1;
+            }
+            let a = serve.advance(now).unwrap();
+            let b = batch.advance(now).unwrap();
+            assert_eq!(a.window, b.window, "slide {slide}");
+            assert_eq!(
+                a.outcome.topk_slocs(),
+                b.outcome.topk_slocs(),
+                "slide {slide}"
+            );
+            // Bit-identical flows, not merely equal rankings.
+            for (x, y) in a.outcome.ranking.iter().zip(b.outcome.ranking.iter()) {
+                assert_eq!(x.flow.to_bits(), y.flow.to_bits(), "slide {slide}");
+            }
+            assert_eq!(a.changed, b.changed);
+            assert_eq!(a.entered, b.entered);
+            assert_eq!(a.left, b.left);
+        }
+        // The windows genuinely slid and the caches were exercised.
+        let stats = serve.stats();
+        assert_eq!(stats.advances, 12);
+        assert!(stats.cache_hits > 0, "no cached window objects: {stats:?}");
+    }
+
+    #[test]
+    fn rejects_out_of_order_and_late_records_without_dying() {
+        let (mut engine, _space) = paper_engine(WindowSpec::new(1_000, 2), 2);
+        let records = paper_table2().records().to_vec();
+        engine.ingest(records[5].clone()).unwrap();
+        // Out of order.
+        let err = engine.ingest(records[0].clone()).unwrap_err();
+        assert!(matches!(err, FlowError::TimeRegression { .. }));
+        // Advance seals through bucket 4 (frontier t=5000); a record at
+        // t=4500 is late even though it is after the last ingest.
+        engine.advance(Timestamp(4_999)).unwrap();
+        let late = Record {
+            t: Timestamp(4_500),
+            ..records[5].clone()
+        };
+        let err = engine.ingest(late).unwrap_err();
+        assert!(matches!(err, FlowError::TimeRegression { .. }));
+        assert_eq!(engine.stats().records_rejected, 2);
+        // The engine still serves.
+        engine.ingest(records[9].clone()).unwrap();
+        let update = engine.advance(Timestamp(8_999)).unwrap();
+        assert_eq!(update.outcome.ranking.len(), 2);
+        assert_eq!(engine.stats().records_ingested, 2);
+    }
+
+    #[test]
+    fn advance_is_monotonic() {
+        let (mut engine, _space) = paper_engine(WindowSpec::new(1_000, 1), 1);
+        engine.advance(Timestamp(5_000)).unwrap();
+        let err = engine.advance(Timestamp(4_000)).unwrap_err();
+        assert!(matches!(err, FlowError::TimeRegression { .. }));
+        engine.advance(Timestamp(5_000)).unwrap(); // idempotent re-advance ok
+    }
+
+    #[test]
+    fn shard_count_does_not_change_results() {
+        let fig = paper_figure1();
+        let records = paper_table2().records().to_vec();
+        let mut rankings = Vec::new();
+        for shards in [1, 2, 5] {
+            let (mut engine, _space) = paper_engine(WindowSpec::new(4_000, 2), shards);
+            engine.ingest_all(records.clone()).unwrap();
+            let update = engine.advance(Timestamp::from_secs(8)).unwrap();
+            rankings.push(
+                update
+                    .outcome
+                    .ranking
+                    .iter()
+                    .map(|r| (r.sloc, r.flow.to_bits()))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        assert_eq!(rankings[0], rankings[1]);
+        assert_eq!(rankings[0], rankings[2]);
+        let _ = fig;
+    }
+}

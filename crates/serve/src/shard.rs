@@ -1,0 +1,251 @@
+//! The shard worker: one thread owning one object-partition of the
+//! positioning log, its bucket caches, and the per-advance evaluation of
+//! its objects.
+//!
+//! # Caching scheme
+//!
+//! Each sealed bucket stores, per object with records in it, the object's
+//! [`ObjectContribution`] computed over its *bucket-local* subsequence
+//! (or a pruned marker when its PSLs miss the query set). At advance
+//! time the window's flow decomposes per object:
+//!
+//! * an object whose windowed records all fall in **one** bucket
+//!   contributes exactly its cached bucket contribution — presence over
+//!   the bucket-local subsequence *is* presence over the windowed
+//!   sequence, so the cache is exact, not an approximation;
+//! * an object whose records **straddle** bucket boundaries has a
+//!   non-additive presence (possible paths cross the boundary), so the
+//!   worker recomputes it exactly over the full windowed sequence via the
+//!   same [`object_flow_contributions`] kernel the batch search uses.
+//!
+//! Sliding the window therefore evicts and seals buckets instead of
+//! recomputing history: per advance only the freshly sealed bucket's
+//! objects plus the straddlers pay presence computation.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+
+use indoor_iupt::{Iupt, ObjectId, Record, SampleSet};
+use indoor_model::IndoorSpace;
+use popflow_core::{
+    object_flow_contributions, FlowConfig, FlowError, ObjectContribution, QuerySet, WindowSpec,
+};
+
+/// Messages the coordinator sends a shard worker. Each worker drains its
+/// queue in order, so an `Advance` observes every record routed before it.
+pub(crate) enum ShardMsg {
+    /// Append one record (already validated and routed by the engine).
+    Ingest(Record),
+    /// Seal buckets through `window_end`, evaluate the window
+    /// `[window_start, window_end]` (bucket indices, inclusive), reply
+    /// with this shard's per-object contributions.
+    Advance {
+        window_start: i64,
+        window_end: i64,
+        reply: Sender<ShardReport>,
+    },
+    /// Drain and exit.
+    Shutdown,
+}
+
+/// One shard's answer to an `Advance`.
+pub(crate) struct ShardReport {
+    /// Non-pruned objects in the window with their contributions,
+    /// ascending by object id. `Arc` because cached contributions are
+    /// shared with the bucket caches across many advances — a window
+    /// object costs one refcount bump per slide, not two `Vec` clones.
+    pub contributions: Vec<(ObjectId, Arc<ObjectContribution>)>,
+    /// Distinct objects with records in the window (including pruned).
+    pub objects_total: usize,
+    /// Objects served from a sealed bucket's cache.
+    pub cache_hits: usize,
+    /// Objects recomputed exactly because their records straddle buckets.
+    pub straddlers: usize,
+    /// Presence computations performed during this advance (bucket
+    /// sealing + straddlers).
+    pub fresh_presence: usize,
+    /// First error hit, if any (the report is then partial).
+    pub error: Option<FlowError>,
+}
+
+/// One object's sealed state within one bucket.
+struct CachedObject {
+    /// The object's raw bucket-local sample sets, in time order — kept so
+    /// a straddler's windowed sequence is the concatenation of its cached
+    /// bucket slices, with no rescan of the shard's record log.
+    sets: Vec<SampleSet>,
+    /// The bucket-local contribution (`None` when PSL-pruned).
+    contribution: Option<Arc<ObjectContribution>>,
+}
+
+/// Per-bucket cache: every object with records in the bucket.
+type BucketCache = BTreeMap<ObjectId, CachedObject>;
+
+/// The state owned by one worker thread.
+pub(crate) struct ShardWorker {
+    space: Arc<IndoorSpace>,
+    query_set: QuerySet,
+    cfg: FlowConfig,
+    spec: WindowSpec,
+    /// This shard's partition of the positioning log.
+    iupt: Iupt,
+    /// Sealed buckets by index; evicted once they leave the window.
+    buckets: BTreeMap<i64, BucketCache>,
+    /// Highest bucket index sealed so far.
+    sealed_through: Option<i64>,
+}
+
+impl ShardWorker {
+    pub(crate) fn new(
+        space: Arc<IndoorSpace>,
+        query_set: QuerySet,
+        cfg: FlowConfig,
+        spec: WindowSpec,
+    ) -> Self {
+        ShardWorker {
+            space,
+            query_set,
+            cfg,
+            spec,
+            iupt: Iupt::new(),
+            buckets: BTreeMap::new(),
+            sealed_through: None,
+        }
+    }
+
+    /// The worker thread body: drain messages until `Shutdown` or the
+    /// engine drops its sender.
+    pub(crate) fn run(mut self, inbox: Receiver<ShardMsg>) {
+        while let Ok(msg) = inbox.recv() {
+            match msg {
+                ShardMsg::Ingest(record) => self.iupt.push(record),
+                ShardMsg::Advance {
+                    window_start,
+                    window_end,
+                    reply,
+                } => {
+                    let report = self.evaluate(window_start, window_end);
+                    // The engine may have given up waiting; a dead reply
+                    // channel is not this worker's problem.
+                    let _ = reply.send(report);
+                }
+                ShardMsg::Shutdown => break,
+            }
+        }
+    }
+
+    /// Seals buckets through `window_end`, then assembles the shard's
+    /// window contributions.
+    fn evaluate(&mut self, window_start: i64, window_end: i64) -> ShardReport {
+        let mut report = ShardReport {
+            contributions: Vec::new(),
+            objects_total: 0,
+            cache_hits: 0,
+            straddlers: 0,
+            fresh_presence: 0,
+            error: None,
+        };
+
+        if let Err(e) = self.seal_through(window_start, window_end, &mut report.fresh_presence) {
+            report.error = Some(e);
+            return report;
+        }
+        // Buckets that slid out of the window are never consulted again.
+        self.buckets.retain(|&b, _| b >= window_start);
+
+        // Which buckets of the window does each object appear in? Most
+        // objects appear in exactly one, so track (first bucket, bucket
+        // count) instead of materializing per-object bucket lists.
+        let mut presence: HashMap<ObjectId, (i64, u32)> = HashMap::new();
+        for (&b, cache) in self.buckets.range(window_start..=window_end) {
+            for &oid in cache.keys() {
+                presence
+                    .entry(oid)
+                    .and_modify(|e| e.1 += 1)
+                    .or_insert((b, 1));
+            }
+        }
+        report.objects_total = presence.len();
+
+        for (&oid, &(first_bucket, bucket_count)) in &presence {
+            if bucket_count == 1 {
+                report.cache_hits += 1;
+                let cached = self.buckets[&first_bucket]
+                    .get(&oid)
+                    .expect("presence map lists cached objects only");
+                if let Some(contribution) = &cached.contribution {
+                    report.contributions.push((oid, Arc::clone(contribution)));
+                }
+            } else {
+                // The windowed sequence is the concatenation of the
+                // object's cached bucket slices (buckets ascend, each
+                // slice is time-ordered): recompute it exactly.
+                report.straddlers += 1;
+                let sets = self
+                    .buckets
+                    .range(first_bucket..=window_end)
+                    .filter_map(|(_, cache)| cache.get(&oid))
+                    .flat_map(|cached| cached.sets.iter());
+                match object_flow_contributions(&self.space, sets, &self.query_set, &self.cfg) {
+                    Ok(Some(contribution)) => {
+                        report.fresh_presence += 1;
+                        report.contributions.push((oid, Arc::new(contribution)));
+                    }
+                    // PSL-pruned over the full window: no presence was
+                    // computed, matching the batch `objects_computed`
+                    // accounting.
+                    Ok(None) => {}
+                    Err(e) => {
+                        report.error = Some(e);
+                        return report;
+                    }
+                }
+            }
+        }
+        report.contributions.sort_unstable_by_key(|(oid, _)| *oid);
+        report
+    }
+
+    /// Computes and caches the contributions of every not-yet-sealed
+    /// bucket in `[window_start, window_end]`. Buckets before
+    /// `window_start` that were never sealed are skipped — the window
+    /// has already moved past them.
+    fn seal_through(
+        &mut self,
+        window_start: i64,
+        window_end: i64,
+        fresh: &mut usize,
+    ) -> Result<(), FlowError> {
+        let first_unsealed = self.sealed_through.map_or(i64::MIN, |s| s + 1);
+        for b in first_unsealed.max(window_start)..=window_end {
+            if self.buckets.contains_key(&b) {
+                continue;
+            }
+            let interval = self.spec.bucket_interval(b);
+            let mut cache: BucketCache = BTreeMap::new();
+            let ShardWorker {
+                space,
+                query_set,
+                cfg,
+                iupt,
+                ..
+            } = self;
+            for seq in iupt.sequences_in(interval) {
+                let sets: Vec<SampleSet> = seq.records.iter().map(|r| r.samples.clone()).collect();
+                let contribution =
+                    object_flow_contributions(space, sets.iter(), query_set, cfg)?.map(Arc::new);
+                // PSL-pruned objects performed no presence computation —
+                // count like the batch search's `objects_computed`.
+                *fresh += usize::from(contribution.is_some());
+                cache.insert(seq.oid, CachedObject { sets, contribution });
+            }
+            self.buckets.insert(b, cache);
+        }
+        self.sealed_through = Some(
+            self.sealed_through
+                .map_or(window_end, |s| s.max(window_end)),
+        );
+        Ok(())
+    }
+}

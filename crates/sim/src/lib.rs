@@ -13,6 +13,7 @@ pub mod mobility;
 pub mod positioning;
 pub mod rfid_sim;
 pub mod scenario;
+pub mod stream;
 pub mod trajectory;
 
 pub use building_gen::{generate_building, BuildingGenConfig};
@@ -21,4 +22,5 @@ pub use mobility::{simulate_mobility, MobilityConfig};
 pub use positioning::{generate_iupt, PositioningConfig, SampleSizePolicy};
 pub use rfid_sim::{deploy_readers, generate_rfid_data, RfidConfig};
 pub use scenario::{Scenario, World};
+pub use stream::{RecordStream, StreamScenario};
 pub use trajectory::{MotionEvent, Trajectory};

@@ -36,14 +36,14 @@ fn main() {
 
     let intra: Vec<_> = sets
         .iter()
-        .map(|s| reduction::intra_merge(&fig.space, s))
+        .map(|s| reduction::intra_merge(&fig.space, s).unwrap())
         .collect();
     println!("\nafter intra-merge (p8 folds into p6 ≡ p8; |P| bound = 16):");
     for (i, s) in intra.iter().enumerate() {
         println!("  X{} = {s}", i + 1);
     }
 
-    let reduced = reduction::scan_sequence(&fig.space, sets.iter(), true);
+    let reduced = reduction::scan_sequence(&fig.space, sets.iter(), true).unwrap();
     println!("\nafter inter-merge (X3, X4 share support {{p5, p6}}; |P| bound = 8):");
     for (i, s) in reduced.sets.iter().enumerate() {
         println!("  X{} = {s}", i + 1);
@@ -57,7 +57,7 @@ fn main() {
         .collect();
     println!("\no2's possible semantic locations: {psl_names:?}");
     let q = QuerySet::new(vec![fig.r[2]]); // {r3}
-    let pruned = reduction::reduce_for_query(&fig.space, sets.iter(), &q, true);
+    let pruned = reduction::reduce_for_query(&fig.space, sets.iter(), &q, true).unwrap();
     println!("query {{r3}} prunes o2 entirely: {}", pruned.is_none());
 
     // ---- Part 2: reduction on simulated Wi-Fi data.
@@ -70,7 +70,7 @@ fn main() {
     let mut reduced_bound: f64 = 0.0;
     for seq in iupt.sequences_in(window) {
         let sets: Vec<_> = seq.records.iter().map(|r| r.samples.clone()).collect();
-        let red = reduction::scan_sequence(space, sets.iter(), true);
+        let red = reduction::scan_sequence(space, sets.iter(), true).unwrap();
         raw_sets += sets.len();
         reduced_sets += red.sets.len();
         raw_bound += (sets

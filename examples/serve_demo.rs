@@ -1,0 +1,83 @@
+//! Serving demo: a simulated day of visitor tracking replayed through
+//! the sharded incremental `popflow-serve` engine, head-to-head against
+//! the recompute-per-slide baseline.
+//!
+//! The stream is ingested in timestamp order across shard worker
+//! threads; once per bucket the standing top-k query advances its
+//! sliding window. Both engines evaluate identical windows and must
+//! report identical rankings — the demo audits that on every slide while
+//! reporting throughput and advance-latency percentiles.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p popflow-eval --example serve_demo
+//! ```
+//! Optionally pass a population scale factor (default 0.1 ≈ 300
+//! visitors): `... --example serve_demo -- 0.5`
+
+use popflow_eval::experiments::streaming::{run_streaming, EngineMetrics, StreamingConfig};
+
+fn print_engine(m: &EngineMetrics) {
+    println!(
+        "  {:<14} mean {:>8.3} ms   p50 {:>8.3} ms   p99 {:>8.3} ms   {:>9.0} rec/s ingest   {:>7} presence computations",
+        m.name,
+        m.mean_ms(),
+        m.quantile_ms(0.50),
+        m.quantile_ms(0.99),
+        m.records_per_sec(),
+        m.presence_computations,
+    );
+}
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(0.1);
+    let cfg = StreamingConfig::scaled(scale, 0x5e2e);
+    println!(
+        "streaming a simulated day: {} visitors over {} h, visits {}–{} s",
+        cfg.scenario.num_objects,
+        cfg.scenario.duration_secs / 3600,
+        cfg.scenario.visit_secs.0,
+        cfg.scenario.visit_secs.1,
+    );
+    println!(
+        "standing query: top-{} over a {}-bucket window of {} s buckets ({} shards)\n",
+        cfg.k, cfg.window_buckets, cfg.bucket_secs, cfg.num_shards,
+    );
+
+    let report = run_streaming(&cfg);
+    println!(
+        "replayed {} records through both engines, {} window slides:",
+        report.incremental.records, report.slides
+    );
+    print_engine(&report.incremental);
+    print_engine(&report.baseline);
+    println!(
+        "\nadvance speedup: {:.1}x wall-clock, {:.1}x presence work",
+        report.speedup, report.work_ratio
+    );
+
+    if report.mismatched_slides == 0 {
+        println!(
+            "per-slide audit: all {} top-k lists identical across engines ✓",
+            report.slides
+        );
+    } else {
+        println!(
+            "per-slide audit: {} of {} slides DIVERGED ✗",
+            report.mismatched_slides, report.slides
+        );
+        std::process::exit(1);
+    }
+
+    // The demo doubles as a smoke test: a collapsed speedup or any
+    // divergence is a regression worth failing loudly on.
+    if report.speedup < 2.0 {
+        eprintln!(
+            "warning: incremental speedup {:.2}x below the expected envelope",
+            report.speedup
+        );
+    }
+}

@@ -106,7 +106,7 @@ fn example4_top1_query_all_algorithms() {
 fn figure4_reduction_trace() {
     let fig = paper_figure1();
     let sets = sets_of(O2);
-    let reduced = reduction::scan_sequence(&fig.space, sets.iter(), true);
+    let reduced = reduction::scan_sequence(&fig.space, sets.iter(), true).unwrap();
     // 4 raw sets → 3 after inter-merge; |P| bound 36 → 8.
     assert_eq!(reduced.sets.len(), 3);
     assert_eq!(reduced.max_paths(), 8);
@@ -122,5 +122,9 @@ fn psl_pruning_matches_paper_narrative() {
     let fig = paper_figure1();
     let sets = sets_of(O3);
     let q = QuerySet::new(vec![fig.r[0], fig.r[1], fig.r[4]]);
-    assert!(reduction::reduce_for_query(&fig.space, sets.iter(), &q, true).is_none());
+    assert!(
+        reduction::reduce_for_query(&fig.space, sets.iter(), &q, true)
+            .unwrap()
+            .is_none()
+    );
 }

@@ -138,8 +138,8 @@ proptest! {
             by_oid.entry(r.oid).or_default().push(r.samples.clone());
         }
         for sets in by_oid.values() {
-            let with = reduction::scan_sequence(&space, sets.iter(), true);
-            let without = reduction::scan_sequence(&space, sets.iter(), false);
+            let with = reduction::scan_sequence(&space, sets.iter(), true).unwrap();
+            let without = reduction::scan_sequence(&space, sets.iter(), false).unwrap();
             prop_assert!(with.sets.len() <= without.sets.len());
             prop_assert!(with.max_paths() <= without.max_paths());
             prop_assert_eq!(&with.psls, &without.psls);
@@ -150,7 +150,9 @@ proptest! {
             if let Some(&first) = with.psls.first() {
                 let hit = QuerySet::new(vec![first]);
                 prop_assert!(
-                    reduction::reduce_for_query(&space, sets.iter(), &hit, true).is_some()
+                    reduction::reduce_for_query(&space, sets.iter(), &hit, true)
+                        .unwrap()
+                        .is_some()
                 );
             }
         }
