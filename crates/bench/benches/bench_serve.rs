@@ -1,7 +1,7 @@
 //! Serving-path benchmark (ours): the incremental sharded
-//! `popflow-serve` engine vs. the recompute-per-slide baseline on one
-//! replayed visitor stream — the whole ingest-and-advance loop, at two
-//! window/bucket ratios.
+//! `popflow-serve` engine — eager and bound-pruned advances — vs. the
+//! recompute-per-slide baseline on one replayed visitor stream — the
+//! whole ingest-and-advance loop, at two window/bucket ratios.
 
 use std::sync::Arc;
 
@@ -34,6 +34,24 @@ fn bench(c: &mut Criterion) {
                         Arc::clone(&space),
                         ServeConfig::new(cfg.k, QuerySet::new(slocs.clone()), spec)
                             .with_shards(cfg.num_shards)
+                            .with_flow(flow),
+                    );
+                    drive_stream(&mut engine, records, spec, duration)
+                        .topks
+                        .len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pruned", format!("w/b={ratio}")),
+            &ratio,
+            |b, _| {
+                b.iter(|| {
+                    let mut engine = ServeEngine::new(
+                        Arc::clone(&space),
+                        ServeConfig::new(cfg.k, QuerySet::new(slocs.clone()), spec)
+                            .with_shards(cfg.num_shards)
+                            .with_bound_pruning()
                             .with_flow(flow),
                     );
                     drive_stream(&mut engine, records, spec, duration)

@@ -12,7 +12,7 @@ use crate::config::{FlowConfig, FlowError, Normalization, PresenceEngine};
 use crate::dp::presence_dp;
 use crate::paths::{build_paths_tracking, full_product_mass, TrackedPathSet};
 use crate::presence::presence_prepared_tracked;
-use crate::query_set::QuerySet;
+use crate::query_set::{intersect_sorted, QuerySet};
 use crate::reduction::{reduce_for_query, scan_sequence};
 
 /// Result of a single-location flow computation.
@@ -91,16 +91,46 @@ pub fn object_flow_contributions<'a, I>(
 where
     I: IntoIterator<Item = &'a SampleSet>,
 {
+    object_flow_contributions_for(space, sets, query_set.slocs(), query_set, cfg)
+}
+
+/// The lazy half of [`object_flow_contributions`]: one object's
+/// contributions restricted to `locs`, a **sorted** subset of
+/// `query_set`. The bound-pruned serving path uses this to evaluate only
+/// the (location, object) pairs its COUNT upper bounds could not rule
+/// out.
+///
+/// Per-location presence does not depend on which other locations are
+/// evaluated alongside it — paths, probabilities, and normalization
+/// denominators are all per-object quantities — so for every location in
+/// `locs` the returned score is **bit-identical** to the one the full
+/// kernel computes for the same sequence over the whole query set.
+///
+/// PSL pruning (`Ok(None)`) still tests against the *full* `query_set`,
+/// exactly like the eager kernel, so both paths agree on which objects
+/// count as pruned.
+pub fn object_flow_contributions_for<'a, I>(
+    space: &IndoorSpace,
+    sets: I,
+    locs: &[SLocId],
+    query_set: &QuerySet,
+    cfg: &FlowConfig,
+) -> Result<Option<ObjectContribution>, FlowError>
+where
+    I: IntoIterator<Item = &'a SampleSet>,
+{
+    debug_assert!(locs.windows(2).all(|w| w[0] < w[1]), "locs must be sorted");
     let scanned = scan_sequence(space, sets, cfg.use_reduction)?;
     // PSL pruning applies only with data reduction on; the paper's -ORG
     // variants report a pruning ratio of 0.
     if cfg.use_reduction && !query_set.intersects_sorted(&scanned.psls) {
         return Ok(None);
     }
-    let relevant = query_set.intersection_sorted(&scanned.psls);
+    let relevant = intersect_sorted(locs, &scanned.psls);
     if relevant.is_empty() {
-        // Only reachable for -ORG runs: the object cannot contribute, but
-        // it was still processed (its cost is the point of -ORG).
+        // Reachable for -ORG runs and for lazy requests whose locations
+        // all miss this object's PSLs: the object cannot contribute to
+        // `locs`, but it was still processed.
         return Ok(Some(ObjectContribution::default()));
     }
     let (scores, dp_fallback) = contributions_for(space, &scanned.sets, &relevant, query_set, cfg)?;
@@ -320,6 +350,86 @@ mod tests {
                 en.flow,
                 dp.flow
             );
+        }
+    }
+
+    /// The lazy per-location kernel must return, for every requested
+    /// location, the bit-identical score the full kernel computes —
+    /// across engines and normalizations, and for every subset shape.
+    #[test]
+    fn partial_kernel_scores_bit_identical_to_full() {
+        let fig = paper_figure1();
+        let mut iupt = paper_table2();
+        let query_set = QuerySet::new(fig.r.to_vec());
+        for cfg in [
+            FlowConfig::default(),
+            FlowConfig::default().with_dp_engine(),
+            FlowConfig::default().with_full_product_normalization(),
+            FlowConfig::default().without_reduction(),
+        ] {
+            for seq in iupt.sequences_in(interval()) {
+                let full = object_flow_contributions(
+                    &fig.space,
+                    seq.records.iter().map(|r| &r.samples),
+                    &query_set,
+                    &cfg,
+                )
+                .unwrap();
+                let Some(full) = full else { continue };
+                // Every single-location request and the all-but-one ones.
+                for (i, &q) in full.relevant.iter().enumerate() {
+                    let part = object_flow_contributions_for(
+                        &fig.space,
+                        seq.records.iter().map(|r| &r.samples),
+                        &[q],
+                        &query_set,
+                        &cfg,
+                    )
+                    .unwrap()
+                    .expect("candidate location cannot be pruned");
+                    assert_eq!(part.relevant, vec![q]);
+                    assert_eq!(
+                        part.scores[0].to_bits(),
+                        full.scores[i].to_bits(),
+                        "cfg {cfg:?} object {} location {q}",
+                        seq.oid
+                    );
+                    assert_eq!(part.dp_fallback, full.dp_fallback);
+                }
+                let rest: Vec<_> = full.relevant[1..].to_vec();
+                if !rest.is_empty() {
+                    let part = object_flow_contributions_for(
+                        &fig.space,
+                        seq.records.iter().map(|r| &r.samples),
+                        &rest,
+                        &query_set,
+                        &cfg,
+                    )
+                    .unwrap()
+                    .unwrap();
+                    assert_eq!(part.relevant, rest);
+                    for (s, f) in part.scores.iter().zip(&full.scores[1..]) {
+                        assert_eq!(s.to_bits(), f.to_bits());
+                    }
+                }
+            }
+        }
+    }
+
+    /// `scan_psls` returns exactly the PSL list `scan_sequence` computes.
+    #[test]
+    fn scan_psls_matches_scan_sequence() {
+        let fig = paper_figure1();
+        let mut iupt = paper_table2();
+        for seq in iupt.sequences_in(interval()) {
+            let cheap =
+                crate::reduction::scan_psls(&fig.space, seq.records.iter().map(|r| &r.samples));
+            for merge in [true, false] {
+                let scanned =
+                    scan_sequence(&fig.space, seq.records.iter().map(|r| &r.samples), merge)
+                        .unwrap();
+                assert_eq!(cheap, scanned.psls, "object {} merge {merge}", seq.oid);
+            }
         }
     }
 

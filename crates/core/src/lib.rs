@@ -52,11 +52,14 @@ pub mod reduction;
 
 pub use bitset::SmallBitset;
 pub use config::{FlowConfig, FlowError, Normalization, PresenceEngine};
-pub use flow::{flow, object_flow_contributions, FlowComputation, ObjectContribution};
+pub use flow::{
+    flow, object_flow_contributions, object_flow_contributions_for, FlowComputation,
+    ObjectContribution,
+};
 pub use query::{
     best_first, diff_topk, naive, nested_loop, rank_topk, sloc_area, top_k_dense, ContinuousEngine,
-    ContinuousTkPlq, ContinuousUpdate, QueryOutcome, RankedLocation, RecomputeEngine, SearchStats,
-    TkPlQuery, WindowSpec,
+    ContinuousTkPlq, ContinuousUpdate, LocationBound, QueryOutcome, RankedLocation,
+    RecomputeEngine, SearchStats, ThresholdHeap, ThresholdStep, TkPlQuery, WindowSpec,
 };
-pub use query_set::QuerySet;
-pub use reduction::{reduce_for_query, scan_sequence, ReducedSequence};
+pub use query_set::{intersect_sorted, QuerySet};
+pub use reduction::{reduce_for_query, scan_psls, scan_sequence, ReducedSequence};

@@ -19,6 +19,7 @@
 //! (re-runs the Nested-Loop search per slide — the baseline) and the
 //! sharded incremental engine in `popflow-serve`.
 
+use std::collections::HashSet;
 use std::sync::Arc;
 
 use indoor_iupt::{Iupt, Record, TimeInterval, Timestamp};
@@ -71,11 +72,14 @@ impl WindowSpec {
         )
     }
 
-    /// The last bucket fully elapsed at wall-clock `now` (bucket `b` is
-    /// complete once `now ≥ (b+1)·width − 1`). May be negative when `now`
-    /// precedes the first full bucket.
+    /// The last bucket fully elapsed at wall-clock `now`. Bucket `b`
+    /// covers the closed range `[b·width, (b+1)·width − 1]`, so it is
+    /// complete only once `now ≥ (b+1)·width`: at `now = (b+1)·width − 1`
+    /// the bucket's final millisecond is still the current instant and
+    /// may yet produce records. May be negative when `now` precedes the
+    /// first full bucket.
     pub fn last_complete_bucket(&self, now: Timestamp) -> i64 {
-        (now.millis() + 1).div_euclid(self.bucket_millis) - 1
+        self.bucket_of(now) - 1
     }
 
     /// The evaluation window at `now`: the last `window_buckets` complete
@@ -106,6 +110,22 @@ impl WindowSpec {
 /// Both methods return [`FlowError`] instead of panicking on malformed
 /// input (out-of-order records, backwards advances): a serving process
 /// must survive a bad record.
+///
+/// # Lateness and the sealed frontier
+///
+/// Bucket `b` covers the closed millisecond range
+/// `[b·width, (b+1)·width − 1]` and **seals** at the first advance whose
+/// `now ≥ (b+1)·width` — strictly after the bucket's final millisecond
+/// has elapsed, so a record timestamped `(b+1)·width − 1` that arrives
+/// at that same wall-clock instant is *not* late. An advance at `now`
+/// seals every bucket through [`WindowSpec::last_complete_bucket`]`(now)`
+/// and moves the *sealed frontier* to the end of that bucket (exclusive,
+/// i.e. `(last_complete + 1)·width`). From then on a record is **late**
+/// exactly when its timestamp lies strictly before the frontier: it
+/// would land inside evaluated, immutable history, so `ingest` rejects
+/// it with [`FlowError::TimeRegression`] rather than silently dropping
+/// it from every future window. Records at or after the frontier are
+/// accepted regardless of how much wall-clock time the advance took.
 pub trait ContinuousEngine {
     /// Engine name for reports and experiment tables.
     fn name(&self) -> &'static str;
@@ -137,15 +157,17 @@ pub fn diff_topk(
     match previous {
         None => (true, fresh.to_vec(), Vec::new()),
         Some(prev) => {
+            let prev_set: HashSet<SLocId> = prev.iter().copied().collect();
+            let fresh_set: HashSet<SLocId> = fresh.iter().copied().collect();
             let entered: Vec<SLocId> = fresh
                 .iter()
                 .copied()
-                .filter(|s| !prev.contains(s))
+                .filter(|s| !prev_set.contains(s))
                 .collect();
             let left: Vec<SLocId> = prev
                 .iter()
                 .copied()
-                .filter(|s| !fresh.contains(s))
+                .filter(|s| !fresh_set.contains(s))
                 .collect();
             (prev != fresh, entered, left)
         }
@@ -475,10 +497,13 @@ mod tests {
         assert_eq!(iv.start, Timestamp(2_000));
         assert_eq!(iv.end, Timestamp(2_999));
 
-        // Bucket 4 completes exactly at t = 4999.
+        // Bucket 4 covers [4000, 4999]; it completes only at t = 5000 —
+        // at t = 4999 its final millisecond is still current and may
+        // yet produce records (the window-frontier regression).
         assert_eq!(spec.last_complete_bucket(Timestamp(4_998)), 3);
-        assert_eq!(spec.last_complete_bucket(Timestamp(4_999)), 4);
-        let (end, window) = spec.window_at(Timestamp(4_999));
+        assert_eq!(spec.last_complete_bucket(Timestamp(4_999)), 3);
+        assert_eq!(spec.last_complete_bucket(Timestamp(5_000)), 4);
+        let (end, window) = spec.window_at(Timestamp(5_000));
         assert_eq!(end, 4);
         assert_eq!(window.start, Timestamp(2_000));
         assert_eq!(window.end, Timestamp(4_999));
@@ -488,6 +513,49 @@ mod tests {
             let b = spec.bucket_of(Timestamp(t));
             assert!(spec.bucket_interval(b).contains(Timestamp(t)), "t = {t}");
         }
+    }
+
+    /// The window-frontier regression: a record timestamped at the final
+    /// millisecond of a bucket, ingested immediately after an advance at
+    /// that very instant, must be accepted — the bucket is not yet
+    /// complete, so it was not sealed.
+    #[test]
+    fn frontier_timestamped_record_accepted_after_advance() {
+        let fig = paper_figure1();
+        let spec = WindowSpec::new(1_000, 2);
+        let mut engine = RecomputeEngine::new(
+            std::sync::Arc::new(fig.space.clone()),
+            1,
+            QuerySet::new(fig.r.to_vec()),
+            spec,
+            cfg(),
+        );
+        let template = paper_table2().records()[0].clone();
+        engine
+            .ingest(Record {
+                t: Timestamp(1_500),
+                ..template.clone()
+            })
+            .unwrap();
+        // Advance at the last millisecond of bucket 4: only buckets
+        // through 3 are sealed (frontier 4000), so a record arriving at
+        // that same instant — inside the still-open bucket 4 — is legal.
+        engine.advance(Timestamp(4_999)).unwrap();
+        engine
+            .ingest(Record {
+                t: Timestamp(4_999),
+                ..template.clone()
+            })
+            .unwrap();
+        // The bucket seals at t = 5000; from then on 4999 is late.
+        engine.advance(Timestamp(5_000)).unwrap();
+        let err = engine
+            .ingest(Record {
+                t: Timestamp(4_999),
+                ..template
+            })
+            .unwrap_err();
+        assert!(matches!(err, FlowError::TimeRegression { .. }));
     }
 
     #[test]

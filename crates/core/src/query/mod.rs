@@ -3,12 +3,14 @@
 //! (Algorithm 4).
 
 mod best_first;
+pub mod bounds;
 pub mod continuous;
 pub mod density;
 mod naive;
 mod nested_loop;
 
 pub use best_first::best_first;
+pub use bounds::{LocationBound, ThresholdHeap, ThresholdStep};
 pub use continuous::{
     diff_topk, ContinuousEngine, ContinuousTkPlq, ContinuousUpdate, RecomputeEngine, WindowSpec,
 };

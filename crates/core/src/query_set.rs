@@ -59,21 +59,29 @@ impl QuerySet {
 
     /// Intersection with a **sorted** slice, in ascending order.
     pub fn intersection_sorted(&self, sorted: &[SLocId]) -> Vec<SLocId> {
-        let mut out = Vec::new();
-        let (mut i, mut j) = (0, 0);
-        while i < self.slocs.len() && j < sorted.len() {
-            match self.slocs[i].cmp(&sorted[j]) {
-                std::cmp::Ordering::Less => i += 1,
-                std::cmp::Ordering::Greater => j += 1,
-                std::cmp::Ordering::Equal => {
-                    out.push(self.slocs[i]);
-                    i += 1;
-                    j += 1;
-                }
+        intersect_sorted(&self.slocs, sorted)
+    }
+}
+
+/// Intersection of two **sorted** `SLocId` slices, ascending — the
+/// free-standing counterpart of [`QuerySet::intersection_sorted`],
+/// shared by the per-location contribution kernel and the serve shard's
+/// lazy evaluation.
+pub fn intersect_sorted(a: &[SLocId], b: &[SLocId]) -> Vec<SLocId> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
             }
         }
-        out
     }
+    out
 }
 
 impl From<Vec<SLocId>> for QuerySet {

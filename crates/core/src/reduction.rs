@@ -95,6 +95,32 @@ where
     Ok(ReducedSequence { sets: out, psls })
 }
 
+/// Collects a sequence's possible semantic locations **without** running
+/// the merge pipeline — the cheap half of [`scan_sequence`], used by the
+/// bound-pruned serving path at bucket-seal time, when candidate lists
+/// are needed but no presence (and hence no reduced sequence) is.
+///
+/// Returns exactly the `psls` field [`scan_sequence`] would return for
+/// the same sets (sorted, deduplicated): PSLs come from the raw sample
+/// support, which the merge steps never change.
+pub fn scan_psls<'a, I>(space: &IndoorSpace, sets: I) -> Vec<SLocId>
+where
+    I: IntoIterator<Item = &'a SampleSet>,
+{
+    let matrix = space.matrix();
+    let mut psls: Vec<SLocId> = Vec::new();
+    for set in sets {
+        for loc in set.plocs() {
+            for cell in matrix.cells_of(loc).iter() {
+                psls.extend_from_slice(space.slocs_in_cell(cell));
+            }
+        }
+    }
+    psls.sort_unstable();
+    psls.dedup();
+    psls
+}
+
 /// [`scan_sequence`] plus the Algorithm 1 line 13 pruning: returns `None`
 /// when the object's PSLs do not intersect the query set, so the object can
 /// be excluded from flow computing entirely.

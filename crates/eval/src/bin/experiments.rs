@@ -4,7 +4,13 @@
 //!
 //! ```text
 //! experiments [EXP-ID ...] [--scale S] [--repeats N] [--seed S] [--tsv PATH]
+//!             [--bench-json PATH]
 //! ```
+//!
+//! The `streaming` experiment additionally writes a machine-readable
+//! benchmark report (records/s, p50/p99 advance latency, work ratios,
+//! presence_skipped) to `--bench-json` (default `BENCH_streaming.json`);
+//! CI archives it as a per-commit artifact.
 //!
 //! Experiment ids: table4 table5 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 //! fig14 fig15 fig16 fig17 fig18 fig19 fig20 fig21 table7 ablation-dp
@@ -24,7 +30,7 @@ const SYNTH_EXPS: &[&str] = &[
 const ABLATIONS: &[&str] = &["ablation-dp", "ablation-norm"];
 const STREAMING: &[&str] = &["streaming"];
 
-fn run_exp(id: &str, opts: &ExpOpts) -> Option<Vec<Row>> {
+fn run_exp(id: &str, opts: &ExpOpts, bench_json: &str) -> Option<Vec<Row>> {
     let rows = match id {
         "table4" => real::table4(opts),
         "table5" => real::table5(opts),
@@ -46,10 +52,20 @@ fn run_exp(id: &str, opts: &ExpOpts) -> Option<Vec<Row>> {
         "table7" => synthetic::table7(opts),
         "ablation-dp" => ablation::ablation_dp(opts),
         "ablation-norm" => ablation::ablation_norm(opts),
-        "streaming" => streaming::streaming(opts),
+        "streaming" => streaming::streaming_with_json(opts, Some(bench_json)),
         _ => return None,
     };
     Some(rows)
+}
+
+/// The value following a `--flag`, or a usage error (instead of an
+/// index-out-of-bounds panic when the value was forgotten).
+fn flag_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> &'a str {
+    *i += 1;
+    args.get(*i).map(String::as_str).unwrap_or_else(|| {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
+    })
 }
 
 fn main() {
@@ -57,31 +73,38 @@ fn main() {
     let mut opts = ExpOpts::default();
     let mut ids: Vec<String> = Vec::new();
     let mut tsv_path: Option<String> = None;
+    let mut bench_json = String::from("BENCH_streaming.json");
 
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--scale" => {
-                i += 1;
-                opts.scale = args[i].parse().expect("--scale takes a float");
+                opts.scale = flag_value(&args, &mut i, "--scale")
+                    .parse()
+                    .expect("--scale takes a float");
             }
             "--repeats" => {
-                i += 1;
-                opts.repeats = args[i].parse().expect("--repeats takes an integer");
+                opts.repeats = flag_value(&args, &mut i, "--repeats")
+                    .parse()
+                    .expect("--repeats takes an integer");
             }
             "--seed" => {
-                i += 1;
-                opts.seed = args[i].parse().expect("--seed takes an integer");
+                opts.seed = flag_value(&args, &mut i, "--seed")
+                    .parse()
+                    .expect("--seed takes an integer");
             }
             "--mc-rounds" => {
-                i += 1;
-                let r: usize = args[i].parse().expect("--mc-rounds takes an integer");
+                let r: usize = flag_value(&args, &mut i, "--mc-rounds")
+                    .parse()
+                    .expect("--mc-rounds takes an integer");
                 opts.mc_rounds_real = r;
                 opts.mc_rounds_synthetic = r;
             }
             "--tsv" => {
-                i += 1;
-                tsv_path = Some(args[i].clone());
+                tsv_path = Some(flag_value(&args, &mut i, "--tsv").to_string());
+            }
+            "--bench-json" => {
+                bench_json = flag_value(&args, &mut i, "--bench-json").to_string();
             }
             "all" => {
                 ids.extend(REAL_EXPS.iter().map(|s| s.to_string()));
@@ -99,7 +122,8 @@ fn main() {
     if ids.is_empty() {
         eprintln!(
             "usage: experiments [EXP-ID|all|real|synthetic|ablations ...] \
-             [--scale S] [--repeats N] [--seed S] [--mc-rounds N] [--tsv PATH]"
+             [--scale S] [--repeats N] [--seed S] [--mc-rounds N] [--tsv PATH] \
+             [--bench-json PATH]"
         );
         eprintln!("experiment ids: {REAL_EXPS:?} {SYNTH_EXPS:?} {ABLATIONS:?} {STREAMING:?}");
         std::process::exit(2);
@@ -112,7 +136,7 @@ fn main() {
     let mut all_rows: Vec<Row> = Vec::new();
     for id in &ids {
         let start = Instant::now();
-        match run_exp(id, &opts) {
+        match run_exp(id, &opts, &bench_json) {
             Some(rows) => {
                 println!("\n== {id} ({:.1}s) ==", start.elapsed().as_secs_f64());
                 println!("{}", render_table(&rows));

@@ -1,13 +1,15 @@
 //! Streaming throughput experiment: the incremental `popflow-serve`
-//! engine vs. the recompute-per-slide baseline on an identical replayed
-//! record stream — ingest throughput, advance latency (mean/p50/p99),
-//! and a per-slide top-k equality audit.
+//! engine — eager and bound-pruned — vs. the recompute-per-slide
+//! baseline on an identical replayed record stream — ingest throughput,
+//! advance latency (mean/p50/p99), presence-work accounting, and a
+//! per-slide top-k equality audit across all engines.
 //!
 //! The workload is a visitor-turnover venue (see
 //! [`indoor_sim::StreamScenario`]): tagged visitors pass through a
 //! building all day, the standing query ranks the k most popular
 //! S-locations over a sliding window of whole buckets, and the window
-//! advances once per bucket.
+//! advances once per bucket — at the instant the bucket completes
+//! (`bucket end + 1 ms`), the earliest moment it may legally seal.
 
 use std::sync::Arc;
 use std::time::Instant;
@@ -48,6 +50,7 @@ impl StreamingConfig {
                 num_objects: ((3000.0 * scale) as usize).max(150),
                 duration_secs: 12 * 3600,
                 visit_secs: (60, 120),
+                destination_skew: 0.9,
                 seed,
             },
             bucket_secs: 2160,
@@ -71,9 +74,15 @@ pub struct EngineMetrics {
     pub advance_ms: Vec<f64>,
     /// Per-slide top-k lists (for the equality audit).
     pub topks: Vec<Vec<SLocId>>,
-    /// Presence computations performed across all slides (the work the
-    /// bucketing scheme saves).
+    /// Presence computations performed across all slides, counted per
+    /// object (the work the bucketing scheme saves).
     pub presence_computations: u64,
+    /// Presence computations counted per (object, location) cell — the
+    /// unit bound pruning saves at.
+    pub presence_cells: u64,
+    /// Candidate cells never evaluated thanks to bound pruning (0 for
+    /// the eager and recompute engines).
+    pub presence_skipped: u64,
 }
 
 impl EngineMetrics {
@@ -119,19 +128,29 @@ impl EngineMetrics {
 /// The outcome of one streaming comparison.
 #[derive(Debug, Clone)]
 pub struct StreamingReport {
-    /// The incremental sharded engine's measurements.
+    /// The incremental sharded engine, eager advances.
     pub incremental: EngineMetrics,
+    /// The incremental sharded engine, bound-pruned lazy advances.
+    pub pruned: EngineMetrics,
     /// The recompute-per-slide baseline's measurements.
     pub baseline: EngineMetrics,
     /// Window slides driven.
     pub slides: usize,
-    /// Slides where the two engines' top-k lists differed (must be 0).
+    /// Slides where any engine's top-k differed from the baseline's
+    /// (must be 0).
     pub mismatched_slides: usize,
-    /// Baseline mean advance latency / incremental mean advance latency.
+    /// Baseline mean advance latency / eager mean advance latency.
     pub speedup: f64,
-    /// Baseline presence computations / incremental presence
-    /// computations — the machine-independent version of the speedup.
+    /// Baseline mean advance latency / pruned mean advance latency.
+    pub pruned_speedup: f64,
+    /// Baseline presence computations / eager presence computations —
+    /// the machine-independent version of the speedup (per-object
+    /// units).
     pub work_ratio: f64,
+    /// Eager presence cells / pruned presence cells — how much of the
+    /// per-slide presence work the COUNT bounds prune away
+    /// ((object, location) units).
+    pub pruned_work_ratio: f64,
 }
 
 /// What [`drive_stream`] measured over one replay.
@@ -147,9 +166,11 @@ pub struct DriveOutcome {
     pub objects_computed: u64,
 }
 
-/// Drives one engine through the whole stream: per completed bucket,
-/// feed the records up to the bucket end, then advance. Shared by the
-/// experiment, the `serve_demo` example, and `bench_serve`.
+/// Drives one engine through the whole stream: per bucket, feed the
+/// records through its end, then advance at the instant the bucket
+/// completes (its end + 1 ms — one millisecond earlier the bucket would
+/// still be open). Shared by the experiment, the `serve_demo` example,
+/// and `bench_serve`.
 pub fn drive_stream(
     engine: &mut dyn ContinuousEngine,
     records: &[Record],
@@ -165,7 +186,7 @@ pub fn drive_stream(
     };
     let mut next = 0usize;
     for b in 0..=last_bucket {
-        let now = spec.bucket_interval(b).end;
+        let now = Timestamp(spec.bucket_interval(b).end.millis() + 1);
         let t0 = Instant::now();
         while next < records.len() && records[next].t <= now {
             engine
@@ -184,7 +205,8 @@ pub fn drive_stream(
 }
 
 /// Runs the full comparison: generate the stream once, replay it through
-/// both engines over identical bucket-aligned windows, audit every slide.
+/// all three engines over identical bucket-aligned windows, audit every
+/// slide.
 pub fn run_streaming(cfg: &StreamingConfig) -> StreamingReport {
     let (world, stream) = cfg.scenario.build();
     run_streaming_on(cfg, &world, stream.records())
@@ -202,12 +224,11 @@ pub fn run_streaming_on(
     let flow = FlowConfig::default().with_dp_engine();
     let duration = cfg.scenario.duration_secs;
 
-    let mut serve = ServeEngine::new(
-        Arc::clone(&space),
-        ServeConfig::new(cfg.k, QuerySet::new(slocs.clone()), spec)
-            .with_shards(cfg.num_shards)
-            .with_flow(flow),
-    );
+    let serve_cfg = ServeConfig::new(cfg.k, QuerySet::new(slocs.clone()), spec)
+        .with_shards(cfg.num_shards)
+        .with_flow(flow);
+
+    let mut serve = ServeEngine::new(Arc::clone(&space), serve_cfg.clone());
     let driven = drive_stream(&mut serve, records, spec, duration);
     let incremental = EngineMetrics {
         name: serve.name().to_string(),
@@ -216,8 +237,24 @@ pub fn run_streaming_on(
         advance_ms: driven.advance_ms,
         topks: driven.topks,
         presence_computations: serve.stats().fresh_presence,
+        presence_cells: serve.stats().presence_cells,
+        presence_skipped: 0,
     };
     drop(serve);
+
+    let mut lazy = ServeEngine::new(Arc::clone(&space), serve_cfg.with_bound_pruning());
+    let driven = drive_stream(&mut lazy, records, spec, duration);
+    let pruned = EngineMetrics {
+        name: lazy.name().to_string(),
+        records: records.len(),
+        ingest_secs: driven.ingest_secs,
+        advance_ms: driven.advance_ms,
+        topks: driven.topks,
+        presence_computations: lazy.stats().fresh_presence,
+        presence_cells: lazy.stats().presence_cells,
+        presence_skipped: lazy.stats().presence_skipped,
+    };
+    drop(lazy);
 
     let mut recompute =
         RecomputeEngine::new(Arc::clone(&space), cfg.k, QuerySet::new(slocs), spec, flow);
@@ -229,32 +266,33 @@ pub fn run_streaming_on(
         advance_ms: driven.advance_ms,
         topks: driven.topks,
         presence_computations: driven.objects_computed,
+        presence_cells: 0,
+        presence_skipped: 0,
     };
 
     let slides = baseline.topks.len();
-    let mismatched_slides = incremental
-        .topks
-        .iter()
-        .zip(&baseline.topks)
-        .filter(|(a, b)| a != b)
+    let mismatched_slides = (0..slides)
+        .filter(|&i| {
+            incremental.topks[i] != baseline.topks[i] || pruned.topks[i] != baseline.topks[i]
+        })
         .count();
-    let speedup = if incremental.mean_ms() > 0.0 {
-        baseline.mean_ms() / incremental.mean_ms()
-    } else {
-        f64::INFINITY
-    };
-    let work_ratio = if incremental.presence_computations > 0 {
-        baseline.presence_computations as f64 / incremental.presence_computations as f64
-    } else {
-        f64::INFINITY
-    };
+    let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { f64::INFINITY };
     StreamingReport {
+        speedup: ratio(baseline.mean_ms(), incremental.mean_ms()),
+        pruned_speedup: ratio(baseline.mean_ms(), pruned.mean_ms()),
+        work_ratio: ratio(
+            baseline.presence_computations as f64,
+            incremental.presence_computations as f64,
+        ),
+        pruned_work_ratio: ratio(
+            incremental.presence_cells as f64,
+            pruned.presence_cells as f64,
+        ),
         incremental,
+        pruned,
         baseline,
         slides,
         mismatched_slides,
-        speedup,
-        work_ratio,
     }
 }
 
@@ -262,43 +300,141 @@ fn metrics_row(exp: &str, x: &str, m: &EngineMetrics) -> Row {
     let mut row = Row::new(exp, x, m.name.clone());
     row.time_secs = Some(m.mean_ms() / 1000.0);
     row.note = format!(
-        "p50={:.2}ms p99={:.2}ms qps={:.0} ingest={:.0}rec/s presence×{}",
+        "p50={:.2}ms p99={:.2}ms qps={:.0} ingest={:.0}rec/s presence×{} cells×{} skipped×{}",
         m.quantile_ms(0.50),
         m.quantile_ms(0.99),
         m.advances_per_sec(),
         m.records_per_sec(),
         m.presence_computations,
+        m.presence_cells,
+        m.presence_skipped,
     );
     row
 }
 
-/// The `streaming` experiment id: one comparison at the harness scale.
-pub fn streaming(opts: &ExpOpts) -> Vec<Row> {
-    let cfg = StreamingConfig::scaled(opts.scale, opts.seed);
-    let report = run_streaming(&cfg);
+/// Renders a report as experiment rows.
+pub fn report_rows(cfg: &StreamingConfig, report: &StreamingReport) -> Vec<Row> {
     let x = format!(
         "w/b={} objs={}",
         cfg.window_buckets, cfg.scenario.num_objects
     );
     let mut rows = vec![
         metrics_row("streaming", &x, &report.incremental),
+        metrics_row("streaming", &x, &report.pruned),
         metrics_row("streaming", &x, &report.baseline),
     ];
     let mut summary = Row::new("streaming", &x, "speedup");
     summary.note = format!(
-        "advance×{:.1} work×{:.1} slides={} mismatches={}",
-        report.speedup, report.work_ratio, report.slides, report.mismatched_slides
+        "advance×{:.1} (pruned ×{:.1}) work×{:.1} pruned-work×{:.2} slides={} mismatches={}",
+        report.speedup,
+        report.pruned_speedup,
+        report.work_ratio,
+        report.pruned_work_ratio,
+        report.slides,
+        report.mismatched_slides
     );
     rows.push(summary);
     rows
+}
+
+/// Serializes a report as the machine-readable `BENCH_streaming.json`
+/// payload CI archives per commit — records/s, latency percentiles,
+/// work ratios, and pruning counters for each engine. Hand-rolled JSON:
+/// the workspace deliberately carries no serialization dependency.
+pub fn bench_json(cfg: &StreamingConfig, report: &StreamingReport) -> String {
+    // Ratios and throughputs divide by measured quantities that can be
+    // zero (→ ∞); JSON has no literal for non-finite numbers, so they
+    // serialize as null instead of corrupting the artifact.
+    fn json_num(v: f64, decimals: usize) -> String {
+        if v.is_finite() {
+            format!("{v:.decimals$}")
+        } else {
+            "null".to_string()
+        }
+    }
+    fn engine_json(m: &EngineMetrics) -> String {
+        format!(
+            concat!(
+                "{{\"name\":\"{}\",\"records\":{},\"records_per_sec\":{},",
+                "\"advance_mean_ms\":{:.4},\"advance_p50_ms\":{:.4},\"advance_p99_ms\":{:.4},",
+                "\"advances_per_sec\":{},\"presence_computations\":{},",
+                "\"presence_cells\":{},\"presence_skipped\":{}}}"
+            ),
+            m.name,
+            m.records,
+            json_num(m.records_per_sec(), 1),
+            m.mean_ms(),
+            m.quantile_ms(0.50),
+            m.quantile_ms(0.99),
+            json_num(m.advances_per_sec(), 1),
+            m.presence_computations,
+            m.presence_cells,
+            m.presence_skipped,
+        )
+    }
+    format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"streaming\",\n",
+            "  \"config\": {{\"objects\": {}, \"duration_secs\": {}, \"bucket_secs\": {}, ",
+            "\"window_buckets\": {}, \"k\": {}, \"num_shards\": {}, \"seed\": {}}},\n",
+            "  \"slides\": {},\n",
+            "  \"mismatched_slides\": {},\n",
+            "  \"speedup\": {},\n",
+            "  \"pruned_speedup\": {},\n",
+            "  \"work_ratio\": {},\n",
+            "  \"pruned_work_ratio\": {},\n",
+            "  \"engines\": [\n    {},\n    {},\n    {}\n  ]\n",
+            "}}\n"
+        ),
+        cfg.scenario.num_objects,
+        cfg.scenario.duration_secs,
+        cfg.bucket_secs,
+        cfg.window_buckets,
+        cfg.k,
+        cfg.num_shards,
+        cfg.scenario.seed,
+        report.slides,
+        report.mismatched_slides,
+        json_num(report.speedup, 3),
+        json_num(report.pruned_speedup, 3),
+        json_num(report.work_ratio, 3),
+        json_num(report.pruned_work_ratio, 3),
+        engine_json(&report.incremental),
+        engine_json(&report.pruned),
+        engine_json(&report.baseline),
+    )
+}
+
+/// The `streaming` experiment id: one comparison at the harness scale.
+/// When `json_path` is given, the machine-readable report is written
+/// there as well — success or failure of the write is reported
+/// truthfully on stdout/stderr.
+pub fn streaming_with_json(opts: &ExpOpts, json_path: Option<&str>) -> Vec<Row> {
+    let cfg = StreamingConfig::scaled(opts.scale, opts.seed);
+    let report = run_streaming(&cfg);
+    if let Some(path) = json_path {
+        match std::fs::write(path, bench_json(&cfg, &report)) {
+            Ok(()) => println!("wrote machine-readable streaming report to {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+    report_rows(&cfg, &report)
+}
+
+/// The `streaming` experiment id without a JSON artifact.
+pub fn streaming(opts: &ExpOpts) -> Vec<Row> {
+    streaming_with_json(opts, None)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    /// A miniature end-to-end comparison: both engines agree on every
-    /// slide and the incremental engine does strictly less presence work.
+    /// A miniature end-to-end comparison: all three engines agree on
+    /// every slide, the incremental engines do strictly less presence
+    /// work than the baseline, and bound pruning strictly beats eager
+    /// evaluation in (object, location) cells.
     #[test]
     fn small_streaming_report_is_consistent() {
         let cfg = StreamingConfig {
@@ -306,6 +442,7 @@ mod tests {
                 num_objects: 40,
                 duration_secs: 1800,
                 visit_secs: (30, 80),
+                destination_skew: 0.9,
                 seed: 11,
             },
             bucket_secs: 150,
@@ -322,7 +459,89 @@ mod tests {
             report.incremental.presence_computations,
             report.baseline.presence_computations,
         );
+        assert!(
+            report.pruned.presence_cells < report.incremental.presence_cells,
+            "bound pruning did no less cell work: {} vs {}",
+            report.pruned.presence_cells,
+            report.incremental.presence_cells,
+        );
+        assert!(
+            report.pruned.presence_skipped > 0,
+            "no cells were ever skipped: {:?}",
+            report.pruned
+        );
         assert_eq!(report.incremental.records, report.baseline.records);
+        assert_eq!(report.pruned.records, report.baseline.records);
         assert!(report.incremental.records > 0);
+    }
+
+    /// The JSON artifact parses structurally: balanced braces, the four
+    /// headline numbers present.
+    #[test]
+    fn bench_json_is_well_formed() {
+        let cfg = StreamingConfig {
+            scenario: StreamScenario {
+                num_objects: 25,
+                duration_secs: 900,
+                visit_secs: (30, 60),
+                destination_skew: 1.2,
+                seed: 3,
+            },
+            bucket_secs: 150,
+            window_buckets: 4,
+            k: 2,
+            num_shards: 2,
+        };
+        let report = run_streaming(&cfg);
+        let json = bench_json(&cfg, &report);
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces:\n{json}"
+        );
+        for key in [
+            "\"records_per_sec\"",
+            "\"advance_p50_ms\"",
+            "\"advance_p99_ms\"",
+            "\"work_ratio\"",
+            "\"pruned_work_ratio\"",
+            "\"presence_skipped\"",
+            "\"mismatched_slides\": 0",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        // Non-finite numbers must serialize as null, never as the
+        // JSON-invalid tokens Rust's formatter would produce.
+        for bad in ["inf", "NaN"] {
+            assert!(!json.contains(bad), "invalid JSON token {bad} in:\n{json}");
+        }
+        // And a report with all-zero denominators must stay valid too.
+        let empty = EngineMetrics {
+            name: "empty".into(),
+            records: 0,
+            ingest_secs: 0.0,
+            advance_ms: Vec::new(),
+            topks: Vec::new(),
+            presence_computations: 0,
+            presence_cells: 0,
+            presence_skipped: 0,
+        };
+        let degenerate = StreamingReport {
+            incremental: empty.clone(),
+            pruned: empty.clone(),
+            baseline: empty,
+            slides: 0,
+            mismatched_slides: 0,
+            speedup: f64::INFINITY,
+            pruned_speedup: f64::NAN,
+            work_ratio: f64::INFINITY,
+            pruned_work_ratio: f64::INFINITY,
+        };
+        let json = bench_json(&cfg, &degenerate);
+        assert!(json.contains("\"speedup\": null"), "{json}");
+        assert!(json.contains("\"records_per_sec\":null"), "{json}");
+        for bad in ["inf", "NaN"] {
+            assert!(!json.contains(bad), "invalid JSON token {bad} in:\n{json}");
+        }
     }
 }

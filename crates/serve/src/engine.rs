@@ -2,19 +2,38 @@
 //! workers and assembles incremental window evaluations into the same
 //! top-k the batch Nested-Loop search would produce.
 
-use std::collections::HashMap;
-use std::sync::mpsc::{self, Sender};
+use std::collections::{HashMap, HashSet};
+use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use indoor_iupt::{shard_for, Record, Timestamp};
+use indoor_iupt::{shard_for, ObjectId, Record, Timestamp};
 use indoor_model::{IndoorSpace, SLocId};
 use popflow_core::{
-    diff_topk, rank_topk, ContinuousEngine, ContinuousUpdate, FlowConfig, FlowError,
-    ObjectContribution, QueryOutcome, QuerySet, SearchStats, WindowSpec,
+    diff_topk, rank_topk, ContinuousEngine, ContinuousUpdate, FlowConfig, FlowError, LocationBound,
+    ObjectContribution, QueryOutcome, QuerySet, SearchStats, ThresholdHeap, ThresholdStep,
+    WindowSpec,
 };
 
-use crate::shard::{ShardMsg, ShardReport, ShardWorker};
+use crate::shard::{BoundsReport, EvalReport, ShardMsg, ShardReport, ShardWorker};
+
+/// How an advance turns sealed buckets into a ranking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdvanceStrategy {
+    /// Seal buckets eagerly: every sealed object's full contribution is
+    /// computed at seal time, and an advance merges all cached window
+    /// contributions.
+    #[default]
+    Eager,
+    /// Bound-pruned lazy advance (the paper's §4.2 COUNT bound lifted to
+    /// the continuous engine): sealing only records per-object PSL
+    /// candidate lists; the coordinator merges per-location candidate
+    /// counts into flow upper bounds and requests exact contributions
+    /// lazily, best-first, until the top-k is final — locations whose
+    /// bound never reaches the k-th exact flow pay no presence
+    /// computation at all.
+    BoundPruned,
+}
 
 /// Configuration of a [`ServeEngine`].
 #[derive(Debug, Clone)]
@@ -30,12 +49,17 @@ pub struct ServeConfig {
     pub spec: WindowSpec,
     /// Flow computation configuration (engine, normalization, reduction).
     pub flow: FlowConfig,
+    /// Eager or bound-pruned advances. Both return bit-identical top-k
+    /// sets and flows; they differ only in how much presence work an
+    /// advance pays.
+    pub strategy: AdvanceStrategy,
 }
 
 impl ServeConfig {
     /// A config with the given query shape and sensible defaults
     /// (4 shards, DP presence engine — the right engine for a serving
-    /// path, where tail latency matters more than paper fidelity).
+    /// path, where tail latency matters more than paper fidelity —
+    /// and eager advances).
     pub fn new(k: usize, query_set: QuerySet, spec: WindowSpec) -> Self {
         ServeConfig {
             num_shards: 4,
@@ -43,6 +67,7 @@ impl ServeConfig {
             query_set,
             spec,
             flow: FlowConfig::default().with_dp_engine(),
+            strategy: AdvanceStrategy::default(),
         }
     }
 
@@ -57,6 +82,32 @@ impl ServeConfig {
         self.flow = flow;
         self
     }
+
+    /// Switches to bound-pruned lazy advances.
+    pub fn with_bound_pruning(mut self) -> Self {
+        self.strategy = AdvanceStrategy::BoundPruned;
+        self
+    }
+
+    /// Overrides the advance strategy.
+    pub fn with_strategy(mut self, strategy: AdvanceStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+}
+
+/// Per-advance work accounting for the bound-pruned threshold loop,
+/// deduplicated across its lazy round-trips.
+#[derive(Debug, Default)]
+struct PrunedWork {
+    /// Objects whose contribution was summed (any request).
+    requested_objects: HashSet<ObjectId>,
+    /// Objects that paid at least one fresh presence evaluation.
+    fresh_objects: HashSet<ObjectId>,
+    /// Objects that fell back to the DP (hybrid engine).
+    dp_fallback_objects: HashSet<ObjectId>,
+    /// (object, location) cells requested (evaluated + cache-served).
+    requested_cells: u64,
 }
 
 /// Cumulative serving counters.
@@ -68,25 +119,49 @@ pub struct ServeStats {
     pub records_rejected: u64,
     /// Window advances served.
     pub advances: u64,
-    /// Objects served from sealed-bucket caches, summed over advances.
+    /// Work served from caches. Eager advances count *objects* served
+    /// from sealed-bucket contribution caches; bound-pruned advances
+    /// count (object, location) *cells* served from lazily-filled score
+    /// caches.
     pub cache_hits: u64,
-    /// Objects recomputed exactly as bucket straddlers.
+    /// Eager: objects recomputed exactly as bucket straddlers.
+    /// Bound-pruned: straddler objects observed in evaluated windows.
     pub straddler_recomputes: u64,
-    /// Presence computations performed (sealing + straddlers) — the
-    /// quantity the bucketing scheme minimizes.
+    /// Presence computations counted per object (sealing + straddlers
+    /// for eager advances; lazily evaluated objects for bound-pruned
+    /// ones) — the quantity the bucketing scheme minimizes.
     pub fresh_presence: u64,
+    /// Presence computations counted per (object, location) cell — the
+    /// unit the bound-pruned strategy prunes at.
+    pub presence_cells: u64,
+    /// Candidate (object, location) cells a bound-pruned advance never
+    /// had to evaluate: their location's flow bound stayed below the
+    /// k-th exact flow. Always 0 under [`AdvanceStrategy::Eager`].
+    pub presence_skipped: u64,
 }
 
 /// The sharded incremental continuous top-k engine.
 ///
 /// Ingestion partitions records by object across `num_shards` worker
 /// threads over `mpsc` channels; each worker owns its shard's IUPT
-/// partition and sealed-bucket contribution caches. An
+/// partition and sealed-bucket caches. An
 /// [`advance`](ContinuousEngine::advance) seals newly completed buckets,
-/// combines cached per-object contributions across shards (recomputing
-/// only bucket-straddling objects exactly), and ranks — producing, by
+/// assembles per-object contributions across shards — eagerly, or
+/// lazily under COUNT-bound pruning
+/// ([`AdvanceStrategy::BoundPruned`]) — and ranks, producing, by
 /// construction, the same accumulation order and therefore bit-identical
 /// flows to running the batch Nested-Loop search over the same window.
+///
+/// # Failure contract
+///
+/// A failed advance poisons the engine. Once shards have begun sealing,
+/// a mid-advance error (a shard worker dying, a presence computation
+/// failing) leaves coordinator and shard state divergent — some shards
+/// have sealed and evicted, others may not have — so instead of serving
+/// unpredictable results, every later `ingest`/`advance` returns
+/// [`FlowError::EngineUnavailable`]. Rejected inputs (late records,
+/// backwards advances) do **not** poison: they leave the engine
+/// untouched by design.
 ///
 /// ```
 /// use std::sync::Arc;
@@ -102,6 +177,7 @@ pub struct ServeStats {
 ///     QuerySet::new(fig.r.to_vec()),
 ///     WindowSpec::new(4_000, 2), // two 4-second buckets
 /// )
+/// .with_bound_pruning()
 /// .with_flow(FlowConfig::default().with_full_product_normalization());
 /// let mut engine = ServeEngine::new(Arc::new(fig.space.clone()), cfg);
 /// for r in paper_table2().records() {
@@ -119,11 +195,13 @@ pub struct ServeEngine {
     previous: Option<Vec<SLocId>>,
     last_ingest: Option<Timestamp>,
     last_advance: Option<Timestamp>,
-    /// Records must land strictly after the sealed frontier: once a
-    /// bucket is sealed its cache is immutable, so a record falling into
-    /// it would silently be ignored by future windows. Such late records
+    /// Records must land at or after the sealed frontier: once a bucket
+    /// is sealed its cache is immutable, so a record falling into it
+    /// would silently be ignored by future windows. Such late records
     /// are rejected at ingest instead.
     sealed_frontier_millis: Option<i64>,
+    /// Set by the first failed advance; see the failure contract above.
+    poisoned: Option<String>,
 }
 
 impl ServeEngine {
@@ -158,6 +236,7 @@ impl ServeEngine {
             last_ingest: None,
             last_advance: None,
             sealed_frontier_millis: None,
+            poisoned: None,
         }
     }
 
@@ -171,6 +250,11 @@ impl ServeEngine {
         &self.config
     }
 
+    /// Whether a failed advance has taken the engine out of service.
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned.is_some()
+    }
+
     /// Ingests a whole batch, stopping at the first rejected record.
     pub fn ingest_all<I: IntoIterator<Item = Record>>(
         &mut self,
@@ -180,6 +264,23 @@ impl ServeEngine {
             self.ingest(r)?;
         }
         Ok(())
+    }
+
+    fn check_poisoned(&self) -> Result<(), FlowError> {
+        match &self.poisoned {
+            Some(detail) => Err(FlowError::EngineUnavailable {
+                detail: detail.clone(),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    fn poison(&mut self, e: FlowError) -> FlowError {
+        self.poisoned = Some(format!(
+            "engine poisoned by a failed advance ({e}); coordinator and \
+             shard state may have diverged — rebuild the engine"
+        ));
+        e
     }
 
     fn check_ingest_time(&mut self, t: Timestamp) -> Result<(), FlowError> {
@@ -210,12 +311,45 @@ impl ServeEngine {
         }
     }
 
-    /// Merges shard reports into the global ranking, accumulating
+    /// The eager advance: every shard replies with its full window
+    /// contribution list in one round-trip.
+    fn advance_eager(
+        &mut self,
+        window_start: i64,
+        end_bucket: i64,
+    ) -> Result<QueryOutcome, FlowError> {
+        let (tx, rx) = mpsc::channel();
+        for (shard, sender) in self.senders.iter().enumerate() {
+            sender
+                .send(ShardMsg::Advance {
+                    window_start,
+                    window_end: end_bucket,
+                    reply: tx.clone(),
+                })
+                .map_err(|_| self.shard_down(shard))?;
+        }
+        drop(tx);
+
+        let mut reports = Vec::with_capacity(self.senders.len());
+        for _ in 0..self.senders.len() {
+            let report = rx.recv().map_err(|_| FlowError::EngineUnavailable {
+                detail: "a shard worker died mid-advance".into(),
+            })?;
+            self.stats.cache_hits += report.cache_hits as u64;
+            self.stats.straddler_recomputes += report.straddlers as u64;
+            self.stats.fresh_presence += report.fresh_presence as u64;
+            self.stats.presence_cells += report.presence_cells as u64;
+            reports.push(report);
+        }
+        self.merge_reports(reports)
+    }
+
+    /// Merges eager shard reports into the global ranking, accumulating
     /// per-object contributions in ascending object-id order — the exact
     /// order (and therefore the exact floating-point sums) of the batch
     /// Nested-Loop search.
     fn merge_reports(&self, reports: Vec<ShardReport>) -> Result<QueryOutcome, FlowError> {
-        let mut contributions: Vec<(indoor_iupt::ObjectId, Arc<ObjectContribution>)> = Vec::new();
+        let mut contributions: Vec<(ObjectId, Arc<ObjectContribution>)> = Vec::new();
         let mut objects_total = 0;
         let mut dp_fallback_objects = 0;
         for report in reports {
@@ -249,25 +383,171 @@ impl ServeEngine {
             },
         })
     }
+
+    /// The bound-pruned lazy advance. Phase 1 collects per-location
+    /// candidate counts from every shard (cheap sealing — no presence
+    /// work); phase 2 runs the threshold loop, requesting exact
+    /// per-location contributions only while a location's merged COUNT
+    /// bound can still reach the k-th exact flow.
+    fn advance_pruned(
+        &mut self,
+        window_start: i64,
+        end_bucket: i64,
+    ) -> Result<QueryOutcome, FlowError> {
+        // ---- Phase 1: bounds. One reply channel per shard so candidate
+        // lists stay attributable to the shard that owns the objects.
+        let mut replies: Vec<Receiver<BoundsReport>> = Vec::with_capacity(self.senders.len());
+        for (shard, sender) in self.senders.iter().enumerate() {
+            let (tx, rx) = mpsc::channel();
+            sender
+                .send(ShardMsg::AdvanceBounds {
+                    window_start,
+                    window_end: end_bucket,
+                    reply: tx,
+                })
+                .map_err(|_| self.shard_down(shard))?;
+            replies.push(rx);
+        }
+
+        let mut counts: HashMap<SLocId, usize> = HashMap::new();
+        let mut per_shard: Vec<HashMap<SLocId, Vec<ObjectId>>> =
+            vec![HashMap::new(); self.senders.len()];
+        let mut total_cells: u64 = 0;
+        let mut objects_total = 0;
+        for (shard, rx) in replies.into_iter().enumerate() {
+            let report = rx.recv().map_err(|_| self.shard_down(shard))?;
+            objects_total += report.objects_total;
+            self.stats.straddler_recomputes += report.straddlers as u64;
+            for (oid, relevant) in report.candidates {
+                total_cells += relevant.len() as u64;
+                for &q in &relevant {
+                    *counts.entry(q).or_insert(0) += 1;
+                    per_shard[shard].entry(q).or_default().push(oid);
+                }
+            }
+        }
+
+        // ---- Phase 2: the threshold loop (Algorithm 4's heap loop over
+        // per-location COUNT bounds). Zero-candidate locations have an
+        // exactly-zero flow with no work at all.
+        let mut heap = ThresholdHeap::new();
+        for &sloc in self.config.query_set.slocs() {
+            match counts.get(&sloc).copied().unwrap_or(0) {
+                0 => heap.push_exact(sloc, 0.0),
+                candidates => heap.push_bound(LocationBound { sloc, candidates }),
+            }
+        }
+        let k_eff = self.config.k.min(self.config.query_set.len());
+        let mut finals: Vec<(SLocId, f64)> = Vec::with_capacity(k_eff);
+        let mut work = PrunedWork::default();
+        while finals.len() < k_eff {
+            match heap.pop() {
+                None => break,
+                Some(ThresholdStep::Finalize(sloc, flow)) => finals.push((sloc, flow)),
+                Some(ThresholdStep::Evaluate(sloc)) => {
+                    let flow = self.evaluate_location(sloc, &per_shard, &mut work)?;
+                    heap.push_exact(sloc, flow);
+                }
+            }
+        }
+        self.stats.presence_skipped += total_cells - work.requested_cells;
+        // An object evaluated for several locations across round-trips
+        // still counts once toward the per-object presence stat.
+        self.stats.fresh_presence += work.fresh_objects.len() as u64;
+
+        Ok(QueryOutcome {
+            ranking: rank_topk(finals, self.config.k),
+            stats: SearchStats {
+                objects_total,
+                objects_computed: work.requested_objects.len(),
+                dp_fallback_objects: work.dp_fallback_objects.len(),
+            },
+        })
+    }
+
+    /// One lazy round-trip: asks every shard holding candidates for
+    /// `sloc` for their exact contributions, then accumulates the flow in
+    /// ascending object-id order — the identical floating-point sum the
+    /// eager merge (and the batch Nested-Loop search) produces.
+    fn evaluate_location(
+        &mut self,
+        sloc: SLocId,
+        per_shard: &[HashMap<SLocId, Vec<ObjectId>>],
+        work: &mut PrunedWork,
+    ) -> Result<f64, FlowError> {
+        let mut replies: Vec<Receiver<EvalReport>> = Vec::new();
+        for (shard, candidates) in per_shard.iter().enumerate() {
+            if let Some(oids) = candidates.get(&sloc) {
+                let (tx, rx) = mpsc::channel();
+                self.senders[shard]
+                    .send(ShardMsg::Evaluate {
+                        slocs: vec![sloc],
+                        oids: oids.clone(),
+                        reply: tx,
+                    })
+                    .map_err(|_| self.shard_down(shard))?;
+                replies.push(rx);
+            }
+        }
+        let mut contributions: Vec<(ObjectId, ObjectContribution)> = Vec::new();
+        for rx in replies {
+            let mut report = rx.recv().map_err(|_| FlowError::EngineUnavailable {
+                detail: "a shard worker died mid-evaluate".into(),
+            })?;
+            if let Some(e) = report.error {
+                return Err(e);
+            }
+            self.stats.presence_cells += report.evaluated_cells as u64;
+            self.stats.cache_hits += report.cached_cells as u64;
+            work.fresh_objects.extend(report.evaluated_oids);
+            work.requested_cells += (report.evaluated_cells + report.cached_cells) as u64;
+            contributions.append(&mut report.contributions);
+        }
+        contributions.sort_unstable_by_key(|(oid, _)| *oid);
+        let mut flow = 0.0f64;
+        for (oid, contribution) in &contributions {
+            work.requested_objects.insert(*oid);
+            if contribution.dp_fallback {
+                work.dp_fallback_objects.insert(*oid);
+            }
+            for (&q, &score) in contribution.relevant.iter().zip(&contribution.scores) {
+                debug_assert_eq!(q, sloc);
+                // Zero scores are skipped exactly as the batch search
+                // skips them, keeping the accumulation bit-identical.
+                if score > 0.0 {
+                    flow += score;
+                }
+            }
+        }
+        Ok(flow)
+    }
 }
 
 impl ContinuousEngine for ServeEngine {
     fn name(&self) -> &'static str {
-        "popflow-serve"
+        match self.config.strategy {
+            AdvanceStrategy::Eager => "popflow-serve",
+            AdvanceStrategy::BoundPruned => "popflow-serve-pruned",
+        }
     }
 
     fn ingest(&mut self, record: Record) -> Result<(), FlowError> {
+        self.check_poisoned()?;
         self.check_ingest_time(record.t)?;
         self.last_ingest = Some(record.t);
         let shard = shard_for(record.oid, self.senders.len());
         self.senders[shard]
             .send(ShardMsg::Ingest(record))
-            .map_err(|_| self.shard_down(shard))?;
+            .map_err(|_| {
+                let e = self.shard_down(shard);
+                self.poison(e)
+            })?;
         self.stats.records_ingested += 1;
         Ok(())
     }
 
     fn advance(&mut self, now: Timestamp) -> Result<ContinuousUpdate, FlowError> {
+        self.check_poisoned()?;
         if let Some(last) = self.last_advance {
             if now < last {
                 return Err(FlowError::TimeRegression {
@@ -280,34 +560,14 @@ impl ContinuousEngine for ServeEngine {
         let (end_bucket, window) = self.config.spec.window_at(now);
         let window_start = end_bucket - self.config.spec.window_buckets as i64 + 1;
 
-        let (tx, rx) = mpsc::channel();
-        for (shard, sender) in self.senders.iter().enumerate() {
-            sender
-                .send(ShardMsg::Advance {
-                    window_start,
-                    window_end: end_bucket,
-                    reply: tx.clone(),
-                })
-                .map_err(|_| self.shard_down(shard))?;
-        }
-        drop(tx);
-
-        let mut reports = Vec::with_capacity(self.senders.len());
-        for _ in 0..self.senders.len() {
-            let report = rx.recv().map_err(|_| FlowError::EngineUnavailable {
-                detail: "a shard worker died mid-advance".into(),
-            })?;
-            self.stats.cache_hits += report.cache_hits as u64;
-            self.stats.straddler_recomputes += report.straddlers as u64;
-            self.stats.fresh_presence += report.fresh_presence as u64;
-            reports.push(report);
-        }
-        self.stats.advances += 1;
+        let result = match self.config.strategy {
+            AdvanceStrategy::Eager => self.advance_eager(window_start, end_bucket),
+            AdvanceStrategy::BoundPruned => self.advance_pruned(window_start, end_bucket),
+        };
         // Buckets through `end_bucket` are now sealed engine-wide — even
-        // if a shard reported an error below: some shards may have sealed
+        // if a shard reported an error: some shards may have sealed
         // their caches, and accepting a late record into a sealed bucket
-        // would silently corrupt every future window, which is worse than
-        // rejecting a record no evaluation ever covered.
+        // would silently corrupt every future window.
         let frontier = (end_bucket + 1) * self.config.spec.bucket_millis;
         self.sealed_frontier_millis = Some(
             self.sealed_frontier_millis
@@ -315,7 +575,11 @@ impl ContinuousEngine for ServeEngine {
                 .max(frontier),
         );
 
-        let outcome = self.merge_reports(reports)?;
+        let outcome = match result {
+            Ok(outcome) => outcome,
+            Err(e) => return Err(self.poison(e)),
+        };
+        self.stats.advances += 1;
         let fresh = outcome.topk_slocs();
         let (changed, entered, left) = diff_topk(self.previous.as_deref(), &fresh);
         self.previous = Some(fresh);

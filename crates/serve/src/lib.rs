@@ -15,36 +15,46 @@
 //!   ┌───────────┐   ┌───────────┐
 //!   │ IUPT part │   │ IUPT part │   per-object records, own TimeIndex
 //!   │ buckets:  │   │ buckets:  │   sealed buckets cache per-object
-//!   │ [b₀][b₁]… │   │ [b₀][b₁]… │   window contributions
+//!   │ [b₀][b₁]… │   │ [b₀][b₁]… │   window state (positions into the log)
 //!   └─────┬─────┘   └─────┬─────┘
 //!         └───────┬───────┘
 //!                 ▼  advance(now)
-//!        merge by object id → rank_topk → ContinuousUpdate
+//!     eager: merge contributions by object id → rank_topk
+//!     pruned: COUNT bounds → threshold loop → lazy exact evaluation
 //! ```
 //!
 //! * **Ingestion** partitions records by object across worker threads;
 //!   each worker owns one IUPT partition (its own 1D R-tree time index).
 //! * **The sliding window is bucketed** ([`popflow_core::WindowSpec`]):
 //!   a slide evicts expired buckets and seals newly completed ones
-//!   instead of recomputing history.
-//! * **Evaluation is incremental but exact**: per sealed bucket each
-//!   object's contribution is cached; only objects whose records straddle
-//!   bucket boundaries are recomputed over the full window, through the
-//!   same per-object kernel
-//!   ([`popflow_core::object_flow_contributions`]) the batch Nested-Loop
-//!   search uses, accumulated in the same object-id order — so every
-//!   advance reports *bit-identical* flows to a batch recomputation over
-//!   the same window.
+//!   instead of recomputing history. A bucket seals only once its final
+//!   millisecond has *elapsed* (`now ≥ bucket end + 1`); a record
+//!   timestamped inside a sealed bucket is late and rejected at ingest,
+//!   while anything at or after the sealed frontier is accepted.
+//! * **Evaluation is incremental but exact**, with two strategies
+//!   ([`AdvanceStrategy`]). *Eager* advances cache every sealed object's
+//!   full contribution and merge them per slide. *Bound-pruned* advances
+//!   ([`ServeConfig::with_bound_pruning`]) lift the paper's §4.2 COUNT
+//!   upper bound to the serving path: sealing only records PSL candidate
+//!   lists, the coordinator merges per-location candidate counts into
+//!   flow bounds across shards, and a best-first threshold loop requests
+//!   exact per-location contributions lazily — locations whose bound
+//!   never reaches the k-th exact flow skip their presence computations
+//!   entirely (`presence_skipped` in [`ServeStats`]). Both strategies
+//!   evaluate through the same per-object kernel
+//!   ([`popflow_core::object_flow_contributions`]) in the same
+//!   object-id order, so every advance reports *bit-identical* top-k
+//!   sets and flows to a batch recomputation over the same window.
 //!
 //! The recompute-per-slide baseline lives in `popflow-core`
-//! ([`popflow_core::RecomputeEngine`]); both implement
+//! ([`popflow_core::RecomputeEngine`]); all engines implement
 //! [`popflow_core::ContinuousEngine`] and are compared head-to-head by
 //! the `streaming` experiment and `serve_demo` example in `popflow-eval`.
 
 mod engine;
 mod shard;
 
-pub use engine::{ServeConfig, ServeEngine, ServeStats};
+pub use engine::{AdvanceStrategy, ServeConfig, ServeEngine, ServeStats};
 
 #[cfg(test)]
 mod tests {
@@ -55,16 +65,26 @@ mod tests {
     use indoor_model::fixtures::paper_figure1;
     use indoor_sim::{Scenario, World};
     use popflow_core::{
-        ContinuousEngine, FlowConfig, FlowError, QuerySet, RecomputeEngine, WindowSpec,
+        ContinuousEngine, FlowConfig, FlowError, PresenceEngine, QuerySet, RecomputeEngine,
+        WindowSpec,
     };
 
     use super::*;
 
     fn paper_engine(spec: WindowSpec, shards: usize) -> (ServeEngine, Arc<IndoorSpaceAlias>) {
+        paper_engine_with(spec, shards, AdvanceStrategy::Eager)
+    }
+
+    fn paper_engine_with(
+        spec: WindowSpec,
+        shards: usize,
+        strategy: AdvanceStrategy,
+    ) -> (ServeEngine, Arc<IndoorSpaceAlias>) {
         let fig = paper_figure1();
         let space = Arc::new(fig.space.clone());
         let cfg = ServeConfig::new(2, QuerySet::new(fig.r.to_vec()), spec)
             .with_shards(shards)
+            .with_strategy(strategy)
             .with_flow(FlowConfig::default().with_full_product_normalization());
         (ServeEngine::new(Arc::clone(&space), cfg), space)
     }
@@ -73,20 +93,22 @@ mod tests {
 
     #[test]
     fn paper_example_topk_served() {
-        let (mut engine, _space) = paper_engine(WindowSpec::new(2_000, 4), 3);
-        engine
-            .ingest_all(paper_table2().records().to_vec())
-            .unwrap();
-        // Window at t=8999: buckets 0..=3 = [0, 7999] — the full Table 2.
-        let update = engine.advance(Timestamp(8_999)).unwrap();
-        let fig = paper_figure1();
-        assert_eq!(update.outcome.ranking[0].sloc, fig.r[5]);
-        assert!((update.outcome.ranking[0].flow - 1.85).abs() < 1e-9);
-        assert!(update.changed);
-        assert_eq!(engine.current().unwrap(), update.outcome.topk_slocs());
-        let stats = engine.stats();
-        assert_eq!(stats.records_ingested, 10);
-        assert_eq!(stats.advances, 1);
+        for strategy in [AdvanceStrategy::Eager, AdvanceStrategy::BoundPruned] {
+            let (mut engine, _space) = paper_engine_with(WindowSpec::new(2_000, 4), 3, strategy);
+            engine
+                .ingest_all(paper_table2().records().to_vec())
+                .unwrap();
+            // Window at t=8999: buckets 0..=3 = [0, 7999] — the full Table 2.
+            let update = engine.advance(Timestamp(8_999)).unwrap();
+            let fig = paper_figure1();
+            assert_eq!(update.outcome.ranking[0].sloc, fig.r[5]);
+            assert!((update.outcome.ranking[0].flow - 1.85).abs() < 1e-9);
+            assert!(update.changed);
+            assert_eq!(engine.current().unwrap(), update.outcome.topk_slocs());
+            let stats = engine.stats();
+            assert_eq!(stats.records_ingested, 10);
+            assert_eq!(stats.advances, 1);
+        }
     }
 
     #[test]
@@ -100,7 +122,11 @@ mod tests {
         let serve_cfg = ServeConfig::new(3, QuerySet::new(slocs.clone()), spec)
             .with_shards(3)
             .with_flow(flow);
-        let mut serve = ServeEngine::new(Arc::clone(&space), serve_cfg);
+        let mut serve = ServeEngine::new(Arc::clone(&space), serve_cfg.clone());
+        let mut pruned = ServeEngine::new(
+            Arc::clone(&space),
+            serve_cfg.with_shards(2).with_bound_pruning(),
+        );
         let mut batch =
             RecomputeEngine::new(Arc::clone(&space), 3, QuerySet::new(slocs), spec, flow);
 
@@ -110,10 +136,12 @@ mod tests {
             let now = Timestamp::from_secs(slide * 45);
             while next < records.len() && records[next].t <= now {
                 serve.ingest(records[next].clone()).unwrap();
+                pruned.ingest(records[next].clone()).unwrap();
                 batch.ingest(records[next].clone()).unwrap();
                 next += 1;
             }
             let a = serve.advance(now).unwrap();
+            let p = pruned.advance(now).unwrap();
             let b = batch.advance(now).unwrap();
             assert_eq!(a.window, b.window, "slide {slide}");
             assert_eq!(
@@ -121,18 +149,32 @@ mod tests {
                 b.outcome.topk_slocs(),
                 "slide {slide}"
             );
+            assert_eq!(
+                p.outcome.topk_slocs(),
+                b.outcome.topk_slocs(),
+                "pruned, slide {slide}"
+            );
             // Bit-identical flows, not merely equal rankings.
             for (x, y) in a.outcome.ranking.iter().zip(b.outcome.ranking.iter()) {
                 assert_eq!(x.flow.to_bits(), y.flow.to_bits(), "slide {slide}");
             }
+            for (x, y) in p.outcome.ranking.iter().zip(b.outcome.ranking.iter()) {
+                assert_eq!(x.flow.to_bits(), y.flow.to_bits(), "pruned, slide {slide}");
+            }
             assert_eq!(a.changed, b.changed);
             assert_eq!(a.entered, b.entered);
             assert_eq!(a.left, b.left);
+            assert_eq!(p.changed, b.changed);
+            assert_eq!(p.entered, b.entered);
+            assert_eq!(p.left, b.left);
         }
         // The windows genuinely slid and the caches were exercised.
         let stats = serve.stats();
         assert_eq!(stats.advances, 12);
         assert!(stats.cache_hits > 0, "no cached window objects: {stats:?}");
+        assert_eq!(stats.presence_skipped, 0, "eager advances never skip");
+        let pstats = pruned.stats();
+        assert_eq!(pstats.advances, 12);
     }
 
     #[test]
@@ -143,9 +185,10 @@ mod tests {
         // Out of order.
         let err = engine.ingest(records[0].clone()).unwrap_err();
         assert!(matches!(err, FlowError::TimeRegression { .. }));
-        // Advance seals through bucket 4 (frontier t=5000); a record at
-        // t=4500 is late even though it is after the last ingest.
-        engine.advance(Timestamp(4_999)).unwrap();
+        // Advance at t=5000 seals through bucket 4 (frontier t=5000); a
+        // record at t=4500 is late even though it is after the last
+        // ingest.
+        engine.advance(Timestamp(5_000)).unwrap();
         let late = Record {
             t: Timestamp(4_500),
             ..records[5].clone()
@@ -153,11 +196,87 @@ mod tests {
         let err = engine.ingest(late).unwrap_err();
         assert!(matches!(err, FlowError::TimeRegression { .. }));
         assert_eq!(engine.stats().records_rejected, 2);
-        // The engine still serves.
+        // Rejections do not poison: the engine still serves.
+        assert!(!engine.is_poisoned());
         engine.ingest(records[9].clone()).unwrap();
         let update = engine.advance(Timestamp(8_999)).unwrap();
         assert_eq!(update.outcome.ranking.len(), 2);
         assert_eq!(engine.stats().records_ingested, 2);
+    }
+
+    /// The window-frontier regression: a record timestamped at the final
+    /// millisecond of the newest bucket, ingested right after an advance
+    /// at that same wall-clock instant, must be accepted — the bucket's
+    /// last millisecond had not elapsed, so the bucket was not sealed.
+    #[test]
+    fn frontier_timestamped_record_accepted_after_advance() {
+        for strategy in [AdvanceStrategy::Eager, AdvanceStrategy::BoundPruned] {
+            let (mut engine, _space) = paper_engine_with(WindowSpec::new(1_000, 2), 2, strategy);
+            let template = paper_table2().records()[0].clone();
+            engine
+                .ingest(Record {
+                    t: Timestamp(1_500),
+                    ..template.clone()
+                })
+                .unwrap();
+            // Advance at t=4999: bucket 4 covers [4000, 4999] and is not
+            // yet complete, so only buckets through 3 seal (frontier 4000).
+            engine.advance(Timestamp(4_999)).unwrap();
+            engine
+                .ingest(Record {
+                    t: Timestamp(4_999),
+                    ..template.clone()
+                })
+                .expect("a frontier-timestamped record is not late");
+            // One millisecond later bucket 4 seals; now 4999 is history.
+            engine.advance(Timestamp(5_000)).unwrap();
+            let err = engine
+                .ingest(Record {
+                    t: Timestamp(4_999),
+                    ..template
+                })
+                .unwrap_err();
+            assert!(matches!(err, FlowError::TimeRegression { .. }));
+        }
+    }
+
+    /// A failed advance must poison the engine: coordinator and shard
+    /// state have diverged, so everything afterwards is refused. The
+    /// failure is injected through a path-enumeration budget small enough
+    /// that evaluating the paper data blows it.
+    #[test]
+    fn failed_advance_poisons_engine() {
+        for strategy in [AdvanceStrategy::Eager, AdvanceStrategy::BoundPruned] {
+            let fig = paper_figure1();
+            let cfg = ServeConfig::new(2, QuerySet::new(fig.r.to_vec()), WindowSpec::new(4_000, 2))
+                .with_shards(2)
+                .with_strategy(strategy)
+                .with_flow(FlowConfig {
+                    engine: PresenceEngine::PathEnumeration,
+                    path_budget: 1,
+                    ..FlowConfig::default()
+                });
+            let mut engine = ServeEngine::new(Arc::new(fig.space.clone()), cfg);
+            engine
+                .ingest_all(paper_table2().records().to_vec())
+                .unwrap();
+            let err = engine.advance(Timestamp::from_secs(8)).unwrap_err();
+            assert!(
+                matches!(err, FlowError::PathBudgetExceeded { .. }),
+                "{strategy:?}: unexpected injected error {err}"
+            );
+            assert!(engine.is_poisoned(), "{strategy:?}");
+            // Every later call is refused with EngineUnavailable — even
+            // perfectly well-formed input.
+            let record = Record {
+                t: Timestamp::from_secs(20),
+                ..paper_table2().records()[0].clone()
+            };
+            let err = engine.ingest(record).unwrap_err();
+            assert!(matches!(err, FlowError::EngineUnavailable { .. }));
+            let err = engine.advance(Timestamp::from_secs(30)).unwrap_err();
+            assert!(matches!(err, FlowError::EngineUnavailable { .. }));
+        }
     }
 
     #[test]
@@ -166,6 +285,7 @@ mod tests {
         engine.advance(Timestamp(5_000)).unwrap();
         let err = engine.advance(Timestamp(4_000)).unwrap_err();
         assert!(matches!(err, FlowError::TimeRegression { .. }));
+        assert!(!engine.is_poisoned(), "a rejected advance must not poison");
         engine.advance(Timestamp(5_000)).unwrap(); // idempotent re-advance ok
     }
 
@@ -174,21 +294,49 @@ mod tests {
         let fig = paper_figure1();
         let records = paper_table2().records().to_vec();
         let mut rankings = Vec::new();
-        for shards in [1, 2, 5] {
-            let (mut engine, _space) = paper_engine(WindowSpec::new(4_000, 2), shards);
-            engine.ingest_all(records.clone()).unwrap();
-            let update = engine.advance(Timestamp::from_secs(8)).unwrap();
-            rankings.push(
-                update
-                    .outcome
-                    .ranking
-                    .iter()
-                    .map(|r| (r.sloc, r.flow.to_bits()))
-                    .collect::<Vec<_>>(),
-            );
+        for strategy in [AdvanceStrategy::Eager, AdvanceStrategy::BoundPruned] {
+            for shards in [1, 2, 5] {
+                let (mut engine, _space) =
+                    paper_engine_with(WindowSpec::new(4_000, 2), shards, strategy);
+                engine.ingest_all(records.clone()).unwrap();
+                let update = engine.advance(Timestamp::from_secs(8)).unwrap();
+                rankings.push(
+                    update
+                        .outcome
+                        .ranking
+                        .iter()
+                        .map(|r| (r.sloc, r.flow.to_bits()))
+                        .collect::<Vec<_>>(),
+                );
+            }
         }
-        assert_eq!(rankings[0], rankings[1]);
-        assert_eq!(rankings[0], rankings[2]);
+        for r in &rankings[1..] {
+            assert_eq!(&rankings[0], r);
+        }
         let _ = fig;
+    }
+
+    /// The bound-pruned engine's lazy caches must pay for a
+    /// single-bucket object's location at most once per bucket:
+    /// re-advancing over an unchanged window serves every requested cell
+    /// from cache. (Straddlers are excluded by using one wide bucket —
+    /// their windowed scores are legitimately per-window.)
+    #[test]
+    fn pruned_re_advance_serves_from_cache() {
+        let (mut engine, _space) =
+            paper_engine_with(WindowSpec::new(10_000, 1), 2, AdvanceStrategy::BoundPruned);
+        engine
+            .ingest_all(paper_table2().records().to_vec())
+            .unwrap();
+        engine.advance(Timestamp(10_000)).unwrap();
+        let cells_after_first = engine.stats().presence_cells;
+        assert!(cells_after_first > 0);
+        engine.advance(Timestamp(10_000)).unwrap();
+        let stats = engine.stats();
+        assert_eq!(
+            stats.presence_cells, cells_after_first,
+            "re-advance recomputed cached cells: {stats:?}"
+        );
+        assert!(stats.cache_hits > 0);
     }
 }

@@ -4,10 +4,9 @@
 //!
 //! # Caching scheme
 //!
-//! Each sealed bucket stores, per object with records in it, the object's
-//! [`ObjectContribution`] computed over its *bucket-local* subsequence
-//! (or a pruned marker when its PSLs miss the query set). At advance
-//! time the window's flow decomposes per object:
+//! Sealed buckets cache per-object state keyed by record *positions* into
+//! the shard's append-only log (no sample sets are cloned out of it). At
+//! advance time the window's flow decomposes per object:
 //!
 //! * an object whose windowed records all fall in **one** bucket
 //!   contributes exactly its cached bucket contribution — presence over
@@ -18,38 +17,68 @@
 //!   worker recomputes it exactly over the full windowed sequence via the
 //!   same [`object_flow_contributions`] kernel the batch search uses.
 //!
-//! Sliding the window therefore evicts and seals buckets instead of
-//! recomputing history: per advance only the freshly sealed bucket's
-//! objects plus the straddlers pay presence computation.
+//! # Two evaluation protocols
+//!
+//! The **eager** protocol ([`ShardMsg::Advance`]) computes every sealed
+//! object's full contribution at seal time and replies with the shard's
+//! complete window contribution list — PR 2's behaviour.
+//!
+//! The **bound-pruned** protocol splits an advance into two phases.
+//! [`ShardMsg::AdvanceBounds`] seals buckets *cheaply*: only each
+//! object's record positions and PSL candidate list (`Q ∩ psls`, a scan —
+//! no presence computation) are recorded, and the reply carries the
+//! shard's per-object candidate lists so the coordinator can build COUNT
+//! flow bounds per location. [`ShardMsg::Evaluate`] then requests exact
+//! per-location contributions lazily, only for the (location, object)
+//! pairs the coordinator's threshold loop could not prune; computed
+//! scores are memoized in the bucket caches, so a location evaluated on
+//! one slide is free on the next while its bucket stays in the window.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 
-use indoor_iupt::{Iupt, ObjectId, Record, SampleSet};
-use indoor_model::IndoorSpace;
+use indoor_iupt::{Iupt, ObjectId, Record};
+use indoor_model::{IndoorSpace, SLocId};
 use popflow_core::{
-    object_flow_contributions, FlowConfig, FlowError, ObjectContribution, QuerySet, WindowSpec,
+    intersect_sorted, object_flow_contributions, object_flow_contributions_for, scan_psls,
+    FlowConfig, FlowError, ObjectContribution, QuerySet, WindowSpec,
 };
 
 /// Messages the coordinator sends a shard worker. Each worker drains its
-/// queue in order, so an `Advance` observes every record routed before it.
+/// queue in order, so an advance observes every record routed before it.
 pub(crate) enum ShardMsg {
     /// Append one record (already validated and routed by the engine).
     Ingest(Record),
-    /// Seal buckets through `window_end`, evaluate the window
-    /// `[window_start, window_end]` (bucket indices, inclusive), reply
-    /// with this shard's per-object contributions.
+    /// Eager advance: seal buckets through `window_end` (computing full
+    /// contributions), evaluate the window `[window_start, window_end]`
+    /// (bucket indices, inclusive), reply with this shard's per-object
+    /// contributions.
     Advance {
         window_start: i64,
         window_end: i64,
         reply: Sender<ShardReport>,
     },
+    /// Bound-pruned phase 1: seal buckets cheaply (record positions and
+    /// PSL candidate lists only — no presence computation), reply with
+    /// this shard's per-object candidate lists.
+    AdvanceBounds {
+        window_start: i64,
+        window_end: i64,
+        reply: Sender<BoundsReport>,
+    },
+    /// Bound-pruned phase 2: exact contributions for `oids` (window
+    /// objects of this shard), restricted to the query locations `slocs`.
+    Evaluate {
+        slocs: Vec<SLocId>,
+        oids: Vec<ObjectId>,
+        reply: Sender<EvalReport>,
+    },
     /// Drain and exit.
     Shutdown,
 }
 
-/// One shard's answer to an `Advance`.
+/// One shard's answer to an eager `Advance`.
 pub(crate) struct ShardReport {
     /// Non-pruned objects in the window with their contributions,
     /// ascending by object id. `Arc` because cached contributions are
@@ -63,24 +92,84 @@ pub(crate) struct ShardReport {
     /// Objects recomputed exactly because their records straddle buckets.
     pub straddlers: usize,
     /// Presence computations performed during this advance (bucket
-    /// sealing + straddlers).
+    /// sealing + straddlers), counted per object.
     pub fresh_presence: usize,
+    /// The same work counted per (object, location) cell — the unit the
+    /// bound-pruned protocol prunes at.
+    pub presence_cells: usize,
+    /// First error hit, if any (the report is then partial).
+    pub error: Option<FlowError>,
+}
+
+/// Phase-1 reply of the bound-pruned advance: who is in the window and
+/// which query locations each object could contribute to. No presence
+/// has been computed yet — sealing was a PSL scan.
+pub(crate) struct BoundsReport {
+    /// `(oid, Q ∩ psls)` per candidate window object (objects with an
+    /// empty candidate list are omitted), ascending by object id.
+    pub candidates: Vec<(ObjectId, Vec<SLocId>)>,
+    /// Distinct objects with records in the window (including
+    /// non-candidates).
+    pub objects_total: usize,
+    /// Window objects whose records straddle bucket boundaries.
+    pub straddlers: usize,
+}
+
+/// Phase-2 reply: exact contributions restricted to the requested
+/// locations, ascending by object id.
+pub(crate) struct EvalReport {
+    pub contributions: Vec<(ObjectId, ObjectContribution)>,
+    /// (object, location) cells freshly evaluated by this request.
+    pub evaluated_cells: usize,
+    /// Cells served from lazily-filled caches (evaluated on an earlier
+    /// slide for a bucket still in the window).
+    pub cached_cells: usize,
+    /// Objects that paid at least one fresh presence evaluation in this
+    /// request. The coordinator deduplicates across the advance's
+    /// requests — an object evaluated for several locations counts once
+    /// toward the per-object presence stat.
+    pub evaluated_oids: Vec<ObjectId>,
     /// First error hit, if any (the report is then partial).
     pub error: Option<FlowError>,
 }
 
 /// One object's sealed state within one bucket.
 struct CachedObject {
-    /// The object's raw bucket-local sample sets, in time order — kept so
-    /// a straddler's windowed sequence is the concatenation of its cached
-    /// bucket slices, with no rescan of the shard's record log.
-    sets: Vec<SampleSet>,
-    /// The bucket-local contribution (`None` when PSL-pruned).
+    /// The object's record positions in the shard log, in time order —
+    /// the log is append-only, so positions are stable and the cache
+    /// never duplicates sample sets.
+    records: Vec<u32>,
+    /// Eager sealing: the bucket-local contribution (`None` when
+    /// PSL-pruned). Untouched by the bound-pruned protocol.
     contribution: Option<Arc<ObjectContribution>>,
+    /// Cheap sealing: the bucket-local candidate list `Q ∩ psls`,
+    /// ascending. Untouched by the eager protocol.
+    relevant: Vec<SLocId>,
+    /// Bound-pruned protocol: lazily-filled exact per-location scores.
+    scores: HashMap<SLocId, f64>,
+    /// Whether a lazy evaluation of this object fell back to the DP
+    /// (hybrid engine); sticky, as the fallback is a per-object property.
+    dp_fallback: bool,
 }
 
 /// Per-bucket cache: every object with records in the bucket.
 type BucketCache = BTreeMap<ObjectId, CachedObject>;
+
+/// Where a window object's lazy evaluation state lives for the current
+/// bound-pruned advance.
+enum WindowSlot {
+    /// All records in one sealed bucket: scores memoize in that bucket's
+    /// cache and survive across slides.
+    Single(i64),
+    /// A bucket straddler: the windowed sequence crosses bucket bounds,
+    /// so its lazy scores are only valid for this window.
+    Straddler {
+        records: Vec<u32>,
+        relevant: Vec<SLocId>,
+        scores: HashMap<SLocId, f64>,
+        dp_fallback: bool,
+    },
+}
 
 /// The state owned by one worker thread.
 pub(crate) struct ShardWorker {
@@ -94,6 +183,8 @@ pub(crate) struct ShardWorker {
     buckets: BTreeMap<i64, BucketCache>,
     /// Highest bucket index sealed so far.
     sealed_through: Option<i64>,
+    /// Window map of the latest `AdvanceBounds`, consulted by `Evaluate`.
+    window: BTreeMap<ObjectId, WindowSlot>,
 }
 
 impl ShardWorker {
@@ -111,6 +202,7 @@ impl ShardWorker {
             iupt: Iupt::new(),
             buckets: BTreeMap::new(),
             sealed_through: None,
+            window: BTreeMap::new(),
         }
     }
 
@@ -130,13 +222,25 @@ impl ShardWorker {
                     // channel is not this worker's problem.
                     let _ = reply.send(report);
                 }
+                ShardMsg::AdvanceBounds {
+                    window_start,
+                    window_end,
+                    reply,
+                } => {
+                    let report = self.advance_bounds(window_start, window_end);
+                    let _ = reply.send(report);
+                }
+                ShardMsg::Evaluate { slocs, oids, reply } => {
+                    let report = self.evaluate_lazy(&slocs, &oids);
+                    let _ = reply.send(report);
+                }
                 ShardMsg::Shutdown => break,
             }
         }
     }
 
     /// Seals buckets through `window_end`, then assembles the shard's
-    /// window contributions.
+    /// window contributions (the eager protocol).
     fn evaluate(&mut self, window_start: i64, window_end: i64) -> ShardReport {
         let mut report = ShardReport {
             contributions: Vec::new(),
@@ -144,28 +248,24 @@ impl ShardWorker {
             cache_hits: 0,
             straddlers: 0,
             fresh_presence: 0,
+            presence_cells: 0,
             error: None,
         };
 
-        if let Err(e) = self.seal_through(window_start, window_end, &mut report.fresh_presence) {
+        if let Err(e) = self.seal_through(
+            window_start,
+            window_end,
+            true,
+            &mut report.fresh_presence,
+            &mut report.presence_cells,
+        ) {
             report.error = Some(e);
             return report;
         }
         // Buckets that slid out of the window are never consulted again.
         self.buckets.retain(|&b, _| b >= window_start);
 
-        // Which buckets of the window does each object appear in? Most
-        // objects appear in exactly one, so track (first bucket, bucket
-        // count) instead of materializing per-object bucket lists.
-        let mut presence: HashMap<ObjectId, (i64, u32)> = HashMap::new();
-        for (&b, cache) in self.buckets.range(window_start..=window_end) {
-            for &oid in cache.keys() {
-                presence
-                    .entry(oid)
-                    .and_modify(|e| e.1 += 1)
-                    .or_insert((b, 1));
-            }
-        }
+        let presence = self.window_presence(window_start, window_end);
         report.objects_total = presence.len();
 
         for (&oid, &(first_bucket, bucket_count)) in &presence {
@@ -182,14 +282,23 @@ impl ShardWorker {
                 // object's cached bucket slices (buckets ascend, each
                 // slice is time-ordered): recompute it exactly.
                 report.straddlers += 1;
-                let sets = self
-                    .buckets
+                let ShardWorker {
+                    space,
+                    query_set,
+                    cfg,
+                    iupt,
+                    buckets,
+                    ..
+                } = self;
+                let log = iupt.records();
+                let sets = buckets
                     .range(first_bucket..=window_end)
                     .filter_map(|(_, cache)| cache.get(&oid))
-                    .flat_map(|cached| cached.sets.iter());
-                match object_flow_contributions(&self.space, sets, &self.query_set, &self.cfg) {
+                    .flat_map(|cached| cached.records.iter().map(|&i| &log[i as usize].samples));
+                match object_flow_contributions(space, sets, query_set, cfg) {
                     Ok(Some(contribution)) => {
                         report.fresh_presence += 1;
+                        report.presence_cells += contribution.relevant.len();
                         report.contributions.push((oid, Arc::new(contribution)));
                     }
                     // PSL-pruned over the full window: no presence was
@@ -207,15 +316,188 @@ impl ShardWorker {
         report
     }
 
-    /// Computes and caches the contributions of every not-yet-sealed
-    /// bucket in `[window_start, window_end]`. Buckets before
-    /// `window_start` that were never sealed are skipped — the window
-    /// has already moved past them.
+    /// Bound-pruned phase 1: cheap sealing, eviction, and candidate
+    /// assembly. Performs no presence computation at all.
+    fn advance_bounds(&mut self, window_start: i64, window_end: i64) -> BoundsReport {
+        let (mut fresh, mut cells) = (0, 0);
+        self.seal_through(window_start, window_end, false, &mut fresh, &mut cells)
+            .expect("cheap sealing performs no fallible merge or presence work");
+        debug_assert_eq!((fresh, cells), (0, 0));
+        self.buckets.retain(|&b, _| b >= window_start);
+
+        let presence = self.window_presence(window_start, window_end);
+        let objects_total = presence.len();
+        let mut straddlers = 0;
+        let mut candidates = Vec::new();
+        self.window.clear();
+        for (&oid, &(first_bucket, bucket_count)) in &presence {
+            if bucket_count == 1 {
+                let relevant = self.buckets[&first_bucket][&oid].relevant.clone();
+                if !relevant.is_empty() {
+                    candidates.push((oid, relevant));
+                }
+                self.window.insert(oid, WindowSlot::Single(first_bucket));
+            } else {
+                straddlers += 1;
+                // The window-level PSL set is the union of the bucket
+                // PSL sets (PSLs come from raw record support), so the
+                // candidate list is the union of the cached ones.
+                let mut records = Vec::new();
+                let mut relevant: Vec<SLocId> = Vec::new();
+                for (_, cache) in self.buckets.range(first_bucket..=window_end) {
+                    if let Some(cached) = cache.get(&oid) {
+                        records.extend_from_slice(&cached.records);
+                        relevant = union_sorted(&relevant, &cached.relevant);
+                    }
+                }
+                if !relevant.is_empty() {
+                    candidates.push((oid, relevant.clone()));
+                }
+                self.window.insert(
+                    oid,
+                    WindowSlot::Straddler {
+                        records,
+                        relevant,
+                        scores: HashMap::new(),
+                        dp_fallback: false,
+                    },
+                );
+            }
+        }
+        candidates.sort_unstable_by_key(|(oid, _)| *oid);
+        BoundsReport {
+            candidates,
+            objects_total,
+            straddlers,
+        }
+    }
+
+    /// Bound-pruned phase 2: exact contributions for `oids`, restricted
+    /// to `slocs` (sorted). Fresh scores are computed through the same
+    /// per-object kernel as everything else and memoized.
+    fn evaluate_lazy(&mut self, slocs: &[SLocId], oids: &[ObjectId]) -> EvalReport {
+        let mut report = EvalReport {
+            contributions: Vec::with_capacity(oids.len()),
+            evaluated_cells: 0,
+            cached_cells: 0,
+            evaluated_oids: Vec::new(),
+            error: None,
+        };
+        let ShardWorker {
+            space,
+            query_set,
+            cfg,
+            iupt,
+            buckets,
+            window,
+            ..
+        } = self;
+        let log = iupt.records();
+        for &oid in oids {
+            let Some(slot) = window.get_mut(&oid) else {
+                report.error = Some(FlowError::EngineUnavailable {
+                    detail: format!("evaluate requested unknown window object {oid}"),
+                });
+                return report;
+            };
+            let (records, relevant, scores, dp_fallback) = match slot {
+                WindowSlot::Single(b) => {
+                    let cached = buckets
+                        .get_mut(b)
+                        .and_then(|cache| cache.get_mut(&oid))
+                        .expect("window slot points at a sealed bucket");
+                    let CachedObject {
+                        records,
+                        relevant,
+                        scores,
+                        dp_fallback,
+                        ..
+                    } = cached;
+                    (&*records, &*relevant, scores, dp_fallback)
+                }
+                WindowSlot::Straddler {
+                    records,
+                    relevant,
+                    scores,
+                    dp_fallback,
+                } => (&*records, &*relevant, scores, dp_fallback),
+            };
+            let requested = intersect_sorted(slocs, relevant);
+            let missing: Vec<SLocId> = requested
+                .iter()
+                .copied()
+                .filter(|q| !scores.contains_key(q))
+                .collect();
+            report.cached_cells += requested.len() - missing.len();
+            if !missing.is_empty() {
+                report.evaluated_oids.push(oid);
+                let sets = records.iter().map(|&i| &log[i as usize].samples);
+                match object_flow_contributions_for(space, sets, &missing, query_set, cfg) {
+                    Ok(contribution) => {
+                        if let Some(c) = &contribution {
+                            report.evaluated_cells += c.relevant.len();
+                            *dp_fallback = *dp_fallback || c.dp_fallback;
+                            for (q, s) in c.relevant.iter().zip(&c.scores) {
+                                scores.insert(*q, *s);
+                            }
+                        }
+                        // Requested locations the kernel did not score
+                        // (unreachable for candidates; defensive) are 0.
+                        for q in &missing {
+                            scores.entry(*q).or_insert(0.0);
+                        }
+                    }
+                    Err(e) => {
+                        report.error = Some(e);
+                        return report;
+                    }
+                }
+            }
+            let values: Vec<f64> = requested.iter().map(|q| scores[q]).collect();
+            report.contributions.push((
+                oid,
+                ObjectContribution {
+                    relevant: requested,
+                    scores: values,
+                    dp_fallback: *dp_fallback,
+                },
+            ));
+        }
+        report.contributions.sort_unstable_by_key(|(oid, _)| *oid);
+        report
+    }
+
+    /// Which buckets of the window does each object appear in? Most
+    /// objects appear in exactly one, so track (first bucket, bucket
+    /// count) instead of materializing per-object bucket lists.
+    fn window_presence(&self, window_start: i64, window_end: i64) -> HashMap<ObjectId, (i64, u32)> {
+        let mut presence: HashMap<ObjectId, (i64, u32)> = HashMap::new();
+        for (&b, cache) in self.buckets.range(window_start..=window_end) {
+            for &oid in cache.keys() {
+                presence
+                    .entry(oid)
+                    .and_modify(|e| e.1 += 1)
+                    .or_insert((b, 1));
+            }
+        }
+        presence
+    }
+
+    /// Seals every not-yet-sealed bucket in `[window_start, window_end]`.
+    /// Buckets before `window_start` that were never sealed are skipped —
+    /// the window has already moved past them.
+    ///
+    /// `eager` sealing computes and caches full contributions (counting
+    /// them into `fresh`/`cells`); cheap sealing records only positions
+    /// and PSL candidate lists, deferring all presence work to
+    /// [`ShardWorker::evaluate_lazy`].
     fn seal_through(
         &mut self,
         window_start: i64,
         window_end: i64,
+        eager: bool,
         fresh: &mut usize,
+        cells: &mut usize,
     ) -> Result<(), FlowError> {
         let first_unsealed = self.sealed_through.map_or(i64::MIN, |s| s + 1);
         for b in first_unsealed.max(window_start)..=window_end {
@@ -223,22 +505,40 @@ impl ShardWorker {
                 continue;
             }
             let interval = self.spec.bucket_interval(b);
+            let positions = self.iupt.sequence_positions_in(interval);
             let mut cache: BucketCache = BTreeMap::new();
-            let ShardWorker {
-                space,
-                query_set,
-                cfg,
-                iupt,
-                ..
-            } = self;
-            for seq in iupt.sequences_in(interval) {
-                let sets: Vec<SampleSet> = seq.records.iter().map(|r| r.samples.clone()).collect();
-                let contribution =
-                    object_flow_contributions(space, sets.iter(), query_set, cfg)?.map(Arc::new);
-                // PSL-pruned objects performed no presence computation —
-                // count like the batch search's `objects_computed`.
-                *fresh += usize::from(contribution.is_some());
-                cache.insert(seq.oid, CachedObject { sets, contribution });
+            for (oid, records) in positions {
+                let log = self.iupt.records();
+                let sets = records.iter().map(|&i| &log[i as usize].samples);
+                let cached = if eager {
+                    let contribution =
+                        object_flow_contributions(&self.space, sets, &self.query_set, &self.cfg)?
+                            .map(Arc::new);
+                    // PSL-pruned objects performed no presence
+                    // computation — count like the batch search's
+                    // `objects_computed`.
+                    *fresh += usize::from(contribution.is_some());
+                    if let Some(c) = &contribution {
+                        *cells += c.relevant.len();
+                    }
+                    CachedObject {
+                        records,
+                        contribution,
+                        relevant: Vec::new(),
+                        scores: HashMap::new(),
+                        dp_fallback: false,
+                    }
+                } else {
+                    let psls = scan_psls(&self.space, sets);
+                    CachedObject {
+                        records,
+                        contribution: None,
+                        relevant: self.query_set.intersection_sorted(&psls),
+                        scores: HashMap::new(),
+                        dp_fallback: false,
+                    }
+                };
+                cache.insert(oid, cached);
             }
             self.buckets.insert(b, cache);
         }
@@ -248,4 +548,30 @@ impl ShardWorker {
         );
         Ok(())
     }
+}
+
+/// Union of two sorted, deduplicated `SLocId` slices, ascending.
+fn union_sorted(a: &[SLocId], b: &[SLocId]) -> Vec<SLocId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
 }

@@ -15,6 +15,10 @@ use crate::mobility::MobilityConfig;
 use crate::positioning::PositioningConfig;
 use crate::scenario::{Scenario, World};
 
+/// The default destination-choice skew, matching
+/// [`MobilityConfig::tiny`].
+const DEFAULT_SKEW: f64 = 0.9;
+
 /// A streaming workload: `num_objects` visitors tracked over
 /// `duration_secs` of simulated wall-clock time.
 ///
@@ -32,6 +36,11 @@ pub struct StreamScenario {
     pub duration_secs: i64,
     /// Visit-length range in seconds (an object's lifespan).
     pub visit_secs: (i64, i64),
+    /// Zipf exponent skewing destination choice toward popular rooms
+    /// (0 = uniform). Real visitor traffic is heavily skewed; high skew
+    /// is also what makes bound-pruned serving shine — most locations'
+    /// candidate counts never reach the top-k threshold.
+    pub destination_skew: f64,
     /// Master seed (re-derived per component).
     pub seed: u64,
 }
@@ -45,6 +54,7 @@ impl StreamScenario {
             num_objects,
             duration_secs: 24 * 3600,
             visit_secs: (120, 600),
+            destination_skew: DEFAULT_SKEW,
             seed,
         }
     }
@@ -62,6 +72,7 @@ impl StreamScenario {
                 ((120.0 * scale.sqrt()) as i64).clamp(30, duration_secs),
                 ((600.0 * scale.sqrt()) as i64).clamp(60, duration_secs),
             ),
+            destination_skew: DEFAULT_SKEW,
             seed,
         }
     }
@@ -73,6 +84,14 @@ impl StreamScenario {
         self
     }
 
+    /// Overrides the destination-choice skew (Zipf exponent; 0 =
+    /// uniform).
+    pub fn with_skew(mut self, destination_skew: f64) -> Self {
+        assert!(destination_skew >= 0.0, "skew must be non-negative");
+        self.destination_skew = destination_skew;
+        self
+    }
+
     /// Expands into a full [`Scenario`]: a small venue whose visitors
     /// wander between rooms for the length of their visit, positioned
     /// with the paper's WkNN parameters.
@@ -80,6 +99,7 @@ impl StreamScenario {
         let mut mobility = MobilityConfig::tiny();
         mobility.num_objects = self.num_objects;
         mobility.duration_secs = self.duration_secs;
+        mobility.destination_skew = self.destination_skew;
         mobility.lifespan_secs = (
             self.visit_secs.0.min(self.duration_secs),
             self.visit_secs.1.min(self.duration_secs),

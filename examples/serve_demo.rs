@@ -1,6 +1,7 @@
 //! Serving demo: a simulated day of visitor tracking replayed through
-//! the sharded incremental `popflow-serve` engine, head-to-head against
-//! the recompute-per-slide baseline.
+//! the sharded incremental `popflow-serve` engine — eager and
+//! bound-pruned advances — head-to-head against the recompute-per-slide
+//! baseline.
 //!
 //! The stream is ingested in timestamp order across shard worker
 //! threads; once per bucket the standing top-k query advances its
@@ -19,13 +20,15 @@ use popflow_eval::experiments::streaming::{run_streaming, EngineMetrics, Streami
 
 fn print_engine(m: &EngineMetrics) {
     println!(
-        "  {:<14} mean {:>8.3} ms   p50 {:>8.3} ms   p99 {:>8.3} ms   {:>9.0} rec/s ingest   {:>7} presence computations",
+        "  {:<20} mean {:>8.3} ms   p50 {:>8.3} ms   p99 {:>8.3} ms   {:>9.0} rec/s ingest   {:>7} presence computations ({} cells, {} skipped)",
         m.name,
         m.mean_ms(),
         m.quantile_ms(0.50),
         m.quantile_ms(0.99),
         m.records_per_sec(),
         m.presence_computations,
+        m.presence_cells,
+        m.presence_skipped,
     );
 }
 
@@ -53,10 +56,15 @@ fn main() {
         report.incremental.records, report.slides
     );
     print_engine(&report.incremental);
+    print_engine(&report.pruned);
     print_engine(&report.baseline);
     println!(
-        "\nadvance speedup: {:.1}x wall-clock, {:.1}x presence work",
-        report.speedup, report.work_ratio
+        "\nadvance speedup: {:.1}x wall-clock ({:.1}x pruned), {:.1}x presence work; \
+         bound pruning saves {:.1}% of presence cells",
+        report.speedup,
+        report.pruned_speedup,
+        report.work_ratio,
+        100.0 * (1.0 - 1.0 / report.pruned_work_ratio.max(1.0)),
     );
 
     if report.mismatched_slides == 0 {

@@ -192,3 +192,73 @@ fn point_partition_lookup_agrees_with_geometry() {
     assert_eq!(probes, 900);
     let _ = CellId(0);
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `WindowSpec` arithmetic invariants, including negative timestamps:
+    /// buckets tile the time axis, a bucket is complete only once its
+    /// final millisecond has elapsed, and every instant of the window at
+    /// `now` maps into the window's bucket range.
+    #[test]
+    fn window_spec_invariants(
+        bucket_millis in 1i64..5_000,
+        window_buckets in 1usize..10,
+        now_millis in -1_000_000i64..1_000_000,
+        probe in 0u64..u64::MAX,
+    ) {
+        use indoor_iupt::Timestamp;
+        use popflow_core::WindowSpec;
+
+        let spec = WindowSpec::new(bucket_millis, window_buckets);
+        let now = Timestamp(now_millis);
+
+        // bucket_of / bucket_interval consistency: every t lies in
+        // exactly the bucket that claims it, and buckets abut.
+        let b = spec.bucket_of(now);
+        let iv = spec.bucket_interval(b);
+        prop_assert!(iv.contains(now), "t {now_millis} outside its bucket {b}");
+        prop_assert_eq!(iv.end.millis() - iv.start.millis() + 1, bucket_millis);
+        prop_assert_eq!(spec.bucket_interval(b + 1).start.millis(), iv.end.millis() + 1);
+
+        // last_complete_bucket: bucket `c` has fully elapsed
+        // (end < now), bucket `c + 1` has not.
+        let c = spec.last_complete_bucket(now);
+        prop_assert!(
+            spec.bucket_interval(c).end < now,
+            "bucket {c} claimed complete at {now_millis} but its end has not elapsed"
+        );
+        prop_assert!(
+            spec.bucket_interval(c + 1).end >= now,
+            "bucket {} should also count as complete at {now_millis}", c + 1
+        );
+
+        // window_at: ends at the last complete bucket, spans exactly
+        // window_buckets buckets, and every contained instant maps into
+        // [start bucket, end bucket].
+        let (end_bucket, window) = spec.window_at(now);
+        prop_assert_eq!(end_bucket, c);
+        let start_bucket = end_bucket - window_buckets as i64 + 1;
+        prop_assert_eq!(
+            window.end.millis() - window.start.millis() + 1,
+            spec.window_millis()
+        );
+        prop_assert_eq!(window.start.millis(), start_bucket * bucket_millis);
+        prop_assert_eq!(window.end.millis(), (end_bucket + 1) * bucket_millis - 1);
+        // A pseudo-random probe inside the window, sampling the whole
+        // span across cases.
+        let span = spec.window_millis();
+        let offset = (probe % span as u64) as i64;
+        let t = Timestamp(window.start.millis() + offset);
+        prop_assert!(window.contains(t));
+        let tb = spec.bucket_of(t);
+        prop_assert!(
+            start_bucket <= tb && tb <= end_bucket,
+            "window instant {} fell in bucket {tb}, outside [{start_bucket}, {end_bucket}]",
+            t.millis()
+        );
+        // Window boundaries land exactly on bucket boundaries.
+        prop_assert_eq!(spec.bucket_of(window.start), start_bucket);
+        prop_assert_eq!(spec.bucket_of(window.end), end_bucket);
+    }
+}

@@ -1,22 +1,26 @@
 //! Engine-equivalence and throughput gates for the `popflow-serve`
 //! incremental engine.
 //!
-//! The incremental engine's whole value rests on two claims, both checked
-//! here mechanically rather than by eye:
+//! The incremental engine's whole value rests on three claims, all
+//! checked here mechanically rather than by eye:
 //!
 //! 1. **Exactness** — on every slide, over random scenarios and random
-//!    window/bucket/shard configurations, the incremental top-k equals
-//!    the batch Nested-Loop result on the identical window (property
-//!    test).
+//!    window/bucket/shard configurations, both the eager and the
+//!    bound-pruned incremental top-k equal the batch Nested-Loop result
+//!    on the identical window, flow-bit for flow-bit (property test).
 //! 2. **Speed** — at window/bucket ratio ≥ 8 the incremental engine's
 //!    per-advance latency beats the recompute-per-slide baseline by ≥ 5×,
 //!    with identical top-k lists on every slide (throughput experiment).
+//! 3. **Pruning** — on a skewed visitor stream, bound-pruned advances
+//!    perform strictly fewer presence computations than eager ones and
+//!    actually skip candidate (object, location) cells.
 //!
 //! Run with: `cargo test -p popflow-eval --test serve_equivalence`
 
 use std::sync::Arc;
 
 use indoor_iupt::{Iupt, Record, Timestamp};
+use indoor_sim::StreamScenario;
 use popflow_core::{
     nested_loop, ContinuousEngine, FlowConfig, QuerySet, RecomputeEngine, TkPlQuery, WindowSpec,
 };
@@ -24,10 +28,10 @@ use popflow_eval::experiments::streaming::{run_streaming, StreamingConfig};
 use popflow_serve::{ServeConfig, ServeEngine};
 use proptest::prelude::*;
 
-/// Drives the serve engine and the recompute baseline over one generated
-/// world with the given geometry, asserting equal top-k lists (and equal
-/// deltas) on every bucket-aligned slide; spot-checks one slide against a
-/// direct one-shot Nested-Loop query.
+/// Drives both serve strategies and the recompute baseline over one
+/// generated world with the given geometry, asserting equal top-k lists,
+/// bit-identical flows, and equal deltas on every bucket-aligned slide;
+/// spot-checks one slide against a direct one-shot Nested-Loop query.
 fn assert_equivalent(
     seed: u64,
     bucket_secs: i64,
@@ -49,12 +53,11 @@ fn assert_equivalent(
             .with_full_product_normalization()
     };
 
-    let mut serve = ServeEngine::new(
-        Arc::clone(&space),
-        ServeConfig::new(k, QuerySet::new(slocs.clone()), spec)
-            .with_shards(num_shards)
-            .with_flow(flow),
-    );
+    let serve_cfg = ServeConfig::new(k, QuerySet::new(slocs.clone()), spec)
+        .with_shards(num_shards)
+        .with_flow(flow);
+    let mut serve = ServeEngine::new(Arc::clone(&space), serve_cfg.clone());
+    let mut pruned = ServeEngine::new(Arc::clone(&space), serve_cfg.with_bound_pruning());
     let mut batch = RecomputeEngine::new(
         Arc::clone(&space),
         k,
@@ -69,18 +72,32 @@ fn assert_equivalent(
     let mut next = 0usize;
     let mut checked_one_shot = false;
     for b in 0..=last_bucket {
-        let now = spec.bucket_interval(b).end;
+        // Advance at the instant bucket `b` completes (end + 1 ms).
+        let now = Timestamp(spec.bucket_interval(b).end.millis() + 1);
         while next < records.len() && records[next].t <= now {
             serve.ingest(records[next].clone()).expect("ordered stream");
+            pruned
+                .ingest(records[next].clone())
+                .expect("ordered stream");
             batch.ingest(records[next].clone()).expect("ordered stream");
             next += 1;
         }
         let a = serve.advance(now).expect("serve advance");
+        let p = pruned.advance(now).expect("pruned advance");
         let c = batch.advance(now).expect("batch advance");
         prop_assert_eq!(&a.window, &c.window);
         prop_assert_eq!(a.outcome.topk_slocs(), c.outcome.topk_slocs());
         prop_assert_eq!(&a.entered, &c.entered);
         prop_assert_eq!(&a.left, &c.left);
+        // The bound-pruned advance must agree not just on sets but on
+        // flow bits: returned flows are computed exactly, only
+        // sub-threshold locations are skipped.
+        prop_assert_eq!(p.outcome.topk_slocs(), c.outcome.topk_slocs());
+        for (x, y) in p.outcome.ranking.iter().zip(c.outcome.ranking.iter()) {
+            prop_assert_eq!(x.flow.to_bits(), y.flow.to_bits());
+        }
+        prop_assert_eq!(&p.entered, &c.entered);
+        prop_assert_eq!(&p.left, &c.left);
 
         // Mid-replay, pin one slide against a literal one-shot batch
         // query over the same records — guarding the baseline itself.
@@ -94,6 +111,7 @@ fn assert_equivalent(
             )
             .expect("one-shot query");
             prop_assert_eq!(a.outcome.topk_slocs(), one_shot.topk_slocs());
+            prop_assert_eq!(p.outcome.topk_slocs(), one_shot.topk_slocs());
             checked_one_shot = true;
         }
     }
@@ -105,8 +123,8 @@ fn assert_equivalent(
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
-    /// Random worlds × random window geometry × random sharding: the
-    /// incremental engine must match batch evaluation on every slide.
+    /// Random worlds × random window geometry × random sharding: both
+    /// incremental strategies must match batch evaluation on every slide.
     #[test]
     fn incremental_topk_equals_batch_on_random_configs(
         seed in 0u64..10_000,
@@ -122,7 +140,7 @@ proptest! {
 /// The headline acceptance gate: ≥ 5× cheaper advances at window/bucket
 /// ratio 16 (≥ 8), identical rankings throughout. Both the wall-clock
 /// speedup and its machine-independent proxy (presence computations) are
-/// asserted. The work ratio and the equality audit are deterministic and
+/// asserted. The work ratios and the equality audit are deterministic and
 /// asserted on every attempt; the wall-clock ratio (measured ≈ 7× on one
 /// idle core) gets up to three attempts so a noisy neighbour cannot fail
 /// a correct build — a real performance regression fails all three.
@@ -149,6 +167,14 @@ fn incremental_advances_beat_recompute_5x_with_identical_topk() {
             report.incremental.presence_computations,
             report.baseline.presence_computations
         );
+        // Bound pruning must never *add* presence-cell work over eager
+        // evaluation on the identical stream.
+        assert!(
+            report.pruned.presence_cells <= report.incremental.presence_cells,
+            "attempt {attempt}: pruning added work ({} vs {} cells)",
+            report.pruned.presence_cells,
+            report.incremental.presence_cells
+        );
         best_speedup = best_speedup.max(report.speedup);
         if best_speedup >= 5.0 {
             return;
@@ -161,4 +187,55 @@ fn incremental_advances_beat_recompute_5x_with_identical_topk() {
         );
     }
     panic!("wall-clock advance speedup {best_speedup:.2}x below 5x after 3 attempts");
+}
+
+/// The bound-pruning acceptance gate, on a *skewed* visitor stream
+/// (popular locations dominate, so most locations' COUNT bounds never
+/// reach the k-th exact flow): strictly fewer presence computations per
+/// advance than the unpruned serve engine, with cells actually skipped
+/// and rankings identical on every slide. Deterministic — the scenario
+/// is seeded and the counters are exact.
+#[test]
+fn bound_pruning_beats_eager_on_skewed_stream() {
+    let cfg = StreamingConfig {
+        scenario: StreamScenario {
+            num_objects: 220,
+            duration_secs: 3 * 3600,
+            visit_secs: (60, 120),
+            destination_skew: 1.6,
+            seed: 0x5eed,
+        },
+        bucket_secs: 600,
+        window_buckets: 8,
+        k: 2,
+        num_shards: 3,
+    };
+    let report = run_streaming(&cfg);
+    assert!(report.slides >= 16, "too few slides: {}", report.slides);
+    assert_eq!(
+        report.mismatched_slides, 0,
+        "bound-pruned engine diverged on {} of {} slides",
+        report.mismatched_slides, report.slides
+    );
+    assert!(
+        report.pruned.presence_cells < report.incremental.presence_cells,
+        "bound pruning did not reduce presence work: {} pruned vs {} eager cells \
+         over {} slides",
+        report.pruned.presence_cells,
+        report.incremental.presence_cells,
+        report.slides
+    );
+    assert!(
+        report.pruned.presence_skipped > 0,
+        "no candidate cells were ever skipped: {:?}",
+        report.pruned
+    );
+    // Per-advance, on average, the pruned engine must also win — the
+    // per-run total cannot hide a regression behind slide count.
+    let per_advance_pruned = report.pruned.presence_cells as f64 / report.slides as f64;
+    let per_advance_eager = report.incremental.presence_cells as f64 / report.slides as f64;
+    assert!(
+        per_advance_pruned < per_advance_eager,
+        "per-advance presence cells: pruned {per_advance_pruned:.1} vs eager {per_advance_eager:.1}"
+    );
 }
