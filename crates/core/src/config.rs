@@ -63,6 +63,13 @@ pub struct FlowConfig {
     /// of exhausting memory (the paper spills paths to disk; we fail fast
     /// and point at the DP engine).
     pub path_budget: u64,
+    /// Parallelism for the `*_par` batch drivers
+    /// ([`crate::query::nested_loop_par`],
+    /// [`crate::query::best_first_par`]): per-object work forks across
+    /// `exec.threads` scoped workers and merges deterministically, so
+    /// results are bit-identical at every thread count. The serial
+    /// drivers ignore it. Defaults to one thread.
+    pub exec: popflow_exec::ExecConfig,
 }
 
 impl Default for FlowConfig {
@@ -72,6 +79,7 @@ impl Default for FlowConfig {
             engine: PresenceEngine::default(),
             use_reduction: true,
             path_budget: 2_000_000,
+            exec: popflow_exec::ExecConfig::default(),
         }
     }
 }
@@ -99,6 +107,12 @@ impl FlowConfig {
     /// Switch to the worked-example full-product normalization.
     pub fn with_full_product_normalization(mut self) -> Self {
         self.normalization = Normalization::FullProduct;
+        self
+    }
+
+    /// Let the `*_par` drivers fork across `threads` workers.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.exec = popflow_exec::ExecConfig::with_threads(threads);
         self
     }
 }

@@ -22,16 +22,18 @@ use crate::config::Normalization;
 use crate::paths::full_product_mass;
 use crate::presence::pair_pass_probability;
 
-/// Object presence `Φ(q, o)` (Eq. 1) via the transition DP.
-pub fn presence_dp(
+/// Object presence `Φ(q, o)` (Eq. 1) via the transition DP. Generic
+/// over owned, borrowed, or `Cow` sample sets.
+pub fn presence_dp<S: std::borrow::Borrow<SampleSet>>(
     space: &IndoorSpace,
-    sets: &[SampleSet],
+    sets: &[S],
     q: SLocId,
     normalization: Normalization,
 ) -> f64 {
     let Some(first) = sets.first() else {
         return 0.0;
     };
+    let first = first.borrow();
     let matrix = space.matrix();
 
     // Per-step state, indexed like the step's sample list.
@@ -40,7 +42,7 @@ pub fn presence_dp(
     let mut m_mass = s_mass.clone();
 
     for set in &sets[1..] {
-        let next_samples = set.samples();
+        let next_samples = set.borrow().samples();
         let mut next_locs = Vec::with_capacity(next_samples.len());
         let mut next_s = vec![0.0; next_samples.len()];
         let mut next_m = vec![0.0; next_samples.len()];
@@ -128,7 +130,7 @@ mod tests {
     fn empty_sequence_is_zero() {
         let fig = paper_figure1();
         assert_eq!(
-            presence_dp(&fig.space, &[], fig.r[0], Normalization::FullProduct),
+            presence_dp::<SampleSet>(&fig.space, &[], fig.r[0], Normalization::FullProduct),
             0.0
         );
     }

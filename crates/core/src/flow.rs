@@ -144,9 +144,9 @@ where
 /// Evaluates the per-location presences of one prepared (already reduced)
 /// sequence, dense over `relevant`, with the configured engine. Returns
 /// the scores and whether the hybrid engine fell back to the DP.
-fn contributions_for(
+fn contributions_for<S: std::borrow::Borrow<SampleSet>>(
     space: &IndoorSpace,
-    sets: &[SampleSet],
+    sets: &[S],
     relevant: &[SLocId],
     query_set: &QuerySet,
     cfg: &FlowConfig,
@@ -178,9 +178,9 @@ fn contributions_for(
 /// Per-location scores from a tracked path set (Algorithm 3 lines 9–25):
 /// each valid path's pass probability is weighted by the path probability
 /// and normalized per `cfg`.
-fn scores_from_tracked(
+fn scores_from_tracked<S: std::borrow::Borrow<SampleSet>>(
     space: &IndoorSpace,
-    sets: &[SampleSet],
+    sets: &[S],
     relevant: &[SLocId],
     cfg: &FlowConfig,
     tracked: &TrackedPathSet,
@@ -212,9 +212,9 @@ fn scores_from_tracked(
 }
 
 /// Per-location scores via the transition DP.
-fn scores_from_dp(
+fn scores_from_dp<S: std::borrow::Borrow<SampleSet>>(
     space: &IndoorSpace,
-    sets: &[SampleSet],
+    sets: &[S],
     relevant: &[SLocId],
     cfg: &FlowConfig,
 ) -> Vec<f64> {
@@ -244,14 +244,15 @@ pub fn flow(
 
     for seq in sequences {
         let sets_iter = seq.records.iter().map(|r| &r.samples);
-        let effective: Vec<SampleSet> = if cfg.use_reduction {
+        let effective: Vec<std::borrow::Cow<'_, SampleSet>> = if cfg.use_reduction {
             match reduce_for_query(space, sets_iter, &q_set, true)? {
                 Some(reduced) => reduced.sets,
                 None => continue, // pruned by PSLs
             }
         } else {
-            // The -ORG variants process every object's raw sequence.
-            seq.records.iter().map(|r| r.samples.clone()).collect()
+            // The -ORG variants process every object's raw sequence
+            // (borrowed — no sample data is copied).
+            sets_iter.map(std::borrow::Cow::Borrowed).collect()
         };
         let (phi, fell_back) = presence_prepared_tracked(space, &effective, q, cfg)?;
         dp_fallback_objects += usize::from(fell_back);

@@ -56,10 +56,12 @@ pub use flow::{
     flow, object_flow_contributions, object_flow_contributions_for, FlowComputation,
     ObjectContribution,
 };
+pub use popflow_exec::ExecConfig;
 pub use query::{
-    best_first, diff_topk, naive, nested_loop, rank_topk, sloc_area, top_k_dense, ContinuousEngine,
-    ContinuousTkPlq, ContinuousUpdate, LocationBound, QueryOutcome, RankedLocation,
-    RecomputeEngine, SearchStats, ThresholdHeap, ThresholdStep, TkPlQuery, WindowSpec,
+    best_first, best_first_par, diff_topk, naive, nested_loop, nested_loop_par, rank_topk,
+    sloc_area, top_k_dense, ContinuousEngine, ContinuousTkPlq, ContinuousUpdate, LocationBound,
+    QueryOutcome, RankedLocation, RecomputeEngine, SearchStats, ThresholdHeap, ThresholdStep,
+    TkPlQuery, WindowSpec,
 };
 pub use query_set::{intersect_sorted, QuerySet};
 pub use reduction::{reduce_for_query, scan_psls, scan_sequence, ReducedSequence};

@@ -147,21 +147,22 @@ impl Iterator for PairIter<'_> {
     }
 }
 
-/// Builds all valid possible paths for a positioning sequence.
+/// Builds all valid possible paths for a positioning sequence. Generic
+/// over owned, borrowed, or `Cow` sample sets.
 ///
 /// `budget` caps the number of path-extension attempts: each considered
 /// `append(φ, e)` counts one unit, bounding both time and memory on
 /// adversarial inputs ([`FlowError::PathBudgetExceeded`] on overflow).
-pub fn build_paths(
+pub fn build_paths<S: std::borrow::Borrow<SampleSet>>(
     matrix: &LocationMatrix,
-    sets: &[SampleSet],
+    sets: &[S],
     budget: u64,
 ) -> Result<PathSet, FlowError> {
     let mut set = PathSet::default();
     let Some(first) = sets.first() else {
         return Ok(set);
     };
-    for s in first.samples() {
+    for s in first.borrow().samples() {
         set.push_root(s.loc, s.prob);
     }
     let mut spent: u64 = 0;
@@ -173,7 +174,7 @@ pub fn build_paths(
         next.reserve(current.len());
         for &path in &current {
             let tail = set.tail_loc(path);
-            for s in sample_set.samples() {
+            for s in sample_set.borrow().samples() {
                 spent += 1;
                 if spent > budget {
                     return Err(FlowError::PathBudgetExceeded { budget });
@@ -215,11 +216,11 @@ pub struct TrackedPathSet {
 /// `relevant` is the object's `psls ∩ Q` (sorted); a touched bit `b`
 /// means some transition of the path crosses a cell covering
 /// `relevant[b]`.
-pub fn build_paths_tracking(
+pub fn build_paths_tracking<S: std::borrow::Borrow<SampleSet>>(
     space: &IndoorSpace,
     query: &QuerySet,
     relevant: &[SLocId],
-    sets: &[SampleSet],
+    sets: &[S],
     budget: u64,
 ) -> Result<TrackedPathSet, FlowError> {
     debug_assert!(relevant.windows(2).all(|w| w[0] < w[1]));
@@ -229,7 +230,7 @@ pub fn build_paths_tracking(
     let Some(first) = sets.first() else {
         return Ok(out);
     };
-    for s in first.samples() {
+    for s in first.borrow().samples() {
         out.set.push_root(s.loc, s.prob);
     }
     let roots = std::mem::take(&mut out.set.paths);
@@ -247,7 +248,7 @@ pub fn build_paths_tracking(
         let mut next = Vec::with_capacity(current.len());
         for tp in &current {
             let tail = out.set.tail_loc(tp.path);
-            for s in sample_set.samples() {
+            for s in sample_set.borrow().samples() {
                 spent += 1;
                 if spent > budget {
                     return Err(FlowError::PathBudgetExceeded { budget });
@@ -289,8 +290,8 @@ pub fn build_paths_tracking(
 /// `Π_i Σ_e prob(e)` — the [`crate::Normalization::FullProduct`]
 /// denominator (1 for well-formed sample sets, kept explicit for
 /// robustness).
-pub fn full_product_mass(sets: &[SampleSet]) -> f64 {
-    sets.iter().map(|s| s.prob_sum()).product()
+pub fn full_product_mass<S: std::borrow::Borrow<SampleSet>>(sets: &[S]) -> f64 {
+    sets.iter().map(|s| s.borrow().prob_sum()).product()
 }
 
 #[cfg(test)]
@@ -383,7 +384,7 @@ mod tests {
     #[test]
     fn empty_sequence_builds_no_paths() {
         let (space, _) = sets_of(O1);
-        assert!(build_paths(space.matrix(), &[], u64::MAX)
+        assert!(build_paths::<SampleSet>(space.matrix(), &[], u64::MAX)
             .unwrap()
             .is_empty());
     }

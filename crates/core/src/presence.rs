@@ -77,22 +77,20 @@ pub fn object_presence(
     q: SLocId,
     cfg: &FlowConfig,
 ) -> Result<f64, FlowError> {
-    let reduced_storage;
-    let effective: &[SampleSet] = if cfg.use_reduction {
-        reduced_storage = scan_sequence(space, sets.iter(), true)?.sets;
-        &reduced_storage
+    if cfg.use_reduction {
+        let reduced = scan_sequence(space, sets.iter(), true)?.sets;
+        presence_prepared(space, &reduced, q, cfg)
     } else {
-        sets
-    };
-    presence_prepared(space, effective, q, cfg)
+        presence_prepared(space, sets, q, cfg)
+    }
 }
 
 /// [`object_presence`] on a sequence that has already been reduced (or is
 /// deliberately raw) — the building block the query algorithms use after
 /// running `ReduceData` themselves.
-pub fn presence_prepared(
+pub fn presence_prepared<S: std::borrow::Borrow<SampleSet>>(
     space: &IndoorSpace,
-    sets: &[SampleSet],
+    sets: &[S],
     q: SLocId,
     cfg: &FlowConfig,
 ) -> Result<f64, FlowError> {
@@ -101,9 +99,9 @@ pub fn presence_prepared(
 
 /// [`presence_prepared`] that also reports whether the hybrid engine had
 /// to fall back to the DP for this object.
-pub fn presence_prepared_tracked(
+pub fn presence_prepared_tracked<S: std::borrow::Borrow<SampleSet>>(
     space: &IndoorSpace,
-    sets: &[SampleSet],
+    sets: &[S],
     q: SLocId,
     cfg: &FlowConfig,
 ) -> Result<(f64, bool), FlowError> {

@@ -3,27 +3,47 @@
 //! COUNT-aggregate R-tree `RC` over the objects' possible-semantic-location
 //! MBRs, driven by a max-heap on flow upper bounds, so unpromising query
 //! locations and the objects only relevant to them are never evaluated.
+//!
+//! Two drivers share one evaluation core:
+//!
+//! * [`best_first`] — the serial R-tree join, faithful to Algorithm 4.
+//! * [`best_first_par`] — the object-parallel driver: a parallel
+//!   preparation pass merges per-object candidate lists into
+//!   coordinator-held [`LocationBound`]s, and a [`ThresholdHeap`] loop
+//!   evaluates locations lazily, fanning each location's candidate
+//!   objects across `cfg.exec.threads` workers and accumulating the flow
+//!   in ascending object-id order.
+//!
+//! Both resolve ties exactly like [`rank_topk`] (descending flow, then
+//! ascending location id) and compute every per-object presence through
+//! the same shared state, so their rankings and flows are **bit-identical
+//! to each other at every thread count**.
 
+use std::borrow::Cow;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 
 use indoor_geom::Rect;
-use indoor_iupt::{Iupt, ObjectId, SampleSet};
+use indoor_iupt::{Iupt, ObjectId, ObjectSequence, SampleSet};
 use indoor_model::{FloorId, IndoorSpace, SLocId};
 use indoor_rtree::{AggEntry, AggNode, AggTree};
+use popflow_exec::try_par_map;
 
 use crate::config::{FlowConfig, FlowError, PresenceEngine};
 use crate::dp::presence_dp;
 use crate::paths::{build_paths, full_product_mass, PathSet};
 use crate::presence::{path_pass_probability, presence_from_paths};
+use crate::query::bounds::{LocationBound, ThresholdHeap, ThresholdStep};
 use crate::query::{rank_topk, QueryOutcome, RankedLocation, SearchStats, TkPlQuery};
+use crate::query_set::{intersect_sorted, QuerySet};
 use crate::reduction::scan_sequence;
 
 /// Per-object cached state shared across all exact flow computations
 /// ("the intermediate results of each called object should be shared",
-/// Algorithm 4 line 28 discussion).
-struct ObjectData {
-    sets: Vec<SampleSet>,
+/// Algorithm 4 line 28 discussion). Sample sets the reduction left
+/// untouched are borrowed straight from the IUPT log.
+struct ObjectData<'a> {
+    sets: Vec<Cow<'a, SampleSet>>,
     psls: Vec<SLocId>,
     /// Valid possible paths, built lazily on the first exact computation
     /// involving this object (enumeration engines only).
@@ -32,6 +52,133 @@ struct ObjectData {
     /// this object — subsequent computations go straight to the DP.
     enum_failed: bool,
     full_mass: f64,
+}
+
+/// Prepares one object's shared evaluation state: scan (and, per `cfg`,
+/// reduce) the sequence and extract its PSLs. Returns `None` when the
+/// PSLs miss the query set entirely — the object can never contribute
+/// (Algorithm 4 line 8's null check; applied to the `-ORG` variants too,
+/// whose sequences stay raw but whose PSLs are still scanned).
+fn prepare_object<'a>(
+    space: &IndoorSpace,
+    query_set: &QuerySet,
+    cfg: &FlowConfig,
+    seq: &ObjectSequence<'a>,
+) -> Result<Option<ObjectData<'a>>, FlowError> {
+    // With `merge = false` (the -ORG variants) the scan returns the raw
+    // sets borrowed in order, so `sets` is the right sequence under
+    // either setting.
+    let scanned = scan_sequence(
+        space,
+        seq.records.iter().map(|r| &r.samples),
+        cfg.use_reduction,
+    )?;
+    if !query_set.intersects_sorted(&scanned.psls) {
+        return Ok(None);
+    }
+    let full_mass = full_product_mass(&scanned.sets);
+    Ok(Some(ObjectData {
+        sets: scanned.sets,
+        psls: scanned.psls,
+        paths: None,
+        enum_failed: false,
+        full_mass,
+    }))
+}
+
+/// A deferred mutation of an [`ObjectData`] discovered while computing a
+/// presence against it read-only (so parallel workers can share the
+/// state and the coordinator applies updates after the join).
+enum PathUpdate {
+    /// The cached state already had everything needed.
+    Keep,
+    /// Paths were built for the first time — cache them.
+    Built(PathSet),
+    /// The hybrid enumeration blew the budget — go straight to the DP
+    /// from now on.
+    BudgetExceeded,
+}
+
+/// One object's presence `Φ(q, o)` against its shared state, without
+/// mutating it. Both drivers — and therefore every thread count —
+/// compute presences through this one function, which is what makes
+/// their flows bit-identical.
+fn shared_presence(
+    space: &IndoorSpace,
+    data: &ObjectData<'_>,
+    q: SLocId,
+    cfg: &FlowConfig,
+) -> Result<(f64, bool, PathUpdate), FlowError> {
+    match cfg.engine {
+        PresenceEngine::TransitionDp => Ok((
+            presence_dp(space, &data.sets, q, cfg.normalization),
+            false,
+            PathUpdate::Keep,
+        )),
+        PresenceEngine::PathEnumeration => match &data.paths {
+            Some(paths) => Ok((
+                presence_from_paths(space, paths, q, cfg.normalization, data.full_mass),
+                false,
+                PathUpdate::Keep,
+            )),
+            None => {
+                let built = build_paths(space.matrix(), &data.sets, cfg.path_budget)?;
+                let phi = presence_from_paths(space, &built, q, cfg.normalization, data.full_mass);
+                Ok((phi, false, PathUpdate::Built(built)))
+            }
+        },
+        PresenceEngine::Hybrid => {
+            if let Some(paths) = &data.paths {
+                return Ok((
+                    presence_from_paths(space, paths, q, cfg.normalization, data.full_mass),
+                    false,
+                    PathUpdate::Keep,
+                ));
+            }
+            if !data.enum_failed {
+                match build_paths(space.matrix(), &data.sets, cfg.path_budget) {
+                    Ok(built) => {
+                        let phi = presence_from_paths(
+                            space,
+                            &built,
+                            q,
+                            cfg.normalization,
+                            data.full_mass,
+                        );
+                        return Ok((phi, false, PathUpdate::Built(built)));
+                    }
+                    // Only a blown budget degrades to the exact DP — any
+                    // other failure propagates.
+                    Err(FlowError::PathBudgetExceeded { .. }) => {
+                        return Ok((
+                            presence_dp(space, &data.sets, q, cfg.normalization),
+                            true,
+                            PathUpdate::BudgetExceeded,
+                        ));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            Ok((
+                presence_dp(space, &data.sets, q, cfg.normalization),
+                true,
+                PathUpdate::Keep,
+            ))
+        }
+    }
+}
+
+/// Applies a deferred [`PathUpdate`] to the object's cached state.
+fn apply_update(data: &mut ObjectData<'_>, update: PathUpdate) {
+    match update {
+        PathUpdate::Keep => {}
+        PathUpdate::Built(paths) => {
+            if data.paths.is_none() {
+                data.paths = Some(paths);
+            }
+        }
+        PathUpdate::BudgetExceeded => data.enum_failed = true,
+    }
 }
 
 /// A reference into the `RC` aggregate tree: an internal/leaf node or a
@@ -86,8 +233,12 @@ struct HeapEntry<'a> {
     /// Upper bound on the flow of any S-location under `rq` — or the exact
     /// flow when `list` is `None`.
     bound: f64,
-    /// Exact entries outrank bound entries of equal value (their true flow
-    /// is already known to dominate those bounds).
+    /// Whether `bound` is an exact flow. At equal priority a *bound*
+    /// outranks an exact flow, so a location whose bound ties the best
+    /// exact value is always resolved before that exact is finalized —
+    /// the same rule as [`ThresholdHeap`], and the reason the join's
+    /// output matches [`rank_topk`]'s deterministic tie-breaking instead
+    /// of merely returning *some* valid top-k under ties.
     exact: bool,
     /// Insertion sequence for deterministic tie-breaking.
     seq: u64,
@@ -110,7 +261,8 @@ impl HeapEntry<'_> {
     fn cmp_key(&self, other: &Self) -> Ordering {
         self.bound
             .total_cmp(&other.bound)
-            .then(self.exact.cmp(&other.exact))
+            // `false > true` here: bounds pop before exacts on ties.
+            .then(other.exact.cmp(&self.exact))
             .then(other.tie_id.cmp(&self.tie_id))
             .then(other.seq.cmp(&self.seq))
     }
@@ -139,42 +291,18 @@ pub fn best_first(
     let sequences = iupt.sequences_in(query.interval);
     let objects_total = sequences.len();
 
-    let mut objects: HashMap<ObjectId, ObjectData> = HashMap::new();
+    let mut objects: HashMap<ObjectId, ObjectData<'_>> = HashMap::new();
     let mut rc_items: Vec<(Rect, ObjectId)> = Vec::new();
-    for seq in sequences {
-        let scanned = scan_sequence(
-            space,
-            seq.records.iter().map(|r| &r.samples),
-            cfg.use_reduction,
-        )?;
-        // Objects whose PSLs miss Q can never intersect a query MBR that
-        // matters; skipping them here realizes line 8's null check. (For
-        // the -ORG variant the PSLs are still scanned — the merge is what
-        // is disabled.)
-        if !query.query_set.intersects_sorted(&scanned.psls) {
+    for seq in &sequences {
+        let Some(data) = prepare_object(space, &query.query_set, cfg, seq)? else {
             continue;
-        }
+        };
         // Finer-grained MBRs: one per PSL S-location ("we use a series of
         // smaller, finer-grained MBRs to represent each psls").
-        for &psl in &scanned.psls {
+        for &psl in &data.psls {
             rc_items.push((embedded_sloc_rect(space, psl), seq.oid));
         }
-        let sets = if cfg.use_reduction {
-            scanned.sets
-        } else {
-            seq.records.iter().map(|r| r.samples.clone()).collect()
-        };
-        let full_mass = full_product_mass(&sets);
-        objects.insert(
-            seq.oid,
-            ObjectData {
-                sets,
-                psls: scanned.psls,
-                paths: None,
-                enum_failed: false,
-                full_mass,
-            },
-        );
+        objects.insert(seq.oid, data);
     }
 
     let rc = AggTree::build(rc_items);
@@ -187,8 +315,8 @@ pub fn best_first(
             .collect(),
     );
 
-    let mut computed: std::collections::HashSet<ObjectId> = std::collections::HashSet::new();
-    let mut dp_fallbacks: std::collections::HashSet<ObjectId> = std::collections::HashSet::new();
+    let mut computed: HashSet<ObjectId> = HashSet::new();
+    let mut dp_fallbacks: HashSet<ObjectId> = HashSet::new();
     let mut result: Vec<RankedLocation> = Vec::new();
 
     // ---- Phase 2: initial join of the two roots (lines 11–18).
@@ -226,12 +354,18 @@ pub fn best_first(
                 match entry.list {
                     None => {
                         // Exact flow already computed and it dominates all
-                        // remaining bounds: final (lines 23–25).
+                        // remaining bounds: final (lines 23–25). Stop only
+                        // once the k-th flow is positive — at a zero k-th
+                        // flow every remaining heap entry is an exact zero
+                        // (bounds are positive and would have popped
+                        // first), and draining them keeps the tie between
+                        // evaluated and padded zero-flow locations
+                        // resolved exactly as `rank_topk` resolves it.
                         result.push(RankedLocation {
                             sloc: eq.data,
                             flow: entry.bound,
                         });
-                        if result.len() == query.k {
+                        if result.len() >= query.k && entry.bound > 0.0 {
                             break 'outer;
                         }
                     }
@@ -307,24 +441,14 @@ pub fn best_first(
         }
     }
 
-    // Query locations never reached by any object have zero flow; pad so a
-    // top-k always returns k locations.
-    if result.len() < query.k {
-        let have: std::collections::HashSet<SLocId> = result.iter().map(|r| r.sloc).collect();
-        let mut zeros: Vec<(SLocId, f64)> = query
-            .query_set
-            .slocs()
-            .iter()
-            .filter(|s| !have.contains(s))
-            .map(|&s| (s, 0.0))
-            .collect();
-        // Stable fill in id order.
-        zeros.sort_by_key(|&(s, _)| s);
-        for (s, f) in zeros {
-            if result.len() == query.k {
-                break;
-            }
-            result.push(RankedLocation { sloc: s, flow: f });
+    // Query locations never reached by any object have zero flow. Pad
+    // them all (not just up to k): when zero flows reach the k-th rank,
+    // `rank_topk`'s id tie-break must choose among evaluated *and*
+    // untouched zeros alike.
+    let have: HashSet<SLocId> = result.iter().map(|r| r.sloc).collect();
+    for &s in query.query_set.slocs() {
+        if !have.contains(&s) {
+            result.push(RankedLocation { sloc: s, flow: 0.0 });
         }
     }
 
@@ -339,6 +463,151 @@ pub fn best_first(
             dp_fallback_objects: dp_fallbacks.len(),
         },
     })
+}
+
+/// Evaluates a TkPLQ with the object-parallel best-first driver.
+///
+/// Algorithm 4's insight — rank locations by COUNT flow bounds and
+/// evaluate lazily, best-first — carries over with the R-tree join
+/// replaced by exact per-location candidate counts:
+///
+/// 1. **Parallel bounds pass** — every window object is prepared
+///    (scan + reduction + PSL extraction) across `cfg.exec.threads`
+///    workers; the coordinator merges the per-object candidate lists, in
+///    ascending object-id order, into one [`LocationBound`] per query
+///    location.
+/// 2. **Threshold loop** — a [`ThresholdHeap`] pops the highest bound;
+///    the location's candidate objects are evaluated concurrently
+///    (paths built lazily and cached per object, exactly as the serial
+///    join shares them) and their presences accumulate in ascending
+///    object-id order; the exact flow re-enters the heap. Locations
+///    whose bound never reaches the k-th exact flow are never evaluated.
+///
+/// The ranking and every flow are **bit-identical** to [`best_first`]'s
+/// at every thread count: presences come from the same shared per-object
+/// state, flows accumulate in the same object order, and both drivers
+/// resolve rank ties exactly like [`rank_topk`]. Work accounting may
+/// differ ([`SearchStats::objects_computed`]) — the exact candidate
+/// counts here are tighter than R-tree node counts, so this driver
+/// typically evaluates *fewer* objects.
+pub fn best_first_par(
+    space: &IndoorSpace,
+    iupt: &mut Iupt,
+    query: &TkPlQuery,
+    cfg: &FlowConfig,
+) -> Result<QueryOutcome, FlowError> {
+    let sequences = iupt.sequences_in(query.interval);
+    let objects_total = sequences.len();
+
+    // ---- Phase 1: the parallel bounds pass.
+    let prepared = try_par_map(cfg.exec, &sequences, |_, seq| {
+        prepare_object(space, &query.query_set, cfg, seq)
+    })?;
+    let mut objects: Vec<(ObjectId, ObjectData<'_>)> = Vec::new();
+    for (seq, data) in sequences.iter().zip(prepared) {
+        if let Some(data) = data {
+            objects.push((seq.oid, data));
+        }
+    }
+
+    // Coordinator-merged candidate lists: per location, the indices of
+    // its candidate objects, ascending by object id (`sequences` is
+    // id-sorted and the merge preserves that order).
+    let mut candidates: HashMap<SLocId, Vec<usize>> = HashMap::new();
+    for (i, (_, data)) in objects.iter().enumerate() {
+        for q in intersect_sorted(query.query_set.slocs(), &data.psls) {
+            candidates.entry(q).or_default().push(i);
+        }
+    }
+
+    // ---- Phase 2: the threshold loop.
+    let mut heap = ThresholdHeap::new();
+    for &sloc in query.query_set.slocs() {
+        match candidates.get(&sloc).map_or(0, Vec::len) {
+            0 => heap.push_exact(sloc, 0.0),
+            n => heap.push_bound(LocationBound {
+                sloc,
+                candidates: n,
+            }),
+        }
+    }
+
+    let mut computed: HashSet<ObjectId> = HashSet::new();
+    let mut dp_fallbacks: HashSet<ObjectId> = HashSet::new();
+    let mut finals: Vec<(SLocId, f64)> = Vec::with_capacity(query.k);
+    while finals.len() < query.k {
+        match heap.pop() {
+            None => break,
+            Some(ThresholdStep::Finalize(sloc, flow)) => finals.push((sloc, flow)),
+            Some(ThresholdStep::Evaluate(sloc)) => {
+                let idxs = candidates
+                    .get(&sloc)
+                    .expect("only seeded locations are evaluated");
+                let flow = evaluate_location_par(
+                    space,
+                    cfg,
+                    &mut objects,
+                    idxs,
+                    sloc,
+                    &mut computed,
+                    &mut dp_fallbacks,
+                )?;
+                heap.push_exact(sloc, flow);
+            }
+        }
+    }
+
+    Ok(QueryOutcome {
+        ranking: rank_topk(finals, query.k),
+        stats: SearchStats {
+            objects_total,
+            objects_computed: computed.len(),
+            dp_fallback_objects: dp_fallbacks.len(),
+        },
+    })
+}
+
+/// One lazy evaluation round: computes `q`'s exact flow over its
+/// candidate objects. Presences run concurrently against the shared
+/// read-only object states; the coordinator then applies the deferred
+/// path updates and accumulates the flow in ascending object-id order —
+/// the identical floating-point sum the serial join produces.
+fn evaluate_location_par(
+    space: &IndoorSpace,
+    cfg: &FlowConfig,
+    objects: &mut [(ObjectId, ObjectData<'_>)],
+    idxs: &[usize],
+    q: SLocId,
+    computed: &mut HashSet<ObjectId>,
+    dp_fallbacks: &mut HashSet<ObjectId>,
+) -> Result<f64, FlowError> {
+    // Each threshold round opens its own fork-join scope; for a handful
+    // of candidates the thread spawns would cost more than the presence
+    // work they split, so short lists evaluate on the coordinator
+    // (identical computation, identical bits — only the forking differs).
+    const MIN_PAR_CANDIDATES: usize = 4;
+    let exec = if idxs.len() < MIN_PAR_CANDIDATES {
+        popflow_exec::ExecConfig::with_threads(1)
+    } else {
+        cfg.exec
+    };
+    let results = {
+        let shared: &[(ObjectId, ObjectData<'_>)] = objects;
+        try_par_map(exec, idxs, |_, &i| {
+            shared_presence(space, &shared[i].1, q, cfg)
+        })?
+    };
+    let mut flow = 0.0;
+    for (&i, (phi, fell_back, update)) in idxs.iter().zip(results) {
+        let (oid, data) = &mut objects[i];
+        apply_update(data, update);
+        computed.insert(*oid);
+        if fell_back {
+            dp_fallbacks.insert(*oid);
+        }
+        flow += phi;
+    }
+    Ok(flow)
 }
 
 fn next_seq(counter: &mut u64) -> u64 {
@@ -402,15 +671,14 @@ fn children_of_rq(node: &AggNode<SLocId>) -> Vec<RqRef<'_>> {
 /// Computes the exact flow of `q` over the candidate objects, sharing each
 /// object's reduced sequence and (for the enumeration engine) its path set
 /// across query locations.
-#[allow(clippy::too_many_arguments)]
 fn exact_flow(
     space: &IndoorSpace,
-    objects: &mut HashMap<ObjectId, ObjectData>,
+    objects: &mut HashMap<ObjectId, ObjectData<'_>>,
     oids: &[ObjectId],
     q: SLocId,
     cfg: &FlowConfig,
-    computed: &mut std::collections::HashSet<ObjectId>,
-    dp_fallbacks: &mut std::collections::HashSet<ObjectId>,
+    computed: &mut HashSet<ObjectId>,
+    dp_fallbacks: &mut HashSet<ObjectId>,
 ) -> Result<f64, FlowError> {
     let mut flow = 0.0;
     for oid in oids {
@@ -423,41 +691,11 @@ fn exact_flow(
             continue;
         }
         computed.insert(*oid);
-        let phi = match cfg.engine {
-            PresenceEngine::PathEnumeration => {
-                if data.paths.is_none() {
-                    data.paths = Some(build_paths(space.matrix(), &data.sets, cfg.path_budget)?);
-                }
-                presence_from_paths(
-                    space,
-                    data.paths.as_ref().unwrap(),
-                    q,
-                    cfg.normalization,
-                    data.full_mass,
-                )
-            }
-            PresenceEngine::TransitionDp => presence_dp(space, &data.sets, q, cfg.normalization),
-            PresenceEngine::Hybrid => {
-                if data.paths.is_none() && !data.enum_failed {
-                    match build_paths(space.matrix(), &data.sets, cfg.path_budget) {
-                        Ok(paths) => data.paths = Some(paths),
-                        // Only a blown budget degrades to the exact DP —
-                        // the same contract as the nested-loop hybrid;
-                        // any other failure propagates.
-                        Err(FlowError::PathBudgetExceeded { .. }) => {
-                            data.enum_failed = true;
-                        }
-                        Err(e) => return Err(e),
-                    }
-                }
-                if let Some(paths) = &data.paths {
-                    presence_from_paths(space, paths, q, cfg.normalization, data.full_mass)
-                } else {
-                    dp_fallbacks.insert(*oid);
-                    presence_dp(space, &data.sets, q, cfg.normalization)
-                }
-            }
-        };
+        let (phi, fell_back, update) = shared_presence(space, data, q, cfg)?;
+        apply_update(data, update);
+        if fell_back {
+            dp_fallbacks.insert(*oid);
+        }
         flow += phi;
     }
     Ok(flow)
@@ -501,7 +739,6 @@ fn debug_pass(space: &IndoorSpace, locs: &[indoor_model::PLocId], q: SLocId) -> 
 mod tests {
     use super::*;
     use crate::query::{naive, nested_loop};
-    use crate::query_set::QuerySet;
     use indoor_iupt::fixtures::paper_table2;
     use indoor_iupt::{TimeInterval, Timestamp};
     use indoor_model::fixtures::paper_figure1;
@@ -633,5 +870,65 @@ mod tests {
         for (a, b) in en.ranking.iter().zip(dp.ranking.iter()) {
             assert!((a.flow - b.flow).abs() < 1e-9);
         }
+    }
+
+    /// The parallel driver is bit-identical to the serial join — every
+    /// rank, sloc, and flow bit — at several thread counts, across
+    /// engines, reduction settings, and k values.
+    #[test]
+    fn par_bit_identical_to_serial() {
+        let fig = paper_figure1();
+        for k in [1, 3, 6] {
+            for cfg in [
+                FlowConfig::default(),
+                FlowConfig::default().with_dp_engine(),
+                FlowConfig::default().without_reduction(),
+                FlowConfig::default().with_full_product_normalization(),
+            ] {
+                let query = TkPlQuery::new(k, QuerySet::new(fig.r.to_vec()), interval());
+                let mut i1 = paper_table2();
+                let serial = best_first(&fig.space, &mut i1, &query, &cfg).unwrap();
+                for threads in [1, 2, 4, 7] {
+                    let par_cfg = FlowConfig {
+                        exec: popflow_exec::ExecConfig::with_threads(threads),
+                        ..cfg
+                    };
+                    let mut i2 = paper_table2();
+                    let par = best_first_par(&fig.space, &mut i2, &query, &par_cfg).unwrap();
+                    assert_eq!(
+                        serial.topk_slocs(),
+                        par.topk_slocs(),
+                        "k={k} threads={threads} cfg={cfg:?}"
+                    );
+                    for (a, b) in serial.ranking.iter().zip(par.ranking.iter()) {
+                        assert_eq!(
+                            a.flow.to_bits(),
+                            b.flow.to_bits(),
+                            "k={k} threads={threads} cfg={cfg:?}"
+                        );
+                    }
+                    assert_eq!(serial.stats.objects_total, par.stats.objects_total);
+                    // Exact candidate counts are at least as tight as
+                    // R-tree node counts.
+                    assert!(par.stats.objects_computed <= serial.stats.objects_computed);
+                }
+            }
+        }
+    }
+
+    /// The parallel driver propagates the same error the serial join
+    /// surfaces (a blown path budget on the pure enumeration engine).
+    #[test]
+    fn par_propagates_budget_error() {
+        let fig = paper_figure1();
+        let cfg = FlowConfig {
+            path_budget: 1,
+            exec: popflow_exec::ExecConfig::with_threads(4),
+            ..FlowConfig::default()
+        };
+        let query = TkPlQuery::new(6, QuerySet::new(fig.r.to_vec()), interval());
+        let mut iupt = paper_table2();
+        let err = best_first_par(&fig.space, &mut iupt, &query, &cfg).unwrap_err();
+        assert_eq!(err, FlowError::PathBudgetExceeded { budget: 1 });
     }
 }

@@ -9,14 +9,14 @@ pub mod density;
 mod naive;
 mod nested_loop;
 
-pub use best_first::best_first;
+pub use best_first::{best_first, best_first_par};
 pub use bounds::{LocationBound, ThresholdHeap, ThresholdStep};
 pub use continuous::{
     diff_topk, ContinuousEngine, ContinuousTkPlq, ContinuousUpdate, RecomputeEngine, WindowSpec,
 };
 pub use density::{sloc_area, top_k_dense};
 pub use naive::naive;
-pub use nested_loop::nested_loop;
+pub use nested_loop::{nested_loop, nested_loop_par};
 
 use indoor_iupt::{ObjectId, TimeInterval};
 use indoor_model::SLocId;

@@ -59,6 +59,60 @@ pub fn nested_loop(
     })
 }
 
+/// Evaluates a TkPLQ in the nested-loop paradigm with the per-object
+/// kernels forked across `cfg.exec.threads` workers.
+///
+/// The search is embarrassingly parallel over objects: each object's
+/// [`object_flow_contributions`] is independent, and only the final
+/// accumulation couples them. The driver fans the kernel out through
+/// [`popflow_exec::try_par_map`] (dynamic load balancing, deterministic
+/// in-order merge) and then accumulates the merged contributions **in
+/// ascending object-id order** — the exact iteration order of the serial
+/// [`nested_loop`] — so rankings and flows are **bit-identical** to the
+/// serial search at every thread count, and an error surfaces as the
+/// same first-in-id-order error the serial loop would hit.
+pub fn nested_loop_par(
+    space: &IndoorSpace,
+    iupt: &mut Iupt,
+    query: &TkPlQuery,
+    cfg: &FlowConfig,
+) -> Result<QueryOutcome, FlowError> {
+    let mut global: HashMap<SLocId, f64> =
+        query.query_set.slocs().iter().map(|&s| (s, 0.0)).collect();
+
+    // `sequences_in` returns objects in ascending id order; `try_par_map`
+    // preserves item order, so the serial accumulation below reproduces
+    // the serial driver's floating-point sums bit for bit.
+    let sequences = iupt.sequences_in(query.interval);
+    let objects_total = sequences.len();
+    let contributions = popflow_exec::try_par_map(cfg.exec, &sequences, |_, seq| {
+        object_flow_contributions(
+            space,
+            seq.records.iter().map(|r| &r.samples),
+            &query.query_set,
+            cfg,
+        )
+    })?;
+
+    let mut objects_computed = 0;
+    let mut dp_fallback_objects = 0;
+    for contribution in contributions.into_iter().flatten() {
+        objects_computed += 1;
+        dp_fallback_objects += usize::from(contribution.dp_fallback);
+        contribution.add_to(&mut global);
+    }
+
+    let scores: Vec<(SLocId, f64)> = global.into_iter().collect();
+    Ok(QueryOutcome {
+        ranking: rank_topk(scores, query.k),
+        stats: SearchStats {
+            objects_total,
+            objects_computed,
+            dp_fallback_objects,
+        },
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -140,6 +194,41 @@ mod tests {
         assert_eq!(out.stats.objects_total, 3);
         assert_eq!(out.stats.objects_computed, 2);
         assert!((out.stats.pruning_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    /// The parallel driver is bit-identical to the serial search —
+    /// ranking, flows, and stats — at several thread counts and configs.
+    #[test]
+    fn par_bit_identical_to_serial() {
+        let fig = paper_figure1();
+        for cfg in [
+            FlowConfig::default(),
+            FlowConfig::default().with_dp_engine(),
+            FlowConfig::default().without_reduction(),
+            FlowConfig::default().with_full_product_normalization(),
+        ] {
+            let query = TkPlQuery::new(6, QuerySet::new(fig.r.to_vec()), interval());
+            let mut i1 = paper_table2();
+            let serial = nested_loop(&fig.space, &mut i1, &query, &cfg).unwrap();
+            for threads in [1, 2, 4, 7] {
+                let par_cfg = FlowConfig {
+                    exec: popflow_exec::ExecConfig::with_threads(threads),
+                    ..cfg
+                };
+                let mut i2 = paper_table2();
+                let par = nested_loop_par(&fig.space, &mut i2, &query, &par_cfg).unwrap();
+                assert_eq!(serial.topk_slocs(), par.topk_slocs(), "threads {threads}");
+                for (a, b) in serial.ranking.iter().zip(par.ranking.iter()) {
+                    assert_eq!(a.flow.to_bits(), b.flow.to_bits(), "threads {threads}");
+                }
+                assert_eq!(serial.stats.objects_total, par.stats.objects_total);
+                assert_eq!(serial.stats.objects_computed, par.stats.objects_computed);
+                assert_eq!(
+                    serial.stats.dp_fallback_objects,
+                    par.stats.dp_fallback_objects
+                );
+            }
+        }
     }
 
     /// The -ORG variant processes every object.

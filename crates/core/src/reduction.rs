@@ -2,6 +2,8 @@
 //! intra-merge, inter-merge, and possible-semantic-location (PSL)
 //! extraction with query-based pruning.
 
+use std::borrow::Cow;
+
 use indoor_iupt::{Sample, SampleSet};
 use indoor_model::{IndoorSpace, SLocId};
 
@@ -9,16 +11,22 @@ use crate::config::FlowError;
 use crate::query_set::QuerySet;
 
 /// An object's positioning sequence after data reduction.
+///
+/// Sets the merge pipeline left untouched are **borrowed** from the
+/// input sequence ([`Cow::Borrowed`]); only sets an intra- or
+/// inter-merge actually rewrote are owned. Collecting a sequence
+/// therefore clones no sample data at all on the common no-merge path
+/// (and none whatsoever when scanning with `merge = false`).
 #[derive(Debug, Clone)]
-pub struct ReducedSequence {
+pub struct ReducedSequence<'a> {
     /// The (possibly merged) sample sets, in time order.
-    pub sets: Vec<SampleSet>,
+    pub sets: Vec<Cow<'a, SampleSet>>,
     /// The object's possible semantic locations: every S-location whose
     /// parent cell is touched by any reported P-location. Sorted by id.
     pub psls: Vec<SLocId>,
 }
 
-impl ReducedSequence {
+impl ReducedSequence<'_> {
     /// Upper bound on the possible paths of the reduced sequence.
     pub fn max_paths(&self) -> u128 {
         self.sets
@@ -52,13 +60,13 @@ pub fn scan_sequence<'a, I>(
     space: &IndoorSpace,
     sets: I,
     merge: bool,
-) -> Result<ReducedSequence, FlowError>
+) -> Result<ReducedSequence<'a>, FlowError>
 where
     I: IntoIterator<Item = &'a SampleSet>,
 {
     let matrix = space.matrix();
-    let mut out: Vec<SampleSet> = Vec::new();
-    let mut run: Vec<SampleSet> = Vec::new();
+    let mut out: Vec<Cow<'a, SampleSet>> = Vec::new();
+    let mut run: Vec<Cow<'a, SampleSet>> = Vec::new();
     let mut psls: Vec<SLocId> = Vec::new();
 
     for set in sets {
@@ -71,28 +79,39 @@ where
         }
 
         if !merge {
-            out.push(set.clone());
+            out.push(Cow::Borrowed(set));
             continue;
         }
 
-        let merged = intra_merge(space, set)?;
+        let merged = intra_merge_cow(space, set)?;
         match run.last() {
             Some(tail) if tail.same_plocs(&merged) => run.push(merged),
             Some(_) => {
-                out.push(inter_merge(&run)?);
-                run.clear();
+                out.push(flush_run(&mut run)?);
                 run.push(merged);
             }
             None => run.push(merged),
         }
     }
     if !run.is_empty() {
-        out.push(inter_merge(&run)?);
+        out.push(flush_run(&mut run)?);
     }
 
     psls.sort_unstable();
     psls.dedup();
     Ok(ReducedSequence { sets: out, psls })
+}
+
+/// Collapses a completed run into one set: a run of length 1 passes its
+/// (possibly still borrowed) set through untouched; longer runs
+/// inter-merge into an owned mean set. Clears `run`.
+fn flush_run<'a>(run: &mut Vec<Cow<'a, SampleSet>>) -> Result<Cow<'a, SampleSet>, FlowError> {
+    if run.len() == 1 {
+        return Ok(run.pop().expect("run checked non-empty"));
+    }
+    let merged = inter_merge(run)?;
+    run.clear();
+    Ok(Cow::Owned(merged))
 }
 
 /// Collects a sequence's possible semantic locations **without** running
@@ -129,7 +148,7 @@ pub fn reduce_for_query<'a, I>(
     sets: I,
     query: &QuerySet,
     merge: bool,
-) -> Result<Option<ReducedSequence>, FlowError>
+) -> Result<Option<ReducedSequence<'a>>, FlowError>
 where
     I: IntoIterator<Item = &'a SampleSet>,
 {
@@ -145,6 +164,16 @@ where
 /// (paper Algorithm 1 lines 14–21). The representative keeps the smallest
 /// subscript (footnote 5) and the merged probability is the sum.
 pub fn intra_merge(space: &IndoorSpace, set: &SampleSet) -> Result<SampleSet, FlowError> {
+    intra_merge_cow(space, set).map(Cow::into_owned)
+}
+
+/// [`intra_merge`] without the defensive copy: a set with no equivalent
+/// samples is returned borrowed, so the no-merge fast path allocates
+/// nothing.
+fn intra_merge_cow<'a>(
+    space: &IndoorSpace,
+    set: &'a SampleSet,
+) -> Result<Cow<'a, SampleSet>, FlowError> {
     let matrix = space.matrix();
     let samples = set.samples();
 
@@ -162,7 +191,7 @@ pub fn intra_merge(space: &IndoorSpace, set: &SampleSet) -> Result<SampleSet, Fl
         }
     }
     if !needs_merge {
-        return Ok(set.clone());
+        return Ok(Cow::Borrowed(set));
     }
 
     let mut merged: Vec<Sample> = Vec::with_capacity(samples.len());
@@ -173,29 +202,33 @@ pub fn intra_merge(space: &IndoorSpace, set: &SampleSet) -> Result<SampleSet, Fl
             None => merged.push(Sample::new(rep, s.prob)),
         }
     }
-    SampleSet::new(merged).map_err(|e| FlowError::InvalidSampleSet {
-        detail: format!("intra-merge: {e}"),
-    })
+    SampleSet::new(merged)
+        .map(Cow::Owned)
+        .map_err(|e| FlowError::InvalidSampleSet {
+            detail: format!("intra-merge: {e}"),
+        })
 }
 
 /// The `InterMerge` procedure (paper Algorithm 1 lines 22–30): collapses a
 /// run of sample sets with identical P-location support into one set whose
-/// probabilities are the per-location means.
-pub fn inter_merge(run: &[SampleSet]) -> Result<SampleSet, FlowError> {
+/// probabilities are the per-location means. Generic over owned,
+/// borrowed, or [`Cow`] sets.
+pub fn inter_merge<S: std::borrow::Borrow<SampleSet>>(run: &[S]) -> Result<SampleSet, FlowError> {
     let Some(front) = run.first() else {
         return Err(FlowError::InvalidSampleSet {
             detail: "inter-merge requires a non-empty run".into(),
         });
     };
+    let front = front.borrow();
     if run.len() == 1 {
         return Ok(front.clone());
     }
     let n = run.len() as f64;
-    debug_assert!(run.iter().all(|s| s.same_plocs(front)));
+    debug_assert!(run.iter().all(|s| s.borrow().same_plocs(front)));
     let samples: Vec<Sample> = front
         .plocs()
         .map(|loc| {
-            let mean = run.iter().map(|s| s.prob_of(loc)).sum::<f64>() / n;
+            let mean = run.iter().map(|s| s.borrow().prob_of(loc)).sum::<f64>() / n;
             Sample::new(loc, mean)
         })
         .collect();
@@ -207,6 +240,8 @@ pub fn inter_merge(run: &[SampleSet]) -> Result<SampleSet, FlowError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::borrow::Cow;
+
     use indoor_iupt::fixtures::{paper_table2, O2, O3};
     use indoor_iupt::{TimeInterval, Timestamp};
     use indoor_model::fixtures::paper_figure1;
@@ -301,8 +336,37 @@ mod tests {
         let (space, sets) = o2_sets();
         let scanned = scan_sequence(&space, sets.iter(), false).unwrap();
         assert_eq!(scanned.sets.len(), 4);
-        assert_eq!(scanned.sets[2], sets[2]);
+        assert_eq!(*scanned.sets[2], sets[2]);
         assert!(!scanned.psls.is_empty());
+    }
+
+    /// The no-clone guarantee: scanning without merging borrows every
+    /// set straight from the input (pointer-identical, zero sample
+    /// copies), and even the merging scan borrows the sets its pipeline
+    /// left untouched.
+    #[test]
+    fn scan_borrows_untouched_sets() {
+        let (space, sets) = o2_sets();
+        let scanned = scan_sequence(&space, sets.iter(), false).unwrap();
+        for (cow, original) in scanned.sets.iter().zip(&sets) {
+            assert!(
+                matches!(cow, Cow::Borrowed(b) if std::ptr::eq(*b, original)),
+                "merge=false cloned a set"
+            );
+        }
+
+        // o2's X1 and X2 have distinct support and no equivalent samples:
+        // the merging scan must pass them through borrowed too. (X3/X4
+        // intra- and inter-merge, so they are owned rewrites.)
+        let merged = scan_sequence(&space, sets.iter(), true).unwrap();
+        assert_eq!(merged.sets.len(), 3);
+        for (i, cow) in merged.sets[..2].iter().enumerate() {
+            assert!(
+                matches!(cow, Cow::Borrowed(b) if std::ptr::eq(*b, &sets[i])),
+                "untouched set {i} was cloned by the merging scan"
+            );
+        }
+        assert!(matches!(merged.sets[2], Cow::Owned(_)));
     }
 
     #[test]

@@ -4,21 +4,24 @@
 //!
 //! ```text
 //! experiments [EXP-ID ...] [--scale S] [--repeats N] [--seed S] [--tsv PATH]
-//!             [--bench-json PATH]
+//!             [--bench-json PATH] [--batch-json PATH]
 //! ```
 //!
 //! The `streaming` experiment additionally writes a machine-readable
 //! benchmark report (records/s, p50/p99 advance latency, work ratios,
-//! presence_skipped) to `--bench-json` (default `BENCH_streaming.json`);
-//! CI archives it as a per-commit artifact.
+//! presence_skipped) to `--bench-json` (default `BENCH_streaming.json`),
+//! and the `batch_scale` experiment writes its thread-scaling report
+//! (records/s and speedup at 1/2/4/8 threads, serial-equality audit) to
+//! `--batch-json` (default `BENCH_batch.json`); CI archives both as
+//! per-commit artifacts.
 //!
 //! Experiment ids: table4 table5 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 //! fig14 fig15 fig16 fig17 fig18 fig19 fig20 fig21 table7 ablation-dp
-//! ablation-norm streaming, or `all` / `real` / `synthetic`.
+//! ablation-norm streaming batch_scale, or `all` / `real` / `synthetic`.
 
 use std::time::Instant;
 
-use popflow_eval::experiments::{ablation, real, streaming, synthetic, ExpOpts};
+use popflow_eval::experiments::{ablation, batch_scale, real, streaming, synthetic, ExpOpts};
 use popflow_eval::report::{render_table, render_tsv, Row};
 
 const REAL_EXPS: &[&str] = &[
@@ -28,9 +31,9 @@ const SYNTH_EXPS: &[&str] = &[
     "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "table7",
 ];
 const ABLATIONS: &[&str] = &["ablation-dp", "ablation-norm"];
-const STREAMING: &[&str] = &["streaming"];
+const STREAMING: &[&str] = &["streaming", "batch_scale"];
 
-fn run_exp(id: &str, opts: &ExpOpts, bench_json: &str) -> Option<Vec<Row>> {
+fn run_exp(id: &str, opts: &ExpOpts, bench_json: &str, batch_json: &str) -> Option<Vec<Row>> {
     let rows = match id {
         "table4" => real::table4(opts),
         "table5" => real::table5(opts),
@@ -53,6 +56,7 @@ fn run_exp(id: &str, opts: &ExpOpts, bench_json: &str) -> Option<Vec<Row>> {
         "ablation-dp" => ablation::ablation_dp(opts),
         "ablation-norm" => ablation::ablation_norm(opts),
         "streaming" => streaming::streaming_with_json(opts, Some(bench_json)),
+        "batch_scale" => batch_scale::batch_scale_with_json(opts, Some(batch_json)),
         _ => return None,
     };
     Some(rows)
@@ -74,6 +78,7 @@ fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut tsv_path: Option<String> = None;
     let mut bench_json = String::from("BENCH_streaming.json");
+    let mut batch_json = String::from("BENCH_batch.json");
 
     let mut i = 0;
     while i < args.len() {
@@ -106,6 +111,9 @@ fn main() {
             "--bench-json" => {
                 bench_json = flag_value(&args, &mut i, "--bench-json").to_string();
             }
+            "--batch-json" => {
+                batch_json = flag_value(&args, &mut i, "--batch-json").to_string();
+            }
             "all" => {
                 ids.extend(REAL_EXPS.iter().map(|s| s.to_string()));
                 ids.extend(SYNTH_EXPS.iter().map(|s| s.to_string()));
@@ -123,7 +131,7 @@ fn main() {
         eprintln!(
             "usage: experiments [EXP-ID|all|real|synthetic|ablations ...] \
              [--scale S] [--repeats N] [--seed S] [--mc-rounds N] [--tsv PATH] \
-             [--bench-json PATH]"
+             [--bench-json PATH] [--batch-json PATH]"
         );
         eprintln!("experiment ids: {REAL_EXPS:?} {SYNTH_EXPS:?} {ABLATIONS:?} {STREAMING:?}");
         std::process::exit(2);
@@ -136,7 +144,7 @@ fn main() {
     let mut all_rows: Vec<Row> = Vec::new();
     for id in &ids {
         let start = Instant::now();
-        match run_exp(id, &opts, &bench_json) {
+        match run_exp(id, &opts, &bench_json, &batch_json) {
             Some(rows) => {
                 println!("\n== {id} ({:.1}s) ==", start.elapsed().as_secs_f64());
                 println!("{}", render_table(&rows));

@@ -1,0 +1,356 @@
+//! Batch scaling experiment: the parallel TkPLQ drivers
+//! (`nested_loop_par`, `best_first_par`) vs. their serial counterparts
+//! on one batch window, swept over thread counts.
+//!
+//! The quantities reported are records/s (window records divided by
+//! evaluation wall-clock) and the speedup over the serial driver, plus a
+//! per-point equality audit: every parallel outcome must match the
+//! serial ranking **bit for bit** (`f64::to_bits` on every flow), at
+//! every thread count — the `popflow-exec` determinism contract made
+//! observable. The machine-readable report (`BENCH_batch.json`) is
+//! archived by CI per commit, giving the batch path a scaling
+//! trajectory alongside the serving path's `BENCH_streaming.json`.
+
+use std::time::Instant;
+
+use popflow_core::{
+    best_first, best_first_par, nested_loop, nested_loop_par, FlowConfig, QueryOutcome, TkPlQuery,
+};
+
+use crate::lab::Lab;
+use crate::report::Row;
+
+use super::ExpOpts;
+
+/// Thread counts the experiment sweeps.
+pub const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Configuration of one batch scaling run.
+#[derive(Debug, Clone)]
+pub struct BatchScaleConfig {
+    /// Synthetic scenario scale (1.0 = the paper's 5K objects / 2 h).
+    pub scale: f64,
+    /// Top-k size.
+    pub k: usize,
+    /// Timed repetitions per point (the minimum is reported).
+    pub repeats: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl BatchScaleConfig {
+    /// The default comparison shape at a given scale.
+    pub fn scaled(scale: f64, repeats: usize, seed: u64) -> Self {
+        BatchScaleConfig {
+            scale,
+            k: 5,
+            repeats: repeats.max(1),
+            seed,
+        }
+    }
+}
+
+/// One measured (driver, thread-count) point.
+#[derive(Debug, Clone)]
+pub struct ThreadPoint {
+    /// Driver display name.
+    pub name: String,
+    /// Worker threads the driver was allowed to fork.
+    pub threads: usize,
+    /// Best-of-repeats evaluation wall-clock, seconds.
+    pub secs: f64,
+    /// Window records divided by `secs`.
+    pub records_per_sec: f64,
+    /// Serial wall-clock of the same algorithm divided by `secs`.
+    pub speedup: f64,
+    /// Whether the outcome matched the serial driver bit for bit.
+    pub matches_serial: bool,
+}
+
+/// The outcome of one batch scaling run.
+#[derive(Debug, Clone)]
+pub struct BatchScaleReport {
+    /// Records in the evaluated window.
+    pub records: usize,
+    /// Objects in the evaluated window.
+    pub objects: usize,
+    /// Query set size.
+    pub query_locations: usize,
+    /// Serial `nested_loop` wall-clock, seconds (best of repeats).
+    pub nl_serial_secs: f64,
+    /// Serial `best_first` wall-clock, seconds (best of repeats).
+    pub bf_serial_secs: f64,
+    /// One point per (driver, thread count).
+    pub points: Vec<ThreadPoint>,
+    /// Points whose outcome diverged from serial (must be 0).
+    pub mismatched_points: usize,
+}
+
+impl BatchScaleReport {
+    /// The `nested_loop_par` speedup at `threads`, if that point exists.
+    pub fn nl_speedup_at(&self, threads: usize) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.name == "nested_loop_par" && p.threads == threads)
+            .map(|p| p.speedup)
+    }
+}
+
+/// Bit-exact outcome comparison: same slocs at every rank, same flow
+/// bits.
+fn outcomes_identical(a: &QueryOutcome, b: &QueryOutcome) -> bool {
+    a.ranking.len() == b.ranking.len()
+        && a.ranking
+            .iter()
+            .zip(b.ranking.iter())
+            .all(|(x, y)| x.sloc == y.sloc && x.flow.to_bits() == y.flow.to_bits())
+}
+
+/// Times `run` `repeats` times, returning the fastest wall-clock and the
+/// (identical) outcome.
+fn best_of<F: FnMut() -> QueryOutcome>(repeats: usize, mut run: F) -> (f64, QueryOutcome) {
+    let mut best = f64::INFINITY;
+    let mut outcome = None;
+    for _ in 0..repeats.max(1) {
+        let t0 = Instant::now();
+        let out = run();
+        best = best.min(t0.elapsed().as_secs_f64());
+        outcome = Some(out);
+    }
+    (best, outcome.expect("at least one repetition"))
+}
+
+/// Runs the full comparison: generate the workload once, evaluate the
+/// serial drivers, then each parallel driver across [`THREAD_SWEEP`].
+pub fn run_batch_scale(cfg: &BatchScaleConfig) -> BatchScaleReport {
+    let mut lab = Lab::new(indoor_sim::Scenario::synthetic_scaled(cfg.scale).with_seed(cfg.seed));
+    let query = TkPlQuery::new(
+        cfg.k,
+        popflow_core::QuerySet::new(lab.all_slocs()),
+        lab.world.full_interval(),
+    );
+    // The DP engine: exact, per-object cost bounded by O(n · m²), so the
+    // measurement reflects parallel scaling rather than path-count
+    // variance across objects.
+    let flow = FlowConfig::default().with_dp_engine();
+
+    let (records, objects) = {
+        let (_, iupt) = lab.space_and_iupt();
+        let records = iupt.range_query(query.interval).len();
+        let objects = iupt.sequences_in(query.interval).len();
+        (records, objects)
+    };
+
+    let (nl_serial_secs, nl_serial) = best_of(cfg.repeats, || {
+        let (space, iupt) = lab.space_and_iupt();
+        nested_loop(space, iupt, &query, &flow).expect("serial nested_loop")
+    });
+    let (bf_serial_secs, bf_serial) = best_of(cfg.repeats, || {
+        let (space, iupt) = lab.space_and_iupt();
+        best_first(space, iupt, &query, &flow).expect("serial best_first")
+    });
+
+    let mut points = Vec::new();
+    for &threads in &THREAD_SWEEP {
+        let par_flow = FlowConfig {
+            exec: popflow_core::ExecConfig::with_threads(threads),
+            ..flow
+        };
+        let (secs, outcome) = best_of(cfg.repeats, || {
+            let (space, iupt) = lab.space_and_iupt();
+            nested_loop_par(space, iupt, &query, &par_flow).expect("nested_loop_par")
+        });
+        points.push(ThreadPoint {
+            name: "nested_loop_par".into(),
+            threads,
+            secs,
+            records_per_sec: records as f64 / secs.max(f64::MIN_POSITIVE),
+            speedup: nl_serial_secs / secs.max(f64::MIN_POSITIVE),
+            matches_serial: outcomes_identical(&outcome, &nl_serial),
+        });
+
+        let (secs, outcome) = best_of(cfg.repeats, || {
+            let (space, iupt) = lab.space_and_iupt();
+            best_first_par(space, iupt, &query, &par_flow).expect("best_first_par")
+        });
+        points.push(ThreadPoint {
+            name: "best_first_par".into(),
+            threads,
+            secs,
+            records_per_sec: records as f64 / secs.max(f64::MIN_POSITIVE),
+            speedup: bf_serial_secs / secs.max(f64::MIN_POSITIVE),
+            matches_serial: outcomes_identical(&outcome, &bf_serial),
+        });
+    }
+
+    let mismatched_points = points.iter().filter(|p| !p.matches_serial).count();
+    BatchScaleReport {
+        records,
+        objects,
+        query_locations: query.query_set.len(),
+        nl_serial_secs,
+        bf_serial_secs,
+        points,
+        mismatched_points,
+    }
+}
+
+/// Renders a report as experiment rows.
+pub fn report_rows(cfg: &BatchScaleConfig, report: &BatchScaleReport) -> Vec<Row> {
+    let x = format!("objs={} recs={}", report.objects, report.records);
+    let mut rows = Vec::new();
+    for (name, secs) in [
+        ("nested_loop (serial)", report.nl_serial_secs),
+        ("best_first (serial)", report.bf_serial_secs),
+    ] {
+        let mut row = Row::new("batch_scale", &x, name);
+        row.time_secs = Some(secs);
+        row.note = format!("{:.0} rec/s", report.records as f64 / secs.max(1e-12));
+        rows.push(row);
+    }
+    for p in &report.points {
+        let mut row = Row::new("batch_scale", &x, format!("{}@{}t", p.name, p.threads));
+        row.time_secs = Some(p.secs);
+        row.note = format!(
+            "{:.0} rec/s speedup×{:.2}{}",
+            p.records_per_sec,
+            p.speedup,
+            if p.matches_serial { "" } else { " MISMATCH" },
+        );
+        rows.push(row);
+    }
+    let mut summary = Row::new("batch_scale", &x, "audit");
+    summary.note = format!(
+        "mismatches={} (every parallel point must equal serial bit-for-bit) k={} scale={}",
+        report.mismatched_points, cfg.k, cfg.scale
+    );
+    rows.push(summary);
+    rows
+}
+
+/// Serializes a report as the machine-readable `BENCH_batch.json`
+/// payload CI archives per commit. Hand-rolled JSON: the workspace
+/// deliberately carries no serialization dependency.
+pub fn bench_json(cfg: &BatchScaleConfig, report: &BatchScaleReport) -> String {
+    use crate::report::json_num;
+    let points: Vec<String> = report
+        .points
+        .iter()
+        .map(|p| {
+            format!(
+                concat!(
+                    "{{\"name\":\"{}\",\"threads\":{},\"secs\":{},",
+                    "\"records_per_sec\":{},\"speedup\":{},\"matches_serial\":{}}}"
+                ),
+                p.name,
+                p.threads,
+                json_num(p.secs, 6),
+                json_num(p.records_per_sec, 1),
+                json_num(p.speedup, 3),
+                p.matches_serial,
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"batch_scale\",\n",
+            "  \"config\": {{\"scale\": {}, \"k\": {}, \"repeats\": {}, \"seed\": {}}},\n",
+            "  \"records\": {},\n",
+            "  \"objects\": {},\n",
+            "  \"query_locations\": {},\n",
+            "  \"nested_loop_serial_secs\": {},\n",
+            "  \"best_first_serial_secs\": {},\n",
+            "  \"speedup_4t\": {},\n",
+            "  \"mismatched_points\": {},\n",
+            "  \"points\": [\n    {}\n  ]\n",
+            "}}\n"
+        ),
+        cfg.scale,
+        cfg.k,
+        cfg.repeats,
+        cfg.seed,
+        report.records,
+        report.objects,
+        report.query_locations,
+        json_num(report.nl_serial_secs, 6),
+        json_num(report.bf_serial_secs, 6),
+        report
+            .nl_speedup_at(4)
+            .map_or("null".to_string(), |s| json_num(s, 3)),
+        report.mismatched_points,
+        points.join(",\n    "),
+    )
+}
+
+/// The `batch_scale` experiment id. When `json_path` is given, the
+/// machine-readable report is written there as well — success or failure
+/// of the write is reported truthfully on stdout/stderr. Panics when any
+/// parallel point diverged from serial, so a CI run is a live
+/// determinism gate, not just a measurement.
+pub fn batch_scale_with_json(opts: &ExpOpts, json_path: Option<&str>) -> Vec<Row> {
+    let cfg = BatchScaleConfig::scaled(opts.scale, opts.repeats, opts.seed);
+    let report = run_batch_scale(&cfg);
+    if let Some(path) = json_path {
+        match std::fs::write(path, bench_json(&cfg, &report)) {
+            Ok(()) => println!("wrote machine-readable batch report to {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+    assert_eq!(
+        report.mismatched_points, 0,
+        "parallel drivers diverged from serial"
+    );
+    report_rows(&cfg, &report)
+}
+
+/// The `batch_scale` experiment id without a JSON artifact.
+pub fn batch_scale(opts: &ExpOpts) -> Vec<Row> {
+    batch_scale_with_json(opts, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature end-to-end run: every parallel point bit-matches
+    /// serial and the JSON artifact is structurally sound.
+    #[test]
+    fn small_batch_scale_is_consistent() {
+        let cfg = BatchScaleConfig {
+            scale: 0.01,
+            k: 3,
+            repeats: 1,
+            seed: 7,
+        };
+        let report = run_batch_scale(&cfg);
+        assert!(report.records > 0);
+        assert!(report.objects > 0);
+        assert_eq!(report.points.len(), 2 * THREAD_SWEEP.len());
+        assert_eq!(
+            report.mismatched_points, 0,
+            "parallel diverged: {:?}",
+            report.points
+        );
+        assert!(report.nl_speedup_at(4).is_some());
+
+        let json = bench_json(&cfg, &report);
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces:\n{json}"
+        );
+        for key in [
+            "\"speedup_4t\"",
+            "\"mismatched_points\": 0",
+            "\"nested_loop_par\"",
+            "\"best_first_par\"",
+            "\"matches_serial\":true",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        for bad in ["inf", "NaN"] {
+            assert!(!json.contains(bad), "invalid JSON token {bad} in:\n{json}");
+        }
+    }
+}

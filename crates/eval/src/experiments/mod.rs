@@ -4,6 +4,7 @@
 //! for the index).
 
 pub mod ablation;
+pub mod batch_scale;
 pub mod real;
 pub mod streaming;
 pub mod synthetic;

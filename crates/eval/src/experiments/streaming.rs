@@ -343,15 +343,9 @@ pub fn report_rows(cfg: &StreamingConfig, report: &StreamingReport) -> Vec<Row> 
 /// the workspace deliberately carries no serialization dependency.
 pub fn bench_json(cfg: &StreamingConfig, report: &StreamingReport) -> String {
     // Ratios and throughputs divide by measured quantities that can be
-    // zero (→ ∞); JSON has no literal for non-finite numbers, so they
-    // serialize as null instead of corrupting the artifact.
-    fn json_num(v: f64, decimals: usize) -> String {
-        if v.is_finite() {
-            format!("{v:.decimals$}")
-        } else {
-            "null".to_string()
-        }
-    }
+    // zero (→ ∞); json_num serializes those as null instead of
+    // corrupting the artifact.
+    use crate::report::json_num;
     fn engine_json(m: &EngineMetrics) -> String {
         format!(
             concat!(

@@ -1,0 +1,226 @@
+//! Scoped fork-join over a read-only item slice with a deterministic
+//! in-order merge.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How much parallelism an execution should use.
+///
+/// The configuration travels inside `popflow_core::FlowConfig`, so every
+/// batch driver reads its thread count from the same place. The default
+/// is one thread — serial execution, no threads spawned — which keeps
+/// every existing call site byte-for-byte unchanged until a caller opts
+/// in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Worker threads a parallel driver may fork (≥ 1 effective; 0 is
+    /// treated as 1). Results are bit-identical at every thread count —
+    /// this knob trades wall-clock only.
+    pub threads: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig { threads: 1 }
+    }
+}
+
+impl ExecConfig {
+    /// A config with an explicit thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        ExecConfig { threads }
+    }
+
+    /// A config using all available hardware parallelism (1 when the
+    /// runtime cannot report it).
+    pub fn auto() -> Self {
+        ExecConfig {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
+
+    /// The effective worker count for `items` work items.
+    fn workers(&self, items: usize) -> usize {
+        self.threads.max(1).min(items.max(1))
+    }
+}
+
+/// Applies `f` to every item of `items` and returns the results **in
+/// item order**, forking up to `exec.threads` scoped worker threads.
+///
+/// # Determinism contract
+///
+/// Items are claimed dynamically (an atomic cursor, so uneven per-item
+/// cost balances across workers) but every item is processed exactly
+/// once by a pure call `f(index, &items[index])`, and the merge reorders
+/// results by item index. The returned vector is therefore identical —
+/// including every floating-point bit of what `f` computed — at any
+/// thread count, on any machine, under any scheduling. With one thread
+/// (or one item) no threads are spawned at all.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn par_map<T, R, F>(exec: ExecConfig, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    // One fork-join body for the whole crate: the infallible map is the
+    // fallible one with an uninhabited error.
+    match try_par_map::<_, _, std::convert::Infallible, _>(exec, items, |i, t| Ok(f(i, t))) {
+        Ok(results) => results,
+        Err(never) => match never {},
+    }
+}
+
+/// [`par_map`] over fallible work: returns all results in item order, or
+/// the error of the **lowest-indexed** failing item — the same error a
+/// serial left-to-right loop would surface first, regardless of which
+/// worker hit it or when.
+///
+/// Failure short-circuits: the serial path stops at the first error
+/// exactly like a plain loop, and parallel workers stop claiming items
+/// above the lowest failing index seen so far. Every item *below* that
+/// index is still evaluated (a lower-indexed failure must win), so the
+/// returned error stays deterministic while the work wasted after a
+/// failure stays bounded by the items already in flight.
+pub fn try_par_map<T, R, E, F>(exec: ExecConfig, items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    let workers = exec.workers(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    // Lowest item index known to have failed; items at or above it no
+    // longer need evaluating. The true lowest failing index can never be
+    // skipped: skipping requires an already-recorded failure at a lower
+    // or equal index, and nothing fails below the lowest failure.
+    let first_error = AtomicUsize::new(usize::MAX);
+    let mut indexed: Vec<(usize, Result<R, E>)> = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, Result<R, E>)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        if i >= first_error.load(Ordering::Relaxed) {
+                            continue;
+                        }
+                        let result = f(i, &items[i]);
+                        if result.is_err() {
+                            first_error.fetch_min(i, Ordering::Relaxed);
+                        }
+                        local.push((i, result));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            // Re-raise a worker panic with its original payload, so a
+            // kernel's diagnostic message survives threading.
+            match handle.join() {
+                Ok(local) => indexed.extend(local),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_item_order_at_every_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [0, 1, 2, 4, 7, 64] {
+            let got = par_map(ExecConfig::with_threads(threads), &items, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * x
+            });
+            assert_eq!(got, expect, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let got = par_map(ExecConfig::with_threads(16), &[1, 2, 3], |_, &x| x + 1);
+        assert_eq!(got, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let got: Vec<i32> = par_map(ExecConfig::with_threads(4), &[] as &[i32], |_, &x| x);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn try_par_map_surfaces_first_error_in_item_order() {
+        let items: Vec<u32> = (0..100).collect();
+        for threads in [1, 3, 8] {
+            let err = try_par_map(ExecConfig::with_threads(threads), &items, |_, &x| {
+                if x % 10 == 7 {
+                    Err(x)
+                } else {
+                    Ok(x)
+                }
+            })
+            .unwrap_err();
+            assert_eq!(err, 7, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn try_par_map_serial_path_short_circuits() {
+        let evaluated = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..100).collect();
+        let err = try_par_map(ExecConfig::with_threads(1), &items, |_, &x| {
+            evaluated.fetch_add(1, Ordering::Relaxed);
+            if x == 7 {
+                Err(x)
+            } else {
+                Ok(x)
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, 7);
+        // A plain left-to-right loop: items 0..=7 evaluated, nothing more.
+        assert_eq!(evaluated.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn uneven_work_still_merges_in_order() {
+        let items: Vec<u64> = (0..64).collect();
+        let got = par_map(ExecConfig::with_threads(4), &items, |_, &x| {
+            // Make early items much slower than late ones.
+            let mut acc = 0u64;
+            for i in 0..((64 - x) * 2_000) {
+                acc = acc.wrapping_add(i ^ x);
+            }
+            (x, acc & 1)
+        });
+        let ids: Vec<u64> = got.iter().map(|&(x, _)| x).collect();
+        assert_eq!(ids, items);
+    }
+
+    #[test]
+    fn default_is_serial() {
+        assert_eq!(ExecConfig::default().threads, 1);
+        assert!(ExecConfig::auto().threads >= 1);
+    }
+}

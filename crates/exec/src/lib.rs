@@ -1,0 +1,52 @@
+//! `popflow-exec` — the deterministic parallel execution layer every
+//! popflow evaluation strategy shares.
+//!
+//! The paper's TkPLQ algorithms are embarrassingly parallel over
+//! *objects*: each object's presence/flow contribution is computed
+//! independently and only the final merge couples them. Before this
+//! crate existed that observation was exploited three separate times —
+//! `popflow-serve` hand-rolled a thread-per-shard worker pool,
+//! `indoor-iupt` carried its own single-threaded shard layout, and the
+//! batch algorithms ran on one core. This crate is the one substrate all
+//! of them now build on:
+//!
+//! * [`Partitioner`] — the stable object→partition mapping (a Fibonacci
+//!   multiplicative mix), shared by the serve shard pool, the
+//!   `ShardedIupt` layout, and the batch drivers, so every layer agrees
+//!   on which partition owns an object.
+//! * [`par_map`] / [`try_par_map`] — scoped fork-join over a read-only
+//!   item slice with dynamic load balancing and a deterministic
+//!   in-order merge; the engine under `popflow_core`'s
+//!   `nested_loop_par` and `best_first_par`.
+//! * [`ShardPool`] — long-lived worker threads owning per-partition
+//!   mutable state, driven by coordinator closures; the engine under
+//!   `popflow-serve`'s streaming shards.
+//!
+//! # The determinism contract
+//!
+//! Every construct here guarantees results independent of thread count
+//! and scheduling, down to the floating-point bit:
+//!
+//! 1. **Partition order** is a pure function of `(key, partitions)`
+//!    ([`Partitioner::partition_of`]) — never of load or timing.
+//! 2. **Merge order** is structural: [`par_map`] reorders results by
+//!    item index before returning; [`ShardPool::ask_all`] gathers
+//!    replies in ascending shard order.
+//! 3. **Floating-point summation order** is therefore the caller's to
+//!    fix once: accumulate merged per-object results in ascending
+//!    object-id order and the sum is bit-identical at 1 thread, 7
+//!    threads, or 7 shards — which is exactly what the batch drivers
+//!    and the serve coordinator do.
+//!
+//! The crate is dependency-free (`std` only): no rayon, no crossbeam —
+//! scoped threads and channels are all the model needs.
+
+#![deny(missing_docs)]
+
+mod forkjoin;
+mod partitioner;
+mod pool;
+
+pub use forkjoin::{par_map, try_par_map, ExecConfig};
+pub use partitioner::Partitioner;
+pub use pool::{Reply, ShardDown, ShardPool};

@@ -15,6 +15,6 @@ mod time;
 
 pub use rfid::{ReaderId, RfidDeployment, RfidReader, RfidRecord, RfidTrackingData};
 pub use sample::{Sample, SampleSet, SampleSetError};
-pub use sharded::{shard_for, ShardedIupt};
+pub use sharded::ShardedIupt;
 pub use table::{Iupt, IuptStats, ObjectId, ObjectSequence, Record};
 pub use time::{TimeInterval, Timestamp};

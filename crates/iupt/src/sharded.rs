@@ -7,33 +7,27 @@
 //! partitioning the `popflow-serve` worker pool distributes across
 //! threads; [`ShardedIupt`] is the same layout usable single-threaded.
 
+use popflow_exec::Partitioner;
+
 use crate::table::{Iupt, IuptStats, ObjectId, ObjectSequence, Record};
 use crate::time::{TimeInterval, Timestamp};
 
-/// The shard an object's records land in. A Fibonacci-style multiplicative
-/// mix decorrelates shard choice from dense sequential object ids, so
-/// ids `1..=n` spread evenly for any shard count (a plain `id % n` would
-/// alias badly when ids are strided).
-#[inline]
-pub fn shard_for(oid: ObjectId, num_shards: usize) -> usize {
-    debug_assert!(num_shards >= 1);
-    let mixed = (oid.0 as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
-    ((mixed >> 32) as usize) % num_shards
-}
-
 /// An IUPT partitioned into object shards, each an independent
-/// [`Iupt`] with its own time index.
+/// [`Iupt`] with its own time index. Records route through the shared
+/// [`popflow_exec::Partitioner`], so this single-threaded layout and the
+/// `popflow-serve` worker pool agree on which shard owns every object.
 #[derive(Debug, Clone)]
 pub struct ShardedIupt {
     shards: Vec<Iupt>,
+    partitioner: Partitioner,
 }
 
 impl ShardedIupt {
     /// `num_shards` empty shards (≥ 1).
     pub fn new(num_shards: usize) -> Self {
-        assert!(num_shards >= 1, "need at least one shard");
         ShardedIupt {
             shards: (0..num_shards).map(|_| Iupt::new()).collect(),
+            partitioner: Partitioner::new(num_shards),
         }
     }
 
@@ -55,7 +49,12 @@ impl ShardedIupt {
 
     /// The shard index `record.oid` routes to.
     pub fn shard_of(&self, oid: ObjectId) -> usize {
-        shard_for(oid, self.shards.len())
+        self.partitioner.partition_of(u64::from(oid.0))
+    }
+
+    /// The partitioner routing objects onto this table's shards.
+    pub fn partitioner(&self) -> Partitioner {
+        self.partitioner
     }
 
     /// Appends a record to its object's shard; records must arrive in
@@ -170,20 +169,23 @@ mod tests {
     #[test]
     fn routing_is_stable_and_in_range() {
         for n in 1..=8 {
+            let table = ShardedIupt::new(n);
             for oid in 0..100u32 {
-                let s = shard_for(ObjectId(oid), n);
+                let s = table.shard_of(ObjectId(oid));
                 assert!(s < n);
-                assert_eq!(s, shard_for(ObjectId(oid), n));
+                assert_eq!(s, table.shard_of(ObjectId(oid)));
+                // The shared Partitioner is the routing authority.
+                assert_eq!(s, table.partitioner().partition_of(u64::from(oid)));
             }
         }
     }
 
     #[test]
     fn dense_ids_spread_across_shards() {
-        let n = 4;
-        let mut counts = vec![0usize; n];
+        let table = ShardedIupt::new(4);
+        let mut counts = [0usize; 4];
         for oid in 1..=1000u32 {
-            counts[shard_for(ObjectId(oid), n)] += 1;
+            counts[table.shard_of(ObjectId(oid))] += 1;
         }
         for (s, &c) in counts.iter().enumerate() {
             assert!((150..=350).contains(&c), "shard {s} got {c} of 1000");

@@ -3,19 +3,18 @@
 //! top-k the batch Nested-Loop search would produce.
 
 use std::collections::{HashMap, HashSet};
-use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
-use indoor_iupt::{shard_for, ObjectId, Record, Timestamp};
+use indoor_iupt::{ObjectId, Record, Timestamp};
 use indoor_model::{IndoorSpace, SLocId};
 use popflow_core::{
     diff_topk, rank_topk, ContinuousEngine, ContinuousUpdate, FlowConfig, FlowError, LocationBound,
     ObjectContribution, QueryOutcome, QuerySet, SearchStats, ThresholdHeap, ThresholdStep,
     WindowSpec,
 };
+use popflow_exec::{Reply, ShardDown, ShardPool};
 
-use crate::shard::{BoundsReport, EvalReport, ShardMsg, ShardReport, ShardWorker};
+use crate::shard::{EvalReport, ShardReport, ShardWorker};
 
 /// How an advance turns sealed buckets into a ranking.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -143,7 +142,8 @@ pub struct ServeStats {
 /// The sharded incremental continuous top-k engine.
 ///
 /// Ingestion partitions records by object across `num_shards` worker
-/// threads over `mpsc` channels; each worker owns its shard's IUPT
+/// threads of a [`popflow_exec::ShardPool`] (routed by the pool's shared
+/// [`popflow_exec::Partitioner`]); each worker owns its shard's IUPT
 /// partition and sealed-bucket caches. An
 /// [`advance`](ContinuousEngine::advance) seals newly completed buckets,
 /// assembles per-object contributions across shards — eagerly, or
@@ -189,8 +189,7 @@ pub struct ServeStats {
 #[derive(Debug)]
 pub struct ServeEngine {
     config: ServeConfig,
-    senders: Vec<Sender<ShardMsg>>,
-    workers: Vec<JoinHandle<()>>,
+    pool: ShardPool<ShardWorker>,
     stats: ServeStats,
     previous: Option<Vec<SLocId>>,
     last_ingest: Option<Timestamp>,
@@ -210,27 +209,17 @@ impl ServeEngine {
     pub fn new(space: Arc<IndoorSpace>, config: ServeConfig) -> Self {
         assert!(config.num_shards >= 1, "need at least one shard");
         assert!(config.k >= 1, "k must be at least 1");
-        let mut senders = Vec::with_capacity(config.num_shards);
-        let mut workers = Vec::with_capacity(config.num_shards);
-        for shard in 0..config.num_shards {
-            let (tx, rx) = mpsc::channel();
-            let worker = ShardWorker::new(
+        let pool = ShardPool::new("popflow-shard", config.num_shards, |_| {
+            ShardWorker::new(
                 Arc::clone(&space),
                 config.query_set.clone(),
                 config.flow,
                 config.spec,
-            );
-            let handle = std::thread::Builder::new()
-                .name(format!("popflow-shard-{shard}"))
-                .spawn(move || worker.run(rx))
-                .expect("spawning a shard worker thread");
-            senders.push(tx);
-            workers.push(handle);
-        }
+            )
+        });
         ServeEngine {
             config,
-            senders,
-            workers,
+            pool,
             stats: ServeStats::default(),
             previous: None,
             last_ingest: None,
@@ -305,41 +294,29 @@ impl ServeEngine {
         Ok(())
     }
 
-    fn shard_down(&self, shard: usize) -> FlowError {
+    fn shard_down(&self, down: ShardDown) -> FlowError {
         FlowError::EngineUnavailable {
-            detail: format!("shard worker {shard} is no longer running"),
+            detail: down.to_string(),
         }
     }
 
     /// The eager advance: every shard replies with its full window
-    /// contribution list in one round-trip.
+    /// contribution list in one round-trip
+    /// ([`ShardPool::ask_all`] — gathered in shard order).
     fn advance_eager(
         &mut self,
         window_start: i64,
         end_bucket: i64,
     ) -> Result<QueryOutcome, FlowError> {
-        let (tx, rx) = mpsc::channel();
-        for (shard, sender) in self.senders.iter().enumerate() {
-            sender
-                .send(ShardMsg::Advance {
-                    window_start,
-                    window_end: end_bucket,
-                    reply: tx.clone(),
-                })
-                .map_err(|_| self.shard_down(shard))?;
-        }
-        drop(tx);
-
-        let mut reports = Vec::with_capacity(self.senders.len());
-        for _ in 0..self.senders.len() {
-            let report = rx.recv().map_err(|_| FlowError::EngineUnavailable {
-                detail: "a shard worker died mid-advance".into(),
-            })?;
+        let reports = self
+            .pool
+            .ask_all(move |_, worker: &mut ShardWorker| worker.evaluate(window_start, end_bucket))
+            .map_err(|down| self.shard_down(down))?;
+        for report in &reports {
             self.stats.cache_hits += report.cache_hits as u64;
             self.stats.straddler_recomputes += report.straddlers as u64;
             self.stats.fresh_presence += report.fresh_presence as u64;
             self.stats.presence_cells += report.presence_cells as u64;
-            reports.push(report);
         }
         self.merge_reports(reports)
     }
@@ -394,28 +371,22 @@ impl ServeEngine {
         window_start: i64,
         end_bucket: i64,
     ) -> Result<QueryOutcome, FlowError> {
-        // ---- Phase 1: bounds. One reply channel per shard so candidate
-        // lists stay attributable to the shard that owns the objects.
-        let mut replies: Vec<Receiver<BoundsReport>> = Vec::with_capacity(self.senders.len());
-        for (shard, sender) in self.senders.iter().enumerate() {
-            let (tx, rx) = mpsc::channel();
-            sender
-                .send(ShardMsg::AdvanceBounds {
-                    window_start,
-                    window_end: end_bucket,
-                    reply: tx,
-                })
-                .map_err(|_| self.shard_down(shard))?;
-            replies.push(rx);
-        }
+        // ---- Phase 1: bounds. Per-shard replies (gathered in shard
+        // order) keep candidate lists attributable to the shard that
+        // owns the objects.
+        let reports = self
+            .pool
+            .ask_all(move |_, worker: &mut ShardWorker| {
+                worker.advance_bounds(window_start, end_bucket)
+            })
+            .map_err(|down| self.shard_down(down))?;
 
         let mut counts: HashMap<SLocId, usize> = HashMap::new();
         let mut per_shard: Vec<HashMap<SLocId, Vec<ObjectId>>> =
-            vec![HashMap::new(); self.senders.len()];
+            vec![HashMap::new(); self.pool.shards()];
         let mut total_cells: u64 = 0;
         let mut objects_total = 0;
-        for (shard, rx) in replies.into_iter().enumerate() {
-            let report = rx.recv().map_err(|_| self.shard_down(shard))?;
+        for (shard, report) in reports.into_iter().enumerate() {
             objects_total += report.objects_total;
             self.stats.straddler_recomputes += report.straddlers as u64;
             for (oid, relevant) in report.candidates {
@@ -475,25 +446,22 @@ impl ServeEngine {
         per_shard: &[HashMap<SLocId, Vec<ObjectId>>],
         work: &mut PrunedWork,
     ) -> Result<f64, FlowError> {
-        let mut replies: Vec<Receiver<EvalReport>> = Vec::new();
+        let mut replies: Vec<Reply<EvalReport>> = Vec::new();
         for (shard, candidates) in per_shard.iter().enumerate() {
             if let Some(oids) = candidates.get(&sloc) {
-                let (tx, rx) = mpsc::channel();
-                self.senders[shard]
-                    .send(ShardMsg::Evaluate {
-                        slocs: vec![sloc],
-                        oids: oids.clone(),
-                        reply: tx,
+                let oids = oids.clone();
+                let reply = self
+                    .pool
+                    .ask(shard, move |worker: &mut ShardWorker| {
+                        worker.evaluate_lazy(&[sloc], &oids)
                     })
-                    .map_err(|_| self.shard_down(shard))?;
-                replies.push(rx);
+                    .map_err(|down| self.shard_down(down))?;
+                replies.push(reply);
             }
         }
         let mut contributions: Vec<(ObjectId, ObjectContribution)> = Vec::new();
-        for rx in replies {
-            let mut report = rx.recv().map_err(|_| FlowError::EngineUnavailable {
-                detail: "a shard worker died mid-evaluate".into(),
-            })?;
+        for reply in replies {
+            let mut report = reply.recv().map_err(|down| self.shard_down(down))?;
             if let Some(e) = report.error {
                 return Err(e);
             }
@@ -535,11 +503,14 @@ impl ContinuousEngine for ServeEngine {
         self.check_poisoned()?;
         self.check_ingest_time(record.t)?;
         self.last_ingest = Some(record.t);
-        let shard = shard_for(record.oid, self.senders.len());
-        self.senders[shard]
-            .send(ShardMsg::Ingest(record))
-            .map_err(|_| {
-                let e = self.shard_down(shard);
+        let shard = self
+            .pool
+            .partitioner()
+            .partition_of(u64::from(record.oid.0));
+        self.pool
+            .tell(shard, move |worker| worker.ingest(record))
+            .map_err(|down| {
+                let e = self.shard_down(down);
                 self.poison(e)
             })?;
         self.stats.records_ingested += 1;
@@ -597,14 +568,5 @@ impl ContinuousEngine for ServeEngine {
     }
 }
 
-impl Drop for ServeEngine {
-    fn drop(&mut self) {
-        for sender in &self.senders {
-            // A worker that already exited is fine.
-            let _ = sender.send(ShardMsg::Shutdown);
-        }
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
-    }
-}
+// No Drop impl: dropping the engine drops its `ShardPool`, which closes
+// every worker queue and joins the threads.

@@ -19,23 +19,28 @@
 //!
 //! # Two evaluation protocols
 //!
-//! The **eager** protocol ([`ShardMsg::Advance`]) computes every sealed
-//! object's full contribution at seal time and replies with the shard's
-//! complete window contribution list — PR 2's behaviour.
+//! The **eager** protocol ([`ShardWorker::evaluate`]) computes every
+//! sealed object's full contribution at seal time and replies with the
+//! shard's complete window contribution list — PR 2's behaviour.
 //!
 //! The **bound-pruned** protocol splits an advance into two phases.
-//! [`ShardMsg::AdvanceBounds`] seals buckets *cheaply*: only each
+//! [`ShardWorker::advance_bounds`] seals buckets *cheaply*: only each
 //! object's record positions and PSL candidate list (`Q ∩ psls`, a scan —
 //! no presence computation) are recorded, and the reply carries the
 //! shard's per-object candidate lists so the coordinator can build COUNT
-//! flow bounds per location. [`ShardMsg::Evaluate`] then requests exact
-//! per-location contributions lazily, only for the (location, object)
-//! pairs the coordinator's threshold loop could not prune; computed
-//! scores are memoized in the bucket caches, so a location evaluated on
-//! one slide is free on the next while its bucket stays in the window.
+//! flow bounds per location. [`ShardWorker::evaluate_lazy`] then serves
+//! exact per-location contributions lazily, only for the (location,
+//! object) pairs the coordinator's threshold loop could not prune;
+//! computed scores are memoized in the bucket caches, so a location
+//! evaluated on one slide is free on the next while its bucket stays in
+//! the window.
+//!
+//! The worker owns no thread of its own: the engine runs one
+//! [`ShardWorker`] per shard inside a [`popflow_exec::ShardPool`], whose
+//! FIFO job queues give exactly the ordering the protocols rely on — an
+//! ingest routed before an advance is always sealed by it.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 
 use indoor_iupt::{Iupt, ObjectId, Record};
@@ -44,39 +49,6 @@ use popflow_core::{
     intersect_sorted, object_flow_contributions, object_flow_contributions_for, scan_psls,
     FlowConfig, FlowError, ObjectContribution, QuerySet, WindowSpec,
 };
-
-/// Messages the coordinator sends a shard worker. Each worker drains its
-/// queue in order, so an advance observes every record routed before it.
-pub(crate) enum ShardMsg {
-    /// Append one record (already validated and routed by the engine).
-    Ingest(Record),
-    /// Eager advance: seal buckets through `window_end` (computing full
-    /// contributions), evaluate the window `[window_start, window_end]`
-    /// (bucket indices, inclusive), reply with this shard's per-object
-    /// contributions.
-    Advance {
-        window_start: i64,
-        window_end: i64,
-        reply: Sender<ShardReport>,
-    },
-    /// Bound-pruned phase 1: seal buckets cheaply (record positions and
-    /// PSL candidate lists only — no presence computation), reply with
-    /// this shard's per-object candidate lists.
-    AdvanceBounds {
-        window_start: i64,
-        window_end: i64,
-        reply: Sender<BoundsReport>,
-    },
-    /// Bound-pruned phase 2: exact contributions for `oids` (window
-    /// objects of this shard), restricted to the query locations `slocs`.
-    Evaluate {
-        slocs: Vec<SLocId>,
-        oids: Vec<ObjectId>,
-        reply: Sender<EvalReport>,
-    },
-    /// Drain and exit.
-    Shutdown,
-}
 
 /// One shard's answer to an eager `Advance`.
 pub(crate) struct ShardReport {
@@ -206,42 +178,15 @@ impl ShardWorker {
         }
     }
 
-    /// The worker thread body: drain messages until `Shutdown` or the
-    /// engine drops its sender.
-    pub(crate) fn run(mut self, inbox: Receiver<ShardMsg>) {
-        while let Ok(msg) = inbox.recv() {
-            match msg {
-                ShardMsg::Ingest(record) => self.iupt.push(record),
-                ShardMsg::Advance {
-                    window_start,
-                    window_end,
-                    reply,
-                } => {
-                    let report = self.evaluate(window_start, window_end);
-                    // The engine may have given up waiting; a dead reply
-                    // channel is not this worker's problem.
-                    let _ = reply.send(report);
-                }
-                ShardMsg::AdvanceBounds {
-                    window_start,
-                    window_end,
-                    reply,
-                } => {
-                    let report = self.advance_bounds(window_start, window_end);
-                    let _ = reply.send(report);
-                }
-                ShardMsg::Evaluate { slocs, oids, reply } => {
-                    let report = self.evaluate_lazy(&slocs, &oids);
-                    let _ = reply.send(report);
-                }
-                ShardMsg::Shutdown => break,
-            }
-        }
+    /// Appends one record (already validated and routed by the engine)
+    /// to this shard's partition of the positioning log.
+    pub(crate) fn ingest(&mut self, record: Record) {
+        self.iupt.push(record);
     }
 
     /// Seals buckets through `window_end`, then assembles the shard's
     /// window contributions (the eager protocol).
-    fn evaluate(&mut self, window_start: i64, window_end: i64) -> ShardReport {
+    pub(crate) fn evaluate(&mut self, window_start: i64, window_end: i64) -> ShardReport {
         let mut report = ShardReport {
             contributions: Vec::new(),
             objects_total: 0,
@@ -318,7 +263,7 @@ impl ShardWorker {
 
     /// Bound-pruned phase 1: cheap sealing, eviction, and candidate
     /// assembly. Performs no presence computation at all.
-    fn advance_bounds(&mut self, window_start: i64, window_end: i64) -> BoundsReport {
+    pub(crate) fn advance_bounds(&mut self, window_start: i64, window_end: i64) -> BoundsReport {
         let (mut fresh, mut cells) = (0, 0);
         self.seal_through(window_start, window_end, false, &mut fresh, &mut cells)
             .expect("cheap sealing performs no fallible merge or presence work");
@@ -375,7 +320,7 @@ impl ShardWorker {
     /// Bound-pruned phase 2: exact contributions for `oids`, restricted
     /// to `slocs` (sorted). Fresh scores are computed through the same
     /// per-object kernel as everything else and memoized.
-    fn evaluate_lazy(&mut self, slocs: &[SLocId], oids: &[ObjectId]) -> EvalReport {
+    pub(crate) fn evaluate_lazy(&mut self, slocs: &[SLocId], oids: &[ObjectId]) -> EvalReport {
         let mut report = EvalReport {
             contributions: Vec::with_capacity(oids.len()),
             evaluated_cells: 0,

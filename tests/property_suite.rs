@@ -3,9 +3,15 @@
 //! fixtures.
 
 use indoor_geom::Point;
+use indoor_iupt::{TimeInterval, Timestamp};
 use indoor_model::{CellId, PartitionId};
-use indoor_sim::{generate_building, simulate_mobility, BuildingGenConfig, MobilityConfig};
-use popflow_core::{reduction, QuerySet};
+use indoor_sim::{
+    generate_building, simulate_mobility, BuildingGenConfig, MobilityConfig, Scenario, World,
+};
+use popflow_core::{
+    best_first, best_first_par, nested_loop, nested_loop_par, reduction, ExecConfig, FlowConfig,
+    QuerySet, TkPlQuery,
+};
 use proptest::prelude::*;
 
 fn arb_building_config() -> impl Strategy<Value = BuildingGenConfig> {
@@ -191,6 +197,107 @@ fn point_partition_lookup_agrees_with_geometry() {
     }
     assert_eq!(probes, 900);
     let _ = CellId(0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The parallel batch drivers are bit-identical to their serial
+    /// counterparts — same slocs at every rank, same flow bits — across
+    /// thread counts {1, 2, 4, 7}, random worlds, random query subsets,
+    /// random windows, and both presence-engine families. This is the
+    /// `popflow-exec` determinism contract observed end to end.
+    #[test]
+    fn parallel_drivers_bit_identical_to_serial(
+        seed in 0u64..500,
+        k in 1usize..5,
+        stride in 1usize..4,
+        start_frac in 0.0f64..0.5,
+        len_frac in 0.3f64..1.0,
+        engine_pick in 0u8..2,
+    ) {
+        let world = World::generate(Scenario::tiny().with_seed(seed));
+        let slocs: Vec<_> = world
+            .space
+            .slocs()
+            .iter()
+            .map(|s| s.id)
+            .enumerate()
+            .filter(|(i, _)| i % stride == 0)
+            .map(|(_, s)| s)
+            .collect();
+        prop_assume!(!slocs.is_empty());
+
+        let dur_millis = world.scenario.mobility.duration_secs * 1000;
+        let start = (dur_millis as f64 * start_frac) as i64;
+        let end = start + ((dur_millis - start) as f64 * len_frac) as i64;
+        let query = TkPlQuery::new(
+            k,
+            QuerySet::new(slocs),
+            TimeInterval::new(Timestamp(start), Timestamp(end.max(start + 1))),
+        );
+        let base = if engine_pick == 0 {
+            FlowConfig::default().with_dp_engine()
+        } else {
+            // The hybrid engine: enumeration with DP fallback — both
+            // fallback paths must stay deterministic under threading.
+            FlowConfig {
+                engine: popflow_core::PresenceEngine::Hybrid,
+                path_budget: 20_000,
+                ..FlowConfig::default()
+            }
+        };
+
+        let mut iupt = world.iupt.clone();
+        let nl = nested_loop(&world.space, &mut iupt, &query, &base).unwrap();
+        let bf = best_first(&world.space, &mut iupt, &query, &base).unwrap();
+        for threads in [1usize, 2, 4, 7] {
+            let cfg = FlowConfig {
+                exec: ExecConfig::with_threads(threads),
+                ..base
+            };
+            let nl_par = nested_loop_par(&world.space, &mut iupt, &query, &cfg).unwrap();
+            prop_assert_eq!(
+                nl.topk_slocs(),
+                nl_par.topk_slocs(),
+                "nested_loop slocs diverged at {} threads (seed {})",
+                threads,
+                seed
+            );
+            for (a, b) in nl.ranking.iter().zip(nl_par.ranking.iter()) {
+                prop_assert_eq!(
+                    a.flow.to_bits(),
+                    b.flow.to_bits(),
+                    "nested_loop flow bits diverged at {} threads (seed {}): {} vs {}",
+                    threads,
+                    seed,
+                    a.flow,
+                    b.flow
+                );
+            }
+            prop_assert_eq!(nl.stats.objects_computed, nl_par.stats.objects_computed);
+
+            let bf_par = best_first_par(&world.space, &mut iupt, &query, &cfg).unwrap();
+            prop_assert_eq!(
+                bf.topk_slocs(),
+                bf_par.topk_slocs(),
+                "best_first slocs diverged at {} threads (seed {})",
+                threads,
+                seed
+            );
+            for (a, b) in bf.ranking.iter().zip(bf_par.ranking.iter()) {
+                prop_assert_eq!(
+                    a.flow.to_bits(),
+                    b.flow.to_bits(),
+                    "best_first flow bits diverged at {} threads (seed {}): {} vs {}",
+                    threads,
+                    seed,
+                    a.flow,
+                    b.flow
+                );
+            }
+        }
+    }
 }
 
 proptest! {
