@@ -13,7 +13,7 @@ use popflow_serve::{ServeConfig, ServeEngine};
 fn bench(c: &mut Criterion) {
     let cfg = StreamingConfig::scaled(0.05, 0xcafe);
     let (world, stream) = cfg.scenario.build();
-    let records = stream.records();
+    let records = &stream;
     let space = Arc::new(world.space.clone());
     let slocs: Vec<_> = world.space.slocs().iter().map(|s| s.id).collect();
     let flow = FlowConfig::default().with_dp_engine();

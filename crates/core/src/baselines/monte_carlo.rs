@@ -48,7 +48,7 @@ pub fn monte_carlo(
     // Materialize per-object sample-set sequences once.
     let object_sets: Vec<Vec<&SampleSet>> = sequences
         .iter()
-        .map(|seq| seq.records.iter().map(|r| &r.samples).collect())
+        .map(|seq| seq.records.iter().map(|r| r.samples).collect())
         .collect();
 
     let slocs = query.query_set.slocs();

@@ -243,7 +243,7 @@ pub fn flow(
     let mut dp_fallback_objects = 0usize;
 
     for seq in sequences {
-        let sets_iter = seq.records.iter().map(|r| &r.samples);
+        let sets_iter = seq.records.iter().map(|r| r.samples);
         let effective: Vec<std::borrow::Cow<'_, SampleSet>> = if cfg.use_reduction {
             match reduce_for_query(space, sets_iter, &q_set, true)? {
                 Some(reduced) => reduced.sets,
@@ -371,7 +371,7 @@ mod tests {
             for seq in iupt.sequences_in(interval()) {
                 let full = object_flow_contributions(
                     &fig.space,
-                    seq.records.iter().map(|r| &r.samples),
+                    seq.records.iter().map(|r| r.samples),
                     &query_set,
                     &cfg,
                 )
@@ -381,7 +381,7 @@ mod tests {
                 for (i, &q) in full.relevant.iter().enumerate() {
                     let part = object_flow_contributions_for(
                         &fig.space,
-                        seq.records.iter().map(|r| &r.samples),
+                        seq.records.iter().map(|r| r.samples),
                         &[q],
                         &query_set,
                         &cfg,
@@ -401,7 +401,7 @@ mod tests {
                 if !rest.is_empty() {
                     let part = object_flow_contributions_for(
                         &fig.space,
-                        seq.records.iter().map(|r| &r.samples),
+                        seq.records.iter().map(|r| r.samples),
                         &rest,
                         &query_set,
                         &cfg,
@@ -424,10 +424,10 @@ mod tests {
         let mut iupt = paper_table2();
         for seq in iupt.sequences_in(interval()) {
             let cheap =
-                crate::reduction::scan_psls(&fig.space, seq.records.iter().map(|r| &r.samples));
+                crate::reduction::scan_psls(&fig.space, seq.records.iter().map(|r| r.samples));
             for merge in [true, false] {
                 let scanned =
-                    scan_sequence(&fig.space, seq.records.iter().map(|r| &r.samples), merge)
+                    scan_sequence(&fig.space, seq.records.iter().map(|r| r.samples), merge)
                         .unwrap();
                 assert_eq!(cheap, scanned.psls, "object {} merge {merge}", seq.oid);
             }

@@ -70,7 +70,7 @@ fn prepare_object<'a>(
     // either setting.
     let scanned = scan_sequence(
         space,
-        seq.records.iter().map(|r| &r.samples),
+        seq.records.iter().map(|r| r.samples),
         cfg.use_reduction,
     )?;
     if !query_set.intersects_sorted(&scanned.psls) {

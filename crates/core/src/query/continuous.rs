@@ -311,6 +311,12 @@ impl RecomputeEngine {
         self.iupt.len()
     }
 
+    /// Footprint/interner accounting of the engine's columnar record log
+    /// (see [`Iupt::store_stats`]).
+    pub fn store_stats(&self) -> indoor_iupt::StoreStats {
+        self.iupt.store_stats()
+    }
+
     /// The window geometry.
     pub fn spec(&self) -> WindowSpec {
         self.spec
@@ -530,7 +536,7 @@ mod tests {
             spec,
             cfg(),
         );
-        let template = paper_table2().records()[0].clone();
+        let template = paper_table2().to_records()[0].clone();
         engine
             .ingest(Record {
                 t: Timestamp(1_500),
@@ -590,8 +596,8 @@ mod tests {
             cfg(),
         );
         assert_eq!(engine.name(), "recompute-nl");
-        for r in paper_table2().records() {
-            engine.ingest(r.clone()).unwrap();
+        for r in paper_table2().to_records() {
+            engine.ingest(r).unwrap();
         }
         assert_eq!(engine.records_ingested(), paper_table2().len());
         let update = engine.advance(Timestamp(8_999)).unwrap();
@@ -624,7 +630,7 @@ mod tests {
             WindowSpec::new(1_000, 2),
             cfg(),
         );
-        let records = paper_table2().records().to_vec();
+        let records = paper_table2().to_records();
         engine.ingest(records[3].clone()).unwrap();
         let err = engine.ingest(records[0].clone()).unwrap_err();
         assert!(matches!(err, FlowError::TimeRegression { .. }));

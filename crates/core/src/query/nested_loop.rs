@@ -36,7 +36,7 @@ pub fn nested_loop(
     for seq in sequences {
         let Some(contribution) = object_flow_contributions(
             space,
-            seq.records.iter().map(|r| &r.samples),
+            seq.records.iter().map(|r| r.samples),
             &query.query_set,
             cfg,
         )?
@@ -88,7 +88,7 @@ pub fn nested_loop_par(
     let contributions = popflow_exec::try_par_map(cfg.exec, &sequences, |_, seq| {
         object_flow_contributions(
             space,
-            seq.records.iter().map(|r| &r.samples),
+            seq.records.iter().map(|r| r.samples),
             &query.query_set,
             cfg,
         )

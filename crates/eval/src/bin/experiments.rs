@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! experiments [EXP-ID ...] [--scale S] [--repeats N] [--seed S] [--tsv PATH]
-//!             [--bench-json PATH] [--batch-json PATH]
+//!             [--bench-json PATH] [--batch-json PATH] [--memory-json PATH]
 //! ```
 //!
 //! The `streaming` experiment additionally writes a machine-readable
@@ -12,16 +12,22 @@
 //! presence_skipped) to `--bench-json` (default `BENCH_streaming.json`),
 //! and the `batch_scale` experiment writes its thread-scaling report
 //! (records/s and speedup at 1/2/4/8 threads, serial-equality audit) to
-//! `--batch-json` (default `BENCH_batch.json`); CI archives both as
-//! per-commit artifacts.
+//! `--batch-json` (default `BENCH_batch.json`), and the `store_footprint`
+//! experiment writes the columnar store's ingest/footprint sweep
+//! (records/s, bytes/record vs the row baseline, intern hit rate per
+//! destination skew) to `--memory-json` (default `BENCH_memory.json`);
+//! CI archives all three as per-commit artifacts.
 //!
 //! Experiment ids: table4 table5 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 //! fig14 fig15 fig16 fig17 fig18 fig19 fig20 fig21 table7 ablation-dp
-//! ablation-norm streaming batch_scale, or `all` / `real` / `synthetic`.
+//! ablation-norm streaming batch_scale store_footprint, or `all` /
+//! `real` / `synthetic`.
 
 use std::time::Instant;
 
-use popflow_eval::experiments::{ablation, batch_scale, real, streaming, synthetic, ExpOpts};
+use popflow_eval::experiments::{
+    ablation, batch_scale, real, store_footprint, streaming, synthetic, ExpOpts,
+};
 use popflow_eval::report::{render_table, render_tsv, Row};
 
 const REAL_EXPS: &[&str] = &[
@@ -31,9 +37,15 @@ const SYNTH_EXPS: &[&str] = &[
     "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "table7",
 ];
 const ABLATIONS: &[&str] = &["ablation-dp", "ablation-norm"];
-const STREAMING: &[&str] = &["streaming", "batch_scale"];
+const STREAMING: &[&str] = &["streaming", "batch_scale", "store_footprint"];
 
-fn run_exp(id: &str, opts: &ExpOpts, bench_json: &str, batch_json: &str) -> Option<Vec<Row>> {
+fn run_exp(
+    id: &str,
+    opts: &ExpOpts,
+    bench_json: &str,
+    batch_json: &str,
+    memory_json: &str,
+) -> Option<Vec<Row>> {
     let rows = match id {
         "table4" => real::table4(opts),
         "table5" => real::table5(opts),
@@ -57,6 +69,7 @@ fn run_exp(id: &str, opts: &ExpOpts, bench_json: &str, batch_json: &str) -> Opti
         "ablation-norm" => ablation::ablation_norm(opts),
         "streaming" => streaming::streaming_with_json(opts, Some(bench_json)),
         "batch_scale" => batch_scale::batch_scale_with_json(opts, Some(batch_json)),
+        "store_footprint" => store_footprint::store_footprint_with_json(opts, Some(memory_json)),
         _ => return None,
     };
     Some(rows)
@@ -79,6 +92,7 @@ fn main() {
     let mut tsv_path: Option<String> = None;
     let mut bench_json = String::from("BENCH_streaming.json");
     let mut batch_json = String::from("BENCH_batch.json");
+    let mut memory_json = String::from("BENCH_memory.json");
 
     let mut i = 0;
     while i < args.len() {
@@ -114,6 +128,9 @@ fn main() {
             "--batch-json" => {
                 batch_json = flag_value(&args, &mut i, "--batch-json").to_string();
             }
+            "--memory-json" => {
+                memory_json = flag_value(&args, &mut i, "--memory-json").to_string();
+            }
             "all" => {
                 ids.extend(REAL_EXPS.iter().map(|s| s.to_string()));
                 ids.extend(SYNTH_EXPS.iter().map(|s| s.to_string()));
@@ -131,7 +148,7 @@ fn main() {
         eprintln!(
             "usage: experiments [EXP-ID|all|real|synthetic|ablations ...] \
              [--scale S] [--repeats N] [--seed S] [--mc-rounds N] [--tsv PATH] \
-             [--bench-json PATH] [--batch-json PATH]"
+             [--bench-json PATH] [--batch-json PATH] [--memory-json PATH]"
         );
         eprintln!("experiment ids: {REAL_EXPS:?} {SYNTH_EXPS:?} {ABLATIONS:?} {STREAMING:?}");
         std::process::exit(2);
@@ -144,7 +161,7 @@ fn main() {
     let mut all_rows: Vec<Row> = Vec::new();
     for id in &ids {
         let start = Instant::now();
-        match run_exp(id, &opts, &bench_json, &batch_json) {
+        match run_exp(id, &opts, &bench_json, &batch_json, &memory_json) {
             Some(rows) => {
                 println!("\n== {id} ({:.1}s) ==", start.elapsed().as_secs_f64());
                 println!("{}", render_table(&rows));

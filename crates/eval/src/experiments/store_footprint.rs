@@ -1,0 +1,324 @@
+//! Store footprint experiment: ingest throughput and memory footprint of
+//! the columnar, interned `popflow-store` record log across
+//! destination-choice skews — with the row-store layout it replaced as
+//! the per-point counterfactual.
+//!
+//! For each skew the experiment generates a dwell-cached visitor stream
+//! (see [`indoor_sim::StreamScenario`]), replays it through a fresh
+//! [`Iupt`] timing every `push`, and reads the store's
+//! [`indoor_iupt::StoreStats`]: bytes/record (columns + interned arena)
+//! vs. the row baseline (every record owning its sample set), plus the
+//! interner hit rate. The machine-readable report (`BENCH_memory.json`)
+//! is archived by CI per commit next to `BENCH_streaming.json` and
+//! `BENCH_batch.json` — and the run doubles as a live gate: it panics
+//! when interning stops deduplicating (hit rate 0 on the skewed stream)
+//! or the columnar footprint fails to undercut the row layout.
+
+use std::time::Instant;
+
+use indoor_iupt::Iupt;
+use indoor_sim::StreamScenario;
+
+use crate::report::Row;
+
+use super::ExpOpts;
+
+/// The destination-choice skews the experiment sweeps (uniform → heavy).
+pub const SKEW_SWEEP: [f64; 3] = [0.0, 0.5, 0.9];
+
+/// Configuration of one footprint run.
+#[derive(Debug, Clone)]
+pub struct StoreFootprintConfig {
+    /// Tracked population per skew point.
+    pub num_objects: usize,
+    /// Simulated span in seconds.
+    pub duration_secs: i64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Skews to sweep.
+    pub skews: Vec<f64>,
+}
+
+impl StoreFootprintConfig {
+    /// The default shape at a given scale (1.0 ≈ 2000 visitors over
+    /// 4 h).
+    pub fn scaled(scale: f64, seed: u64) -> Self {
+        StoreFootprintConfig {
+            num_objects: ((2000.0 * scale) as usize).max(120),
+            duration_secs: ((4.0 * 3600.0 * scale) as i64).max(1200),
+            seed,
+            skews: SKEW_SWEEP.to_vec(),
+        }
+    }
+}
+
+/// One measured skew point.
+#[derive(Debug, Clone)]
+pub struct FootprintPoint {
+    /// Destination-choice skew of the generated stream.
+    pub skew: f64,
+    /// Records ingested.
+    pub records: usize,
+    /// Wall-clock spent ingesting pre-materialized records into the
+    /// store (`Iupt::push` interning plus the final index freeze),
+    /// seconds.
+    pub ingest_secs: f64,
+    /// Resident bytes of the columnar, interned store.
+    pub store_bytes: usize,
+    /// Bytes the row layout (every record owning its set) would occupy.
+    pub row_bytes: usize,
+    /// Distinct sample sets interned.
+    pub sets_interned: usize,
+    /// Ingested sets deduplicated to an existing copy.
+    pub intern_hits: u64,
+}
+
+impl FootprintPoint {
+    /// Ingest throughput, records per second.
+    pub fn records_per_sec(&self) -> f64 {
+        if self.ingest_secs > 0.0 {
+            self.records as f64 / self.ingest_secs
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Columnar bytes per record.
+    pub fn bytes_per_record(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.store_bytes as f64 / self.records as f64
+        }
+    }
+
+    /// Row-layout bytes per record (the baseline).
+    pub fn row_bytes_per_record(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.row_bytes as f64 / self.records as f64
+        }
+    }
+
+    /// Fraction of ingests served by deduplication, in `[0, 1]`.
+    pub fn intern_hit_rate(&self) -> f64 {
+        if self.records == 0 {
+            0.0
+        } else {
+            self.intern_hits as f64 / self.records as f64
+        }
+    }
+}
+
+/// Runs the sweep: one generated stream and one timed ingest per skew.
+pub fn run_store_footprint(cfg: &StoreFootprintConfig) -> Vec<FootprintPoint> {
+    cfg.skews
+        .iter()
+        .map(|&skew| {
+            let scenario = StreamScenario {
+                num_objects: cfg.num_objects,
+                duration_secs: cfg.duration_secs,
+                visit_secs: (60, 120),
+                destination_skew: skew,
+                dwell_cache: true,
+                seed: cfg.seed,
+            };
+            let (_world, stream) = scenario.build();
+            // Materialize owned records outside the timer: the timed
+            // region is the store's work (`push` interning + the final
+            // index freeze), not the replay clone feeding it.
+            let records = stream.to_records();
+            let mut iupt = Iupt::new();
+            let t0 = Instant::now();
+            for r in records {
+                iupt.push(r);
+            }
+            iupt.freeze();
+            let ingest_secs = t0.elapsed().as_secs_f64();
+            let stats = iupt.store_stats();
+            FootprintPoint {
+                skew,
+                records: stats.records,
+                ingest_secs,
+                store_bytes: stats.bytes,
+                row_bytes: iupt.row_bytes(),
+                sets_interned: stats.sets_interned,
+                intern_hits: stats.intern_hits,
+            }
+        })
+        .collect()
+}
+
+/// Renders the sweep as experiment rows.
+pub fn report_rows(cfg: &StoreFootprintConfig, points: &[FootprintPoint]) -> Vec<Row> {
+    let x = format!("objs={} dur={}s", cfg.num_objects, cfg.duration_secs);
+    points
+        .iter()
+        .map(|p| {
+            let mut row = Row::new("store_footprint", &x, format!("skew={}", p.skew));
+            row.time_secs = Some(p.ingest_secs);
+            row.note = format!(
+                "{:.0} rec/s, {:.1} B/rec vs {:.1} B/rec rows, {} sets, hit rate {:.1}%",
+                p.records_per_sec(),
+                p.bytes_per_record(),
+                p.row_bytes_per_record(),
+                p.sets_interned,
+                100.0 * p.intern_hit_rate(),
+            );
+            row
+        })
+        .collect()
+}
+
+/// Serializes the sweep as the machine-readable `BENCH_memory.json`
+/// payload CI archives per commit. Hand-rolled JSON: the workspace
+/// deliberately carries no serialization dependency.
+pub fn bench_json(cfg: &StoreFootprintConfig, points: &[FootprintPoint]) -> String {
+    use crate::report::json_num;
+    let rendered: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                concat!(
+                    "{{\"skew\":{},\"records\":{},\"records_per_sec\":{},",
+                    "\"store_bytes\":{},\"row_bytes\":{},",
+                    "\"bytes_per_record\":{},\"row_bytes_per_record\":{},",
+                    "\"sets_interned\":{},\"intern_hits\":{},\"intern_hit_rate\":{}}}"
+                ),
+                json_num(p.skew, 2),
+                p.records,
+                json_num(p.records_per_sec(), 1),
+                p.store_bytes,
+                p.row_bytes,
+                json_num(p.bytes_per_record(), 2),
+                json_num(p.row_bytes_per_record(), 2),
+                p.sets_interned,
+                p.intern_hits,
+                json_num(p.intern_hit_rate(), 4),
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"store_footprint\",\n",
+            "  \"config\": {{\"objects\": {}, \"duration_secs\": {}, \"seed\": {}}},\n",
+            "  \"points\": [\n    {}\n  ]\n",
+            "}}\n"
+        ),
+        cfg.num_objects,
+        cfg.duration_secs,
+        cfg.seed,
+        rendered.join(",\n    "),
+    )
+}
+
+/// The `store_footprint` experiment id. When `json_path` is given, the
+/// machine-readable report is written there as well — success or failure
+/// of the write is reported truthfully on stdout/stderr. Panics when any
+/// point's columnar footprint fails to undercut the row baseline, or
+/// when the skewed stream deduplicates nothing — so a CI run is a live
+/// memory gate, not just a measurement.
+pub fn store_footprint_with_json(opts: &ExpOpts, json_path: Option<&str>) -> Vec<Row> {
+    let cfg = StoreFootprintConfig::scaled(opts.scale, opts.seed);
+    let points = run_store_footprint(&cfg);
+    if let Some(path) = json_path {
+        match std::fs::write(path, bench_json(&cfg, &points)) {
+            Ok(()) => println!("wrote machine-readable memory report to {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+    for p in &points {
+        assert!(
+            p.store_bytes < p.row_bytes,
+            "skew {}: interned columnar store ({} B) did not beat the row layout ({} B)",
+            p.skew,
+            p.store_bytes,
+            p.row_bytes,
+        );
+    }
+    let skewed = points
+        .iter()
+        .filter(|p| p.skew > 0.5)
+        .max_by(|a, b| a.skew.total_cmp(&b.skew))
+        .expect("sweep includes a skewed point");
+    assert!(
+        skewed.intern_hits > 0,
+        "skewed stream interned no duplicates: {skewed:?}"
+    );
+    report_rows(&cfg, &points)
+}
+
+/// The `store_footprint` experiment id without a JSON artifact.
+pub fn store_footprint(opts: &ExpOpts) -> Vec<Row> {
+    store_footprint_with_json(opts, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature sweep: every point beats the row layout, the skewed
+    /// stream dedups, and the JSON artifact is structurally sound.
+    #[test]
+    fn small_footprint_sweep_is_consistent() {
+        let cfg = StoreFootprintConfig {
+            num_objects: 15,
+            duration_secs: 900,
+            seed: 21,
+            skews: vec![0.0, 0.9],
+        };
+        let points = run_store_footprint(&cfg);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            assert!(p.records > 0, "empty stream at skew {}", p.skew);
+            assert!(
+                p.store_bytes < p.row_bytes,
+                "skew {}: {} vs {} row bytes",
+                p.skew,
+                p.store_bytes,
+                p.row_bytes
+            );
+            assert!(p.intern_hits > 0, "no dedup at skew {}", p.skew);
+            assert!(p.sets_interned + p.intern_hits as usize == p.records);
+            assert!(p.bytes_per_record() < p.row_bytes_per_record());
+        }
+
+        let json = bench_json(&cfg, &points);
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces:\n{json}"
+        );
+        for key in [
+            "\"bytes_per_record\"",
+            "\"row_bytes_per_record\"",
+            "\"intern_hit_rate\"",
+            "\"sets_interned\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        for bad in ["inf", "NaN"] {
+            assert!(!json.contains(bad), "invalid JSON token {bad} in:\n{json}");
+        }
+    }
+
+    /// Deterministic under a fixed seed: the sweep's byte and dedup
+    /// numbers are exactly reproducible.
+    #[test]
+    fn footprint_is_deterministic() {
+        let cfg = StoreFootprintConfig {
+            num_objects: 10,
+            duration_secs: 600,
+            seed: 4,
+            skews: vec![0.9],
+        };
+        let a = run_store_footprint(&cfg);
+        let b = run_store_footprint(&cfg);
+        assert_eq!(a[0].records, b[0].records);
+        assert_eq!(a[0].store_bytes, b[0].store_bytes);
+        assert_eq!(a[0].row_bytes, b[0].row_bytes);
+        assert_eq!(a[0].intern_hits, b[0].intern_hits);
+    }
+}

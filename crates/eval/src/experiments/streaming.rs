@@ -14,9 +14,9 @@
 use std::sync::Arc;
 use std::time::Instant;
 
-use indoor_iupt::{Record, Timestamp};
+use indoor_iupt::Timestamp;
 use indoor_model::SLocId;
-use indoor_sim::{StreamScenario, World};
+use indoor_sim::{RecordStream, StreamScenario, World};
 use popflow_core::{ContinuousEngine, FlowConfig, QuerySet, RecomputeEngine, WindowSpec};
 use popflow_serve::{ServeConfig, ServeEngine};
 
@@ -51,6 +51,7 @@ impl StreamingConfig {
                 duration_secs: 12 * 3600,
                 visit_secs: (60, 120),
                 destination_skew: 0.9,
+                dwell_cache: true,
                 seed,
             },
             bucket_secs: 2160,
@@ -83,6 +84,11 @@ pub struct EngineMetrics {
     /// Candidate cells never evaluated thanks to bound pruning (0 for
     /// the eager and recompute engines).
     pub presence_skipped: u64,
+    /// Resident bytes of the engine's record log (columnar + interned;
+    /// summed across shards) at end of replay.
+    pub log_bytes: u64,
+    /// Ingested sample sets the log's interner deduplicated.
+    pub intern_hits: u64,
 }
 
 impl EngineMetrics {
@@ -173,7 +179,7 @@ pub struct DriveOutcome {
 /// and `bench_serve`.
 pub fn drive_stream(
     engine: &mut dyn ContinuousEngine,
-    records: &[Record],
+    stream: &RecordStream,
     spec: WindowSpec,
     duration_secs: i64,
 ) -> DriveOutcome {
@@ -188,9 +194,12 @@ pub fn drive_stream(
     for b in 0..=last_bucket {
         let now = Timestamp(spec.bucket_interval(b).end.millis() + 1);
         let t0 = Instant::now();
-        while next < records.len() && records[next].t <= now {
+        while next < stream.len() && stream.get(next).t <= now {
+            // Materialize per record: ownership must cross into the
+            // engine (for the serve engine, across a thread boundary);
+            // its interned shard log deduplicates the clone right back.
             engine
-                .ingest(records[next].clone())
+                .ingest(stream.get(next).to_record())
                 .expect("replayed records are time-ordered");
             next += 1;
         }
@@ -209,14 +218,14 @@ pub fn drive_stream(
 /// slide.
 pub fn run_streaming(cfg: &StreamingConfig) -> StreamingReport {
     let (world, stream) = cfg.scenario.build();
-    run_streaming_on(cfg, &world, stream.records())
+    run_streaming_on(cfg, &world, &stream)
 }
 
 /// [`run_streaming`] over an already-generated world and record stream.
 pub fn run_streaming_on(
     cfg: &StreamingConfig,
     world: &World,
-    records: &[Record],
+    stream: &RecordStream,
 ) -> StreamingReport {
     let space = Arc::new(world.space.clone());
     let slocs: Vec<SLocId> = world.space.slocs().iter().map(|s| s.id).collect();
@@ -229,45 +238,51 @@ pub fn run_streaming_on(
         .with_flow(flow);
 
     let mut serve = ServeEngine::new(Arc::clone(&space), serve_cfg.clone());
-    let driven = drive_stream(&mut serve, records, spec, duration);
+    let driven = drive_stream(&mut serve, stream, spec, duration);
     let incremental = EngineMetrics {
         name: serve.name().to_string(),
-        records: records.len(),
+        records: stream.len(),
         ingest_secs: driven.ingest_secs,
         advance_ms: driven.advance_ms,
         topks: driven.topks,
         presence_computations: serve.stats().fresh_presence,
         presence_cells: serve.stats().presence_cells,
         presence_skipped: 0,
+        log_bytes: serve.stats().log_bytes,
+        intern_hits: serve.stats().intern_hits,
     };
     drop(serve);
 
     let mut lazy = ServeEngine::new(Arc::clone(&space), serve_cfg.with_bound_pruning());
-    let driven = drive_stream(&mut lazy, records, spec, duration);
+    let driven = drive_stream(&mut lazy, stream, spec, duration);
     let pruned = EngineMetrics {
         name: lazy.name().to_string(),
-        records: records.len(),
+        records: stream.len(),
         ingest_secs: driven.ingest_secs,
         advance_ms: driven.advance_ms,
         topks: driven.topks,
         presence_computations: lazy.stats().fresh_presence,
         presence_cells: lazy.stats().presence_cells,
         presence_skipped: lazy.stats().presence_skipped,
+        log_bytes: lazy.stats().log_bytes,
+        intern_hits: lazy.stats().intern_hits,
     };
     drop(lazy);
 
     let mut recompute =
         RecomputeEngine::new(Arc::clone(&space), cfg.k, QuerySet::new(slocs), spec, flow);
-    let driven = drive_stream(&mut recompute, records, spec, duration);
+    let driven = drive_stream(&mut recompute, stream, spec, duration);
     let baseline = EngineMetrics {
         name: recompute.name().to_string(),
-        records: records.len(),
+        records: stream.len(),
         ingest_secs: driven.ingest_secs,
         advance_ms: driven.advance_ms,
         topks: driven.topks,
         presence_computations: driven.objects_computed,
         presence_cells: 0,
         presence_skipped: 0,
+        log_bytes: recompute.store_stats().bytes as u64,
+        intern_hits: recompute.store_stats().intern_hits,
     };
 
     let slides = baseline.topks.len();
@@ -300,7 +315,8 @@ fn metrics_row(exp: &str, x: &str, m: &EngineMetrics) -> Row {
     let mut row = Row::new(exp, x, m.name.clone());
     row.time_secs = Some(m.mean_ms() / 1000.0);
     row.note = format!(
-        "p50={:.2}ms p99={:.2}ms qps={:.0} ingest={:.0}rec/s presence×{} cells×{} skipped×{}",
+        "p50={:.2}ms p99={:.2}ms qps={:.0} ingest={:.0}rec/s presence×{} cells×{} skipped×{} \
+         log={}B hits×{}",
         m.quantile_ms(0.50),
         m.quantile_ms(0.99),
         m.advances_per_sec(),
@@ -308,6 +324,8 @@ fn metrics_row(exp: &str, x: &str, m: &EngineMetrics) -> Row {
         m.presence_computations,
         m.presence_cells,
         m.presence_skipped,
+        m.log_bytes,
+        m.intern_hits,
     );
     row
 }
@@ -352,7 +370,8 @@ pub fn bench_json(cfg: &StreamingConfig, report: &StreamingReport) -> String {
                 "{{\"name\":\"{}\",\"records\":{},\"records_per_sec\":{},",
                 "\"advance_mean_ms\":{:.4},\"advance_p50_ms\":{:.4},\"advance_p99_ms\":{:.4},",
                 "\"advances_per_sec\":{},\"presence_computations\":{},",
-                "\"presence_cells\":{},\"presence_skipped\":{}}}"
+                "\"presence_cells\":{},\"presence_skipped\":{},",
+                "\"log_bytes\":{},\"intern_hits\":{}}}"
             ),
             m.name,
             m.records,
@@ -364,6 +383,8 @@ pub fn bench_json(cfg: &StreamingConfig, report: &StreamingReport) -> String {
             m.presence_computations,
             m.presence_cells,
             m.presence_skipped,
+            m.log_bytes,
+            m.intern_hits,
         )
     }
     format!(
@@ -437,6 +458,7 @@ mod tests {
                 duration_secs: 1800,
                 visit_secs: (30, 80),
                 destination_skew: 0.9,
+                dwell_cache: true,
                 seed: 11,
             },
             bucket_secs: 150,
@@ -479,6 +501,7 @@ mod tests {
                 duration_secs: 900,
                 visit_secs: (30, 60),
                 destination_skew: 1.2,
+                dwell_cache: true,
                 seed: 3,
             },
             bucket_secs: 150,
@@ -500,6 +523,8 @@ mod tests {
             "\"work_ratio\"",
             "\"pruned_work_ratio\"",
             "\"presence_skipped\"",
+            "\"log_bytes\"",
+            "\"intern_hits\"",
             "\"mismatched_slides\": 0",
         ] {
             assert!(json.contains(key), "missing {key} in:\n{json}");
@@ -519,6 +544,8 @@ mod tests {
             presence_computations: 0,
             presence_cells: 0,
             presence_skipped: 0,
+            log_bytes: 0,
+            intern_hits: 0,
         };
         let degenerate = StreamingReport {
             incremental: empty.clone(),

@@ -88,7 +88,6 @@ impl Lab {
         let records: Vec<Record> = self
             .world
             .iupt
-            .records()
             .iter()
             .map(|r| Record {
                 oid: r.oid,

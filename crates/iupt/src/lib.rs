@@ -13,8 +13,9 @@ mod sharded;
 mod table;
 mod time;
 
+pub use popflow_store::{SetRef, StoreStats};
 pub use rfid::{ReaderId, RfidDeployment, RfidReader, RfidRecord, RfidTrackingData};
 pub use sample::{Sample, SampleSet, SampleSetError};
 pub use sharded::ShardedIupt;
-pub use table::{Iupt, IuptStats, ObjectId, ObjectSequence, Record};
+pub use table::{Iupt, IuptStats, ObjectId, ObjectSequence, Record, RecordRef, SampleSetView};
 pub use time::{TimeInterval, Timestamp};

@@ -20,7 +20,7 @@ impl Sample {
 pub enum SampleSetError {
     /// The set is empty.
     Empty,
-    /// A probability is not in `(0, 1]`.
+    /// A probability is not in `(0, `[`SampleSet::MAX_PROB`]`]`.
     BadProbability { loc: PLocId, prob: f64 },
     /// The same P-location appears twice.
     DuplicateLocation { loc: PLocId },
@@ -33,7 +33,10 @@ impl std::fmt::Display for SampleSetError {
         match self {
             SampleSetError::Empty => write!(f, "sample set is empty"),
             SampleSetError::BadProbability { loc, prob } => {
-                write!(f, "sample ({loc}, {prob}) has probability outside (0, 1]")
+                write!(
+                    f,
+                    "sample ({loc}, {prob}) has probability outside (0, 1 + tolerance]"
+                )
             }
             SampleSetError::DuplicateLocation { loc } => {
                 write!(f, "P-location {loc} appears more than once")
@@ -60,19 +63,34 @@ pub struct SampleSet {
 }
 
 impl SampleSet {
-    /// Validates and creates a sample set.
+    /// The unified per-sample acceptance ceiling. Floating-point
+    /// summation (an intra-merge folding a whole set into one sample, a
+    /// caller normalizing by an inexact total) can legitimately land a
+    /// hair above 1, so validation accepts up to `1 + SUM_TOLERANCE` —
+    /// the *same* slack the sum invariant allows. Accepted values above
+    /// 1 are then snapped down to exactly 1.0, so every constructor
+    /// ([`SampleSet::new`], [`SampleSet::normalized`],
+    /// [`SampleSet::certain`], [`SampleSet::capped`]) upholds one
+    /// invariant: **a stored probability never exceeds 1.0**.
+    pub const MAX_PROB: f64 = 1.0 + SUM_TOLERANCE;
+
+    /// Validates and creates a sample set. Input probabilities must lie
+    /// in `(0, `[`SampleSet::MAX_PROB`]`]`; values in the tolerance band
+    /// above 1 are clamped to exactly 1.0 before the sum check, so the
+    /// stored set always satisfies `prob ∈ (0, 1]`.
     pub fn new(mut samples: Vec<Sample>) -> Result<Self, SampleSetError> {
         if samples.is_empty() {
             return Err(SampleSetError::Empty);
         }
         let mut sum = 0.0;
-        for s in &samples {
-            if !(s.prob > 0.0 && s.prob <= 1.0 + SUM_TOLERANCE) {
+        for s in &mut samples {
+            if !(s.prob > 0.0 && s.prob <= Self::MAX_PROB) {
                 return Err(SampleSetError::BadProbability {
                     loc: s.loc,
                     prob: s.prob,
                 });
             }
+            s.prob = s.prob.min(1.0);
             sum += s.prob;
         }
         if (sum - 1.0).abs() > SUM_TOLERANCE {
@@ -89,6 +107,12 @@ impl SampleSet {
 
     /// Creates a sample set from raw weights, normalizing them to sum to 1.
     /// Weights must be positive and locations unique.
+    ///
+    /// Validation runs through [`SampleSet::new`], so this constructor
+    /// obeys the same unified probability bound: a normalized weight can
+    /// land exactly on the `1.0` edge (a single weight, or a total the
+    /// summation rounded down), and is stored as exactly `1.0` — never
+    /// above it.
     pub fn normalized(weights: Vec<(PLocId, f64)>) -> Result<Self, SampleSetError> {
         let total: f64 = weights.iter().map(|&(_, w)| w).sum();
         if total <= 0.0 {
@@ -189,6 +213,27 @@ impl SampleSet {
     /// Sum of probabilities (≈ 1; exposed for tests and invariant checks).
     pub fn prob_sum(&self) -> f64 {
         self.samples.iter().map(|s| s.prob).sum()
+    }
+}
+
+/// Hash-consing support: lets `popflow-store`'s interner deduplicate
+/// identical sample sets. The hash covers the exact `(loc, prob-bits)`
+/// content, so it is consistent with the derived [`PartialEq`] for every
+/// constructible set (probabilities are positive and finite, so value
+/// equality coincides with bit equality).
+impl popflow_store::PoolItem for SampleSet {
+    fn content_hash(&self) -> u64 {
+        use std::hash::Hasher;
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for s in &self.samples {
+            h.write_u32(s.loc.0);
+            h.write_u64(s.prob.to_bits());
+        }
+        h.finish()
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.samples.len() * std::mem::size_of::<Sample>()
     }
 }
 
@@ -332,6 +377,60 @@ mod tests {
             let s = SampleSet::normalized(items).unwrap().capped(mss);
             prop_assert!(s.len() <= mss);
             prop_assert!((s.prob_sum() - 1.0).abs() < 1e-9);
+        }
+
+        /// The unified probability bound: whatever constructor a set
+        /// comes through — `normalized` over weights of wildly different
+        /// magnitudes, or `new` over probabilities fed up to the
+        /// tolerance-inflated acceptance ceiling — the *stored*
+        /// probabilities never exceed 1.0, matching the edge `normalized`
+        /// can emit exactly (a lone weight divides to exactly 1.0).
+        #[test]
+        fn stored_probabilities_never_exceed_one(
+            exponents in proptest::collection::vec(-9i32..9, 1..8),
+            above in 0.0..1.0f64,
+        ) {
+            let weights: Vec<(PLocId, f64)> = exponents
+                .iter()
+                .enumerate()
+                .map(|(i, &e)| (p(i as u32), 10f64.powi(e)))
+                .collect();
+            let s = SampleSet::normalized(weights).unwrap();
+            for sample in s.samples() {
+                prop_assert!(sample.prob > 0.0 && sample.prob <= 1.0);
+            }
+            prop_assert!((s.prob_sum() - 1.0).abs() <= 1e-6);
+
+            // `new` accepts the whole tolerance band above 1 for a
+            // singleton — and snaps it to the same 1.0 edge `normalized`
+            // emits, so both constructors agree on the stored bound.
+            let edge = 1.0 + above * (SampleSet::MAX_PROB - 1.0);
+            let s = SampleSet::new(vec![Sample::new(p(0), edge)]).unwrap();
+            prop_assert_eq!(s.prob_of(p(0)), 1.0);
+            prop_assert_eq!(s.prob_of(p(0)), SampleSet::certain(p(0)).prob_of(p(0)));
+
+            // Just past the ceiling is rejected, not clamped.
+            let err = SampleSet::new(vec![Sample::new(p(0), SampleSet::MAX_PROB * 1.001)]);
+            let rejected = matches!(err, Err(SampleSetError::BadProbability { .. }));
+            prop_assert!(rejected);
+        }
+
+        /// Interning consistency: equal sets hash equal (the property the
+        /// `popflow-store` pool's dedup rests on).
+        #[test]
+        fn equal_sets_hash_equal(
+            weights in proptest::collection::vec(0.01..10.0f64, 1..6)
+        ) {
+            use popflow_store::PoolItem;
+            let items: Vec<(PLocId, f64)> = weights
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| (p(i as u32), w))
+                .collect();
+            let a = SampleSet::normalized(items.clone()).unwrap();
+            let b = SampleSet::normalized(items).unwrap();
+            prop_assert_eq!(&a, &b);
+            prop_assert_eq!(a.content_hash(), b.content_hash());
         }
     }
 }

@@ -8,6 +8,7 @@
 //! threads; [`ShardedIupt`] is the same layout usable single-threaded.
 
 use popflow_exec::Partitioner;
+use popflow_store::StoreStats;
 
 use crate::table::{Iupt, IuptStats, ObjectId, ObjectSequence, Record};
 use crate::time::{TimeInterval, Timestamp};
@@ -126,6 +127,16 @@ impl ShardedIupt {
         all
     }
 
+    /// Aggregated footprint/interner accounting over all shards' columnar
+    /// stores. Interning is per shard (each shard owns its pool), so
+    /// `sets_interned` counts per-shard distinct sets.
+    pub fn store_stats(&self) -> StoreStats {
+        self.shards
+            .iter()
+            .map(Iupt::store_stats)
+            .fold(StoreStats::default(), StoreStats::merge)
+    }
+
     /// Aggregated statistics over all shards.
     pub fn stats(&self) -> IuptStats {
         let mut total = IuptStats {
@@ -213,13 +224,19 @@ mod tests {
     fn objects_never_span_shards() {
         let sharded = ShardedIupt::from_records(records(), 4);
         for (s, shard) in sharded.shards().iter().enumerate() {
-            for r in shard.records() {
+            for r in shard.iter() {
                 assert_eq!(sharded.shard_of(r.oid), s);
             }
         }
         let st = sharded.stats();
         assert_eq!(st.records, 60);
         assert_eq!(st.objects, 7);
+        // The 60 records draw from only 5 distinct single-sample sets;
+        // per-shard interning must collapse the duplicates.
+        let store = sharded.store_stats();
+        assert_eq!(store.records, 60);
+        assert!(store.sets_interned <= 4 * 5);
+        assert!(store.intern_hits as usize >= 60 - 4 * 5);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 use std::collections::HashMap;
 
 use indoor_rtree::TimeIndex;
+use popflow_store::{RecordStore, SetRef, StoreStats};
 
 use crate::sample::SampleSet;
 use crate::time::{TimeInterval, Timestamp};
@@ -24,6 +25,11 @@ impl std::fmt::Display for ObjectId {
 
 /// One positioning record `(oid, X, t)` (§2.2): at time `t`, object `oid`'s
 /// location is described by the sample set `X`.
+///
+/// This is the *transfer* shape — what streams deliver and `Iupt::push`
+/// ingests. Inside the table the record is held columnar and its sample
+/// set interned (see [`Iupt`]); reads come back as borrowed
+/// [`RecordRef`] views, not owned `Record`s.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Record {
     pub oid: ObjectId,
@@ -31,12 +37,40 @@ pub struct Record {
     pub samples: SampleSet,
 }
 
+/// Zero-copy view of one stored record: the scalar columns by value, the
+/// sample set borrowed from the store's single interned copy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecordRef<'a> {
+    pub oid: ObjectId,
+    pub t: Timestamp,
+    /// Borrow of the interned sample set ([`SampleSetView`]).
+    pub samples: SampleSetView<'a>,
+}
+
+/// Zero-copy access to an interned sample set — a borrow of the pool's
+/// single arena copy (re-exported shape of
+/// [`popflow_store::SampleSetView`]).
+pub type SampleSetView<'a> = &'a SampleSet;
+
+impl RecordRef<'_> {
+    /// Materializes an owned [`Record`] (clones the sample set) — the
+    /// transfer shape for handing the record to another owner, e.g. a
+    /// serve shard across a thread boundary.
+    pub fn to_record(&self) -> Record {
+        Record {
+            oid: self.oid,
+            t: self.t,
+            samples: self.samples.clone(),
+        }
+    }
+}
+
 /// An object's positioning sequence within a query window: the records
 /// ordered by time — the `X = (X1, …, Xn)` of §2.3.
 #[derive(Debug, Clone)]
 pub struct ObjectSequence<'a> {
     pub oid: ObjectId,
-    pub records: Vec<&'a Record>,
+    pub records: Vec<RecordRef<'a>>,
 }
 
 impl ObjectSequence<'_> {
@@ -62,10 +96,40 @@ impl ObjectSequence<'_> {
 /// The Indoor Uncertain Positioning Table (IUPT): the append-only log of
 /// positioning records, indexed on its time attribute by a 1D R-tree
 /// (§3.3).
+///
+/// # Storage layout
+///
+/// Since the `popflow-store` port the table is a thin façade over a
+/// columnar [`popflow_store::RecordStore`]: parallel `oid`/`t`/`set`
+/// columns, with every sample set hash-consed through the store's
+/// interner so identical reports (a dwelling device re-reporting the
+/// same probabilistic position) share **one** arena-backed copy.
+///
+/// Two invariants carry the layers above:
+///
+/// * **Position stability** — the log is append-only; a record's `u32`
+///   position (as returned in [`Iupt::sequence_positions_in`]) stays
+///   valid as later records arrive. The `popflow-serve` bucket caches
+///   hold positions across window slides on the strength of this.
+/// * **Value-preserving interning** — [`Iupt::samples_at`] returns a
+///   set equal to the one pushed, so flows computed over views are
+///   bit-identical to flows over the original owned records.
 #[derive(Debug, Clone, Default)]
 pub struct Iupt {
-    records: Vec<Record>,
+    store: RecordStore<SampleSet>,
     index: TimeIndex<u32>,
+}
+
+/// Converts a raw store view into the table's typed [`RecordRef`] — the
+/// one place the scalar columns pick up their domain types. Free
+/// function (not a method) so the split-borrow call sites, which hold
+/// `&RecordStore` while the time index is borrowed mutably, can use it.
+fn record_ref(v: popflow_store::RecordView<'_, SampleSet>) -> RecordRef<'_> {
+    RecordRef {
+        oid: ObjectId(v.oid),
+        t: Timestamp(v.t),
+        samples: v.set,
+    }
 }
 
 impl Iupt {
@@ -85,11 +149,14 @@ impl Iupt {
         table
     }
 
-    /// Appends a record; records must arrive in non-decreasing time order.
-    pub fn push(&mut self, record: Record) {
-        let idx = self.records.len() as u32;
-        self.index.push(record.t.millis(), idx);
-        self.records.push(record);
+    /// Appends a record, interning its sample set; records must arrive in
+    /// non-decreasing time order. Returns the record's (stable) position.
+    pub fn push(&mut self, record: Record) -> u32 {
+        let pos = self
+            .store
+            .push(record.oid.0, record.t.millis(), record.samples);
+        self.index.push(record.t.millis(), pos);
+        pos
     }
 
     /// Explicitly rebuilds the time index after a batch of appends (see
@@ -102,42 +169,70 @@ impl Iupt {
 
     /// Number of records.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.store.len()
     }
 
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.store.is_empty()
     }
 
-    /// All records in time order.
-    pub fn records(&self) -> &[Record] {
-        &self.records
+    /// Zero-copy view of the record at `pos` (positions are dense, in
+    /// time order).
+    pub fn view(&self, pos: u32) -> RecordRef<'_> {
+        record_ref(self.store.view(pos))
+    }
+
+    /// Zero-copy borrow of the sample set at `pos` — the accessor the
+    /// serve shards use to resolve their cached record positions.
+    pub fn samples_at(&self, pos: u32) -> SampleSetView<'_> {
+        self.store.set(pos)
+    }
+
+    /// The interned-set handle at `pos`.
+    pub fn set_ref_at(&self, pos: u32) -> SetRef {
+        self.store.set_ref(pos)
+    }
+
+    /// Iterates all records in time (append) order, zero-copy.
+    pub fn iter(&self) -> impl Iterator<Item = RecordRef<'_>> + '_ {
+        (0..self.len() as u32).map(move |pos| self.view(pos))
+    }
+
+    /// Materializes the table as owned records (clones every sample set)
+    /// — the transfer shape for re-ingesting the log elsewhere; prefer
+    /// [`Iupt::iter`] for reading.
+    pub fn to_records(&self) -> Vec<Record> {
+        self.iter().map(|r| r.to_record()).collect()
     }
 
     /// Earliest and latest record timestamps.
     pub fn time_bounds(&self) -> Option<TimeInterval> {
-        match (self.records.first(), self.records.last()) {
-            (Some(a), Some(b)) => Some(TimeInterval::new(a.t, b.t)),
-            _ => None,
+        if self.is_empty() {
+            return None;
         }
+        let times = self.store.times();
+        Some(TimeInterval::new(
+            Timestamp(times[0]),
+            Timestamp(times[times.len() - 1]),
+        ))
     }
 
     /// Number of distinct objects in the table.
     pub fn object_count(&self) -> usize {
-        let mut ids: Vec<ObjectId> = self.records.iter().map(|r| r.oid).collect();
+        let mut ids: Vec<u32> = self.store.oids().to_vec();
         ids.sort_unstable();
         ids.dedup();
         ids.len()
     }
 
     /// Records within `[ts, te]` via the time index (Algorithm 2 line 1).
-    pub fn range_query(&mut self, interval: TimeInterval) -> Vec<&Record> {
-        let hits = self
-            .index
-            .range_query(interval.start.millis(), interval.end.millis());
-        hits.iter()
-            .map(|&(_, i)| &self.records[i as usize])
+    pub fn range_query(&mut self, interval: TimeInterval) -> Vec<RecordRef<'_>> {
+        let Iupt { store, index } = self;
+        index
+            .range_query(interval.start.millis(), interval.end.millis())
+            .iter()
+            .map(|&(_, i)| record_ref(store.view(i)))
             .collect()
     }
 
@@ -145,12 +240,11 @@ impl Iupt {
     /// records in `[ts, te]` grouped by object, each group ordered by time.
     /// Groups are returned sorted by object id for deterministic iteration.
     pub fn sequences_in(&mut self, interval: TimeInterval) -> Vec<ObjectSequence<'_>> {
-        let hits = self
-            .index
-            .range_query(interval.start.millis(), interval.end.millis());
-        let mut by_object: HashMap<ObjectId, Vec<&Record>> = HashMap::new();
+        let Iupt { store, index } = self;
+        let hits = index.range_query(interval.start.millis(), interval.end.millis());
+        let mut by_object: HashMap<ObjectId, Vec<RecordRef<'_>>> = HashMap::new();
         for &(_, i) in hits {
-            let r = &self.records[i as usize];
+            let r = record_ref(store.view(i));
             by_object.entry(r.oid).or_default().push(r);
         }
         let mut seqs: Vec<ObjectSequence<'_>> = by_object
@@ -162,21 +256,17 @@ impl Iupt {
     }
 
     /// Like [`Iupt::sequences_in`], but returns record *positions* into
-    /// [`Iupt::records`] instead of references, grouped by object id
-    /// (ascending) with each group in time order. The log is append-only,
-    /// so positions stay valid as later records arrive — callers that
-    /// cache window slices (the `popflow-serve` bucket caches) hold these
-    /// instead of cloning sample sets out of the log.
+    /// the log instead of views, grouped by object id (ascending) with
+    /// each group in time order. The log is append-only, so positions
+    /// stay valid as later records arrive — callers that cache window
+    /// slices (the `popflow-serve` bucket caches) hold these instead of
+    /// cloning sample sets out of the log.
     pub fn sequence_positions_in(&mut self, interval: TimeInterval) -> Vec<(ObjectId, Vec<u32>)> {
-        let hits = self
-            .index
-            .range_query(interval.start.millis(), interval.end.millis());
+        let Iupt { store, index } = self;
+        let hits = index.range_query(interval.start.millis(), interval.end.millis());
         let mut by_object: HashMap<ObjectId, Vec<u32>> = HashMap::new();
         for &(_, i) in hits {
-            by_object
-                .entry(self.records[i as usize].oid)
-                .or_default()
-                .push(i);
+            by_object.entry(ObjectId(store.oid(i))).or_default().push(i);
         }
         let mut seqs: Vec<(ObjectId, Vec<u32>)> = by_object.into_iter().collect();
         seqs.sort_unstable_by_key(|(oid, _)| *oid);
@@ -185,31 +275,45 @@ impl Iupt {
 
     /// One object's sequence within the window.
     pub fn sequence_of(&mut self, oid: ObjectId, interval: TimeInterval) -> ObjectSequence<'_> {
-        let hits = self
-            .index
-            .range_query(interval.start.millis(), interval.end.millis());
-        let records = hits
+        let Iupt { store, index } = self;
+        let records = index
+            .range_query(interval.start.millis(), interval.end.millis())
             .iter()
-            .map(|&(_, i)| &self.records[i as usize])
-            .filter(|r| r.oid == oid)
+            .filter(|&&(_, i)| store.oid(i) == oid.0)
+            .map(|&(_, i)| record_ref(store.view(i)))
             .collect();
         ObjectSequence { oid, records }
     }
 
     /// Summary statistics for reporting.
     pub fn stats(&self) -> IuptStats {
-        let samples: usize = self.records.iter().map(|r| r.samples.len()).sum();
+        let mut samples = 0usize;
+        let mut max_set = 0usize;
+        for &r in self.store.set_refs() {
+            let len = self.store.pool().get(r).len();
+            samples += len;
+            max_set = max_set.max(len);
+        }
         IuptStats {
-            records: self.records.len(),
+            records: self.len(),
             objects: self.object_count(),
             total_samples: samples,
-            max_sample_set_size: self
-                .records
-                .iter()
-                .map(|r| r.samples.len())
-                .max()
-                .unwrap_or(0),
+            max_sample_set_size: max_set,
         }
+    }
+
+    /// Footprint and interner accounting of the columnar store backing
+    /// this table.
+    pub fn store_stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    /// Bytes the pre-interning row layout (a `Vec` of owned records)
+    /// would occupy for the same content — the counterfactual the memory
+    /// experiments report against (see
+    /// [`popflow_store::RecordStore::row_bytes`]).
+    pub fn row_bytes(&self) -> usize {
+        self.store.row_bytes()
     }
 }
 
@@ -316,10 +420,7 @@ mod tests {
         assert_eq!(positions.len(), expected.len());
         for ((oid, idx), (eoid, esets)) in positions.iter().zip(&expected) {
             assert_eq!(oid, eoid);
-            let got: Vec<SampleSet> = idx
-                .iter()
-                .map(|&i| t.records()[i as usize].samples.clone())
-                .collect();
+            let got: Vec<SampleSet> = idx.iter().map(|&i| t.samples_at(i).clone()).collect();
             assert_eq!(&got, esets);
         }
     }
@@ -339,7 +440,7 @@ mod tests {
     #[test]
     fn from_records_sorts_by_time() {
         let t = Iupt::from_records(vec![rec(1, 5, &[(0, 1.0)]), rec(1, 2, &[(1, 1.0)])]);
-        assert_eq!(t.records()[0].t, Timestamp::from_secs(2));
+        assert_eq!(t.view(0).t, Timestamp::from_secs(2));
     }
 
     #[test]
@@ -349,5 +450,48 @@ mod tests {
         assert!(t.time_bounds().is_none());
         let iv = TimeInterval::new(Timestamp(0), Timestamp(1000));
         assert!(t.sequences_in(iv).is_empty());
+        assert_eq!(t.store_stats(), StoreStats::default());
+    }
+
+    /// The interning contract: identical sample sets pushed as separate
+    /// records share one arena copy (pointer-identical views), positions
+    /// stay stable across appends, and `to_records` round-trips the
+    /// exact pushed content.
+    #[test]
+    fn interns_identical_sets_and_keeps_positions_stable() {
+        let mut t = Iupt::new();
+        let dup = rec(1, 1, &[(2, 0.5), (3, 0.5)]);
+        let p0 = t.push(dup.clone());
+        t.push(rec(2, 2, &[(4, 1.0)]));
+        let p2 = t.push(Record {
+            oid: ObjectId(3),
+            t: Timestamp::from_secs(3),
+            ..dup.clone()
+        });
+        // One interned copy serves both records.
+        assert!(std::ptr::eq(t.samples_at(p0), t.samples_at(p2)));
+        assert_eq!(t.set_ref_at(p0), t.set_ref_at(p2));
+        let stats = t.store_stats();
+        assert_eq!(stats.records, 3);
+        assert_eq!(stats.sets_interned, 2);
+        assert_eq!(stats.intern_hits, 1);
+        assert!(
+            stats.bytes < t.row_bytes(),
+            "dedup must beat the row layout"
+        );
+
+        // Positions survive later appends.
+        for i in 0..50 {
+            t.push(rec(9, 10 + i, &[(1, 1.0)]));
+        }
+        assert_eq!(t.view(p0).samples, &dup.samples);
+        assert_eq!(t.view(p0).oid, ObjectId(1));
+
+        // Round-trip.
+        let round = Iupt::from_records(t.to_records());
+        assert_eq!(round.len(), t.len());
+        for (a, b) in round.iter().zip(t.iter()) {
+            assert_eq!(a, b);
+        }
     }
 }

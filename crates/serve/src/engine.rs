@@ -137,6 +137,15 @@ pub struct ServeStats {
     /// had to evaluate: their location's flow bound stayed below the
     /// k-th exact flow. Always 0 under [`AdvanceStrategy::Eager`].
     pub presence_skipped: u64,
+    /// Resident bytes of the shard logs' columnar stores (summed across
+    /// shards). A *gauge*, not a counter: refreshed by each advance from
+    /// the shards' [`indoor_iupt::StoreStats`], so it reflects the log
+    /// footprint as of the latest advance (0 before the first).
+    pub log_bytes: u64,
+    /// Ingested sample sets the shard interners deduplicated to an
+    /// already-stored copy (summed across shards). Like
+    /// [`ServeStats::log_bytes`], a gauge refreshed per advance.
+    pub intern_hits: u64,
 }
 
 /// The sharded incremental continuous top-k engine.
@@ -180,8 +189,8 @@ pub struct ServeStats {
 /// .with_bound_pruning()
 /// .with_flow(FlowConfig::default().with_full_product_normalization());
 /// let mut engine = ServeEngine::new(Arc::new(fig.space.clone()), cfg);
-/// for r in paper_table2().records() {
-///     engine.ingest(r.clone()).unwrap();
+/// for r in paper_table2().to_records() {
+///     engine.ingest(r).unwrap();
 /// }
 /// let update = engine.advance(Timestamp::from_secs(8)).unwrap();
 /// assert_eq!(update.outcome.ranking[0].sloc, fig.r[5]); // r6 (Example 4)
@@ -312,11 +321,15 @@ impl ServeEngine {
             .pool
             .ask_all(move |_, worker: &mut ShardWorker| worker.evaluate(window_start, end_bucket))
             .map_err(|down| self.shard_down(down))?;
+        self.stats.log_bytes = 0;
+        self.stats.intern_hits = 0;
         for report in &reports {
             self.stats.cache_hits += report.cache_hits as u64;
             self.stats.straddler_recomputes += report.straddlers as u64;
             self.stats.fresh_presence += report.fresh_presence as u64;
             self.stats.presence_cells += report.presence_cells as u64;
+            self.stats.log_bytes += report.store.bytes as u64;
+            self.stats.intern_hits += report.store.intern_hits;
         }
         self.merge_reports(reports)
     }
@@ -386,9 +399,13 @@ impl ServeEngine {
             vec![HashMap::new(); self.pool.shards()];
         let mut total_cells: u64 = 0;
         let mut objects_total = 0;
+        self.stats.log_bytes = 0;
+        self.stats.intern_hits = 0;
         for (shard, report) in reports.into_iter().enumerate() {
             objects_total += report.objects_total;
             self.stats.straddler_recomputes += report.straddlers as u64;
+            self.stats.log_bytes += report.store.bytes as u64;
+            self.stats.intern_hits += report.store.intern_hits;
             for (oid, relevant) in report.candidates {
                 total_cells += relevant.len() as u64;
                 for &q in &relevant {

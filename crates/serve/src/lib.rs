@@ -25,6 +25,13 @@
 //!
 //! * **Ingestion** partitions records by object across worker threads;
 //!   each worker owns one IUPT partition (its own 1D R-tree time index).
+//!   The partition is a columnar, interned `popflow-store` log: the
+//!   shard holds `SetRef`s into its hash-consing pool instead of owned
+//!   sample sets, so redundant streams (a dwelling device re-reporting
+//!   the same position) deduplicate at ingest, bucket caches reference
+//!   stable `u32` log positions, and
+//!   [`ServeStats::log_bytes`]/[`ServeStats::intern_hits`] report the
+//!   resident footprint per advance.
 //! * **The sliding window is bucketed** ([`popflow_core::WindowSpec`]):
 //!   a slide evicts expired buckets and seals newly completed ones
 //!   instead of recomputing history. A bucket seals only once its final
@@ -95,9 +102,7 @@ mod tests {
     fn paper_example_topk_served() {
         for strategy in [AdvanceStrategy::Eager, AdvanceStrategy::BoundPruned] {
             let (mut engine, _space) = paper_engine_with(WindowSpec::new(2_000, 4), 3, strategy);
-            engine
-                .ingest_all(paper_table2().records().to_vec())
-                .unwrap();
+            engine.ingest_all(paper_table2().to_records()).unwrap();
             // Window at t=8999: buckets 0..=3 = [0, 7999] — the full Table 2.
             let update = engine.advance(Timestamp(8_999)).unwrap();
             let fig = paper_figure1();
@@ -130,7 +135,7 @@ mod tests {
         let mut batch =
             RecomputeEngine::new(Arc::clone(&space), 3, QuerySet::new(slocs), spec, flow);
 
-        let records: Vec<Record> = world.iupt.records().to_vec();
+        let records: Vec<Record> = world.iupt.to_records();
         let mut next = 0usize;
         for slide in 1..=12 {
             let now = Timestamp::from_secs(slide * 45);
@@ -173,14 +178,28 @@ mod tests {
         assert_eq!(stats.advances, 12);
         assert!(stats.cache_hits > 0, "no cached window objects: {stats:?}");
         assert_eq!(stats.presence_skipped, 0, "eager advances never skip");
+        // The shard logs' store accounting surfaces through ServeStats:
+        // the gauge reflects the interned columnar footprint at the last
+        // advance. Interning is per shard, so a set shared by objects on
+        // different shards is stored once per shard — the sharded log can
+        // only be at least as large (and dedup at most as often) as the
+        // batch engine's single store over the identical records.
+        assert!(stats.log_bytes > 0, "no log footprint reported: {stats:?}");
+        assert!(stats.log_bytes >= batch.store_stats().bytes as u64);
+        assert!(stats.intern_hits <= batch.store_stats().intern_hits);
+        assert!(
+            stats.intern_hits > 0,
+            "dwell-free tiny world still dedups singles"
+        );
         let pstats = pruned.stats();
         assert_eq!(pstats.advances, 12);
+        assert_eq!(pstats.log_bytes, stats.log_bytes);
     }
 
     #[test]
     fn rejects_out_of_order_and_late_records_without_dying() {
         let (mut engine, _space) = paper_engine(WindowSpec::new(1_000, 2), 2);
-        let records = paper_table2().records().to_vec();
+        let records = paper_table2().to_records();
         engine.ingest(records[5].clone()).unwrap();
         // Out of order.
         let err = engine.ingest(records[0].clone()).unwrap_err();
@@ -212,7 +231,7 @@ mod tests {
     fn frontier_timestamped_record_accepted_after_advance() {
         for strategy in [AdvanceStrategy::Eager, AdvanceStrategy::BoundPruned] {
             let (mut engine, _space) = paper_engine_with(WindowSpec::new(1_000, 2), 2, strategy);
-            let template = paper_table2().records()[0].clone();
+            let template = paper_table2().to_records()[0].clone();
             engine
                 .ingest(Record {
                     t: Timestamp(1_500),
@@ -257,9 +276,7 @@ mod tests {
                     ..FlowConfig::default()
                 });
             let mut engine = ServeEngine::new(Arc::new(fig.space.clone()), cfg);
-            engine
-                .ingest_all(paper_table2().records().to_vec())
-                .unwrap();
+            engine.ingest_all(paper_table2().to_records()).unwrap();
             let err = engine.advance(Timestamp::from_secs(8)).unwrap_err();
             assert!(
                 matches!(err, FlowError::PathBudgetExceeded { .. }),
@@ -270,7 +287,7 @@ mod tests {
             // perfectly well-formed input.
             let record = Record {
                 t: Timestamp::from_secs(20),
-                ..paper_table2().records()[0].clone()
+                ..paper_table2().to_records()[0].clone()
             };
             let err = engine.ingest(record).unwrap_err();
             assert!(matches!(err, FlowError::EngineUnavailable { .. }));
@@ -292,7 +309,7 @@ mod tests {
     #[test]
     fn shard_count_does_not_change_results() {
         let fig = paper_figure1();
-        let records = paper_table2().records().to_vec();
+        let records = paper_table2().to_records();
         let mut rankings = Vec::new();
         for strategy in [AdvanceStrategy::Eager, AdvanceStrategy::BoundPruned] {
             for shards in [1, 2, 5] {
@@ -325,9 +342,7 @@ mod tests {
     fn pruned_re_advance_serves_from_cache() {
         let (mut engine, _space) =
             paper_engine_with(WindowSpec::new(10_000, 1), 2, AdvanceStrategy::BoundPruned);
-        engine
-            .ingest_all(paper_table2().records().to_vec())
-            .unwrap();
+        engine.ingest_all(paper_table2().to_records()).unwrap();
         engine.advance(Timestamp(10_000)).unwrap();
         let cells_after_first = engine.stats().presence_cells;
         assert!(cells_after_first > 0);

@@ -43,7 +43,7 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-use indoor_iupt::{Iupt, ObjectId, Record};
+use indoor_iupt::{Iupt, ObjectId, Record, StoreStats};
 use indoor_model::{IndoorSpace, SLocId};
 use popflow_core::{
     intersect_sorted, object_flow_contributions, object_flow_contributions_for, scan_psls,
@@ -69,6 +69,9 @@ pub(crate) struct ShardReport {
     /// The same work counted per (object, location) cell — the unit the
     /// bound-pruned protocol prunes at.
     pub presence_cells: usize,
+    /// Footprint/interner accounting of this shard's log, as of this
+    /// advance.
+    pub store: StoreStats,
     /// First error hit, if any (the report is then partial).
     pub error: Option<FlowError>,
 }
@@ -85,6 +88,9 @@ pub(crate) struct BoundsReport {
     pub objects_total: usize,
     /// Window objects whose records straddle bucket boundaries.
     pub straddlers: usize,
+    /// Footprint/interner accounting of this shard's log, as of this
+    /// advance.
+    pub store: StoreStats,
 }
 
 /// Phase-2 reply: exact contributions restricted to the requested
@@ -194,6 +200,7 @@ impl ShardWorker {
             straddlers: 0,
             fresh_presence: 0,
             presence_cells: 0,
+            store: self.iupt.store_stats(),
             error: None,
         };
 
@@ -235,11 +242,11 @@ impl ShardWorker {
                     buckets,
                     ..
                 } = self;
-                let log = iupt.records();
+                let log: &Iupt = iupt;
                 let sets = buckets
                     .range(first_bucket..=window_end)
                     .filter_map(|(_, cache)| cache.get(&oid))
-                    .flat_map(|cached| cached.records.iter().map(|&i| &log[i as usize].samples));
+                    .flat_map(|cached| cached.records.iter().map(|&i| log.samples_at(i)));
                 match object_flow_contributions(space, sets, query_set, cfg) {
                     Ok(Some(contribution)) => {
                         report.fresh_presence += 1;
@@ -314,6 +321,7 @@ impl ShardWorker {
             candidates,
             objects_total,
             straddlers,
+            store: self.iupt.store_stats(),
         }
     }
 
@@ -337,7 +345,7 @@ impl ShardWorker {
             window,
             ..
         } = self;
-        let log = iupt.records();
+        let log: &Iupt = iupt;
         for &oid in oids {
             let Some(slot) = window.get_mut(&oid) else {
                 report.error = Some(FlowError::EngineUnavailable {
@@ -376,7 +384,7 @@ impl ShardWorker {
             report.cached_cells += requested.len() - missing.len();
             if !missing.is_empty() {
                 report.evaluated_oids.push(oid);
-                let sets = records.iter().map(|&i| &log[i as usize].samples);
+                let sets = records.iter().map(|&i| log.samples_at(i));
                 match object_flow_contributions_for(space, sets, &missing, query_set, cfg) {
                     Ok(contribution) => {
                         if let Some(c) = &contribution {
@@ -453,8 +461,8 @@ impl ShardWorker {
             let positions = self.iupt.sequence_positions_in(interval);
             let mut cache: BucketCache = BTreeMap::new();
             for (oid, records) in positions {
-                let log = self.iupt.records();
-                let sets = records.iter().map(|&i| &log[i as usize].samples);
+                let log = &self.iupt;
+                let sets = records.iter().map(|&i| log.samples_at(i));
                 let cached = if eager {
                     let contribution =
                         object_flow_contributions(&self.space, sets, &self.query_set, &self.cfg)?

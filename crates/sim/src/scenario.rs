@@ -68,6 +68,7 @@ impl Scenario {
                 mu: 3.0,
                 gamma: 0.2,
                 wall_factor: 2.5,
+                dwell_cache: false,
                 seed: 0x90f1,
             },
         }
@@ -166,9 +167,8 @@ mod tests {
         // Almost surely different record streams.
         let same = a.iupt.len() == b.iupt.len()
             && a.iupt
-                .records()
                 .iter()
-                .zip(b.iupt.records())
+                .zip(b.iupt.iter())
                 .all(|(x, y)| x.t == y.t && x.oid == y.oid);
         assert!(!same);
     }

@@ -6,9 +6,12 @@
 //! configurable span (a full day by default, compressible for tests and
 //! CI); [`RecordStream`] replays the resulting positioning records in
 //! global timestamp order, exactly as a live deployment's sensor
-//! pipeline would deliver them.
+//! pipeline would deliver them. The stream holds the world's columnar,
+//! interned log (one `SetRef` per record, one arena copy per distinct
+//! sample set — see `popflow-store`) rather than a row copy, so a
+//! replayable stream costs a fraction of the old `Vec<Record>` clone.
 
-use indoor_iupt::{Record, TimeInterval};
+use indoor_iupt::{Iupt, Record, RecordRef, StoreStats, TimeInterval};
 
 use crate::building_gen::BuildingGenConfig;
 use crate::mobility::MobilityConfig;
@@ -41,6 +44,13 @@ pub struct StreamScenario {
     /// is also what makes bound-pruned serving shine — most locations'
     /// candidate counts never reach the top-k threshold.
     pub destination_skew: f64,
+    /// Whether the positioning pipeline re-emits its cached WkNN answer
+    /// while a visitor dwells at an unchanged position (see
+    /// [`PositioningConfig::dwell_cache`]). On by default for stream
+    /// workloads: connectivity-based indoor feeds are exactly this
+    /// redundant, and the redundancy is what sample-set interning
+    /// exploits.
+    pub dwell_cache: bool,
     /// Master seed (re-derived per component).
     pub seed: u64,
 }
@@ -55,6 +65,7 @@ impl StreamScenario {
             duration_secs: 24 * 3600,
             visit_secs: (120, 600),
             destination_skew: DEFAULT_SKEW,
+            dwell_cache: true,
             seed,
         }
     }
@@ -73,6 +84,7 @@ impl StreamScenario {
                 ((600.0 * scale.sqrt()) as i64).clamp(60, duration_secs),
             ),
             destination_skew: DEFAULT_SKEW,
+            dwell_cache: true,
             seed,
         }
     }
@@ -92,6 +104,12 @@ impl StreamScenario {
         self
     }
 
+    /// Overrides the dwell-cache behaviour of the positioning pipeline.
+    pub fn with_dwell_cache(mut self, dwell_cache: bool) -> Self {
+        self.dwell_cache = dwell_cache;
+        self
+    }
+
     /// Expands into a full [`Scenario`]: a small venue whose visitors
     /// wander between rooms for the length of their visit, positioned
     /// with the paper's WkNN parameters.
@@ -106,10 +124,12 @@ impl StreamScenario {
         );
         // Visitors keep moving: short dwells relative to the visit.
         mobility.dwell_secs = (10, 45);
+        let mut positioning = PositioningConfig::real_floor_analog();
+        positioning.dwell_cache = self.dwell_cache;
         Scenario {
             building: BuildingGenConfig::tiny(),
             mobility,
-            positioning: PositioningConfig::real_floor_analog(),
+            positioning,
         }
         .with_seed(self.seed)
     }
@@ -123,59 +143,76 @@ impl StreamScenario {
 }
 
 /// A time-ordered record stream replayed from a generated world.
+///
+/// Backed by the world's columnar interned log: reading the stream
+/// yields zero-copy [`RecordRef`] views; an engine that needs ownership
+/// materializes per record with [`RecordRef::to_record`] (the interned
+/// copy on the far side deduplicates it right back).
 #[derive(Debug, Clone)]
 pub struct RecordStream {
-    records: Vec<Record>,
+    log: Iupt,
 }
 
 impl RecordStream {
     /// Replays the world's positioning table as a stream. The IUPT is
     /// already time-sorted (stable on ties), so the replay order is
-    /// exactly the order a live pipeline would have delivered.
+    /// exactly the order a live pipeline would have delivered — and
+    /// already interned, so this clones the columnar store, not one
+    /// sample set per record.
     pub fn replay(world: &World) -> Self {
         RecordStream {
-            records: world.iupt.records().to_vec(),
+            log: world.iupt.clone(),
         }
     }
 
     /// Number of records in the stream.
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.log.len()
     }
 
     /// Whether the stream holds no records.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.log.is_empty()
     }
 
-    /// The records, in delivery (time) order.
-    pub fn records(&self) -> &[Record] {
-        &self.records
+    /// Zero-copy view of the `i`-th record in delivery (time) order.
+    pub fn get(&self, i: usize) -> RecordRef<'_> {
+        self.log.view(i as u32)
     }
 
     /// First-to-last record timestamps.
     pub fn time_bounds(&self) -> Option<TimeInterval> {
-        match (self.records.first(), self.records.last()) {
-            (Some(a), Some(b)) => Some(TimeInterval::new(a.t, b.t)),
-            _ => None,
-        }
+        self.log.time_bounds()
     }
 
-    /// Iterates the stream in delivery order.
-    pub fn iter(&self) -> impl Iterator<Item = &Record> {
-        self.records.iter()
+    /// Iterates the stream in delivery order, zero-copy.
+    pub fn iter(&self) -> impl Iterator<Item = RecordRef<'_>> + '_ {
+        self.log.iter()
     }
 
-    /// Consumes the stream into its records.
-    pub fn into_records(self) -> Vec<Record> {
-        self.records
+    /// Materializes the stream as owned records (clones every sample
+    /// set) — only for consumers that genuinely need ownership of the
+    /// whole stream at once.
+    pub fn to_records(&self) -> Vec<Record> {
+        self.log.to_records()
+    }
+
+    /// Footprint/interner accounting of the stream's columnar store.
+    pub fn store_stats(&self) -> StoreStats {
+        self.log.store_stats()
+    }
+
+    /// Bytes the pre-interning row layout would occupy for this stream
+    /// (see [`Iupt::row_bytes`]).
+    pub fn row_bytes(&self) -> usize {
+        self.log.row_bytes()
     }
 
     /// Mean stream rate in records per simulated second.
     pub fn records_per_sec(&self) -> f64 {
         match self.time_bounds() {
             Some(b) if b.duration_millis() > 0 => {
-                self.records.len() as f64 / (b.duration_millis() as f64 / 1000.0)
+                self.len() as f64 / (b.duration_millis() as f64 / 1000.0)
             }
             _ => 0.0,
         }
@@ -191,7 +228,8 @@ mod tests {
         let (world, stream) = StreamScenario::compressed_day(10, 0.005, 3).build();
         assert_eq!(stream.len(), world.iupt.len());
         assert!(!stream.is_empty());
-        assert!(stream.records().windows(2).all(|w| w[0].t <= w[1].t));
+        let records: Vec<_> = stream.iter().collect();
+        assert!(records.windows(2).all(|w| w[0].t <= w[1].t));
         let bounds = stream.time_bounds().unwrap();
         assert!(bounds.end.as_secs() <= world.scenario.mobility.duration_secs);
         assert!(stream.records_per_sec() > 0.0);
@@ -229,5 +267,30 @@ mod tests {
         let scenario = sc.scenario();
         assert_eq!(scenario.mobility.num_objects, 100);
         assert_eq!(scenario.mobility.duration_secs, 86_400);
+        assert!(scenario.positioning.dwell_cache);
+    }
+
+    /// The redundancy story end to end: a dwell-cached visitor stream
+    /// interns materially fewer sets than it has records, and the
+    /// columnar footprint undercuts the row layout it replaced. With the
+    /// cache off, the same scenario yields (almost) no duplicates.
+    #[test]
+    fn dwell_cache_makes_interning_pay() {
+        let sc = StreamScenario::compressed_day(12, 0.01, 5);
+        let (_, cached) = sc.clone().build();
+        let stats = cached.store_stats();
+        assert!(
+            stats.intern_hit_rate() > 0.1,
+            "dwell caching produced almost no duplicate reports: {stats:?}"
+        );
+        assert!(
+            stats.bytes < cached.row_bytes(),
+            "interned stream not smaller than rows: {stats:?}"
+        );
+        let (_, uncached) = sc.with_dwell_cache(false).build();
+        assert!(
+            uncached.store_stats().intern_hit_rate() < stats.intern_hit_rate(),
+            "disabling the dwell cache must reduce duplicate reports"
+        );
     }
 }

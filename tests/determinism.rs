@@ -45,9 +45,8 @@ fn different_seeds_differ() {
     let identical = world_a.iupt.len() == world_b.iupt.len()
         && world_a
             .iupt
-            .records()
             .iter()
-            .zip(world_b.iupt.records())
+            .zip(world_b.iupt.iter())
             .all(|(x, y)| x.t == y.t && x.samples == y.samples);
     assert!(!identical);
 }

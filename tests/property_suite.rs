@@ -140,7 +140,7 @@ proptest! {
             &indoor_sim::PositioningConfig::paper_synthetic(),
         );
         let mut by_oid: std::collections::HashMap<_, Vec<_>> = Default::default();
-        for r in iupt.records() {
+        for r in iupt.iter() {
             by_oid.entry(r.oid).or_default().push(r.samples.clone());
         }
         for sets in by_oid.values() {

@@ -66,7 +66,7 @@ fn assert_equivalent(
         flow,
     );
 
-    let records: Vec<Record> = world.iupt.records().to_vec();
+    let records: Vec<Record> = world.iupt.to_records();
     let duration = world.scenario.mobility.duration_secs;
     let last_bucket = spec.last_complete_bucket(Timestamp::from_secs(duration));
     let mut next = 0usize;
@@ -203,6 +203,7 @@ fn bound_pruning_beats_eager_on_skewed_stream() {
             duration_secs: 3 * 3600,
             visit_secs: (60, 120),
             destination_skew: 1.6,
+            dwell_cache: true,
             seed: 0x5eed,
         },
         bucket_secs: 600,
