@@ -8,7 +8,7 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use popflow_core::{FlowConfig, QuerySet, RecomputeEngine, WindowSpec};
 use popflow_eval::experiments::streaming::{drive_stream, StreamingConfig};
-use popflow_serve::{ServeConfig, ServeEngine};
+use popflow_serve::{AdvanceStrategy, ServeConfig, ServeEngine};
 
 fn bench(c: &mut Criterion) {
     let cfg = StreamingConfig::scaled(0.05, 0xcafe);
@@ -51,7 +51,7 @@ fn bench(c: &mut Criterion) {
                         Arc::clone(&space),
                         ServeConfig::new(cfg.k, QuerySet::new(slocs.clone()), spec)
                             .with_shards(cfg.num_shards)
-                            .with_bound_pruning()
+                            .with_strategy(AdvanceStrategy::BoundPruned)
                             .with_flow(flow),
                     );
                     drive_stream(&mut engine, records, spec, duration)

@@ -141,6 +141,11 @@ pub enum FlowError {
     },
     /// A continuous engine can no longer serve (e.g. a shard worker died).
     EngineUnavailable { detail: String },
+    /// A query handed to a multi-query engine was rejected — an unknown
+    /// [`crate::QueryId`], a bucket width that does not match the
+    /// engine's cache granularity, or an advance with nothing registered.
+    /// Rejections leave the engine untouched.
+    InvalidQuery { detail: String },
 }
 
 impl std::fmt::Display for FlowError {
@@ -164,6 +169,9 @@ impl std::fmt::Display for FlowError {
             ),
             FlowError::EngineUnavailable { detail } => {
                 write!(f, "continuous engine unavailable: {detail}")
+            }
+            FlowError::InvalidQuery { detail } => {
+                write!(f, "invalid query: {detail}")
             }
         }
     }

@@ -71,6 +71,35 @@ impl ObjectContribution {
     pub fn is_zero(&self) -> bool {
         self.scores.iter().all(|&s| s == 0.0)
     }
+
+    /// Restricts the contribution to a **sorted** location subset — the
+    /// cross-query sharing primitive of the multi-query serving registry.
+    ///
+    /// Per-location presence does not depend on which other locations
+    /// were evaluated alongside it (see
+    /// [`object_flow_contributions_for`]), so a contribution computed
+    /// once against the *union* of several queries' location sets slices
+    /// down to any one query's subset with scores **bit-identical** to a
+    /// contribution computed against that subset directly.
+    pub fn sliced(&self, subset: &[SLocId]) -> ObjectContribution {
+        let mut relevant = Vec::new();
+        let mut scores = Vec::new();
+        let mut i = 0;
+        for (&q, &score) in self.relevant.iter().zip(&self.scores) {
+            while i < subset.len() && subset[i] < q {
+                i += 1;
+            }
+            if i < subset.len() && subset[i] == q {
+                relevant.push(q);
+                scores.push(score);
+            }
+        }
+        ObjectContribution {
+            relevant,
+            scores,
+            dp_fallback: self.dp_fallback,
+        }
+    }
 }
 
 /// Computes one object's contributions to every location of `query_set`
@@ -415,6 +444,75 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The registry's sharing claim at the contribution level: slicing a
+    /// contribution computed against a *union* query set down to one
+    /// query's subset is bit-identical to computing against that subset
+    /// as its own query set — including PSL pruning agreement for every
+    /// location the subset actually contains.
+    #[test]
+    fn sliced_union_contribution_matches_dedicated_subset() {
+        let fig = paper_figure1();
+        let mut iupt = paper_table2();
+        let union = QuerySet::new(fig.r.to_vec());
+        // Overlapping subsets as a registry would hold them.
+        let subsets = [
+            QuerySet::new(vec![fig.r[0], fig.r[2], fig.r[5]]),
+            QuerySet::new(vec![fig.r[2], fig.r[3], fig.r[4], fig.r[5]]),
+            QuerySet::new(vec![fig.r[5]]),
+        ];
+        for cfg in [
+            FlowConfig::default(),
+            FlowConfig::default().with_dp_engine(),
+            FlowConfig::default().with_full_product_normalization(),
+        ] {
+            for seq in iupt.sequences_in(interval()) {
+                let full = object_flow_contributions(
+                    &fig.space,
+                    seq.records.iter().map(|r| r.samples),
+                    &union,
+                    &cfg,
+                )
+                .unwrap();
+                let Some(full) = full else { continue };
+                for subset in &subsets {
+                    let sliced = full.sliced(subset.slocs());
+                    let direct = object_flow_contributions(
+                        &fig.space,
+                        seq.records.iter().map(|r| r.samples),
+                        subset,
+                        &cfg,
+                    )
+                    .unwrap();
+                    match direct {
+                        // PSL-pruned against the subset: the union
+                        // contribution must hold nothing for it either.
+                        None => assert!(sliced.relevant.is_empty()),
+                        Some(direct) => {
+                            assert_eq!(sliced.relevant, direct.relevant);
+                            for (s, d) in sliced.scores.iter().zip(&direct.scores) {
+                                assert_eq!(s.to_bits(), d.to_bits(), "cfg {cfg:?}");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sliced_restricts_to_subset() {
+        let c = ObjectContribution {
+            relevant: vec![SLocId(2), SLocId(5), SLocId(9)],
+            scores: vec![0.25, 0.5, 0.75],
+            dp_fallback: true,
+        };
+        let s = c.sliced(&[SLocId(1), SLocId(5), SLocId(9), SLocId(11)]);
+        assert_eq!(s.relevant, vec![SLocId(5), SLocId(9)]);
+        assert_eq!(s.scores, vec![0.5, 0.75]);
+        assert!(s.dp_fallback);
+        assert!(c.sliced(&[SLocId(3)]).relevant.is_empty());
     }
 
     /// `scan_psls` returns exactly the PSL list `scan_sequence` computes.

@@ -281,7 +281,26 @@ impl PartialOrd for HeapEntry<'_> {
 }
 
 /// Evaluates a TkPLQ with the best-first join.
+///
+/// Thin forwarding wrapper over the unified batch entry point
+/// ([`crate::query::request::BestFirst`] consuming a
+/// [`crate::query::request::TkplqRequest`]).
 pub fn best_first(
+    space: &IndoorSpace,
+    iupt: &mut Iupt,
+    query: &TkPlQuery,
+    cfg: &FlowConfig,
+) -> Result<QueryOutcome, FlowError> {
+    use crate::query::request::{BatchEngine, BestFirst, TkplqRequest};
+    BestFirst.evaluate(
+        space,
+        iupt,
+        &TkplqRequest::from_query(query, cfg),
+        query.interval,
+    )
+}
+
+pub(crate) fn run(
     space: &IndoorSpace,
     iupt: &mut Iupt,
     query: &TkPlQuery,
@@ -490,7 +509,25 @@ pub fn best_first(
 /// differ ([`SearchStats::objects_computed`]) — the exact candidate
 /// counts here are tighter than R-tree node counts, so this driver
 /// typically evaluates *fewer* objects.
+///
+/// Thin forwarding wrapper over the unified batch entry point
+/// ([`crate::query::request::BestFirstPar`]).
 pub fn best_first_par(
+    space: &IndoorSpace,
+    iupt: &mut Iupt,
+    query: &TkPlQuery,
+    cfg: &FlowConfig,
+) -> Result<QueryOutcome, FlowError> {
+    use crate::query::request::{BatchEngine, BestFirstPar, TkplqRequest};
+    BestFirstPar.evaluate(
+        space,
+        iupt,
+        &TkplqRequest::from_query(query, cfg),
+        query.interval,
+    )
+}
+
+pub(crate) fn run_par(
     space: &IndoorSpace,
     iupt: &mut Iupt,
     query: &TkPlQuery,

@@ -102,6 +102,59 @@ impl WindowSpec {
     }
 }
 
+/// The full shape of one standing continuous query: its location subset,
+/// top-k size, and window geometry — the unit a multi-query serving
+/// engine registers and unregisters as data, rather than baking one
+/// query into its construction.
+///
+/// Engines that serve many specs off one shared ingest stream (the
+/// `popflow-serve` query registry) require every registered spec to
+/// share the engine's bucket width — the granularity its caches seal
+/// at — while `window.window_buckets` (the window length) is free to
+/// differ per query, so windows of different widths advance
+/// independently off the same logs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuerySpec {
+    /// Top-k size (≥ 1; clamped to `|query_set|` at ranking time).
+    pub k: usize,
+    /// The query's S-location set (non-empty).
+    pub query_set: QuerySet,
+    /// Bucket width and window length for this query.
+    pub window: WindowSpec,
+}
+
+impl QuerySpec {
+    /// Creates the spec; `k` must be at least 1 and `query_set`
+    /// non-empty.
+    pub fn new(k: usize, query_set: QuerySet, window: WindowSpec) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        assert!(!query_set.is_empty(), "query set must be non-empty");
+        QuerySpec {
+            k,
+            query_set,
+            window,
+        }
+    }
+
+    /// The effective top-k size: `k` clamped to `|query_set|`.
+    pub fn k_eff(&self) -> usize {
+        self.k.min(self.query_set.len())
+    }
+}
+
+/// Opaque handle to a query registered with a multi-query engine.
+/// Returned by `register`, consumed by `unregister`; never reused within
+/// one engine, so a stale handle is detected rather than silently
+/// addressing a later query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u64);
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "query#{}", self.0)
+    }
+}
+
 /// A standing continuous top-k query: feed it a time-ordered positioning
 /// stream with [`ContinuousEngine::ingest`], slide the window with
 /// [`ContinuousEngine::advance`], read the latest ranking with
@@ -304,6 +357,12 @@ impl RecomputeEngine {
             last_advance: None,
             sealed_frontier_millis: None,
         }
+    }
+
+    /// [`RecomputeEngine::new`] from a [`QuerySpec`] — the baseline
+    /// counterpart of registering one spec with a multi-query engine.
+    pub fn from_spec(space: Arc<IndoorSpace>, spec: QuerySpec, cfg: FlowConfig) -> Self {
+        RecomputeEngine::new(space, spec.k, spec.query_set, spec.window, cfg)
     }
 
     /// Number of records ingested so far.

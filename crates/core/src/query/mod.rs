@@ -8,15 +8,18 @@ pub mod continuous;
 pub mod density;
 mod naive;
 mod nested_loop;
+pub mod request;
 
 pub use best_first::{best_first, best_first_par};
 pub use bounds::{LocationBound, ThresholdHeap, ThresholdStep};
 pub use continuous::{
-    diff_topk, ContinuousEngine, ContinuousTkPlq, ContinuousUpdate, RecomputeEngine, WindowSpec,
+    diff_topk, ContinuousEngine, ContinuousTkPlq, ContinuousUpdate, QueryId, QuerySpec,
+    RecomputeEngine, WindowSpec,
 };
 pub use density::{sloc_area, top_k_dense};
 pub use naive::naive;
 pub use nested_loop::{nested_loop, nested_loop_par};
+pub use request::{BatchEngine, TkplqRequest};
 
 use indoor_iupt::{ObjectId, TimeInterval};
 use indoor_model::SLocId;

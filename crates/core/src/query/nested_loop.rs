@@ -18,7 +18,26 @@ use crate::query::{rank_topk, QueryOutcome, SearchStats, TkPlQuery};
 /// [`object_flow_contributions`] — the same kernel the incremental
 /// `popflow-serve` engine caches per bucket, so batch and incremental
 /// evaluation agree bit for bit.
+///
+/// Thin forwarding wrapper over the unified batch entry point
+/// ([`crate::query::request::NestedLoop`] consuming a
+/// [`crate::query::request::TkplqRequest`]).
 pub fn nested_loop(
+    space: &IndoorSpace,
+    iupt: &mut Iupt,
+    query: &TkPlQuery,
+    cfg: &FlowConfig,
+) -> Result<QueryOutcome, FlowError> {
+    use crate::query::request::{BatchEngine, NestedLoop, TkplqRequest};
+    NestedLoop.evaluate(
+        space,
+        iupt,
+        &TkplqRequest::from_query(query, cfg),
+        query.interval,
+    )
+}
+
+pub(crate) fn run(
     space: &IndoorSpace,
     iupt: &mut Iupt,
     query: &TkPlQuery,
@@ -71,7 +90,25 @@ pub fn nested_loop(
 /// [`nested_loop`] — so rankings and flows are **bit-identical** to the
 /// serial search at every thread count, and an error surfaces as the
 /// same first-in-id-order error the serial loop would hit.
+///
+/// Thin forwarding wrapper over the unified batch entry point
+/// ([`crate::query::request::NestedLoopPar`]).
 pub fn nested_loop_par(
+    space: &IndoorSpace,
+    iupt: &mut Iupt,
+    query: &TkPlQuery,
+    cfg: &FlowConfig,
+) -> Result<QueryOutcome, FlowError> {
+    use crate::query::request::{BatchEngine, NestedLoopPar, TkplqRequest};
+    NestedLoopPar.evaluate(
+        space,
+        iupt,
+        &TkplqRequest::from_query(query, cfg),
+        query.interval,
+    )
+}
+
+pub(crate) fn run_par(
     space: &IndoorSpace,
     iupt: &mut Iupt,
     query: &TkPlQuery,

@@ -1,0 +1,247 @@
+//! The unified batch entry point: one [`TkplqRequest`] — the query's
+//! *shape* (location set, `k`, flow configuration) without a time
+//! interval — consumed by every TkPLQ search algorithm through the
+//! [`BatchEngine`] trait.
+//!
+//! Historically each algorithm exposed its own free function taking
+//! `(space, iupt, &TkPlQuery, &FlowConfig)`. Those functions still exist
+//! as thin forwarding wrappers (call sites migrate incrementally), but
+//! they all route through here, so drivers that sweep algorithms — the
+//! evaluation harness, the serving registry's batch spot-checks — can
+//! hold a `&dyn BatchEngine` instead of matching on function pointers.
+
+use indoor_iupt::{Iupt, TimeInterval};
+use indoor_model::IndoorSpace;
+
+use crate::config::{FlowConfig, FlowError};
+use crate::query::{best_first, naive, nested_loop, QueryOutcome, TkPlQuery};
+use crate::query_set::QuerySet;
+
+/// The engine-independent shape of a batch TkPLQ: what to rank, how many
+/// to return, and how to compute presence — everything except *when*.
+/// Pair it with a [`TimeInterval`] at [`BatchEngine::evaluate`] time.
+#[derive(Debug, Clone)]
+pub struct TkplqRequest {
+    /// Top-k size (≥ 1; clamped to `|query_set|` at query construction).
+    pub k: usize,
+    /// The query's S-location set.
+    pub query_set: QuerySet,
+    /// Flow computation configuration (engine, normalization, reduction,
+    /// parallelism).
+    pub flow: FlowConfig,
+}
+
+impl TkplqRequest {
+    /// A request with the default [`FlowConfig`].
+    pub fn new(k: usize, query_set: QuerySet) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        TkplqRequest {
+            k,
+            query_set,
+            flow: FlowConfig::default(),
+        }
+    }
+
+    /// Overrides the flow configuration.
+    pub fn with_flow(mut self, flow: FlowConfig) -> Self {
+        self.flow = flow;
+        self
+    }
+
+    /// The request a classic `(query, cfg)` call pair describes.
+    pub fn from_query(query: &TkPlQuery, cfg: &FlowConfig) -> Self {
+        TkplqRequest {
+            k: query.k,
+            query_set: query.query_set.clone(),
+            flow: *cfg,
+        }
+    }
+
+    /// Instantiates the classic [`TkPlQuery`] for `interval` (`k` clamped
+    /// to `|query_set|` exactly as direct construction clamps it).
+    pub fn query(&self, interval: TimeInterval) -> TkPlQuery {
+        TkPlQuery::new(self.k, self.query_set.clone(), interval)
+    }
+}
+
+/// A batch TkPLQ search algorithm: evaluates one [`TkplqRequest`] over
+/// one time interval. All built-in engines return bit-identical flows
+/// for the locations they rank (property-tested); they differ only in
+/// work and pruning behaviour.
+pub trait BatchEngine {
+    /// Engine name for reports and experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Evaluates the request over `interval`.
+    fn evaluate(
+        &self,
+        space: &IndoorSpace,
+        iupt: &mut Iupt,
+        request: &TkplqRequest,
+        interval: TimeInterval,
+    ) -> Result<QueryOutcome, FlowError>;
+}
+
+/// The naive algorithm (§4 intro): one `flow` call per query location.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Naive;
+
+/// The Nested-Loop search (§4.1, Algorithm 3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NestedLoop;
+
+/// [`NestedLoop`] with per-object kernels forked across
+/// [`FlowConfig::exec`] threads; bit-identical to the serial driver.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NestedLoopPar;
+
+/// The Best-First R-tree join (§4.2, Algorithm 4).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BestFirst;
+
+/// [`BestFirst`] with a parallel bounds pass; bit-identical rankings.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BestFirstPar;
+
+impl BatchEngine for Naive {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn evaluate(
+        &self,
+        space: &IndoorSpace,
+        iupt: &mut Iupt,
+        request: &TkplqRequest,
+        interval: TimeInterval,
+    ) -> Result<QueryOutcome, FlowError> {
+        naive::run(space, iupt, &request.query(interval), &request.flow)
+    }
+}
+
+impl BatchEngine for NestedLoop {
+    fn name(&self) -> &'static str {
+        "nested-loop"
+    }
+
+    fn evaluate(
+        &self,
+        space: &IndoorSpace,
+        iupt: &mut Iupt,
+        request: &TkplqRequest,
+        interval: TimeInterval,
+    ) -> Result<QueryOutcome, FlowError> {
+        nested_loop::run(space, iupt, &request.query(interval), &request.flow)
+    }
+}
+
+impl BatchEngine for NestedLoopPar {
+    fn name(&self) -> &'static str {
+        "nested-loop-par"
+    }
+
+    fn evaluate(
+        &self,
+        space: &IndoorSpace,
+        iupt: &mut Iupt,
+        request: &TkplqRequest,
+        interval: TimeInterval,
+    ) -> Result<QueryOutcome, FlowError> {
+        nested_loop::run_par(space, iupt, &request.query(interval), &request.flow)
+    }
+}
+
+impl BatchEngine for BestFirst {
+    fn name(&self) -> &'static str {
+        "best-first"
+    }
+
+    fn evaluate(
+        &self,
+        space: &IndoorSpace,
+        iupt: &mut Iupt,
+        request: &TkplqRequest,
+        interval: TimeInterval,
+    ) -> Result<QueryOutcome, FlowError> {
+        best_first::run(space, iupt, &request.query(interval), &request.flow)
+    }
+}
+
+impl BatchEngine for BestFirstPar {
+    fn name(&self) -> &'static str {
+        "best-first-par"
+    }
+
+    fn evaluate(
+        &self,
+        space: &IndoorSpace,
+        iupt: &mut Iupt,
+        request: &TkplqRequest,
+        interval: TimeInterval,
+    ) -> Result<QueryOutcome, FlowError> {
+        best_first::run_par(space, iupt, &request.query(interval), &request.flow)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indoor_iupt::fixtures::paper_table2;
+    use indoor_iupt::Timestamp;
+    use indoor_model::fixtures::paper_figure1;
+
+    /// Every engine consumes the same request and returns the same
+    /// ranking with bit-identical flows — and agrees with the classic
+    /// free-function wrappers it now backs.
+    #[test]
+    fn all_engines_agree_on_one_request() {
+        let fig = paper_figure1();
+        let mut iupt = paper_table2();
+        let interval = TimeInterval::new(Timestamp::from_secs(1), Timestamp::from_secs(8));
+        let request = TkplqRequest::new(3, QuerySet::new(fig.r.to_vec()))
+            .with_flow(FlowConfig::default().with_full_product_normalization());
+        let engines: [&dyn BatchEngine; 5] = [
+            &Naive,
+            &NestedLoop,
+            &NestedLoopPar,
+            &BestFirst,
+            &BestFirstPar,
+        ];
+        let reference = NestedLoop
+            .evaluate(&fig.space, &mut iupt, &request, interval)
+            .unwrap();
+        assert_eq!(reference.ranking[0].sloc, fig.r[5]); // Example 4: r6 tops
+        for engine in engines {
+            let out = engine
+                .evaluate(&fig.space, &mut iupt, &request, interval)
+                .unwrap();
+            assert_eq!(
+                out.topk_slocs(),
+                reference.topk_slocs(),
+                "engine {}",
+                engine.name()
+            );
+            for (a, b) in out.ranking.iter().zip(&reference.ranking) {
+                assert_eq!(
+                    a.flow.to_bits(),
+                    b.flow.to_bits(),
+                    "engine {}",
+                    engine.name()
+                );
+            }
+        }
+        // The classic wrappers forward through the same entry point.
+        let query = request.query(interval);
+        let wrapped =
+            crate::query::nested_loop(&fig.space, &mut iupt, &query, &request.flow).unwrap();
+        assert_eq!(wrapped.topk_slocs(), reference.topk_slocs());
+    }
+
+    #[test]
+    fn request_clamps_k_at_query_time() {
+        let fig = paper_figure1();
+        let request = TkplqRequest::new(50, QuerySet::new(fig.r.to_vec()));
+        let q = request.query(TimeInterval::new(Timestamp(0), Timestamp(10)));
+        assert_eq!(q.k, fig.r.len());
+    }
+}

@@ -9,7 +9,10 @@
 //!
 //! The `streaming` experiment additionally writes a machine-readable
 //! benchmark report (records/s, p50/p99 advance latency, work ratios,
-//! presence_skipped) to `--bench-json` (default `BENCH_streaming.json`),
+//! presence_skipped, and — with `--queries N` ≥ 2 — the multi-query
+//! `shared_work_ratio` sharing audit, which exits non-zero if concurrent
+//! registered queries fail to share sealing work or diverge from
+//! dedicated engines) to `--bench-json` (default `BENCH_streaming.json`),
 //! and the `batch_scale` experiment writes its thread-scaling report
 //! (records/s and speedup at 1/2/4/8 threads, serial-equality audit) to
 //! `--batch-json` (default `BENCH_batch.json`), and the `store_footprint`
@@ -119,6 +122,11 @@ fn main() {
                 opts.mc_rounds_real = r;
                 opts.mc_rounds_synthetic = r;
             }
+            "--queries" => {
+                opts.queries = flag_value(&args, &mut i, "--queries")
+                    .parse()
+                    .expect("--queries takes an integer");
+            }
             "--tsv" => {
                 tsv_path = Some(flag_value(&args, &mut i, "--tsv").to_string());
             }
@@ -147,8 +155,8 @@ fn main() {
     if ids.is_empty() {
         eprintln!(
             "usage: experiments [EXP-ID|all|real|synthetic|ablations ...] \
-             [--scale S] [--repeats N] [--seed S] [--mc-rounds N] [--tsv PATH] \
-             [--bench-json PATH] [--batch-json PATH] [--memory-json PATH]"
+             [--scale S] [--repeats N] [--seed S] [--mc-rounds N] [--queries N] \
+             [--tsv PATH] [--bench-json PATH] [--batch-json PATH] [--memory-json PATH]"
         );
         eprintln!("experiment ids: {REAL_EXPS:?} {SYNTH_EXPS:?} {ABLATIONS:?} {STREAMING:?}");
         std::process::exit(2);

@@ -31,6 +31,9 @@ pub struct ExpOpts {
     pub mc_rounds_synthetic: usize,
     /// Base seed for workload draws.
     pub seed: u64,
+    /// Concurrent registered queries for the streaming experiment's
+    /// multi-query sharing audit (1 = single-query comparison only).
+    pub queries: usize,
 }
 
 impl Default for ExpOpts {
@@ -41,6 +44,7 @@ impl Default for ExpOpts {
             mc_rounds_real: 200,
             mc_rounds_synthetic: 120,
             seed: 42,
+            queries: 1,
         }
     }
 }

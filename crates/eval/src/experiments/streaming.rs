@@ -18,7 +18,7 @@ use indoor_iupt::Timestamp;
 use indoor_model::SLocId;
 use indoor_sim::{RecordStream, StreamScenario, World};
 use popflow_core::{ContinuousEngine, FlowConfig, QuerySet, RecomputeEngine, WindowSpec};
-use popflow_serve::{ServeConfig, ServeEngine};
+use popflow_serve::{AdvanceStrategy, QueryId, QuerySpec, ServeConfig, ServeEngine};
 
 use crate::report::Row;
 
@@ -37,6 +37,12 @@ pub struct StreamingConfig {
     pub k: usize,
     /// Serve-engine shard count.
     pub num_shards: usize,
+    /// Concurrent registered queries for the multi-query sharing audit
+    /// (≥ 2 enables it; 1 runs the classic single-query comparison
+    /// only). The queries are overlapping rotations of ~¾ of the
+    /// venue's locations, all registered with one registry engine and
+    /// cross-checked against dedicated single-query engines.
+    pub queries: usize,
 }
 
 impl StreamingConfig {
@@ -58,6 +64,7 @@ impl StreamingConfig {
             window_buckets: 16,
             k: 5,
             num_shards: 4,
+            queries: 1,
         }
     }
 }
@@ -157,6 +164,29 @@ pub struct StreamingReport {
     /// per-slide presence work the COUNT bounds prune away
     /// ((object, location) units).
     pub pruned_work_ratio: f64,
+    /// The multi-query sharing audit, when [`StreamingConfig::queries`]
+    /// ≥ 2.
+    pub multi: Option<MultiQueryReport>,
+}
+
+/// The multi-query sharing audit: N overlapping queries registered with
+/// ONE registry engine vs. N dedicated single-query engines over the
+/// identical stream.
+#[derive(Debug, Clone)]
+pub struct MultiQueryReport {
+    /// Queries registered concurrently.
+    pub queries: usize,
+    /// Presence cells the registry engine paid serving all N queries.
+    pub registry_cells: u64,
+    /// Presence cells the N dedicated engines paid in total.
+    pub dedicated_cells: u64,
+    /// `registry_cells / dedicated_cells` — below 1.0 means registered
+    /// queries genuinely share sealing work instead of multiplying it
+    /// (the CI gate requires < 0.9 at 4 queries).
+    pub shared_work_ratio: f64,
+    /// (query, slide) pairs where the registry ranking was not
+    /// bit-identical to the dedicated engine's (must be 0).
+    pub mismatched_slides: usize,
 }
 
 /// What [`drive_stream`] measured over one replay.
@@ -213,6 +243,123 @@ pub fn drive_stream(
     outcome
 }
 
+/// One query's ranking history: per slide, the ranking as `(sloc, flow
+/// bits)` pairs — the representation the bit-identity audit compares.
+type RankHistory = Vec<Vec<(SLocId, u64)>>;
+
+/// Drives a registry engine through the stream with
+/// [`ServeEngine::advance_all`], collecting every registered query's
+/// per-slide ranking.
+fn drive_registry(
+    engine: &mut ServeEngine,
+    stream: &RecordStream,
+    spec: WindowSpec,
+    duration_secs: i64,
+) -> Vec<(QueryId, RankHistory)> {
+    let mut histories: Vec<(QueryId, RankHistory)> = engine
+        .query_ids()
+        .into_iter()
+        .map(|id| (id, Vec::new()))
+        .collect();
+    let last_bucket = spec.last_complete_bucket(Timestamp::from_secs(duration_secs));
+    let mut next = 0usize;
+    for b in 0..=last_bucket {
+        let now = Timestamp(spec.bucket_interval(b).end.millis() + 1);
+        while next < stream.len() && stream.get(next).t <= now {
+            engine
+                .ingest(stream.get(next).to_record())
+                .expect("replayed records are time-ordered");
+            next += 1;
+        }
+        let updates = engine.advance_all(now).expect("advance on a valid stream");
+        for (id, update) in updates {
+            let hist = histories
+                .iter_mut()
+                .find(|(hid, _)| *hid == id)
+                .expect("an update per registered query");
+            hist.1.push(
+                update
+                    .outcome
+                    .ranking
+                    .iter()
+                    .map(|r| (r.sloc, r.flow.to_bits()))
+                    .collect(),
+            );
+        }
+    }
+    histories
+}
+
+/// The multi-query sharing audit: register `cfg.queries` overlapping
+/// location subsets (rotations of ~¾ of the venue) with one registry
+/// engine, replay the stream, and cross-check every query's every slide
+/// bit-for-bit against a dedicated single-query engine while comparing
+/// presence-cell totals.
+fn run_multi_query(
+    cfg: &StreamingConfig,
+    world: &World,
+    stream: &RecordStream,
+) -> MultiQueryReport {
+    let space = Arc::new(world.space.clone());
+    let slocs: Vec<SLocId> = world.space.slocs().iter().map(|s| s.id).collect();
+    let spec = WindowSpec::new(cfg.bucket_secs * 1000, cfg.window_buckets);
+    let flow = FlowConfig::default().with_dp_engine();
+    let duration = cfg.scenario.duration_secs;
+    let n = cfg.queries;
+    let take = (slocs.len() * 3 / 4).max(1);
+    let subsets: Vec<QuerySet> = (0..n)
+        .map(|i| {
+            let offset = i * slocs.len() / n;
+            (0..take)
+                .map(|j| slocs[(offset + j) % slocs.len()])
+                .collect()
+        })
+        .collect();
+    let base = || {
+        ServeConfig::with_buckets(cfg.bucket_secs * 1000)
+            .with_shards(cfg.num_shards)
+            .with_strategy(AdvanceStrategy::Eager)
+            .with_flow(flow)
+    };
+
+    let mut registry_cfg = base();
+    for qs in &subsets {
+        registry_cfg = registry_cfg.with_query(QuerySpec::new(cfg.k, qs.clone(), spec));
+    }
+    let mut registry = ServeEngine::new(Arc::clone(&space), registry_cfg);
+    let histories = drive_registry(&mut registry, stream, spec, duration);
+    let registry_cells = registry.stats().presence_cells;
+    drop(registry);
+
+    let mut dedicated_cells = 0u64;
+    let mut mismatched_slides = 0usize;
+    for (qi, qs) in subsets.iter().enumerate() {
+        let mut single = ServeEngine::new(
+            Arc::clone(&space),
+            base().with_query(QuerySpec::new(cfg.k, qs.clone(), spec)),
+        );
+        let solo = drive_registry(&mut single, stream, spec, duration);
+        dedicated_cells += single.stats().presence_cells;
+        mismatched_slides += histories[qi]
+            .1
+            .iter()
+            .zip(&solo[0].1)
+            .filter(|(registry_rank, solo_rank)| registry_rank != solo_rank)
+            .count();
+    }
+    MultiQueryReport {
+        queries: n,
+        registry_cells,
+        dedicated_cells,
+        shared_work_ratio: if dedicated_cells > 0 {
+            registry_cells as f64 / dedicated_cells as f64
+        } else {
+            f64::INFINITY
+        },
+        mismatched_slides,
+    }
+}
+
 /// Runs the full comparison: generate the stream once, replay it through
 /// all three engines over identical bucket-aligned windows, audit every
 /// slide.
@@ -253,7 +400,10 @@ pub fn run_streaming_on(
     };
     drop(serve);
 
-    let mut lazy = ServeEngine::new(Arc::clone(&space), serve_cfg.with_bound_pruning());
+    let mut lazy = ServeEngine::new(
+        Arc::clone(&space),
+        serve_cfg.with_strategy(AdvanceStrategy::BoundPruned),
+    );
     let driven = drive_stream(&mut lazy, stream, spec, duration);
     let pruned = EngineMetrics {
         name: lazy.name().to_string(),
@@ -292,6 +442,7 @@ pub fn run_streaming_on(
         })
         .count();
     let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { f64::INFINITY };
+    let multi = (cfg.queries >= 2).then(|| run_multi_query(cfg, world, stream));
     StreamingReport {
         speedup: ratio(baseline.mean_ms(), incremental.mean_ms()),
         pruned_speedup: ratio(baseline.mean_ms(), pruned.mean_ms()),
@@ -308,6 +459,7 @@ pub fn run_streaming_on(
         baseline,
         slides,
         mismatched_slides,
+        multi,
     }
 }
 
@@ -352,6 +504,19 @@ pub fn report_rows(cfg: &StreamingConfig, report: &StreamingReport) -> Vec<Row> 
         report.mismatched_slides
     );
     rows.push(summary);
+    if let Some(m) = &report.multi {
+        let mut row = Row::new("streaming", &x, "multi-query");
+        row.note = format!(
+            "queries={} registry-cells×{} dedicated-cells×{} shared-work-ratio={:.3} \
+             mismatches={}",
+            m.queries,
+            m.registry_cells,
+            m.dedicated_cells,
+            m.shared_work_ratio,
+            m.mismatched_slides
+        );
+        rows.push(row);
+    }
     rows
 }
 
@@ -387,18 +552,29 @@ pub fn bench_json(cfg: &StreamingConfig, report: &StreamingReport) -> String {
             m.intern_hits,
         )
     }
+    let (queries, shared_work_ratio, multi_mismatches) = match &report.multi {
+        Some(m) => (
+            m.queries,
+            json_num(m.shared_work_ratio, 3),
+            m.mismatched_slides.to_string(),
+        ),
+        None => (cfg.queries, "null".to_string(), "null".to_string()),
+    };
     format!(
         concat!(
             "{{\n",
             "  \"experiment\": \"streaming\",\n",
             "  \"config\": {{\"objects\": {}, \"duration_secs\": {}, \"bucket_secs\": {}, ",
-            "\"window_buckets\": {}, \"k\": {}, \"num_shards\": {}, \"seed\": {}}},\n",
+            "\"window_buckets\": {}, \"k\": {}, \"num_shards\": {}, \"queries\": {}, ",
+            "\"seed\": {}}},\n",
             "  \"slides\": {},\n",
             "  \"mismatched_slides\": {},\n",
             "  \"speedup\": {},\n",
             "  \"pruned_speedup\": {},\n",
             "  \"work_ratio\": {},\n",
             "  \"pruned_work_ratio\": {},\n",
+            "  \"shared_work_ratio\": {},\n",
+            "  \"multi_query_mismatched_slides\": {},\n",
             "  \"engines\": [\n    {},\n    {},\n    {}\n  ]\n",
             "}}\n"
         ),
@@ -408,6 +584,7 @@ pub fn bench_json(cfg: &StreamingConfig, report: &StreamingReport) -> String {
         cfg.window_buckets,
         cfg.k,
         cfg.num_shards,
+        queries,
         cfg.scenario.seed,
         report.slides,
         report.mismatched_slides,
@@ -415,6 +592,8 @@ pub fn bench_json(cfg: &StreamingConfig, report: &StreamingReport) -> String {
         json_num(report.pruned_speedup, 3),
         json_num(report.work_ratio, 3),
         json_num(report.pruned_work_ratio, 3),
+        shared_work_ratio,
+        multi_mismatches,
         engine_json(&report.incremental),
         engine_json(&report.pruned),
         engine_json(&report.baseline),
@@ -426,12 +605,28 @@ pub fn bench_json(cfg: &StreamingConfig, report: &StreamingReport) -> String {
 /// there as well — success or failure of the write is reported
 /// truthfully on stdout/stderr.
 pub fn streaming_with_json(opts: &ExpOpts, json_path: Option<&str>) -> Vec<Row> {
-    let cfg = StreamingConfig::scaled(opts.scale, opts.seed);
+    let mut cfg = StreamingConfig::scaled(opts.scale, opts.seed);
+    cfg.queries = opts.queries.max(1);
     let report = run_streaming(&cfg);
     if let Some(path) = json_path {
         match std::fs::write(path, bench_json(&cfg, &report)) {
             Ok(()) => println!("wrote machine-readable streaming report to {path}"),
             Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+    // The multi-query sharing gate: concurrent registered queries must
+    // genuinely share sealing work (well under 1× the dedicated cost
+    // per query) and stay bit-identical to dedicated engines. The
+    // comparison is written so NaN/∞ ratios fail too.
+    if let Some(m) = &report.multi {
+        let shares_work = m.shared_work_ratio < 0.9; // false for NaN/∞ too
+        if m.mismatched_slides > 0 || !shares_work {
+            eprintln!(
+                "multi-query serving failed the sharing audit: {} queries, \
+                 shared_work_ratio={} (require < 0.9), mismatched (query, slide) pairs={}",
+                m.queries, m.shared_work_ratio, m.mismatched_slides
+            );
+            std::process::exit(1);
         }
     }
     report_rows(&cfg, &report)
@@ -465,9 +660,11 @@ mod tests {
             window_buckets: 8,
             k: 3,
             num_shards: 2,
+            queries: 1,
         };
         let report = run_streaming(&cfg);
         assert_eq!(report.slides, 12);
+        assert!(report.multi.is_none(), "one query runs no sharing audit");
         assert_eq!(report.mismatched_slides, 0, "engines diverged");
         assert!(
             report.incremental.presence_computations < report.baseline.presence_computations,
@@ -508,6 +705,7 @@ mod tests {
             window_buckets: 4,
             k: 2,
             num_shards: 2,
+            queries: 2,
         };
         let report = run_streaming(&cfg);
         let json = bench_json(&cfg, &report);
@@ -522,6 +720,9 @@ mod tests {
             "\"advance_p99_ms\"",
             "\"work_ratio\"",
             "\"pruned_work_ratio\"",
+            "\"shared_work_ratio\"",
+            "\"queries\": 2",
+            "\"multi_query_mismatched_slides\": 0",
             "\"presence_skipped\"",
             "\"log_bytes\"",
             "\"intern_hits\"",
@@ -557,12 +758,45 @@ mod tests {
             pruned_speedup: f64::NAN,
             work_ratio: f64::INFINITY,
             pruned_work_ratio: f64::INFINITY,
+            multi: None,
         };
         let json = bench_json(&cfg, &degenerate);
         assert!(json.contains("\"speedup\": null"), "{json}");
         assert!(json.contains("\"records_per_sec\":null"), "{json}");
+        assert!(json.contains("\"shared_work_ratio\": null"), "{json}");
         for bad in ["inf", "NaN"] {
             assert!(!json.contains(bad), "invalid JSON token {bad} in:\n{json}");
         }
+    }
+
+    /// The sharing audit itself: overlapping registered queries must be
+    /// bit-identical to dedicated engines while paying well under 1× the
+    /// dedicated presence-cell cost per query.
+    #[test]
+    fn multi_query_audit_shares_work_without_divergence() {
+        let cfg = StreamingConfig {
+            scenario: StreamScenario {
+                num_objects: 40,
+                duration_secs: 1800,
+                visit_secs: (30, 80),
+                destination_skew: 0.9,
+                dwell_cache: true,
+                seed: 17,
+            },
+            bucket_secs: 150,
+            window_buckets: 6,
+            k: 3,
+            num_shards: 2,
+            queries: 3,
+        };
+        let (world, stream) = cfg.scenario.build();
+        let m = run_multi_query(&cfg, &world, &stream);
+        assert_eq!(m.queries, 3);
+        assert_eq!(m.mismatched_slides, 0, "registry diverged: {m:?}");
+        assert!(m.registry_cells > 0, "audit did no work: {m:?}");
+        assert!(
+            m.shared_work_ratio < 0.9,
+            "queries did not share sealing work: {m:?}"
+        );
     }
 }

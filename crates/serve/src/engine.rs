@@ -1,6 +1,9 @@
-//! The serving engine: routes a time-ordered record stream to shard
-//! workers and assembles incremental window evaluations into the same
-//! top-k the batch Nested-Loop search would produce.
+//! The serving engine: a registry of standing TkPLQ queries over one
+//! shared, sharded record stream. Routes time-ordered records to shard
+//! workers and assembles each registered query's incremental window
+//! evaluation into the same top-k the batch Nested-Loop search would
+//! produce — bit-identical flows, for every query, under both advance
+//! strategies.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -9,65 +12,95 @@ use indoor_iupt::{ObjectId, Record, Timestamp};
 use indoor_model::{IndoorSpace, SLocId};
 use popflow_core::{
     diff_topk, rank_topk, ContinuousEngine, ContinuousUpdate, FlowConfig, FlowError, LocationBound,
-    ObjectContribution, QueryOutcome, QuerySet, SearchStats, ThresholdHeap, ThresholdStep,
-    WindowSpec,
+    ObjectContribution, QueryId, QueryOutcome, QuerySet, QuerySpec, SearchStats, ThresholdHeap,
+    ThresholdStep, WindowSpec,
 };
 use popflow_exec::{Reply, ShardDown, ShardPool};
 
-use crate::shard::{EvalReport, ShardReport, ShardWorker};
+use crate::shard::{EagerReport, EvalReport, ShardWorker};
+
+/// One merged window of an eager advance: the union-wide flow map plus
+/// the shared [`SearchStats`] reported for every query on that window.
+type WindowScores = (HashMap<SLocId, f64>, SearchStats);
 
 /// How an advance turns sealed buckets into a ranking.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum AdvanceStrategy {
-    /// Seal buckets eagerly: every sealed object's full contribution is
-    /// computed at seal time, and an advance merges all cached window
-    /// contributions.
+    /// Seal buckets eagerly: every sealed object's full union
+    /// contribution is computed at seal time, and an advance merges all
+    /// cached window contributions, slicing them per registered query.
     #[default]
     Eager,
     /// Bound-pruned lazy advance (the paper's §4.2 COUNT bound lifted to
     /// the continuous engine): sealing only records per-object PSL
-    /// candidate lists; the coordinator merges per-location candidate
-    /// counts into flow upper bounds and requests exact contributions
-    /// lazily, best-first, until the top-k is final — locations whose
-    /// bound never reaches the k-th exact flow pay no presence
-    /// computation at all.
+    /// candidate lists; each registered query's threshold loop merges
+    /// per-location candidate counts into flow upper bounds and requests
+    /// exact contributions lazily, best-first, until its top-k is
+    /// final — locations whose bound never reaches the k-th exact flow
+    /// pay no presence computation at all, and a location evaluated for
+    /// one query is served from cache for every other.
     BoundPruned,
 }
 
-/// Configuration of a [`ServeEngine`].
+/// Configuration of a [`ServeEngine`]: the shared serving substrate
+/// (shard count, bucket granularity, flow configuration, advance
+/// strategy) plus any queries to register at construction. Further
+/// queries can be added and removed mid-stream with
+/// [`ServeEngine::register`] / [`ServeEngine::unregister`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Number of shard workers (threads). Objects are hash-partitioned
     /// across shards, so any count ≥ 1 yields identical results.
     pub num_shards: usize,
-    /// Top-k size.
-    pub k: usize,
-    /// The standing query's S-location set.
-    pub query_set: QuerySet,
-    /// Bucket width and window length.
-    pub spec: WindowSpec,
+    /// Bucket width in milliseconds — the cache granularity every
+    /// registered query must share (their window *lengths* are free to
+    /// differ).
+    pub bucket_millis: i64,
     /// Flow computation configuration (engine, normalization, reduction).
     pub flow: FlowConfig,
     /// Eager or bound-pruned advances. Both return bit-identical top-k
     /// sets and flows; they differ only in how much presence work an
     /// advance pays.
     pub strategy: AdvanceStrategy,
+    /// Queries registered at engine construction, in registration order.
+    pub queries: Vec<QuerySpec>,
 }
 
 impl ServeConfig {
-    /// A config with the given query shape and sensible defaults
-    /// (4 shards, DP presence engine — the right engine for a serving
-    /// path, where tail latency matters more than paper fidelity —
-    /// and eager advances).
-    pub fn new(k: usize, query_set: QuerySet, spec: WindowSpec) -> Self {
+    /// A query-less config with the given bucket granularity and
+    /// sensible defaults (4 shards, DP presence engine — the right
+    /// engine for a serving path, where tail latency matters more than
+    /// paper fidelity — and eager advances). Add queries with
+    /// [`ServeConfig::with_query`] or register them on the engine.
+    pub fn with_buckets(bucket_millis: i64) -> Self {
+        assert!(bucket_millis > 0, "bucket width must be positive");
         ServeConfig {
             num_shards: 4,
-            k,
-            query_set,
-            spec,
+            bucket_millis,
             flow: FlowConfig::default().with_dp_engine(),
             strategy: AdvanceStrategy::default(),
+            queries: Vec::new(),
         }
+    }
+
+    /// The classic single-query constructor: a registry config with one
+    /// entry, `QuerySpec { k, query_set, window: spec }`. Kept so the
+    /// pre-registry call shape `ServeConfig::new(k, query_set, spec)`
+    /// keeps compiling; the engine it builds is the registry engine with
+    /// one registered query.
+    pub fn new(k: usize, query_set: QuerySet, spec: WindowSpec) -> Self {
+        ServeConfig::with_buckets(spec.bucket_millis).with_query(QuerySpec::new(k, query_set, spec))
+    }
+
+    /// Adds a query to register at construction. Its window must use the
+    /// config's bucket width.
+    pub fn with_query(mut self, spec: QuerySpec) -> Self {
+        assert_eq!(
+            spec.window.bucket_millis, self.bucket_millis,
+            "query bucket width must match the engine's cache granularity"
+        );
+        self.queries.push(spec);
+        self
     }
 
     /// Overrides the shard count.
@@ -83,9 +116,9 @@ impl ServeConfig {
     }
 
     /// Switches to bound-pruned lazy advances.
-    pub fn with_bound_pruning(mut self) -> Self {
-        self.strategy = AdvanceStrategy::BoundPruned;
-        self
+    #[deprecated(note = "use with_strategy(AdvanceStrategy::BoundPruned)")]
+    pub fn with_bound_pruning(self) -> Self {
+        self.with_strategy(AdvanceStrategy::BoundPruned)
     }
 
     /// Overrides the advance strategy.
@@ -95,18 +128,35 @@ impl ServeConfig {
     }
 }
 
-/// Per-advance work accounting for the bound-pruned threshold loop,
-/// deduplicated across its lazy round-trips.
+/// Per-advance work accounting for the bound-pruned threshold loops,
+/// deduplicated across lazy round-trips (and across the queries of one
+/// advance).
 #[derive(Debug, Default)]
 struct PrunedWork {
-    /// Objects whose contribution was summed (any request).
-    requested_objects: HashSet<ObjectId>,
     /// Objects that paid at least one fresh presence evaluation.
     fresh_objects: HashSet<ObjectId>,
-    /// Objects that fell back to the DP (hybrid engine).
-    dp_fallback_objects: HashSet<ObjectId>,
-    /// (object, location) cells requested (evaluated + cache-served).
+}
+
+/// Per-window coordinator state of one bound-pruned advance: merged
+/// candidate bounds in, memoized exact flows out. Shared by every query
+/// whose window length maps to this window.
+struct WindowState {
+    start: i64,
+    /// Per-location candidate counts — the COUNT flow bounds.
+    counts: HashMap<SLocId, usize>,
+    /// Per-shard candidate objects per location, for lazy round-trips.
+    per_shard: Vec<HashMap<SLocId, Vec<ObjectId>>>,
+    /// All candidate (object, location) cells in the window.
+    total_cells: u64,
+    /// Cells some query's threshold loop actually requested.
     requested_cells: u64,
+    objects_total: usize,
+    /// Exact flows finalized by any query's loop — the cross-query memo.
+    flows: HashMap<SLocId, f64>,
+    /// Objects summed / DP-fallen-back in this window (the union
+    /// evaluation's accounting, shared by its queries).
+    requested_objects: HashSet<ObjectId>,
+    dp_fallback_objects: HashSet<ObjectId>,
 }
 
 /// Cumulative serving counters.
@@ -116,26 +166,33 @@ pub struct ServeStats {
     pub records_ingested: u64,
     /// Records rejected (late or out of order).
     pub records_rejected: u64,
-    /// Window advances served.
+    /// Window advances served (each advance evaluates every registered
+    /// query).
     pub advances: u64,
     /// Work served from caches. Eager advances count *objects* served
     /// from sealed-bucket contribution caches; bound-pruned advances
     /// count (object, location) *cells* served from lazily-filled score
-    /// caches.
+    /// caches. Work shared across registered queries shows up here: the
+    /// second query to need a cell finds it cached.
     pub cache_hits: u64,
     /// Eager: objects recomputed exactly as bucket straddlers.
     /// Bound-pruned: straddler objects observed in evaluated windows.
+    /// Counted once per distinct window per advance, however many
+    /// queries share the window.
     pub straddler_recomputes: u64,
     /// Presence computations counted per object (sealing + straddlers
     /// for eager advances; lazily evaluated objects for bound-pruned
     /// ones) — the quantity the bucketing scheme minimizes.
     pub fresh_presence: u64,
     /// Presence computations counted per (object, location) cell — the
-    /// unit the bound-pruned strategy prunes at.
+    /// unit the bound-pruned strategy prunes at and the multi-query
+    /// registry shares: sealing work is paid once against the union of
+    /// registered location sets, not once per query.
     pub presence_cells: u64,
     /// Candidate (object, location) cells a bound-pruned advance never
-    /// had to evaluate: their location's flow bound stayed below the
-    /// k-th exact flow. Always 0 under [`AdvanceStrategy::Eager`].
+    /// had to evaluate: no registered query's flow bound for the
+    /// location reached its k-th exact flow. Always 0 under
+    /// [`AdvanceStrategy::Eager`].
     pub presence_skipped: u64,
     /// Resident bytes of the shard logs' columnar stores (summed across
     /// shards). A *gauge*, not a counter: refreshed by each advance from
@@ -146,20 +203,58 @@ pub struct ServeStats {
     /// already-stored copy (summed across shards). Like
     /// [`ServeStats::log_bytes`], a gauge refreshed per advance.
     pub intern_hits: u64,
+    /// Queries currently registered — a gauge tracking
+    /// [`ServeEngine::register`] / [`ServeEngine::unregister`].
+    pub registered_queries: u64,
+    /// Times a registration grew the union of registered location sets
+    /// and forced the shards to drop their caches (the next advance
+    /// re-seals from the append-only logs). Shrinking the union never
+    /// resets.
+    pub cache_resets: u64,
 }
 
-/// The sharded incremental continuous top-k engine.
+/// One registered standing query and its serving state.
+#[derive(Debug)]
+struct Registered {
+    id: QueryId,
+    spec: QuerySpec,
+    /// The query's previous top-k, for delta reporting.
+    previous: Option<Vec<SLocId>>,
+}
+
+/// The sharded incremental continuous top-k engine: a **query registry**
+/// over shared bucket caches.
 ///
 /// Ingestion partitions records by object across `num_shards` worker
 /// threads of a [`popflow_exec::ShardPool`] (routed by the pool's shared
 /// [`popflow_exec::Partitioner`]); each worker owns its shard's IUPT
-/// partition and sealed-bucket caches. An
-/// [`advance`](ContinuousEngine::advance) seals newly completed buckets,
-/// assembles per-object contributions across shards — eagerly, or
-/// lazily under COUNT-bound pruning
-/// ([`AdvanceStrategy::BoundPruned`]) — and ranks, producing, by
-/// construction, the same accumulation order and therefore bit-identical
-/// flows to running the batch Nested-Loop search over the same window.
+/// partition and ONE sealed-bucket cache computed against the **union**
+/// of every registered query's location set. An
+/// [`advance_all`](ServeEngine::advance_all) seals newly completed
+/// buckets once, then evaluates every registered query on top — slicing
+/// the shared union contributions per location subset (eager) or running
+/// one threshold loop per query over shared lazy score caches
+/// (bound-pruned) — and reports one [`ContinuousUpdate`] per query.
+/// Queries may use different window lengths (sharing the bucket width);
+/// each keeps its own frontier and delta state, so windows of different
+/// widths advance independently off the same shard logs.
+///
+/// Every registered query's ranking is, by construction, **bit-identical**
+/// to a dedicated single-query engine (and to the batch Nested-Loop
+/// search over the same window): per-location presence scores do not
+/// depend on which other locations are evaluated alongside, and the
+/// merge accumulates per-object contributions in ascending object-id
+/// order with zero scores skipped, exactly as the batch search does.
+///
+/// # Registration
+///
+/// [`register`](ServeEngine::register) /
+/// [`unregister`](ServeEngine::unregister) may be called mid-stream.
+/// Registering a query whose locations grow the union drops the shard
+/// caches (counted in [`ServeStats::cache_resets`]); because shard logs
+/// are append-only, the next advance re-seals deterministically, so a
+/// query registered mid-stream returns exactly what it would have
+/// returned had it been registered from the start.
 ///
 /// # Failure contract
 ///
@@ -169,8 +264,8 @@ pub struct ServeStats {
 /// have sealed and evicted, others may not have — so instead of serving
 /// unpredictable results, every later `ingest`/`advance` returns
 /// [`FlowError::EngineUnavailable`]. Rejected inputs (late records,
-/// backwards advances) do **not** poison: they leave the engine
-/// untouched by design.
+/// backwards advances, unknown or invalid queries) do **not** poison:
+/// they leave the engine untouched by design.
 ///
 /// ```
 /// use std::sync::Arc;
@@ -178,7 +273,7 @@ pub struct ServeStats {
 /// use indoor_iupt::Timestamp;
 /// use indoor_model::fixtures::paper_figure1;
 /// use popflow_core::{ContinuousEngine, FlowConfig, QuerySet, WindowSpec};
-/// use popflow_serve::{ServeConfig, ServeEngine};
+/// use popflow_serve::{AdvanceStrategy, ServeConfig, ServeEngine};
 ///
 /// let fig = paper_figure1();
 /// let cfg = ServeConfig::new(
@@ -186,7 +281,7 @@ pub struct ServeStats {
 ///     QuerySet::new(fig.r.to_vec()),
 ///     WindowSpec::new(4_000, 2), // two 4-second buckets
 /// )
-/// .with_bound_pruning()
+/// .with_strategy(AdvanceStrategy::BoundPruned)
 /// .with_flow(FlowConfig::default().with_full_product_normalization());
 /// let mut engine = ServeEngine::new(Arc::new(fig.space.clone()), cfg);
 /// for r in paper_table2().to_records() {
@@ -200,7 +295,15 @@ pub struct ServeEngine {
     config: ServeConfig,
     pool: ShardPool<ShardWorker>,
     stats: ServeStats,
-    previous: Option<Vec<SLocId>>,
+    /// Registered queries in registration order. The first is the
+    /// *primary* query the single-query [`ContinuousEngine`] facade
+    /// reports for.
+    queries: Vec<Registered>,
+    /// Next [`QueryId`] to hand out; ids are never reused.
+    next_id: u64,
+    /// Union of every registered query's location set — what the shard
+    /// caches are computed against.
+    union: QuerySet,
     last_ingest: Option<Timestamp>,
     last_advance: Option<Timestamp>,
     /// Records must land at or after the sealed frontier: once a bucket
@@ -213,29 +316,39 @@ pub struct ServeEngine {
 }
 
 impl ServeEngine {
-    /// Spawns the shard worker pool. `space` is shared read-only with all
-    /// workers.
+    /// Spawns the shard worker pool and registers `config.queries` (in
+    /// order). `space` is shared read-only with all workers.
     pub fn new(space: Arc<IndoorSpace>, config: ServeConfig) -> Self {
         assert!(config.num_shards >= 1, "need at least one shard");
-        assert!(config.k >= 1, "k must be at least 1");
+        let flow = config.flow;
+        let bucket_millis = config.bucket_millis;
         let pool = ShardPool::new("popflow-shard", config.num_shards, |_| {
             ShardWorker::new(
                 Arc::clone(&space),
-                config.query_set.clone(),
-                config.flow,
-                config.spec,
+                QuerySet::new(Vec::new()),
+                flow,
+                bucket_millis,
             )
         });
-        ServeEngine {
+        let initial = config.queries.clone();
+        let mut engine = ServeEngine {
             config,
             pool,
             stats: ServeStats::default(),
-            previous: None,
+            queries: Vec::new(),
+            next_id: 0,
+            union: QuerySet::new(Vec::new()),
             last_ingest: None,
             last_advance: None,
             sealed_frontier_millis: None,
             poisoned: None,
+        };
+        for spec in initial {
+            engine
+                .register(spec)
+                .expect("construction-time queries were validated by with_query");
         }
+        engine
     }
 
     /// Cumulative serving counters.
@@ -243,7 +356,9 @@ impl ServeEngine {
         self.stats
     }
 
-    /// The engine configuration.
+    /// The engine configuration (as constructed; for the live query
+    /// registry see [`ServeEngine::query_ids`] and
+    /// [`ServeEngine::spec`]).
     pub fn config(&self) -> &ServeConfig {
         &self.config
     }
@@ -251,6 +366,101 @@ impl ServeEngine {
     /// Whether a failed advance has taken the engine out of service.
     pub fn is_poisoned(&self) -> bool {
         self.poisoned.is_some()
+    }
+
+    /// Registers a standing query mid-stream and returns its handle.
+    /// The spec's window must use the engine's bucket width
+    /// ([`FlowError::InvalidQuery`] otherwise). If the query's locations
+    /// grow the union of registered sets, shard caches reset and the
+    /// next advance re-seals from the append-only logs — making the
+    /// late-registered query's results identical to an engine that held
+    /// it from the start.
+    pub fn register(&mut self, spec: QuerySpec) -> Result<QueryId, FlowError> {
+        self.check_poisoned()?;
+        if spec.window.bucket_millis != self.config.bucket_millis {
+            return Err(FlowError::InvalidQuery {
+                detail: format!(
+                    "query bucket width {}ms does not match the engine's cache \
+                     granularity of {}ms",
+                    spec.window.bucket_millis, self.config.bucket_millis
+                ),
+            });
+        }
+        let id = QueryId(self.next_id);
+        self.next_id += 1;
+        self.queries.push(Registered {
+            id,
+            spec,
+            previous: None,
+        });
+        self.sync_union()?;
+        Ok(id)
+    }
+
+    /// Removes a registered query. Unknown (or already removed) handles
+    /// are rejected with [`FlowError::InvalidQuery`] and change nothing.
+    /// Shrinking the union keeps the shard caches — they are valid
+    /// supersets, sliced at merge time.
+    pub fn unregister(&mut self, id: QueryId) -> Result<(), FlowError> {
+        self.check_poisoned()?;
+        let Some(pos) = self.queries.iter().position(|r| r.id == id) else {
+            return Err(FlowError::InvalidQuery {
+                detail: format!("unknown {id}"),
+            });
+        };
+        self.queries.remove(pos);
+        self.sync_union()?;
+        Ok(())
+    }
+
+    /// Handles of the registered queries, in registration order.
+    pub fn query_ids(&self) -> Vec<QueryId> {
+        self.queries.iter().map(|r| r.id).collect()
+    }
+
+    /// The spec registered under `id`, if any.
+    pub fn spec(&self, id: QueryId) -> Option<&QuerySpec> {
+        self.queries.iter().find(|r| r.id == id).map(|r| &r.spec)
+    }
+
+    /// The most recent top-k of the query registered under `id`, if that
+    /// query has seen an advance.
+    pub fn current_for(&self, id: QueryId) -> Option<&[SLocId]> {
+        self.queries
+            .iter()
+            .find(|r| r.id == id)
+            .and_then(|r| r.previous.as_deref())
+    }
+
+    /// Recomputes the union of registered location sets and retargets
+    /// every shard at it. Growth forces a cache reset (cached
+    /// contributions were computed against the smaller union and would
+    /// be missing locations); shrinkage keeps the caches.
+    fn sync_union(&mut self) -> Result<(), FlowError> {
+        self.stats.registered_queries = self.queries.len() as u64;
+        let union: QuerySet = self
+            .queries
+            .iter()
+            .flat_map(|r| r.spec.query_set.slocs().iter().copied())
+            .collect();
+        if union == self.union {
+            return Ok(());
+        }
+        let grew = union.slocs().iter().any(|&s| !self.union.contains(s));
+        if grew {
+            self.stats.cache_resets += 1;
+        }
+        self.union = union.clone();
+        for shard in 0..self.pool.shards() {
+            let union = union.clone();
+            self.pool
+                .tell(shard, move |worker| worker.set_union(union, grew))
+                .map_err(|down| {
+                    let e = self.shard_down(down);
+                    self.poison(e)
+                })?;
+        }
+        Ok(())
     }
 
     /// Ingests a whole batch, stopping at the first rejected record.
@@ -309,191 +519,366 @@ impl ServeEngine {
         }
     }
 
-    /// The eager advance: every shard replies with its full window
-    /// contribution list in one round-trip
-    /// ([`ShardPool::ask_all`] — gathered in shard order).
+    /// Advances every registered query to `now` and returns one update
+    /// per query, in registration order. Buckets are sealed (and, under
+    /// bound pruning, candidate bounds collected) **once** across all
+    /// queries; per-query evaluation runs on top of the shared caches.
+    ///
+    /// `now` must be non-decreasing across calls, and at least one query
+    /// must be registered ([`FlowError::InvalidQuery`] otherwise — a
+    /// rejection, not a poisoning).
+    pub fn advance_all(
+        &mut self,
+        now: Timestamp,
+    ) -> Result<Vec<(QueryId, ContinuousUpdate)>, FlowError> {
+        self.check_poisoned()?;
+        if self.queries.is_empty() {
+            return Err(FlowError::InvalidQuery {
+                detail: "advance with no registered queries".to_string(),
+            });
+        }
+        if let Some(last) = self.last_advance {
+            if now < last {
+                return Err(FlowError::TimeRegression {
+                    last_millis: last.millis(),
+                    offending_millis: now.millis(),
+                });
+            }
+        }
+        self.last_advance = Some(now);
+
+        // All queries share the bucket width, so they share the end
+        // bucket; window lengths (and thus starts) differ per query.
+        let end_bucket = now.millis().div_euclid(self.config.bucket_millis) - 1;
+        let mut starts: Vec<i64> = self
+            .queries
+            .iter()
+            .map(|r| end_bucket - r.spec.window.window_buckets as i64 + 1)
+            .collect();
+        starts.sort_unstable();
+        starts.dedup();
+        let global_start = starts[0];
+
+        let result = match self.config.strategy {
+            AdvanceStrategy::Eager => self.advance_eager(global_start, end_bucket, &starts),
+            AdvanceStrategy::BoundPruned => self.advance_pruned(global_start, end_bucket, &starts),
+        };
+        // Buckets through `end_bucket` are now sealed engine-wide — even
+        // if a shard reported an error: some shards may have sealed
+        // their caches, and accepting a late record into a sealed bucket
+        // would silently corrupt every future window.
+        let frontier = (end_bucket + 1) * self.config.bucket_millis;
+        self.sealed_frontier_millis = Some(
+            self.sealed_frontier_millis
+                .unwrap_or(frontier)
+                .max(frontier),
+        );
+
+        let outcomes = match result {
+            Ok(outcomes) => outcomes,
+            Err(e) => return Err(self.poison(e)),
+        };
+        self.stats.advances += 1;
+
+        debug_assert_eq!(outcomes.len(), self.queries.len());
+        let mut updates = Vec::with_capacity(self.queries.len());
+        for (reg, outcome) in self.queries.iter_mut().zip(outcomes) {
+            let (_, window) = reg.spec.window.window_at(now);
+            let fresh = outcome.topk_slocs();
+            let (changed, entered, left) = diff_topk(reg.previous.as_deref(), &fresh);
+            reg.previous = Some(fresh);
+            updates.push((
+                reg.id,
+                ContinuousUpdate {
+                    outcome,
+                    changed,
+                    entered,
+                    left,
+                    window,
+                },
+            ));
+        }
+        Ok(updates)
+    }
+
+    /// The index into `starts` of the window a query of `window_buckets`
+    /// buckets evaluates this advance.
+    fn window_index(starts: &[i64], end_bucket: i64, window_buckets: usize) -> usize {
+        let start = end_bucket - window_buckets as i64 + 1;
+        starts
+            .binary_search(&start)
+            .expect("every query's window start was collected")
+    }
+
+    /// The eager advance: every shard seals once and replies with its
+    /// full contribution list for every requested window in one
+    /// round-trip ([`ShardPool::ask_all`] — gathered in shard order);
+    /// the coordinator merges each window once and slices the merged
+    /// union scores per query.
     fn advance_eager(
         &mut self,
-        window_start: i64,
+        global_start: i64,
         end_bucket: i64,
-    ) -> Result<QueryOutcome, FlowError> {
+        starts: &[i64],
+    ) -> Result<Vec<QueryOutcome>, FlowError> {
+        let request: Vec<i64> = starts.to_vec();
         let reports = self
             .pool
-            .ask_all(move |_, worker: &mut ShardWorker| worker.evaluate(window_start, end_bucket))
+            .ask_all(move |_, worker: &mut ShardWorker| {
+                worker.evaluate_multi(global_start, end_bucket, &request)
+            })
             .map_err(|down| self.shard_down(down))?;
         self.stats.log_bytes = 0;
         self.stats.intern_hits = 0;
         for report in &reports {
-            self.stats.cache_hits += report.cache_hits as u64;
-            self.stats.straddler_recomputes += report.straddlers as u64;
             self.stats.fresh_presence += report.fresh_presence as u64;
             self.stats.presence_cells += report.presence_cells as u64;
             self.stats.log_bytes += report.store.bytes as u64;
             self.stats.intern_hits += report.store.intern_hits;
-        }
-        self.merge_reports(reports)
-    }
-
-    /// Merges eager shard reports into the global ranking, accumulating
-    /// per-object contributions in ascending object-id order — the exact
-    /// order (and therefore the exact floating-point sums) of the batch
-    /// Nested-Loop search.
-    fn merge_reports(&self, reports: Vec<ShardReport>) -> Result<QueryOutcome, FlowError> {
-        let mut contributions: Vec<(ObjectId, Arc<ObjectContribution>)> = Vec::new();
-        let mut objects_total = 0;
-        let mut dp_fallback_objects = 0;
-        for report in reports {
-            if let Some(e) = report.error {
-                return Err(e);
+            for win in &report.windows {
+                self.stats.cache_hits += win.cache_hits as u64;
+                self.stats.straddler_recomputes += win.straddlers as u64;
             }
-            objects_total += report.objects_total;
-            contributions.extend(report.contributions);
         }
-        contributions.sort_unstable_by_key(|(oid, _)| *oid);
-
-        let mut global: HashMap<SLocId, f64> = self
-            .config
-            .query_set
-            .slocs()
+        let merged = self.merge_windows(reports, starts.len())?;
+        Ok(self
+            .queries
             .iter()
-            .map(|&s| (s, 0.0))
-            .collect();
-        let objects_computed = contributions.len();
-        for (_, contribution) in &contributions {
-            dp_fallback_objects += usize::from(contribution.dp_fallback);
-            contribution.add_to(&mut global);
-        }
-        let scores: Vec<(SLocId, f64)> = global.into_iter().collect();
-        Ok(QueryOutcome {
-            ranking: rank_topk(scores, self.config.k),
-            stats: SearchStats {
-                objects_total,
-                objects_computed,
-                dp_fallback_objects,
-            },
-        })
+            .map(|reg| {
+                let wi = Self::window_index(starts, end_bucket, reg.spec.window.window_buckets);
+                let (scores, stats) = &merged[wi];
+                // Slice the union-merged scores down to this query's
+                // locations. Per-location flows are query-independent,
+                // so the projection is bit-identical to a dedicated
+                // single-query merge.
+                let sliced: Vec<(SLocId, f64)> = reg
+                    .spec
+                    .query_set
+                    .slocs()
+                    .iter()
+                    .map(|&s| (s, scores.get(&s).copied().unwrap_or(0.0)))
+                    .collect();
+                QueryOutcome {
+                    ranking: rank_topk(sliced, reg.spec.k),
+                    stats: stats.clone(),
+                }
+            })
+            .collect())
     }
 
-    /// The bound-pruned lazy advance. Phase 1 collects per-location
-    /// candidate counts from every shard (cheap sealing — no presence
-    /// work); phase 2 runs the threshold loop, requesting exact
-    /// per-location contributions only while a location's merged COUNT
-    /// bound can still reach the k-th exact flow.
+    /// Merges eager shard reports into one global score map per window,
+    /// accumulating per-object contributions in ascending object-id
+    /// order — the exact order (and therefore the exact floating-point
+    /// sums) of the batch Nested-Loop search. The per-window
+    /// [`SearchStats`] describe the shared union evaluation and are
+    /// reported identically for every query using the window.
+    fn merge_windows(
+        &self,
+        reports: Vec<EagerReport>,
+        num_windows: usize,
+    ) -> Result<Vec<WindowScores>, FlowError> {
+        for report in &reports {
+            if let Some(e) = &report.error {
+                return Err(e.clone());
+            }
+        }
+        let mut merged = Vec::with_capacity(num_windows);
+        for wi in 0..num_windows {
+            let mut contributions: Vec<(ObjectId, Arc<ObjectContribution>)> = Vec::new();
+            let mut objects_total = 0;
+            let mut dp_fallback_objects = 0;
+            for report in &reports {
+                let win = &report.windows[wi];
+                objects_total += win.objects_total;
+                contributions.extend(win.contributions.iter().cloned());
+            }
+            contributions.sort_unstable_by_key(|(oid, _)| *oid);
+            let mut global: HashMap<SLocId, f64> =
+                self.union.slocs().iter().map(|&s| (s, 0.0)).collect();
+            let objects_computed = contributions.len();
+            for (_, contribution) in &contributions {
+                dp_fallback_objects += usize::from(contribution.dp_fallback);
+                contribution.add_to(&mut global);
+            }
+            merged.push((
+                global,
+                SearchStats {
+                    objects_total,
+                    objects_computed,
+                    dp_fallback_objects,
+                },
+            ));
+        }
+        Ok(merged)
+    }
+
+    /// The bound-pruned lazy advance. Phase 1 collects per-window
+    /// per-location candidate counts from every shard (cheap sealing —
+    /// no presence work); phase 2 runs one threshold loop per registered
+    /// query, requesting exact per-location contributions only while the
+    /// location's merged COUNT bound can still reach that query's k-th
+    /// exact flow. Exact flows are memoized per window, so a location
+    /// two queries share is evaluated once; at the shard level, scores
+    /// memoize in the bucket caches, shared across windows and slides.
     fn advance_pruned(
         &mut self,
-        window_start: i64,
+        global_start: i64,
         end_bucket: i64,
-    ) -> Result<QueryOutcome, FlowError> {
-        // ---- Phase 1: bounds. Per-shard replies (gathered in shard
-        // order) keep candidate lists attributable to the shard that
-        // owns the objects.
+        starts: &[i64],
+    ) -> Result<Vec<QueryOutcome>, FlowError> {
+        // ---- Phase 1: bounds, for every window at once. Per-shard
+        // replies (gathered in shard order) keep candidate lists
+        // attributable to the shard that owns the objects.
+        let request: Vec<i64> = starts.to_vec();
         let reports = self
             .pool
             .ask_all(move |_, worker: &mut ShardWorker| {
-                worker.advance_bounds(window_start, end_bucket)
+                worker.advance_bounds_multi(global_start, end_bucket, &request)
             })
             .map_err(|down| self.shard_down(down))?;
 
-        let mut counts: HashMap<SLocId, usize> = HashMap::new();
-        let mut per_shard: Vec<HashMap<SLocId, Vec<ObjectId>>> =
-            vec![HashMap::new(); self.pool.shards()];
-        let mut total_cells: u64 = 0;
-        let mut objects_total = 0;
+        let num_shards = self.pool.shards();
+        let mut windows: Vec<WindowState> = starts
+            .iter()
+            .map(|&start| WindowState {
+                start,
+                counts: HashMap::new(),
+                per_shard: vec![HashMap::new(); num_shards],
+                total_cells: 0,
+                requested_cells: 0,
+                objects_total: 0,
+                flows: HashMap::new(),
+                requested_objects: HashSet::new(),
+                dp_fallback_objects: HashSet::new(),
+            })
+            .collect();
         self.stats.log_bytes = 0;
         self.stats.intern_hits = 0;
         for (shard, report) in reports.into_iter().enumerate() {
-            objects_total += report.objects_total;
-            self.stats.straddler_recomputes += report.straddlers as u64;
             self.stats.log_bytes += report.store.bytes as u64;
             self.stats.intern_hits += report.store.intern_hits;
-            for (oid, relevant) in report.candidates {
-                total_cells += relevant.len() as u64;
-                for &q in &relevant {
-                    *counts.entry(q).or_insert(0) += 1;
-                    per_shard[shard].entry(q).or_default().push(oid);
+            for (wi, win) in report.windows.into_iter().enumerate() {
+                let state = &mut windows[wi];
+                state.objects_total += win.objects_total;
+                self.stats.straddler_recomputes += win.straddlers as u64;
+                for (oid, relevant) in win.candidates {
+                    state.total_cells += relevant.len() as u64;
+                    for &q in &relevant {
+                        *state.counts.entry(q).or_insert(0) += 1;
+                        state.per_shard[shard].entry(q).or_default().push(oid);
+                    }
                 }
             }
         }
 
-        // ---- Phase 2: the threshold loop (Algorithm 4's heap loop over
-        // per-location COUNT bounds). Zero-candidate locations have an
-        // exactly-zero flow with no work at all.
-        let mut heap = ThresholdHeap::new();
-        for &sloc in self.config.query_set.slocs() {
-            match counts.get(&sloc).copied().unwrap_or(0) {
-                0 => heap.push_exact(sloc, 0.0),
-                candidates => heap.push_bound(LocationBound { sloc, candidates }),
-            }
-        }
-        let k_eff = self.config.k.min(self.config.query_set.len());
-        let mut finals: Vec<(SLocId, f64)> = Vec::with_capacity(k_eff);
+        // ---- Phase 2: one threshold loop per query (Algorithm 4's heap
+        // loop over per-location COUNT bounds), in registration order.
+        // Zero-candidate locations have an exactly-zero flow with no
+        // work at all; locations another query already finalized are
+        // free.
         let mut work = PrunedWork::default();
-        while finals.len() < k_eff {
-            match heap.pop() {
-                None => break,
-                Some(ThresholdStep::Finalize(sloc, flow)) => finals.push((sloc, flow)),
-                Some(ThresholdStep::Evaluate(sloc)) => {
-                    let flow = self.evaluate_location(sloc, &per_shard, &mut work)?;
+        let mut outcomes = Vec::with_capacity(self.queries.len());
+        for qi in 0..self.queries.len() {
+            let spec = self.queries[qi].spec.clone();
+            let wi = Self::window_index(starts, end_bucket, spec.window.window_buckets);
+            let mut heap = ThresholdHeap::new();
+            for &sloc in spec.query_set.slocs() {
+                if let Some(&flow) = windows[wi].flows.get(&sloc) {
                     heap.push_exact(sloc, flow);
+                } else {
+                    match windows[wi].counts.get(&sloc).copied().unwrap_or(0) {
+                        0 => heap.push_exact(sloc, 0.0),
+                        candidates => heap.push_bound(LocationBound { sloc, candidates }),
+                    }
                 }
             }
+            let k_eff = spec.k_eff();
+            let mut finals: Vec<(SLocId, f64)> = Vec::with_capacity(k_eff);
+            while finals.len() < k_eff {
+                match heap.pop() {
+                    None => break,
+                    Some(ThresholdStep::Finalize(sloc, flow)) => finals.push((sloc, flow)),
+                    Some(ThresholdStep::Evaluate(sloc)) => {
+                        let state = &mut windows[wi];
+                        let flow = Self::evaluate_location(
+                            &self.pool,
+                            &mut self.stats,
+                            sloc,
+                            state,
+                            &mut work,
+                        )?;
+                        state.flows.insert(sloc, flow);
+                        heap.push_exact(sloc, flow);
+                    }
+                }
+            }
+            outcomes.push(QueryOutcome {
+                ranking: rank_topk(finals, spec.k),
+                stats: SearchStats {
+                    objects_total: windows[wi].objects_total,
+                    objects_computed: windows[wi].requested_objects.len(),
+                    dp_fallback_objects: windows[wi].dp_fallback_objects.len(),
+                },
+            });
         }
-        self.stats.presence_skipped += total_cells - work.requested_cells;
-        // An object evaluated for several locations across round-trips
-        // still counts once toward the per-object presence stat.
+        for state in &windows {
+            self.stats.presence_skipped += state.total_cells - state.requested_cells;
+        }
+        // An object evaluated for several locations (or queries) across
+        // round-trips still counts once toward the per-object presence
+        // stat.
         self.stats.fresh_presence += work.fresh_objects.len() as u64;
-
-        Ok(QueryOutcome {
-            ranking: rank_topk(finals, self.config.k),
-            stats: SearchStats {
-                objects_total,
-                objects_computed: work.requested_objects.len(),
-                dp_fallback_objects: work.dp_fallback_objects.len(),
-            },
-        })
+        Ok(outcomes)
     }
 
     /// One lazy round-trip: asks every shard holding candidates for
-    /// `sloc` for their exact contributions, then accumulates the flow in
-    /// ascending object-id order — the identical floating-point sum the
-    /// eager merge (and the batch Nested-Loop search) produces.
+    /// `sloc` in the window for their exact contributions, then
+    /// accumulates the flow in ascending object-id order — the identical
+    /// floating-point sum the eager merge (and the batch Nested-Loop
+    /// search) produces. An associated function over split borrows: the
+    /// caller holds `&mut` window state across the call.
     fn evaluate_location(
-        &mut self,
+        pool: &ShardPool<ShardWorker>,
+        stats: &mut ServeStats,
         sloc: SLocId,
-        per_shard: &[HashMap<SLocId, Vec<ObjectId>>],
+        state: &mut WindowState,
         work: &mut PrunedWork,
     ) -> Result<f64, FlowError> {
+        let window_start = state.start;
         let mut replies: Vec<Reply<EvalReport>> = Vec::new();
-        for (shard, candidates) in per_shard.iter().enumerate() {
+        for (shard, candidates) in state.per_shard.iter().enumerate() {
             if let Some(oids) = candidates.get(&sloc) {
                 let oids = oids.clone();
-                let reply = self
-                    .pool
+                let reply = pool
                     .ask(shard, move |worker: &mut ShardWorker| {
-                        worker.evaluate_lazy(&[sloc], &oids)
+                        worker.evaluate_lazy(window_start, &[sloc], &oids)
                     })
-                    .map_err(|down| self.shard_down(down))?;
+                    .map_err(|down| FlowError::EngineUnavailable {
+                        detail: down.to_string(),
+                    })?;
                 replies.push(reply);
             }
         }
         let mut contributions: Vec<(ObjectId, ObjectContribution)> = Vec::new();
         for reply in replies {
-            let mut report = reply.recv().map_err(|down| self.shard_down(down))?;
+            let mut report = reply.recv().map_err(|down| FlowError::EngineUnavailable {
+                detail: down.to_string(),
+            })?;
             if let Some(e) = report.error {
                 return Err(e);
             }
-            self.stats.presence_cells += report.evaluated_cells as u64;
-            self.stats.cache_hits += report.cached_cells as u64;
+            stats.presence_cells += report.evaluated_cells as u64;
+            stats.cache_hits += report.cached_cells as u64;
             work.fresh_objects.extend(report.evaluated_oids);
-            work.requested_cells += (report.evaluated_cells + report.cached_cells) as u64;
+            state.requested_cells += (report.evaluated_cells + report.cached_cells) as u64;
             contributions.append(&mut report.contributions);
         }
         contributions.sort_unstable_by_key(|(oid, _)| *oid);
         let mut flow = 0.0f64;
         for (oid, contribution) in &contributions {
-            work.requested_objects.insert(*oid);
+            state.requested_objects.insert(*oid);
             if contribution.dp_fallback {
-                work.dp_fallback_objects.insert(*oid);
+                state.dp_fallback_objects.insert(*oid);
             }
             for (&q, &score) in contribution.relevant.iter().zip(&contribution.scores) {
                 debug_assert_eq!(q, sloc);
@@ -534,54 +919,27 @@ impl ContinuousEngine for ServeEngine {
         Ok(())
     }
 
+    /// The single-query facade over [`ServeEngine::advance_all`]: every
+    /// registered query advances, and the **primary** (first-registered)
+    /// query's update is returned.
     fn advance(&mut self, now: Timestamp) -> Result<ContinuousUpdate, FlowError> {
-        self.check_poisoned()?;
-        if let Some(last) = self.last_advance {
-            if now < last {
-                return Err(FlowError::TimeRegression {
-                    last_millis: last.millis(),
-                    offending_millis: now.millis(),
-                });
-            }
-        }
-        self.last_advance = Some(now);
-        let (end_bucket, window) = self.config.spec.window_at(now);
-        let window_start = end_bucket - self.config.spec.window_buckets as i64 + 1;
-
-        let result = match self.config.strategy {
-            AdvanceStrategy::Eager => self.advance_eager(window_start, end_bucket),
-            AdvanceStrategy::BoundPruned => self.advance_pruned(window_start, end_bucket),
-        };
-        // Buckets through `end_bucket` are now sealed engine-wide — even
-        // if a shard reported an error: some shards may have sealed
-        // their caches, and accepting a late record into a sealed bucket
-        // would silently corrupt every future window.
-        let frontier = (end_bucket + 1) * self.config.spec.bucket_millis;
-        self.sealed_frontier_millis = Some(
-            self.sealed_frontier_millis
-                .unwrap_or(frontier)
-                .max(frontier),
-        );
-
-        let outcome = match result {
-            Ok(outcome) => outcome,
-            Err(e) => return Err(self.poison(e)),
-        };
-        self.stats.advances += 1;
-        let fresh = outcome.topk_slocs();
-        let (changed, entered, left) = diff_topk(self.previous.as_deref(), &fresh);
-        self.previous = Some(fresh);
-        Ok(ContinuousUpdate {
-            outcome,
-            changed,
-            entered,
-            left,
-            window,
-        })
+        let primary =
+            self.queries
+                .first()
+                .map(|r| r.id)
+                .ok_or_else(|| FlowError::InvalidQuery {
+                    detail: "advance with no registered queries".to_string(),
+                })?;
+        let updates = self.advance_all(now)?;
+        Ok(updates
+            .into_iter()
+            .find(|(id, _)| *id == primary)
+            .expect("advance_all returns an update per registered query")
+            .1)
     }
 
     fn current(&self) -> Option<&[SLocId]> {
-        self.previous.as_deref()
+        self.queries.first().and_then(|r| r.previous.as_deref())
     }
 }
 

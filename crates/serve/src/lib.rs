@@ -1,10 +1,11 @@
-//! `popflow-serve` — sharded streaming ingestion and incremental
+//! `popflow-serve` — sharded streaming ingestion and multi-query
 //! continuous top-k serving for indoor flow queries.
 //!
 //! The batch algorithms in `popflow-core` answer one Top-k Popular
 //! Location Query at a time; the paper's §7 names the *online and
 //! continuous* version as the open direction. This crate is that
-//! direction taken to a serving shape:
+//! direction taken to a serving shape: a **query registry** of standing
+//! [`QuerySpec`]s evaluated off one shared, sharded record stream.
 //!
 //! ```text
 //!            records (time-ordered stream)
@@ -14,13 +15,14 @@
 //!   shard worker 0  shard worker 1 … shard worker N-1   (std::thread + mpsc)
 //!   ┌───────────┐   ┌───────────┐
 //!   │ IUPT part │   │ IUPT part │   per-object records, own TimeIndex
-//!   │ buckets:  │   │ buckets:  │   sealed buckets cache per-object
-//!   │ [b₀][b₁]… │   │ [b₀][b₁]… │   window state (positions into the log)
-//!   └─────┬─────┘   └─────┬─────┘
+//!   │ buckets:  │   │ buckets:  │   ONE sealed-bucket cache per shard,
+//!   │ [b₀][b₁]… │   │ [b₀][b₁]… │   computed against the UNION of all
+//!   └─────┬─────┘   └─────┬─────┘   registered location sets
 //!         └───────┬───────┘
-//!                 ▼  advance(now)
-//!     eager: merge contributions by object id → rank_topk
-//!     pruned: COUNT bounds → threshold loop → lazy exact evaluation
+//!                 ▼  advance_all(now): seal once, evaluate every query
+//!     eager: merge union contributions by object id → slice per query
+//!     pruned: COUNT bounds → one threshold loop per query over shared
+//!             lazy score caches
 //! ```
 //!
 //! * **Ingestion** partitions records by object across worker threads;
@@ -32,6 +34,18 @@
 //!   stable `u32` log positions, and
 //!   [`ServeStats::log_bytes`]/[`ServeStats::intern_hits`] report the
 //!   resident footprint per advance.
+//! * **Queries are registry entries, not construction parameters.** A
+//!   [`QuerySpec`]`{ k, query_set, window }` is registered with
+//!   [`ServeEngine::register`] (mid-stream is fine) and removed with
+//!   [`ServeEngine::unregister`]; [`ServeEngine::advance_all`] evaluates
+//!   every registered query per slide. All queries must share the
+//!   engine's bucket width (the cache granularity), but their window
+//!   *lengths* may differ — each query keeps its own window frontier, so
+//!   windows of different widths advance independently off the same
+//!   shard logs. Sealing work is paid once against the union of
+//!   registered location sets; per-query results slice the shared union
+//!   contributions, so N overlapping queries cost far less than N
+//!   engines ([`ServeStats::presence_cells`] measures exactly this).
 //! * **The sliding window is bucketed** ([`popflow_core::WindowSpec`]):
 //!   a slide evicts expired buckets and seals newly completed ones
 //!   instead of recomputing history. A bucket seals only once its final
@@ -40,28 +54,35 @@
 //!   while anything at or after the sealed frontier is accepted.
 //! * **Evaluation is incremental but exact**, with two strategies
 //!   ([`AdvanceStrategy`]). *Eager* advances cache every sealed object's
-//!   full contribution and merge them per slide. *Bound-pruned* advances
-//!   ([`ServeConfig::with_bound_pruning`]) lift the paper's §4.2 COUNT
-//!   upper bound to the serving path: sealing only records PSL candidate
-//!   lists, the coordinator merges per-location candidate counts into
-//!   flow bounds across shards, and a best-first threshold loop requests
-//!   exact per-location contributions lazily — locations whose bound
-//!   never reaches the k-th exact flow skip their presence computations
-//!   entirely (`presence_skipped` in [`ServeStats`]). Both strategies
-//!   evaluate through the same per-object kernel
-//!   ([`popflow_core::object_flow_contributions`]) in the same
-//!   object-id order, so every advance reports *bit-identical* top-k
-//!   sets and flows to a batch recomputation over the same window.
+//!   full union contribution and merge them per slide.
+//!   *Bound-pruned* advances ([`AdvanceStrategy::BoundPruned`]) lift the
+//!   paper's §4.2 COUNT upper bound to the serving path: sealing only
+//!   records PSL candidate lists, the coordinator merges per-location
+//!   candidate counts into flow bounds across shards, and a best-first
+//!   threshold loop per query requests exact per-location contributions
+//!   lazily — locations whose bound never reaches the k-th exact flow
+//!   skip their presence computations entirely (`presence_skipped` in
+//!   [`ServeStats`]). Both strategies evaluate through the same
+//!   per-object kernel ([`popflow_core::object_flow_contributions`]) in
+//!   the same object-id order, so every registered query's advance
+//!   reports *bit-identical* top-k sets and flows to a batch
+//!   recomputation — and to a dedicated single-query engine — over the
+//!   same window.
 //!
 //! The recompute-per-slide baseline lives in `popflow-core`
 //! ([`popflow_core::RecomputeEngine`]); all engines implement
-//! [`popflow_core::ContinuousEngine`] and are compared head-to-head by
-//! the `streaming` experiment and `serve_demo` example in `popflow-eval`.
+//! [`popflow_core::ContinuousEngine`] (for a [`ServeEngine`], the
+//! single-query facade reporting its first-registered query) and are
+//! compared head-to-head by the `streaming` experiment and `serve_demo`
+//! example in `popflow-eval`.
 
 mod engine;
 mod shard;
 
 pub use engine::{AdvanceStrategy, ServeConfig, ServeEngine, ServeStats};
+// The registry vocabulary lives in `popflow-core` (the `RecomputeEngine`
+// baseline shares it); re-exported so serving call sites need one import.
+pub use popflow_core::{QueryId, QuerySpec};
 
 #[cfg(test)]
 mod tests {
@@ -130,7 +151,9 @@ mod tests {
         let mut serve = ServeEngine::new(Arc::clone(&space), serve_cfg.clone());
         let mut pruned = ServeEngine::new(
             Arc::clone(&space),
-            serve_cfg.with_shards(2).with_bound_pruning(),
+            serve_cfg
+                .with_shards(2)
+                .with_strategy(AdvanceStrategy::BoundPruned),
         );
         let mut batch =
             RecomputeEngine::new(Arc::clone(&space), 3, QuerySet::new(slocs), spec, flow);
@@ -353,5 +376,220 @@ mod tests {
             "re-advance recomputed cached cells: {stats:?}"
         );
         assert!(stats.cache_hits > 0);
+    }
+
+    /// A query registered mid-stream returns, from its first advance on,
+    /// results bit-identical to a dedicated engine that held it from the
+    /// start: growing the union resets the shard caches, and re-sealing
+    /// from the append-only logs is deterministic.
+    #[test]
+    fn register_mid_stream_matches_dedicated_from_start() {
+        let world = World::generate(Scenario::tiny().with_seed(11));
+        let space = Arc::new(world.space.clone());
+        let slocs: Vec<_> = world.space.slocs().iter().map(|s| s.id).collect();
+        let split = slocs.len() * 2 / 3;
+        let set_a = QuerySet::new(slocs[..split].to_vec());
+        // Overlaps A and adds locations beyond it, so registering B
+        // grows the union.
+        let set_b = QuerySet::new(slocs[slocs.len() / 3..].to_vec());
+        let spec = WindowSpec::new(30_000, 3);
+        let records: Vec<Record> = world.iupt.to_records();
+
+        for strategy in [AdvanceStrategy::Eager, AdvanceStrategy::BoundPruned] {
+            let base = ServeConfig::with_buckets(30_000)
+                .with_shards(2)
+                .with_strategy(strategy);
+            let mut registry = ServeEngine::new(
+                Arc::clone(&space),
+                base.clone()
+                    .with_query(QuerySpec::new(2, set_a.clone(), spec)),
+            );
+            let resets_before = registry.stats().cache_resets;
+            let mut dedicated = ServeEngine::new(
+                Arc::clone(&space),
+                base.clone()
+                    .with_query(QuerySpec::new(3, set_b.clone(), spec)),
+            );
+            let mut next = 0usize;
+            let mut b_id = None;
+            for slide in 1..=8 {
+                let now = Timestamp::from_secs(slide * 40);
+                while next < records.len() && records[next].t <= now {
+                    registry.ingest(records[next].clone()).unwrap();
+                    dedicated.ingest(records[next].clone()).unwrap();
+                    next += 1;
+                }
+                if slide == 4 {
+                    b_id = Some(
+                        registry
+                            .register(QuerySpec::new(3, set_b.clone(), spec))
+                            .unwrap(),
+                    );
+                    assert!(
+                        registry.stats().cache_resets > resets_before,
+                        "a union-growing registration must reset"
+                    );
+                    assert_eq!(registry.stats().registered_queries, 2);
+                }
+                let updates = registry.advance_all(now).unwrap();
+                let d = dedicated.advance(now).unwrap();
+                if let Some(id) = b_id {
+                    let (_, b) = updates.iter().find(|(i, _)| *i == id).unwrap();
+                    assert_eq!(b.window, d.window, "{strategy:?} slide {slide}");
+                    assert_eq!(
+                        b.outcome.ranking.len(),
+                        d.outcome.ranking.len(),
+                        "{strategy:?} slide {slide}"
+                    );
+                    for (x, y) in b.outcome.ranking.iter().zip(d.outcome.ranking.iter()) {
+                        assert_eq!(x.sloc, y.sloc, "{strategy:?} slide {slide}");
+                        assert_eq!(
+                            x.flow.to_bits(),
+                            y.flow.to_bits(),
+                            "{strategy:?} slide {slide}"
+                        );
+                    }
+                    assert_eq!(
+                        registry.current_for(id).unwrap(),
+                        dedicated.current().unwrap(),
+                        "{strategy:?} slide {slide}"
+                    );
+                }
+            }
+            // Unregistering B keeps serving A; its handle goes stale and
+            // is rejected (not ignored) from then on.
+            let id = b_id.unwrap();
+            registry.unregister(id).unwrap();
+            assert_eq!(registry.stats().registered_queries, 1);
+            assert!(registry.current_for(id).is_none());
+            assert!(matches!(
+                registry.unregister(id),
+                Err(FlowError::InvalidQuery { .. })
+            ));
+            assert!(!registry.is_poisoned());
+            registry.advance_all(Timestamp::from_secs(400)).unwrap();
+        }
+    }
+
+    /// Two registered queries with different window widths advance out
+    /// of lockstep — same end bucket, different starts — and each stays
+    /// bit-identical to a dedicated engine of its width.
+    #[test]
+    fn different_window_widths_advance_out_of_lockstep() {
+        let world = World::generate(Scenario::tiny().with_seed(7));
+        let space = Arc::new(world.space.clone());
+        let slocs: Vec<_> = world.space.slocs().iter().map(|s| s.id).collect();
+        let qs = QuerySet::new(slocs);
+        let narrow = QuerySpec::new(2, qs.clone(), WindowSpec::new(30_000, 2));
+        let wide = QuerySpec::new(2, qs.clone(), WindowSpec::new(30_000, 5));
+        let records: Vec<Record> = world.iupt.to_records();
+
+        for strategy in [AdvanceStrategy::Eager, AdvanceStrategy::BoundPruned] {
+            let base = ServeConfig::with_buckets(30_000)
+                .with_shards(2)
+                .with_strategy(strategy);
+            let mut registry = ServeEngine::new(
+                Arc::clone(&space),
+                base.clone()
+                    .with_query(narrow.clone())
+                    .with_query(wide.clone()),
+            );
+            let ids = registry.query_ids();
+            assert_eq!(ids.len(), 2);
+            let mut narrow_only =
+                ServeEngine::new(Arc::clone(&space), base.clone().with_query(narrow.clone()));
+            let mut wide_only =
+                ServeEngine::new(Arc::clone(&space), base.clone().with_query(wide.clone()));
+            let mut next = 0usize;
+            for slide in 1..=8 {
+                let now = Timestamp::from_secs(slide * 40);
+                while next < records.len() && records[next].t <= now {
+                    registry.ingest(records[next].clone()).unwrap();
+                    narrow_only.ingest(records[next].clone()).unwrap();
+                    wide_only.ingest(records[next].clone()).unwrap();
+                    next += 1;
+                }
+                let updates = registry.advance_all(now).unwrap();
+                let n = updates.iter().find(|(i, _)| *i == ids[0]).unwrap();
+                let w = updates.iter().find(|(i, _)| *i == ids[1]).unwrap();
+                // Out of lockstep: same end, different start.
+                assert_eq!(n.1.window.end, w.1.window.end, "{strategy:?} slide {slide}");
+                assert!(
+                    n.1.window.start > w.1.window.start,
+                    "{strategy:?} slide {slide}: the narrow window must trail the wide one"
+                );
+                for (got, reference) in [
+                    (&n.1, narrow_only.advance(now).unwrap()),
+                    (&w.1, wide_only.advance(now).unwrap()),
+                ] {
+                    assert_eq!(got.window, reference.window, "{strategy:?} slide {slide}");
+                    for (x, y) in got
+                        .outcome
+                        .ranking
+                        .iter()
+                        .zip(reference.outcome.ranking.iter())
+                    {
+                        assert_eq!(x.sloc, y.sloc, "{strategy:?} slide {slide}");
+                        assert_eq!(
+                            x.flow.to_bits(),
+                            y.flow.to_bits(),
+                            "{strategy:?} slide {slide}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Registry rejections (no queries, mismatched bucket width, stale
+    /// handles) are rejections — the engine keeps serving afterwards.
+    #[test]
+    fn registry_rejections_do_not_poison() {
+        let fig = paper_figure1();
+        let mut engine = ServeEngine::new(
+            Arc::new(fig.space.clone()),
+            ServeConfig::with_buckets(1_000).with_shards(2),
+        );
+        engine.ingest_all(paper_table2().to_records()).unwrap();
+        // No registered queries: an advance has nothing to evaluate.
+        let err = engine.advance(Timestamp(5_000)).unwrap_err();
+        assert!(matches!(err, FlowError::InvalidQuery { .. }));
+        let err = engine.advance_all(Timestamp(5_000)).unwrap_err();
+        assert!(matches!(err, FlowError::InvalidQuery { .. }));
+        // A spec with the wrong bucket width cannot share the caches.
+        let err = engine
+            .register(QuerySpec::new(
+                2,
+                QuerySet::new(fig.r.to_vec()),
+                WindowSpec::new(2_000, 2),
+            ))
+            .unwrap_err();
+        assert!(matches!(err, FlowError::InvalidQuery { .. }));
+        assert!(!engine.is_poisoned());
+        // After a valid registration the engine serves normally — the
+        // records ingested while the registry was empty are all visible.
+        let id = engine
+            .register(QuerySpec::new(
+                2,
+                QuerySet::new(fig.r.to_vec()),
+                WindowSpec::new(1_000, 8),
+            ))
+            .unwrap();
+        assert_eq!(engine.spec(id).unwrap().k, 2);
+        let update = engine.advance(Timestamp(8_999)).unwrap();
+        assert_eq!(update.outcome.ranking.len(), 2);
+        assert_eq!(engine.current_for(id).unwrap(), update.outcome.topk_slocs());
+    }
+
+    /// The deprecated builder still compiles and still means
+    /// bound-pruned advances.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_bound_pruning_builder_still_works() {
+        let fig = paper_figure1();
+        let cfg = ServeConfig::new(2, QuerySet::new(fig.r.to_vec()), WindowSpec::new(1_000, 2))
+            .with_bound_pruning();
+        assert_eq!(cfg.strategy, AdvanceStrategy::BoundPruned);
+        assert_eq!(cfg.queries.len(), 1);
     }
 }

@@ -1,12 +1,17 @@
 //! The shard worker: one thread owning one object-partition of the
 //! positioning log, its bucket caches, and the per-advance evaluation of
-//! its objects.
+//! its objects — for every query registered with the engine at once.
 //!
 //! # Caching scheme
 //!
 //! Sealed buckets cache per-object state keyed by record *positions* into
-//! the shard's append-only log (no sample sets are cloned out of it). At
-//! advance time the window's flow decomposes per object:
+//! the shard's append-only log (no sample sets are cloned out of it).
+//! There is ONE bucket cache per shard, keyed by `(bucket, object)` and
+//! computed against the **union** of all registered queries' location
+//! sets: per-bucket per-object contributions are query-independent up to
+//! the location subset, so N registered queries share one sealing pass
+//! and the coordinator slices the union contributions per query. At
+//! advance time each requested window's flow decomposes per object:
 //!
 //! * an object whose windowed records all fall in **one** bucket
 //!   contributes exactly its cached bucket contribution — presence over
@@ -17,45 +22,64 @@
 //!   worker recomputes it exactly over the full windowed sequence via the
 //!   same [`object_flow_contributions`] kernel the batch search uses.
 //!
+//! Because queries may have different window widths, one advance asks for
+//! several windows at once (one per distinct width, all ending at the
+//! same sealed bucket): sealing and eviction happen once over the widest
+//! window, then each requested window is assembled from the shared
+//! caches.
+//!
 //! # Two evaluation protocols
 //!
-//! The **eager** protocol ([`ShardWorker::evaluate`]) computes every
-//! sealed object's full contribution at seal time and replies with the
-//! shard's complete window contribution list — PR 2's behaviour.
+//! The **eager** protocol ([`ShardWorker::evaluate_multi`]) computes
+//! every sealed object's full union contribution at seal time and
+//! replies with each requested window's complete contribution list.
 //!
 //! The **bound-pruned** protocol splits an advance into two phases.
-//! [`ShardWorker::advance_bounds`] seals buckets *cheaply*: only each
-//! object's record positions and PSL candidate list (`Q ∩ psls`, a scan —
-//! no presence computation) are recorded, and the reply carries the
-//! shard's per-object candidate lists so the coordinator can build COUNT
-//! flow bounds per location. [`ShardWorker::evaluate_lazy`] then serves
-//! exact per-location contributions lazily, only for the (location,
-//! object) pairs the coordinator's threshold loop could not prune;
-//! computed scores are memoized in the bucket caches, so a location
-//! evaluated on one slide is free on the next while its bucket stays in
-//! the window.
+//! [`ShardWorker::advance_bounds_multi`] seals buckets *cheaply*: only
+//! each object's record positions and PSL candidate list (`Q∪ ∩ psls`, a
+//! scan — no presence computation) are recorded, and the reply carries
+//! per-window per-object candidate lists so the coordinator can build
+//! COUNT flow bounds per location. [`ShardWorker::evaluate_lazy`] then
+//! serves exact per-location contributions lazily, only for the
+//! (location, object) pairs no registered query's threshold loop could
+//! prune; computed scores are memoized in the bucket caches, so a
+//! location evaluated for one query (or one slide) is free for every
+//! other query whose window still contains the bucket.
+//!
+//! # Registration changes
+//!
+//! [`ShardWorker::set_union`] retargets the shard at a new union set.
+//! When the union *grows*, cached contributions and candidate lists are
+//! stale (they were computed against the smaller set), so the engine
+//! requests a cache reset; the append-only log then re-seals the
+//! in-window buckets on the next advance, deterministically — which is
+//! why a query registered mid-stream still gets results bit-identical to
+//! an engine that held it from the start. A *shrunk* union keeps the
+//! caches: they are valid supersets, sliced at merge time.
 //!
 //! The worker owns no thread of its own: the engine runs one
 //! [`ShardWorker`] per shard inside a [`popflow_exec::ShardPool`], whose
 //! FIFO job queues give exactly the ordering the protocols rely on — an
-//! ingest routed before an advance is always sealed by it.
+//! ingest or registration routed before an advance is always reflected
+//! by it.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-use indoor_iupt::{Iupt, ObjectId, Record, StoreStats};
+use indoor_iupt::{Iupt, ObjectId, Record, StoreStats, TimeInterval, Timestamp};
 use indoor_model::{IndoorSpace, SLocId};
 use popflow_core::{
     intersect_sorted, object_flow_contributions, object_flow_contributions_for, scan_psls,
-    FlowConfig, FlowError, ObjectContribution, QuerySet, WindowSpec,
+    FlowConfig, FlowError, ObjectContribution, QuerySet,
 };
 
-/// One shard's answer to an eager `Advance`.
-pub(crate) struct ShardReport {
-    /// Non-pruned objects in the window with their contributions,
-    /// ascending by object id. `Arc` because cached contributions are
-    /// shared with the bucket caches across many advances — a window
-    /// object costs one refcount bump per slide, not two `Vec` clones.
+/// One window's slice of an eager advance reply.
+pub(crate) struct WindowEval {
+    /// Non-pruned objects in the window with their **union**
+    /// contributions, ascending by object id. `Arc` because cached
+    /// contributions are shared with the bucket caches across many
+    /// advances — a window object costs one refcount bump per slide, not
+    /// two `Vec` clones.
     pub contributions: Vec<(ObjectId, Arc<ObjectContribution>)>,
     /// Distinct objects with records in the window (including pruned).
     pub objects_total: usize,
@@ -63,8 +87,14 @@ pub(crate) struct ShardReport {
     pub cache_hits: usize,
     /// Objects recomputed exactly because their records straddle buckets.
     pub straddlers: usize,
+}
+
+/// One shard's answer to an eager advance: one [`WindowEval`] per
+/// requested window start, in request order, over caches sealed once.
+pub(crate) struct EagerReport {
+    pub windows: Vec<WindowEval>,
     /// Presence computations performed during this advance (bucket
-    /// sealing + straddlers), counted per object.
+    /// sealing + straddlers across all windows), counted per object.
     pub fresh_presence: usize,
     /// The same work counted per (object, location) cell — the unit the
     /// bound-pruned protocol prunes at.
@@ -76,11 +106,11 @@ pub(crate) struct ShardReport {
     pub error: Option<FlowError>,
 }
 
-/// Phase-1 reply of the bound-pruned advance: who is in the window and
-/// which query locations each object could contribute to. No presence
-/// has been computed yet — sealing was a PSL scan.
-pub(crate) struct BoundsReport {
-    /// `(oid, Q ∩ psls)` per candidate window object (objects with an
+/// One window's slice of a phase-1 bounds reply: who is in the window
+/// and which union locations each object could contribute to. No
+/// presence has been computed yet — sealing was a PSL scan.
+pub(crate) struct WindowBounds {
+    /// `(oid, Q∪ ∩ psls)` per candidate window object (objects with an
     /// empty candidate list are omitted), ascending by object id.
     pub candidates: Vec<(ObjectId, Vec<SLocId>)>,
     /// Distinct objects with records in the window (including
@@ -88,6 +118,12 @@ pub(crate) struct BoundsReport {
     pub objects_total: usize,
     /// Window objects whose records straddle bucket boundaries.
     pub straddlers: usize,
+}
+
+/// Phase-1 reply of the bound-pruned advance, one [`WindowBounds`] per
+/// requested window start, in request order.
+pub(crate) struct BoundsReport {
+    pub windows: Vec<WindowBounds>,
     /// Footprint/interner accounting of this shard's log, as of this
     /// advance.
     pub store: StoreStats,
@@ -99,8 +135,8 @@ pub(crate) struct EvalReport {
     pub contributions: Vec<(ObjectId, ObjectContribution)>,
     /// (object, location) cells freshly evaluated by this request.
     pub evaluated_cells: usize,
-    /// Cells served from lazily-filled caches (evaluated on an earlier
-    /// slide for a bucket still in the window).
+    /// Cells served from lazily-filled caches (evaluated for an earlier
+    /// query or slide, for a bucket still in some window).
     pub cached_cells: usize,
     /// Objects that paid at least one fresh presence evaluation in this
     /// request. The coordinator deduplicates across the advance's
@@ -117,13 +153,14 @@ struct CachedObject {
     /// the log is append-only, so positions are stable and the cache
     /// never duplicates sample sets.
     records: Vec<u32>,
-    /// Eager sealing: the bucket-local contribution (`None` when
+    /// Eager sealing: the bucket-local union contribution (`None` when
     /// PSL-pruned). Untouched by the bound-pruned protocol.
     contribution: Option<Arc<ObjectContribution>>,
-    /// Cheap sealing: the bucket-local candidate list `Q ∩ psls`,
+    /// Cheap sealing: the bucket-local candidate list `Q∪ ∩ psls`,
     /// ascending. Untouched by the eager protocol.
     relevant: Vec<SLocId>,
-    /// Bound-pruned protocol: lazily-filled exact per-location scores.
+    /// Bound-pruned protocol: lazily-filled exact per-location scores,
+    /// shared by every query whose window contains this bucket.
     scores: HashMap<SLocId, f64>,
     /// Whether a lazy evaluation of this object fell back to the DP
     /// (hybrid engine); sticky, as the fallback is a per-object property.
@@ -137,10 +174,12 @@ type BucketCache = BTreeMap<ObjectId, CachedObject>;
 /// bound-pruned advance.
 enum WindowSlot {
     /// All records in one sealed bucket: scores memoize in that bucket's
-    /// cache and survive across slides.
+    /// cache and survive across slides (and across queries sharing the
+    /// bucket).
     Single(i64),
     /// A bucket straddler: the windowed sequence crosses bucket bounds,
-    /// so its lazy scores are only valid for this window.
+    /// so its lazy scores are only valid for this exact window; they are
+    /// still shared by every query using this window width.
     Straddler {
         records: Vec<u32>,
         relevant: Vec<SLocId>,
@@ -152,35 +191,38 @@ enum WindowSlot {
 /// The state owned by one worker thread.
 pub(crate) struct ShardWorker {
     space: Arc<IndoorSpace>,
-    query_set: QuerySet,
+    /// Union of every registered query's location set — the set bucket
+    /// caches are computed against.
+    union: QuerySet,
     cfg: FlowConfig,
-    spec: WindowSpec,
+    /// Bucket width in ms — the cache granularity every registered query
+    /// shares. Window *lengths* are per-request.
+    bucket_millis: i64,
     /// This shard's partition of the positioning log.
     iupt: Iupt,
-    /// Sealed buckets by index; evicted once they leave the window.
+    /// Sealed buckets by index; evicted once they leave every window.
     buckets: BTreeMap<i64, BucketCache>,
-    /// Highest bucket index sealed so far.
-    sealed_through: Option<i64>,
-    /// Window map of the latest `AdvanceBounds`, consulted by `Evaluate`.
-    window: BTreeMap<ObjectId, WindowSlot>,
+    /// Window maps of the latest `advance_bounds_multi`, keyed by window
+    /// start; consulted by `evaluate_lazy`.
+    windows: HashMap<i64, BTreeMap<ObjectId, WindowSlot>>,
 }
 
 impl ShardWorker {
     pub(crate) fn new(
         space: Arc<IndoorSpace>,
-        query_set: QuerySet,
+        union: QuerySet,
         cfg: FlowConfig,
-        spec: WindowSpec,
+        bucket_millis: i64,
     ) -> Self {
+        assert!(bucket_millis > 0, "bucket width must be positive");
         ShardWorker {
             space,
-            query_set,
+            union,
             cfg,
-            spec,
+            bucket_millis,
             iupt: Iupt::new(),
             buckets: BTreeMap::new(),
-            sealed_through: None,
-            window: BTreeMap::new(),
+            windows: HashMap::new(),
         }
     }
 
@@ -190,22 +232,46 @@ impl ShardWorker {
         self.iupt.push(record);
     }
 
-    /// Seals buckets through `window_end`, then assembles the shard's
-    /// window contributions (the eager protocol).
-    pub(crate) fn evaluate(&mut self, window_start: i64, window_end: i64) -> ShardReport {
-        let mut report = ShardReport {
-            contributions: Vec::new(),
-            objects_total: 0,
-            cache_hits: 0,
-            straddlers: 0,
+    /// Retargets the shard at a new union of registered location sets.
+    /// `reset` drops every cache (required when the union grew — cached
+    /// contributions and candidate lists would be missing the new
+    /// locations); the next advance re-seals from the append-only log.
+    pub(crate) fn set_union(&mut self, union: QuerySet, reset: bool) {
+        self.union = union;
+        if reset {
+            self.buckets.clear();
+            self.windows.clear();
+        }
+    }
+
+    /// The closed time interval covered by bucket `b` (the same
+    /// arithmetic as [`popflow_core::WindowSpec::bucket_interval`]).
+    fn bucket_interval(&self, b: i64) -> TimeInterval {
+        TimeInterval::new(
+            Timestamp(b * self.bucket_millis),
+            Timestamp((b + 1) * self.bucket_millis - 1),
+        )
+    }
+
+    /// Seals buckets once through `window_end`, evicts everything before
+    /// `global_start` (the widest window's start), then assembles one
+    /// eager contribution list per requested window (the eager protocol).
+    pub(crate) fn evaluate_multi(
+        &mut self,
+        global_start: i64,
+        window_end: i64,
+        window_starts: &[i64],
+    ) -> EagerReport {
+        let mut report = EagerReport {
+            windows: Vec::with_capacity(window_starts.len()),
             fresh_presence: 0,
             presence_cells: 0,
             store: self.iupt.store_stats(),
             error: None,
         };
 
-        if let Err(e) = self.seal_through(
-            window_start,
+        if let Err(e) = self.seal_range(
+            global_start,
             window_end,
             true,
             &mut report.fresh_presence,
@@ -214,121 +280,157 @@ impl ShardWorker {
             report.error = Some(e);
             return report;
         }
-        // Buckets that slid out of the window are never consulted again.
-        self.buckets.retain(|&b, _| b >= window_start);
+        // Buckets that slid out of every window are never consulted
+        // again.
+        self.buckets.retain(|&b, _| b >= global_start);
 
-        let presence = self.window_presence(window_start, window_end);
-        report.objects_total = presence.len();
-
-        for (&oid, &(first_bucket, bucket_count)) in &presence {
-            if bucket_count == 1 {
-                report.cache_hits += 1;
-                let cached = self.buckets[&first_bucket]
-                    .get(&oid)
-                    .expect("presence map lists cached objects only");
-                if let Some(contribution) = &cached.contribution {
-                    report.contributions.push((oid, Arc::clone(contribution)));
-                }
-            } else {
-                // The windowed sequence is the concatenation of the
-                // object's cached bucket slices (buckets ascend, each
-                // slice is time-ordered): recompute it exactly.
-                report.straddlers += 1;
-                let ShardWorker {
-                    space,
-                    query_set,
-                    cfg,
-                    iupt,
-                    buckets,
-                    ..
-                } = self;
-                let log: &Iupt = iupt;
-                let sets = buckets
-                    .range(first_bucket..=window_end)
-                    .filter_map(|(_, cache)| cache.get(&oid))
-                    .flat_map(|cached| cached.records.iter().map(|&i| log.samples_at(i)));
-                match object_flow_contributions(space, sets, query_set, cfg) {
-                    Ok(Some(contribution)) => {
-                        report.fresh_presence += 1;
-                        report.presence_cells += contribution.relevant.len();
-                        report.contributions.push((oid, Arc::new(contribution)));
+        for &window_start in window_starts {
+            debug_assert!(window_start >= global_start);
+            let presence = self.window_presence(window_start, window_end);
+            let mut win = WindowEval {
+                contributions: Vec::new(),
+                objects_total: presence.len(),
+                cache_hits: 0,
+                straddlers: 0,
+            };
+            for (&oid, &(first_bucket, bucket_count)) in &presence {
+                if bucket_count == 1 {
+                    win.cache_hits += 1;
+                    let cached = self.buckets[&first_bucket]
+                        .get(&oid)
+                        .expect("presence map lists cached objects only");
+                    if let Some(contribution) = &cached.contribution {
+                        win.contributions.push((oid, Arc::clone(contribution)));
                     }
-                    // PSL-pruned over the full window: no presence was
-                    // computed, matching the batch `objects_computed`
-                    // accounting.
-                    Ok(None) => {}
-                    Err(e) => {
-                        report.error = Some(e);
-                        return report;
+                } else {
+                    // The windowed sequence is the concatenation of the
+                    // object's cached bucket slices (buckets ascend, each
+                    // slice is time-ordered): recompute it exactly. Done
+                    // per requested window — the windowed sequences
+                    // differ — but shared by every query of that width.
+                    win.straddlers += 1;
+                    let ShardWorker {
+                        space,
+                        union,
+                        cfg,
+                        iupt,
+                        buckets,
+                        ..
+                    } = self;
+                    let log: &Iupt = iupt;
+                    let sets = buckets
+                        .range(first_bucket..=window_end)
+                        .filter_map(|(_, cache)| cache.get(&oid))
+                        .flat_map(|cached| cached.records.iter().map(|&i| log.samples_at(i)));
+                    match object_flow_contributions(space, sets, union, cfg) {
+                        Ok(Some(contribution)) => {
+                            report.fresh_presence += 1;
+                            report.presence_cells += contribution.relevant.len();
+                            win.contributions.push((oid, Arc::new(contribution)));
+                        }
+                        // PSL-pruned over the full window: no presence
+                        // was computed, matching the batch
+                        // `objects_computed` accounting.
+                        Ok(None) => {}
+                        Err(e) => {
+                            report.error = Some(e);
+                            report.windows.push(win);
+                            return report;
+                        }
                     }
                 }
             }
+            win.contributions.sort_unstable_by_key(|(oid, _)| *oid);
+            report.windows.push(win);
         }
-        report.contributions.sort_unstable_by_key(|(oid, _)| *oid);
         report
     }
 
     /// Bound-pruned phase 1: cheap sealing, eviction, and candidate
-    /// assembly. Performs no presence computation at all.
-    pub(crate) fn advance_bounds(&mut self, window_start: i64, window_end: i64) -> BoundsReport {
+    /// assembly per requested window. Performs no presence computation
+    /// at all.
+    pub(crate) fn advance_bounds_multi(
+        &mut self,
+        global_start: i64,
+        window_end: i64,
+        window_starts: &[i64],
+    ) -> BoundsReport {
         let (mut fresh, mut cells) = (0, 0);
-        self.seal_through(window_start, window_end, false, &mut fresh, &mut cells)
+        self.seal_range(global_start, window_end, false, &mut fresh, &mut cells)
             .expect("cheap sealing performs no fallible merge or presence work");
         debug_assert_eq!((fresh, cells), (0, 0));
-        self.buckets.retain(|&b, _| b >= window_start);
+        self.buckets.retain(|&b, _| b >= global_start);
 
-        let presence = self.window_presence(window_start, window_end);
-        let objects_total = presence.len();
-        let mut straddlers = 0;
-        let mut candidates = Vec::new();
-        self.window.clear();
-        for (&oid, &(first_bucket, bucket_count)) in &presence {
-            if bucket_count == 1 {
-                let relevant = self.buckets[&first_bucket][&oid].relevant.clone();
-                if !relevant.is_empty() {
-                    candidates.push((oid, relevant));
-                }
-                self.window.insert(oid, WindowSlot::Single(first_bucket));
-            } else {
-                straddlers += 1;
-                // The window-level PSL set is the union of the bucket
-                // PSL sets (PSLs come from raw record support), so the
-                // candidate list is the union of the cached ones.
-                let mut records = Vec::new();
-                let mut relevant: Vec<SLocId> = Vec::new();
-                for (_, cache) in self.buckets.range(first_bucket..=window_end) {
-                    if let Some(cached) = cache.get(&oid) {
-                        records.extend_from_slice(&cached.records);
-                        relevant = union_sorted(&relevant, &cached.relevant);
-                    }
-                }
-                if !relevant.is_empty() {
-                    candidates.push((oid, relevant.clone()));
-                }
-                self.window.insert(
-                    oid,
-                    WindowSlot::Straddler {
-                        records,
-                        relevant,
-                        scores: HashMap::new(),
-                        dp_fallback: false,
-                    },
-                );
-            }
-        }
-        candidates.sort_unstable_by_key(|(oid, _)| *oid);
-        BoundsReport {
-            candidates,
-            objects_total,
-            straddlers,
+        let mut report = BoundsReport {
+            windows: Vec::with_capacity(window_starts.len()),
             store: self.iupt.store_stats(),
+        };
+        self.windows.clear();
+        for &window_start in window_starts {
+            debug_assert!(window_start >= global_start);
+            let presence = self.window_presence(window_start, window_end);
+            let objects_total = presence.len();
+            let mut straddlers = 0;
+            let mut candidates = Vec::new();
+            let mut slots: BTreeMap<ObjectId, WindowSlot> = BTreeMap::new();
+            for (&oid, &(first_bucket, bucket_count)) in &presence {
+                if bucket_count == 1 {
+                    let relevant = self.buckets[&first_bucket][&oid].relevant.clone();
+                    if !relevant.is_empty() {
+                        candidates.push((oid, relevant));
+                    }
+                    slots.insert(oid, WindowSlot::Single(first_bucket));
+                } else {
+                    straddlers += 1;
+                    // The window-level PSL set is the union of the bucket
+                    // PSL sets (PSLs come from raw record support), so
+                    // the candidate list is the union of the cached ones.
+                    let mut records = Vec::new();
+                    let mut relevant: Vec<SLocId> = Vec::new();
+                    for (_, cache) in self.buckets.range(first_bucket..=window_end) {
+                        if let Some(cached) = cache.get(&oid) {
+                            records.extend_from_slice(&cached.records);
+                            relevant = union_sorted(&relevant, &cached.relevant);
+                        }
+                    }
+                    if !relevant.is_empty() {
+                        candidates.push((oid, relevant.clone()));
+                    }
+                    slots.insert(
+                        oid,
+                        WindowSlot::Straddler {
+                            records,
+                            relevant,
+                            scores: HashMap::new(),
+                            dp_fallback: false,
+                        },
+                    );
+                }
+            }
+            candidates.sort_unstable_by_key(|(oid, _)| *oid);
+            self.windows.insert(window_start, slots);
+            report.windows.push(WindowBounds {
+                candidates,
+                objects_total,
+                straddlers,
+            });
         }
+        report
     }
 
-    /// Bound-pruned phase 2: exact contributions for `oids`, restricted
-    /// to `slocs` (sorted). Fresh scores are computed through the same
-    /// per-object kernel as everything else and memoized.
-    pub(crate) fn evaluate_lazy(&mut self, slocs: &[SLocId], oids: &[ObjectId]) -> EvalReport {
+    /// Bound-pruned phase 2: exact contributions for `oids` within the
+    /// window starting at `window_start`, restricted to `slocs` (sorted).
+    /// Fresh scores are computed through the same per-object kernel as
+    /// everything else and memoized — in the bucket cache for
+    /// single-bucket objects (shared across queries and slides), in the
+    /// window slot for straddlers (shared across queries of this window
+    /// width on this slide).
+    pub(crate) fn evaluate_lazy(
+        &mut self,
+        window_start: i64,
+        slocs: &[SLocId],
+        oids: &[ObjectId],
+    ) -> EvalReport {
         let mut report = EvalReport {
             contributions: Vec::with_capacity(oids.len()),
             evaluated_cells: 0,
@@ -338,13 +440,19 @@ impl ShardWorker {
         };
         let ShardWorker {
             space,
-            query_set,
+            union,
             cfg,
             iupt,
             buckets,
-            window,
+            windows,
             ..
         } = self;
+        let Some(window) = windows.get_mut(&window_start) else {
+            report.error = Some(FlowError::EngineUnavailable {
+                detail: format!("evaluate requested unknown window start {window_start}"),
+            });
+            return report;
+        };
         let log: &Iupt = iupt;
         for &oid in oids {
             let Some(slot) = window.get_mut(&oid) else {
@@ -385,7 +493,7 @@ impl ShardWorker {
             if !missing.is_empty() {
                 report.evaluated_oids.push(oid);
                 let sets = records.iter().map(|&i| log.samples_at(i));
-                match object_flow_contributions_for(space, sets, &missing, query_set, cfg) {
+                match object_flow_contributions_for(space, sets, &missing, union, cfg) {
                     Ok(contribution) => {
                         if let Some(c) = &contribution {
                             report.evaluated_cells += c.relevant.len();
@@ -437,14 +545,16 @@ impl ShardWorker {
     }
 
     /// Seals every not-yet-sealed bucket in `[window_start, window_end]`.
-    /// Buckets before `window_start` that were never sealed are skipped —
-    /// the window has already moved past them.
+    /// Buckets before `window_start` are skipped — every window has
+    /// already moved past them. Re-sealing after a registration reset is
+    /// just this same path over the append-only log, which is what makes
+    /// mid-stream registration deterministic.
     ///
-    /// `eager` sealing computes and caches full contributions (counting
-    /// them into `fresh`/`cells`); cheap sealing records only positions
-    /// and PSL candidate lists, deferring all presence work to
+    /// `eager` sealing computes and caches full union contributions
+    /// (counting them into `fresh`/`cells`); cheap sealing records only
+    /// positions and PSL candidate lists, deferring all presence work to
     /// [`ShardWorker::evaluate_lazy`].
-    fn seal_through(
+    fn seal_range(
         &mut self,
         window_start: i64,
         window_end: i64,
@@ -452,12 +562,11 @@ impl ShardWorker {
         fresh: &mut usize,
         cells: &mut usize,
     ) -> Result<(), FlowError> {
-        let first_unsealed = self.sealed_through.map_or(i64::MIN, |s| s + 1);
-        for b in first_unsealed.max(window_start)..=window_end {
+        for b in window_start..=window_end {
             if self.buckets.contains_key(&b) {
                 continue;
             }
-            let interval = self.spec.bucket_interval(b);
+            let interval = self.bucket_interval(b);
             let positions = self.iupt.sequence_positions_in(interval);
             let mut cache: BucketCache = BTreeMap::new();
             for (oid, records) in positions {
@@ -465,7 +574,7 @@ impl ShardWorker {
                 let sets = records.iter().map(|&i| log.samples_at(i));
                 let cached = if eager {
                     let contribution =
-                        object_flow_contributions(&self.space, sets, &self.query_set, &self.cfg)?
+                        object_flow_contributions(&self.space, sets, &self.union, &self.cfg)?
                             .map(Arc::new);
                     // PSL-pruned objects performed no presence
                     // computation — count like the batch search's
@@ -486,7 +595,7 @@ impl ShardWorker {
                     CachedObject {
                         records,
                         contribution: None,
-                        relevant: self.query_set.intersection_sorted(&psls),
+                        relevant: self.union.intersection_sorted(&psls),
                         scores: HashMap::new(),
                         dp_fallback: false,
                     }
@@ -495,10 +604,6 @@ impl ShardWorker {
             }
             self.buckets.insert(b, cache);
         }
-        self.sealed_through = Some(
-            self.sealed_through
-                .map_or(window_end, |s| s.max(window_end)),
-        );
         Ok(())
     }
 }

@@ -7,7 +7,9 @@
 //! threads; once per bucket the standing top-k query advances its
 //! sliding window. Both engines evaluate identical windows and must
 //! report identical rankings — the demo audits that on every slide while
-//! reporting throughput and advance-latency percentiles.
+//! reporting throughput and advance-latency percentiles. It also
+//! registers four overlapping queries on one engine and reports how much
+//! sealed-bucket work they share versus four dedicated engines.
 //!
 //! Run with:
 //! ```text
@@ -37,7 +39,10 @@ fn main() {
         .nth(1)
         .and_then(|a| a.parse().ok())
         .unwrap_or(0.1);
-    let cfg = StreamingConfig::scaled(scale, 0x5e2e);
+    let mut cfg = StreamingConfig::scaled(scale, 0x5e2e);
+    // Also exercise the query registry: four overlapping standing
+    // queries sharing one engine, audited against dedicated engines.
+    cfg.queries = 4;
     println!(
         "streaming a simulated day: {} visitors over {} h, visits {}–{} s",
         cfg.scenario.num_objects,
@@ -78,6 +83,23 @@ fn main() {
             report.mismatched_slides, report.slides
         );
         std::process::exit(1);
+    }
+
+    if let Some(multi) = &report.multi {
+        println!(
+            "\nquery registry: {} overlapping queries on one engine computed {} presence \
+             cells vs {} across dedicated engines ({:.2}x, lower is better)",
+            multi.queries, multi.registry_cells, multi.dedicated_cells, multi.shared_work_ratio,
+        );
+        if multi.mismatched_slides == 0 {
+            println!("multi-query audit: every registered query matched its dedicated engine ✓");
+        } else {
+            println!(
+                "multi-query audit: {} (query, slide) pairs DIVERGED ✗",
+                multi.mismatched_slides
+            );
+            std::process::exit(1);
+        }
     }
 
     // The demo doubles as a smoke test: a collapsed speedup or any

@@ -14,6 +14,11 @@
 //! 3. **Pruning** — on a skewed visitor stream, bound-pruned advances
 //!    perform strictly fewer presence computations than eager ones and
 //!    actually skip candidate (object, location) cells.
+//! 4. **Sharing** — queries registered together on one engine are each
+//!    flow-bit-identical to a dedicated single-query engine on every
+//!    slide (property test over random overlapping subsets and window
+//!    widths), and four concurrent overlapping queries cost < 2× the
+//!    presence work of one (shared-work gate).
 //!
 //! Run with: `cargo test -p popflow-eval --test serve_equivalence`
 
@@ -25,7 +30,7 @@ use popflow_core::{
     nested_loop, ContinuousEngine, FlowConfig, QuerySet, RecomputeEngine, TkPlQuery, WindowSpec,
 };
 use popflow_eval::experiments::streaming::{run_streaming, StreamingConfig};
-use popflow_serve::{ServeConfig, ServeEngine};
+use popflow_serve::{AdvanceStrategy, QuerySpec, ServeConfig, ServeEngine};
 use proptest::prelude::*;
 
 /// Drives both serve strategies and the recompute baseline over one
@@ -57,7 +62,10 @@ fn assert_equivalent(
         .with_shards(num_shards)
         .with_flow(flow);
     let mut serve = ServeEngine::new(Arc::clone(&space), serve_cfg.clone());
-    let mut pruned = ServeEngine::new(Arc::clone(&space), serve_cfg.with_bound_pruning());
+    let mut pruned = ServeEngine::new(
+        Arc::clone(&space),
+        serve_cfg.with_strategy(AdvanceStrategy::BoundPruned),
+    );
     let mut batch = RecomputeEngine::new(
         Arc::clone(&space),
         k,
@@ -137,6 +145,172 @@ proptest! {
     }
 }
 
+/// Registers several overlapping queries — rotated ~¾-of-the-venue
+/// location subsets with per-query window widths over one shared bucket
+/// width — on a single registry engine, and replays the same stream into
+/// one dedicated single-query engine per spec. On every slide, under
+/// both advance strategies, each registered query's update must equal
+/// its dedicated engine's: same window, same top-k, bit-identical flows,
+/// same deltas. This is the registry's core contract — sharing sealed
+/// bucket caches across queries must be invisible in the results.
+fn assert_registry_matches_dedicated(
+    seed: u64,
+    bucket_secs: i64,
+    widths: &[usize],
+    num_shards: usize,
+    k: usize,
+) -> Result<(), TestCaseError> {
+    let world = indoor_sim::World::generate(indoor_sim::Scenario::tiny().with_seed(seed));
+    let space = Arc::new(world.space.clone());
+    let slocs: Vec<_> = world.space.slocs().iter().map(|s| s.id).collect();
+    let n = widths.len();
+    let take = (slocs.len() * 3 / 4).max(1);
+    let subsets: Vec<QuerySet> = (0..n)
+        .map(|i| {
+            let offset = i * slocs.len() / n;
+            QuerySet::new(
+                (0..take)
+                    .map(|j| slocs[(offset + j) % slocs.len()])
+                    .collect(),
+            )
+        })
+        .collect();
+    let flow = FlowConfig::default().with_dp_engine();
+    let records: Vec<Record> = world.iupt.to_records();
+    let duration = world.scenario.mobility.duration_secs;
+    // Slide once per bucket; every registered window shares this width.
+    let step = WindowSpec::new(bucket_secs * 1000, 1);
+    let last_bucket = step.last_complete_bucket(Timestamp::from_secs(duration));
+
+    for strategy in [AdvanceStrategy::Eager, AdvanceStrategy::BoundPruned] {
+        let base = ServeConfig::with_buckets(bucket_secs * 1000)
+            .with_shards(num_shards)
+            .with_strategy(strategy)
+            .with_flow(flow);
+        let specs: Vec<QuerySpec> = subsets
+            .iter()
+            .zip(widths)
+            .map(|(qs, &w)| QuerySpec::new(k, qs.clone(), WindowSpec::new(bucket_secs * 1000, w)))
+            .collect();
+        let mut registry_cfg = base.clone();
+        for spec in &specs {
+            registry_cfg = registry_cfg.with_query(spec.clone());
+        }
+        let mut registry = ServeEngine::new(Arc::clone(&space), registry_cfg);
+        let ids = registry.query_ids();
+        let mut dedicated: Vec<ServeEngine> = specs
+            .iter()
+            .map(|spec| ServeEngine::new(Arc::clone(&space), base.clone().with_query(spec.clone())))
+            .collect();
+
+        let mut next = 0usize;
+        for b in 0..=last_bucket {
+            let now = Timestamp(step.bucket_interval(b).end.millis() + 1);
+            while next < records.len() && records[next].t <= now {
+                registry
+                    .ingest(records[next].clone())
+                    .expect("ordered stream");
+                for engine in dedicated.iter_mut() {
+                    engine
+                        .ingest(records[next].clone())
+                        .expect("ordered stream");
+                }
+                next += 1;
+            }
+            let updates = registry.advance_all(now).expect("registry advance");
+            prop_assert_eq!(updates.len(), ids.len());
+            for (qi, engine) in dedicated.iter_mut().enumerate() {
+                let reference = engine.advance(now).expect("dedicated advance");
+                let (_, got) = updates
+                    .iter()
+                    .find(|(id, _)| *id == ids[qi])
+                    .expect("an update per registered query");
+                prop_assert_eq!(&got.window, &reference.window);
+                prop_assert_eq!(got.outcome.topk_slocs(), reference.outcome.topk_slocs());
+                for (x, y) in got
+                    .outcome
+                    .ranking
+                    .iter()
+                    .zip(reference.outcome.ranking.iter())
+                {
+                    prop_assert_eq!(x.sloc, y.sloc);
+                    prop_assert_eq!(x.flow.to_bits(), y.flow.to_bits());
+                }
+                prop_assert_eq!(&got.entered, &reference.entered);
+                prop_assert_eq!(&got.left, &reference.left);
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random overlapping subsets × random per-query window widths ×
+    /// random sharding: every query registered on one engine must be
+    /// flow-bit-identical to a dedicated single-query engine on every
+    /// slide, under both advance strategies.
+    #[test]
+    fn registered_queries_match_dedicated_engines(
+        seed in 0u64..10_000,
+        bucket_secs in 30i64..120,
+        widths in proptest::collection::vec(1usize..6, 2..4),
+        num_shards in 1usize..4,
+        k in 1usize..5,
+    ) {
+        assert_registry_matches_dedicated(seed, bucket_secs, &widths, num_shards, k)?;
+    }
+}
+
+/// The multi-query acceptance gate: four concurrent registered queries
+/// with overlapping location sets over the same window geometry must
+/// cost less than 2× the presence work of ONE dedicated query
+/// (shared_work_ratio = registry cells / Σ dedicated cells < 2/4 = 0.5),
+/// while every query's per-slide ranking stays bit-identical to its
+/// dedicated engine. Deterministic — the scenario is seeded and the
+/// counters are exact.
+#[test]
+fn four_overlapping_queries_share_work() {
+    let cfg = StreamingConfig {
+        scenario: StreamScenario {
+            num_objects: 120,
+            duration_secs: 2 * 3600,
+            visit_secs: (60, 120),
+            destination_skew: 1.2,
+            dwell_cache: true,
+            seed: 0x4eed,
+        },
+        bucket_secs: 600,
+        window_buckets: 6,
+        k: 3,
+        num_shards: 3,
+        queries: 4,
+    };
+    let report = run_streaming(&cfg);
+    let multi = report
+        .multi
+        .expect("queries >= 2 must produce the sharing audit");
+    assert_eq!(multi.queries, 4);
+    assert_eq!(
+        multi.mismatched_slides, 0,
+        "registered queries diverged from dedicated engines on {} (query, slide) pairs",
+        multi.mismatched_slides
+    );
+    assert!(
+        multi.registry_cells > 0,
+        "audit never computed a presence cell: {multi:?}"
+    );
+    assert!(
+        multi.shared_work_ratio < 0.5,
+        "4 overlapping queries cost {:.3}× the dedicated total ({} registry vs {} dedicated \
+         cells) — the acceptance bound is < 0.5 (i.e. < 2× one query's work)",
+        multi.shared_work_ratio,
+        multi.registry_cells,
+        multi.dedicated_cells
+    );
+}
+
 /// The headline acceptance gate: ≥ 5× cheaper advances at window/bucket
 /// ratio 16 (≥ 8), identical rankings throughout. Both the wall-clock
 /// speedup and its machine-independent proxy (presence computations) are
@@ -210,6 +384,7 @@ fn bound_pruning_beats_eager_on_skewed_stream() {
         window_buckets: 8,
         k: 2,
         num_shards: 3,
+        queries: 1,
     };
     let report = run_streaming(&cfg);
     assert!(report.slides >= 16, "too few slides: {}", report.slides);
