@@ -60,8 +60,8 @@ pub use popflow_exec::ExecConfig;
 pub use query::{
     best_first, best_first_par, diff_topk, naive, nested_loop, nested_loop_par, rank_topk,
     sloc_area, top_k_dense, BatchEngine, ContinuousEngine, ContinuousTkPlq, ContinuousUpdate,
-    LocationBound, QueryId, QueryOutcome, QuerySpec, RankedLocation, RecomputeEngine, SearchStats,
-    ThresholdHeap, ThresholdStep, TkPlQuery, TkplqRequest, WindowSpec,
+    Instrumented, LocationBound, QueryId, QueryOutcome, QuerySpec, RankedLocation, RecomputeEngine,
+    SearchStats, ThresholdHeap, ThresholdStep, TkPlQuery, TkplqRequest, WindowSpec,
 };
 pub use query_set::{intersect_sorted, QuerySet};
 pub use reduction::{reduce_for_query, scan_psls, scan_sequence, ReducedSequence};

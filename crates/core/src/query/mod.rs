@@ -19,7 +19,7 @@ pub use continuous::{
 pub use density::{sloc_area, top_k_dense};
 pub use naive::naive;
 pub use nested_loop::{nested_loop, nested_loop_par};
-pub use request::{BatchEngine, TkplqRequest};
+pub use request::{BatchEngine, Instrumented, TkplqRequest};
 
 use indoor_iupt::{ObjectId, TimeInterval};
 use indoor_model::SLocId;
@@ -75,6 +75,28 @@ impl SearchStats {
             return 0.0;
         }
         (self.objects_total - self.objects_computed) as f64 / self.objects_total as f64
+    }
+
+    /// Records these counters into `registry` under
+    /// `batch.<engine>.{evaluations, objects_total, objects_computed,
+    /// dp_fallback_objects}` — the shared export path batch and serve
+    /// telemetry agree on. Callers of the classic free functions
+    /// (`nested_loop`, `best_first`, ...) can route their stats with
+    /// one call instead of bespoke plumbing; the
+    /// [`Instrumented`] engine wrapper does this automatically.
+    pub fn record_to(&self, registry: &popflow_obs::MetricsRegistry, engine: &str) {
+        registry
+            .counter(&format!("batch.{engine}.evaluations"))
+            .inc();
+        registry
+            .counter(&format!("batch.{engine}.objects_total"))
+            .add(self.objects_total as u64);
+        registry
+            .counter(&format!("batch.{engine}.objects_computed"))
+            .add(self.objects_computed as u64);
+        registry
+            .counter(&format!("batch.{engine}.dp_fallback_objects"))
+            .add(self.dp_fallback_objects as u64);
     }
 }
 

@@ -80,6 +80,68 @@ pub trait BatchEngine {
         request: &TkplqRequest,
         interval: TimeInterval,
     ) -> Result<QueryOutcome, FlowError>;
+
+    /// Wraps this engine so every evaluation's wall-clock and
+    /// [`SearchStats`](crate::query::SearchStats) land in `registry`
+    /// under `batch.<name>.*` — the same export path the serving
+    /// engine uses, so batch and serve telemetry share one snapshot.
+    fn instrumented(self, registry: &popflow_obs::MetricsRegistry) -> Instrumented<Self>
+    where
+        Self: Sized,
+    {
+        Instrumented::new(self, registry)
+    }
+}
+
+/// A [`BatchEngine`] decorator that records each evaluation into a
+/// [`MetricsRegistry`](popflow_obs::MetricsRegistry): a
+/// `batch.<name>.evaluate_ns` histogram plus the inner engine's
+/// [`SearchStats`](crate::query::SearchStats) counters
+/// (`evaluations`, `objects_total`, `objects_computed`,
+/// `dp_fallback_objects`). The returned outcome is byte-for-byte the
+/// inner engine's — instrumentation never perturbs results.
+#[derive(Debug, Clone)]
+pub struct Instrumented<E> {
+    inner: E,
+    registry: popflow_obs::MetricsRegistry,
+    evaluate_ns: popflow_obs::Histogram,
+}
+
+impl<E: BatchEngine> Instrumented<E> {
+    /// Wraps `inner`, resolving its metric handles in `registry`.
+    pub fn new(inner: E, registry: &popflow_obs::MetricsRegistry) -> Self {
+        let evaluate_ns = registry.histogram(&format!("batch.{}.evaluate_ns", inner.name()));
+        Instrumented {
+            inner,
+            registry: registry.clone(),
+            evaluate_ns,
+        }
+    }
+
+    /// The wrapped engine.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+}
+
+impl<E: BatchEngine> BatchEngine for Instrumented<E> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn evaluate(
+        &self,
+        space: &IndoorSpace,
+        iupt: &mut Iupt,
+        request: &TkplqRequest,
+        interval: TimeInterval,
+    ) -> Result<QueryOutcome, FlowError> {
+        let timer = popflow_obs::Timer::start();
+        let outcome = self.inner.evaluate(space, iupt, request, interval)?;
+        timer.record_into(&self.evaluate_ns);
+        outcome.stats.record_to(&self.registry, self.inner.name());
+        Ok(outcome)
+    }
 }
 
 /// The naive algorithm (§4 intro): one `flow` call per query location.
@@ -235,6 +297,43 @@ mod tests {
         let wrapped =
             crate::query::nested_loop(&fig.space, &mut iupt, &query, &request.flow).unwrap();
         assert_eq!(wrapped.topk_slocs(), reference.topk_slocs());
+    }
+
+    /// The instrumented wrapper returns bit-identical outcomes and
+    /// routes `SearchStats` into the shared registry.
+    #[test]
+    fn instrumented_engine_matches_and_exports_stats() {
+        let fig = paper_figure1();
+        let mut iupt = paper_table2();
+        let interval = TimeInterval::new(Timestamp::from_secs(1), Timestamp::from_secs(8));
+        let request = TkplqRequest::new(3, QuerySet::new(fig.r.to_vec()));
+        let plain = NestedLoop
+            .evaluate(&fig.space, &mut iupt, &request, interval)
+            .unwrap();
+        let registry = popflow_obs::MetricsRegistry::new();
+        let engine = NestedLoop.instrumented(&registry);
+        assert_eq!(engine.name(), "nested-loop");
+        let out = engine
+            .evaluate(&fig.space, &mut iupt, &request, interval)
+            .unwrap();
+        assert_eq!(out.topk_slocs(), plain.topk_slocs());
+        for (a, b) in out.ranking.iter().zip(&plain.ranking) {
+            assert_eq!(a.flow.to_bits(), b.flow.to_bits());
+        }
+        engine
+            .evaluate(&fig.space, &mut iupt, &request, interval)
+            .unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["batch.nested-loop.evaluations"], 2);
+        assert_eq!(
+            snap.counters["batch.nested-loop.objects_total"],
+            2 * out.stats.objects_total as u64
+        );
+        assert_eq!(
+            snap.counters["batch.nested-loop.objects_computed"],
+            2 * out.stats.objects_computed as u64
+        );
+        assert_eq!(snap.histograms["batch.nested-loop.evaluate_ns"].count, 2);
     }
 
     #[test]

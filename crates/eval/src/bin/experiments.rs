@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! experiments [EXP-ID ...] [--scale S] [--repeats N] [--seed S] [--tsv PATH]
-//!             [--bench-json PATH] [--batch-json PATH] [--memory-json PATH]
+//!             [--bench-json PATH] [--obs-json PATH] [--batch-json PATH]
+//!             [--memory-json PATH]
 //! ```
 //!
 //! The `streaming` experiment additionally writes a machine-readable
@@ -13,13 +14,18 @@
 //! `shared_work_ratio` sharing audit, which exits non-zero if concurrent
 //! registered queries fail to share sealing work or diverge from
 //! dedicated engines) to `--bench-json` (default `BENCH_streaming.json`),
+//! and its end-of-run telemetry export (the serve engines' full metric
+//! snapshots, phase coverage, and the instrumentation overhead ratio;
+//! the run exits non-zero if a required phase metric is missing/zero,
+//! phase coverage drops under 90%, or instrumentation costs ≥ 5%) to
+//! `--obs-json` (default `BENCH_obs.json`),
 //! and the `batch_scale` experiment writes its thread-scaling report
 //! (records/s and speedup at 1/2/4/8 threads, serial-equality audit) to
 //! `--batch-json` (default `BENCH_batch.json`), and the `store_footprint`
 //! experiment writes the columnar store's ingest/footprint sweep
 //! (records/s, bytes/record vs the row baseline, intern hit rate per
 //! destination skew) to `--memory-json` (default `BENCH_memory.json`);
-//! CI archives all three as per-commit artifacts.
+//! CI archives all four as per-commit artifacts.
 //!
 //! Experiment ids: table4 table5 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 //! fig14 fig15 fig16 fig17 fig18 fig19 fig20 fig21 table7 ablation-dp
@@ -46,6 +52,7 @@ fn run_exp(
     id: &str,
     opts: &ExpOpts,
     bench_json: &str,
+    obs_json: &str,
     batch_json: &str,
     memory_json: &str,
 ) -> Option<Vec<Row>> {
@@ -70,7 +77,7 @@ fn run_exp(
         "table7" => synthetic::table7(opts),
         "ablation-dp" => ablation::ablation_dp(opts),
         "ablation-norm" => ablation::ablation_norm(opts),
-        "streaming" => streaming::streaming_with_json(opts, Some(bench_json)),
+        "streaming" => streaming::streaming_with_json(opts, Some(bench_json), Some(obs_json)),
         "batch_scale" => batch_scale::batch_scale_with_json(opts, Some(batch_json)),
         "store_footprint" => store_footprint::store_footprint_with_json(opts, Some(memory_json)),
         _ => return None,
@@ -94,6 +101,7 @@ fn main() {
     let mut ids: Vec<String> = Vec::new();
     let mut tsv_path: Option<String> = None;
     let mut bench_json = String::from("BENCH_streaming.json");
+    let mut obs_json = String::from("BENCH_obs.json");
     let mut batch_json = String::from("BENCH_batch.json");
     let mut memory_json = String::from("BENCH_memory.json");
 
@@ -133,6 +141,9 @@ fn main() {
             "--bench-json" => {
                 bench_json = flag_value(&args, &mut i, "--bench-json").to_string();
             }
+            "--obs-json" => {
+                obs_json = flag_value(&args, &mut i, "--obs-json").to_string();
+            }
             "--batch-json" => {
                 batch_json = flag_value(&args, &mut i, "--batch-json").to_string();
             }
@@ -156,7 +167,8 @@ fn main() {
         eprintln!(
             "usage: experiments [EXP-ID|all|real|synthetic|ablations ...] \
              [--scale S] [--repeats N] [--seed S] [--mc-rounds N] [--queries N] \
-             [--tsv PATH] [--bench-json PATH] [--batch-json PATH] [--memory-json PATH]"
+             [--tsv PATH] [--bench-json PATH] [--obs-json PATH] [--batch-json PATH] \
+             [--memory-json PATH]"
         );
         eprintln!("experiment ids: {REAL_EXPS:?} {SYNTH_EXPS:?} {ABLATIONS:?} {STREAMING:?}");
         std::process::exit(2);
@@ -169,7 +181,7 @@ fn main() {
     let mut all_rows: Vec<Row> = Vec::new();
     for id in &ids {
         let start = Instant::now();
-        match run_exp(id, &opts, &bench_json, &batch_json, &memory_json) {
+        match run_exp(id, &opts, &bench_json, &obs_json, &batch_json, &memory_json) {
             Some(rows) => {
                 println!("\n== {id} ({:.1}s) ==", start.elapsed().as_secs_f64());
                 println!("{}", render_table(&rows));

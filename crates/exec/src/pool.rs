@@ -3,11 +3,30 @@
 
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+use popflow_obs::{Histogram, MetricsRegistry};
 
 use crate::partitioner::Partitioner;
 
 /// A boxed job executed on one worker's state.
 type Job<S> = Box<dyn FnOnce(&mut S) + Send>;
+
+/// What travels over a worker's channel: a job (stamped with its
+/// enqueue instant when telemetry is on, so the worker can attribute
+/// queue-wait without any per-job allocation), or the telemetry handles
+/// themselves.
+enum Msg<S> {
+    Job(Job<S>, Option<Instant>),
+    SetMetrics(ShardJobMetrics),
+}
+
+/// Per-shard job histograms: time spent queued vs running.
+#[derive(Debug, Clone)]
+struct ShardJobMetrics {
+    queue_wait_ns: Histogram,
+    run_ns: Histogram,
+}
 
 /// A shard worker is no longer running (its thread exited — normally
 /// only possible after a panic inside a job).
@@ -69,9 +88,10 @@ impl<R> Reply<R> {
 /// Dropping the pool shuts it down: all queues close and every worker is
 /// joined.
 pub struct ShardPool<S> {
-    senders: Vec<Sender<Job<S>>>,
+    senders: Vec<Sender<Msg<S>>>,
     workers: Vec<JoinHandle<()>>,
     partitioner: Partitioner,
+    metrics_enabled: bool,
 }
 
 impl<S> std::fmt::Debug for ShardPool<S> {
@@ -90,13 +110,31 @@ impl<S: Send + 'static> ShardPool<S> {
         let mut senders = Vec::with_capacity(shards);
         let mut workers = Vec::with_capacity(shards);
         for shard in 0..shards {
-            let (tx, rx) = mpsc::channel::<Job<S>>();
+            let (tx, rx) = mpsc::channel::<Msg<S>>();
             let mut state = init(shard);
             let handle = std::thread::Builder::new()
                 .name(format!("{name}-{shard}"))
                 .spawn(move || {
-                    while let Ok(job) = rx.recv() {
-                        job(&mut state);
+                    let mut metrics: Option<ShardJobMetrics> = None;
+                    while let Ok(msg) = rx.recv() {
+                        match msg {
+                            Msg::SetMetrics(m) => metrics = Some(m),
+                            Msg::Job(job, enqueued) => match (&metrics, enqueued) {
+                                (Some(m), Some(enqueued)) => {
+                                    let started = Instant::now();
+                                    m.queue_wait_ns.record(
+                                        u64::try_from((started - enqueued).as_nanos())
+                                            .unwrap_or(u64::MAX),
+                                    );
+                                    job(&mut state);
+                                    m.run_ns.record(
+                                        u64::try_from(started.elapsed().as_nanos())
+                                            .unwrap_or(u64::MAX),
+                                    );
+                                }
+                                _ => job(&mut state),
+                            },
+                        }
                     }
                 })
                 .expect("spawning a shard worker thread");
@@ -107,7 +145,37 @@ impl<S: Send + 'static> ShardPool<S> {
             senders,
             workers,
             partitioner: Partitioner::new(shards),
+            metrics_enabled: false,
         }
+    }
+
+    /// Enables per-shard job telemetry: every subsequent
+    /// [`tell`](ShardPool::tell) / [`ask`](ShardPool::ask) records its
+    /// queue-wait and run time (nanoseconds) into
+    /// `{prefix}.shard{N}.queue_wait_ns` / `{prefix}.shard{N}.run_ns`
+    /// histograms in `registry`, making shard imbalance visible.
+    /// Disabled pools pay nothing. Enabled ones pay one `Instant` read
+    /// at enqueue, two on the worker, and two histogram records — no
+    /// per-job allocation, which matters because ingestion `tell`s
+    /// queue in front of every advance round-trip, so per-job overhead
+    /// lands directly on advance latency.
+    ///
+    /// The handles travel to each worker through its own job channel,
+    /// so the switch-on is ordered like any other job: jobs sent before
+    /// this call run uninstrumented, jobs sent after it record.
+    pub fn set_metrics(&mut self, registry: &MetricsRegistry, prefix: &str) {
+        for (shard, sender) in self.senders.iter().enumerate() {
+            let _ = sender.send(Msg::SetMetrics(ShardJobMetrics {
+                queue_wait_ns: registry.histogram(&format!("{prefix}.shard{shard}.queue_wait_ns")),
+                run_ns: registry.histogram(&format!("{prefix}.shard{shard}.run_ns")),
+            }));
+        }
+        self.metrics_enabled = true;
+    }
+
+    /// The enqueue stamp a job carries when telemetry is on.
+    fn enqueue_stamp(&self) -> Option<Instant> {
+        self.metrics_enabled.then(Instant::now)
     }
 
     /// Number of shard workers.
@@ -128,7 +196,7 @@ impl<S: Send + 'static> ShardPool<S> {
         job: impl FnOnce(&mut S) + Send + 'static,
     ) -> Result<(), ShardDown> {
         self.senders[shard]
-            .send(Box::new(job))
+            .send(Msg::Job(Box::new(job), self.enqueue_stamp()))
             .map_err(|_| ShardDown { shard })
     }
 
@@ -142,11 +210,14 @@ impl<S: Send + 'static> ShardPool<S> {
     ) -> Result<Reply<R>, ShardDown> {
         let (tx, rx) = mpsc::channel();
         self.senders[shard]
-            .send(Box::new(move |state: &mut S| {
-                // The coordinator may have given up waiting; a dead reply
-                // channel is not this worker's problem.
-                let _ = tx.send(job(state));
-            }))
+            .send(Msg::Job(
+                Box::new(move |state: &mut S| {
+                    // The coordinator may have given up waiting; a dead reply
+                    // channel is not this worker's problem.
+                    let _ = tx.send(job(state));
+                }),
+                self.enqueue_stamp(),
+            ))
             .map_err(|_| ShardDown { shard })?;
         Ok(Reply { rx, shard })
     }
@@ -226,6 +297,40 @@ mod tests {
         pool.tell(0, |c| *c += 5).unwrap();
         pool.tell(1, |c| *c += 7).unwrap();
         assert_eq!(pool.ask_all(|_, c| *c).unwrap(), vec![5, 7]);
+    }
+
+    #[test]
+    fn metrics_record_queue_wait_and_run_time() {
+        let registry = MetricsRegistry::new();
+        let mut pool: ShardPool<u64> = ShardPool::new("test", 2, |_| 0);
+        pool.set_metrics(&registry, "pool");
+        for i in 0..10u64 {
+            pool.tell((i % 2) as usize, move |c| *c += i).unwrap();
+        }
+        let sums = pool.ask_all(|_, c| *c).unwrap();
+        assert_eq!(sums.iter().sum::<u64>(), 45);
+        let snap = registry.snapshot();
+        for shard in 0..2 {
+            // 5 tells + 1 ask each.
+            assert_eq!(
+                snap.histograms[&format!("pool.shard{shard}.queue_wait_ns")].count,
+                6
+            );
+            assert_eq!(
+                snap.histograms[&format!("pool.shard{shard}.run_ns")].count,
+                6
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_off_pool_registers_nothing() {
+        let registry = MetricsRegistry::new();
+        let pool: ShardPool<u64> = ShardPool::new("test", 2, |_| 0);
+        pool.tell(0, |c| *c += 1).unwrap();
+        pool.ask_all(|_, c| *c).unwrap();
+        assert!(registry.snapshot().histograms.is_empty());
+        drop(pool);
     }
 
     #[test]

@@ -1,0 +1,350 @@
+//! Log-bucketed atomic histograms with deterministic quantiles.
+//!
+//! The bucket layout is fixed at compile time so recording never
+//! allocates: values `0..=15` get one exact bucket each, and every
+//! larger value lands in one of 16 sub-buckets of its power-of-two
+//! octave. That caps the relative error of any reported quantile at
+//! 1/16 (6.25%) while covering the full `u64` range in 976 buckets
+//! (~7.6 KiB per histogram).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Values below this get one exact bucket each.
+const LINEAR_CUTOFF: u64 = 16;
+/// Sub-buckets per power-of-two octave above the linear range.
+const SUB_BUCKETS: usize = 16;
+/// Octaves: most-significant-bit positions 4..=63.
+const OCTAVES: usize = 60;
+/// Total bucket count: 16 linear + 60 octaves x 16 sub-buckets.
+pub(crate) const NUM_BUCKETS: usize = LINEAR_CUTOFF as usize + OCTAVES * SUB_BUCKETS;
+
+/// Maps a value to its bucket index. Exact below [`LINEAR_CUTOFF`];
+/// above it, the index is derived from the value's most significant
+/// bit plus the next four bits.
+pub(crate) fn bucket_index(value: u64) -> usize {
+    if value < LINEAR_CUTOFF {
+        value as usize
+    } else {
+        let msb = 63 - value.leading_zeros() as usize;
+        let sub = ((value >> (msb - 4)) & 0xF) as usize;
+        LINEAR_CUTOFF as usize + (msb - 4) * SUB_BUCKETS + sub
+    }
+}
+
+/// The largest value that maps to bucket `index` (inclusive upper
+/// bound). Quantiles report this bound, so they never understate.
+pub(crate) fn bucket_upper_bound(index: usize) -> u64 {
+    debug_assert!(index < NUM_BUCKETS);
+    if index < LINEAR_CUTOFF as usize {
+        index as u64
+    } else {
+        let rel = index - LINEAR_CUTOFF as usize;
+        let msb = rel / SUB_BUCKETS + 4;
+        let sub = (rel % SUB_BUCKETS) as u64;
+        let lower = (1u64 << msb) + (sub << (msb - 4));
+        lower + ((1u64 << (msb - 4)) - 1)
+    }
+}
+
+struct HistogramInner {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A cloneable handle to an atomic log-bucketed histogram.
+///
+/// Clones share the same storage, so a handle resolved once from a
+/// [`MetricsRegistry`](crate::MetricsRegistry) can be cached and
+/// recorded into from hot paths without any lock or map lookup.
+/// Recording is wait-free: three relaxed atomic adds plus one atomic
+/// max, no allocation.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.inner.count.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates a detached histogram (not owned by any registry).
+    pub fn new() -> Self {
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                max: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records one observation. Sub-microsecond: relaxed atomics only.
+    /// `sum` wraps on `u64` overflow (irrelevant for nanosecond spans).
+    pub fn record(&self, value: u64) {
+        let inner = &*self.inner;
+        inner.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        inner.count.fetch_add(1, Ordering::Relaxed);
+        inner.sum.fetch_add(value, Ordering::Relaxed);
+        inner.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded observations.
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Captures a point-in-time copy of the histogram state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let inner = &*self.inner;
+        let buckets = inner
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then_some((i as u16, c))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: inner.count.load(Ordering::Relaxed),
+            sum: inner.sum.load(Ordering::Relaxed),
+            max: inner.max.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// An immutable copy of a [`Histogram`]'s state: total count/sum, the
+/// exact maximum, and the non-empty buckets as sorted
+/// `(bucket_index, count)` pairs.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of all recorded observations (wraps on overflow).
+    pub sum: u64,
+    /// Exact maximum recorded observation.
+    pub max: u64,
+    /// Non-empty buckets, sorted by index, zero counts omitted.
+    pub buckets: Vec<(u16, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Deterministic nearest-rank quantile (`q` in `[0, 1]`).
+    ///
+    /// Returns the upper bound of the bucket holding the rank
+    /// `ceil(q * count)` observation, clamped to the exact recorded
+    /// maximum — so the result overstates by at most 1/16 and
+    /// `quantile(1.0) == max` exactly. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(index, count) in &self.buckets {
+            seen += count;
+            if seen >= rank {
+                return bucket_upper_bound(index as usize).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Adds `other`'s observations into `self`. Merging is exact on
+    /// counts and sums, and commutative/associative: merging partial
+    /// snapshots in any order yields the same result as recording all
+    /// observations into one histogram.
+    pub fn merge_from(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+        let mut merged = Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, ca)), Some(&&(ib, cb))) => {
+                    if ia < ib {
+                        merged.push((ia, ca));
+                        a.next();
+                    } else if ib < ia {
+                        merged.push((ib, cb));
+                        b.next();
+                    } else {
+                        merged.push((ia, ca + cb));
+                        a.next();
+                        b.next();
+                    }
+                }
+                (Some(&&x), None) => {
+                    merged.push(x);
+                    a.next();
+                }
+                (None, Some(&&x)) => {
+                    merged.push(x);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
+    }
+
+    /// Bucket-wise saturating subtraction (`self - earlier`) for
+    /// per-interval deltas. `max` cannot be windowed from cumulative
+    /// state, so the delta keeps `self.max` unless the interval saw no
+    /// observations at all, in which case everything is zero.
+    pub fn diff(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let count = self.count.saturating_sub(earlier.count);
+        if count == 0 {
+            return HistogramSnapshot::default();
+        }
+        let mut buckets = Vec::new();
+        let mut e = earlier.buckets.iter().peekable();
+        for &(index, c) in &self.buckets {
+            while e.peek().is_some_and(|&&(ei, _)| ei < index) {
+                e.next();
+            }
+            let prev = match e.peek() {
+                Some(&&(ei, ec)) if ei == index => ec,
+                _ => 0,
+            };
+            let d = c.saturating_sub(prev);
+            if d > 0 {
+                buckets.push((index, d));
+            }
+        }
+        HistogramSnapshot {
+            count,
+            sum: self.sum.wrapping_sub(earlier.sum),
+            max: self.max,
+            buckets,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_values_are_exact() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_upper_bound(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_tile_the_u64_range() {
+        // Each bucket's upper bound + 1 must map to the next bucket.
+        for i in 0..NUM_BUCKETS - 1 {
+            let hi = bucket_upper_bound(i);
+            assert_eq!(bucket_index(hi), i, "upper bound of {i} maps back");
+            assert_eq!(bucket_index(hi + 1), i + 1, "bound {hi}+1 enters {}", i + 1);
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_upper_bound(NUM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        for &v in &[17u64, 100, 999, 4096, 1_000_000, 123_456_789_000] {
+            let bound = bucket_upper_bound(bucket_index(v));
+            assert!(bound >= v);
+            assert!(
+                (bound - v) as f64 / v as f64 <= 1.0 / 16.0,
+                "v={v} bound={bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_and_max_are_deterministic() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.max, 1000);
+        assert_eq!(s.quantile(1.0), 1000);
+        let p50 = s.quantile(0.5);
+        assert!((450..=550).contains(&p50), "p50={p50}");
+        assert!(s.quantile(0.5) <= s.quantile(0.9));
+        assert!(s.quantile(0.9) <= s.quantile(0.99));
+        assert!(s.quantile(0.99) <= s.max);
+    }
+
+    #[test]
+    fn merge_matches_single_recording() {
+        let all = Histogram::new();
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in 0..500u64 {
+            let v = v * v % 7919;
+            all.record(v);
+            if v % 3 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        let mut merged = a.snapshot();
+        merged.merge_from(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+    }
+
+    #[test]
+    fn diff_of_self_is_zero_and_delta_is_exact() {
+        let h = Histogram::new();
+        for v in [3u64, 99, 1024] {
+            h.record(v);
+        }
+        let s1 = h.snapshot();
+        assert_eq!(s1.diff(&s1), HistogramSnapshot::default());
+        h.record(77);
+        h.record(2048);
+        let d = h.snapshot().diff(&s1);
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum, 77 + 2048);
+        assert_eq!(d.buckets.len(), 2);
+    }
+}

@@ -1,0 +1,35 @@
+//! popflow-obs — dependency-free telemetry for the popflow workspace.
+//!
+//! The crate provides exactly the observability surface the serving
+//! and batch layers need, with no external dependencies (std only, in
+//! the vendored-shim spirit of the rest of the workspace):
+//!
+//! - [`MetricsRegistry`] — named counters, gauges, and histograms.
+//!   Handles are resolved once by name (cold, takes a lock) and then
+//!   recorded through lock-free (relaxed atomics, no allocation), so
+//!   instrumentation is cheap enough to leave on in production.
+//! - [`Histogram`] — fixed-size log-bucketed atomic histogram: values
+//!   `0..=15` are exact, larger values land in one of 16 sub-buckets
+//!   per power-of-two octave (≤ 6.25% relative error over the full
+//!   `u64` range). Snapshots are mergeable and expose deterministic
+//!   nearest-rank quantiles (p50/p90/p99/p999) plus the exact max.
+//! - [`Timer`] / [`PhaseGuard`] — a span API for recording scoped
+//!   durations (nanoseconds) into histograms, manually or RAII-style.
+//! - [`Snapshot`] — a point-in-time export of the whole registry with
+//!   JSON round-trip ([`Snapshot::to_json`] / [`Snapshot::from_json`]),
+//!   Prometheus text exposition ([`Snapshot::to_prometheus`]), and
+//!   per-interval deltas ([`Snapshot::diff`]).
+//!
+//! Consumers agree on metric names by convention; the serving engine's
+//! names live in `popflow_serve::metric_names`.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod histogram;
+mod registry;
+mod snapshot;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use registry::{Counter, Gauge, MetricsRegistry, PhaseGuard, Timer};
+pub use snapshot::Snapshot;

@@ -1,0 +1,318 @@
+//! The metric registry plus counter/gauge handles and span timers.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::histogram::Histogram;
+use crate::snapshot::Snapshot;
+
+/// A cloneable handle to a monotonically increasing counter.
+///
+/// Clones share storage; increments are single relaxed atomic adds.
+#[derive(Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Counter").field(&self.get()).finish()
+    }
+}
+
+impl Counter {
+    /// Creates a detached counter (not owned by any registry).
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `delta`.
+    pub fn add(&self, delta: u64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A cloneable handle to a last-write-wins gauge.
+#[derive(Clone, Default)]
+pub struct Gauge {
+    value: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Gauge").field(&self.get()).finish()
+    }
+}
+
+impl Gauge {
+    /// Creates a detached gauge (not owned by any registry).
+    pub fn new() -> Self {
+        Gauge::default()
+    }
+
+    /// Overwrites the gauge value.
+    pub fn set(&self, value: u64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A monotonic stopwatch for timing spans of work.
+#[derive(Debug, Clone, Copy)]
+pub struct Timer {
+    start: Instant,
+}
+
+impl Timer {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Timer {
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since [`Timer::start`], saturated to `u64`.
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Records the elapsed nanoseconds into `histogram` and returns
+    /// them, so one measurement can feed both a histogram and a trace.
+    pub fn record_into(&self, histogram: &Histogram) -> u64 {
+        let ns = self.elapsed_ns();
+        histogram.record(ns);
+        ns
+    }
+}
+
+/// An RAII span: starts a [`Timer`] on creation and records the
+/// elapsed nanoseconds into its histogram when dropped.
+///
+/// ```
+/// use popflow_obs::MetricsRegistry;
+///
+/// let registry = MetricsRegistry::new();
+/// let hist = registry.histogram("phase.work_ns");
+/// {
+///     let _guard = hist.time();
+///     // ... the work being measured ...
+/// }
+/// assert_eq!(hist.count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct PhaseGuard {
+    histogram: Histogram,
+    timer: Timer,
+}
+
+impl PhaseGuard {
+    /// Starts a span that records into `histogram` on drop.
+    pub fn new(histogram: Histogram) -> Self {
+        PhaseGuard {
+            histogram,
+            timer: Timer::start(),
+        }
+    }
+}
+
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        self.timer.record_into(&self.histogram);
+    }
+}
+
+impl Histogram {
+    /// Starts an RAII span that records into this histogram on drop.
+    pub fn time(&self) -> PhaseGuard {
+        PhaseGuard::new(self.clone())
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// A registry of named counters, gauges, and histograms.
+///
+/// The registry is `Clone` (clones share the same metrics) and its
+/// accessors get-or-create, so any component holding a clone can
+/// resolve a handle by name once — typically at construction — and
+/// record through it lock-free afterwards. The name maps are only
+/// locked on registration and on [`MetricsRegistry::snapshot`], never
+/// on the record path.
+///
+/// ```
+/// use popflow_obs::MetricsRegistry;
+///
+/// let registry = MetricsRegistry::new();
+///
+/// // Resolve handles once (cold path)...
+/// let ingested = registry.counter("serve.records_ingested");
+/// let latency = registry.histogram("serve.ingest_ns");
+///
+/// // ...then record lock-free (hot path).
+/// ingested.inc();
+/// latency.record(1_250);
+///
+/// let snap = registry.snapshot();
+/// assert_eq!(snap.counters["serve.records_ingested"], 1);
+/// assert_eq!(snap.histograms["serve.ingest_ns"].count, 1);
+/// println!("{}", snap.to_prometheus());
+/// ```
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<RegistryInner>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry").finish_non_exhaustive()
+    }
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Returns the counter named `name`, creating it if absent.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self
+            .inner
+            .counters
+            .lock()
+            .expect("obs counter map poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns the gauge named `name`, creating it if absent.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.inner.gauges.lock().expect("obs gauge map poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Returns the histogram named `name`, creating it if absent.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self
+            .inner
+            .histograms
+            .lock()
+            .expect("obs histogram map poisoned");
+        map.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Captures a point-in-time [`Snapshot`] of every registered
+    /// metric.
+    pub fn snapshot(&self) -> Snapshot {
+        let counters = self
+            .inner
+            .counters
+            .lock()
+            .expect("obs counter map poisoned")
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect();
+        let gauges = self
+            .inner
+            .gauges
+            .lock()
+            .expect("obs gauge map poisoned")
+            .iter()
+            .map(|(name, g)| (name.clone(), g.get()))
+            .collect();
+        let histograms = self
+            .inner
+            .histograms
+            .lock()
+            .expect("obs histogram map poisoned")
+            .iter()
+            .map(|(name, h)| (name.clone(), h.snapshot()))
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn handles_share_storage_across_clones() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter("c");
+        let b = registry.clone().counter("c");
+        a.add(2);
+        b.inc();
+        assert_eq!(registry.counter("c").get(), 3);
+
+        let g = registry.gauge("g");
+        registry.gauge("g").set(42);
+        assert_eq!(g.get(), 42);
+    }
+
+    #[test]
+    fn histograms_are_shared_across_threads() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("h");
+        let clones: Vec<_> = (0..4).map(|_| h.clone()).collect();
+        let handles: Vec<_> = clones
+            .into_iter()
+            .map(|h| thread::spawn(move || (0..1000u64).for_each(|v| h.record(v))))
+            .collect();
+        for t in handles {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.snapshot().max, 999);
+    }
+
+    #[test]
+    fn phase_guard_records_on_drop() {
+        let registry = MetricsRegistry::new();
+        let h = registry.histogram("span");
+        {
+            let _g = h.time();
+        }
+        {
+            let _g = PhaseGuard::new(h.clone());
+        }
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn snapshot_sees_all_kinds() {
+        let registry = MetricsRegistry::new();
+        registry.counter("a").add(5);
+        registry.gauge("b").set(7);
+        registry.histogram("c").record(11);
+        let s = registry.snapshot();
+        assert_eq!(s.counters["a"], 5);
+        assert_eq!(s.gauges["b"], 7);
+        assert_eq!(s.histograms["c"].sum, 11);
+    }
+}

@@ -1,0 +1,470 @@
+//! Point-in-time metric snapshots: JSON round-trip, Prometheus text
+//! exposition, and per-interval diffs.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::histogram::HistogramSnapshot;
+
+/// A point-in-time copy of every metric in a
+/// [`MetricsRegistry`](crate::MetricsRegistry).
+///
+/// Maps are ordered (`BTreeMap`), so two snapshots of the same state
+/// serialize identically and [`Snapshot::to_json`] round-trips through
+/// [`Snapshot::from_json`] exactly.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Snapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram states by name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// True when every counter, gauge, and histogram is zero/empty.
+    pub fn is_all_zero(&self) -> bool {
+        self.counters.values().all(|&v| v == 0)
+            && self.gauges.values().all(|&v| v == 0)
+            && self.histograms.values().all(|h| h.is_empty())
+    }
+
+    /// Per-interval delta `self - earlier`.
+    ///
+    /// Counters and gauges subtract saturating; histogram buckets,
+    /// counts, and sums subtract element-wise (a histogram whose count
+    /// did not change comes back empty). Metrics absent from `earlier`
+    /// keep their full value; metrics absent from `self` are dropped.
+    /// `diff` of two identical snapshots is all-zero.
+    pub fn diff(&self, earlier: &Snapshot) -> Snapshot {
+        let sub = |map: &BTreeMap<String, u64>, old: &BTreeMap<String, u64>| {
+            map.iter()
+                .map(|(k, &v)| {
+                    (
+                        k.clone(),
+                        v.saturating_sub(old.get(k).copied().unwrap_or(0)),
+                    )
+                })
+                .collect()
+        };
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let d = match earlier.histograms.get(k) {
+                    Some(old) => h.diff(old),
+                    None => h.clone(),
+                };
+                (k.clone(), d)
+            })
+            .collect();
+        Snapshot {
+            counters: sub(&self.counters, &earlier.counters),
+            gauges: sub(&self.gauges, &earlier.gauges),
+            histograms,
+        }
+    }
+
+    /// Serializes to a single-line JSON object:
+    /// `{"counters":{..},"gauges":{..},"histograms":{"name":{"count":..,"sum":..,"max":..,"buckets":[[i,c],..]},..}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\":{");
+        push_u64_map(&mut out, &self.counters);
+        out.push_str("},\"gauges\":{");
+        push_u64_map(&mut out, &self.gauges);
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{}:{{\"count\":{},\"sum\":{},\"max\":{},\"buckets\":[",
+                json_string(name),
+                h.count,
+                h.sum,
+                h.max
+            );
+            for (j, (index, count)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{index},{count}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Parses the format produced by [`Snapshot::to_json`].
+    ///
+    /// This is a minimal hand-rolled parser (the workspace is
+    /// dependency-free): it accepts arbitrary whitespace but only the
+    /// shapes `to_json` emits — string keys, unsigned-integer values,
+    /// and `[index, count]` bucket pairs.
+    pub fn from_json(input: &str) -> Result<Snapshot, String> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        let snap = p.parse_snapshot()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing input at byte {}", p.pos));
+        }
+        Ok(snap)
+    }
+
+    /// Renders the Prometheus text exposition format: counters and
+    /// gauges verbatim, histograms as summaries with
+    /// `quantile="0.5|0.9|0.99|0.999"` labels plus `_sum`, `_count`,
+    /// and `_max` series. Metric names are sanitized to
+    /// `[a-zA-Z0-9_:]`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::with_capacity(512);
+        for (name, value) in &self.counters {
+            let n = sanitize_prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {n} counter\n{n} {value}");
+        }
+        for (name, value) in &self.gauges {
+            let n = sanitize_prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {n} gauge\n{n} {value}");
+        }
+        for (name, h) in &self.histograms {
+            let n = sanitize_prometheus_name(name);
+            let _ = writeln!(out, "# TYPE {n} summary");
+            for (label, q) in [("0.5", 0.5), ("0.9", 0.9), ("0.99", 0.99), ("0.999", 0.999)] {
+                let _ = writeln!(out, "{n}{{quantile=\"{label}\"}} {}", h.quantile(q));
+            }
+            let _ = writeln!(out, "{n}_sum {}\n{n}_count {}", h.sum, h.count);
+            let _ = writeln!(out, "# TYPE {n}_max gauge\n{n}_max {}", h.max);
+        }
+        out
+    }
+}
+
+fn push_u64_map(out: &mut String, map: &BTreeMap<String, u64>) {
+    for (i, (name, value)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", json_string(name), value);
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn sanitize_prometheus_name(name: &str) -> String {
+    let mut out: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Minimal recursive-descent parser over the `to_json` grammar.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        match self.peek() {
+            Some(b) if b == byte => {
+                self.pos += 1;
+                Ok(())
+            }
+            other => Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                byte as char,
+                self.pos,
+                other.map(|b| b as char)
+            )),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos).copied() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        other => return Err(format!("unsupported escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input came from &str).
+                    let rest = &self.bytes[self.pos..];
+                    let c = std::str::from_utf8(rest)
+                        .map_err(|e| e.to_string())?
+                        .chars()
+                        .next()
+                        .expect("non-empty rest");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_u64(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected digit at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("ascii digits")
+            .parse()
+            .map_err(|e| format!("bad integer: {e}"))
+    }
+
+    /// Parses `{ "k": <v>, ... }` with `f` handling each value.
+    fn parse_object<T>(
+        &mut self,
+        mut f: impl FnMut(&mut Self) -> Result<T, String>,
+    ) -> Result<BTreeMap<String, T>, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(map);
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            map.insert(key, f(self)?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(map);
+                }
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+
+    fn parse_histogram(&mut self) -> Result<HistogramSnapshot, String> {
+        let mut h = HistogramSnapshot::default();
+        self.expect(b'{')?;
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            match key.as_str() {
+                "count" => h.count = self.parse_u64()?,
+                "sum" => h.sum = self.parse_u64()?,
+                "max" => h.max = self.parse_u64()?,
+                "buckets" => h.buckets = self.parse_buckets()?,
+                other => return Err(format!("unknown histogram field {other:?}")),
+            }
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(h);
+                }
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+
+    fn parse_buckets(&mut self) -> Result<Vec<(u16, u64)>, String> {
+        self.expect(b'[')?;
+        let mut buckets = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(buckets);
+        }
+        loop {
+            self.expect(b'[')?;
+            let index = self.parse_u64()?;
+            let index = u16::try_from(index).map_err(|_| format!("bucket index {index} > u16"))?;
+            self.expect(b',')?;
+            let count = self.parse_u64()?;
+            self.expect(b']')?;
+            buckets.push((index, count));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(buckets);
+                }
+                other => return Err(format!("expected ',' or ']', found {other:?}")),
+            }
+        }
+    }
+
+    fn parse_snapshot(&mut self) -> Result<Snapshot, String> {
+        let mut snap = Snapshot::default();
+        self.expect(b'{')?;
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            match key.as_str() {
+                "counters" => snap.counters = self.parse_object(Parser::parse_u64)?,
+                "gauges" => snap.gauges = self.parse_object(Parser::parse_u64)?,
+                "histograms" => snap.histograms = self.parse_object(Parser::parse_histogram)?,
+                other => return Err(format!("unknown snapshot field {other:?}")),
+            }
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(snap);
+                }
+                other => return Err(format!("expected ',' or '}}', found {other:?}")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    fn sample() -> Snapshot {
+        let r = MetricsRegistry::new();
+        r.counter("requests").add(17);
+        r.counter("zero");
+        r.gauge("bytes").set(u64::MAX);
+        let h = r.histogram("latency_ns");
+        for v in [0u64, 3, 15, 16, 17, 1024, 1_000_000, u64::MAX] {
+            h.record(v);
+        }
+        r.snapshot()
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let snap = sample();
+        let json = snap.to_json();
+        let back = Snapshot::from_json(&json).expect("parses");
+        assert_eq!(back, snap);
+        // Whitespace-tolerant.
+        let spaced = json.replace(',', " ,\n ").replace(':', " : ");
+        assert_eq!(Snapshot::from_json(&spaced).expect("parses"), snap);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = Snapshot::default();
+        assert_eq!(Snapshot::from_json(&snap.to_json()).unwrap(), snap);
+    }
+
+    #[test]
+    fn diff_of_identical_snapshots_is_all_zero() {
+        let snap = sample();
+        let d = snap.diff(&snap);
+        assert!(d.is_all_zero(), "diff not zero: {d:?}");
+        // Same names survive so dashboards can still find them.
+        assert_eq!(d.counters.len(), snap.counters.len());
+        assert_eq!(d.histograms.len(), snap.histograms.len());
+    }
+
+    #[test]
+    fn diff_yields_interval_deltas() {
+        let r = MetricsRegistry::new();
+        let c = r.counter("c");
+        let h = r.histogram("h");
+        c.add(10);
+        h.record(5);
+        let before = r.snapshot();
+        c.add(7);
+        h.record(500);
+        let d = r.snapshot().diff(&before);
+        assert_eq!(d.counters["c"], 7);
+        assert_eq!(d.histograms["h"].count, 1);
+        assert_eq!(d.histograms["h"].sum, 500);
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let text = sample().to_prometheus();
+        assert!(text.contains("# TYPE requests counter\nrequests 17\n"));
+        assert!(text.contains("# TYPE bytes gauge\n"));
+        assert!(text.contains("# TYPE latency_ns summary"));
+        assert!(text.contains("latency_ns{quantile=\"0.99\"}"));
+        assert!(text.contains("latency_ns_count 8"));
+        // Dots sanitize to underscores.
+        let r = MetricsRegistry::new();
+        r.counter("serve.advance.total").inc();
+        assert!(r
+            .snapshot()
+            .to_prometheus()
+            .contains("serve_advance_total 1"));
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        for bad in [
+            "",
+            "{",
+            "{\"counters\":{\"a\":-1}}",
+            "{\"bogus\":{}}",
+            "{} trailing",
+        ] {
+            assert!(Snapshot::from_json(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

@@ -5,7 +5,7 @@
 //! produce — bit-identical flows, for every query, under both advance
 //! strategies.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 use indoor_iupt::{ObjectId, Record, Timestamp};
@@ -16,8 +16,11 @@ use popflow_core::{
     ThresholdStep, WindowSpec,
 };
 use popflow_exec::{Reply, ShardDown, ShardPool};
+use popflow_obs::{Counter, Gauge, Histogram, MetricsRegistry, Timer};
 
+use crate::metric_names as names;
 use crate::shard::{EagerReport, EvalReport, ShardWorker};
+use crate::trace::{AdvanceTrace, QueryTrace, ShardTrace};
 
 /// One merged window of an eager advance: the union-wide flow map plus
 /// the shared [`SearchStats`] reported for every query on that window.
@@ -64,6 +67,17 @@ pub struct ServeConfig {
     pub strategy: AdvanceStrategy,
     /// Queries registered at engine construction, in registration order.
     pub queries: Vec<QuerySpec>,
+    /// Whether to record internal telemetry (phase histograms, mirrored
+    /// counters, advance traces) into the engine's
+    /// [`MetricsRegistry`]. On by default — instrumentation is relaxed
+    /// atomics with no hot-path allocation, and results are
+    /// bit-identical either way — but can be disabled for overhead
+    /// comparisons.
+    pub metrics: bool,
+    /// How many [`AdvanceTrace`]s the engine retains for
+    /// [`ServeEngine::recent_traces`] (oldest evicted first; 0
+    /// disables tracing). Only applies when `metrics` is on.
+    pub trace_capacity: usize,
 }
 
 impl ServeConfig {
@@ -80,6 +94,8 @@ impl ServeConfig {
             flow: FlowConfig::default().with_dp_engine(),
             strategy: AdvanceStrategy::default(),
             queries: Vec::new(),
+            metrics: true,
+            trace_capacity: 64,
         }
     }
 
@@ -125,6 +141,106 @@ impl ServeConfig {
     pub fn with_strategy(mut self, strategy: AdvanceStrategy) -> Self {
         self.strategy = strategy;
         self
+    }
+
+    /// Enables or disables internal telemetry (see
+    /// [`ServeConfig::metrics`]).
+    pub fn with_metrics(mut self, metrics: bool) -> Self {
+        self.metrics = metrics;
+        self
+    }
+
+    /// Overrides the advance-trace ring buffer capacity (see
+    /// [`ServeConfig::trace_capacity`]).
+    pub fn with_trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+}
+
+/// Pre-resolved metric handles: looked up by name once at engine
+/// construction, recorded through lock-free afterwards.
+#[derive(Debug)]
+struct ServeMetrics {
+    records_ingested: Counter,
+    records_rejected: Counter,
+    advances: Counter,
+    cache_hits: Counter,
+    straddler_recomputes: Counter,
+    fresh_presence: Counter,
+    presence_cells: Counter,
+    presence_skipped: Counter,
+    cache_resets: Counter,
+    log_bytes: Gauge,
+    intern_hits: Gauge,
+    registered_queries: Gauge,
+    ingest_ns: Histogram,
+    advance_ns: Histogram,
+    lazy_eval_ns: Histogram,
+    /// One histogram per advance phase, keyed by metric name (≤ 6
+    /// entries; linear scan beats hashing at this size).
+    phases: Vec<(&'static str, Histogram)>,
+}
+
+impl ServeMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        let phase_names = [
+            names::PHASE_EVAL_RPC_NS,
+            names::PHASE_MERGE_NS,
+            names::PHASE_SLICE_NS,
+            names::PHASE_BOUNDS_RPC_NS,
+            names::PHASE_BOUNDS_MERGE_NS,
+            names::PHASE_THRESHOLD_NS,
+        ];
+        ServeMetrics {
+            records_ingested: registry.counter(names::RECORDS_INGESTED),
+            records_rejected: registry.counter(names::RECORDS_REJECTED),
+            advances: registry.counter(names::ADVANCES),
+            cache_hits: registry.counter(names::CACHE_HITS),
+            straddler_recomputes: registry.counter(names::STRADDLER_RECOMPUTES),
+            fresh_presence: registry.counter(names::FRESH_PRESENCE),
+            presence_cells: registry.counter(names::PRESENCE_CELLS),
+            presence_skipped: registry.counter(names::PRESENCE_SKIPPED),
+            cache_resets: registry.counter(names::CACHE_RESETS),
+            log_bytes: registry.gauge(names::LOG_BYTES),
+            intern_hits: registry.gauge(names::INTERN_HITS),
+            registered_queries: registry.gauge(names::REGISTERED_QUERIES),
+            ingest_ns: registry.histogram(names::INGEST_NS),
+            advance_ns: registry.histogram(names::ADVANCE_NS),
+            lazy_eval_ns: registry.histogram(names::LAZY_EVAL_NS),
+            phases: phase_names
+                .into_iter()
+                .map(|name| (name, registry.histogram(name)))
+                .collect(),
+        }
+    }
+
+    /// Records one phase duration into its histogram.
+    fn record_phase(&self, name: &'static str, ns: u64) {
+        if let Some((_, h)) = self.phases.iter().find(|(n, _)| *n == name) {
+            h.record(ns);
+        }
+    }
+
+    /// Re-mirrors the flat [`ServeStats`] into the registry: gauges are
+    /// overwritten, counters lifted to the stats value (all stats
+    /// counters are monotone, and only the coordinator thread writes).
+    fn sync_from(&self, stats: &ServeStats) {
+        let lift = |counter: &Counter, value: u64| {
+            counter.add(value.saturating_sub(counter.get()));
+        };
+        lift(&self.records_ingested, stats.records_ingested);
+        lift(&self.records_rejected, stats.records_rejected);
+        lift(&self.advances, stats.advances);
+        lift(&self.cache_hits, stats.cache_hits);
+        lift(&self.straddler_recomputes, stats.straddler_recomputes);
+        lift(&self.fresh_presence, stats.fresh_presence);
+        lift(&self.presence_cells, stats.presence_cells);
+        lift(&self.presence_skipped, stats.presence_skipped);
+        lift(&self.cache_resets, stats.cache_resets);
+        self.log_bytes.set(stats.log_bytes);
+        self.intern_hits.set(stats.intern_hits);
+        self.registered_queries.set(stats.registered_queries);
     }
 }
 
@@ -195,13 +311,15 @@ pub struct ServeStats {
     /// [`AdvanceStrategy::Eager`].
     pub presence_skipped: u64,
     /// Resident bytes of the shard logs' columnar stores (summed across
-    /// shards). A *gauge*, not a counter: refreshed by each advance from
-    /// the shards' [`indoor_iupt::StoreStats`], so it reflects the log
-    /// footprint as of the latest advance (0 before the first).
+    /// shards). A *gauge*, not a counter: [`ServeEngine::stats`] asks
+    /// the shards for their live [`indoor_iupt::StoreStats`], so the
+    /// value reflects the current log footprint — including records
+    /// ingested since the last advance (it used to go stale between
+    /// advances).
     pub log_bytes: u64,
     /// Ingested sample sets the shard interners deduplicated to an
     /// already-stored copy (summed across shards). Like
-    /// [`ServeStats::log_bytes`], a gauge refreshed per advance.
+    /// [`ServeStats::log_bytes`], a live gauge.
     pub intern_hits: u64,
     /// Queries currently registered — a gauge tracking
     /// [`ServeEngine::register`] / [`ServeEngine::unregister`].
@@ -313,6 +431,14 @@ pub struct ServeEngine {
     sealed_frontier_millis: Option<i64>,
     /// Set by the first failed advance; see the failure contract above.
     poisoned: Option<String>,
+    /// The engine's telemetry registry (empty when
+    /// [`ServeConfig::metrics`] is off).
+    registry: MetricsRegistry,
+    /// Pre-resolved metric handles; `None` disables all recording.
+    metrics: Option<ServeMetrics>,
+    /// Ring buffer of the last [`ServeConfig::trace_capacity`] advance
+    /// traces, oldest first.
+    traces: VecDeque<AdvanceTrace>,
 }
 
 impl ServeEngine {
@@ -322,14 +448,27 @@ impl ServeEngine {
         assert!(config.num_shards >= 1, "need at least one shard");
         let flow = config.flow;
         let bucket_millis = config.bucket_millis;
-        let pool = ShardPool::new("popflow-shard", config.num_shards, |_| {
+        let registry = MetricsRegistry::new();
+        // Workers share one seal histogram (same name resolves to the
+        // same storage); the coordinator's handles are resolved below.
+        let seal_ns = config
+            .metrics
+            .then(|| registry.histogram(names::SHARD_SEAL_NS));
+        let mut pool = ShardPool::new("popflow-shard", config.num_shards, |_| {
             ShardWorker::new(
                 Arc::clone(&space),
                 QuerySet::new(Vec::new()),
                 flow,
                 bucket_millis,
+                seal_ns.clone(),
             )
         });
+        let metrics = if config.metrics {
+            pool.set_metrics(&registry, names::POOL_PREFIX);
+            Some(ServeMetrics::new(&registry))
+        } else {
+            None
+        };
         let initial = config.queries.clone();
         let mut engine = ServeEngine {
             config,
@@ -342,6 +481,9 @@ impl ServeEngine {
             last_advance: None,
             sealed_frontier_millis: None,
             poisoned: None,
+            registry,
+            metrics,
+            traces: VecDeque::new(),
         };
         for spec in initial {
             engine
@@ -352,8 +494,40 @@ impl ServeEngine {
     }
 
     /// Cumulative serving counters.
+    ///
+    /// The [`ServeStats::log_bytes`] / [`ServeStats::intern_hits`]
+    /// gauges are refreshed from the live shard stores on every call
+    /// (a cheap per-shard store-stats round-trip), so they are current
+    /// even before the first advance and between advances. A poisoned
+    /// (or shard-down) engine returns the last cached values instead.
     pub fn stats(&self) -> ServeStats {
-        self.stats
+        let mut stats = self.stats;
+        if self.poisoned.is_none() {
+            if let Ok(stores) = self
+                .pool
+                .ask_all(|_, worker: &mut ShardWorker| worker.store_stats())
+            {
+                stats.log_bytes = stores.iter().map(|s| s.bytes as u64).sum();
+                stats.intern_hits = stores.iter().map(|s| s.intern_hits).sum();
+            }
+        }
+        if let Some(m) = &self.metrics {
+            m.sync_from(&stats);
+        }
+        stats
+    }
+
+    /// The engine's telemetry registry. Snapshot it for export:
+    /// `engine.metrics().snapshot().to_json()` (or `.to_prometheus()`).
+    /// Empty when [`ServeConfig::metrics`] is off.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The retained [`AdvanceTrace`]s, oldest first (at most
+    /// [`ServeConfig::trace_capacity`]; empty when metrics are off).
+    pub fn recent_traces(&self) -> impl Iterator<Item = &AdvanceTrace> {
+        self.traces.iter()
     }
 
     /// The engine configuration (as constructed; for the live query
@@ -438,6 +612,9 @@ impl ServeEngine {
     /// be missing locations); shrinkage keeps the caches.
     fn sync_union(&mut self) -> Result<(), FlowError> {
         self.stats.registered_queries = self.queries.len() as u64;
+        if let Some(m) = &self.metrics {
+            m.registered_queries.set(self.stats.registered_queries);
+        }
         let union: QuerySet = self
             .queries
             .iter()
@@ -459,6 +636,9 @@ impl ServeEngine {
                     let e = self.shard_down(down);
                     self.poison(e)
                 })?;
+        }
+        if let Some(m) = &self.metrics {
+            m.sync_from(&self.stats);
         }
         Ok(())
     }
@@ -495,6 +675,9 @@ impl ServeEngine {
         if let Some(last) = self.last_ingest {
             if t < last {
                 self.stats.records_rejected += 1;
+                if let Some(m) = &self.metrics {
+                    m.records_rejected.inc();
+                }
                 return Err(FlowError::TimeRegression {
                     last_millis: last.millis(),
                     offending_millis: t.millis(),
@@ -504,6 +687,9 @@ impl ServeEngine {
         if let Some(frontier) = self.sealed_frontier_millis {
             if t.millis() < frontier {
                 self.stats.records_rejected += 1;
+                if let Some(m) = &self.metrics {
+                    m.records_rejected.inc();
+                }
                 return Err(FlowError::TimeRegression {
                     last_millis: frontier,
                     offending_millis: t.millis(),
@@ -546,6 +732,9 @@ impl ServeEngine {
             }
         }
         self.last_advance = Some(now);
+        let total_timer = Timer::start();
+        let mut trace =
+            AdvanceTrace::new(self.stats.advances + 1, now.millis(), self.config.strategy);
 
         // All queries share the bucket width, so they share the end
         // bucket; window lengths (and thus starts) differ per query.
@@ -560,8 +749,12 @@ impl ServeEngine {
         let global_start = starts[0];
 
         let result = match self.config.strategy {
-            AdvanceStrategy::Eager => self.advance_eager(global_start, end_bucket, &starts),
-            AdvanceStrategy::BoundPruned => self.advance_pruned(global_start, end_bucket, &starts),
+            AdvanceStrategy::Eager => {
+                self.advance_eager(global_start, end_bucket, &starts, &mut trace)
+            }
+            AdvanceStrategy::BoundPruned => {
+                self.advance_pruned(global_start, end_bucket, &starts, &mut trace)
+            }
         };
         // Buckets through `end_bucket` are now sealed engine-wide — even
         // if a shard reported an error: some shards may have sealed
@@ -581,11 +774,15 @@ impl ServeEngine {
         self.stats.advances += 1;
 
         debug_assert_eq!(outcomes.len(), self.queries.len());
+        let slice_timer = Timer::start();
         let mut updates = Vec::with_capacity(self.queries.len());
-        for (reg, outcome) in self.queries.iter_mut().zip(outcomes) {
+        for (qi, (reg, outcome)) in self.queries.iter_mut().zip(outcomes).enumerate() {
             let (_, window) = reg.spec.window.window_at(now);
             let fresh = outcome.topk_slocs();
             let (changed, entered, left) = diff_topk(reg.previous.as_deref(), &fresh);
+            if let Some(q) = trace.queries.get_mut(qi) {
+                q.changed = changed;
+            }
             reg.previous = Some(fresh);
             updates.push((
                 reg.id,
@@ -597,6 +794,21 @@ impl ServeEngine {
                     window,
                 },
             ));
+        }
+        trace.add_phase(names::PHASE_SLICE_NS, slice_timer.elapsed_ns());
+        trace.total_ns = total_timer.elapsed_ns();
+        if let Some(m) = &self.metrics {
+            m.advance_ns.record(trace.total_ns);
+            for &(name, ns) in &trace.phases {
+                m.record_phase(name, ns);
+            }
+            m.sync_from(&self.stats);
+            if self.config.trace_capacity > 0 {
+                if self.traces.len() == self.config.trace_capacity {
+                    self.traces.pop_front();
+                }
+                self.traces.push_back(trace);
+            }
         }
         Ok(updates)
     }
@@ -620,31 +832,48 @@ impl ServeEngine {
         global_start: i64,
         end_bucket: i64,
         starts: &[i64],
+        trace: &mut AdvanceTrace,
     ) -> Result<Vec<QueryOutcome>, FlowError> {
         let request: Vec<i64> = starts.to_vec();
+        let rpc_timer = Timer::start();
         let reports = self
             .pool
             .ask_all(move |_, worker: &mut ShardWorker| {
                 worker.evaluate_multi(global_start, end_bucket, &request)
             })
             .map_err(|down| self.shard_down(down))?;
+        trace.add_phase(names::PHASE_EVAL_RPC_NS, rpc_timer.elapsed_ns());
+
+        let merge_timer = Timer::start();
         self.stats.log_bytes = 0;
         self.stats.intern_hits = 0;
-        for report in &reports {
+        for (shard, report) in reports.iter().enumerate() {
             self.stats.fresh_presence += report.fresh_presence as u64;
             self.stats.presence_cells += report.presence_cells as u64;
             self.stats.log_bytes += report.store.bytes as u64;
             self.stats.intern_hits += report.store.intern_hits;
+            let mut shard_trace = ShardTrace {
+                shard,
+                presence_cells: report.presence_cells as u64,
+                ..ShardTrace::default()
+            };
             for win in &report.windows {
                 self.stats.cache_hits += win.cache_hits as u64;
                 self.stats.straddler_recomputes += win.straddlers as u64;
+                shard_trace.cache_hits += win.cache_hits as u64;
+                shard_trace.straddlers += win.straddlers as u64;
             }
+            trace.shards.push(shard_trace);
         }
         let merged = self.merge_windows(reports, starts.len())?;
-        Ok(self
+        trace.add_phase(names::PHASE_MERGE_NS, merge_timer.elapsed_ns());
+
+        let slice_timer = Timer::start();
+        let outcomes = self
             .queries
             .iter()
             .map(|reg| {
+                let query_timer = Timer::start();
                 let wi = Self::window_index(starts, end_bucket, reg.spec.window.window_buckets);
                 let (scores, stats) = &merged[wi];
                 // Slice the union-merged scores down to this query's
@@ -658,12 +887,20 @@ impl ServeEngine {
                     .iter()
                     .map(|&s| (s, scores.get(&s).copied().unwrap_or(0.0)))
                     .collect();
-                QueryOutcome {
+                let outcome = QueryOutcome {
                     ranking: rank_topk(sliced, reg.spec.k),
                     stats: stats.clone(),
-                }
+                };
+                trace.queries.push(QueryTrace {
+                    id: reg.id,
+                    ns: query_timer.elapsed_ns(),
+                    changed: false,
+                });
+                outcome
             })
-            .collect())
+            .collect();
+        trace.add_phase(names::PHASE_SLICE_NS, slice_timer.elapsed_ns());
+        Ok(outcomes)
     }
 
     /// Merges eager shard reports into one global score map per window,
@@ -725,19 +962,29 @@ impl ServeEngine {
         global_start: i64,
         end_bucket: i64,
         starts: &[i64],
+        trace: &mut AdvanceTrace,
     ) -> Result<Vec<QueryOutcome>, FlowError> {
         // ---- Phase 1: bounds, for every window at once. Per-shard
         // replies (gathered in shard order) keep candidate lists
         // attributable to the shard that owns the objects.
         let request: Vec<i64> = starts.to_vec();
+        let rpc_timer = Timer::start();
         let reports = self
             .pool
             .ask_all(move |_, worker: &mut ShardWorker| {
                 worker.advance_bounds_multi(global_start, end_bucket, &request)
             })
             .map_err(|down| self.shard_down(down))?;
+        trace.add_phase(names::PHASE_BOUNDS_RPC_NS, rpc_timer.elapsed_ns());
 
+        let bounds_timer = Timer::start();
         let num_shards = self.pool.shards();
+        trace.shards = (0..num_shards)
+            .map(|shard| ShardTrace {
+                shard,
+                ..ShardTrace::default()
+            })
+            .collect();
         let mut windows: Vec<WindowState> = starts
             .iter()
             .map(|&start| WindowState {
@@ -761,8 +1008,10 @@ impl ServeEngine {
                 let state = &mut windows[wi];
                 state.objects_total += win.objects_total;
                 self.stats.straddler_recomputes += win.straddlers as u64;
+                trace.shards[shard].straddlers += win.straddlers as u64;
                 for (oid, relevant) in win.candidates {
                     state.total_cells += relevant.len() as u64;
+                    trace.shards[shard].candidate_cells += relevant.len() as u64;
                     for &q in &relevant {
                         *state.counts.entry(q).or_insert(0) += 1;
                         state.per_shard[shard].entry(q).or_default().push(oid);
@@ -770,15 +1019,18 @@ impl ServeEngine {
                 }
             }
         }
+        trace.add_phase(names::PHASE_BOUNDS_MERGE_NS, bounds_timer.elapsed_ns());
 
         // ---- Phase 2: one threshold loop per query (Algorithm 4's heap
         // loop over per-location COUNT bounds), in registration order.
         // Zero-candidate locations have an exactly-zero flow with no
         // work at all; locations another query already finalized are
         // free.
+        let threshold_timer = Timer::start();
         let mut work = PrunedWork::default();
         let mut outcomes = Vec::with_capacity(self.queries.len());
         for qi in 0..self.queries.len() {
+            let query_timer = Timer::start();
             let spec = self.queries[qi].spec.clone();
             let wi = Self::window_index(starts, end_bucket, spec.window.window_buckets);
             let mut heap = ThresholdHeap::new();
@@ -803,9 +1055,11 @@ impl ServeEngine {
                         let flow = Self::evaluate_location(
                             &self.pool,
                             &mut self.stats,
+                            self.metrics.as_ref(),
                             sloc,
                             state,
                             &mut work,
+                            &mut trace.shards,
                         )?;
                         state.flows.insert(sloc, flow);
                         heap.push_exact(sloc, flow);
@@ -820,6 +1074,11 @@ impl ServeEngine {
                     dp_fallback_objects: windows[wi].dp_fallback_objects.len(),
                 },
             });
+            trace.queries.push(QueryTrace {
+                id: self.queries[qi].id,
+                ns: query_timer.elapsed_ns(),
+                changed: false,
+            });
         }
         for state in &windows {
             self.stats.presence_skipped += state.total_cells - state.requested_cells;
@@ -828,6 +1087,7 @@ impl ServeEngine {
         // round-trips still counts once toward the per-object presence
         // stat.
         self.stats.fresh_presence += work.fresh_objects.len() as u64;
+        trace.add_phase(names::PHASE_THRESHOLD_NS, threshold_timer.elapsed_ns());
         Ok(outcomes)
     }
 
@@ -840,10 +1100,13 @@ impl ServeEngine {
     fn evaluate_location(
         pool: &ShardPool<ShardWorker>,
         stats: &mut ServeStats,
+        metrics: Option<&ServeMetrics>,
         sloc: SLocId,
         state: &mut WindowState,
         work: &mut PrunedWork,
+        shard_traces: &mut [ShardTrace],
     ) -> Result<f64, FlowError> {
+        let lazy_timer = Timer::start();
         let window_start = state.start;
         let mut replies: Vec<Reply<EvalReport>> = Vec::new();
         for (shard, candidates) in state.per_shard.iter().enumerate() {
@@ -861,6 +1124,7 @@ impl ServeEngine {
         }
         let mut contributions: Vec<(ObjectId, ObjectContribution)> = Vec::new();
         for reply in replies {
+            let shard = reply.shard();
             let mut report = reply.recv().map_err(|down| FlowError::EngineUnavailable {
                 detail: down.to_string(),
             })?;
@@ -869,6 +1133,10 @@ impl ServeEngine {
             }
             stats.presence_cells += report.evaluated_cells as u64;
             stats.cache_hits += report.cached_cells as u64;
+            if let Some(t) = shard_traces.get_mut(shard) {
+                t.presence_cells += report.evaluated_cells as u64;
+                t.cache_hits += report.cached_cells as u64;
+            }
             work.fresh_objects.extend(report.evaluated_oids);
             state.requested_cells += (report.evaluated_cells + report.cached_cells) as u64;
             contributions.append(&mut report.contributions);
@@ -889,6 +1157,9 @@ impl ServeEngine {
                 }
             }
         }
+        if let Some(m) = metrics {
+            lazy_timer.record_into(&m.lazy_eval_ns);
+        }
         Ok(flow)
     }
 }
@@ -904,6 +1175,10 @@ impl ContinuousEngine for ServeEngine {
     fn ingest(&mut self, record: Record) -> Result<(), FlowError> {
         self.check_poisoned()?;
         self.check_ingest_time(record.t)?;
+        // Hot path: when metrics are on, the cost is one timestamp pair,
+        // one histogram record, and one counter add — no allocation, no
+        // locks, and no effect on what the shard computes.
+        let timer = self.metrics.as_ref().map(|_| Timer::start());
         self.last_ingest = Some(record.t);
         let shard = self
             .pool
@@ -916,6 +1191,10 @@ impl ContinuousEngine for ServeEngine {
                 self.poison(e)
             })?;
         self.stats.records_ingested += 1;
+        if let (Some(m), Some(timer)) = (&self.metrics, timer) {
+            timer.record_into(&m.ingest_ns);
+            m.records_ingested.inc();
+        }
         Ok(())
     }
 

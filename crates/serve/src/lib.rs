@@ -77,9 +77,12 @@
 //! example in `popflow-eval`.
 
 mod engine;
+pub mod metric_names;
 mod shard;
+mod trace;
 
 pub use engine::{AdvanceStrategy, ServeConfig, ServeEngine, ServeStats};
+pub use trace::{AdvanceTrace, QueryTrace, ShardTrace};
 // The registry vocabulary lives in `popflow-core` (the `RecomputeEngine`
 // baseline shares it); re-exported so serving call sites need one import.
 pub use popflow_core::{QueryId, QuerySpec};
@@ -579,6 +582,169 @@ mod tests {
         let update = engine.advance(Timestamp(8_999)).unwrap();
         assert_eq!(update.outcome.ranking.len(), 2);
         assert_eq!(engine.current_for(id).unwrap(), update.outcome.topk_slocs());
+    }
+
+    /// Regression for the stale-gauge bug: `stats()` used to report the
+    /// `log_bytes`/`intern_hits` captured at the *last advance*, so the
+    /// footprint of records ingested since then was invisible. The
+    /// gauges are now refreshed from the live shard stores on every
+    /// `stats()` call.
+    #[test]
+    fn store_gauges_are_fresh_between_advances() {
+        let (mut engine, _space) = paper_engine(WindowSpec::new(4_000, 2), 2);
+        let records = paper_table2().to_records();
+        engine.ingest_all(records[..5].to_vec()).unwrap();
+        // Before any advance the old code reported 0 — the ingested
+        // records must already show up.
+        let before = engine.stats();
+        assert!(
+            before.log_bytes > 0,
+            "ingested log invisible before first advance: {before:?}"
+        );
+        // Advance only to the next record's timestamp: the sealed
+        // frontier stays at or below it, so the rest of the stream is
+        // not late.
+        engine.advance(records[5].t).unwrap();
+        let at_advance = engine.stats();
+        assert!(at_advance.log_bytes >= before.log_bytes);
+        // Ingest more without advancing: the gauge must grow NOW, not at
+        // the next advance.
+        engine.ingest_all(records[5..].to_vec()).unwrap();
+        let after = engine.stats();
+        assert!(
+            after.log_bytes > at_advance.log_bytes,
+            "gauge went stale between advances: {at_advance:?} -> {after:?}"
+        );
+        // The mirrored registry gauge refreshes along with it.
+        let snap = engine.metrics().snapshot();
+        assert_eq!(snap.gauges["serve.log_bytes"], after.log_bytes);
+    }
+
+    /// Every advance leaves a trace in the ring buffer: phases tile the
+    /// measured total, shard and query attribution is present, and the
+    /// buffer caps at the configured capacity (oldest dropped first).
+    #[test]
+    fn advance_traces_ring_buffer() {
+        for strategy in [AdvanceStrategy::Eager, AdvanceStrategy::BoundPruned] {
+            let fig = paper_figure1();
+            let cfg = ServeConfig::new(2, QuerySet::new(fig.r.to_vec()), WindowSpec::new(1_000, 4))
+                .with_shards(3)
+                .with_strategy(strategy)
+                .with_trace_capacity(3);
+            let mut engine = ServeEngine::new(Arc::new(fig.space.clone()), cfg);
+            engine.ingest_all(paper_table2().to_records()).unwrap();
+            for slide in 1..=5 {
+                engine.advance(Timestamp::from_secs(4 + slide)).unwrap();
+            }
+            let traces: Vec<_> = engine.recent_traces().collect();
+            assert_eq!(traces.len(), 3, "{strategy:?}: capacity not enforced");
+            assert_eq!(
+                traces.iter().map(|t| t.seq).collect::<Vec<_>>(),
+                vec![3, 4, 5],
+                "{strategy:?}: oldest traces must fall off first"
+            );
+            let expected = match strategy {
+                AdvanceStrategy::Eager => metric_names::EAGER_PHASES.as_slice(),
+                AdvanceStrategy::BoundPruned => metric_names::PRUNED_PHASES.as_slice(),
+            };
+            for trace in &traces {
+                assert_eq!(trace.strategy, strategy);
+                assert!(trace.total_ns > 0);
+                assert!(trace.phase_total_ns() <= trace.total_ns);
+                for phase in expected {
+                    assert!(
+                        trace.phases.iter().any(|(n, _)| n == phase),
+                        "{strategy:?}: phase {phase} missing from {:?}",
+                        trace.phases
+                    );
+                }
+                assert_eq!(trace.shards.len(), 3, "{strategy:?}");
+                assert_eq!(trace.queries.len(), 1, "{strategy:?}");
+            }
+            // Advance-scoped histograms mirror the traces.
+            let snap = engine.metrics().snapshot();
+            assert_eq!(snap.histograms[metric_names::ADVANCE_NS].count, 5);
+            for phase in expected {
+                assert_eq!(
+                    snap.histograms[*phase].count, 5,
+                    "{strategy:?}: {phase} not recorded per advance"
+                );
+            }
+        }
+    }
+
+    /// Metrics off: no traces are retained, the registry stays empty,
+    /// and — the non-perturbation guarantee — results are bit-identical
+    /// to a metrics-on engine over the same stream.
+    #[test]
+    fn metrics_off_leaves_no_footprint_and_identical_results() {
+        for strategy in [AdvanceStrategy::Eager, AdvanceStrategy::BoundPruned] {
+            let fig = paper_figure1();
+            let base =
+                ServeConfig::new(2, QuerySet::new(fig.r.to_vec()), WindowSpec::new(2_000, 4))
+                    .with_shards(2)
+                    .with_strategy(strategy);
+            let mut on = ServeEngine::new(Arc::new(fig.space.clone()), base.clone());
+            let mut off = ServeEngine::new(Arc::new(fig.space.clone()), base.with_metrics(false));
+            for engine in [&mut on, &mut off] {
+                engine.ingest_all(paper_table2().to_records()).unwrap();
+            }
+            let a = on.advance(Timestamp(8_999)).unwrap();
+            let b = off.advance(Timestamp(8_999)).unwrap();
+            assert_eq!(a.outcome.topk_slocs(), b.outcome.topk_slocs());
+            for (x, y) in a.outcome.ranking.iter().zip(b.outcome.ranking.iter()) {
+                assert_eq!(x.flow.to_bits(), y.flow.to_bits(), "{strategy:?}");
+            }
+            assert_eq!(off.recent_traces().count(), 0, "{strategy:?}");
+            let snap = off.metrics().snapshot();
+            assert!(
+                snap.counters.is_empty() && snap.gauges.is_empty() && snap.histograms.is_empty(),
+                "{strategy:?}: metrics-off engine populated its registry: {snap:?}"
+            );
+            // Stats still work with metrics off (satellite-1 refresh
+            // included).
+            assert!(off.stats().log_bytes > 0, "{strategy:?}");
+        }
+    }
+
+    /// The registry's counters and gauges mirror `ServeStats` exactly
+    /// after an advance, and the shard pool's per-job histograms are
+    /// registered under the serve prefix.
+    #[test]
+    fn registry_mirrors_serve_stats() {
+        let (mut engine, _space) = paper_engine(WindowSpec::new(2_000, 4), 2);
+        engine.ingest_all(paper_table2().to_records()).unwrap();
+        engine.advance(Timestamp(8_999)).unwrap();
+        let stats = engine.stats();
+        let snap = engine.metrics().snapshot();
+        for (name, value) in [
+            (metric_names::RECORDS_INGESTED, stats.records_ingested),
+            (metric_names::ADVANCES, stats.advances),
+            (metric_names::CACHE_HITS, stats.cache_hits),
+            (metric_names::FRESH_PRESENCE, stats.fresh_presence),
+            (metric_names::PRESENCE_CELLS, stats.presence_cells),
+        ] {
+            assert_eq!(
+                snap.counters.get(name).copied().unwrap_or(0),
+                value,
+                "counter {name} out of sync with {stats:?}"
+            );
+        }
+        assert_eq!(snap.gauges[metric_names::LOG_BYTES], stats.log_bytes);
+        assert_eq!(snap.gauges[metric_names::INTERN_HITS], stats.intern_hits);
+        assert_eq!(snap.gauges[metric_names::REGISTERED_QUERIES], 1);
+        // Per-shard pool instrumentation came along for the ride.
+        assert!(snap.histograms.contains_key("serve.pool.shard0.run_ns"));
+        assert!(snap
+            .histograms
+            .contains_key("serve.pool.shard1.queue_wait_ns"));
+        // Ingest wall-clock was recorded per accepted record.
+        assert_eq!(
+            snap.histograms[metric_names::INGEST_NS].count,
+            stats.records_ingested
+        );
+        // The seal histogram saw work on the worker threads.
+        assert!(snap.histograms[metric_names::SHARD_SEAL_NS].count > 0);
     }
 
     /// The deprecated builder still compiles and still means

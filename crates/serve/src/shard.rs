@@ -205,6 +205,10 @@ pub(crate) struct ShardWorker {
     /// Window maps of the latest `advance_bounds_multi`, keyed by window
     /// start; consulted by `evaluate_lazy`.
     windows: HashMap<i64, BTreeMap<ObjectId, WindowSlot>>,
+    /// Bucket-sealing durations, recorded on the worker thread. All
+    /// shards share one histogram (the registry hands out clones of the
+    /// same storage); `None` when the engine's metrics are off.
+    seal_ns: Option<popflow_obs::Histogram>,
 }
 
 impl ShardWorker {
@@ -213,6 +217,7 @@ impl ShardWorker {
         union: QuerySet,
         cfg: FlowConfig,
         bucket_millis: i64,
+        seal_ns: Option<popflow_obs::Histogram>,
     ) -> Self {
         assert!(bucket_millis > 0, "bucket width must be positive");
         ShardWorker {
@@ -223,6 +228,7 @@ impl ShardWorker {
             iupt: Iupt::new(),
             buckets: BTreeMap::new(),
             windows: HashMap::new(),
+            seal_ns,
         }
     }
 
@@ -230,6 +236,12 @@ impl ShardWorker {
     /// to this shard's partition of the positioning log.
     pub(crate) fn ingest(&mut self, record: Record) {
         self.iupt.push(record);
+    }
+
+    /// Footprint/interner accounting of this shard's log, on demand —
+    /// lets the engine refresh its store gauges without an advance.
+    pub(crate) fn store_stats(&self) -> StoreStats {
+        self.iupt.store_stats()
     }
 
     /// Retargets the shard at a new union of registered location sets.
@@ -270,13 +282,18 @@ impl ShardWorker {
             error: None,
         };
 
-        if let Err(e) = self.seal_range(
+        let seal_timer = self.seal_ns.is_some().then(popflow_obs::Timer::start);
+        let sealed = self.seal_range(
             global_start,
             window_end,
             true,
             &mut report.fresh_presence,
             &mut report.presence_cells,
-        ) {
+        );
+        if let (Some(timer), Some(hist)) = (seal_timer, &self.seal_ns) {
+            timer.record_into(hist);
+        }
+        if let Err(e) = sealed {
             report.error = Some(e);
             return report;
         }
@@ -356,8 +373,12 @@ impl ShardWorker {
         window_starts: &[i64],
     ) -> BoundsReport {
         let (mut fresh, mut cells) = (0, 0);
+        let seal_timer = self.seal_ns.is_some().then(popflow_obs::Timer::start);
         self.seal_range(global_start, window_end, false, &mut fresh, &mut cells)
             .expect("cheap sealing performs no fallible merge or presence work");
+        if let (Some(timer), Some(hist)) = (seal_timer, &self.seal_ns) {
+            timer.record_into(hist);
+        }
         debug_assert_eq!((fresh, cells), (0, 0));
         self.buckets.retain(|&b, _| b >= global_start);
 

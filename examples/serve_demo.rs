@@ -19,6 +19,7 @@
 //! visitors): `... --example serve_demo -- 0.5`
 
 use popflow_eval::experiments::streaming::{run_streaming, EngineMetrics, StreamingConfig};
+use popflow_serve::metric_names;
 
 fn print_engine(m: &EngineMetrics) {
     println!(
@@ -32,6 +33,58 @@ fn print_engine(m: &EngineMetrics) {
         m.presence_cells,
         m.presence_skipped,
     );
+}
+
+/// The engine's own per-phase advance breakdown, from its internal
+/// metric registry (wall-clock timings above are measured externally —
+/// the two views cross-check each other through `phase_coverage`).
+fn print_phases(m: &EngineMetrics, phases: &[&str]) {
+    let Some(snap) = &m.snapshot else { return };
+    let total: u64 = phases
+        .iter()
+        .filter_map(|p| snap.histograms.get(*p))
+        .map(|h| h.sum)
+        .sum();
+    println!(
+        "  {} phase breakdown (internal, {:.0}% of external advance wall-clock):",
+        m.name,
+        m.phase_coverage.unwrap_or(f64::NAN) * 100.0,
+    );
+    for phase in phases {
+        let Some(h) = snap.histograms.get(*phase) else {
+            continue;
+        };
+        println!(
+            "    {:<32} {:>5.1}%   total {:>9.3} ms   p99 {:>9.3} ms",
+            phase,
+            100.0 * h.sum as f64 / total.max(1) as f64,
+            h.sum as f64 / 1e6,
+            h.quantile(0.99) as f64 / 1e6,
+        );
+    }
+    // The most recent advance, attributed: which shard computed, which
+    // query paid.
+    if let Some(trace) = m.traces.last() {
+        let busiest = trace
+            .shards
+            .iter()
+            .max_by_key(|s| s.presence_cells)
+            .map(|s| format!("shard {} ({} fresh cells)", s.shard, s.presence_cells))
+            .unwrap_or_else(|| "n/a".to_string());
+        let slowest = trace
+            .queries
+            .iter()
+            .max_by_key(|q| q.ns)
+            .map(|q| format!("{:.3} ms", q.ns as f64 / 1e6))
+            .unwrap_or_else(|| "n/a".to_string());
+        println!(
+            "    last advance (#{}): {:.3} ms total, busiest {}, slowest query slice {}",
+            trace.seq,
+            trace.total_ns as f64 / 1e6,
+            busiest,
+            slowest,
+        );
+    }
 }
 
 fn main() {
@@ -63,6 +116,13 @@ fn main() {
     print_engine(&report.incremental);
     print_engine(&report.pruned);
     print_engine(&report.baseline);
+    println!();
+    print_phases(&report.incremental, &metric_names::EAGER_PHASES);
+    print_phases(&report.pruned, &metric_names::PRUNED_PHASES);
+    println!(
+        "  instrumentation overhead: {:.3}x (paired best-case metrics-on vs metrics-off latency)",
+        report.metrics_overhead,
+    );
     println!(
         "\nadvance speedup: {:.1}x wall-clock ({:.1}x pruned), {:.1}x presence work; \
          bound pruning saves {:.1}% of presence cells",

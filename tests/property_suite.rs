@@ -369,3 +369,110 @@ proptest! {
         prop_assert_eq!(spec.bucket_of(window.end), end_bucket);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Histogram recording is order- and partition-independent: any
+    /// split of a value stream across two histograms — with one part
+    /// recorded in reverse — merges to exactly the snapshot of
+    /// recording everything into one histogram in order. This is what
+    /// makes the per-shard and per-engine histograms safe to aggregate.
+    #[test]
+    fn histogram_merge_is_order_independent(
+        values in proptest::collection::vec(0u64..(1u64 << 44), 1..120),
+        split in 0usize..1_000,
+    ) {
+        use popflow_obs::Histogram;
+
+        let split = split % values.len();
+        let whole = Histogram::new();
+        for &v in &values {
+            whole.record(v);
+        }
+        let left = Histogram::new();
+        for &v in &values[..split] {
+            left.record(v);
+        }
+        let right = Histogram::new();
+        for &v in values[split..].iter().rev() {
+            right.record(v);
+        }
+        let mut merged = left.snapshot();
+        merged.merge_from(&right.snapshot());
+        prop_assert_eq!(merged, whole.snapshot());
+    }
+
+    /// Quantiles are monotone in `q`, never exceed the exact maximum,
+    /// and the log-bucketed p999 stays within the scheme's 1/16
+    /// relative-error bound of it.
+    #[test]
+    fn histogram_quantiles_are_monotone_and_bounded(
+        values in proptest::collection::vec(0u64..(1u64 << 44), 1..120),
+    ) {
+        use popflow_obs::Histogram;
+
+        let hist = Histogram::new();
+        for &v in &values {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        let exact_max = values.iter().copied().max().unwrap();
+        prop_assert_eq!(snap.max, exact_max);
+        let qs = [
+            snap.quantile(0.50),
+            snap.quantile(0.90),
+            snap.quantile(0.99),
+            snap.quantile(0.999),
+        ];
+        for pair in qs.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "quantiles not monotone: {qs:?}");
+        }
+        prop_assert!(qs[3] <= exact_max);
+        // p999 is the top rank here (< 1000 samples): it lands in the
+        // maximum's bucket, whose upper bound overshoots the exact max
+        // by at most a sub-bucket width (1/16 relative).
+        prop_assert!(
+            qs[3] >= exact_max - exact_max / 16,
+            "p999 {} under the error bound of max {exact_max}",
+            qs[3]
+        );
+    }
+}
+
+/// A populated snapshot survives the JSON round-trip bit for bit — the
+/// `BENCH_obs.json` artifact is a faithful export.
+#[test]
+fn obs_snapshot_json_round_trips() {
+    use popflow_obs::{MetricsRegistry, Snapshot};
+
+    let registry = MetricsRegistry::new();
+    registry.counter("serve.records_ingested").add(12_345);
+    registry.gauge("serve.log_bytes").set(987_654_321);
+    let h = registry.histogram("serve.advance_ns");
+    for v in [0, 1, 15, 16, 17, 1_000, 1_000_000, u64::MAX] {
+        h.record(v);
+    }
+    let snap = registry.snapshot();
+    let parsed = Snapshot::from_json(&snap.to_json()).expect("export parses");
+    assert_eq!(parsed, snap);
+}
+
+/// The diff of a snapshot with itself is all-zero — per-interval deltas
+/// of an idle engine report no activity.
+#[test]
+fn obs_snapshot_self_diff_is_zero() {
+    use popflow_obs::MetricsRegistry;
+
+    let registry = MetricsRegistry::new();
+    registry.counter("c").add(7);
+    registry.gauge("g").set(3);
+    let h = registry.histogram("h");
+    h.record(42);
+    h.record(42_000_000);
+    let snap = registry.snapshot();
+    let diff = snap.diff(&snap);
+    assert!(diff.is_all_zero(), "self-diff not zero: {diff:?}");
+    assert_eq!(diff.counters["c"], 0);
+    assert!(diff.histograms["h"].is_empty());
+}
