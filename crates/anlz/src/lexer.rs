@@ -1,0 +1,465 @@
+//! A total, lossless token lexer for Rust source text.
+//!
+//! *Total*: every input string lexes — malformed or unterminated
+//! constructs degrade to best-effort tokens instead of erroring, so the
+//! linter never refuses a file. *Lossless*: the concatenation of every
+//! token's text is byte-identical to the input (property-tested in
+//! `tests/lexer_roundtrip.rs`), which is what lets rules reason about
+//! exact source lines and pragma comments without a parse tree.
+//!
+//! The token classes the rules care about are distinguished precisely:
+//! identifiers (including `r#raw` identifiers), lifetimes vs. char
+//! literals (`'a` vs `'a'`), normal vs. raw strings (with `b`/`c`
+//! prefixes and any `#` nesting depth), nested block comments, and doc
+//! comments (which are comments here — a `.unwrap()` inside a rustdoc
+//! example must not trip the panic rule).
+
+/// The lexical class of one [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A maximal run of whitespace characters.
+    Whitespace,
+    /// `// …` to end of line (doc variants `///`/`//!` included).
+    LineComment,
+    /// `/* … */`, nested; unterminated comments run to end of input.
+    BlockComment,
+    /// An identifier or keyword, including raw identifiers (`r#match`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (no closing quote).
+    Lifetime,
+    /// A char or byte-char literal: `'x'`, `'\n'`, `b'0'`.
+    CharLit,
+    /// A normal (escaped) string literal, with optional `b`/`c` prefix.
+    StrLit,
+    /// A raw string literal: `r"…"`, `br#"…"#`, any `#` depth.
+    RawStrLit,
+    /// A numeric literal (integer or float, suffixes included).
+    NumLit,
+    /// A single punctuation character (`+=` is two adjacent tokens).
+    Punct,
+    /// Any character no other class claims (totality fallback).
+    Unknown,
+}
+
+/// One lexed token: a byte range of the source plus its class and the
+/// 1-based line its first byte sits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Byte offset of the token's first byte.
+    pub start: usize,
+    /// Byte offset one past the token's last byte.
+    pub end: usize,
+    /// 1-based source line of the token's first byte.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's text, sliced from the source it was lexed from.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Lexes `src` completely. Guarantee: concatenating
+/// `t.text(src)` over the returned tokens reproduces `src` byte for
+/// byte, for **any** input.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    /// Byte position of the next unconsumed character.
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            pos: 0,
+            line: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek_at(&self, byte_offset: usize) -> Option<char> {
+        self.src.get(self.pos + byte_offset..)?.chars().next()
+    }
+
+    /// Consumes one char, tracking line numbers, and returns it.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn emit(&mut self, kind: TokenKind, start: usize, line: u32) {
+        debug_assert!(self.pos > start, "empty token");
+        self.tokens.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek() {
+            let start = self.pos;
+            let line = self.line;
+            let kind = self.next_kind(c);
+            self.emit(kind, start, line);
+        }
+        self.tokens
+    }
+
+    /// Consumes one token starting with `c` and returns its kind.
+    fn next_kind(&mut self, c: char) -> TokenKind {
+        if c.is_whitespace() {
+            while self.peek().is_some_and(char::is_whitespace) {
+                self.bump();
+            }
+            return TokenKind::Whitespace;
+        }
+        if c == '/' {
+            match self.peek_at(1) {
+                Some('/') => return self.line_comment(),
+                Some('*') => return self.block_comment(),
+                _ => {
+                    self.bump();
+                    return TokenKind::Punct;
+                }
+            }
+        }
+        if c == '\'' {
+            return self.quote();
+        }
+        if c == '"' {
+            return self.string();
+        }
+        if c.is_ascii_digit() {
+            return self.number();
+        }
+        if is_ident_start(c) {
+            return self.ident_or_prefixed_literal();
+        }
+        self.bump();
+        if c.is_ascii_punctuation() {
+            TokenKind::Punct
+        } else {
+            TokenKind::Unknown
+        }
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        while self.peek().is_some_and(|c| c != '\n') {
+            self.bump();
+        }
+        TokenKind::LineComment
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        self.bump(); // '/'
+        self.bump(); // '*'
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(), self.peek_at(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break, // unterminated: run to EOF
+            }
+        }
+        TokenKind::BlockComment
+    }
+
+    /// A `'`: lifetime (`'a`), char literal (`'x'`, `'\n'`), or — for
+    /// malformed input — a lone quote consumed as [`TokenKind::Unknown`].
+    fn quote(&mut self) -> TokenKind {
+        match self.peek_at(1) {
+            // `'\…'`: definitely a char literal with an escape.
+            Some('\\') => {
+                self.bump(); // '\''
+                self.escaped_until('\'');
+                TokenKind::CharLit
+            }
+            Some(c1) if is_ident_start(c1) => {
+                // `'a'` is a char literal, `'a`/`'abc` a lifetime. Look
+                // one char past `c1` for the closing quote.
+                if self.peek_at(1 + c1.len_utf8()) == Some('\'') {
+                    self.bump(); // '\''
+                    self.bump(); // c1
+                    self.bump(); // closing '\''
+                    TokenKind::CharLit
+                } else {
+                    self.bump(); // '\''
+                    while self.peek().is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                    TokenKind::Lifetime
+                }
+            }
+            // `'('` and friends: a char literal of a non-ident char.
+            Some(c1) if c1 != '\'' && self.peek_at(1 + c1.len_utf8()) == Some('\'') => {
+                self.bump();
+                self.bump();
+                self.bump();
+                TokenKind::CharLit
+            }
+            // Anything else (`''`, a quote at EOF): consume the quote
+            // alone and keep going.
+            _ => {
+                self.bump();
+                TokenKind::Unknown
+            }
+        }
+    }
+
+    /// Consumes an escaped literal body up to an unescaped `close` (or
+    /// EOF), starting *after* the opening delimiter has been consumed.
+    fn escaped_until(&mut self, close: char) {
+        while let Some(c) = self.bump() {
+            if c == '\\' {
+                self.bump(); // the escaped char, whatever it is
+            } else if c == close {
+                break;
+            }
+        }
+    }
+
+    fn string(&mut self) -> TokenKind {
+        self.bump(); // opening '"'
+        self.escaped_until('"');
+        TokenKind::StrLit
+    }
+
+    /// An identifier — unless it is one of the literal prefixes `r`,
+    /// `b`, `c`, `br`, `cr` directly followed by a string/char opener,
+    /// or `r#ident` (raw identifier).
+    fn ident_or_prefixed_literal(&mut self) -> TokenKind {
+        let start = self.pos;
+        while self.peek().is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        let word = &self.src[start..self.pos];
+        match (word, self.peek()) {
+            // Raw strings: r"…", r#"…"#, br#"…"#, cr"…", any # depth.
+            ("r" | "br" | "cr", Some('"')) => self.raw_string(0),
+            ("r" | "br" | "cr", Some('#')) => {
+                // Count the hashes; a quote after them makes a raw
+                // string. `r#ident` (raw identifier) has an ident-start
+                // instead — consume it into this ident token.
+                let mut hashes = 0usize;
+                while self.peek_at(hashes) == Some('#') {
+                    hashes += 1;
+                }
+                match self.peek_at(hashes) {
+                    Some('"') => self.raw_string(hashes),
+                    Some(c) if word == "r" && hashes == 1 && is_ident_start(c) => {
+                        self.bump(); // '#'
+                        while self.peek().is_some_and(is_ident_continue) {
+                            self.bump();
+                        }
+                        TokenKind::Ident
+                    }
+                    _ => TokenKind::Ident,
+                }
+            }
+            // Escaped strings/chars with a prefix: b"…", c"…", b'0'.
+            ("b" | "c", Some('"')) => self.string(),
+            ("b", Some('\'')) => self.quote(),
+            _ => TokenKind::Ident,
+        }
+    }
+
+    /// Consumes `#{hashes}"…"#{hashes}` (the prefix word is already
+    /// consumed). Unterminated raw strings run to EOF.
+    fn raw_string(&mut self, hashes: usize) -> TokenKind {
+        for _ in 0..hashes {
+            self.bump();
+        }
+        self.bump(); // opening '"'
+        'scan: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek_at(i) != Some('#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+        TokenKind::RawStrLit
+    }
+
+    /// A numeric literal: digits, `_`, suffixes, hex/oct/bin bodies, a
+    /// fractional part only when a digit follows the dot (so `1.max(2)`
+    /// and `0..n` lex the dot separately, like rustc), and signed
+    /// exponents (`1e-9`).
+    fn number(&mut self) -> TokenKind {
+        let mut prev = '0';
+        loop {
+            match self.peek() {
+                Some(c) if is_ident_continue(c) => {
+                    prev = c;
+                    self.bump();
+                }
+                Some('.') if self.peek_at(1).is_some_and(|d| d.is_ascii_digit()) => {
+                    prev = '.';
+                    self.bump();
+                }
+                Some(s @ ('+' | '-'))
+                    if matches!(prev, 'e' | 'E')
+                        && self
+                            .peek_at(s.len_utf8())
+                            .is_some_and(|d| d.is_ascii_digit()) =>
+                {
+                    prev = s;
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        TokenKind::NumLit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn concat(src: &str) -> String {
+        lex(src).iter().map(|t| t.text(src)).collect()
+    }
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn round_trips_basic_source() {
+        let src = "fn main() { let x: u32 = 1_000; println!(\"hi {x}\"); }\n";
+        assert_eq!(concat(src), src);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        use TokenKind::*;
+        assert_eq!(kinds("'a"), vec![Lifetime]);
+        assert_eq!(kinds("'static"), vec![Lifetime]);
+        assert_eq!(kinds("'a'"), vec![CharLit]);
+        assert_eq!(kinds("'\\n'"), vec![CharLit]);
+        assert_eq!(kinds("'('"), vec![CharLit]);
+        assert_eq!(kinds("b'0'"), vec![CharLit]);
+        assert_eq!(kinds("&'a str"), vec![Punct, Lifetime, Ident]);
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        use TokenKind::*;
+        assert_eq!(kinds("r\"plain\""), vec![RawStrLit]);
+        assert_eq!(kinds("r#\"has \" inside\"#"), vec![RawStrLit]);
+        assert_eq!(kinds("br##\"deep\"##"), vec![RawStrLit]);
+        assert_eq!(kinds("r#match"), vec![Ident]);
+        let src = "let s = r#\"a \"quoted\" b\"#;";
+        assert_eq!(concat(src), src);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still outer */ x";
+        let toks = lex(src);
+        assert_eq!(toks[0].kind, TokenKind::BlockComment);
+        assert_eq!(toks[0].text(src), "/* outer /* inner */ still outer */");
+        assert_eq!(concat(src), src);
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        use TokenKind::*;
+        assert_eq!(kinds("/// x.unwrap()"), vec![LineComment]);
+        assert_eq!(kinds("//! module docs"), vec![LineComment]);
+        assert_eq!(kinds("/** block doc */"), vec![BlockComment]);
+    }
+
+    #[test]
+    fn numbers() {
+        use TokenKind::*;
+        assert_eq!(kinds("1.5e-9"), vec![NumLit]);
+        assert_eq!(kinds("0xFF_u32"), vec![NumLit]);
+        assert_eq!(kinds("1..n"), vec![NumLit, Punct, Punct, Ident]);
+        assert_eq!(
+            kinds("1.max(2)"),
+            vec![NumLit, Punct, Ident, Punct, NumLit, Punct]
+        );
+    }
+
+    #[test]
+    fn unterminated_constructs_run_to_eof() {
+        for src in ["\"open", "/* open", "r#\"open", "'", "b'"] {
+            assert_eq!(concat(src), src, "src {src:?}");
+        }
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let src = "a\nbb\n  ccc";
+        let toks: Vec<(String, u32)> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| (t.text(src).to_string(), t.line))
+            .collect();
+        assert_eq!(
+            toks,
+            vec![
+                ("a".to_string(), 1),
+                ("bb".to_string(), 2),
+                ("ccc".to_string(), 3)
+            ]
+        );
+    }
+
+    #[test]
+    fn totality_on_arbitrary_bytes() {
+        for src in ["", "\u{0}", "é🦀\"'", "#![no_std]", "\\", "''", "'x"] {
+            assert_eq!(concat(src), src, "src {src:?}");
+        }
+    }
+}

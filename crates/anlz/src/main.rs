@@ -1,0 +1,194 @@
+//! The `popflow-anlz` CLI: lint the workspace (or named files) and
+//! report diagnostics as text or JSON.
+//!
+//! ```text
+//! popflow-anlz [--root DIR] (--workspace | FILES…) [--json] [--list-allows]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` unsuppressed diagnostics found, `2`
+//! usage or I/O error. `--list-allows` prints every suppression pragma
+//! (CI uploads this as an artifact so suppression growth is reviewed
+//! per PR) and does not affect the exit code.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use popflow_anlz::rules::analyze_source;
+use popflow_anlz::workspace::{relative_slash, workspace_sources, SourceFile};
+use popflow_anlz::FileReport;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    workspace: bool,
+    files: Vec<PathBuf>,
+    json: bool,
+    list_allows: bool,
+}
+
+const USAGE: &str =
+    "usage: popflow-anlz [--root DIR] (--workspace | FILES...) [--json] [--list-allows]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        workspace: false,
+        files: Vec::new(),
+        json: false,
+        list_allows: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root requires a directory")?);
+            }
+            "--workspace" => args.workspace = true,
+            "--json" => args.json = true,
+            "--list-allows" => args.list_allows = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag {flag}\n{USAGE}"));
+            }
+            file => args.files.push(PathBuf::from(file)),
+        }
+    }
+    if args.workspace != args.files.is_empty() {
+        // `--workspace` and an explicit file list are mutually
+        // exclusive, and exactly one of them is required.
+        return Err(USAGE.to_string());
+    }
+    Ok(args)
+}
+
+/// Minimal JSON string escaping — enough for file paths and rule
+/// messages (all ASCII-controlled content we emit ourselves).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+
+    let sources: Vec<SourceFile> = if args.workspace {
+        workspace_sources(&args.root).map_err(|e| format!("workspace discovery failed: {e}"))?
+    } else {
+        args.files
+            .iter()
+            .map(|f| {
+                let abs = if f.is_absolute() {
+                    f.clone()
+                } else {
+                    args.root.join(f)
+                };
+                let rel = relative_slash(&args.root, f);
+                // Explicit file lists get crate-root detection by name,
+                // so `popflow-anlz crates/eval/src/lib.rs` still runs R5.
+                let is_crate_root = rel.ends_with("/src/lib.rs") || rel.ends_with("/src/main.rs");
+                SourceFile {
+                    abs,
+                    rel,
+                    is_crate_root,
+                }
+            })
+            .collect()
+    };
+
+    let mut reports: Vec<FileReport> = Vec::with_capacity(sources.len());
+    for file in &sources {
+        let src = std::fs::read_to_string(&file.abs)
+            .map_err(|e| format!("cannot read {}: {e}", file.abs.display()))?;
+        reports.push(analyze_source(&file.rel, &src, file.is_crate_root));
+    }
+
+    if args.list_allows {
+        print_allows(&reports);
+    }
+
+    let total: usize = reports.iter().map(|r| r.diagnostics.len()).sum();
+    let suppressed: usize = reports.iter().map(|r| r.suppressed.len()).sum();
+
+    if args.json {
+        print_json(&reports, total, suppressed);
+    } else {
+        print_text(&reports, total, suppressed, sources.len());
+    }
+
+    Ok(if total == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn print_allows(reports: &[FileReport]) {
+    let count: usize = reports.iter().map(|r| r.allows.len()).sum();
+    println!("# anlz suppressions: {count}");
+    for report in reports {
+        for allow in &report.allows {
+            println!(
+                "{}:{}: allow({}) — {}",
+                report.path, allow.line, allow.rule, allow.reason
+            );
+        }
+    }
+}
+
+fn print_json(reports: &[FileReport], total: usize, suppressed: usize) {
+    let mut diags = Vec::new();
+    for report in reports {
+        for d in &report.diagnostics {
+            diags.push(format!(
+                "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+                json_escape(&report.path),
+                d.line,
+                d.rule,
+                json_escape(&d.message)
+            ));
+        }
+    }
+    println!(
+        "{{\"diagnostics\":[{}],\"total\":{},\"suppressed\":{}}}",
+        diags.join(","),
+        total,
+        suppressed
+    );
+}
+
+fn print_text(reports: &[FileReport], total: usize, suppressed: usize, files: usize) {
+    for report in reports {
+        for d in &report.diagnostics {
+            println!("{}:{}: [{}] {}", report.path, d.line, d.rule, d.message);
+        }
+    }
+    if total == 0 {
+        println!("anlz: {files} files clean ({suppressed} finding(s) suppressed by pragma)");
+    } else {
+        println!(
+            "anlz: {total} unsuppressed finding(s) across {files} files ({suppressed} suppressed)"
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,868 @@
+//! The rule engine: five popflow-specific invariant rules evaluated
+//! over the lexed token stream of one file.
+//!
+//! | id | rule |
+//! |----|------|
+//! | `nondeterministic-iteration` | `HashMap`/`HashSet` iteration in engine code not feeding an order-insensitive sink |
+//! | `unordered-float-accumulation` | `f64` `sum`/`fold` over an unordered iterator in kernel paths |
+//! | `panic-in-hot-path` | `unwrap`/`expect`/`panic!`/`unreachable!`/index-without-`get` in non-test engine code |
+//! | `atomic-ordering-audit` | `Ordering::Relaxed` outside `crates/obs` without a justification pragma |
+//! | `missing-crate-hygiene` | crate root missing `#![deny(missing_docs)]` / `#![forbid(unsafe_code)]` |
+//!
+//! All rules are heuristic and token-level by design (no parse tree —
+//! see the crate docs); anything they over-report is suppressed with an
+//! auditable `// anlz:allow(rule-id): reason` pragma, and anything they
+//! under-report costs nothing that code review didn't already cost.
+//! Every rule skips test code (`#[cfg(test)]`, `#[test]`, `mod tests`).
+
+use crate::lexer::{lex, TokenKind};
+use crate::pragma::{collect_allows, Allow};
+use crate::scope::ScopeTracker;
+use std::collections::BTreeSet;
+
+/// Rule id for R1.
+pub const RULE_NONDET_ITER: &str = "nondeterministic-iteration";
+/// Rule id for R2.
+pub const RULE_FLOAT_ACCUM: &str = "unordered-float-accumulation";
+/// Rule id for R3.
+pub const RULE_PANIC_HOT: &str = "panic-in-hot-path";
+/// Rule id for R4.
+pub const RULE_ATOMIC_ORDER: &str = "atomic-ordering-audit";
+/// Rule id for R5.
+pub const RULE_CRATE_HYGIENE: &str = "missing-crate-hygiene";
+/// Pseudo-rule reported for pragma comments that fail to parse; it is
+/// itself unsuppressable, so typo'd suppressions cannot hide findings.
+pub const RULE_MALFORMED_PRAGMA: &str = "malformed-pragma";
+
+/// All real rule ids, in report order.
+pub const ALL_RULES: [&str; 5] = [
+    RULE_NONDET_ITER,
+    RULE_FLOAT_ACCUM,
+    RULE_PANIC_HOT,
+    RULE_ATOMIC_ORDER,
+    RULE_CRATE_HYGIENE,
+];
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id (one of the `RULE_*` constants).
+    pub rule: &'static str,
+    /// 1-based source line.
+    pub line: u32,
+    /// Human-readable explanation of this specific finding.
+    pub message: String,
+}
+
+/// The analysis result for one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Workspace-relative path the file was analyzed as.
+    pub path: String,
+    /// Unsuppressed findings, sorted by (line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Findings silenced by an `anlz:allow` pragma, same order.
+    pub suppressed: Vec<Diagnostic>,
+    /// Every pragma in the file (for `--list-allows`).
+    pub allows: Vec<Allow>,
+}
+
+/// A significant (non-whitespace, non-comment) token, annotated with
+/// the scope-tracker state at its position.
+struct STok {
+    kind: TokenKind,
+    start: usize,
+    end: usize,
+    line: u32,
+    in_test: bool,
+}
+
+impl STok {
+    fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+const ITER_METHODS: [&str; 9] = [
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "drain",
+];
+
+/// Idents that mark a statement's result as order-insensitive: sorts,
+/// ordered collections, and aggregates that don't depend on visit
+/// order. `sum`/`fold` are deliberately absent (they are R2's domain).
+const ORDER_SINKS: [&str; 18] = [
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_by_cached_key",
+    "sort_unstable",
+    "sort_unstable_by",
+    "sort_unstable_by_key",
+    "BTreeMap",
+    "BTreeSet",
+    "rank_topk",
+    "count",
+    "any",
+    "all",
+    "is_empty",
+    "len",
+    "contains",
+    "contains_key",
+    "binary_search",
+];
+
+const KEYWORDS: [&str; 35] = [
+    "as", "async", "await", "box", "break", "const", "continue", "crate", "dyn", "else", "enum",
+    "extern", "fn", "for", "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub",
+    "ref", "return", "static", "struct", "super", "trait", "type", "unsafe", "use", "where",
+    "while",
+];
+
+fn is_keyword(w: &str) -> bool {
+    KEYWORDS.contains(&w)
+}
+
+/// Path predicates. Paths are workspace-relative with `/` separators —
+/// [`crate::workspace`] produces them in that form.
+mod paths {
+    /// R1/R3 scope: the engine hot paths named by the rule spec.
+    pub fn engine_hot_path(p: &str) -> bool {
+        p.starts_with("crates/core/src/query/")
+            || p == "crates/core/src/flow.rs"
+            || p.starts_with("crates/serve/src/")
+    }
+
+    /// R2 scope: all kernel/serve code (a superset of the hot paths).
+    pub fn kernel_path(p: &str) -> bool {
+        p.starts_with("crates/core/src/") || p.starts_with("crates/serve/src/")
+    }
+
+    /// R4 scope: everywhere except the telemetry crate.
+    pub fn ordering_audited(p: &str) -> bool {
+        !p.starts_with("crates/obs/")
+    }
+}
+
+/// Analyzes one file's source text.
+///
+/// `rel_path` selects which rules apply (see the `paths` module); it
+/// does not have to exist on disk, which is what the fixture tests
+/// rely on.
+/// `is_crate_root` enables the crate-hygiene rule (R5).
+pub fn analyze_source(rel_path: &str, src: &str, is_crate_root: bool) -> FileReport {
+    let tokens = lex(src);
+    let allow_set = collect_allows(&tokens, src);
+
+    // Annotate significant tokens with scope state.
+    let mut tracker = ScopeTracker::new();
+    let mut sig: Vec<STok> = Vec::new();
+    for tok in &tokens {
+        tracker.observe(tok, src);
+        if !matches!(
+            tok.kind,
+            TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+        ) {
+            sig.push(STok {
+                kind: tok.kind,
+                start: tok.start,
+                end: tok.end,
+                line: tok.line,
+                in_test: tracker.in_test(),
+            });
+        }
+    }
+
+    let mut raw: Vec<Diagnostic> = Vec::new();
+
+    if paths::engine_hot_path(rel_path) || paths::kernel_path(rel_path) {
+        check_hash_iteration(rel_path, &sig, src, &mut raw);
+    }
+    if paths::engine_hot_path(rel_path) {
+        check_panics(&sig, src, &mut raw);
+    }
+    if paths::ordering_audited(rel_path) {
+        check_relaxed_ordering(&sig, src, &mut raw);
+    }
+    if is_crate_root {
+        check_crate_hygiene(&sig, src, &mut raw);
+    }
+    for m in &allow_set.malformed {
+        raw.push(Diagnostic {
+            rule: RULE_MALFORMED_PRAGMA,
+            line: m.line,
+            message: m.detail.clone(),
+        });
+    }
+
+    raw.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+
+    let mut report = FileReport {
+        path: rel_path.to_string(),
+        allows: allow_set.allows.clone(),
+        ..FileReport::default()
+    };
+    for d in raw {
+        let suppressed = match d.rule {
+            // Hygiene is a whole-file property; its pragma lives
+            // anywhere in the root file (conventionally next to the
+            // attrs it excuses). Malformed pragmas are never
+            // suppressable.
+            RULE_CRATE_HYGIENE => allow_set.is_allowed_anywhere(d.rule),
+            RULE_MALFORMED_PRAGMA => false,
+            _ => allow_set.is_allowed(d.rule, d.line),
+        };
+        if suppressed {
+            report.suppressed.push(d);
+        } else {
+            report.diagnostics.push(d);
+        }
+    }
+    report
+}
+
+// ---------------------------------------------------------------------
+// R1 + R2: hash-typed ident tracking and iteration detection
+// ---------------------------------------------------------------------
+
+/// Collects names of `fn`s in this file whose return type mentions
+/// `HashMap`/`HashSet`, so `let x = window_presence(…)` marks `x`.
+fn hash_returning_fns(sig: &[STok], src: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut i = 0;
+    while i < sig.len() {
+        if sig[i].kind == TokenKind::Ident && sig[i].text(src) == "fn" {
+            let Some(name_tok) = sig.get(i + 1) else {
+                break;
+            };
+            if name_tok.kind != TokenKind::Ident {
+                i += 1;
+                continue;
+            }
+            let name = name_tok.text(src).to_string();
+            // Skip to the parameter list's matching `)`, then look for
+            // `-> … HashMap/HashSet …` before the body `{` (or `;`).
+            let mut j = i + 2;
+            while j < sig.len() && sig[j].text(src) != "(" {
+                j += 1;
+            }
+            let mut depth = 0i32;
+            while j < sig.len() {
+                match sig[j].text(src) {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            let mut is_hash = false;
+            let mut k = j + 1;
+            while k < sig.len() {
+                let t = sig[k].text(src);
+                if t == "{" || t == ";" || t == "where" {
+                    break;
+                }
+                if sig[k].kind == TokenKind::Ident && (t == "HashMap" || t == "HashSet") {
+                    is_hash = true;
+                }
+                k += 1;
+            }
+            if is_hash {
+                out.insert(name);
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Marks idents that are hash-typed: `x: [&][mut] [path::]HashMap<…>`
+/// annotations (let bindings, fn params, struct fields) and
+/// `let x = <expr containing HashMap/HashSet or a hash-returning fn>`.
+/// Later conflicting bindings unmark, so rebinding `let scores: Vec<_>`
+/// clears an earlier hash mark.
+fn hash_marked_idents(sig: &[STok], src: &str, hash_fns: &BTreeSet<String>) -> BTreeSet<String> {
+    let mut marked: BTreeSet<String> = BTreeSet::new();
+    let mut i = 0;
+    while i < sig.len() {
+        // `IDENT : <type>` — scan a short window of type-ish tokens.
+        if sig[i].kind == TokenKind::Ident
+            && !is_keyword(sig[i].text(src))
+            && matches!(sig.get(i + 1), Some(t) if t.kind == TokenKind::Punct && t.text(src) == ":")
+            && !matches!(sig.get(i + 2), Some(t) if t.text(src) == ":")
+        {
+            let name = sig[i].text(src).to_string();
+            let mut verdict: Option<bool> = None;
+            for j in i + 2..i + 12 {
+                let Some(t) = sig.get(j) else { break };
+                let text = t.text(src);
+                match (t.kind, text) {
+                    (TokenKind::Ident, "HashMap" | "HashSet") if matches!(sig.get(j + 1), Some(n) if n.text(src) == "<") =>
+                    {
+                        verdict = Some(true);
+                        break;
+                    }
+                    (TokenKind::Ident, "mut") | (TokenKind::Lifetime, _) => {}
+                    (TokenKind::Ident, _) => {
+                        // A path segment: keep scanning through `::`.
+                        if !matches!(sig.get(j + 1), Some(n) if n.text(src) == ":") {
+                            verdict = Some(false);
+                            break;
+                        }
+                    }
+                    (TokenKind::Punct, "&" | ":") => {}
+                    _ => {
+                        verdict = Some(false);
+                        break;
+                    }
+                }
+            }
+            match verdict {
+                Some(true) => {
+                    marked.insert(name);
+                }
+                Some(false) => {
+                    marked.remove(&name);
+                }
+                None => {}
+            }
+            i += 1;
+            continue;
+        }
+        // `let IDENT = <rhs>;` — mark if the rhs mentions a hash type
+        // or calls a hash-returning fn.
+        if sig[i].kind == TokenKind::Ident && sig[i].text(src) == "let" {
+            let mut j = i + 1;
+            if matches!(sig.get(j), Some(t) if t.text(src) == "mut") {
+                j += 1;
+            }
+            let Some(name_tok) = sig.get(j) else { break };
+            if name_tok.kind == TokenKind::Ident
+                && matches!(sig.get(j + 1), Some(t) if t.kind == TokenKind::Punct && t.text(src) == "=")
+                && !matches!(sig.get(j + 2), Some(t) if t.text(src) == "=")
+            {
+                let name = name_tok.text(src).to_string();
+                let mut k = j + 2;
+                let mut depth = 0i32;
+                let mut is_hash = false;
+                while let Some(t) = sig.get(k) {
+                    let text = t.text(src);
+                    match text {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        ";" if depth <= 0 => break,
+                        _ => {}
+                    }
+                    if t.kind == TokenKind::Ident
+                        && (text == "HashMap"
+                            || text == "HashSet"
+                            || (hash_fns.contains(text)
+                                && matches!(sig.get(k + 1), Some(n) if n.text(src) == "(")))
+                    {
+                        is_hash = true;
+                    }
+                    k += 1;
+                }
+                if is_hash {
+                    marked.insert(name);
+                } else {
+                    marked.remove(&name);
+                }
+            }
+        }
+        i += 1;
+    }
+    marked
+}
+
+/// R1/R2 detection: method-chain iteration (`m.iter()`, `m.values()`…)
+/// and `for … in [&]m` over hash-marked idents.
+fn check_hash_iteration(rel_path: &str, sig: &[STok], src: &str, out: &mut Vec<Diagnostic>) {
+    let hash_fns = hash_returning_fns(sig, src);
+    let marked = hash_marked_idents(sig, src, &hash_fns);
+    if marked.is_empty() {
+        return;
+    }
+    let r1 = paths::engine_hot_path(rel_path);
+
+    for i in 0..sig.len() {
+        if sig[i].in_test || sig[i].kind != TokenKind::Ident {
+            continue;
+        }
+        let text = sig[i].text(src);
+
+        // `MARKED . iter_method (`
+        if marked.contains(text)
+            && matches!(sig.get(i + 1), Some(t) if t.text(src) == ".")
+            && matches!(sig.get(i + 2), Some(t) if t.kind == TokenKind::Ident
+                && ITER_METHODS.contains(&t.text(src)))
+            && matches!(sig.get(i + 3), Some(t) if t.text(src) == "(")
+        {
+            let method = sig[i + 2].text(src);
+            let line = sig[i].line;
+            let stmt = statement_span(sig, src, i);
+            let floats = span_has_float_accum(sig, src, &stmt);
+            if floats {
+                out.push(Diagnostic {
+                    rule: RULE_FLOAT_ACCUM,
+                    line,
+                    message: format!(
+                        "float accumulation over unordered `{text}.{method}()`; f64 addition is \
+                         not associative, so visit order changes the bits — collect and sort \
+                         first, or accumulate over an ordered container"
+                    ),
+                });
+            } else if r1 && !span_has_sink(sig, src, &stmt) {
+                out.push(Diagnostic {
+                    rule: RULE_NONDET_ITER,
+                    line,
+                    message: format!(
+                        "iteration over unordered `{text}.{method}()` in engine code; feed it \
+                         into a sort/BTreeMap on the same statement, switch the container to \
+                         BTreeMap/BTreeSet, or justify with a pragma"
+                    ),
+                });
+            }
+            continue;
+        }
+
+        // `for PAT in [&][mut] MARKED {`
+        if r1 && text == "for" {
+            if let Some((name, line)) = for_loop_over(sig, src, i, &marked) {
+                out.push(Diagnostic {
+                    rule: RULE_NONDET_ITER,
+                    line,
+                    message: format!(
+                        "`for` loop over unordered `{name}` in engine code; iterate a \
+                         BTreeMap/BTreeSet or a sorted Vec instead, or justify with a pragma"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// If the `for` at `i` iterates a hash-marked ident directly
+/// (`for p in &m {`), returns (ident, line of the ident).
+fn for_loop_over(
+    sig: &[STok],
+    src: &str,
+    i: usize,
+    marked: &BTreeSet<String>,
+) -> Option<(String, u32)> {
+    // Find `in` at paren depth 0, bounded by the loop's `{`.
+    let mut depth = 0i32;
+    let mut j = i + 1;
+    loop {
+        let t = sig.get(j)?;
+        match t.text(src) {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth == 0 => return None,
+            "in" if depth == 0 && t.kind == TokenKind::Ident => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    let mut k = j + 1;
+    while matches!(sig.get(k), Some(t) if t.text(src) == "&" || t.text(src) == "mut") {
+        k += 1;
+    }
+    let name_tok = sig.get(k)?;
+    if name_tok.kind == TokenKind::Ident && marked.contains(name_tok.text(src)) {
+        // Only the direct form: the `{` must follow immediately. Method
+        // chains (`m.keys()`) are handled by the chain check.
+        if matches!(sig.get(k + 1), Some(t) if t.text(src) == "{") {
+            return Some((name_tok.text(src).to_string(), name_tok.line));
+        }
+    }
+    None
+}
+
+/// The statement containing sig index `i`: backward to the previous
+/// `;`/`{`/`}` and forward to the `;` or block-opening `{` that ends
+/// it (tracking bracket depth forward so `;` inside closures don't cut
+/// the span short).
+fn statement_span(sig: &[STok], src: &str, i: usize) -> std::ops::Range<usize> {
+    let mut start = i;
+    while start > 0 {
+        let t = &sig[start - 1];
+        if t.kind == TokenKind::Punct && matches!(t.text(src), ";" | "{" | "}") {
+            break;
+        }
+        start -= 1;
+    }
+    let mut end = i;
+    let mut depth = 0i32;
+    while let Some(t) = sig.get(end) {
+        match t.text(src) {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "{" if depth == 0 => break,
+            "{" => depth += 1,
+            "}" => depth -= 1,
+            ";" if depth <= 0 => break,
+            _ => {}
+        }
+        end += 1;
+    }
+    start..end.min(sig.len())
+}
+
+/// True if the statement span contains an order-insensitive sink.
+fn span_has_sink(sig: &[STok], src: &str, span: &std::ops::Range<usize>) -> bool {
+    sig[span.clone()]
+        .iter()
+        .any(|t| t.kind == TokenKind::Ident && ORDER_SINKS.contains(&t.text(src)))
+}
+
+/// True if the statement span folds floats: `.sum()` / `.fold(` in the
+/// chain (the R2 signal).
+fn span_has_float_accum(sig: &[STok], src: &str, span: &std::ops::Range<usize>) -> bool {
+    sig[span.clone()]
+        .iter()
+        .any(|t| t.kind == TokenKind::Ident && matches!(t.text(src), "sum" | "fold"))
+}
+
+// ---------------------------------------------------------------------
+// R3: panics in hot paths
+// ---------------------------------------------------------------------
+
+fn check_panics(sig: &[STok], src: &str, out: &mut Vec<Diagnostic>) {
+    for i in 0..sig.len() {
+        if sig[i].in_test {
+            continue;
+        }
+        let text = sig[i].text(src);
+        match sig[i].kind {
+            TokenKind::Ident if matches!(text, "unwrap" | "expect") => {
+                let is_method = i > 0
+                    && sig[i - 1].kind == TokenKind::Punct
+                    && sig[i - 1].text(src) == "."
+                    && matches!(sig.get(i + 1), Some(t) if t.text(src) == "(");
+                if is_method {
+                    out.push(Diagnostic {
+                        rule: RULE_PANIC_HOT,
+                        line: sig[i].line,
+                        message: format!(
+                            "`.{text}()` in engine hot path; the poisoning contract requires a \
+                             FlowError/EngineUnavailable return — propagate the error, or prove \
+                             unreachability in an `expect` message and pragma it"
+                        ),
+                    });
+                }
+            }
+            TokenKind::Ident
+                if matches!(text, "panic" | "unreachable" | "todo" | "unimplemented") =>
+            {
+                if matches!(sig.get(i + 1), Some(t) if t.text(src) == "!") {
+                    out.push(Diagnostic {
+                        rule: RULE_PANIC_HOT,
+                        line: sig[i].line,
+                        message: format!(
+                            "`{text}!` in engine hot path; return a FlowError instead (or \
+                             pragma with the invariant that makes this unreachable)"
+                        ),
+                    });
+                }
+            }
+            TokenKind::Punct if text == "[" => {
+                if let Some(d) = check_subscript(sig, src, i) {
+                    out.push(d);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Is the `[` at `i` an indexing subscript that can panic? Flags
+/// `expr[idx]` where `expr` ends in an ident, `)`, or `]`; skips
+/// attributes, macros (`vec![…]`), type positions, array literals, and
+/// range subscripts (`&xs[1..]`, slicing is usually length-checked by
+/// construction and drowns the signal).
+fn check_subscript(sig: &[STok], src: &str, i: usize) -> Option<Diagnostic> {
+    let prev = sig.get(i.checked_sub(1)?)?;
+    let indexable = match prev.kind {
+        TokenKind::Ident => !is_keyword(prev.text(src)),
+        TokenKind::Punct => matches!(prev.text(src), ")" | "]"),
+        _ => false,
+    };
+    if !indexable {
+        return None;
+    }
+    // Scan the subscript body for `..` (a range → slicing, skipped).
+    let mut depth = 0i32;
+    let mut j = i;
+    while let Some(t) = sig.get(j) {
+        match t.text(src) {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            "." if depth == 1 => {
+                let next = sig.get(j + 1)?;
+                if next.text(src) == "." && next.start == t.end {
+                    return None;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    Some(Diagnostic {
+        rule: RULE_PANIC_HOT,
+        line: sig[i].line,
+        message: format!(
+            "indexing `{}[…]` can panic in engine hot path; prefer `.get(…)` with error \
+             propagation, or pragma with the invariant that bounds the index",
+            prev.text(src)
+        ),
+    })
+}
+
+// ---------------------------------------------------------------------
+// R4: Ordering::Relaxed audit
+// ---------------------------------------------------------------------
+
+fn check_relaxed_ordering(sig: &[STok], src: &str, out: &mut Vec<Diagnostic>) {
+    for i in 0..sig.len() {
+        if sig[i].in_test {
+            continue;
+        }
+        if sig[i].kind == TokenKind::Ident
+            && sig[i].text(src) == "Ordering"
+            && matches!(sig.get(i + 1), Some(t) if t.text(src) == ":")
+            && matches!(sig.get(i + 2), Some(t) if t.text(src) == ":")
+            && matches!(sig.get(i + 3), Some(t) if t.kind == TokenKind::Ident
+                && t.text(src) == "Relaxed")
+        {
+            out.push(Diagnostic {
+                rule: RULE_ATOMIC_ORDER,
+                line: sig[i].line,
+                message: "`Ordering::Relaxed` outside crates/obs must carry a justification \
+                          pragma naming why relaxed semantics are sufficient (telemetry-only, \
+                          RMW-atomicity-only, …) — or be upgraded"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R5: crate-root hygiene
+// ---------------------------------------------------------------------
+
+fn check_crate_hygiene(sig: &[STok], src: &str, out: &mut Vec<Diagnostic>) {
+    let mut has_missing_docs = false;
+    let mut has_forbid_unsafe = false;
+    // Look for inner attributes: `#` `!` `[` (deny|forbid) `(` lint `)`.
+    for i in 0..sig.len() {
+        if sig[i].text(src) != "#"
+            || !matches!(sig.get(i + 1), Some(t) if t.text(src) == "!")
+            || !matches!(sig.get(i + 2), Some(t) if t.text(src) == "[")
+        {
+            continue;
+        }
+        let Some(level) = sig.get(i + 3) else {
+            continue;
+        };
+        let Some(lint) = sig.get(i + 5) else { continue };
+        if !matches!(sig.get(i + 4), Some(t) if t.text(src) == "(") {
+            continue;
+        }
+        match (level.text(src), lint.text(src)) {
+            ("deny" | "forbid", "missing_docs") => has_missing_docs = true,
+            ("forbid", "unsafe_code") => has_forbid_unsafe = true,
+            _ => {}
+        }
+    }
+    if !has_missing_docs {
+        out.push(Diagnostic {
+            rule: RULE_CRATE_HYGIENE,
+            line: 1,
+            message: "crate root lacks `#![deny(missing_docs)]`; every workspace crate \
+                      documents its public surface (pragma the root if it genuinely cannot)"
+                .to_string(),
+        });
+    }
+    if !has_forbid_unsafe {
+        out.push(Diagnostic {
+            rule: RULE_CRATE_HYGIENE,
+            line: 1,
+            message: "crate root lacks `#![forbid(unsafe_code)]`; popflow is a forbid-unsafe \
+                      workspace (pragma the root if an exception is unavoidable)"
+                .to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOT: &str = "crates/serve/src/virtual.rs";
+    const KERNEL_ONLY: &str = "crates/core/src/kernels.rs";
+    const COLD: &str = "crates/eval/src/lib.rs";
+
+    fn rules_at(path: &str, src: &str) -> Vec<(&'static str, u32)> {
+        analyze_source(path, src, false)
+            .diagnostics
+            .into_iter()
+            .map(|d| (d.rule, d.line))
+            .collect()
+    }
+
+    #[test]
+    fn r1_fires_on_hash_values_iteration() {
+        let src = "fn f(m: &HashMap<u32, i64>) -> Vec<i64> {\n    m.values().copied().collect()\n}";
+        assert_eq!(rules_at(HOT, src), vec![(RULE_NONDET_ITER, 2)]);
+    }
+
+    #[test]
+    fn r1_fires_on_for_loop_over_hash() {
+        let src =
+            "fn f(m: &HashMap<u32, i64>) {\n    for (k, v) in m {\n        use_it(k, v);\n    }\n}";
+        assert_eq!(rules_at(HOT, src), vec![(RULE_NONDET_ITER, 2)]);
+    }
+
+    #[test]
+    fn r1_quiet_when_feeding_sort() {
+        let src = "fn f(m: &HashMap<u32, i64>) -> Vec<(u32, i64)> {\n    let mut v: Vec<_> = m.iter().map(|(k, v)| (*k, *v)).collect();\n    v.sort_unstable();\n    v\n}";
+        // The sort is on the *next* statement here, so the collect line
+        // still fires — same-statement chaining is what exempts.
+        assert_eq!(rules_at(HOT, src), vec![(RULE_NONDET_ITER, 2)]);
+        let chained = "fn f(m: &HashMap<u32, i64>) -> BTreeMap<u32, i64> {\n    m.iter().map(|(k, v)| (*k, *v)).collect::<BTreeMap<_, _>>()\n}";
+        assert_eq!(rules_at(HOT, chained), vec![]);
+    }
+
+    #[test]
+    fn r1_quiet_on_btreemap_and_outside_scope() {
+        let src =
+            "fn f(m: &BTreeMap<u32, i64>) -> Vec<i64> {\n    m.values().copied().collect()\n}";
+        assert_eq!(rules_at(HOT, src), vec![]);
+        let hash =
+            "fn f(m: &HashMap<u32, i64>) -> Vec<i64> {\n    m.values().copied().collect()\n}";
+        assert_eq!(rules_at(COLD, hash), vec![]);
+    }
+
+    #[test]
+    fn r1_tracks_hash_returning_fn() {
+        let src = "fn presence() -> HashMap<u32, i64> { todo() }\nfn f() {\n    let p = presence();\n    for (k, v) in &p {\n        use_it(k, v);\n    }\n}";
+        assert_eq!(rules_at(HOT, src), vec![(RULE_NONDET_ITER, 4)]);
+    }
+
+    #[test]
+    fn r1_rebinding_to_vec_unmarks() {
+        let src = "fn f(m: &HashMap<u32, i64>) {\n    let m: Vec<i64> = sorted(m);\n    for v in &m {\n        use_it(v);\n    }\n}";
+        assert_eq!(rules_at(HOT, src), vec![]);
+    }
+
+    #[test]
+    fn r2_fires_on_float_sum_over_hash() {
+        let src = "fn f(m: &HashMap<u32, f64>) -> f64 {\n    m.values().sum()\n}";
+        assert_eq!(rules_at(KERNEL_ONLY, src), vec![(RULE_FLOAT_ACCUM, 2)]);
+        // R2 outranks R1 in hot paths: one diagnostic, not two.
+        assert_eq!(rules_at(HOT, src), vec![(RULE_FLOAT_ACCUM, 2)]);
+    }
+
+    #[test]
+    fn r2_quiet_over_vec() {
+        let src = "fn f(v: &[f64]) -> f64 {\n    v.iter().sum()\n}";
+        assert_eq!(rules_at(KERNEL_ONLY, src), vec![]);
+    }
+
+    #[test]
+    fn r3_fires_on_unwrap_expect_macros_and_indexing() {
+        let src = "fn f(v: &[i64], m: &M) -> i64 {\n    let a = m.get(0).unwrap();\n    let b = m.get(1).expect(\"one\");\n    if a > b { panic!(\"no\"); }\n    v[3]\n}";
+        assert_eq!(
+            rules_at(HOT, src),
+            vec![
+                (RULE_PANIC_HOT, 2),
+                (RULE_PANIC_HOT, 3),
+                (RULE_PANIC_HOT, 4),
+                (RULE_PANIC_HOT, 5),
+            ]
+        );
+    }
+
+    #[test]
+    fn r3_quiet_in_tests_slices_and_cold_paths() {
+        let test_src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { x.unwrap(); }\n}";
+        assert_eq!(rules_at(HOT, test_src), vec![]);
+        let slice = "fn f(v: &[i64]) -> &[i64] {\n    &v[1..]\n}";
+        assert_eq!(rules_at(HOT, slice), vec![]);
+        let attr = "#[derive(Debug)]\nstruct S { x: [f64; 2] }";
+        assert_eq!(rules_at(HOT, attr), vec![]);
+        let macro_idx = "fn f() -> Vec<i64> { vec![1, 2] }";
+        assert_eq!(rules_at(HOT, macro_idx), vec![]);
+        let cold = "fn f(m: &M) -> i64 { m.get(0).unwrap() }";
+        assert_eq!(rules_at(COLD, cold), vec![]);
+    }
+
+    #[test]
+    fn r3_doc_comment_unwrap_is_quiet() {
+        let src = "/// Call `x.unwrap()` at your peril.\nfn f() {}";
+        assert_eq!(rules_at(HOT, src), vec![]);
+    }
+
+    #[test]
+    fn r4_fires_outside_obs_quiet_inside() {
+        let src = "fn f(c: &AtomicU64) -> u64 {\n    c.load(Ordering::Relaxed)\n}";
+        assert_eq!(rules_at(COLD, src), vec![(RULE_ATOMIC_ORDER, 2)]);
+        assert_eq!(rules_at("crates/obs/src/metrics.rs", src), vec![]);
+        let acq = "fn f(c: &AtomicU64) -> u64 {\n    c.load(Ordering::Acquire)\n}";
+        assert_eq!(rules_at(COLD, acq), vec![]);
+    }
+
+    #[test]
+    fn r5_requires_both_attrs() {
+        let bare = "//! Docs.\npub fn f() {}";
+        let diags = analyze_source(COLD, bare, true).diagnostics;
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().all(|d| d.rule == RULE_CRATE_HYGIENE));
+
+        let good = "//! Docs.\n#![deny(missing_docs)]\n#![forbid(unsafe_code)]\npub fn f() {}";
+        assert_eq!(analyze_source(COLD, good, true).diagnostics, vec![]);
+
+        // `deny(unsafe_code)` is not enough — forbid is required.
+        let weak = "#![deny(missing_docs)]\n#![deny(unsafe_code)]\npub fn f() {}";
+        let diags = analyze_source(COLD, weak, true).diagnostics;
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("unsafe_code"));
+    }
+
+    #[test]
+    fn pragma_suppresses_and_lands_in_suppressed() {
+        let src = "fn f(m: &HashMap<u32, i64>) -> i64 {\n    // anlz:allow(nondeterministic-iteration): order erased by the max\n    m.values().copied().max().unwrap_or(0)\n}";
+        let report = analyze_source(HOT, src, false);
+        assert_eq!(report.diagnostics, vec![]);
+        assert_eq!(report.suppressed.len(), 1);
+        assert_eq!(report.allows.len(), 1);
+    }
+
+    #[test]
+    fn malformed_pragma_is_reported_and_unsuppressable() {
+        let src = "// anlz:allow(panic-in-hot-path)\nfn f() {}";
+        let report = analyze_source(HOT, src, false);
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.diagnostics[0].rule, RULE_MALFORMED_PRAGMA);
+    }
+}

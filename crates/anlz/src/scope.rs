@@ -1,0 +1,295 @@
+//! A lightweight scope tracker over the token stream.
+//!
+//! Rules need to know *where* a token sits: which module path, which
+//! `fn`, and — critically — whether the enclosing item is test-only
+//! (`#[cfg(test)]`, `#[test]`, or a `mod tests`), because every rule in
+//! this linter exempts test code. This is not a parser: it matches
+//! braces and watches for the item keywords (`mod`, `fn`, `impl`,
+//! `trait`) and outer attributes that precede a `{`. That is enough for
+//! well-formed rustfmt'd source, which is all this linter sweeps.
+
+use crate::lexer::{Token, TokenKind};
+
+/// What kind of item opened a brace scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScopeKind {
+    /// `mod name { … }`
+    Module,
+    /// `fn name(…) { … }`
+    Fn,
+    /// `impl … { … }` or `trait … { … }`
+    Impl,
+    /// Any other `{ … }`: blocks, match arms, struct literals, …
+    Block,
+}
+
+#[derive(Debug, Clone)]
+struct Scope {
+    kind: ScopeKind,
+    /// `mod`/`fn` name, when the item has one.
+    name: Option<String>,
+    /// True if this scope or any ancestor is test-only.
+    is_test: bool,
+}
+
+/// Tracks the scope stack as tokens stream by. Feed every token (in
+/// order) to [`ScopeTracker::observe`] *before* running rule logic for
+/// that token, then query the accessors.
+#[derive(Debug)]
+pub struct ScopeTracker {
+    stack: Vec<Scope>,
+    /// Name of the most recent `mod`/`fn` keyword's item, waiting for
+    /// its `{` (or discarded at `;` for out-of-line mods / trait fns).
+    pending: Option<(ScopeKind, Option<String>)>,
+    /// Set when the last ident consumed was `mod` or `fn` and we are
+    /// waiting for the item's name.
+    awaiting_name: Option<ScopeKind>,
+    /// True when an outer attribute seen since the last item boundary
+    /// marks the next item as test-only (`#[cfg(test)]` / `#[test]`).
+    pending_test_attr: bool,
+    /// Attribute parsing state: depth of `[` … `]` after a `#`.
+    attr_depth: u32,
+    /// Idents observed inside the current attribute.
+    attr_idents: Vec<String>,
+    /// True while between a `#` and its `[`.
+    attr_hash: bool,
+}
+
+impl ScopeTracker {
+    /// A tracker at file (crate-root) scope.
+    pub fn new() -> Self {
+        ScopeTracker {
+            stack: Vec::new(),
+            pending: None,
+            awaiting_name: None,
+            pending_test_attr: false,
+            attr_depth: 0,
+            attr_idents: Vec::new(),
+            attr_hash: false,
+        }
+    }
+
+    /// True if the current position is inside test-only code.
+    pub fn in_test(&self) -> bool {
+        self.stack.last().is_some_and(|s| s.is_test)
+    }
+
+    /// Name of the innermost enclosing `fn`, if any.
+    pub fn fn_name(&self) -> Option<&str> {
+        self.stack
+            .iter()
+            .rev()
+            .find(|s| s.kind == ScopeKind::Fn)
+            .and_then(|s| s.name.as_deref())
+    }
+
+    /// `::`-joined path of enclosing named modules (in-file only).
+    pub fn module_path(&self) -> String {
+        let parts: Vec<&str> = self
+            .stack
+            .iter()
+            .filter(|s| s.kind == ScopeKind::Module)
+            .filter_map(|s| s.name.as_deref())
+            .collect();
+        parts.join("::")
+    }
+
+    /// Current brace depth (0 = file scope).
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// True while the tracker is inside a `#[…]` attribute. Rules use
+    /// this to skip idents like `test` inside attribute bodies.
+    pub fn in_attribute(&self) -> bool {
+        self.attr_hash || self.attr_depth > 0
+    }
+
+    /// Advances the tracker across one token.
+    pub fn observe(&mut self, tok: &Token, src: &str) {
+        match tok.kind {
+            TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment => return,
+            _ => {}
+        }
+        let text = tok.text(src);
+
+        // Attribute state machine: `#` `[` idents… `]`.
+        if self.attr_hash {
+            self.attr_hash = false;
+            if tok.kind == TokenKind::Punct && text == "[" {
+                self.attr_depth = 1;
+                self.attr_idents.clear();
+                return;
+            }
+            // `#` not followed by `[` (e.g. inside macros): fall through.
+        }
+        if self.attr_depth > 0 {
+            match (tok.kind, text) {
+                (TokenKind::Punct, "[") => self.attr_depth += 1,
+                (TokenKind::Punct, "]") => {
+                    self.attr_depth -= 1;
+                    if self.attr_depth == 0 {
+                        self.finish_attribute();
+                    }
+                }
+                (TokenKind::Ident, w) => self.attr_idents.push(w.to_string()),
+                _ => {}
+            }
+            return;
+        }
+        if tok.kind == TokenKind::Punct && text == "#" {
+            self.attr_hash = true;
+            return;
+        }
+
+        // Item-name capture: `mod NAME` / `fn NAME`.
+        if let Some(kind) = self.awaiting_name.take() {
+            if tok.kind == TokenKind::Ident {
+                self.pending = Some((kind, Some(text.to_string())));
+                return;
+            }
+            self.pending = Some((kind, None));
+            // Not a name (e.g. `fn(` in a type) — fall through so the
+            // token still gets brace handling below.
+        }
+
+        match (tok.kind, text) {
+            (TokenKind::Ident, "mod") => self.awaiting_name = Some(ScopeKind::Module),
+            (TokenKind::Ident, "fn") => self.awaiting_name = Some(ScopeKind::Fn),
+            (TokenKind::Ident, "impl" | "trait") => {
+                self.pending = Some((ScopeKind::Impl, None));
+            }
+            (TokenKind::Punct, "{") => {
+                let (kind, name) = self.pending.take().unwrap_or((ScopeKind::Block, None));
+                let inherited = self.in_test();
+                let own = self.pending_test_attr
+                    || (kind == ScopeKind::Module && name.as_deref() == Some("tests"));
+                self.pending_test_attr = false;
+                self.stack.push(Scope {
+                    kind,
+                    name,
+                    is_test: inherited || own,
+                });
+            }
+            (TokenKind::Punct, "}") => {
+                self.stack.pop();
+            }
+            // Out-of-line `mod x;`, trait method signatures, etc.: the
+            // pending item never opens a scope. A test attr on it is
+            // likewise spent.
+            (TokenKind::Punct, ";") if self.pending.take().is_some() => {
+                self.pending_test_attr = false;
+            }
+            _ => {}
+        }
+    }
+
+    /// Interprets the attribute whose `]` just closed: does it mark the
+    /// next item test-only? Loose on purpose — `#[cfg(test)]`,
+    /// `#[cfg(all(test, feature = "x"))]`, `#[test]`, `#[tokio::test]`
+    /// all qualify.
+    fn finish_attribute(&mut self) {
+        let has = |w: &str| self.attr_idents.iter().any(|i| i == w);
+        if (has("cfg") && has("test")) || self.attr_idents.iter().any(|i| i == "test") {
+            self.pending_test_attr = true;
+        }
+        self.attr_idents.clear();
+    }
+}
+
+impl Default for ScopeTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    /// Runs the tracker over `src`, sampling state at every ident equal
+    /// to `marker`; returns (in_test, fn_name, module_path) per hit.
+    fn sample(src: &str, marker: &str) -> Vec<(bool, Option<String>, String)> {
+        let mut tracker = ScopeTracker::new();
+        let mut out = Vec::new();
+        for tok in lex(src) {
+            tracker.observe(&tok, src);
+            if tok.kind == TokenKind::Ident && tok.text(src) == marker {
+                out.push((
+                    tracker.in_test(),
+                    tracker.fn_name().map(str::to_string),
+                    tracker.module_path(),
+                ));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn tracks_fn_and_module_names() {
+        let src = "mod outer { fn compute() { MARK; } } fn top() { MARK; }";
+        let hits = sample(src, "MARK");
+        assert_eq!(
+            hits,
+            vec![
+                (false, Some("compute".into()), "outer".into()),
+                (false, Some("top".into()), String::new()),
+            ]
+        );
+    }
+
+    #[test]
+    fn cfg_test_module_is_test() {
+        let src = r#"
+            fn prod() { MARK; }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { MARK; }
+            }
+        "#;
+        let hits = sample(src, "MARK");
+        assert!(!hits[0].0);
+        assert!(hits[1].0);
+    }
+
+    #[test]
+    fn mod_named_tests_is_test_without_attr() {
+        let src = "mod tests { fn helper() { MARK; } }";
+        assert!(sample(src, "MARK")[0].0);
+    }
+
+    #[test]
+    fn test_attr_on_fn_only_marks_that_fn() {
+        let src = "#[test] fn t() { MARK; } fn prod() { MARK; }";
+        let hits = sample(src, "MARK");
+        assert!(hits[0].0);
+        assert!(!hits[1].0);
+    }
+
+    #[test]
+    fn out_of_line_mod_does_not_leak() {
+        let src = "#[cfg(test)] mod harness; fn prod() { MARK; }";
+        assert!(!sample(src, "MARK")[0].0);
+    }
+
+    #[test]
+    fn nested_blocks_inherit_test() {
+        let src = "#[cfg(test)] mod tests { fn t() { if x { { MARK; } } } }";
+        assert!(sample(src, "MARK")[0].0);
+    }
+
+    #[test]
+    fn impl_blocks_tracked() {
+        let src = "impl Foo { fn method(&self) { MARK; } }";
+        let hits = sample(src, "MARK");
+        assert_eq!(hits[0].1.as_deref(), Some("method"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_test() {
+        let src = "#[cfg(feature = \"x\")] mod gated { fn f() { MARK; } }";
+        assert!(!sample(src, "MARK")[0].0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Workspace discovery: which files does `--workspace` sweep?
+//!
+//! Members are read from the root `Cargo.toml`'s `members = […]` list
+//! with a deliberately naive line parser (the manifest is ours and
+//! rustfmt'd; a TOML parser would be a dependency this crate refuses
+//! to take). `vendor/` members are skipped — the shims mirror external
+//! crates and are exempt from popflow's invariants. Each member
+//! contributes its `src/` tree (sorted, recursive); `tests/`,
+//! `benches/`, and `examples/` are out of scope because every rule
+//! already exempts test code.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One file selected for analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceFile {
+    /// Absolute (or root-joined) path on disk.
+    pub abs: PathBuf,
+    /// Workspace-relative path with `/` separators — the form the
+    /// rule path predicates match against.
+    pub rel: String,
+    /// True if this file is the crate root (`src/lib.rs` /
+    /// `src/main.rs`) of a workspace member.
+    pub is_crate_root: bool,
+}
+
+/// Parses the `members` array out of the workspace manifest at
+/// `root/Cargo.toml`, skipping `vendor/` entries.
+pub fn workspace_members(root: &Path) -> io::Result<Vec<String>> {
+    let manifest = fs::read_to_string(root.join("Cargo.toml"))?;
+    let mut members = Vec::new();
+    let mut in_members = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if !in_members {
+            if line.starts_with("members") && line.contains('[') {
+                in_members = true;
+            }
+            continue;
+        }
+        if line.starts_with(']') {
+            break;
+        }
+        let entry = line.trim_end_matches(',').trim_matches('"');
+        if entry.is_empty() || entry.starts_with('#') || entry.starts_with("vendor/") {
+            continue;
+        }
+        members.push(entry.to_string());
+    }
+    if members.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "no workspace members found in {}",
+                root.join("Cargo.toml").display()
+            ),
+        ));
+    }
+    Ok(members)
+}
+
+/// Collects every `.rs` file under the members' `src/` trees, in
+/// deterministic (sorted-path) order.
+pub fn workspace_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    for member in workspace_members(root)? {
+        let src_dir = root.join(&member).join("src");
+        if !src_dir.is_dir() {
+            continue;
+        }
+        let crate_root = ["lib.rs", "main.rs"]
+            .iter()
+            .map(|f| src_dir.join(f))
+            .find(|p| p.is_file());
+        let mut files = Vec::new();
+        walk(&src_dir, &mut files)?;
+        files.sort();
+        for abs in files {
+            let rel = relative_slash(root, &abs);
+            let is_crate_root = crate_root.as_deref() == Some(abs.as_path());
+            out.push(SourceFile {
+                abs,
+                rel,
+                is_crate_root,
+            });
+        }
+    }
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// `root`-relative path with `/` separators; falls back to the full
+/// path when `abs` is not under `root`.
+pub fn relative_slash(root: &Path, abs: &Path) -> String {
+    let rel = abs.strip_prefix(root).unwrap_or(abs);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_this_workspace() {
+        // The crate sits at <root>/crates/anlz, so the real manifest is
+        // two levels up — a self-test against the actual workspace.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .unwrap()
+            .parent()
+            .unwrap()
+            .to_path_buf();
+        let members = workspace_members(&root).expect("workspace manifest parses");
+        assert!(members.contains(&"crates/anlz".to_string()));
+        assert!(members.contains(&"crates/core".to_string()));
+        assert!(members.iter().all(|m| !m.starts_with("vendor/")));
+
+        let sources = workspace_sources(&root).expect("workspace sources enumerate");
+        assert!(sources
+            .iter()
+            .any(|s| s.rel == "crates/core/src/lib.rs" && s.is_crate_root));
+        assert!(sources
+            .iter()
+            .any(|s| s.rel == "crates/anlz/src/rules.rs" && !s.is_crate_root));
+        assert!(sources.iter().all(|s| !s.rel.starts_with("vendor/")));
+        // Deterministic ordering is part of the output contract.
+        let mut sorted = sources.clone();
+        sorted.sort_by(|a, b| a.rel.cmp(&b.rel));
+        assert_eq!(sources, sorted);
+    }
+}

@@ -1,0 +1,15 @@
+//! R1 known-bad fixture: hash iteration order escapes into replies.
+
+use std::collections::HashMap;
+
+fn shard_reply(presence: &HashMap<u64, f64>) -> Vec<(u64, f64)> {
+    presence.iter().map(|(k, v)| (*k, *v)).collect()
+}
+
+fn first_error(errors: &HashMap<u64, String>) -> Option<String> {
+    let mut picked = None;
+    for (_oid, msg) in errors {
+        picked.get_or_insert_with(|| msg.clone());
+    }
+    picked
+}

@@ -1,0 +1,12 @@
+//! R1 known-clean fixture: ordered maps, and hash drains that feed an
+//! order-restoring sink on the same statement.
+
+use std::collections::{BTreeMap, HashMap};
+
+fn shard_reply(presence: &BTreeMap<u64, f64>) -> Vec<(u64, f64)> {
+    presence.iter().map(|(k, v)| (*k, *v)).collect()
+}
+
+fn reordered(scores: &HashMap<u64, f64>) -> BTreeMap<u64, u64> {
+    scores.keys().map(|k| (*k, *k)).collect::<BTreeMap<_, _>>()
+}

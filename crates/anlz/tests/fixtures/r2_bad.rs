@@ -1,0 +1,7 @@
+//! R2 known-bad fixture: float accumulation in hash iteration order.
+
+use std::collections::HashMap;
+
+fn total_flow(contributions: &HashMap<u64, f64>) -> f64 {
+    contributions.values().sum()
+}

@@ -1,0 +1,5 @@
+//! R2 known-clean fixture: the same accumulation over an ordered slice.
+
+fn total_flow(contributions: &[f64]) -> f64 {
+    contributions.iter().sum()
+}

@@ -1,0 +1,12 @@
+//! R3 known-bad fixture: panics reachable from serving code.
+
+fn lookup(scores: &[f64], idx: Option<usize>) -> f64 {
+    let i = idx.unwrap();
+    scores[i]
+}
+
+fn must(flag: bool) {
+    if !flag {
+        panic!("flag must be set");
+    }
+}

@@ -1,0 +1,13 @@
+//! R3 known-clean fixture: the same lookups made fallible.
+
+fn lookup(scores: &[f64], idx: Option<usize>) -> Option<f64> {
+    let i = idx?;
+    scores.get(i).copied()
+}
+
+fn must(flag: bool) -> Result<(), String> {
+    if !flag {
+        return Err("flag must be set".to_string());
+    }
+    Ok(())
+}

@@ -1,0 +1,7 @@
+//! R4 known-bad fixture: an unjustified Relaxed ordering.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn claim(cursor: &AtomicUsize) -> usize {
+    cursor.fetch_add(1, Ordering::Relaxed)
+}

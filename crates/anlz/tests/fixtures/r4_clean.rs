@@ -1,0 +1,12 @@
+//! R4 known-clean fixture: a justified Relaxed plus a stronger ordering.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn bump(counter: &AtomicUsize) -> usize {
+    // anlz:allow(atomic-ordering-audit): counter is telemetry-only
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+
+fn publish(flag: &AtomicUsize) {
+    flag.store(1, Ordering::Release);
+}

@@ -1,0 +1,4 @@
+//! R5 known-bad fixture: a crate root missing both hygiene attributes.
+
+/// Does nothing.
+pub fn noop() {}

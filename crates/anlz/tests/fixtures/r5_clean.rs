@@ -1,0 +1,7 @@
+//! R5 known-clean fixture: a hygienic crate root.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Does nothing.
+pub fn noop() {}

@@ -9,6 +9,9 @@
 //! orderings and trends are the reproduction target (EXPERIMENTS.md
 //! records both).
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 use popflow_core::TkPlQuery;
 use popflow_eval::Lab;
 

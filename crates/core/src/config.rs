@@ -53,7 +53,9 @@ pub enum PresenceEngine {
 /// Configuration for flow computation and the TkPLQ search algorithms.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlowConfig {
+    /// How presence probabilities are normalized across paths.
     pub normalization: Normalization,
+    /// Which presence-computation engine evaluates the paths.
     pub engine: PresenceEngine,
     /// Apply the §3.2 data reduction (intra-merge + inter-merge) before
     /// path construction. The paper's `-ORG` variants set this to `false`.
@@ -128,24 +130,38 @@ pub enum FlowError {
     /// Path enumeration exceeded [`FlowConfig::path_budget`] extension
     /// steps. Shorten the query interval, enable data reduction, or switch
     /// to [`PresenceEngine::TransitionDp`].
-    PathBudgetExceeded { budget: u64 },
+    PathBudgetExceeded {
+        /// The configured budget that was exhausted.
+        budget: u64,
+    },
     /// A sample set violated its invariants during processing (e.g. a
     /// merge produced non-finite probabilities from a malformed record).
-    InvalidSampleSet { detail: String },
+    InvalidSampleSet {
+        /// What invariant was violated.
+        detail: String,
+    },
     /// A continuous engine was asked to move backwards in time — either an
     /// out-of-order record on ingest or an `advance` before the previous
     /// one. Timestamps are raw milliseconds.
     TimeRegression {
+        /// The engine frontier that must not be crossed.
         last_millis: i64,
+        /// The earlier timestamp that tried to cross it.
         offending_millis: i64,
     },
     /// A continuous engine can no longer serve (e.g. a shard worker died).
-    EngineUnavailable { detail: String },
+    EngineUnavailable {
+        /// Why the engine is out of service.
+        detail: String,
+    },
     /// A query handed to a multi-query engine was rejected — an unknown
     /// [`crate::QueryId`], a bucket width that does not match the
     /// engine's cache granularity, or an advance with nothing registered.
     /// Rejections leave the engine untouched.
-    InvalidQuery { detail: String },
+    InvalidQuery {
+        /// Why the query was rejected.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for FlowError {

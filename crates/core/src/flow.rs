@@ -86,9 +86,11 @@ impl ObjectContribution {
         let mut scores = Vec::new();
         let mut i = 0;
         for (&q, &score) in self.relevant.iter().zip(&self.scores) {
+            // anlz:allow(panic-in-hot-path): subset[i] guarded by i < subset.len() in the same condition
             while i < subset.len() && subset[i] < q {
                 i += 1;
             }
+            // anlz:allow(panic-in-hot-path): subset[i] guarded by i < subset.len() in the same condition
             if i < subset.len() && subset[i] == q {
                 relevant.push(q);
                 scores.push(score);
@@ -148,6 +150,7 @@ pub fn object_flow_contributions_for<'a, I>(
 where
     I: IntoIterator<Item = &'a SampleSet>,
 {
+    // anlz:allow(panic-in-hot-path): windows(2) yields exactly-2-element slices
     debug_assert!(locs.windows(2).all(|w| w[0] < w[1]), "locs must be sorted");
     let scanned = scan_sequence(space, sets, cfg.use_reduction)?;
     // PSL pruning applies only with data reduction on; the paper's -ORG
@@ -219,9 +222,11 @@ fn scores_from_tracked<S: std::borrow::Borrow<SampleSet>>(
     for tp in &tracked.tracked {
         prsum += tp.path.prob;
         for bit in tp.touched.iter() {
+            // anlz:allow(panic-in-hot-path): touched bitsets are allocated with relevant.len() bits
             let q = relevant[bit];
             let pass = tracked.set.pass_probability(space, tp.path, q);
             if pass > 0.0 {
+                // anlz:allow(panic-in-hot-path): local was allocated with relevant.len() slots
                 local[bit] += pass * tp.path.prob;
             }
         }

@@ -39,6 +39,9 @@
 //! assert_eq!(out.ranking[0].sloc, fig.r[5]); // r6 is the most popular (Example 4)
 //! ```
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod baselines;
 mod bitset;
 mod config;

@@ -29,6 +29,7 @@ struct PathNode {
 #[derive(Debug, Clone, Copy)]
 pub struct PathRef {
     node: u32,
+    /// The path probability `pr(φ)`.
     pub prob: f64,
 }
 
@@ -199,14 +200,18 @@ pub fn build_paths<S: std::borrow::Borrow<SampleSet>>(
 /// relevant query list.
 #[derive(Debug, Clone)]
 pub struct TrackedPath {
+    /// The underlying arena path.
     pub path: PathRef,
+    /// Which relevant query locations the path can pass.
     pub touched: SmallBitset,
 }
 
 /// A tracked path set (Algorithm 3's construction).
 #[derive(Debug, Clone, Default)]
 pub struct TrackedPathSet {
+    /// The shared-prefix path arena.
     pub set: PathSet,
+    /// One tracked entry per valid path in `set`.
     pub tracked: Vec<TrackedPath>,
 }
 

@@ -391,11 +391,18 @@ pub(crate) fn run(
                     Some(list) if list.first().is_some_and(RcRef::is_entry) => {
                         // Leaf entries: load the distinct objects and
                         // compute the concrete flow (lines 27–29).
+                        // Join lists are homogeneous by construction
+                        // (this branch guarded on `first()` being an
+                        // entry); skip a mixed node defensively rather
+                        // than panicking mid-query.
                         let mut oids: Vec<ObjectId> = list
                             .iter()
-                            .map(|r| match r {
-                                RcRef::Entry(e) => e.data,
-                                RcRef::Node(_) => unreachable!("mixed join list"),
+                            .filter_map(|r| match r {
+                                RcRef::Entry(e) => Some(e.data),
+                                RcRef::Node(_) => {
+                                    debug_assert!(false, "mixed join list");
+                                    None
+                                }
                             })
                             .collect();
                         oids.sort_unstable();
@@ -425,6 +432,7 @@ pub(crate) fn run(
                 }
             }
             RqRef::Node(node) => {
+                // anlz:allow(panic-in-hot-path): HeapEntry construction pairs every internal node with Some(list); no path builds one without
                 let list = entry.list.expect("internal entries always carry a list");
                 if list.first().is_some_and(RcRef::is_entry) {
                     // RC side already at leaf entries: descend the query
@@ -551,6 +559,7 @@ pub(crate) fn run_par(
     // its candidate objects, ascending by object id (`sequences` is
     // id-sorted and the merge preserves that order).
     let mut candidates: HashMap<SLocId, Vec<usize>> = HashMap::new();
+    // anlz:allow(nondeterministic-iteration): `objects` is an id-sorted Vec in this fn (the serial path's HashMap shares the name); iteration order is the id order
     for (i, (_, data)) in objects.iter().enumerate() {
         for q in intersect_sorted(query.query_set.slocs(), &data.psls) {
             candidates.entry(q).or_default().push(i);
@@ -577,6 +586,7 @@ pub(crate) fn run_par(
             None => break,
             Some(ThresholdStep::Finalize(sloc, flow)) => finals.push((sloc, flow)),
             Some(ThresholdStep::Evaluate(sloc)) => {
+                // anlz:allow(panic-in-hot-path): the heap only yields Evaluate for locations seeded from `candidates` with n > 0
                 let idxs = candidates
                     .get(&sloc)
                     .expect("only seeded locations are evaluated");
@@ -631,11 +641,13 @@ fn evaluate_location_par(
     let results = {
         let shared: &[(ObjectId, ObjectData<'_>)] = objects;
         try_par_map(exec, idxs, |_, &i| {
+            // anlz:allow(panic-in-hot-path): idxs were produced by enumerate() over this exact slice
             shared_presence(space, &shared[i].1, q, cfg)
         })?
     };
     let mut flow = 0.0;
     for (&i, (phi, fell_back, update)) in idxs.iter().zip(results) {
+        // anlz:allow(panic-in-hot-path): idxs were produced by enumerate() over this exact Vec
         let (oid, data) = &mut objects[i];
         apply_update(data, update);
         computed.insert(*oid);
@@ -719,6 +731,7 @@ fn exact_flow(
 ) -> Result<f64, FlowError> {
     let mut flow = 0.0;
     for oid in oids {
+        // anlz:allow(panic-in-hot-path): the RC tree is built over the retained object map; every entry id originates from it
         let data = objects
             .get_mut(oid)
             .expect("RC entries reference retained objects");

@@ -30,8 +30,11 @@ use crate::query_set::QuerySet;
 /// the highest indoor flows during `[ts, te]`.
 #[derive(Debug, Clone)]
 pub struct TkPlQuery {
+    /// How many locations to return.
     pub k: usize,
+    /// The candidate S-locations `Q`.
     pub query_set: QuerySet,
+    /// The query window `[ts, te]`.
     pub interval: TimeInterval,
 }
 
@@ -51,7 +54,9 @@ impl TkPlQuery {
 /// One ranked result location.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RankedLocation {
+    /// The ranked S-location.
     pub sloc: SLocId,
+    /// Its indoor flow over the query window.
     pub flow: f64,
 }
 
@@ -105,6 +110,7 @@ impl SearchStats {
 pub struct QueryOutcome {
     /// Top-k S-locations in descending flow order (ties broken by id).
     pub ranking: Vec<RankedLocation>,
+    /// Work accounting for the evaluation.
     pub stats: SearchStats,
 }
 

@@ -67,9 +67,10 @@ pub(crate) fn run(
         contribution.add_to(&mut global);
     }
 
-    let scores: Vec<(SLocId, f64)> = global.into_iter().collect();
     Ok(QueryOutcome {
-        ranking: rank_topk(scores, query.k),
+        // Ranked in one expression: the unordered drain feeds straight
+        // into rank_topk's total sort, so hash order never escapes.
+        ranking: rank_topk(global.into_iter().collect(), query.k),
         stats: SearchStats {
             objects_total,
             objects_computed,
@@ -139,9 +140,10 @@ pub(crate) fn run_par(
         contribution.add_to(&mut global);
     }
 
-    let scores: Vec<(SLocId, f64)> = global.into_iter().collect();
     Ok(QueryOutcome {
-        ranking: rank_topk(scores, query.k),
+        // Ranked in one expression: the unordered drain feeds straight
+        // into rank_topk's total sort, so hash order never escapes.
+        ranking: rank_topk(global.into_iter().collect(), query.k),
         stats: SearchStats {
             objects_total,
             objects_computed,

@@ -14,13 +14,17 @@ use crate::metrics::{kendall_tau, recall};
 /// A method run scored against ground truth.
 #[derive(Debug, Clone)]
 pub struct ScoredRun {
+    /// The run being scored.
     pub run: MethodRun,
+    /// Kendall tau of the ranking vs ground truth.
     pub tau: f64,
+    /// Top-k recall vs ground truth.
     pub recall: f64,
 }
 
 /// A reusable experiment context.
 pub struct Lab {
+    /// The generated world under experiment.
     pub world: World,
     /// The IUPT actually queried (may be an mss-capped copy of the
     /// world's).

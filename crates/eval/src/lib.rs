@@ -11,6 +11,9 @@
 //! cargo run -p popflow-eval --release --bin experiments -- fig8 table7
 //! ```
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod experiments;
 pub mod lab;
 pub mod method;

@@ -67,7 +67,9 @@ impl Method {
 /// A timed method evaluation.
 #[derive(Debug, Clone)]
 pub struct MethodRun {
+    /// The query outcome produced by the method.
     pub outcome: QueryOutcome,
+    /// Wall-clock evaluation time in seconds.
     pub elapsed_secs: f64,
     /// Set when the hybrid engine had to evaluate at least one object with
     /// the transition DP because its path set exceeded the budget.
@@ -76,8 +78,11 @@ pub struct MethodRun {
 
 /// Inputs shared by the methods.
 pub struct MethodInput<'a> {
+    /// The indoor space queried against.
     pub space: &'a IndoorSpace,
+    /// The uncertain positioning table (mutable for index warm-up).
     pub iupt: &'a mut Iupt,
+    /// RFID tracking data for the SCC/UR comparators.
     pub rfid: Option<&'a RfidTrackingData>,
     /// Vmax for the UR comparator's ellipses.
     pub vmax: f64,

@@ -110,16 +110,22 @@ where
                 scope.spawn(|| {
                     let mut local: Vec<(usize, Result<R, E>)> = Vec::new();
                     loop {
+                        // anlz:allow(atomic-ordering-audit): RMW-atomicity-only — claims need unique indices, nothing else; the scope join is the final synchronization
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= items.len() {
                             break;
                         }
-                        if i >= first_error.load(Ordering::Relaxed) {
+                        // Acquire/Release pair on the early-exit flag:
+                        // the *decision to skip work* must observe the
+                        // store that justified it, so the skip-set is a
+                        // coherent prefix cut rather than a data race
+                        // the scope join happens to paper over.
+                        if i >= first_error.load(Ordering::Acquire) {
                             continue;
                         }
                         let result = f(i, &items[i]);
                         if result.is_err() {
-                            first_error.fetch_min(i, Ordering::Relaxed);
+                            first_error.fetch_min(i, Ordering::Release);
                         }
                         local.push((i, result));
                     }

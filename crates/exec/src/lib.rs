@@ -42,6 +42,7 @@
 //! scoped threads and channels are all the model needs.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod forkjoin;
 mod partitioner;

@@ -9,7 +9,9 @@ use crate::{Point, Rect};
 /// and whose major axis is `Vmax · Δt`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Ellipse {
+    /// First focus (the earlier reader position).
     pub f1: Point,
+    /// Second focus (the later reader position).
     pub f2: Point,
     /// Full major-axis length (`2a`), i.e. the maximum total distance
     /// `d(p, f1) + d(p, f2)` of points inside the ellipse.

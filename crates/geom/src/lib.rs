@@ -10,6 +10,9 @@
 //! regions of the UR comparator (Lu et al., EDBT 2016) reproduced for the
 //! paper's Table 7.
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 mod ellipse;
 mod point;
 mod rect;

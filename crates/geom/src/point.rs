@@ -3,7 +3,9 @@ use crate::lerp;
 /// A point in the floor-plan plane, in meters.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Point {
+    /// X coordinate in meters.
     pub x: f64,
+    /// Y coordinate in meters.
     pub y: f64,
 }
 

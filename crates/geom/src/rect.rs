@@ -6,7 +6,9 @@ use crate::Point;
 /// (zero width and/or height) are allowed — a point MBR is a valid `Rect`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Rect {
+    /// Bottom-left corner (smallest x and y).
     pub min: Point,
+    /// Top-right corner (largest x and y).
     pub max: Point,
 }
 

@@ -4,7 +4,9 @@ use crate::{Point, Rect};
 /// mobility simulator.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Segment {
+    /// Where the leg begins.
     pub start: Point,
+    /// Where the leg ends.
     pub end: Point,
 }
 

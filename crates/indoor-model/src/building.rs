@@ -11,17 +11,33 @@ use crate::partition::{Partition, PartitionKind};
 pub enum BuildingError {
     /// A door references a partition id that does not exist.
     DanglingDoor {
+        /// The offending door.
         door: DoorId,
+        /// The partition id it references that does not exist.
         partition: PartitionId,
     },
     /// A door connects a partition to itself.
-    SelfDoor { door: DoorId },
+    SelfDoor {
+        /// The offending door.
+        door: DoorId,
+    },
     /// A same-floor door's position is not on/in both partitions it connects.
-    DoorOffBoundary { door: DoorId },
+    DoorOffBoundary {
+        /// The offending door.
+        door: DoorId,
+    },
     /// A cross-floor door connects partitions more than one floor apart.
-    BadVerticalDoor { door: DoorId },
+    BadVerticalDoor {
+        /// The offending door.
+        door: DoorId,
+    },
     /// Two partitions on the same floor overlap with positive area.
-    OverlappingPartitions { a: PartitionId, b: PartitionId },
+    OverlappingPartitions {
+        /// One overlapping partition.
+        a: PartitionId,
+        /// The other overlapping partition.
+        b: PartitionId,
+    },
 }
 
 impl std::fmt::Display for BuildingError {

@@ -10,6 +10,7 @@ use crate::locations::{PLocKind, PLocation};
 /// partitions").
 #[derive(Debug, Clone)]
 pub struct Cell {
+    /// Stable cell identifier (index into the decomposition).
     pub id: CellId,
     /// Member partitions (non-empty).
     pub partitions: Vec<PartitionId>,

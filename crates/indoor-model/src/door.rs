@@ -14,6 +14,7 @@ use crate::ids::{DoorId, PartitionId};
 /// undirected form, and so do we.
 #[derive(Debug, Clone)]
 pub struct Door {
+    /// Stable door identifier.
     pub id: DoorId,
     /// One side of the door.
     pub a: PartitionId,

@@ -11,18 +11,26 @@ use crate::ids::{DoorId, FloorId, PartitionId};
 pub enum Leg {
     /// A straight walk inside one (convex) partition.
     Walk {
+        /// Partition the walk crosses.
         partition: PartitionId,
+        /// Floor the walk happens on.
         floor: FloorId,
+        /// The walked segment, in plan coordinates.
         seg: Segment,
     },
     /// A staircase flight through a vertical door: plan position stays at
     /// `pos` while the floor changes; traversal costs `cost` meters of
     /// equivalent walking.
     Stairs {
+        /// The vertical door being traversed.
         door: DoorId,
+        /// Floor the flight starts on.
         from_floor: FloorId,
+        /// Floor the flight ends on.
         to_floor: FloorId,
+        /// Stairwell position in plan coordinates (unchanged by the leg).
         pos: Point,
+        /// Equivalent walking distance of the flight in meters.
         cost: f64,
     },
 }
@@ -41,6 +49,7 @@ impl Leg {
 /// from the source point to the destination point through doors.
 #[derive(Debug, Clone)]
 pub struct Route {
+    /// The legs in travel order.
     pub legs: Vec<Leg>,
     /// Total walking-distance cost in meters.
     pub length: f64,

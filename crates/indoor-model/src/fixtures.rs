@@ -18,6 +18,7 @@ use crate::FloorId;
 /// Index convention: `r[k]` is the paper's `r{k+1}` and `p[k]` the paper's
 /// `p{k+1}` (the paper numbers from 1).
 pub struct Figure1 {
+    /// The assembled space (building + locations + decomposition).
     pub space: IndoorSpace,
     /// S-locations `r1..r6`.
     pub r: [SLocId; 6],

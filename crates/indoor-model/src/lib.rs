@@ -23,6 +23,9 @@
 //! [`fixtures::paper_figure1`] reconstructs the paper's running example and
 //! is reused by tests across the workspace.
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 mod building;
 mod cells;
 mod door;

@@ -10,6 +10,7 @@ use crate::ids::{EquivClassId, PLocId};
 /// their sample probabilities together.
 #[derive(Debug, Clone)]
 pub struct EquivClass {
+    /// Stable class identifier.
     pub id: EquivClassId,
     /// The common `cells(p)` of every member.
     pub cells: CellDuo,

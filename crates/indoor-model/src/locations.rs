@@ -8,19 +8,29 @@ pub enum PLocKind {
     /// Sits at a door and (together with the other partitioning
     /// P-locations) partitions the space into cells: an object cannot move
     /// between the two adjacent cells without being positioned here.
-    Partitioning { door: DoorId },
+    Partitioning {
+        /// The door it guards.
+        door: DoorId,
+    },
     /// Merely implies the presence of a positioned object inside one
     /// partition; does not split the space.
-    Presence { partition: PartitionId },
+    Presence {
+        /// The partition whose interior it covers.
+        partition: PartitionId,
+    },
 }
 
 /// A P-location: one of the discrete point locations an indoor positioning
 /// system can report (e.g. a Wi-Fi fingerprinting reference point).
 #[derive(Debug, Clone)]
 pub struct PLocation {
+    /// Stable P-location identifier.
     pub id: PLocId,
+    /// Reported position in plan coordinates.
     pub pos: Point,
+    /// Floor the location sits on.
     pub floor: FloorId,
+    /// Partitioning or presence role.
     pub kind: PLocKind,
 }
 
@@ -37,11 +47,15 @@ impl PLocation {
 /// S-location) but may span several, e.g. a shop occupying two rooms.
 #[derive(Debug, Clone)]
 pub struct SLocation {
+    /// Stable S-location identifier.
     pub id: SLocId,
+    /// Human-readable name (e.g. a shop name).
     pub name: String,
+    /// Member partitions (non-empty).
     pub partitions: Vec<PartitionId>,
     /// MBR over the member partitions (on `floor`).
     pub rect: Rect,
+    /// Floor the region sits on.
     pub floor: FloorId,
 }
 

@@ -8,8 +8,11 @@ use crate::ids::{FloorId, PartitionId};
 /// and for human-readable output.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PartitionKind {
+    /// A destination room (office, shop, …).
     Room,
+    /// A corridor connecting rooms on one floor.
     Hallway,
+    /// A stairwell connecting adjacent floors.
     Staircase,
 }
 
@@ -22,9 +25,13 @@ pub enum PartitionKind {
 /// regular ones", §5.3).
 #[derive(Debug, Clone)]
 pub struct Partition {
+    /// Stable partition identifier.
     pub id: PartitionId,
+    /// Floor the partition sits on.
     pub floor: FloorId,
+    /// Footprint rectangle in plan coordinates.
     pub rect: Rect,
+    /// Room, hallway, or staircase.
     pub kind: PartitionKind,
     /// Human-readable name, e.g. `"r3"` or `"F2-room-17"`.
     pub name: String,

@@ -12,13 +12,25 @@ use crate::locations::{PLocKind, PLocation, SLocation};
 #[derive(Debug, Clone, PartialEq)]
 pub enum SpaceError {
     /// A presence P-location lies outside its declared partition.
-    PLocOutsidePartition { ploc: PLocId },
+    PLocOutsidePartition {
+        /// The offending P-location.
+        ploc: PLocId,
+    },
     /// An S-location has no member partitions.
-    EmptySLocation { sloc: SLocId },
+    EmptySLocation {
+        /// The offending S-location.
+        sloc: SLocId,
+    },
     /// An S-location's partitions span more than one floor.
-    SLocationSpansFloors { sloc: SLocId },
+    SLocationSpansFloors {
+        /// The offending S-location.
+        sloc: SLocId,
+    },
     /// Two partitioning P-locations are attached to the same door.
-    DuplicateDoorPLoc { door: DoorId },
+    DuplicateDoorPLoc {
+        /// The door with two partitioning P-locations.
+        door: DoorId,
+    },
 }
 
 impl std::fmt::Display for SpaceError {
@@ -345,13 +357,21 @@ impl IndoorSpace {
 /// Entity counts of an [`IndoorSpace`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpaceStats {
+    /// Number of partitions.
     pub partitions: usize,
+    /// Number of doors.
     pub doors: usize,
+    /// Number of P-locations of either kind.
     pub plocs: usize,
+    /// Number of partitioning P-locations.
     pub partitioning_plocs: usize,
+    /// Number of S-locations.
     pub slocs: usize,
+    /// Number of cells in the decomposition.
     pub cells: usize,
+    /// Number of `GISL` edges.
     pub gisl_edges: usize,
+    /// Number of P-location equivalence classes.
     pub equiv_classes: usize,
 }
 

@@ -6,6 +6,9 @@
 //! The [`fixtures::paper_table2`] fixture reproduces the paper's Table 2
 //! example data and backs the worked-example tests in `popflow-core`.
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod fixtures;
 mod rfid;
 mod sample;

@@ -35,9 +35,13 @@ impl std::fmt::Display for ReaderId {
 /// readers with 3-meter detection range at doors").
 #[derive(Debug, Clone)]
 pub struct RfidReader {
+    /// Stable reader identifier.
     pub id: ReaderId,
+    /// Mounting position in plan coordinates.
     pub pos: Point,
+    /// Floor the reader sits on.
     pub floor: FloorId,
+    /// The door the reader is mounted at.
     pub door: DoorId,
     /// S-locations adjacent to the reader's door (both sides); SCC counts
     /// a detected object toward these.
@@ -47,6 +51,7 @@ pub struct RfidReader {
 /// A reader deployment.
 #[derive(Debug, Clone)]
 pub struct RfidDeployment {
+    /// The deployed readers, indexed by [`ReaderId`].
     pub readers: Vec<RfidReader>,
     /// Detection radius in meters (3 m in the paper).
     pub detection_range: f64,
@@ -70,9 +75,13 @@ impl RfidDeployment {
 /// during `[ts, te]`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RfidRecord {
+    /// The detected object.
     pub oid: ObjectId,
+    /// The detecting reader.
     pub reader: ReaderId,
+    /// First millisecond of continuous detection.
     pub ts: Timestamp,
+    /// Last millisecond of continuous detection.
     pub te: Timestamp,
 }
 
@@ -86,6 +95,7 @@ impl RfidRecord {
 /// A complete RFID tracking data set.
 #[derive(Debug, Clone)]
 pub struct RfidTrackingData {
+    /// The reader deployment the records were captured against.
     pub deployment: RfidDeployment,
     /// Records sorted by `(oid, ts)`.
     records: Vec<RfidRecord>,

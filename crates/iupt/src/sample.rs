@@ -4,7 +4,9 @@ use indoor_model::PLocId;
 /// with probability `prob` (§2.2).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Sample {
+    /// The reported P-location.
     pub loc: PLocId,
+    /// Probability mass assigned to it.
     pub prob: f64,
 }
 
@@ -21,11 +23,22 @@ pub enum SampleSetError {
     /// The set is empty.
     Empty,
     /// A probability is not in `(0, `[`SampleSet::MAX_PROB`]`]`.
-    BadProbability { loc: PLocId, prob: f64 },
+    BadProbability {
+        /// The offending sample location.
+        loc: PLocId,
+        /// Its out-of-range probability.
+        prob: f64,
+    },
     /// The same P-location appears twice.
-    DuplicateLocation { loc: PLocId },
+    DuplicateLocation {
+        /// The repeated P-location.
+        loc: PLocId,
+    },
     /// Probabilities do not sum to 1 (within tolerance).
-    BadSum { sum: f64 },
+    BadSum {
+        /// The actual sum of the probabilities.
+        sum: f64,
+    },
 }
 
 impl std::fmt::Display for SampleSetError {

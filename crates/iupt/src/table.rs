@@ -32,8 +32,11 @@ impl std::fmt::Display for ObjectId {
 /// [`RecordRef`] views, not owned `Record`s.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Record {
+    /// The positioned object.
     pub oid: ObjectId,
+    /// Positioning timestamp.
     pub t: Timestamp,
+    /// The probabilistic sample set reported at `t`.
     pub samples: SampleSet,
 }
 
@@ -41,7 +44,9 @@ pub struct Record {
 /// sample set borrowed from the store's single interned copy.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RecordRef<'a> {
+    /// The positioned object.
     pub oid: ObjectId,
+    /// Positioning timestamp.
     pub t: Timestamp,
     /// Borrow of the interned sample set ([`SampleSetView`]).
     pub samples: SampleSetView<'a>,
@@ -69,7 +74,9 @@ impl RecordRef<'_> {
 /// ordered by time — the `X = (X1, …, Xn)` of §2.3.
 #[derive(Debug, Clone)]
 pub struct ObjectSequence<'a> {
+    /// The object the sequence belongs to.
     pub oid: ObjectId,
+    /// The object's records in the window, time-ordered.
     pub records: Vec<RecordRef<'a>>,
 }
 
@@ -320,9 +327,13 @@ impl Iupt {
 /// Summary statistics of an [`Iupt`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IuptStats {
+    /// Number of stored records.
     pub records: usize,
+    /// Number of distinct objects.
     pub objects: usize,
+    /// Total samples across all records.
     pub total_samples: usize,
+    /// Largest single sample-set size.
     pub max_sample_set_size: usize,
 }
 

@@ -63,7 +63,9 @@ impl std::fmt::Display for Timestamp {
 /// the Top-k Popular Location Query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimeInterval {
+    /// First millisecond inside the window.
     pub start: Timestamp,
+    /// Last millisecond inside the window (inclusive).
     pub end: Timestamp,
 }
 

@@ -3,14 +3,18 @@ use indoor_geom::Rect;
 /// A leaf entry of the aggregate tree: one MBR plus its payload.
 #[derive(Debug, Clone)]
 pub struct AggEntry<T> {
+    /// Bounding rectangle of the entry.
     pub mbr: Rect,
+    /// The indexed payload.
     pub data: T,
 }
 
 /// Children of an aggregate node: either leaf entries or child nodes.
 #[derive(Debug, Clone)]
 pub enum AggChildren<T> {
+    /// Leaf level: data entries.
     Leaf(Vec<AggEntry<T>>),
+    /// Internal level: child nodes.
     Nodes(Vec<AggNode<T>>),
 }
 
@@ -20,8 +24,11 @@ pub enum AggChildren<T> {
 /// S-location never exceeds 1 (§2.3).
 #[derive(Debug, Clone)]
 pub struct AggNode<T> {
+    /// MBR over the subtree.
     pub mbr: Rect,
+    /// Number of leaf entries in the subtree.
     pub count: usize,
+    /// Leaf entries or child nodes.
     pub children: AggChildren<T>,
 }
 

@@ -17,6 +17,9 @@
 //!   one-dimensional R-tree supporting appends in time order and interval
 //!   range queries.
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 mod aggregate;
 mod rtree;
 mod time_index;

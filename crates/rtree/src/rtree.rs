@@ -8,7 +8,9 @@ const DEFAULT_MAX_ENTRIES: usize = 8;
 /// A data entry: an MBR plus a payload.
 #[derive(Debug, Clone)]
 pub struct Entry<T> {
+    /// Bounding rectangle of the entry.
     pub mbr: Rect,
+    /// The indexed payload.
     pub data: T,
 }
 

@@ -486,9 +486,18 @@ impl ServeEngine {
             traces: VecDeque::new(),
         };
         for spec in initial {
-            engine
-                .register(spec)
-                .expect("construction-time queries were validated by with_query");
+            // `with_query` validates specs, but `ServeConfig.queries` is
+            // a public field: a hand-built config can smuggle in an
+            // invalid spec. That is an engine-construction failure, not
+            // a crash — poison, so every later call reports
+            // `EngineUnavailable` with the rejection as its cause.
+            if let Err(e) = engine.register(spec) {
+                engine.poisoned = Some(format!(
+                    "engine construction rejected a configured query ({e}); \
+                     rebuild the config through with_query"
+                ));
+                break;
+            }
         }
         engine
     }
@@ -746,6 +755,7 @@ impl ServeEngine {
             .collect();
         starts.sort_unstable();
         starts.dedup();
+        // anlz:allow(panic-in-hot-path): non-empty — advance_all rejects an empty registry above
         let global_start = starts[0];
 
         let result = match self.config.strategy {
@@ -814,12 +824,23 @@ impl ServeEngine {
     }
 
     /// The index into `starts` of the window a query of `window_buckets`
-    /// buckets evaluates this advance.
-    fn window_index(starts: &[i64], end_bucket: i64, window_buckets: usize) -> usize {
+    /// buckets evaluates this advance. The advance plan collects every
+    /// registered query's start, so a miss means the plan and the
+    /// registry diverged — an engine fault, not a caller error.
+    fn window_index(
+        starts: &[i64],
+        end_bucket: i64,
+        window_buckets: usize,
+    ) -> Result<usize, FlowError> {
         let start = end_bucket - window_buckets as i64 + 1;
         starts
             .binary_search(&start)
-            .expect("every query's window start was collected")
+            .map_err(|_| FlowError::EngineUnavailable {
+                detail: format!(
+                    "window start {start} (width {window_buckets}) missing from the advance \
+                     plan {starts:?}"
+                ),
+            })
     }
 
     /// The eager advance: every shard seals once and replies with its
@@ -869,36 +890,34 @@ impl ServeEngine {
         trace.add_phase(names::PHASE_MERGE_NS, merge_timer.elapsed_ns());
 
         let slice_timer = Timer::start();
-        let outcomes = self
-            .queries
-            .iter()
-            .map(|reg| {
-                let query_timer = Timer::start();
-                let wi = Self::window_index(starts, end_bucket, reg.spec.window.window_buckets);
-                let (scores, stats) = &merged[wi];
-                // Slice the union-merged scores down to this query's
-                // locations. Per-location flows are query-independent,
-                // so the projection is bit-identical to a dedicated
-                // single-query merge.
-                let sliced: Vec<(SLocId, f64)> = reg
-                    .spec
-                    .query_set
-                    .slocs()
-                    .iter()
-                    .map(|&s| (s, scores.get(&s).copied().unwrap_or(0.0)))
-                    .collect();
-                let outcome = QueryOutcome {
-                    ranking: rank_topk(sliced, reg.spec.k),
-                    stats: stats.clone(),
-                };
-                trace.queries.push(QueryTrace {
-                    id: reg.id,
-                    ns: query_timer.elapsed_ns(),
-                    changed: false,
-                });
-                outcome
-            })
-            .collect();
+        let mut outcomes = Vec::with_capacity(self.queries.len());
+        for reg in &self.queries {
+            let query_timer = Timer::start();
+            let wi = Self::window_index(starts, end_bucket, reg.spec.window.window_buckets)?;
+            let (scores, stats) = merged.get(wi).ok_or_else(|| FlowError::EngineUnavailable {
+                detail: format!("merge produced no window {wi} for the advance plan"),
+            })?;
+            // Slice the union-merged scores down to this query's
+            // locations. Per-location flows are query-independent,
+            // so the projection is bit-identical to a dedicated
+            // single-query merge.
+            let sliced: Vec<(SLocId, f64)> = reg
+                .spec
+                .query_set
+                .slocs()
+                .iter()
+                .map(|&s| (s, scores.get(&s).copied().unwrap_or(0.0)))
+                .collect();
+            outcomes.push(QueryOutcome {
+                ranking: rank_topk(sliced, reg.spec.k),
+                stats: stats.clone(),
+            });
+            trace.queries.push(QueryTrace {
+                id: reg.id,
+                ns: query_timer.elapsed_ns(),
+                changed: false,
+            });
+        }
         trace.add_phase(names::PHASE_SLICE_NS, slice_timer.elapsed_ns());
         Ok(outcomes)
     }
@@ -925,7 +944,12 @@ impl ServeEngine {
             let mut objects_total = 0;
             let mut dp_fallback_objects = 0;
             for report in &reports {
-                let win = &report.windows[wi];
+                let win = report
+                    .windows
+                    .get(wi)
+                    .ok_or_else(|| FlowError::EngineUnavailable {
+                        detail: format!("shard reply is missing window {wi} of the advance plan"),
+                    })?;
                 objects_total += win.objects_total;
                 contributions.extend(win.contributions.iter().cloned());
             }
@@ -1005,15 +1029,26 @@ impl ServeEngine {
             self.stats.log_bytes += report.store.bytes as u64;
             self.stats.intern_hits += report.store.intern_hits;
             for (wi, win) in report.windows.into_iter().enumerate() {
-                let state = &mut windows[wi];
+                let state = windows
+                    .get_mut(wi)
+                    .ok_or_else(|| FlowError::EngineUnavailable {
+                        detail: format!(
+                            "shard {shard} replied with more windows than the advance plan \
+                             requested ({wi} >= {})",
+                            starts.len()
+                        ),
+                    })?;
                 state.objects_total += win.objects_total;
                 self.stats.straddler_recomputes += win.straddlers as u64;
+                // anlz:allow(panic-in-hot-path): trace.shards was sized to num_shards above; ask_all replies once per shard
                 trace.shards[shard].straddlers += win.straddlers as u64;
                 for (oid, relevant) in win.candidates {
                     state.total_cells += relevant.len() as u64;
+                    // anlz:allow(panic-in-hot-path): trace.shards was sized to num_shards above; ask_all replies once per shard
                     trace.shards[shard].candidate_cells += relevant.len() as u64;
                     for &q in &relevant {
                         *state.counts.entry(q).or_insert(0) += 1;
+                        // anlz:allow(panic-in-hot-path): per_shard was sized to num_shards at construction just above
                         state.per_shard[shard].entry(q).or_default().push(oid);
                     }
                 }
@@ -1031,14 +1066,20 @@ impl ServeEngine {
         let mut outcomes = Vec::with_capacity(self.queries.len());
         for qi in 0..self.queries.len() {
             let query_timer = Timer::start();
+            // anlz:allow(panic-in-hot-path): qi ranges over self.queries.len()
             let spec = self.queries[qi].spec.clone();
-            let wi = Self::window_index(starts, end_bucket, spec.window.window_buckets);
+            let wi = Self::window_index(starts, end_bucket, spec.window.window_buckets)?;
+            let state = windows
+                .get_mut(wi)
+                .ok_or_else(|| FlowError::EngineUnavailable {
+                    detail: format!("bounds merge produced no window {wi} for the advance plan"),
+                })?;
             let mut heap = ThresholdHeap::new();
             for &sloc in spec.query_set.slocs() {
-                if let Some(&flow) = windows[wi].flows.get(&sloc) {
+                if let Some(&flow) = state.flows.get(&sloc) {
                     heap.push_exact(sloc, flow);
                 } else {
-                    match windows[wi].counts.get(&sloc).copied().unwrap_or(0) {
+                    match state.counts.get(&sloc).copied().unwrap_or(0) {
                         0 => heap.push_exact(sloc, 0.0),
                         candidates => heap.push_bound(LocationBound { sloc, candidates }),
                     }
@@ -1051,7 +1092,6 @@ impl ServeEngine {
                     None => break,
                     Some(ThresholdStep::Finalize(sloc, flow)) => finals.push((sloc, flow)),
                     Some(ThresholdStep::Evaluate(sloc)) => {
-                        let state = &mut windows[wi];
                         let flow = Self::evaluate_location(
                             &self.pool,
                             &mut self.stats,
@@ -1069,12 +1109,13 @@ impl ServeEngine {
             outcomes.push(QueryOutcome {
                 ranking: rank_topk(finals, spec.k),
                 stats: SearchStats {
-                    objects_total: windows[wi].objects_total,
-                    objects_computed: windows[wi].requested_objects.len(),
-                    dp_fallback_objects: windows[wi].dp_fallback_objects.len(),
+                    objects_total: state.objects_total,
+                    objects_computed: state.requested_objects.len(),
+                    dp_fallback_objects: state.dp_fallback_objects.len(),
                 },
             });
             trace.queries.push(QueryTrace {
+                // anlz:allow(panic-in-hot-path): qi ranges over self.queries.len()
                 id: self.queries[qi].id,
                 ns: query_timer.elapsed_ns(),
                 changed: false,
@@ -1210,11 +1251,13 @@ impl ContinuousEngine for ServeEngine {
                     detail: "advance with no registered queries".to_string(),
                 })?;
         let updates = self.advance_all(now)?;
-        Ok(updates
+        updates
             .into_iter()
             .find(|(id, _)| *id == primary)
-            .expect("advance_all returns an update per registered query")
-            .1)
+            .map(|(_, update)| update)
+            .ok_or_else(|| FlowError::EngineUnavailable {
+                detail: format!("advance_all returned no update for primary query {primary:?}"),
+            })
     }
 
     fn current(&self) -> Option<&[SLocId]> {

@@ -76,6 +76,9 @@
 //! compared head-to-head by the `streaming` experiment and `serve_demo`
 //! example in `popflow-eval`.
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 mod engine;
 pub mod metric_names;
 mod shard;
@@ -757,5 +760,40 @@ mod tests {
             .with_bound_pruning();
         assert_eq!(cfg.strategy, AdvanceStrategy::BoundPruned);
         assert_eq!(cfg.queries.len(), 1);
+    }
+
+    /// Regression (panic-in-hot-path sweep): `ServeConfig.queries` is a
+    /// public field, so an invalid spec can bypass `with_query`'s
+    /// assertion. Construction used to `expect()` — killing the server
+    /// thread. It must instead produce a poisoned engine whose every
+    /// call reports `EngineUnavailable` with the rejection as cause.
+    #[test]
+    fn invalid_configured_query_poisons_instead_of_panicking() {
+        let fig = paper_figure1();
+        let space = Arc::new(fig.space.clone());
+        let mut cfg = ServeConfig::with_buckets(2_000);
+        // Window bucket width (1s) disagrees with the engine cache
+        // granularity (2s) — `register` rejects this, and `with_query`
+        // would have asserted.
+        cfg.queries.push(QuerySpec::new(
+            2,
+            QuerySet::new(fig.r.to_vec()),
+            WindowSpec::new(1_000, 4),
+        ));
+        let mut engine = ServeEngine::new(space, cfg);
+        assert!(engine.is_poisoned());
+        let record = paper_table2().to_records()[0].clone();
+        let err = engine
+            .ingest(record)
+            .expect_err("a poisoned engine accepts nothing");
+        match err {
+            FlowError::EngineUnavailable { detail } => {
+                assert!(
+                    detail.contains("bucket width"),
+                    "poison cause should surface the rejection, got: {detail}"
+                );
+            }
+            other => panic!("expected EngineUnavailable, got {other:?}"),
+        }
     }
 }

@@ -313,9 +313,20 @@ impl ShardWorker {
             for (&oid, &(first_bucket, bucket_count)) in &presence {
                 if bucket_count == 1 {
                     win.cache_hits += 1;
-                    let cached = self.buckets[&first_bucket]
-                        .get(&oid)
-                        .expect("presence map lists cached objects only");
+                    let Some(cached) = self
+                        .buckets
+                        .get(&first_bucket)
+                        .and_then(|cache| cache.get(&oid))
+                    else {
+                        report.error = Some(FlowError::EngineUnavailable {
+                            detail: format!(
+                                "shard bucket cache lost bucket {first_bucket} object {oid} \
+                                 between presence scan and evaluation"
+                            ),
+                        });
+                        report.windows.push(win);
+                        return report;
+                    };
                     if let Some(contribution) = &cached.contribution {
                         win.contributions.push((oid, Arc::clone(contribution)));
                     }
@@ -374,6 +385,7 @@ impl ShardWorker {
     ) -> BoundsReport {
         let (mut fresh, mut cells) = (0, 0);
         let seal_timer = self.seal_ns.is_some().then(popflow_obs::Timer::start);
+        // anlz:allow(panic-in-hot-path): statically infallible — with eager=false, seal_range's only fallible call (the presence kernel) is never reached
         self.seal_range(global_start, window_end, false, &mut fresh, &mut cells)
             .expect("cheap sealing performs no fallible merge or presence work");
         if let (Some(timer), Some(hist)) = (seal_timer, &self.seal_ns) {
@@ -396,6 +408,7 @@ impl ShardWorker {
             let mut slots: BTreeMap<ObjectId, WindowSlot> = BTreeMap::new();
             for (&oid, &(first_bucket, bucket_count)) in &presence {
                 if bucket_count == 1 {
+                    // anlz:allow(panic-in-hot-path): presence was built from these exact buckets above, with no mutation in between
                     let relevant = self.buckets[&first_bucket][&oid].relevant.clone();
                     if !relevant.is_empty() {
                         candidates.push((oid, relevant));
@@ -484,10 +497,16 @@ impl ShardWorker {
             };
             let (records, relevant, scores, dp_fallback) = match slot {
                 WindowSlot::Single(b) => {
-                    let cached = buckets
-                        .get_mut(b)
-                        .and_then(|cache| cache.get_mut(&oid))
-                        .expect("window slot points at a sealed bucket");
+                    let Some(cached) = buckets.get_mut(b).and_then(|cache| cache.get_mut(&oid))
+                    else {
+                        report.error = Some(FlowError::EngineUnavailable {
+                            detail: format!(
+                                "window slot for object {oid} points at bucket {b}, which is \
+                                 no longer sealed in this shard"
+                            ),
+                        });
+                        return report;
+                    };
                     let CachedObject {
                         records,
                         relevant,
@@ -535,7 +554,13 @@ impl ShardWorker {
                     }
                 }
             }
-            let values: Vec<f64> = requested.iter().map(|q| scores[q]).collect();
+            // Every requested location was either cached or zero-filled
+            // above, so a miss can only mean the fill was skipped —
+            // default to 0.0 (pruned) rather than panicking mid-serve.
+            let values: Vec<f64> = requested
+                .iter()
+                .map(|q| scores.get(q).copied().unwrap_or(0.0))
+                .collect();
             report.contributions.push((
                 oid,
                 ObjectContribution {
@@ -552,8 +577,17 @@ impl ShardWorker {
     /// Which buckets of the window does each object appear in? Most
     /// objects appear in exactly one, so track (first bucket, bucket
     /// count) instead of materializing per-object bucket lists.
-    fn window_presence(&self, window_start: i64, window_end: i64) -> HashMap<ObjectId, (i64, u32)> {
-        let mut presence: HashMap<ObjectId, (i64, u32)> = HashMap::new();
+    ///
+    /// Ordered map on purpose: callers iterate this to build shard
+    /// replies, and with a `HashMap` the *first* straddler error (and
+    /// every per-object side effect) would depend on hash order — the
+    /// exact nondeterminism `popflow-anlz` exists to reject.
+    fn window_presence(
+        &self,
+        window_start: i64,
+        window_end: i64,
+    ) -> BTreeMap<ObjectId, (i64, u32)> {
+        let mut presence: BTreeMap<ObjectId, (i64, u32)> = BTreeMap::new();
         for (&b, cache) in self.buckets.range(window_start..=window_end) {
             for &oid in cache.keys() {
                 presence
@@ -634,17 +668,18 @@ fn union_sorted(a: &[SLocId], b: &[SLocId]) -> Vec<SLocId> {
     let mut out = Vec::with_capacity(a.len() + b.len());
     let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
+        // anlz:allow(panic-in-hot-path): i/j bounded by the loop condition
         match a[i].cmp(&b[j]) {
             std::cmp::Ordering::Less => {
-                out.push(a[i]);
+                out.push(a[i]); // anlz:allow(panic-in-hot-path): i bounded by the loop condition
                 i += 1;
             }
             std::cmp::Ordering::Greater => {
-                out.push(b[j]);
+                out.push(b[j]); // anlz:allow(panic-in-hot-path): j bounded by the loop condition
                 j += 1;
             }
             std::cmp::Ordering::Equal => {
-                out.push(a[i]);
+                out.push(a[i]); // anlz:allow(panic-in-hot-path): i bounded by the loop condition
                 i += 1;
                 j += 1;
             }

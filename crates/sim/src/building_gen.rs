@@ -24,6 +24,7 @@ use rand::{Rng, SeedableRng};
 /// Generator parameters.
 #[derive(Debug, Clone)]
 pub struct BuildingGenConfig {
+    /// Number of floors to generate.
     pub floors: u16,
     /// Plan width of a floor in meters.
     pub width: f64,

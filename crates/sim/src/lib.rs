@@ -7,6 +7,9 @@
 //! Everything is deterministic under a fixed seed, so experiments and
 //! benchmarks are reproducible end to end.
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod building_gen;
 pub mod ground_truth;
 pub mod mobility;

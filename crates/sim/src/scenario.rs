@@ -14,8 +14,11 @@ use crate::trajectory::Trajectory;
 /// A complete experiment scenario.
 #[derive(Debug, Clone)]
 pub struct Scenario {
+    /// Building-generator parameters.
     pub building: BuildingGenConfig,
+    /// Object-mobility parameters.
     pub mobility: MobilityConfig,
+    /// Uncertain-positioning parameters.
     pub positioning: PositioningConfig,
 }
 
@@ -87,9 +90,13 @@ impl Scenario {
 /// A generated world: space, exact trajectories, and the uncertain
 /// positioning table derived from them.
 pub struct World {
+    /// The generated indoor space.
     pub space: IndoorSpace,
+    /// Exact ground-truth trajectories, one per object.
     pub trajectories: Vec<Trajectory>,
+    /// The uncertain positioning table derived from the trajectories.
     pub iupt: Iupt,
+    /// The scenario the world was generated from.
     pub scenario: Scenario,
 }
 

@@ -12,30 +12,47 @@ use indoor_model::{FloorId, PartitionId};
 pub enum MotionEvent {
     /// Standing still at `pos` in `partition`.
     Dwell {
+        /// The occupied partition.
         partition: PartitionId,
+        /// The occupied floor.
         floor: FloorId,
+        /// Standing position in plan coordinates.
         pos: Point,
+        /// Event start time.
         from: Timestamp,
+        /// Event end time.
         until: Timestamp,
     },
     /// Walking the straight segment `seg` inside `partition` at constant
     /// speed.
     Walk {
+        /// The crossed partition.
         partition: PartitionId,
+        /// The crossed floor.
         floor: FloorId,
+        /// The walked segment, in plan coordinates.
         seg: Segment,
+        /// Event start time.
         from: Timestamp,
+        /// Event end time.
         until: Timestamp,
     },
     /// Climbing a staircase flight: plan position fixed at `pos`, floor
     /// switches halfway through.
     Stairs {
+        /// Staircase partition the flight starts in.
         partition_from: PartitionId,
+        /// Staircase partition the flight ends in.
         partition_to: PartitionId,
+        /// Floor the flight starts on.
         from_floor: FloorId,
+        /// Floor the flight ends on.
         to_floor: FloorId,
+        /// Stairwell position in plan coordinates.
         pos: Point,
+        /// Event start time.
         from: Timestamp,
+        /// Event end time.
         until: Timestamp,
     },
 }
@@ -141,10 +158,13 @@ impl MotionEvent {
 /// An object's full ground-truth trajectory.
 #[derive(Debug, Clone)]
 pub struct Trajectory {
+    /// The object the trajectory belongs to.
     pub oid: ObjectId,
     /// Contiguous events ordered by time, spanning `[born, died]`.
     pub events: Vec<MotionEvent>,
+    /// First instant the object exists.
     pub born: Timestamp,
+    /// Last instant the object exists.
     pub died: Timestamp,
 }
 

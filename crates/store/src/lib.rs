@@ -43,6 +43,7 @@
 //!   denotes one value.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 mod pool;
 mod store;
