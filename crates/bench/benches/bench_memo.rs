@@ -1,0 +1,78 @@
+//! The per-`SetRef` kernel memo on a skewed, dwell-cached visitor
+//! stream: one Nested-Loop query evaluated memo-off (every kernel from
+//! scratch), memo-cold (a fresh memo per evaluation — the miss+insert
+//! path, bounding the memo's overhead over memo-off), and memo-warm (a
+//! pre-populated shared memo — the hit path repeated analytics pay).
+//! The warm/off gap is the win the `batch_scale` CI gate floors at
+//! 1.3×; the cold/off gap is the price of a round that never reuses.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use indoor_sim::StreamScenario;
+use popflow_core::query::request::NestedLoop;
+use popflow_core::{BatchEngine, FlowConfig, FlowMemo, QuerySet, TkplqRequest};
+
+fn bench(c: &mut Criterion) {
+    let (world, _stream) = StreamScenario {
+        num_objects: 240,
+        duration_secs: 1800,
+        visit_secs: (60, 120),
+        destination_skew: 0.9,
+        dwell_cache: true,
+        seed: 23,
+    }
+    .build();
+    let space = world.space;
+    let mut iupt = world.iupt;
+    let interval = iupt.time_bounds().expect("generated stream is nonempty");
+    let slocs: Vec<_> = space.slocs().iter().map(|s| s.id).collect();
+    let flow = FlowConfig::default().with_dp_engine();
+    let base = TkplqRequest::new(5, QuerySet::new(slocs)).with_flow(flow);
+
+    let mut group = c.benchmark_group("kernel_memo");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    let off = base.clone().with_flow(flow.with_memo(false));
+    group.bench_function("memo_off", |b| {
+        b.iter(|| {
+            NestedLoop
+                .evaluate(&space, &mut iupt, &off, interval)
+                .unwrap()
+                .ranking
+                .len()
+        })
+    });
+
+    group.bench_function("memo_cold", |b| {
+        b.iter(|| {
+            let request = base.clone().with_memo(Arc::new(FlowMemo::new()));
+            NestedLoop
+                .evaluate(&space, &mut iupt, &request, interval)
+                .unwrap()
+                .ranking
+                .len()
+        })
+    });
+
+    let memo = Arc::new(FlowMemo::new());
+    let warm = base.clone().with_memo(Arc::clone(&memo));
+    NestedLoop
+        .evaluate(&space, &mut iupt, &warm, interval)
+        .expect("warm-up evaluation");
+    group.bench_function("memo_warm", |b| {
+        b.iter(|| {
+            NestedLoop
+                .evaluate(&space, &mut iupt, &warm, interval)
+                .unwrap()
+                .ranking
+                .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -20,7 +20,7 @@ use indoor_model::{IndoorSpace, SLocId};
 
 use crate::config::Normalization;
 use crate::paths::full_product_mass;
-use crate::presence::pair_pass_probability;
+use crate::presence::{pair_pass_probabilities, pair_pass_probability};
 
 /// Object presence `Φ(q, o)` (Eq. 1) via the transition DP. Generic
 /// over owned, borrowed, or `Cow` sample sets.
@@ -86,6 +86,146 @@ pub fn presence_dp<S: std::borrow::Borrow<SampleSet>>(
     } else {
         weighted / denom
     }
+}
+
+/// [`presence_dp`] for **many query locations at once** — the flat-pass
+/// (struct-of-arrays) presence kernel behind the memoized contribution
+/// path ([`crate::memo::FlowMemo`]) and the dense
+/// [`crate::object_flow_contributions`] DP scoring.
+///
+/// Two structural facts make one shared forward pass serve every query:
+///
+/// * the **valid-path mass recursion is query-independent** — it is
+///   gated only by matrix connectivity — so one shared `s` vector
+///   replaces `|qs|` identical ones;
+/// * only the **miss-weighted mass is per-query**, kept here as a
+///   q-major flat matrix (`m[k·n + i]`) updated by chunked slice passes,
+///   with **one** `MIL[prev, loc]` cell scan per connected transition
+///   ([`pair_pass_probabilities`]) instead of `|qs|` scans.
+///
+/// # Bit-identity
+///
+/// The result is guaranteed (and property-tested below) to satisfy
+/// `presence_dp_multi(..)[k].to_bits() ==
+/// presence_dp(.., qs[k], ..).to_bits()` for every `k`:
+///
+/// * per-query accumulation order is unchanged (ascending predecessor
+///   index `i`, then ascending sample index `j`, then ascending step);
+/// * the single-query kernel's `s[i] == 0 && m[i] == 0` skip generalizes
+///   to its shared form — a predecessor is skipped when its valid mass
+///   AND its miss mass under **every** query are zero, and the MIL cell
+///   scan is skipped when only the miss masses are zero — which only
+///   ever omits `+0.0` terms: every mass is a sum/product of
+///   non-negative finite values, so no `-0.0` or `NaN` can make
+///   `x + 0.0 ≠ x` bitwise;
+/// * the shared early-exit (`s` all zero) fires exactly when every
+///   single-query run would return `0.0`;
+/// * the [`Normalization::FullProduct`] denominator is computed once and
+///   shared — it is a pure product over the sets, identical across
+///   queries.
+pub fn presence_dp_multi<S: std::borrow::Borrow<SampleSet>>(
+    space: &IndoorSpace,
+    sets: &[S],
+    qs: &[SLocId],
+    normalization: Normalization,
+) -> Vec<f64> {
+    let nq = qs.len();
+    if nq == 0 {
+        return Vec::new();
+    }
+    let Some(first) = sets.first() else {
+        return vec![0.0; nq];
+    };
+    let first = first.borrow();
+    let matrix = space.matrix();
+
+    let mut locs: Vec<indoor_model::PLocId> = first.plocs().collect();
+    // Shared valid-path mass, indexed like the step's sample list.
+    let mut s_mass: Vec<f64> = first.samples().iter().map(|e| e.prob).collect();
+    // Per-query miss-weighted mass, q-major: `m_mass[k * n + i]`.
+    let mut m_mass: Vec<f64> = Vec::with_capacity(nq * s_mass.len());
+    for _ in 0..nq {
+        m_mass.extend_from_slice(&s_mass);
+    }
+    let mut pass = vec![0.0; nq];
+
+    let mut m_alive: Vec<bool> = Vec::new();
+    for set in &sets[1..] {
+        let next_samples = set.borrow().samples();
+        let n = locs.len();
+        let m = next_samples.len();
+        // Per-predecessor liveness, hoisted out of the j loop: a dead
+        // predecessor (zero valid mass, zero miss mass under every
+        // query) contributes only `+0.0` terms, and one with live valid
+        // mass but all-zero miss masses needs no MIL cell scan — both
+        // skips are bit-safe (see the doc comment) and mirror the
+        // single-query kernel's `s[i] == 0 && m[i] == 0` skip.
+        m_alive.clear();
+        m_alive.extend((0..n).map(|i| (0..nq).any(|k| m_mass[k * n + i] != 0.0)));
+        let mut next_locs = Vec::with_capacity(m);
+        let mut next_s = vec![0.0; m];
+        let mut next_m = vec![0.0; nq * m];
+        for (j, e) in next_samples.iter().enumerate() {
+            next_locs.push(e.loc);
+            let mut s_in = 0.0;
+            for (i, &prev) in locs.iter().enumerate() {
+                // anlz:allow(panic-in-hot-path): i < n == locs.len() by construction
+                let miss_alive = m_alive[i];
+                if s_mass[i] == 0.0 && !miss_alive {
+                    continue;
+                }
+                if !matrix.connected(prev, e.loc) {
+                    continue;
+                }
+                s_in += s_mass[i];
+                if miss_alive {
+                    pair_pass_probabilities(space, prev, e.loc, qs, &mut pass);
+                    // Chunked flat pass: for each query row, fold this
+                    // predecessor's miss mass into sample j's slot. Fixed
+                    // i-ascending accumulation order per (k, j) slot.
+                    for (k, &a) in pass.iter().enumerate() {
+                        next_m[k * m + j] += m_mass[k * n + i] * (1.0 - a);
+                    }
+                }
+            }
+            next_s[j] = s_in * e.prob;
+            for k in 0..nq {
+                next_m[k * m + j] *= e.prob;
+            }
+        }
+        locs = next_locs;
+        s_mass = next_s;
+        m_mass = next_m;
+        if s_mass.iter().all(|&v| v == 0.0) {
+            // No valid continuation: presence is 0 for every query under
+            // both normalizations (no valid paths exist).
+            return vec![0.0; nq];
+        }
+    }
+
+    let n = locs.len();
+    // Fixed ascending-index summation — same order as the single-query
+    // kernel's final sums.
+    let valid_mass: f64 = s_mass.iter().sum();
+    let full_mass = match normalization {
+        Normalization::FullProduct => full_product_mass(sets),
+        Normalization::ValidPaths => 0.0, // unused
+    };
+    (0..nq)
+        .map(|k| {
+            let miss_mass: f64 = m_mass[k * n..(k + 1) * n].iter().sum();
+            let weighted = (valid_mass - miss_mass).max(0.0);
+            let denom = match normalization {
+                Normalization::FullProduct => full_mass,
+                Normalization::ValidPaths => valid_mass,
+            };
+            if denom <= 0.0 {
+                0.0
+            } else {
+                weighted / denom
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -202,6 +342,84 @@ mod tests {
                             en,
                             q,
                             norm
+                        );
+                    }
+                }
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    /// The flat-pass multi-query DP is **bit-identical** to the
+    /// single-query DP on the paper objects, for every query subset
+    /// shape and both normalizations.
+    #[test]
+    fn multi_bit_identical_to_single_on_paper_objects() {
+        let fig = paper_figure1();
+        let qsets: Vec<Vec<_>> = vec![
+            fig.r.to_vec(),
+            vec![fig.r[5]],
+            vec![fig.r[0], fig.r[3], fig.r[5]],
+            vec![],
+        ];
+        for oid in [O1, O2, O3] {
+            let sets = sets_of(oid);
+            for qs in &qsets {
+                for norm in [Normalization::FullProduct, Normalization::ValidPaths] {
+                    let multi = presence_dp_multi(&fig.space, &sets, qs, norm);
+                    assert_eq!(multi.len(), qs.len());
+                    for (&q, &got) in qs.iter().zip(&multi) {
+                        let want = presence_dp(&fig.space, &sets, q, norm);
+                        assert_eq!(got.to_bits(), want.to_bits(), "{oid} {q} {norm:?}");
+                    }
+                }
+            }
+        }
+        // Empty sequence.
+        let multi =
+            presence_dp_multi::<SampleSet>(&fig.space, &[], &fig.r, Normalization::ValidPaths);
+        assert_eq!(multi, vec![0.0; fig.r.len()]);
+    }
+
+    /// Random sequences: multi-query DP bits equal single-query DP bits
+    /// everywhere (the guarantee the kernel memo's `to_bits` gates lean
+    /// on).
+    #[test]
+    fn property_multi_equals_single_bitwise() {
+        let fig = paper_figure1();
+        let space = &fig.space;
+        let strategy =
+            proptest::collection::vec(proptest::collection::vec((0u32..9, 1u32..10), 1..4), 1..7);
+        let mut runner = proptest::test_runner::TestRunner::new(ProptestConfig {
+            cases: 80,
+            ..ProptestConfig::default()
+        });
+        runner
+            .run(&strategy, |raw| {
+                let mut sets = Vec::new();
+                for raw_set in raw {
+                    let mut weights: Vec<(PLocId, f64)> = Vec::new();
+                    for (loc, w) in raw_set {
+                        let loc = PLocId(loc);
+                        match weights.iter_mut().find(|(l, _)| *l == loc) {
+                            Some((_, acc)) => *acc += w as f64,
+                            None => weights.push((loc, w as f64)),
+                        }
+                    }
+                    sets.push(SampleSet::normalized(weights).unwrap());
+                }
+                for norm in [Normalization::FullProduct, Normalization::ValidPaths] {
+                    let multi = presence_dp_multi(space, &sets, &fig.r, norm);
+                    for (&q, &got) in fig.r.iter().zip(&multi) {
+                        let want = presence_dp(space, &sets, q, norm);
+                        prop_assert_eq!(
+                            got.to_bits(),
+                            want.to_bits(),
+                            "{:?} {:?}: {} vs {}",
+                            q,
+                            norm,
+                            got,
+                            want
                         );
                     }
                 }

@@ -21,6 +21,42 @@ pub fn pair_pass_probability(space: &IndoorSpace, a: PLocId, b: PLocId, q: SLocI
     covering as f64 / cells.len() as f64
 }
 
+/// [`pair_pass_probability`] for many query locations in **one**
+/// `MIL[a, b]` cell scan — the flat-pass kernel behind
+/// [`crate::dp::presence_dp_multi`]. Writes `pr_{a,b ⊃ qs[k]}` into
+/// `out[k]`.
+///
+/// Bit-identity with the single-query kernel: covering counts
+/// accumulate as exact small integers in `f64` (`+1.0` per covering
+/// cell, in the fixed cell order of the matrix), so every final
+/// division sees the identical `covering as f64 / cells.len() as f64`
+/// operands the single-query kernel produces.
+pub fn pair_pass_probabilities(
+    space: &IndoorSpace,
+    a: PLocId,
+    b: PLocId,
+    qs: &[SLocId],
+    out: &mut [f64],
+) {
+    debug_assert_eq!(qs.len(), out.len());
+    out.fill(0.0);
+    let cells = space.matrix().cells_between(a, b);
+    if cells.is_empty() {
+        return;
+    }
+    for c in cells.iter() {
+        for (slot, &q) in out.iter_mut().zip(qs) {
+            if space.covers(c, q) {
+                *slot += 1.0;
+            }
+        }
+    }
+    let denom = cells.len() as f64;
+    for slot in out.iter_mut() {
+        *slot /= denom;
+    }
+}
+
 /// The pass probability of a whole path with respect to `q` (Eq. 2):
 /// `pr_{φ ⊃ q} = 1 − Π_j (1 − pr_{locj,locj+1 ⊃ q})`.
 ///
@@ -175,6 +211,33 @@ mod tests {
             pair_pass_probability(&fig.space, fig.p[2], fig.p[3], r6),
             0.0
         );
+    }
+
+    /// The multi-query pair kernel is bit-identical to the single-query
+    /// one over every P-location pair and query subset shape.
+    #[test]
+    fn pair_pass_probabilities_bit_identical_to_single() {
+        let fig = paper_figure1();
+        let qsets: Vec<Vec<_>> = vec![
+            fig.r.to_vec(),
+            vec![fig.r[5]],
+            vec![fig.r[0], fig.r[3], fig.r[5]],
+            vec![],
+        ];
+        let mut out = Vec::new();
+        for a in (0..9).map(indoor_model::PLocId) {
+            for b in (0..9).map(indoor_model::PLocId) {
+                for qs in &qsets {
+                    out.clear();
+                    out.resize(qs.len(), f64::NAN);
+                    pair_pass_probabilities(&fig.space, a, b, qs, &mut out);
+                    for (&q, &got) in qs.iter().zip(&out) {
+                        let want = pair_pass_probability(&fig.space, a, b, q);
+                        assert_eq!(got.to_bits(), want.to_bits(), "{a:?} {b:?} {q:?}");
+                    }
+                }
+            }
+        }
     }
 
     /// Example 2: pr_{φ1 ⊃ r6} = 1 − (1 − 1/2)(1 − 0) = 0.5 for

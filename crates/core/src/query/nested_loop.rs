@@ -5,12 +5,47 @@
 
 use std::collections::HashMap;
 
-use indoor_iupt::Iupt;
+use indoor_iupt::{Iupt, ObjectSequence, SampleSet, SetRef};
 use indoor_model::{IndoorSpace, SLocId};
 
 use crate::config::{FlowConfig, FlowError};
-use crate::flow::object_flow_contributions;
+use crate::flow::{object_flow_contributions, ObjectContribution};
+use crate::memo::FlowMemo;
 use crate::query::{rank_topk, QueryOutcome, SearchStats, TkPlQuery};
+
+/// One object's contribution over the full query set — through the
+/// kernel memo (keyed by the sequence's interned [`SetRef`]s) when one
+/// is attached, straight through [`object_flow_contributions`]
+/// otherwise. Both paths return bit-identical contributions (the memo's
+/// contract), so the drivers below never branch on results.
+fn seq_contribution(
+    space: &IndoorSpace,
+    seq: &ObjectSequence<'_>,
+    query: &TkPlQuery,
+    cfg: &FlowConfig,
+    memo: Option<&FlowMemo>,
+) -> Result<Option<ObjectContribution>, FlowError> {
+    match memo {
+        Some(memo) => {
+            let key: Vec<SetRef> = seq.records.iter().map(|r| r.set_ref).collect();
+            let sets: Vec<&SampleSet> = seq.records.iter().map(|r| r.samples).collect();
+            memo.contributions(
+                space,
+                &key,
+                &sets,
+                query.query_set.slocs(),
+                &query.query_set,
+                cfg,
+            )
+        }
+        None => object_flow_contributions(
+            space,
+            seq.records.iter().map(|r| r.samples),
+            &query.query_set,
+            cfg,
+        ),
+    }
+}
 
 /// Evaluates a TkPLQ in the nested-loop join paradigm.
 ///
@@ -42,6 +77,7 @@ pub(crate) fn run(
     iupt: &mut Iupt,
     query: &TkPlQuery,
     cfg: &FlowConfig,
+    memo: Option<&FlowMemo>,
 ) -> Result<QueryOutcome, FlowError> {
     // Global scores `HQ : Q → score` (Algorithm 3 line 5).
     let mut global: HashMap<SLocId, f64> =
@@ -53,13 +89,7 @@ pub(crate) fn run(
     let mut dp_fallback_objects = 0;
 
     for seq in sequences {
-        let Some(contribution) = object_flow_contributions(
-            space,
-            seq.records.iter().map(|r| r.samples),
-            &query.query_set,
-            cfg,
-        )?
-        else {
+        let Some(contribution) = seq_contribution(space, &seq, query, cfg, memo)? else {
             continue; // PSL-pruned (Algorithm 3 line 8)
         };
         objects_computed += 1;
@@ -114,22 +144,21 @@ pub(crate) fn run_par(
     iupt: &mut Iupt,
     query: &TkPlQuery,
     cfg: &FlowConfig,
+    memo: Option<&FlowMemo>,
 ) -> Result<QueryOutcome, FlowError> {
     let mut global: HashMap<SLocId, f64> =
         query.query_set.slocs().iter().map(|&s| (s, 0.0)).collect();
 
     // `sequences_in` returns objects in ascending id order; `try_par_map`
     // preserves item order, so the serial accumulation below reproduces
-    // the serial driver's floating-point sums bit for bit.
+    // the serial driver's floating-point sums bit for bit. Workers share
+    // the memo (`FlowMemo` is interior-mutable): racing misses duplicate
+    // work but insert identical bits, so thread count never changes
+    // results.
     let sequences = iupt.sequences_in(query.interval);
     let objects_total = sequences.len();
     let contributions = popflow_exec::try_par_map(cfg.exec, &sequences, |_, seq| {
-        object_flow_contributions(
-            space,
-            seq.records.iter().map(|r| r.samples),
-            &query.query_set,
-            cfg,
-        )
+        seq_contribution(space, seq, query, cfg, memo)
     })?;
 
     let mut objects_computed = 0;

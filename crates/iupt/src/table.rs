@@ -42,12 +42,21 @@ pub struct Record {
 
 /// Zero-copy view of one stored record: the scalar columns by value, the
 /// sample set borrowed from the store's single interned copy.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Equality compares the record's *value* (`oid`, `t`, `samples`), not
+/// [`RecordRef::set_ref`] — the handle is pool-local, so views of equal
+/// records read from different tables (e.g. sharded vs. flat) compare
+/// equal even though their pools numbered the set differently.
+#[derive(Debug, Clone, Copy)]
 pub struct RecordRef<'a> {
     /// The positioned object.
     pub oid: ObjectId,
     /// Positioning timestamp.
     pub t: Timestamp,
+    /// Handle of the interned sample set in this table's pool — the key
+    /// the kernel memo tables cache per-set work under. Pool-local:
+    /// only meaningful against the [`Iupt`] that produced this view.
+    pub set_ref: SetRef,
     /// Borrow of the interned sample set ([`SampleSetView`]).
     pub samples: SampleSetView<'a>,
 }
@@ -56,6 +65,12 @@ pub struct RecordRef<'a> {
 /// single arena copy (re-exported shape of
 /// [`popflow_store::SampleSetView`]).
 pub type SampleSetView<'a> = &'a SampleSet;
+
+impl PartialEq for RecordRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.oid == other.oid && self.t == other.t && self.samples == other.samples
+    }
+}
 
 impl RecordRef<'_> {
     /// Materializes an owned [`Record`] (clones the sample set) — the
@@ -135,6 +150,7 @@ fn record_ref(v: popflow_store::RecordView<'_, SampleSet>) -> RecordRef<'_> {
     RecordRef {
         oid: ObjectId(v.oid),
         t: Timestamp(v.t),
+        set_ref: v.set_ref,
         samples: v.set,
     }
 }

@@ -131,6 +131,17 @@ impl ServeConfig {
         self
     }
 
+    /// Enables or disables the shards' per-`SetRef` kernel memos
+    /// (on by default). Flows are bit-identical either way; the memo
+    /// only changes how much kernel work repeated advances over
+    /// dwelling objects redo. Shorthand for toggling
+    /// [`FlowConfig::memo`](popflow_core::FlowConfig) on the flow
+    /// configuration.
+    pub fn with_memo(mut self, enabled: bool) -> Self {
+        self.flow.memo = enabled;
+        self
+    }
+
     /// Switches to bound-pruned lazy advances.
     #[deprecated(note = "use with_strategy(AdvanceStrategy::BoundPruned)")]
     pub fn with_bound_pruning(self) -> Self {
@@ -173,6 +184,9 @@ struct ServeMetrics {
     cache_resets: Counter,
     log_bytes: Gauge,
     intern_hits: Gauge,
+    memo_hits: Gauge,
+    memo_misses: Gauge,
+    memo_bytes: Gauge,
     registered_queries: Gauge,
     ingest_ns: Histogram,
     advance_ns: Histogram,
@@ -204,6 +218,9 @@ impl ServeMetrics {
             cache_resets: registry.counter(names::CACHE_RESETS),
             log_bytes: registry.gauge(names::LOG_BYTES),
             intern_hits: registry.gauge(names::INTERN_HITS),
+            memo_hits: registry.gauge(names::MEMO_HITS),
+            memo_misses: registry.gauge(names::MEMO_MISSES),
+            memo_bytes: registry.gauge(names::MEMO_BYTES),
             registered_queries: registry.gauge(names::REGISTERED_QUERIES),
             ingest_ns: registry.histogram(names::INGEST_NS),
             advance_ns: registry.histogram(names::ADVANCE_NS),
@@ -240,6 +257,9 @@ impl ServeMetrics {
         lift(&self.cache_resets, stats.cache_resets);
         self.log_bytes.set(stats.log_bytes);
         self.intern_hits.set(stats.intern_hits);
+        self.memo_hits.set(stats.memo_hits);
+        self.memo_misses.set(stats.memo_misses);
+        self.memo_bytes.set(stats.memo_bytes);
         self.registered_queries.set(stats.registered_queries);
     }
 }
@@ -321,6 +341,22 @@ pub struct ServeStats {
     /// already-stored copy (summed across shards). Like
     /// [`ServeStats::log_bytes`], a live gauge.
     pub intern_hits: u64,
+    /// Kernel evaluations served from the shards' per-`SetRef` compute
+    /// caches ([`popflow_core::FlowMemo`]) without recomputation, summed
+    /// across shards. Like [`ServeStats::log_bytes`], a live gauge
+    /// (cumulative within each shard memo's lifetime; a cache reset
+    /// clears entries but keeps the counters). Always 0 when
+    /// [`FlowConfig::memo`] is off.
+    pub memo_hits: u64,
+    /// Kernel evaluations the shard memos had to compute (then cached),
+    /// summed across shards. `memo_hits / (memo_hits + memo_misses)` is
+    /// the serving tier's kernel-memo hit rate.
+    pub memo_misses: u64,
+    /// Resident bytes of the shard memos' cached entries, summed across
+    /// shards — a live gauge, strictly bounded by the per-shard
+    /// capacity, and also folded into the shards' store footprint
+    /// accounting ([`indoor_iupt::StoreStats::total_bytes`]).
+    pub memo_bytes: u64,
     /// Queries currently registered — a gauge tracking
     /// [`ServeEngine::register`] / [`ServeEngine::unregister`].
     pub registered_queries: u64,
@@ -518,6 +554,9 @@ impl ServeEngine {
             {
                 stats.log_bytes = stores.iter().map(|s| s.bytes as u64).sum();
                 stats.intern_hits = stores.iter().map(|s| s.intern_hits).sum();
+                stats.memo_hits = stores.iter().map(|s| s.memo.hits).sum();
+                stats.memo_misses = stores.iter().map(|s| s.memo.misses).sum();
+                stats.memo_bytes = stores.iter().map(|s| s.memo.bytes as u64).sum();
             }
         }
         if let Some(m) = &self.metrics {
@@ -868,11 +907,17 @@ impl ServeEngine {
         let merge_timer = Timer::start();
         self.stats.log_bytes = 0;
         self.stats.intern_hits = 0;
+        self.stats.memo_hits = 0;
+        self.stats.memo_misses = 0;
+        self.stats.memo_bytes = 0;
         for (shard, report) in reports.iter().enumerate() {
             self.stats.fresh_presence += report.fresh_presence as u64;
             self.stats.presence_cells += report.presence_cells as u64;
             self.stats.log_bytes += report.store.bytes as u64;
             self.stats.intern_hits += report.store.intern_hits;
+            self.stats.memo_hits += report.store.memo.hits;
+            self.stats.memo_misses += report.store.memo.misses;
+            self.stats.memo_bytes += report.store.memo.bytes as u64;
             let mut shard_trace = ShardTrace {
                 shard,
                 presence_cells: report.presence_cells as u64,
@@ -1025,9 +1070,15 @@ impl ServeEngine {
             .collect();
         self.stats.log_bytes = 0;
         self.stats.intern_hits = 0;
+        self.stats.memo_hits = 0;
+        self.stats.memo_misses = 0;
+        self.stats.memo_bytes = 0;
         for (shard, report) in reports.into_iter().enumerate() {
             self.stats.log_bytes += report.store.bytes as u64;
             self.stats.intern_hits += report.store.intern_hits;
+            self.stats.memo_hits += report.store.memo.hits;
+            self.stats.memo_misses += report.store.memo.misses;
+            self.stats.memo_bytes += report.store.memo.bytes as u64;
             for (wi, win) in report.windows.into_iter().enumerate() {
                 let state = windows
                     .get_mut(wi)

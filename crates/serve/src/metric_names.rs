@@ -76,6 +76,17 @@ pub const INTERN_HITS: &str = "serve.intern_hits";
 /// Gauge: mirrors [`ServeStats::registered_queries`](crate::ServeStats).
 pub const REGISTERED_QUERIES: &str = "serve.registered_queries";
 
+/// Gauge: mirrors [`ServeStats::memo_hits`](crate::ServeStats) — kernel
+/// evaluations the shards' per-`SetRef` compute caches served without
+/// recomputation.
+pub const MEMO_HITS: &str = "serve.memo_hits";
+/// Gauge: mirrors [`ServeStats::memo_misses`](crate::ServeStats).
+pub const MEMO_MISSES: &str = "serve.memo_misses";
+/// Gauge: mirrors [`ServeStats::memo_bytes`](crate::ServeStats) —
+/// resident bytes of the shards' kernel memo tables (bounded by their
+/// capacity; also folded into the store footprint gauges).
+pub const MEMO_BYTES: &str = "serve.memo_bytes";
+
 /// Prefix of the shard pool's per-job histograms
 /// (`serve.pool.shard{N}.queue_wait_ns` / `.run_ns`), recorded by
 /// [`popflow_exec::ShardPool::set_metrics`].

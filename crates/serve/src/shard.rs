@@ -66,11 +66,11 @@
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
-use indoor_iupt::{Iupt, ObjectId, Record, StoreStats, TimeInterval, Timestamp};
+use indoor_iupt::{Iupt, ObjectId, Record, SampleSet, SetRef, StoreStats, TimeInterval, Timestamp};
 use indoor_model::{IndoorSpace, SLocId};
 use popflow_core::{
     intersect_sorted, object_flow_contributions, object_flow_contributions_for, scan_psls,
-    FlowConfig, FlowError, ObjectContribution, QuerySet,
+    FlowConfig, FlowError, FlowMemo, ObjectContribution, QuerySet,
 };
 
 /// One window's slice of an eager advance reply.
@@ -209,6 +209,14 @@ pub(crate) struct ShardWorker {
     /// shards share one histogram (the registry hands out clones of the
     /// same storage); `None` when the engine's metrics are off.
     seal_ns: Option<popflow_obs::Histogram>,
+    /// Per-shard kernel memo over the shard log's interned `SetRef`s
+    /// (`None` when [`FlowConfig::memo`] is off): every presence / PSL /
+    /// mass kernel this worker runs goes through it, so a dwelling
+    /// object — or a bucket re-sealed after a registration reset — pays
+    /// O(1) kernel work after its first evaluation. `SetRef`s are
+    /// pool-local, which is why the memo lives here and not on the
+    /// coordinator.
+    memo: Option<FlowMemo>,
 }
 
 impl ShardWorker {
@@ -229,6 +237,7 @@ impl ShardWorker {
             buckets: BTreeMap::new(),
             windows: HashMap::new(),
             seal_ns,
+            memo: cfg.memo.then(FlowMemo::new),
         }
     }
 
@@ -238,10 +247,17 @@ impl ShardWorker {
         self.iupt.push(record);
     }
 
-    /// Footprint/interner accounting of this shard's log, on demand —
-    /// lets the engine refresh its store gauges without an advance.
+    /// Footprint/interner accounting of this shard's log — with the
+    /// kernel memo's bytes and hit/miss counters folded in, so the
+    /// engine's footprint gauges charge cache growth against the same
+    /// budget as the log — on demand, letting the engine refresh its
+    /// store gauges without an advance.
     pub(crate) fn store_stats(&self) -> StoreStats {
-        self.iupt.store_stats()
+        let stats = self.iupt.store_stats();
+        match &self.memo {
+            Some(memo) => stats.with_memo(memo.stats()),
+            None => stats,
+        }
     }
 
     /// Retargets the shard at a new union of registered location sets.
@@ -253,6 +269,13 @@ impl ShardWorker {
         if reset {
             self.buckets.clear();
             self.windows.clear();
+            // The memo's context fingerprint would self-clear on the
+            // next lookup anyway (it hashes the union); invalidating
+            // here releases the stale entries' bytes immediately,
+            // mirroring the bucket-cache reset.
+            if let Some(memo) = &self.memo {
+                memo.invalidate();
+            }
         }
     }
 
@@ -278,7 +301,7 @@ impl ShardWorker {
             windows: Vec::with_capacity(window_starts.len()),
             fresh_presence: 0,
             presence_cells: 0,
-            store: self.iupt.store_stats(),
+            store: self.store_stats(),
             error: None,
         };
 
@@ -343,14 +366,24 @@ impl ShardWorker {
                         cfg,
                         iupt,
                         buckets,
+                        memo,
                         ..
                     } = self;
                     let log: &Iupt = iupt;
-                    let sets = buckets
+                    let records: Vec<u32> = buckets
                         .range(first_bucket..=window_end)
                         .filter_map(|(_, cache)| cache.get(&oid))
-                        .flat_map(|cached| cached.records.iter().map(|&i| log.samples_at(i)));
-                    match object_flow_contributions(space, sets, union, cfg) {
+                        .flat_map(|cached| cached.records.iter().copied())
+                        .collect();
+                    match kernel_contributions(
+                        space,
+                        log,
+                        memo.as_ref(),
+                        &records,
+                        None,
+                        union,
+                        cfg,
+                    ) {
                         Ok(Some(contribution)) => {
                             report.fresh_presence += 1;
                             report.presence_cells += contribution.relevant.len();
@@ -396,7 +429,7 @@ impl ShardWorker {
 
         let mut report = BoundsReport {
             windows: Vec::with_capacity(window_starts.len()),
-            store: self.iupt.store_stats(),
+            store: self.store_stats(),
         };
         self.windows.clear();
         for &window_start in window_starts {
@@ -479,6 +512,7 @@ impl ShardWorker {
             iupt,
             buckets,
             windows,
+            memo,
             ..
         } = self;
         let Some(window) = windows.get_mut(&window_start) else {
@@ -532,8 +566,15 @@ impl ShardWorker {
             report.cached_cells += requested.len() - missing.len();
             if !missing.is_empty() {
                 report.evaluated_oids.push(oid);
-                let sets = records.iter().map(|&i| log.samples_at(i));
-                match object_flow_contributions_for(space, sets, &missing, union, cfg) {
+                match kernel_contributions(
+                    space,
+                    log,
+                    memo.as_ref(),
+                    records,
+                    Some(&missing),
+                    union,
+                    cfg,
+                ) {
                     Ok(contribution) => {
                         if let Some(c) = &contribution {
                             report.evaluated_cells += c.relevant.len();
@@ -626,11 +667,17 @@ impl ShardWorker {
             let mut cache: BucketCache = BTreeMap::new();
             for (oid, records) in positions {
                 let log = &self.iupt;
-                let sets = records.iter().map(|&i| log.samples_at(i));
                 let cached = if eager {
-                    let contribution =
-                        object_flow_contributions(&self.space, sets, &self.union, &self.cfg)?
-                            .map(Arc::new);
+                    let contribution = kernel_contributions(
+                        &self.space,
+                        log,
+                        self.memo.as_ref(),
+                        &records,
+                        None,
+                        &self.union,
+                        &self.cfg,
+                    )?
+                    .map(Arc::new);
                     // PSL-pruned objects performed no presence
                     // computation — count like the batch search's
                     // `objects_computed`.
@@ -646,7 +693,19 @@ impl ShardWorker {
                         dp_fallback: false,
                     }
                 } else {
-                    let psls = scan_psls(&self.space, sets);
+                    // Cheap sealing stays infallible under the memo too:
+                    // the memoized scan caches per-set PSL lists and
+                    // never computes presence.
+                    let psls = match &self.memo {
+                        Some(memo) => {
+                            let key: Vec<SetRef> =
+                                records.iter().map(|&i| log.set_ref_at(i)).collect();
+                            let sets: Vec<&SampleSet> =
+                                records.iter().map(|&i| log.samples_at(i)).collect();
+                            memo.scan_psls(&self.space, &key, &sets)
+                        }
+                        None => scan_psls(&self.space, records.iter().map(|&i| log.samples_at(i))),
+                    };
                     CachedObject {
                         records,
                         contribution: None,
@@ -660,6 +719,45 @@ impl ShardWorker {
             self.buckets.insert(b, cache);
         }
         Ok(())
+    }
+}
+
+/// One object's contribution over its record positions in the shard
+/// log — served through the shard's kernel memo (keyed by the records'
+/// interned [`SetRef`]s) when one is attached, straight through the
+/// batch kernels otherwise. `locs` restricts the scored locations
+/// (`None` means the full union). Both paths return bit-identical
+/// contributions (the memo contract), so callers never branch on
+/// results.
+fn kernel_contributions(
+    space: &IndoorSpace,
+    log: &Iupt,
+    memo: Option<&FlowMemo>,
+    records: &[u32],
+    locs: Option<&[SLocId]>,
+    union: &QuerySet,
+    cfg: &FlowConfig,
+) -> Result<Option<ObjectContribution>, FlowError> {
+    match memo {
+        Some(memo) => {
+            let key: Vec<SetRef> = records.iter().map(|&i| log.set_ref_at(i)).collect();
+            let sets: Vec<&SampleSet> = records.iter().map(|&i| log.samples_at(i)).collect();
+            memo.contributions(
+                space,
+                &key,
+                &sets,
+                locs.unwrap_or_else(|| union.slocs()),
+                union,
+                cfg,
+            )
+        }
+        None => {
+            let sets = records.iter().map(|&i| log.samples_at(i));
+            match locs {
+                Some(locs) => object_flow_contributions_for(space, sets, locs, union, cfg),
+                None => object_flow_contributions(space, sets, union, cfg),
+            }
+        }
     }
 }
 

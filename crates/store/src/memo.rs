@@ -1,0 +1,411 @@
+//! Kernel memoization side-tables over interned [`SetRef`] handles.
+//!
+//! PR 5's interner proved that real positioning feeds are massively
+//! redundant — dwell-cache streams dedup into a handful of distinct
+//! [`SetRef`]s — yet interning alone only saves *memory*: the kernels
+//! above still recompute presence/path math from scratch for every
+//! record referencing the same interned set. These side-tables turn the
+//! interning layer into a **compute cache**: values keyed by a single
+//! [`SetRef`] ([`SetMemo`]) or by a window-clipped sequence of
+//! [`SetRef`]s ([`SeqMemo`]) are computed once and served to every later
+//! record (or object sequence) that resolves to the same interned
+//! content.
+//!
+//! # Contract
+//!
+//! * **Pool-local** — a [`SetRef`] is meaningful only against the pool
+//!   that issued it, so a memo must never outlive (or be shared across)
+//!   pools. Sharded layouts keep one memo per shard, exactly as they
+//!   keep one pool per shard.
+//! * **Value semantics** — because interning is value-preserving (see
+//!   the crate docs), a cached value computed from one record's set is
+//!   *bit-identical* to what any later record referencing the same
+//!   `SetRef` would recompute. Layers above rely on this for their
+//!   `to_bits` equality gates.
+//! * **Strictly bounded** — both tables enforce a byte capacity with
+//!   deterministic FIFO (insertion-order) eviction; inserting never
+//!   leaves the table over budget, even if that means evicting the
+//!   entry just inserted. Serve memory stays bounded no matter how
+//!   adversarial the stream.
+//! * **Invalidation is explicit** — [`SetMemo::clear`] /
+//!   [`SeqMemo::clear`] drop every entry (counted in
+//!   [`MemoStats::invalidations`]); callers invoke them when the
+//!   context the values were computed against changes (e.g. the serve
+//!   engine's query-union growth reset).
+//!
+//! Counters are plain integers behind the caller's own synchronization
+//! (the tables take `&mut self`); no atomics are involved.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use crate::pool::SetRef;
+
+/// Hit/miss/footprint accounting of a kernel memo table (or a merge of
+/// several — see [`MemoStats::merge`], used by sharded layouts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that found no entry (including entries lost to eviction
+    /// or invalidation).
+    pub misses: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+    /// Resident bytes of cached values, keys, and per-entry bookkeeping
+    /// (payload-only convention, matching [`crate::StoreStats::bytes`]).
+    pub bytes: usize,
+    /// Entries dropped to stay under the byte capacity.
+    pub evictions: u64,
+    /// Times the whole table was cleared because its computation context
+    /// changed (e.g. the serve union grew).
+    pub invalidations: u64,
+}
+
+impl MemoStats {
+    /// Combines per-shard (or per-table) stats into totals; every field
+    /// is additive.
+    pub fn merge(self, other: MemoStats) -> MemoStats {
+        MemoStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            entries: self.entries + other.entries,
+            bytes: self.bytes + other.bytes,
+            evictions: self.evictions + other.evictions,
+            invalidations: self.invalidations + other.invalidations,
+        }
+    }
+
+    /// Fraction of lookups served from the cache, in `[0, 1]` (0 when
+    /// nothing was ever looked up).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.hits + self.misses;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+}
+
+/// Per-entry bookkeeping cost charged on top of the caller-reported
+/// payload bytes: the slot/map entry, the eviction-queue key copy, and
+/// the [`Arc`] control block.
+const ENTRY_OVERHEAD: usize = std::mem::size_of::<usize>() * 6;
+
+/// A byte-capped memo keyed by a single [`SetRef`]: dense slots indexed
+/// by [`SetRef::index`], so lookups are one bounds check and one load.
+///
+/// Values are [`Arc`]-shared so a hit costs a clone of the handle, not
+/// of the payload. Capacity is enforced by FIFO insertion-order
+/// eviction (see the module docs for the full contract).
+#[derive(Debug)]
+pub struct SetMemo<V> {
+    slots: Vec<Option<(Arc<V>, usize)>>,
+    order: VecDeque<u32>,
+    stats: MemoStats,
+    max_bytes: usize,
+}
+
+impl<V> SetMemo<V> {
+    /// An empty memo that will hold at most `max_bytes` of cached
+    /// payload (plus per-entry bookkeeping).
+    pub fn new(max_bytes: usize) -> Self {
+        SetMemo {
+            slots: Vec::new(),
+            order: VecDeque::new(),
+            stats: MemoStats::default(),
+            max_bytes,
+        }
+    }
+
+    /// Looks up the value cached for `set`, counting a hit or miss.
+    pub fn get(&mut self, set: SetRef) -> Option<Arc<V>> {
+        match self.slots.get(set.index()).and_then(|s| s.as_ref()) {
+            Some((v, _)) => {
+                self.stats.hits += 1;
+                Some(Arc::clone(v))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Caches `value` for `set`, charging `payload_bytes` plus fixed
+    /// per-entry overhead, then evicts oldest-first until the table is
+    /// back under capacity. First writer wins: an existing entry is
+    /// kept untouched (it is bit-identical by the interning contract).
+    pub fn insert(&mut self, set: SetRef, value: Arc<V>, payload_bytes: usize) {
+        let idx = set.index();
+        if self.slots.len() <= idx {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        // anlz:allow(panic-in-hot-path): slot was just resized to cover idx
+        let slot = &mut self.slots[idx];
+        if slot.is_some() {
+            return;
+        }
+        let cost = payload_bytes + ENTRY_OVERHEAD;
+        *slot = Some((value, cost));
+        self.order.push_back(set.index() as u32);
+        self.stats.entries += 1;
+        self.stats.bytes += cost;
+        self.evict_to_capacity();
+    }
+
+    fn evict_to_capacity(&mut self) {
+        while self.stats.bytes > self.max_bytes {
+            let Some(victim) = self.order.pop_front() else {
+                return;
+            };
+            if let Some(slot) = self.slots.get_mut(victim as usize) {
+                if let Some((_, cost)) = slot.take() {
+                    self.stats.entries -= 1;
+                    self.stats.bytes -= cost;
+                    self.stats.evictions += 1;
+                }
+            }
+        }
+    }
+
+    /// Drops every entry (context invalidation). Hit/miss/eviction
+    /// counters are cumulative and survive.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.order.clear();
+        self.stats.entries = 0;
+        self.stats.bytes = 0;
+        self.stats.invalidations += 1;
+    }
+
+    /// Current accounting.
+    pub fn stats(&self) -> MemoStats {
+        self.stats
+    }
+}
+
+/// A byte-capped memo keyed by a window-clipped **sequence** of
+/// [`SetRef`]s — the key under which a whole object trajectory's kernel
+/// result (reduction, path/DP products, mass factors) is cached. Two
+/// objects (or the same object across window slides) whose clipped
+/// records resolve to the same interned sets share one entry.
+///
+/// Capacity is enforced by FIFO insertion-order eviction (see the
+/// module docs for the full contract).
+#[derive(Debug)]
+pub struct SeqMemo<V> {
+    map: HashMap<Box<[SetRef]>, (Arc<V>, usize)>,
+    order: VecDeque<Box<[SetRef]>>,
+    stats: MemoStats,
+    max_bytes: usize,
+}
+
+impl<V> SeqMemo<V> {
+    /// An empty memo that will hold at most `max_bytes` of cached
+    /// payload (plus keys and per-entry bookkeeping).
+    pub fn new(max_bytes: usize) -> Self {
+        SeqMemo {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            stats: MemoStats::default(),
+            max_bytes,
+        }
+    }
+
+    /// Looks up the value cached for the clipped sequence `key`,
+    /// counting a hit or miss.
+    pub fn get(&mut self, key: &[SetRef]) -> Option<Arc<V>> {
+        match self.map.get(key) {
+            Some((v, _)) => {
+                self.stats.hits += 1;
+                Some(Arc::clone(v))
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Caches `value` under `key`, charging `payload_bytes` plus two key
+    /// copies and fixed per-entry overhead, then evicts oldest-first
+    /// until the table is back under capacity. First writer wins.
+    pub fn insert(&mut self, key: &[SetRef], value: Arc<V>, payload_bytes: usize) {
+        if self.map.contains_key(key) {
+            return;
+        }
+        let key: Box<[SetRef]> = key.into();
+        let cost = payload_bytes + 2 * key.len() * std::mem::size_of::<SetRef>() + ENTRY_OVERHEAD;
+        self.order.push_back(key.clone());
+        self.map.insert(key, (value, cost));
+        self.stats.entries += 1;
+        self.stats.bytes += cost;
+        self.evict_to_capacity();
+    }
+
+    fn evict_to_capacity(&mut self) {
+        while self.stats.bytes > self.max_bytes {
+            let Some(victim) = self.order.pop_front() else {
+                return;
+            };
+            if let Some((_, cost)) = self.map.remove(&victim) {
+                self.stats.entries -= 1;
+                self.stats.bytes -= cost;
+                self.stats.evictions += 1;
+            }
+        }
+    }
+
+    /// Drops every entry (context invalidation). Hit/miss/eviction
+    /// counters are cumulative and survive.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.order.clear();
+        self.stats.entries = 0;
+        self.stats.bytes = 0;
+        self.stats.invalidations += 1;
+    }
+
+    /// Current accounting.
+    pub fn stats(&self) -> MemoStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::{PoolItem, SampleSetPool};
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Item(u32);
+
+    impl PoolItem for Item {
+        fn content_hash(&self) -> u64 {
+            u64::from(self.0)
+        }
+        fn heap_bytes(&self) -> usize {
+            0
+        }
+    }
+
+    fn refs(n: u32) -> Vec<SetRef> {
+        let mut pool = SampleSetPool::new();
+        (0..n).map(|i| pool.intern(Item(i))).collect()
+    }
+
+    #[test]
+    fn set_memo_hits_after_insert_and_counts() {
+        let r = refs(3);
+        let mut memo: SetMemo<u32> = SetMemo::new(1 << 20);
+        assert!(memo.get(r[0]).is_none());
+        memo.insert(r[0], Arc::new(7), 16);
+        assert_eq!(*memo.get(r[0]).unwrap(), 7);
+        assert!(memo.get(r[1]).is_none());
+        let s = memo.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 2, 1));
+        assert!(s.bytes >= 16);
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_memo_first_writer_wins() {
+        let r = refs(1);
+        let mut memo: SetMemo<u32> = SetMemo::new(1 << 20);
+        memo.insert(r[0], Arc::new(1), 8);
+        memo.insert(r[0], Arc::new(2), 8);
+        assert_eq!(*memo.get(r[0]).unwrap(), 1);
+        assert_eq!(memo.stats().entries, 1);
+    }
+
+    #[test]
+    fn set_memo_evicts_fifo_under_byte_cap() {
+        let r = refs(4);
+        let mut memo: SetMemo<u32> = SetMemo::new(2 * (64 + ENTRY_OVERHEAD));
+        for (i, &sr) in r.iter().enumerate() {
+            memo.insert(sr, Arc::new(i as u32), 64);
+        }
+        let s = memo.stats();
+        assert_eq!(s.entries, 2);
+        assert_eq!(s.evictions, 2);
+        assert!(s.bytes <= 2 * (64 + ENTRY_OVERHEAD));
+        // Oldest two evicted, newest two retained.
+        assert!(memo.get(r[0]).is_none());
+        assert!(memo.get(r[1]).is_none());
+        assert!(memo.get(r[2]).is_some());
+        assert!(memo.get(r[3]).is_some());
+    }
+
+    #[test]
+    fn set_memo_clear_counts_invalidation_and_keeps_counters() {
+        let r = refs(1);
+        let mut memo: SetMemo<u32> = SetMemo::new(1 << 20);
+        memo.insert(r[0], Arc::new(1), 8);
+        memo.get(r[0]);
+        memo.clear();
+        let s = memo.stats();
+        assert_eq!((s.entries, s.bytes), (0, 0));
+        assert_eq!(s.invalidations, 1);
+        assert_eq!(s.hits, 1, "cumulative counters survive a clear");
+        assert!(memo.get(r[0]).is_none());
+    }
+
+    #[test]
+    fn seq_memo_keys_by_clipped_sequence() {
+        let r = refs(3);
+        let mut memo: SeqMemo<&'static str> = SeqMemo::new(1 << 20);
+        memo.insert(&[r[0], r[1]], Arc::new("ab"), 8);
+        assert_eq!(*memo.get(&[r[0], r[1]]).unwrap(), "ab");
+        assert!(memo.get(&[r[0]]).is_none(), "prefix is a distinct key");
+        assert!(memo.get(&[r[1], r[0]]).is_none(), "order matters");
+        assert!(memo.get(&[]).is_none(), "empty clip is a distinct key");
+    }
+
+    #[test]
+    fn seq_memo_evicts_fifo_and_an_oversized_entry_evicts_itself() {
+        let r = refs(2);
+        let mut memo: SeqMemo<u32> = SeqMemo::new(200);
+        memo.insert(&[r[0]], Arc::new(1), 64);
+        assert_eq!(memo.stats().entries, 1);
+        // An entry larger than the whole cap never sticks — the table
+        // may not end an insert over budget.
+        memo.insert(&[r[1]], Arc::new(2), 10_000);
+        let s = memo.stats();
+        assert_eq!(s.entries, 0);
+        assert_eq!(s.evictions, 2);
+        assert_eq!(s.bytes, 0);
+    }
+
+    #[test]
+    fn seq_memo_clear_counts_invalidation() {
+        let r = refs(1);
+        let mut memo: SeqMemo<u32> = SeqMemo::new(1 << 20);
+        memo.insert(&[r[0]], Arc::new(1), 8);
+        memo.clear();
+        assert_eq!(memo.stats().entries, 0);
+        assert_eq!(memo.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn memo_stats_merge_is_additive() {
+        let a = MemoStats {
+            hits: 1,
+            misses: 2,
+            entries: 3,
+            bytes: 4,
+            evictions: 5,
+            invalidations: 6,
+        };
+        let m = a.merge(a);
+        assert_eq!(m.hits, 2);
+        assert_eq!(m.misses, 4);
+        assert_eq!(m.entries, 6);
+        assert_eq!(m.bytes, 8);
+        assert_eq!(m.evictions, 10);
+        assert_eq!(m.invalidations, 12);
+        assert!((a.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(MemoStats::default().hit_rate(), 0.0);
+    }
+}
