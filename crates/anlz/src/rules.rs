@@ -133,11 +133,14 @@ fn is_keyword(w: &str) -> bool {
 /// Path predicates. Paths are workspace-relative with `/` separators —
 /// [`crate::workspace`] produces them in that form.
 mod paths {
-    /// R1/R3 scope: the engine hot paths named by the rule spec.
+    /// R1/R3 scope: the engine hot paths named by the rule spec, plus
+    /// the network front-end (its reader/scheduler threads sit on the
+    /// ingest path, so a panic there drops live connections).
     pub fn engine_hot_path(p: &str) -> bool {
         p.starts_with("crates/core/src/query/")
             || p == "crates/core/src/flow.rs"
             || p.starts_with("crates/serve/src/")
+            || p.starts_with("crates/server/src/")
     }
 
     /// R2 scope: all kernel/serve code (a superset of the hot paths).

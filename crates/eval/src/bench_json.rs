@@ -1,0 +1,291 @@
+//! Shared machinery for the machine-readable `BENCH_*.json` artifacts.
+//!
+//! Every experiment that CI archives per commit renders its report
+//! through the one [`Json`] tree builder here, so the serialization
+//! rules cannot drift between artifacts: non-finite floats always
+//! become `null` (Rust's `{inf}`/`NaN` tokens would corrupt the file),
+//! strings are always escaped, and the pretty-printed shape is uniform.
+//! The workspace deliberately carries no serialization dependency —
+//! this module is the hand-rolled replacement, written once instead of
+//! four times.
+
+use std::fmt::Write as _;
+
+/// A JSON value assembled by an experiment's report writer.
+#[derive(Debug, Clone)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (counters, byte totals, record counts).
+    UInt(u64),
+    /// A signed integer (timestamps in millis can be negative).
+    Int(i64),
+    /// A finite float rendered with fixed decimals; non-finite values
+    /// are rendered as `null`.
+    Num {
+        /// The value.
+        value: f64,
+        /// Fixed decimal places to render with.
+        decimals: usize,
+    },
+    /// An escaped string.
+    Str(String),
+    /// Pre-rendered JSON embedded verbatim (e.g. a
+    /// `popflow_obs::Snapshot::to_json` payload). The caller vouches
+    /// for its validity.
+    Raw(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered fields.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A fixed-decimal number; non-finite values serialize as `null`.
+    pub fn num(value: f64, decimals: usize) -> Json {
+        Json::Num { value, decimals }
+    }
+
+    /// Pre-rendered JSON embedded verbatim.
+    pub fn raw(payload: impl Into<String>) -> Json {
+        Json::Raw(payload.into())
+    }
+
+    /// `value` if present, else `null`.
+    pub fn opt(value: Option<Json>) -> Json {
+        value.unwrap_or(Json::Null)
+    }
+
+    /// The artifact payload: pretty-printed with two-space indents and
+    /// a trailing newline, ready for `std::fs::write`.
+    pub fn to_artifact(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        self.render(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Json::Num { value, decimals } => {
+                if value.is_finite() {
+                    let _ = write!(out, "{value:.decimals$}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => push_escaped(out, s),
+            Json::Raw(payload) => out.push_str(payload),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1);
+                    item.render(out, indent + 1);
+                }
+                newline_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent + 1);
+                    push_escaped(out, key);
+                    out.push_str(": ");
+                    value.render(out, indent + 1);
+                }
+                newline_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn newline_indent(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::UInt(v)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::UInt(u64::from(v))
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::UInt(v as u64)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Json {
+        Json::Arr(v)
+    }
+}
+
+impl From<Obj> for Json {
+    fn from(v: Obj) -> Json {
+        Json::Obj(v.fields)
+    }
+}
+
+/// An insertion-ordered JSON object builder.
+#[derive(Debug, Clone, Default)]
+pub struct Obj {
+    fields: Vec<(String, Json)>,
+}
+
+impl Obj {
+    /// An empty object.
+    pub fn new() -> Obj {
+        Obj::default()
+    }
+
+    /// Appends a field.
+    pub fn field(mut self, key: impl Into<String>, value: impl Into<Json>) -> Obj {
+        self.fields.push((key.into(), value.into()));
+        self
+    }
+
+    /// Appends a fixed-decimal number field (non-finite → `null`).
+    pub fn num(self, key: impl Into<String>, value: f64, decimals: usize) -> Obj {
+        self.field(key, Json::num(value, decimals))
+    }
+}
+
+/// Writes an experiment's rendered artifact to `path`, reporting
+/// success or failure truthfully on stdout/stderr — the one write path
+/// every `BENCH_*.json` goes through.
+pub fn write_report(path: &str, label: &str, payload: &str) {
+    match std::fs::write(path, payload) {
+        Ok(()) => println!("wrote {label} to {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_value_shapes() {
+        let json = Obj::new()
+            .field("experiment", "demo")
+            .field("count", 3u64)
+            .field("offset", -5i64)
+            .num("ratio", 0.25, 3)
+            .num("bad", f64::NAN, 3)
+            .num("worse", f64::INFINITY, 1)
+            .field("ok", true)
+            .field("missing", Json::Null)
+            .field("raw", Json::raw("{\"inner\":1}"))
+            .field(
+                "points",
+                vec![Json::from(Obj::new().field("x", 1u64)), Json::UInt(2)],
+            )
+            .field("empty_arr", Vec::<Json>::new())
+            .field("empty_obj", Obj::new());
+        let text = Json::from(json).to_artifact();
+        assert!(text.ends_with("}\n"), "{text}");
+        for want in [
+            "\"experiment\": \"demo\"",
+            "\"count\": 3",
+            "\"offset\": -5",
+            "\"ratio\": 0.250",
+            "\"bad\": null",
+            "\"worse\": null",
+            "\"ok\": true",
+            "\"missing\": null",
+            "\"raw\": {\"inner\":1}",
+            "\"empty_arr\": []",
+            "\"empty_obj\": {}",
+        ] {
+            assert!(text.contains(want), "missing {want} in:\n{text}");
+        }
+        for bad in ["inf", "NaN"] {
+            assert!(!text.contains(bad), "invalid token {bad} in:\n{text}");
+        }
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let text = Json::Str("a\"b\\c\nd\u{1}".into()).to_artifact();
+        assert_eq!(text, "\"a\\\"b\\\\c\\nd\\u0001\"\n");
+    }
+}

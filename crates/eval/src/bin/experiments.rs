@@ -27,15 +27,29 @@
 //! destination skew) to `--memory-json` (default `BENCH_memory.json`);
 //! CI archives all four as per-commit artifacts.
 //!
+//! The `server_load` experiment (not part of `all`: it binds loopback
+//! TCP listeners) drives the `popflow-server` network front-end with a
+//! closed-loop multi-connection load generator — `--connections N`
+//! producers, paced and saturating pipelined points — and writes
+//! end-to-end batch latency quantiles, records/s, and throttle counts
+//! to `--server-json` (default `BENCH_server.json`); it exits non-zero
+//! unless the server's pushed top-k deltas are bit-identical to an
+//! in-process `ServeEngine` on the same stream, no protocol errors
+//! occurred, pipelined points saw backpressure, and queue depth stayed
+//! bounded. With `--server-addr ADDR` it targets an already-running
+//! `popflow-server` (started with the same `--scale`/`--seed`) instead
+//! of in-process servers — the CI smoke path.
+//!
 //! Experiment ids: table4 table5 fig7 fig8 fig9 fig10 fig11 fig12 fig13
 //! fig14 fig15 fig16 fig17 fig18 fig19 fig20 fig21 table7 ablation-dp
-//! ablation-norm streaming batch_scale store_footprint, or `all` /
-//! `real` / `synthetic`.
+//! ablation-norm streaming batch_scale store_footprint server_load, or
+//! `all` / `real` / `synthetic`.
 
 use std::time::Instant;
 
+use popflow_eval::experiments::server_load::{ServerLoadOpts, ServerTarget};
 use popflow_eval::experiments::{
-    ablation, batch_scale, real, store_footprint, streaming, synthetic, ExpOpts,
+    ablation, batch_scale, real, server_load, store_footprint, streaming, synthetic, ExpOpts,
 };
 use popflow_eval::report::{render_table, render_tsv, Row};
 
@@ -46,15 +60,38 @@ const SYNTH_EXPS: &[&str] = &[
     "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "table7",
 ];
 const ABLATIONS: &[&str] = &["ablation-dp", "ablation-norm"];
+// `server_load` is dispatchable but deliberately not part of `all` /
+// STREAMING: it binds real loopback TCP listeners and runs a
+// closed-loop latency sweep, so it only runs when asked for by id
+// (locally or in CI's dedicated server-smoke job).
 const STREAMING: &[&str] = &["streaming", "batch_scale", "store_footprint"];
+
+/// Output paths for the machine-readable per-experiment reports.
+struct ReportPaths {
+    bench_json: String,
+    obs_json: String,
+    batch_json: String,
+    memory_json: String,
+    server_json: String,
+}
+
+impl Default for ReportPaths {
+    fn default() -> Self {
+        ReportPaths {
+            bench_json: String::from("BENCH_streaming.json"),
+            obs_json: String::from("BENCH_obs.json"),
+            batch_json: String::from("BENCH_batch.json"),
+            memory_json: String::from("BENCH_memory.json"),
+            server_json: String::from("BENCH_server.json"),
+        }
+    }
+}
 
 fn run_exp(
     id: &str,
     opts: &ExpOpts,
-    bench_json: &str,
-    obs_json: &str,
-    batch_json: &str,
-    memory_json: &str,
+    load: &ServerLoadOpts,
+    paths: &ReportPaths,
 ) -> Option<Vec<Row>> {
     let rows = match id {
         "table4" => real::table4(opts),
@@ -77,9 +114,14 @@ fn run_exp(
         "table7" => synthetic::table7(opts),
         "ablation-dp" => ablation::ablation_dp(opts),
         "ablation-norm" => ablation::ablation_norm(opts),
-        "streaming" => streaming::streaming_with_json(opts, Some(bench_json), Some(obs_json)),
-        "batch_scale" => batch_scale::batch_scale_with_json(opts, Some(batch_json)),
-        "store_footprint" => store_footprint::store_footprint_with_json(opts, Some(memory_json)),
+        "streaming" => {
+            streaming::streaming_with_json(opts, Some(&paths.bench_json), Some(&paths.obs_json))
+        }
+        "batch_scale" => batch_scale::batch_scale_with_json(opts, Some(&paths.batch_json)),
+        "store_footprint" => {
+            store_footprint::store_footprint_with_json(opts, Some(&paths.memory_json))
+        }
+        "server_load" => server_load::server_load_with_json(opts, load, Some(&paths.server_json)),
         _ => return None,
     };
     Some(rows)
@@ -100,10 +142,8 @@ fn main() {
     let mut opts = ExpOpts::default();
     let mut ids: Vec<String> = Vec::new();
     let mut tsv_path: Option<String> = None;
-    let mut bench_json = String::from("BENCH_streaming.json");
-    let mut obs_json = String::from("BENCH_obs.json");
-    let mut batch_json = String::from("BENCH_batch.json");
-    let mut memory_json = String::from("BENCH_memory.json");
+    let mut paths = ReportPaths::default();
+    let mut load = ServerLoadOpts::default();
 
     let mut i = 0;
     while i < args.len() {
@@ -139,16 +179,28 @@ fn main() {
                 tsv_path = Some(flag_value(&args, &mut i, "--tsv").to_string());
             }
             "--bench-json" => {
-                bench_json = flag_value(&args, &mut i, "--bench-json").to_string();
+                paths.bench_json = flag_value(&args, &mut i, "--bench-json").to_string();
             }
             "--obs-json" => {
-                obs_json = flag_value(&args, &mut i, "--obs-json").to_string();
+                paths.obs_json = flag_value(&args, &mut i, "--obs-json").to_string();
             }
             "--batch-json" => {
-                batch_json = flag_value(&args, &mut i, "--batch-json").to_string();
+                paths.batch_json = flag_value(&args, &mut i, "--batch-json").to_string();
             }
             "--memory-json" => {
-                memory_json = flag_value(&args, &mut i, "--memory-json").to_string();
+                paths.memory_json = flag_value(&args, &mut i, "--memory-json").to_string();
+            }
+            "--server-json" => {
+                paths.server_json = flag_value(&args, &mut i, "--server-json").to_string();
+            }
+            "--connections" => {
+                load.connections = flag_value(&args, &mut i, "--connections")
+                    .parse()
+                    .expect("--connections takes an integer");
+            }
+            "--server-addr" => {
+                load.target =
+                    ServerTarget::External(flag_value(&args, &mut i, "--server-addr").to_string());
             }
             "all" => {
                 ids.extend(REAL_EXPS.iter().map(|s| s.to_string()));
@@ -168,9 +220,13 @@ fn main() {
             "usage: experiments [EXP-ID|all|real|synthetic|ablations ...] \
              [--scale S] [--repeats N] [--seed S] [--mc-rounds N] [--queries N] \
              [--tsv PATH] [--bench-json PATH] [--obs-json PATH] [--batch-json PATH] \
-             [--memory-json PATH]"
+             [--memory-json PATH] [--server-json PATH] [--connections N] \
+             [--server-addr ADDR]"
         );
-        eprintln!("experiment ids: {REAL_EXPS:?} {SYNTH_EXPS:?} {ABLATIONS:?} {STREAMING:?}");
+        eprintln!(
+            "experiment ids: {REAL_EXPS:?} {SYNTH_EXPS:?} {ABLATIONS:?} {STREAMING:?} \
+             [\"server_load\"]"
+        );
         std::process::exit(2);
     }
 
@@ -181,7 +237,7 @@ fn main() {
     let mut all_rows: Vec<Row> = Vec::new();
     for id in &ids {
         let start = Instant::now();
-        match run_exp(id, &opts, &bench_json, &obs_json, &batch_json, &memory_json) {
+        match run_exp(id, &opts, &load, &paths) {
             Some(rows) => {
                 println!("\n== {id} ({:.1}s) ==", start.elapsed().as_secs_f64());
                 println!("{}", render_table(&rows));

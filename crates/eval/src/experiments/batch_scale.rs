@@ -381,69 +381,58 @@ pub fn report_rows(cfg: &BatchScaleConfig, report: &BatchScaleReport) -> Vec<Row
 /// payload CI archives per commit. Hand-rolled JSON: the workspace
 /// deliberately carries no serialization dependency.
 pub fn bench_json(cfg: &BatchScaleConfig, report: &BatchScaleReport) -> String {
-    use crate::report::json_num;
-    let points: Vec<String> = report
+    use crate::bench_json::{Json, Obj};
+    let points: Vec<Json> = report
         .points
         .iter()
         .map(|p| {
-            format!(
-                concat!(
-                    "{{\"name\":\"{}\",\"threads\":{},\"secs\":{},",
-                    "\"records_per_sec\":{},\"speedup\":{},\"matches_serial\":{}}}"
-                ),
-                p.name,
-                p.threads,
-                json_num(p.secs, 6),
-                json_num(p.records_per_sec, 1),
-                json_num(p.speedup, 3),
-                p.matches_serial,
-            )
+            Obj::new()
+                .field("name", p.name.clone())
+                .field("threads", p.threads)
+                .num("secs", p.secs, 6)
+                .num("records_per_sec", p.records_per_sec, 1)
+                .num("speedup", p.speedup, 3)
+                .field("matches_serial", p.matches_serial)
+                .into()
         })
         .collect();
-    format!(
-        concat!(
-            "{{\n",
-            "  \"experiment\": \"batch_scale\",\n",
-            "  \"config\": {{\"scale\": {}, \"k\": {}, \"repeats\": {}, \"seed\": {}}},\n",
-            "  \"records\": {},\n",
-            "  \"objects\": {},\n",
-            "  \"query_locations\": {},\n",
-            "  \"nested_loop_serial_secs\": {},\n",
-            "  \"best_first_serial_secs\": {},\n",
-            "  \"speedup_4t\": {},\n",
-            "  \"mismatched_points\": {},\n",
-            "  \"memo_speedup\": {},\n",
-            "  \"memo_hit_rate\": {},\n",
-            "  \"memo_bytes\": {},\n",
-            "  \"memo\": {{\"records\": {}, \"objects\": {}, \"rounds\": {}, ",
-            "\"memo_off_secs\": {}, \"memo_on_secs\": {}, \"matches_memo_off\": {}}},\n",
-            "  \"points\": [\n    {}\n  ]\n",
-            "}}\n"
-        ),
-        cfg.scale,
-        cfg.k,
-        cfg.repeats,
-        cfg.seed,
-        report.records,
-        report.objects,
-        report.query_locations,
-        json_num(report.nl_serial_secs, 6),
-        json_num(report.bf_serial_secs, 6),
-        report
-            .nl_speedup_at(4)
-            .map_or("null".to_string(), |s| json_num(s, 3)),
-        report.mismatched_points,
-        json_num(report.memo.memo_speedup, 3),
-        json_num(report.memo.memo_hit_rate, 4),
-        report.memo.memo_bytes,
-        report.memo.records,
-        report.memo.objects,
-        report.memo.rounds,
-        json_num(report.memo.memo_off_secs, 6),
-        json_num(report.memo.memo_on_secs, 6),
-        report.memo.matches_memo_off,
-        points.join(",\n    "),
+    Json::from(
+        Obj::new()
+            .field("experiment", "batch_scale")
+            .field(
+                "config",
+                Obj::new()
+                    .num("scale", cfg.scale, 4)
+                    .field("k", cfg.k)
+                    .field("repeats", cfg.repeats)
+                    .field("seed", cfg.seed),
+            )
+            .field("records", report.records)
+            .field("objects", report.objects)
+            .field("query_locations", report.query_locations)
+            .num("nested_loop_serial_secs", report.nl_serial_secs, 6)
+            .num("best_first_serial_secs", report.bf_serial_secs, 6)
+            .field(
+                "speedup_4t",
+                Json::opt(report.nl_speedup_at(4).map(|s| Json::num(s, 3))),
+            )
+            .field("mismatched_points", report.mismatched_points)
+            .num("memo_speedup", report.memo.memo_speedup, 3)
+            .num("memo_hit_rate", report.memo.memo_hit_rate, 4)
+            .field("memo_bytes", report.memo.memo_bytes)
+            .field(
+                "memo",
+                Obj::new()
+                    .field("records", report.memo.records)
+                    .field("objects", report.memo.objects)
+                    .field("rounds", report.memo.rounds)
+                    .num("memo_off_secs", report.memo.memo_off_secs, 6)
+                    .num("memo_on_secs", report.memo.memo_on_secs, 6)
+                    .field("matches_memo_off", report.memo.matches_memo_off),
+            )
+            .field("points", points),
     )
+    .to_artifact()
 }
 
 /// The `batch_scale` experiment id. When `json_path` is given, the
@@ -459,10 +448,11 @@ pub fn batch_scale_with_json(opts: &ExpOpts, json_path: Option<&str>) -> Vec<Row
     let cfg = BatchScaleConfig::scaled(opts.scale, opts.repeats, opts.seed);
     let report = run_batch_scale(&cfg);
     if let Some(path) = json_path {
-        match std::fs::write(path, bench_json(&cfg, &report)) {
-            Ok(()) => println!("wrote machine-readable batch report to {path}"),
-            Err(e) => eprintln!("failed to write {path}: {e}"),
-        }
+        crate::bench_json::write_report(
+            path,
+            "machine-readable batch report",
+            &bench_json(&cfg, &report),
+        );
     }
     assert_eq!(
         report.mismatched_points, 0,
@@ -543,7 +533,7 @@ mod tests {
             "\"mismatched_points\": 0",
             "\"nested_loop_par\"",
             "\"best_first_par\"",
-            "\"matches_serial\":true",
+            "\"matches_serial\": true",
             "\"memo_speedup\"",
             "\"memo_hit_rate\"",
             "\"memo_bytes\"",

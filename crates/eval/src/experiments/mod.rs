@@ -6,6 +6,7 @@
 pub mod ablation;
 pub mod batch_scale;
 pub mod real;
+pub mod server_load;
 pub mod store_footprint;
 pub mod streaming;
 pub mod synthetic;

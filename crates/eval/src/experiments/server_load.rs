@@ -1,0 +1,621 @@
+//! Closed-loop load generation against the `popflow-server` TCP
+//! front-end: a connections × pressure sweep measuring end-to-end batch
+//! latency (p50/p99/p999) and sustained records/s, gated on the serving
+//! contract — the delta stream a client observes over the wire must be
+//! **bit-identical** to an in-process `ServeEngine` fed the same
+//! records, with zero protocol errors, and saturation must surface as
+//! `Throttle` frames over a bounded queue, never as unbounded memory.
+//!
+//! Two modes share every measurement and gate:
+//!
+//! - **In-process** (default): each sweep point starts a fresh
+//!   [`Server`] on a loopback port inside this process — the full
+//!   three-point sweep (single-connection saturation, multi-connection
+//!   paced, multi-connection saturation).
+//! - **External** (`--server-addr`): one saturation point driven
+//!   against an already-running `popflow-server` started with the same
+//!   `--scale`/`--seed` (and `--streams` = the connection count). This
+//!   is the CI smoke path: the gates then hold across a real process
+//!   boundary.
+//!
+//! The machine-readable report (`BENCH_server.json`) is written before
+//! the gates fire, so a failing run still leaves the evidence on disk.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use indoor_iupt::Record;
+use popflow_server::protocol::{role, Frame};
+use popflow_server::scenario::{partition_stream, reference_deltas, LoadProfile};
+use popflow_server::{Client, Server};
+
+use crate::bench_json::{Json, Obj};
+use crate::report::Row;
+
+use super::ExpOpts;
+
+/// Records per ingest batch.
+pub const BATCH_RECORDS: usize = 256;
+
+/// In-flight batches per connection at a saturation point. Chosen so
+/// the aggregate in-flight volume exceeds the profile's queue capacity
+/// even from a single connection (12 × 256 = 3072 > 2048), forcing the
+/// backpressure path.
+pub const SATURATION_PIPELINE: usize = 12;
+
+/// How the load generator reaches the server.
+#[derive(Debug, Clone)]
+pub enum ServerTarget {
+    /// Start a fresh in-process [`Server`] per sweep point.
+    InProcess,
+    /// Drive an already-running `popflow-server` at this address.
+    External(String),
+}
+
+/// Load-generator options beyond the global [`ExpOpts`].
+#[derive(Debug, Clone)]
+pub struct ServerLoadOpts {
+    /// Ingest connections at the multi-connection points.
+    pub connections: usize,
+    /// Where the server lives.
+    pub target: ServerTarget,
+}
+
+impl Default for ServerLoadOpts {
+    fn default() -> Self {
+        ServerLoadOpts {
+            connections: 4,
+            target: ServerTarget::InProcess,
+        }
+    }
+}
+
+/// One sweep point's client configuration.
+#[derive(Debug, Clone)]
+struct PointSpec {
+    name: &'static str,
+    connections: usize,
+    /// In-flight batches per connection (1 = stop-and-wait, i.e. paced
+    /// by acks; > 1 pipelines ahead and is expected to saturate).
+    pipeline: usize,
+}
+
+/// One sweep point's measurements.
+#[derive(Debug, Clone)]
+pub struct PointOutcome {
+    /// Point label.
+    pub name: String,
+    /// Ingest connections driven.
+    pub connections: usize,
+    /// In-flight batches per connection.
+    pub pipeline: usize,
+    /// Records sent (and eventually acked).
+    pub records: usize,
+    /// Batches sent (excluding throttle re-sends).
+    pub batches: usize,
+    /// Ingest wall-clock: first send to last ack, seconds.
+    pub elapsed_secs: f64,
+    /// `Throttle` frames observed by the clients.
+    pub throttles: usize,
+    /// Per-batch end-to-end latencies (first send → ack, spanning any
+    /// throttle re-sends), milliseconds.
+    pub latency_ms: Vec<f64>,
+    /// Top-k delta frames received over the wire.
+    pub deltas: usize,
+    /// Whether the wire deltas matched the in-process reference
+    /// frame-for-frame (including every flow's bit pattern).
+    pub deltas_match: bool,
+    /// `server.protocol_errors` from the end-of-point scrape.
+    pub protocol_errors: u64,
+    /// `server.queue_peak` from the end-of-point scrape.
+    pub queue_peak: u64,
+    /// `server.records_ingested` from the end-of-point scrape.
+    pub server_records_ingested: u64,
+}
+
+impl PointOutcome {
+    /// Sustained ingest throughput, records per second.
+    pub fn records_per_sec(&self) -> f64 {
+        if self.elapsed_secs > 0.0 {
+            self.records as f64 / self.elapsed_secs
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// The `q` ∈ [0, 1] nearest-rank batch latency quantile, ms.
+    pub fn latency_quantile_ms(&self, q: f64) -> f64 {
+        if self.latency_ms.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latency_ms.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+}
+
+/// The whole sweep's outcome.
+#[derive(Debug, Clone)]
+pub struct ServerLoadReport {
+    /// The workload profile driven.
+    pub profile: LoadProfile,
+    /// Delta frames the in-process reference produced (every point must
+    /// observe exactly these).
+    pub reference_deltas: usize,
+    /// Queue capacity the bounded-memory gate checks against.
+    pub queue_capacity_records: usize,
+    /// One outcome per sweep point.
+    pub points: Vec<PointOutcome>,
+}
+
+/// Drives `records` through one ingest connection with a bounded
+/// pipeline window, returning (per-batch latencies ms, throttles seen).
+/// A throttled batch is re-sent until acked — the server's throttle
+/// gate guarantees no later batch was admitted past it — and its
+/// latency spans the whole retry span (the honest end-to-end cost of
+/// backpressure).
+fn drive_connection(
+    addr: &str,
+    records: Vec<Record>,
+    pipeline: usize,
+) -> Result<(Vec<f64>, usize), String> {
+    let mut client =
+        Client::connect(addr, role::INGEST).map_err(|e| format!("ingest connect: {e}"))?;
+    client
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .map_err(|e| format!("read timeout: {e}"))?;
+    let window = pipeline.max(1);
+    let mut latencies = Vec::with_capacity(records.len() / BATCH_RECORDS + 1);
+    let mut throttles = 0usize;
+    // Outstanding (seq, first-send instant, chunk) in send order.
+    let mut outstanding: VecDeque<(u64, Instant, Vec<Record>)> = VecDeque::new();
+    let settle_front = |outstanding: &mut VecDeque<(u64, Instant, Vec<Record>)>,
+                        client: &mut Client,
+                        throttles: &mut usize,
+                        latencies: &mut Vec<f64>|
+     -> Result<(), String> {
+        let Some((seq, sent, chunk)) = outstanding.pop_front() else {
+            return Ok(());
+        };
+        loop {
+            let acked = client
+                .wait_batch_outcome(seq)
+                .map_err(|e| format!("batch {seq} outcome: {e}"))?;
+            if acked {
+                latencies.push(sent.elapsed().as_secs_f64() * 1000.0);
+                return Ok(());
+            }
+            *throttles += 1;
+            std::thread::sleep(Duration::from_micros(500));
+            client
+                .send_batch(seq, chunk.clone())
+                .map_err(|e| format!("batch {seq} re-send: {e}"))?;
+        }
+    };
+    for (seq, chunk) in records.chunks(BATCH_RECORDS).enumerate() {
+        if outstanding.len() >= window {
+            settle_front(
+                &mut outstanding,
+                &mut client,
+                &mut throttles,
+                &mut latencies,
+            )?;
+        }
+        let seq = seq as u64;
+        client
+            .send_batch(seq, chunk.to_vec())
+            .map_err(|e| format!("batch {seq} send: {e}"))?;
+        outstanding.push_back((seq, Instant::now(), chunk.to_vec()));
+    }
+    while !outstanding.is_empty() {
+        settle_front(
+            &mut outstanding,
+            &mut client,
+            &mut throttles,
+            &mut latencies,
+        )?;
+    }
+    client
+        .stream_end()
+        .map_err(|e| format!("stream end: {e}"))?;
+    Ok((latencies, throttles))
+}
+
+/// Parses the flat `name value` lines of a Prometheus text exposition
+/// (comments and histogram sub-series included — every parseable pair
+/// is kept).
+fn parse_prometheus(text: &str) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        if let (Some(name), Some(value)) = (parts.next(), parts.next()) {
+            if let Ok(v) = value.parse::<f64>() {
+                out.insert(name.to_string(), v as u64);
+            }
+        }
+    }
+    out
+}
+
+/// Runs one sweep point against `addr`: registers the profile's
+/// queries, drives the partitioned stream, collects the delta frames,
+/// and scrapes the server-side counters.
+fn run_point(
+    addr: &str,
+    spec: &PointSpec,
+    profile: &LoadProfile,
+    parts: Vec<Vec<Record>>,
+    want: &[Frame],
+    query_slocs: &[Vec<u32>],
+) -> Result<PointOutcome, String> {
+    let mut control =
+        Client::connect(addr, role::CONTROL).map_err(|e| format!("control connect: {e}"))?;
+    control
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .map_err(|e| format!("read timeout: {e}"))?;
+    for slocs in query_slocs {
+        control
+            .register(
+                profile.k(),
+                profile.bucket_millis(),
+                profile.window_buckets() as u32,
+                slocs,
+            )
+            .map_err(|e| format!("register: {e}"))?;
+    }
+
+    let records: usize = parts.iter().map(Vec::len).sum();
+    let batches: usize = parts.iter().map(|p| p.len().div_ceil(BATCH_RECORDS)).sum();
+    let started = Instant::now();
+    let handles: Vec<_> = parts
+        .into_iter()
+        .map(|part| {
+            let addr = addr.to_string();
+            let pipeline = spec.pipeline;
+            std::thread::spawn(move || drive_connection(&addr, part, pipeline))
+        })
+        .collect();
+    let mut latency_ms = Vec::new();
+    let mut throttles = 0usize;
+    for handle in handles {
+        let (lat, thr) = handle
+            .join()
+            .map_err(|_| "ingest thread panicked".to_string())??;
+        latency_ms.extend(lat);
+        throttles += thr;
+    }
+    let elapsed_secs = started.elapsed().as_secs_f64();
+
+    // Every reference delta must arrive over the wire, frame-for-frame.
+    let mut got = Vec::with_capacity(want.len());
+    while got.len() < want.len() {
+        let frame = control
+            .wait_for(|f| matches!(f, Frame::TopkDelta { .. }))
+            .map_err(|e| format!("delta {}/{} never arrived: {e}", got.len() + 1, want.len()))?;
+        got.push(frame);
+    }
+    let deltas_match = got == want;
+
+    let scraped = parse_prometheus(
+        &control
+            .metrics_text()
+            .map_err(|e| format!("metrics scrape: {e}"))?,
+    );
+    let counter = |name: &str| scraped.get(name).copied().unwrap_or(0);
+    Ok(PointOutcome {
+        name: spec.name.to_string(),
+        connections: spec.connections,
+        pipeline: spec.pipeline,
+        records,
+        batches,
+        elapsed_secs,
+        throttles,
+        latency_ms,
+        deltas: got.len(),
+        deltas_match,
+        protocol_errors: counter("server_protocol_errors"),
+        queue_peak: counter("server_queue_peak"),
+        server_records_ingested: counter("server_records_ingested"),
+    })
+}
+
+/// Runs the sweep: builds the profile's world and reference delta
+/// stream once, then drives each point against a fresh in-process
+/// server (or the single external one).
+pub fn run_server_load(
+    profile: &LoadProfile,
+    load: &ServerLoadOpts,
+) -> Result<ServerLoadReport, String> {
+    let (world, stream) = profile.build();
+    let query_slocs = profile.query_slocs(&world);
+    let specs = profile.query_specs(&world);
+    let space = Arc::new(world.space);
+    let records = stream.to_records();
+    let want = reference_deltas(Arc::clone(&space), profile.serve_config(), &specs, &records)
+        .map_err(|e| format!("reference run: {e}"))?;
+    if want.is_empty() {
+        return Err("the reference stream produced no window advances".to_string());
+    }
+
+    let sweep: Vec<PointSpec> = match &load.target {
+        ServerTarget::External(_) => vec![PointSpec {
+            name: "external-sat",
+            connections: load.connections.max(1),
+            pipeline: SATURATION_PIPELINE,
+        }],
+        ServerTarget::InProcess => vec![
+            PointSpec {
+                name: "1conn-sat",
+                connections: 1,
+                pipeline: SATURATION_PIPELINE,
+            },
+            PointSpec {
+                name: "multi-paced",
+                connections: load.connections.max(1),
+                pipeline: 1,
+            },
+            PointSpec {
+                name: "multi-sat",
+                connections: load.connections.max(1),
+                pipeline: SATURATION_PIPELINE,
+            },
+        ],
+    };
+
+    let mut points = Vec::with_capacity(sweep.len());
+    for spec in &sweep {
+        let parts = partition_stream(&stream, spec.connections);
+        let outcome = match &load.target {
+            ServerTarget::External(addr) => {
+                run_point(addr, spec, profile, parts, &want, &query_slocs)?
+            }
+            ServerTarget::InProcess => {
+                let config = profile
+                    .server_config()
+                    .with_min_ingest_streams(spec.connections as u32);
+                let mut server = Server::start(Arc::clone(&space), config, "127.0.0.1:0")
+                    .map_err(|e| format!("server start: {e}"))?;
+                let addr = server.local_addr().to_string();
+                let outcome = run_point(&addr, spec, profile, parts, &want, &query_slocs);
+                server.shutdown();
+                outcome?
+            }
+        };
+        println!(
+            "server_load {}: {} conns × pipeline {} — {:.0} rec/s, \
+             p50 {:.2} ms, p99 {:.2} ms, p999 {:.2} ms, {} throttles, \
+             {} deltas (match={})",
+            outcome.name,
+            outcome.connections,
+            outcome.pipeline,
+            outcome.records_per_sec(),
+            outcome.latency_quantile_ms(0.50),
+            outcome.latency_quantile_ms(0.99),
+            outcome.latency_quantile_ms(0.999),
+            outcome.throttles,
+            outcome.deltas,
+            outcome.deltas_match,
+        );
+        points.push(outcome);
+    }
+    Ok(ServerLoadReport {
+        profile: *profile,
+        reference_deltas: want.len(),
+        queue_capacity_records: profile.server_config().queue_capacity_records,
+        points,
+    })
+}
+
+/// Serializes the sweep as the machine-readable `BENCH_server.json`
+/// payload CI archives per commit, through the shared
+/// [`bench_json`](crate::bench_json) machinery.
+pub fn bench_json(load: &ServerLoadOpts, report: &ServerLoadReport) -> String {
+    let points: Vec<Json> = report
+        .points
+        .iter()
+        .map(|p| {
+            Obj::new()
+                .field("name", p.name.clone())
+                .field("connections", p.connections)
+                .field("pipeline", p.pipeline)
+                .field("records", p.records)
+                .field("batches", p.batches)
+                .num("elapsed_secs", p.elapsed_secs, 4)
+                .num("records_per_sec", p.records_per_sec(), 1)
+                .field("throttles", p.throttles)
+                .num("batch_p50_ms", p.latency_quantile_ms(0.50), 3)
+                .num("batch_p99_ms", p.latency_quantile_ms(0.99), 3)
+                .num("batch_p999_ms", p.latency_quantile_ms(0.999), 3)
+                .field("deltas", p.deltas)
+                .field("deltas_match", p.deltas_match)
+                .field("protocol_errors", p.protocol_errors)
+                .field("queue_peak", p.queue_peak)
+                .field("server_records_ingested", p.server_records_ingested)
+                .into()
+        })
+        .collect();
+    Json::from(
+        Obj::new()
+            .field("experiment", "server_load")
+            .field(
+                "config",
+                Obj::new()
+                    .num("scale", report.profile.scale, 4)
+                    .field("seed", report.profile.seed)
+                    .field("queries", report.profile.queries)
+                    .field("connections", load.connections)
+                    .field("batch_records", BATCH_RECORDS)
+                    .field("queue_capacity_records", report.queue_capacity_records)
+                    .field(
+                        "external_server",
+                        matches!(load.target, ServerTarget::External(_)),
+                    ),
+            )
+            .field("reference_deltas", report.reference_deltas)
+            .field("points", points),
+    )
+    .to_artifact()
+}
+
+/// The acceptance gates over a finished sweep:
+///
+/// - every point's wire deltas are bit-identical to the reference and
+///   its scrape shows zero protocol errors;
+/// - every saturating point (pipeline > 1) was actually throttled;
+/// - the server-side queue peak never exceeded
+///   `capacity + connections × batch` (the bounded-memory contract:
+///   capacity plus at most one admitted-by-reserve batch per
+///   connection).
+pub fn validate(report: &ServerLoadReport) -> Result<(), String> {
+    for p in &report.points {
+        if !p.deltas_match {
+            return Err(format!(
+                "{}: wire deltas diverged from the in-process reference \
+                 ({} frames compared)",
+                p.name, p.deltas
+            ));
+        }
+        if p.protocol_errors != 0 {
+            return Err(format!(
+                "{}: server counted {} protocol errors",
+                p.name, p.protocol_errors
+            ));
+        }
+        if p.pipeline > 1 && p.throttles == 0 {
+            return Err(format!(
+                "{}: a pipelined overrun ({} conns × {} batches in flight) \
+                 never saw a Throttle frame — backpressure was not exercised",
+                p.name, p.connections, p.pipeline
+            ));
+        }
+        let bound = report.queue_capacity_records + p.connections * BATCH_RECORDS;
+        if p.queue_peak as usize > bound {
+            return Err(format!(
+                "{}: queue peak {} exceeds the bounded-memory contract \
+                 (capacity {} + {} conns × {} batch records = {bound})",
+                p.name, p.queue_peak, report.queue_capacity_records, p.connections, BATCH_RECORDS
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn report_rows(report: &ServerLoadReport) -> Vec<Row> {
+    report
+        .points
+        .iter()
+        .map(|p| {
+            let mut row = Row::new(
+                "server_load",
+                format!("{}x{}", p.connections, p.pipeline),
+                p.name.clone(),
+            );
+            row.time_secs = Some(p.elapsed_secs);
+            row.note = format!(
+                "{:.0} rec/s p50={:.2}ms p99={:.2}ms p999={:.2}ms throttles={} \
+                 deltas={} match={} qpeak={}",
+                p.records_per_sec(),
+                p.latency_quantile_ms(0.50),
+                p.latency_quantile_ms(0.99),
+                p.latency_quantile_ms(0.999),
+                p.throttles,
+                p.deltas,
+                p.deltas_match,
+                p.queue_peak,
+            );
+            row
+        })
+        .collect()
+}
+
+/// The `server_load` experiment id. When `json_path` is given, the
+/// machine-readable report is written there as well — before the gates
+/// fire, so a failing run still leaves the evidence on disk. Exits
+/// non-zero when any gate of [`validate`] fails.
+pub fn server_load_with_json(
+    opts: &ExpOpts,
+    load: &ServerLoadOpts,
+    json_path: Option<&str>,
+) -> Vec<Row> {
+    let profile = LoadProfile::new(opts.scale, opts.seed);
+    let report = match run_server_load(&profile, load) {
+        Ok(report) => report,
+        Err(why) => {
+            eprintln!("server_load failed to run: {why}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(path) = json_path {
+        crate::bench_json::write_report(
+            path,
+            "machine-readable server report",
+            &bench_json(load, &report),
+        );
+    }
+    if let Err(why) = validate(&report) {
+        eprintln!("server_load gates failed: {why}");
+        std::process::exit(1);
+    }
+    report_rows(&report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A miniature in-process sweep: all three points run, the gates
+    /// pass, and the artifact is structurally sound.
+    #[test]
+    fn small_sweep_passes_gates() {
+        // An hour of 40 visitors over 5-minute buckets — a few
+        // thousand records and several advances, fast enough for a
+        // unit test.
+        let profile = LoadProfile {
+            duration_secs: 3600,
+            bucket_millis: 300_000,
+            window_buckets: 4,
+            // Small enough that a pipelined two-connection burst
+            // overruns it even on this tiny stream.
+            queue_records: 256,
+            ..LoadProfile::new(0.01, 9)
+        };
+        let load = ServerLoadOpts {
+            connections: 2,
+            target: ServerTarget::InProcess,
+        };
+        let report = run_server_load(&profile, &load).expect("sweep runs");
+        assert_eq!(report.points.len(), 3);
+        validate(&report).expect("gates pass");
+        let json = bench_json(&load, &report);
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces:\n{json}"
+        );
+        for key in [
+            "\"experiment\": \"server_load\"",
+            "\"reference_deltas\"",
+            "\"batch_p50_ms\"",
+            "\"batch_p999_ms\"",
+            "\"deltas_match\": true",
+            "\"protocol_errors\": 0",
+            "\"queue_peak\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        for bad in ["inf", "NaN"] {
+            assert!(!json.contains(bad), "invalid JSON token {bad} in:\n{json}");
+        }
+        // The saturating points must have exercised backpressure.
+        for p in &report.points {
+            if p.pipeline > 1 {
+                assert!(p.throttles > 0, "{}: no throttles", p.name);
+            }
+        }
+    }
+}

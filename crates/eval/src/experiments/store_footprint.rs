@@ -175,43 +175,37 @@ pub fn report_rows(cfg: &StoreFootprintConfig, points: &[FootprintPoint]) -> Vec
 /// payload CI archives per commit. Hand-rolled JSON: the workspace
 /// deliberately carries no serialization dependency.
 pub fn bench_json(cfg: &StoreFootprintConfig, points: &[FootprintPoint]) -> String {
-    use crate::report::json_num;
-    let rendered: Vec<String> = points
+    use crate::bench_json::{Json, Obj};
+    let rendered: Vec<Json> = points
         .iter()
         .map(|p| {
-            format!(
-                concat!(
-                    "{{\"skew\":{},\"records\":{},\"records_per_sec\":{},",
-                    "\"store_bytes\":{},\"row_bytes\":{},",
-                    "\"bytes_per_record\":{},\"row_bytes_per_record\":{},",
-                    "\"sets_interned\":{},\"intern_hits\":{},\"intern_hit_rate\":{}}}"
-                ),
-                json_num(p.skew, 2),
-                p.records,
-                json_num(p.records_per_sec(), 1),
-                p.store_bytes,
-                p.row_bytes,
-                json_num(p.bytes_per_record(), 2),
-                json_num(p.row_bytes_per_record(), 2),
-                p.sets_interned,
-                p.intern_hits,
-                json_num(p.intern_hit_rate(), 4),
-            )
+            Obj::new()
+                .num("skew", p.skew, 2)
+                .field("records", p.records)
+                .num("records_per_sec", p.records_per_sec(), 1)
+                .field("store_bytes", p.store_bytes)
+                .field("row_bytes", p.row_bytes)
+                .num("bytes_per_record", p.bytes_per_record(), 2)
+                .num("row_bytes_per_record", p.row_bytes_per_record(), 2)
+                .field("sets_interned", p.sets_interned)
+                .field("intern_hits", p.intern_hits)
+                .num("intern_hit_rate", p.intern_hit_rate(), 4)
+                .into()
         })
         .collect();
-    format!(
-        concat!(
-            "{{\n",
-            "  \"experiment\": \"store_footprint\",\n",
-            "  \"config\": {{\"objects\": {}, \"duration_secs\": {}, \"seed\": {}}},\n",
-            "  \"points\": [\n    {}\n  ]\n",
-            "}}\n"
-        ),
-        cfg.num_objects,
-        cfg.duration_secs,
-        cfg.seed,
-        rendered.join(",\n    "),
+    Json::from(
+        Obj::new()
+            .field("experiment", "store_footprint")
+            .field(
+                "config",
+                Obj::new()
+                    .field("objects", cfg.num_objects)
+                    .field("duration_secs", cfg.duration_secs)
+                    .field("seed", cfg.seed),
+            )
+            .field("points", rendered),
     )
+    .to_artifact()
 }
 
 /// The `store_footprint` experiment id. When `json_path` is given, the
@@ -224,10 +218,11 @@ pub fn store_footprint_with_json(opts: &ExpOpts, json_path: Option<&str>) -> Vec
     let cfg = StoreFootprintConfig::scaled(opts.scale, opts.seed);
     let points = run_store_footprint(&cfg);
     if let Some(path) = json_path {
-        match std::fs::write(path, bench_json(&cfg, &points)) {
-            Ok(()) => println!("wrote machine-readable memory report to {path}"),
-            Err(e) => eprintln!("failed to write {path}: {e}"),
-        }
+        crate::bench_json::write_report(
+            path,
+            "machine-readable memory report",
+            &bench_json(&cfg, &points),
+        );
     }
     for p in &points {
         assert!(

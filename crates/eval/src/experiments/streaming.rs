@@ -737,111 +737,93 @@ pub fn report_rows(cfg: &StreamingConfig, report: &StreamingReport) -> Vec<Row> 
 /// the workspace deliberately carries no serialization dependency.
 pub fn bench_json(cfg: &StreamingConfig, report: &StreamingReport) -> String {
     // Ratios and throughputs divide by measured quantities that can be
-    // zero (→ ∞); json_num serializes those as null instead of
+    // zero (→ ∞); Json::num serializes those as null instead of
     // corrupting the artifact.
-    use crate::report::json_num;
-    fn engine_json(m: &EngineMetrics) -> String {
+    use crate::bench_json::{Json, Obj};
+    fn engine_json(m: &EngineMetrics) -> Json {
         // The internal phase breakdown: every `serve.advance*` histogram
         // of the engine's own registry (total advance plus each phase),
         // with its internally measured totals and percentiles.
         let phases = match &m.snapshot {
-            Some(snap) => {
-                let entries: Vec<String> = snap
-                    .histograms
+            Some(snap) => Json::from(
+                snap.histograms
                     .iter()
                     .filter(|(name, _)| name.starts_with("serve.advance"))
-                    .map(|(name, h)| {
-                        format!(
-                            "\"{}\":{{\"total_ns\":{},\"count\":{},\"p50_ns\":{},\"p99_ns\":{}}}",
-                            name,
-                            h.sum,
-                            h.count,
-                            h.quantile(0.50),
-                            h.quantile(0.99),
+                    .fold(Obj::new(), |obj, (name, h)| {
+                        obj.field(
+                            name.clone(),
+                            Obj::new()
+                                .field("total_ns", h.sum)
+                                .field("count", h.count)
+                                .field("p50_ns", h.quantile(0.50))
+                                .field("p99_ns", h.quantile(0.99)),
                         )
-                    })
-                    .collect();
-                format!("{{{}}}", entries.join(","))
-            }
-            None => "null".to_string(),
-        };
-        format!(
-            concat!(
-                "{{\"name\":\"{}\",\"records\":{},\"records_per_sec\":{},",
-                "\"advance_mean_ms\":{:.4},\"advance_p50_ms\":{:.4},\"advance_p99_ms\":{:.4},",
-                "\"advances_per_sec\":{},\"presence_computations\":{},",
-                "\"presence_cells\":{},\"presence_skipped\":{},",
-                "\"log_bytes\":{},\"intern_hits\":{},",
-                "\"memo_hits\":{},\"memo_misses\":{},\"memo_bytes\":{},",
-                "\"phase_coverage\":{},\"phases\":{}}}"
+                    }),
             ),
-            m.name,
-            m.records,
-            json_num(m.records_per_sec(), 1),
-            m.mean_ms(),
-            m.quantile_ms(0.50),
-            m.quantile_ms(0.99),
-            json_num(m.advances_per_sec(), 1),
-            m.presence_computations,
-            m.presence_cells,
-            m.presence_skipped,
-            m.log_bytes,
-            m.intern_hits,
-            m.memo_hits,
-            m.memo_misses,
-            m.memo_bytes,
-            json_num(m.phase_coverage.unwrap_or(f64::NAN), 4),
-            phases,
-        )
+            None => Json::Null,
+        };
+        Obj::new()
+            .field("name", m.name.clone())
+            .field("records", m.records)
+            .num("records_per_sec", m.records_per_sec(), 1)
+            .num("advance_mean_ms", m.mean_ms(), 4)
+            .num("advance_p50_ms", m.quantile_ms(0.50), 4)
+            .num("advance_p99_ms", m.quantile_ms(0.99), 4)
+            .num("advances_per_sec", m.advances_per_sec(), 1)
+            .field("presence_computations", m.presence_computations)
+            .field("presence_cells", m.presence_cells)
+            .field("presence_skipped", m.presence_skipped)
+            .field("log_bytes", m.log_bytes)
+            .field("intern_hits", m.intern_hits)
+            .field("memo_hits", m.memo_hits)
+            .field("memo_misses", m.memo_misses)
+            .field("memo_bytes", m.memo_bytes)
+            .num("phase_coverage", m.phase_coverage.unwrap_or(f64::NAN), 4)
+            .field("phases", phases)
+            .into()
     }
     let (queries, shared_work_ratio, multi_mismatches) = match &report.multi {
         Some(m) => (
             m.queries,
-            json_num(m.shared_work_ratio, 3),
-            m.mismatched_slides.to_string(),
+            Json::num(m.shared_work_ratio, 3),
+            Json::from(m.mismatched_slides),
         ),
-        None => (cfg.queries, "null".to_string(), "null".to_string()),
+        None => (cfg.queries, Json::Null, Json::Null),
     };
-    format!(
-        concat!(
-            "{{\n",
-            "  \"experiment\": \"streaming\",\n",
-            "  \"config\": {{\"objects\": {}, \"duration_secs\": {}, \"bucket_secs\": {}, ",
-            "\"window_buckets\": {}, \"k\": {}, \"num_shards\": {}, \"queries\": {}, ",
-            "\"seed\": {}}},\n",
-            "  \"slides\": {},\n",
-            "  \"mismatched_slides\": {},\n",
-            "  \"speedup\": {},\n",
-            "  \"pruned_speedup\": {},\n",
-            "  \"work_ratio\": {},\n",
-            "  \"pruned_work_ratio\": {},\n",
-            "  \"metrics_overhead\": {},\n",
-            "  \"shared_work_ratio\": {},\n",
-            "  \"multi_query_mismatched_slides\": {},\n",
-            "  \"engines\": [\n    {},\n    {},\n    {}\n  ]\n",
-            "}}\n"
-        ),
-        cfg.scenario.num_objects,
-        cfg.scenario.duration_secs,
-        cfg.bucket_secs,
-        cfg.window_buckets,
-        cfg.k,
-        cfg.num_shards,
-        queries,
-        cfg.scenario.seed,
-        report.slides,
-        report.mismatched_slides,
-        json_num(report.speedup, 3),
-        json_num(report.pruned_speedup, 3),
-        json_num(report.work_ratio, 3),
-        json_num(report.pruned_work_ratio, 3),
-        json_num(report.metrics_overhead, 4),
-        shared_work_ratio,
-        multi_mismatches,
-        engine_json(&report.incremental),
-        engine_json(&report.pruned),
-        engine_json(&report.baseline),
+    Json::from(
+        Obj::new()
+            .field("experiment", "streaming")
+            .field(
+                "config",
+                Obj::new()
+                    .field("objects", cfg.scenario.num_objects)
+                    .field("duration_secs", cfg.scenario.duration_secs)
+                    .field("bucket_secs", cfg.bucket_secs)
+                    .field("window_buckets", cfg.window_buckets)
+                    .field("k", cfg.k)
+                    .field("num_shards", cfg.num_shards)
+                    .field("queries", queries)
+                    .field("seed", cfg.scenario.seed),
+            )
+            .field("slides", report.slides)
+            .field("mismatched_slides", report.mismatched_slides)
+            .num("speedup", report.speedup, 3)
+            .num("pruned_speedup", report.pruned_speedup, 3)
+            .num("work_ratio", report.work_ratio, 3)
+            .num("pruned_work_ratio", report.pruned_work_ratio, 3)
+            .num("metrics_overhead", report.metrics_overhead, 4)
+            .field("shared_work_ratio", shared_work_ratio)
+            .field("multi_query_mismatched_slides", multi_mismatches)
+            .field(
+                "engines",
+                vec![
+                    engine_json(&report.incremental),
+                    engine_json(&report.pruned),
+                    engine_json(&report.baseline),
+                ],
+            ),
     )
+    .to_artifact()
 }
 
 /// Serializes the end-of-run telemetry export CI archives as
@@ -849,35 +831,41 @@ pub fn bench_json(cfg: &StreamingConfig, report: &StreamingReport) -> String {
 /// engine's phase coverage, and the engines' full registry snapshots
 /// (every counter, gauge, and histogram, via [`Snapshot::to_json`]).
 pub fn obs_json(report: &StreamingReport) -> String {
-    use crate::report::json_num;
-    fn engine_snapshot(m: &EngineMetrics) -> String {
+    use crate::bench_json::{Json, Obj};
+    fn engine_snapshot(m: &EngineMetrics) -> Json {
         m.snapshot
             .as_ref()
-            .map(Snapshot::to_json)
-            .unwrap_or_else(|| "null".to_string())
+            .map_or(Json::Null, |s| Json::raw(s.to_json()))
     }
-    format!(
-        concat!(
-            "{{\n",
-            "  \"experiment\": \"obs\",\n",
-            "  \"metrics_overhead\": {},\n",
-            "  \"phase_coverage\": {{\"{}\": {}, \"{}\": {}}},\n",
-            "  \"engines\": {{\n",
-            "    \"{}\": {},\n",
-            "    \"{}\": {}\n",
-            "  }}\n",
-            "}}\n"
-        ),
-        json_num(report.metrics_overhead, 4),
-        report.incremental.name,
-        json_num(report.incremental.phase_coverage.unwrap_or(f64::NAN), 4),
-        report.pruned.name,
-        json_num(report.pruned.phase_coverage.unwrap_or(f64::NAN), 4),
-        report.incremental.name,
-        engine_snapshot(&report.incremental),
-        report.pruned.name,
-        engine_snapshot(&report.pruned),
+    Json::from(
+        Obj::new()
+            .field("experiment", "obs")
+            .num("metrics_overhead", report.metrics_overhead, 4)
+            .field(
+                "phase_coverage",
+                Obj::new()
+                    .num(
+                        report.incremental.name.clone(),
+                        report.incremental.phase_coverage.unwrap_or(f64::NAN),
+                        4,
+                    )
+                    .num(
+                        report.pruned.name.clone(),
+                        report.pruned.phase_coverage.unwrap_or(f64::NAN),
+                        4,
+                    ),
+            )
+            .field(
+                "engines",
+                Obj::new()
+                    .field(
+                        report.incremental.name.clone(),
+                        engine_snapshot(&report.incremental),
+                    )
+                    .field(report.pruned.name.clone(), engine_snapshot(&report.pruned)),
+            ),
     )
+    .to_artifact()
 }
 
 /// The observability acceptance gates: every phase of each serve
@@ -948,16 +936,14 @@ pub fn streaming_with_json(
     cfg.queries = opts.queries.max(1);
     let report = run_streaming(&cfg);
     if let Some(path) = json_path {
-        match std::fs::write(path, bench_json(&cfg, &report)) {
-            Ok(()) => println!("wrote machine-readable streaming report to {path}"),
-            Err(e) => eprintln!("failed to write {path}: {e}"),
-        }
+        crate::bench_json::write_report(
+            path,
+            "machine-readable streaming report",
+            &bench_json(&cfg, &report),
+        );
     }
     if let Some(path) = obs_path {
-        match std::fs::write(path, obs_json(&report)) {
-            Ok(()) => println!("wrote telemetry export to {path}"),
-            Err(e) => eprintln!("failed to write {path}: {e}"),
-        }
+        crate::bench_json::write_report(path, "telemetry export", &obs_json(&report));
     }
     // The observability gates: phase metrics present and nonzero, phase
     // coverage ≥ 0.9, instrumentation overhead < 5%.
@@ -1184,11 +1170,11 @@ mod tests {
         };
         let json = bench_json(&cfg, &degenerate);
         assert!(json.contains("\"speedup\": null"), "{json}");
-        assert!(json.contains("\"records_per_sec\":null"), "{json}");
+        assert!(json.contains("\"records_per_sec\": null"), "{json}");
         assert!(json.contains("\"shared_work_ratio\": null"), "{json}");
         assert!(json.contains("\"metrics_overhead\": null"), "{json}");
-        assert!(json.contains("\"phase_coverage\":null"), "{json}");
-        assert!(json.contains("\"phases\":null"), "{json}");
+        assert!(json.contains("\"phase_coverage\": null"), "{json}");
+        assert!(json.contains("\"phases\": null"), "{json}");
         for bad in ["inf", "NaN"] {
             assert!(!json.contains(bad), "invalid JSON token {bad} in:\n{json}");
         }

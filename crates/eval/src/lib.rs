@@ -14,6 +14,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod bench_json;
 pub mod experiments;
 pub mod lab;
 pub mod method;

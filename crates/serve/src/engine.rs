@@ -458,6 +458,10 @@ pub struct ServeEngine {
     /// Union of every registered query's location set — what the shard
     /// caches are computed against.
     union: QuerySet,
+    /// Timestamp of the first accepted record — anchors
+    /// [`ServeEngine::due_advances`] before the first advance seals a
+    /// frontier.
+    first_ingest: Option<Timestamp>,
     last_ingest: Option<Timestamp>,
     last_advance: Option<Timestamp>,
     /// Records must land at or after the sealed frontier: once a bucket
@@ -513,6 +517,7 @@ impl ServeEngine {
             queries: Vec::new(),
             next_id: 0,
             union: QuerySet::new(Vec::new()),
+            first_ingest: None,
             last_ingest: None,
             last_advance: None,
             sealed_frontier_millis: None,
@@ -588,6 +593,85 @@ impl ServeEngine {
     /// Whether a failed advance has taken the engine out of service.
     pub fn is_poisoned(&self) -> bool {
         self.poisoned.is_some()
+    }
+
+    /// Timestamp of the most recent accepted record, if any.
+    pub fn last_ingest(&self) -> Option<Timestamp> {
+        self.last_ingest
+    }
+
+    /// The `now` of the most recent advance, if any.
+    pub fn last_advance(&self) -> Option<Timestamp> {
+        self.last_advance
+    }
+
+    /// The bucket-boundary advance instants currently *due*, ascending.
+    ///
+    /// A boundary `m · bucket_millis` is due when it would seal at least
+    /// one new bucket — it lies after the sealed frontier (after the
+    /// first ingested record's bucket when nothing is sealed yet) — and
+    /// it is at most `upper`. Boundaries past the bucket of the last
+    /// ingested record seal nothing and are omitted, so passing
+    /// `Timestamp(i64::MAX)` as `upper` means "everything the stream
+    /// justifies" rather than an infinite list. Empty before the first
+    /// ingest.
+    ///
+    /// This is the serving front-end's tick planner: a scheduler calls
+    /// it (or [`ServeEngine::advance_due`]) with its release watermark
+    /// and knows exactly which `advance_all` calls are pending without
+    /// guessing at wall-clock alignment.
+    pub fn due_advances(&self, upper: Timestamp) -> Vec<Timestamp> {
+        let width = self.config.bucket_millis;
+        let (Some(first), Some(last)) = (self.first_ingest, self.last_ingest) else {
+            return Vec::new();
+        };
+        let next = match self.sealed_frontier_millis {
+            Some(frontier) => frontier + width,
+            None => (first.millis().div_euclid(width) + 1) * width,
+        };
+        let cap = (last.millis().div_euclid(width) + 1) * width;
+        let mut due = Vec::new();
+        let mut t = next;
+        while t <= upper.millis().min(cap) {
+            due.push(Timestamp(t));
+            t += width;
+        }
+        due
+    }
+
+    /// Runs the due advances (see [`ServeEngine::due_advances`]) oldest
+    /// first, stopping early once `deadline` passes or `max_advances`
+    /// have run, and returns the performed advances with their updates
+    /// plus the number still due.
+    ///
+    /// Each advance is atomic: the deadline is consulted only *between*
+    /// `advance_all` calls, never inside one, so a tight budget defers
+    /// whole window slides to the next tick instead of splitting one —
+    /// which is what keeps budgeted serving bit-identical to an
+    /// unbudgeted driver. At least one due advance always runs per call
+    /// (when `max_advances > 0`), so a scheduler that is persistently
+    /// over deadline still makes progress.
+    #[allow(clippy::type_complexity)]
+    pub fn advance_due(
+        &mut self,
+        upper: Timestamp,
+        deadline: Option<std::time::Instant>,
+        max_advances: usize,
+    ) -> Result<(Vec<(Timestamp, Vec<(QueryId, ContinuousUpdate)>)>, usize), FlowError> {
+        let due = self.due_advances(upper);
+        let mut done = Vec::new();
+        for &t in &due {
+            let budget_spent = done.len() >= max_advances;
+            let over_deadline =
+                !done.is_empty() && deadline.is_some_and(|d| std::time::Instant::now() >= d);
+            if budget_spent || over_deadline {
+                break;
+            }
+            let updates = self.advance_all(t)?;
+            done.push((t, updates));
+        }
+        let remaining = due.len() - done.len();
+        Ok((done, remaining))
     }
 
     /// Registers a standing query mid-stream and returns its handle.
@@ -1271,6 +1355,9 @@ impl ContinuousEngine for ServeEngine {
         // one histogram record, and one counter add — no allocation, no
         // locks, and no effect on what the shard computes.
         let timer = self.metrics.as_ref().map(|_| Timer::start());
+        if self.first_ingest.is_none() {
+            self.first_ingest = Some(record.t);
+        }
         self.last_ingest = Some(record.t);
         let shard = self
             .pool

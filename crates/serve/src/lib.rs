@@ -143,6 +143,74 @@ mod tests {
         }
     }
 
+    /// The tick planner: `due_advances` names exactly the bucket
+    /// boundaries between the sealed frontier and the last ingested
+    /// record's bucket, and a budgeted `advance_due` catch-up replays
+    /// them bit-identically to an unbudgeted driver.
+    #[test]
+    fn due_advances_plan_and_budgeted_catchup() {
+        let width = 2_000i64;
+        let (mut engine, _space) = paper_engine(WindowSpec::new(width, 2), 2);
+        assert!(engine.due_advances(Timestamp(i64::MAX)).is_empty());
+        assert_eq!(engine.last_ingest(), None);
+        assert_eq!(engine.last_advance(), None);
+
+        engine.ingest_all(paper_table2().to_records()).unwrap();
+        let last = engine.last_ingest().unwrap();
+        let cap = (last.millis().div_euclid(width) + 1) * width;
+        // An upper bound below the first boundary releases nothing.
+        assert!(engine.due_advances(Timestamp(width - 1)).is_empty());
+        // An unbounded upper is capped at the last record's bucket.
+        let due = engine.due_advances(Timestamp(i64::MAX));
+        assert_eq!(due.first().copied(), Some(Timestamp(width)));
+        assert_eq!(due.last().copied(), Some(Timestamp(cap)));
+        assert!(due
+            .windows(2)
+            .all(|w| w[1].millis() - w[0].millis() == width));
+
+        // An already-expired deadline still performs exactly one due
+        // advance (the progress guarantee).
+        let (mut reference, _space2) = paper_engine(WindowSpec::new(width, 2), 2);
+        reference.ingest_all(paper_table2().to_records()).unwrap();
+        let expired = Some(std::time::Instant::now());
+        let (runs, remaining) = engine
+            .advance_due(Timestamp(i64::MAX), expired, usize::MAX)
+            .unwrap();
+        assert_eq!(runs.len(), 1);
+        assert_eq!(remaining, due.len() - 1);
+
+        // Budgeted catch-up, two advances per call, matches the
+        // unbudgeted reference bit for bit at every boundary.
+        let mut performed = runs;
+        loop {
+            let (runs, remaining) = engine.advance_due(Timestamp(i64::MAX), None, 2).unwrap();
+            assert!(runs.len() <= 2);
+            performed.extend(runs);
+            if remaining == 0 {
+                break;
+            }
+        }
+        assert_eq!(performed.iter().map(|(t, _)| *t).collect::<Vec<_>>(), due);
+        for (t, updates) in &performed {
+            let want = reference.advance_all(*t).unwrap();
+            assert_eq!(updates.len(), want.len(), "advance at {t:?}");
+            for ((qa, ua), (qb, ub)) in updates.iter().zip(&want) {
+                assert_eq!(qa, qb);
+                assert_eq!(ua.window, ub.window);
+                assert_eq!(
+                    (ua.changed, &ua.entered, &ua.left),
+                    (ub.changed, &ub.entered, &ub.left)
+                );
+                for (x, y) in ua.outcome.ranking.iter().zip(&ub.outcome.ranking) {
+                    assert_eq!((x.sloc, x.flow.to_bits()), (y.sloc, y.flow.to_bits()));
+                }
+            }
+        }
+        // Caught up: nothing due until new records arrive.
+        assert!(engine.due_advances(Timestamp(i64::MAX)).is_empty());
+        assert_eq!(engine.last_advance(), Some(Timestamp(cap)));
+    }
+
     #[test]
     fn matches_recompute_engine_on_every_slide() {
         let world = World::generate(Scenario::tiny().with_seed(5));

@@ -1,0 +1,208 @@
+//! Property tests over the wire codec: every frame survives a
+//! round trip, and no byte soup — truncated, trailing, or fully
+//! random — can make the decoder panic or allocate unboundedly.
+
+use indoor_iupt::{ObjectId, Record, Sample, SampleSet, Timestamp};
+use indoor_model::PLocId;
+use popflow_server::protocol::{Frame, FrameReader, ProtocolError, WireError, PROTOCOL_VERSION};
+use proptest::prelude::*;
+
+/// A valid record from compact parameters: `2^samples_log` distinct
+/// locations with equal powers-of-two probabilities (exact unit sum).
+fn record(oid: u32, t: i64, loc_base: u32, samples_log: u32) -> Record {
+    let n = 1u32 << (samples_log % 4);
+    let prob = 1.0 / f64::from(n);
+    let samples: Vec<Sample> = (0..n)
+        .map(|i| Sample::new(PLocId(loc_base.wrapping_add(i) % 10_000), prob))
+        .collect();
+    Record {
+        oid: ObjectId(oid),
+        t: Timestamp(t),
+        samples: SampleSet::new(samples).expect("constructed sample set is valid"),
+    }
+}
+
+fn roundtrip(frame: &Frame) -> Result<(), TestCaseError> {
+    let mut wire = Vec::new();
+    frame
+        .write_to(&mut wire)
+        .map_err(|e| TestCaseError::fail(format!("encode: {e}")))?;
+    let mut reader = FrameReader::new(wire.as_slice());
+    match reader.next_frame() {
+        Ok(Some(got)) => {
+            prop_assert_eq!(&got, frame);
+            prop_assert!(matches!(reader.next_frame(), Ok(None)));
+            Ok(())
+        }
+        other => Err(TestCaseError::fail(format!("decode: {other:?}"))),
+    }
+}
+
+/// Deterministic byte soup (an LCG over the seed) — random but
+/// reproducible garbage.
+fn soup(seed: u64, len: usize) -> Vec<u8> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            (state >> 56) as u8
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn ingest_batches_roundtrip(
+        seq in 0u64..u64::MAX,
+        params in proptest::collection::vec(
+            (0u32..500, 0i64..100_000_000, 0u32..10_000, 0u32..4),
+            0..12,
+        ),
+    ) {
+        let records: Vec<Record> = params
+            .into_iter()
+            .map(|(oid, t, base, log)| record(oid, t, base, log))
+            .collect();
+        roundtrip(&Frame::IngestBatch { seq, records })?;
+    }
+
+    #[test]
+    fn control_frames_roundtrip(
+        k in 1u32..1_000,
+        bucket_millis in 1i64..100_000_000,
+        window_buckets in 1u32..128,
+        slocs in proptest::collection::vec(0u32..100_000, 1..40),
+        query_id in 0u64..u64::MAX,
+    ) {
+        roundtrip(&Frame::Hello { version: PROTOCOL_VERSION, role: (k % 2) as u8 })?;
+        roundtrip(&Frame::Register { k, bucket_millis, window_buckets, slocs })?;
+        roundtrip(&Frame::Unregister { query_id })?;
+        roundtrip(&Frame::StreamEnd)?;
+        roundtrip(&Frame::MetricsRequest)?;
+        roundtrip(&Frame::Welcome { version: PROTOCOL_VERSION, conn_id: query_id })?;
+        roundtrip(&Frame::Registered { query_id })?;
+        roundtrip(&Frame::Unregistered { query_id })?;
+    }
+
+    #[test]
+    fn server_frames_roundtrip(
+        seq in 0u64..u64::MAX,
+        counts in (0u32..10_000, 0u32..10_000),
+        // Raw f64 bit patterns — NaNs and infinities must survive the
+        // wire untouched, which is the point of shipping bits.
+        ranking in proptest::collection::vec((0u32..100_000, 0u64..u64::MAX), 0..20),
+        moves in proptest::collection::vec(0u32..100_000, 0..10),
+        changed in 0u8..2,
+        code in 1u8..4,
+    ) {
+        let (accepted, rejected) = counts;
+        roundtrip(&Frame::BatchAck { seq, accepted, rejected })?;
+        roundtrip(&Frame::Throttle {
+            seq,
+            queued_records: u64::from(accepted),
+            capacity_records: u64::from(rejected),
+        })?;
+        roundtrip(&Frame::TopkDelta {
+            query_id: seq,
+            advance_millis: seq as i64,
+            window_start_millis: -(accepted as i64),
+            window_end_millis: rejected as i64,
+            changed: changed == 1,
+            ranking,
+            entered: moves.clone(),
+            left: moves,
+        })?;
+        roundtrip(&Frame::MetricsText {
+            text: format!("# TYPE x counter\nx {seq}\n"),
+        })?;
+        roundtrip(&Frame::Error {
+            code,
+            detail: format!("detail {seq}"),
+        })?;
+    }
+
+    #[test]
+    fn truncated_frames_error_cleanly(
+        seq in 0u64..u64::MAX,
+        params in proptest::collection::vec(
+            (0u32..500, 0i64..100_000_000, 0u32..10_000, 0u32..4),
+            1..6,
+        ),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let records: Vec<Record> = params
+            .into_iter()
+            .map(|(oid, t, base, log)| record(oid, t, base, log))
+            .collect();
+        let mut wire = Vec::new();
+        Frame::IngestBatch { seq, records }
+            .write_to(&mut wire)
+            .map_err(|e| TestCaseError::fail(format!("encode: {e}")))?;
+        let cut = ((wire.len() as f64) * cut_frac) as usize;
+        prop_assume!(cut < wire.len());
+        let mut reader = FrameReader::new(&wire[..cut]);
+        match reader.next_frame() {
+            Ok(None) => prop_assert!(cut < 4, "a partial frame is not a clean EOF"),
+            Ok(Some(_)) => {
+                return Err(TestCaseError::fail("decoded a truncated frame".to_string()))
+            }
+            Err(WireError::Protocol(ProtocolError::Truncated { .. })) => {}
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error: {e}"))),
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected(
+        query_id in 0u64..u64::MAX,
+        extra in 1usize..16,
+    ) {
+        let mut payload = Frame::Unregister { query_id }.encode();
+        payload.extend(std::iter::repeat_n(0xAB, extra));
+        prop_assert_eq!(
+            Frame::decode(&payload),
+            Err(ProtocolError::TrailingBytes { extra })
+        );
+    }
+
+    #[test]
+    fn garbage_streams_never_panic(
+        seed in 0u64..u64::MAX,
+        len in 0usize..2_048,
+    ) {
+        let bytes = soup(seed, len);
+        // Direct payload decode: any result but a panic is fine.
+        let _ = Frame::decode(&bytes);
+        // Framed stream decode: the reader must terminate with clean
+        // errors. Every iteration either consumes a frame or ends the
+        // stream, so `len + 1` rounds always suffice.
+        let mut reader = FrameReader::new(bytes.as_slice());
+        for _ in 0..=len {
+            match reader.next_frame() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) if e.is_recoverable() => {}
+                Err(_) => break,
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_bodies_with_valid_kinds_never_panic(
+        kind_index in 0usize..14,
+        seed in 0u64..u64::MAX,
+        len in 0usize..512,
+    ) {
+        // A known kind byte over a random body exercises every
+        // kind-specific decoder, including the allocation guards.
+        let kinds: [u8; 14] = [
+            0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x81, 0x82, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88,
+        ];
+        let mut payload = vec![kinds[kind_index % kinds.len()]];
+        payload.extend(soup(seed, len));
+        let _ = Frame::decode(&payload);
+    }
+}
