@@ -572,9 +572,14 @@ mod tests {
     /// pass, and the artifact is structurally sound.
     #[test]
     fn small_sweep_passes_gates() {
-        // An hour of 40 visitors over 5-minute buckets — a few
-        // thousand records and several advances, fast enough for a
-        // unit test.
+        // An hour of 300 visitors over 5-minute buckets — ~11k records
+        // (43 batches) and several advances, fast enough for a unit
+        // test, yet big enough that every saturating point has more
+        // batches per connection than SATURATION_PIPELINE. That
+        // surplus is what drives drive_connection's interleaved
+        // new-send/re-send path (fresh batches sent while older
+        // throttled ones still pend), the path the server's throttle
+        // gate exists for.
         let profile = LoadProfile {
             duration_secs: 3600,
             bucket_millis: 300_000,
@@ -582,7 +587,7 @@ mod tests {
             // Small enough that a pipelined two-connection burst
             // overruns it even on this tiny stream.
             queue_records: 256,
-            ..LoadProfile::new(0.01, 9)
+            ..LoadProfile::new(0.1, 9)
         };
         let load = ServerLoadOpts {
             connections: 2,
@@ -611,10 +616,21 @@ mod tests {
         for bad in ["inf", "NaN"] {
             assert!(!json.contains(bad), "invalid JSON token {bad} in:\n{json}");
         }
-        // The saturating points must have exercised backpressure.
+        // The saturating points must have exercised backpressure, and
+        // with more batches per connection than the pipeline window —
+        // otherwise the interleaved new-send/re-send path (and the
+        // server's ordered throttle-gate re-admission) never runs.
         for p in &report.points {
             if p.pipeline > 1 {
                 assert!(p.throttles > 0, "{}: no throttles", p.name);
+                assert!(
+                    p.batches > p.connections * SATURATION_PIPELINE,
+                    "{}: {} batches over {} connections cannot overrun a \
+                     {SATURATION_PIPELINE}-batch pipeline window",
+                    p.name,
+                    p.batches,
+                    p.connections,
+                );
             }
         }
     }

@@ -147,12 +147,24 @@ impl Client {
     }
 
     /// Waits for batch `seq`'s fate: `Ok(true)` on ack, `Ok(false)` on
-    /// throttle (the caller should back off and re-send).
+    /// throttle (the caller should back off and re-send). A server
+    /// [`Frame::Error`] — e.g. a time-order rejection — surfaces as an
+    /// `Err` immediately: a rejection carries no seq, so a predicate
+    /// keyed on the seq alone would set it aside forever and hang
+    /// until the read timeout.
     pub fn wait_batch_outcome(&mut self, seq: u64) -> Result<bool, WireError> {
         let got = self.wait_for(|f| {
             matches!(f, Frame::BatchAck { seq: s, .. } | Frame::Throttle { seq: s, .. } if *s == seq)
+                || matches!(f, Frame::Error { .. })
         })?;
-        Ok(matches!(got, Frame::BatchAck { .. }))
+        match got {
+            Frame::BatchAck { .. } => Ok(true),
+            Frame::Throttle { .. } => Ok(false),
+            Frame::Error { detail, .. } => {
+                Err(ProtocolError::Invalid(format!("batch {seq} refused: {detail}")).into())
+            }
+            _ => Err(ProtocolError::Invalid("unexpected batch reply".to_string()).into()),
+        }
     }
 
     /// Declares this ingest stream finished (its watermark stops

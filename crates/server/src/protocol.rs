@@ -10,8 +10,12 @@
 //! **bit-identical** to the one the engine computed — the property the
 //! `server_load` experiment gates on.
 //!
-//! Decoding is total: any byte sequence either decodes to a [`Frame`]
-//! or returns a [`ProtocolError`] — never a panic. Truncated payloads,
+//! Both directions are total: encoding a frame whose collections
+//! exceed their wire count fields (or whose payload exceeds
+//! [`MAX_FRAME_BYTES`]) is a clean error rather than a truncated
+//! count and a corrupt frame, and any byte sequence either decodes to
+//! a [`Frame`] or returns a [`ProtocolError`] — never a panic.
+//! Truncated payloads,
 //! oversized length prefixes ([`MAX_FRAME_BYTES`]), unknown kinds,
 //! trailing garbage, and semantically invalid bodies (a sample set
 //! whose probabilities do not sum to 1, a query with `k = 0`) are all
@@ -327,21 +331,34 @@ fn put_i64(out: &mut Vec<u8>, v: i64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
-    put_u32(out, s.len() as u32);
-    out.extend_from_slice(s.as_bytes());
+/// Checks a collection length against the range of its wire count
+/// field, so an oversized collection becomes a clean encode error
+/// instead of an `as`-truncated count and a silently corrupt frame.
+fn wire_count<T: TryFrom<usize>>(n: usize, what: &str) -> Result<T, ProtocolError> {
+    T::try_from(n)
+        .map_err(|_| ProtocolError::Invalid(format!("{what} count {n} exceeds its wire field")))
 }
 
-fn put_u32_list(out: &mut Vec<u8>, items: &[u32]) {
-    put_u32(out, items.len() as u32);
+fn put_str(out: &mut Vec<u8>, s: &str) -> Result<(), ProtocolError> {
+    put_u32(out, wire_count(s.len(), "string byte")?);
+    out.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+fn put_u32_list(out: &mut Vec<u8>, items: &[u32]) -> Result<(), ProtocolError> {
+    put_u32(out, wire_count(items.len(), "id list")?);
     for &v in items {
         put_u32(out, v);
     }
+    Ok(())
 }
 
 impl Frame {
     /// Encodes the payload (kind byte + body, no length prefix).
-    pub fn encode(&self) -> Vec<u8> {
+    /// Fails with [`ProtocolError::Invalid`] when a collection exceeds
+    /// its wire count field's range — encoding, like decoding, never
+    /// produces a corrupt frame.
+    pub fn encode(&self) -> Result<Vec<u8>, ProtocolError> {
         let mut out = Vec::with_capacity(16);
         match self {
             Frame::Hello { version, role } => {
@@ -352,12 +369,12 @@ impl Frame {
             Frame::IngestBatch { seq, records } => {
                 out.push(kind::INGEST_BATCH);
                 put_u64(&mut out, *seq);
-                put_u32(&mut out, records.len() as u32);
+                put_u32(&mut out, wire_count(records.len(), "record")?);
                 for r in records {
                     put_u32(&mut out, r.oid.0);
                     put_i64(&mut out, r.t.millis());
                     let samples = r.samples.samples();
-                    put_u16(&mut out, samples.len() as u16);
+                    put_u16(&mut out, wire_count(samples.len(), "sample")?);
                     for s in samples {
                         put_u32(&mut out, s.loc.0);
                         put_u64(&mut out, s.prob.to_bits());
@@ -374,7 +391,7 @@ impl Frame {
                 put_u32(&mut out, *k);
                 put_i64(&mut out, *bucket_millis);
                 put_u32(&mut out, *window_buckets);
-                put_u32_list(&mut out, slocs);
+                put_u32_list(&mut out, slocs)?;
             }
             Frame::Unregister { query_id } => {
                 out.push(kind::UNREGISTER);
@@ -431,25 +448,25 @@ impl Frame {
                 put_i64(&mut out, *window_start_millis);
                 put_i64(&mut out, *window_end_millis);
                 out.push(u8::from(*changed));
-                put_u16(&mut out, ranking.len() as u16);
+                put_u16(&mut out, wire_count(ranking.len(), "ranking")?);
                 for &(sloc, flow_bits) in ranking {
                     put_u32(&mut out, sloc);
                     put_u64(&mut out, flow_bits);
                 }
-                put_u32_list(&mut out, entered);
-                put_u32_list(&mut out, left);
+                put_u32_list(&mut out, entered)?;
+                put_u32_list(&mut out, left)?;
             }
             Frame::MetricsText { text } => {
                 out.push(kind::METRICS_TEXT);
-                put_str(&mut out, text);
+                put_str(&mut out, text)?;
             }
             Frame::Error { code, detail } => {
                 out.push(kind::ERROR);
                 out.push(*code);
-                put_str(&mut out, detail);
+                put_str(&mut out, detail)?;
             }
         }
-        out
+        Ok(out)
     }
 
     /// Decodes one payload (kind byte + body). The whole payload must
@@ -586,12 +603,23 @@ impl Frame {
     }
 
     /// Writes the frame with its length prefix to `w` (no flush — the
-    /// caller owns buffering).
-    pub fn write_to<W: Write>(&self, w: &mut W) -> io::Result<()> {
-        let payload = self.encode();
+    /// caller owns buffering). A payload over [`MAX_FRAME_BYTES`] is
+    /// refused before any byte hits the wire
+    /// ([`ProtocolError::Oversized`]): the peer would reject the
+    /// length prefix anyway, and by then the stream could no longer be
+    /// resynchronized.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> Result<(), WireError> {
+        let payload = self.encode()?;
+        if payload.len() > MAX_FRAME_BYTES as usize {
+            return Err(ProtocolError::Oversized {
+                len: u32::try_from(payload.len()).unwrap_or(u32::MAX),
+            }
+            .into());
+        }
         let len = payload.len() as u32;
         w.write_all(&len.to_le_bytes())?;
-        w.write_all(&payload)
+        w.write_all(&payload)?;
+        Ok(())
     }
 }
 
@@ -907,6 +935,50 @@ mod tests {
             r.next_frame(),
             Err(WireError::Protocol(ProtocolError::Truncated { .. }))
         ));
+    }
+
+    #[test]
+    fn oversized_collections_fail_to_encode() {
+        // A ranking longer than its u16 count field: a clean error,
+        // not a silently truncated count.
+        let frame = Frame::TopkDelta {
+            query_id: 1,
+            advance_millis: 0,
+            window_start_millis: 0,
+            window_end_millis: 0,
+            changed: false,
+            ranking: vec![(0, 0); usize::from(u16::MAX) + 1],
+            entered: Vec::new(),
+            left: Vec::new(),
+        };
+        assert!(matches!(
+            frame.encode(),
+            Err(ProtocolError::Invalid(detail)) if detail.contains("ranking count")
+        ));
+        let mut sink = Vec::new();
+        assert!(frame.write_to(&mut sink).is_err());
+        assert!(
+            sink.is_empty(),
+            "nothing may hit the wire on a failed encode"
+        );
+    }
+
+    #[test]
+    fn over_ceiling_payloads_fail_to_write() {
+        // Encodes fine (every count fits), but the payload exceeds the
+        // frame ceiling the peer would reject anyway.
+        let frame = Frame::MetricsText {
+            text: "x".repeat(MAX_FRAME_BYTES as usize + 1),
+        };
+        let mut sink = Vec::new();
+        assert!(matches!(
+            frame.write_to(&mut sink),
+            Err(WireError::Protocol(ProtocolError::Oversized { .. }))
+        ));
+        assert!(
+            sink.is_empty(),
+            "nothing may hit the wire on a refused frame"
+        );
     }
 
     #[test]

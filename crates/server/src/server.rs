@@ -216,13 +216,18 @@ struct ConnState {
     /// Timestamp (ms) of the last record this connection enqueued —
     /// its promise that nothing earlier will ever arrive on it.
     watermark: Option<i64>,
-    /// Set to the refused batch's seq when a batch is throttled: until
-    /// the client re-sends exactly that batch, every other batch on
-    /// this connection is throttled too. Without the gate, a later
-    /// pipelined batch could be admitted ahead of the refused one and
-    /// advance the watermark past it, making the re-send an
-    /// unrecoverable order violation.
-    throttle_gate: Option<u64>,
+    /// Set while any throttled batch awaits re-admission:
+    /// `(expected, max_refused)` — the next seq that must be
+    /// re-admitted, and the highest seq refused while the gate was up.
+    /// Every batch except `expected` is throttled (extending
+    /// `max_refused`), and admitting `expected` advances the gate to
+    /// `expected + 1` until every refused seq has been re-admitted in
+    /// order. Without the gate, a later pipelined batch could be
+    /// admitted ahead of a refused one and advance the watermark past
+    /// it, making the re-send an unrecoverable order violation —
+    /// clearing it after only the first re-admission would do the same
+    /// to the refused batches still pending behind it.
+    throttle_gate: Option<(u64, u64)>,
     /// No more batches will arrive (StreamEnd, or the socket closed):
     /// the connection stops gating the merge once its queue drains.
     ended: bool,
@@ -754,9 +759,12 @@ fn handle_batch(
     // A throttled batch must be re-admitted before anything newer: a
     // pipelining client has already sent the batches behind it, and
     // admitting one of those would advance the watermark past the
-    // refused batch, turning its re-send into an order violation.
-    if let Some(expected) = state.throttle_gate {
+    // refused batch, turning its re-send into an order violation. A
+    // refusal here extends the gate, so a batch sent fresh while the
+    // connection was gated joins the ordered re-send obligation.
+    if let Some((expected, max_refused)) = state.throttle_gate {
         if seq != expected {
+            state.throttle_gate = Some((expected, max_refused.max(seq)));
             shared.metrics.throttles.inc();
             let _ = out.try_send(OutMsg::Frame(Frame::Throttle {
                 seq,
@@ -788,7 +796,11 @@ fn handle_batch(
     // this connection's queue is empty, whose head batch must always
     // be admittable or the merge could deadlock on its gate.
     if total_queued + n > capacity && !state.queue.is_empty() {
-        state.throttle_gate = Some(seq);
+        let max_refused = match state.throttle_gate {
+            Some((_, m)) => m.max(seq),
+            None => seq,
+        };
+        state.throttle_gate = Some((seq, max_refused));
         shared.metrics.throttles.inc();
         let _ = out.try_send(OutMsg::Frame(Frame::Throttle {
             seq,
@@ -797,7 +809,16 @@ fn handle_batch(
         }));
         return;
     }
-    state.throttle_gate = None;
+    // Walk the gate forward instead of clearing it: the connection
+    // stays gated until every refused seq has been re-admitted in
+    // order, so a newer batch can never slip past one still pending
+    // re-send (the empty-queue reserve above would otherwise admit it).
+    state.throttle_gate = match state.throttle_gate {
+        Some((expected, max_refused)) if expected < max_refused => {
+            Some((expected + 1, max_refused))
+        }
+        _ => None,
+    };
     state.watermark = Some(prev);
     state.queue.push_back(PendingBatch {
         seq,

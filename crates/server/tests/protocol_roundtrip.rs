@@ -160,7 +160,9 @@ proptest! {
         query_id in 0u64..u64::MAX,
         extra in 1usize..16,
     ) {
-        let mut payload = Frame::Unregister { query_id }.encode();
+        let mut payload = Frame::Unregister { query_id }
+            .encode()
+            .map_err(|e| TestCaseError::fail(format!("encode: {e}")))?;
         payload.extend(std::iter::repeat_n(0xAB, extra));
         prop_assert_eq!(
             Frame::decode(&payload),

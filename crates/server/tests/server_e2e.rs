@@ -212,6 +212,87 @@ fn full_queue_throttles_then_recovers() {
     server.shutdown();
 }
 
+/// Regression for the throttle-gate hole: a pipelining producer with
+/// more batches than its window interleaves fresh sends with re-sends
+/// of gate-refused batches. The gate must stay up until every refused
+/// seq has been re-admitted in order — clearing it after the first
+/// re-admission let a fresh batch slip in via the empty-queue reserve,
+/// advance the watermark, and turn the remaining re-sends into
+/// unrecoverable time-order rejections.
+#[test]
+fn pipelined_overrun_recovers_across_the_throttle_gate() {
+    use std::collections::VecDeque;
+
+    let (space, stream) = world();
+    let config = ServerConfig::new(serve_config())
+        .with_tick_millis(5)
+        .with_queue_capacity(8)
+        .with_min_ingest_streams(1);
+    let mut server = Server::start(Arc::clone(space), config, "127.0.0.1:0").expect("start");
+
+    let mut ingest = Client::connect(server.local_addr(), role::INGEST).expect("connect");
+    ingest
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    let records: Vec<Record> = stream.to_records().into_iter().take(240).collect();
+    let chunks: Vec<Vec<Record>> = records.chunks(4).map(<[Record]>::to_vec).collect();
+    const WINDOW: usize = 6;
+    assert!(
+        chunks.len() > 2 * WINDOW,
+        "the stream must outlast the pipeline window"
+    );
+
+    // wait_batch_outcome now surfaces a server rejection as an Err, so
+    // with the gate hole this settle loop fails fast on the time-order
+    // rejection instead of hanging out the read timeout.
+    let mut throttles = 0usize;
+    let mut acked = 0usize;
+    let mut outstanding: VecDeque<(u64, Vec<Record>)> = VecDeque::new();
+    let mut settle_front = |outstanding: &mut VecDeque<(u64, Vec<Record>)>, ingest: &mut Client| {
+        let Some((seq, chunk)) = outstanding.pop_front() else {
+            return;
+        };
+        while !ingest.wait_batch_outcome(seq).expect("batch outcome") {
+            throttles += 1;
+            std::thread::sleep(Duration::from_millis(1));
+            ingest.send_batch(seq, chunk.clone()).expect("re-send");
+        }
+        acked += 1;
+    };
+    for (seq, chunk) in chunks.iter().enumerate() {
+        if outstanding.len() >= WINDOW {
+            settle_front(&mut outstanding, &mut ingest);
+        }
+        let seq = seq as u64;
+        ingest.send_batch(seq, chunk.clone()).expect("send");
+        outstanding.push_back((seq, chunk.clone()));
+    }
+    while !outstanding.is_empty() {
+        settle_front(&mut outstanding, &mut ingest);
+    }
+    ingest.stream_end().expect("stream end");
+    assert_eq!(acked, chunks.len(), "every batch must eventually ack");
+    assert!(
+        throttles > 0,
+        "a pipelined overrun of an 8-record queue must throttle"
+    );
+
+    // Every record landed exactly once despite the re-send storm.
+    let snap = server.server_snapshot();
+    assert_eq!(
+        snap.counters.get("server.records_ingested").copied(),
+        Some(records.len() as u64)
+    );
+    assert_eq!(
+        snap.counters
+            .get("server.records_rejected")
+            .copied()
+            .unwrap_or(0),
+        0
+    );
+    server.shutdown();
+}
+
 #[test]
 fn malformed_frame_reports_error_and_connection_survives() {
     let (space, _) = world();
